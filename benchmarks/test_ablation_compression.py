@@ -1,0 +1,64 @@
+"""Ablation — staging-file compression vs. link bandwidth (Section 6).
+
+"Data compression can improve upload speed if the communication link
+between the Hyper-Q server and the CDW is slow."  We run the same job
+with and without gzip over a slow simulated link and over a fast one:
+compression should pay on the slow link (fewer bytes cross it) and be
+roughly neutral-to-negative on the fast link (pure CPU overhead).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled
+
+from repro.bench import (
+    build_stack, format_series, run_workload_through_hyperq,
+)
+from repro.core import HyperQConfig
+from repro.workloads import make_workload
+
+ROWS = scaled(6_000)
+SLOW_LINK = 2e6    # 2 MB/s
+FAST_LINK = None   # instantaneous
+
+
+def _run_point(compression: str | None, bandwidth: float | None):
+    workload = make_workload(rows=ROWS, row_bytes=300, seed=53)
+    config = HyperQConfig(converters=4, filewriters=2, credits=32,
+                          compression=compression,
+                          file_threshold_bytes=256 * 1024)
+    with build_stack(config=config,
+                     link_bandwidth_bytes_per_s=bandwidth) as stack:
+        metrics = run_workload_through_hyperq(
+            stack, workload, sessions=4, chunk_bytes=64 * 1024)
+        uploaded = stack.store.bytes_uploaded
+    return metrics, uploaded
+
+
+def test_ablation_compression(benchmark, results_dir):
+    series = []
+    results = {}
+    for link_name, bandwidth in (("slow", SLOW_LINK), ("fast", FAST_LINK)):
+        for compression in (None, "gzip"):
+            metrics, uploaded = _run_point(compression, bandwidth)
+            key = (link_name, compression or "none")
+            results[key] = metrics
+            series.append({
+                "link": link_name,
+                "compression": compression or "none",
+                "uploaded_KiB": uploaded // 1024,
+                "acquisition_s": metrics.acquisition_s,
+                "total_s": metrics.total_s,
+            })
+    text = format_series(
+        f"Ablation: compression x link bandwidth ({ROWS} rows)",
+        series,
+        note="expect: gzip wins on the slow link (fewer bytes cross it)")
+    emit(results_dir, "ablation_compression", text)
+
+    assert results[("slow", "gzip")].acquisition_s \
+        < results[("slow", "none")].acquisition_s, \
+        "compression must speed up acquisition over a slow link"
+
+    benchmark.pedantic(
+        _run_point, args=("gzip", None), rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Ablation — intermediate staging-file size threshold (Section 6).
+
+"A small file size allows more data writing parallelism and fast
+uploading into the remote storage.  On the other hand, a large number of
+files could impact the efficiency of data copying from the storage
+account to the CDW staging tables."  We sweep the threshold and report
+file counts and phase times; the COPY side of the trade-off shows up in
+the blob count the in-cloud COPY has to visit.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled
+
+from repro.bench import format_series, run_import_workload
+from repro.core import HyperQConfig
+from repro.workloads import make_workload
+
+ROWS = scaled(8_000)
+THRESHOLDS = (16 * 1024, 128 * 1024, 1024 * 1024, 8 * 1024 * 1024)
+
+
+def _run_point(threshold: int):
+    workload = make_workload(rows=ROWS, row_bytes=300, seed=52)
+    config = HyperQConfig(converters=4, filewriters=2, credits=32,
+                          file_threshold_bytes=threshold)
+    return run_import_workload(
+        workload, config=config, sessions=4, chunk_bytes=64 * 1024)
+
+
+def test_ablation_file_size(benchmark, results_dir):
+    series = []
+    for threshold in THRESHOLDS:
+        metrics = _run_point(threshold)
+        series.append({
+            "threshold_KiB": threshold // 1024,
+            "files": metrics.files_written,
+            "acquisition_s": metrics.acquisition_s,
+            "total_s": metrics.total_s,
+        })
+    text = format_series(
+        f"Ablation: staging-file size threshold ({ROWS} rows)",
+        series,
+        note="expect: smaller threshold => many more files; both "
+             "extremes cost something")
+    emit(results_dir, "ablation_file_size", text)
+
+    assert series[0]["files"] > series[-1]["files"], \
+        "smaller thresholds must produce more staging files"
+
+    benchmark.pedantic(
+        _run_point, args=(1024 * 1024,), rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+"""Ablation — wire format of the incoming data (VARTEXT vs BINARY).
+
+Section 4: "the data conversion process can vary from a simple
+conversion of binary data formats to a more sophisticated conversion
+that includes detecting null values, handling empty strings, and
+escaping special characters."  This ablation loads the same logical
+dataset encoded both ways and compares conversion-side cost and wire
+volume.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from conftest import emit, scaled
+
+from repro.bench import build_stack, format_series
+from repro.core import HyperQConfig
+from repro.legacy.client import ImportJobSpec, LegacyEtlClient
+from repro.legacy.datafmt import BinaryFormat, FormatSpec, VartextFormat
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+ROWS = scaled(6_000)
+
+LAYOUT = Layout("L", [
+    FieldDef("K", parse_type("varchar(10)")),
+    FieldDef("N", parse_type("integer")),
+    FieldDef("D", parse_type("date")),
+    FieldDef("P", parse_type("varchar(64)")),
+])
+
+DDL = ("create table F (K varchar(10) not null, N integer, D date, "
+       "P varchar(64), unique (K))")
+DML = ("insert into F values (:K, :N, :D, :P)")
+
+
+def _rows():
+    rng = random.Random(1234)
+    rows = []
+    for i in range(ROWS):
+        rows.append((
+            f"K{i:07d}",
+            rng.randrange(10**6),
+            datetime.date(2020 + rng.randrange(5), 1 + rng.randrange(12),
+                          1 + rng.randrange(28)),
+            "".join(rng.choices("abcdefgh", k=48)),
+        ))
+    return rows
+
+
+def _run_point(kind: str):
+    rows = _rows()
+    if kind == "vartext":
+        data = VartextFormat(LAYOUT).encode_records(rows)
+        spec = FormatSpec("vartext", "|")
+    else:
+        data = BinaryFormat(LAYOUT).encode_records(rows)
+        spec = FormatSpec("binary")
+    with build_stack(config=HyperQConfig(
+            converters=4, filewriters=2, credits=32)) as stack:
+        client = LegacyEtlClient(stack.node.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql(DDL)
+        client.run_import(ImportJobSpec(
+            target_table="F", et_table="F_ET", uv_table="F_UV",
+            layout=LAYOUT, apply_sql=DML, data=data,
+            format_spec=spec, sessions=4, chunk_bytes=128 * 1024))
+        client.logoff()
+        metrics = stack.node.completed_jobs[-1]
+    return len(data), metrics
+
+
+def test_ablation_input_format(benchmark, results_dir):
+    series = []
+    outcomes = {}
+    for kind in ("vartext", "binary"):
+        wire_bytes, metrics = _run_point(kind)
+        outcomes[kind] = metrics
+        series.append({
+            "format": kind,
+            "wire_KiB": wire_bytes // 1024,
+            "acquisition_s": metrics.acquisition_s,
+            "application_s": metrics.application_s,
+            "rows": metrics.rows_inserted,
+        })
+    text = format_series(
+        f"Ablation: input wire format ({ROWS} rows, same logical data)",
+        series,
+        note="both formats must load identical row counts; costs differ "
+             "in the conversion stage")
+    emit(results_dir, "ablation_input_format", text)
+
+    assert outcomes["vartext"].rows_inserted == \
+        outcomes["binary"].rows_inserted == ROWS
+
+    benchmark.pedantic(_run_point, args=("binary",), rounds=1,
+                       iterations=1)

@@ -1,0 +1,57 @@
+"""Ablation — the max_errors / max_retries limits (Section 7).
+
+"For datasets containing multiple errors, using these parameters
+prevents the adaptive error handling from spending a lot of time finding
+each error.  Instead, it reports ranges of tuples that cannot be
+transformed correctly."  We load an error-heavy dataset under different
+max_errors budgets and watch time-to-complete fall as the budget
+tightens (at the cost of coarser error reporting).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled
+
+from repro.bench import format_series, run_import_workload
+from repro.core import HyperQConfig
+from repro.workloads import make_workload
+
+ROWS = scaled(3_000)
+BUDGETS = (1_000_000, 50, 10, 1)
+
+
+def _run_point(max_errors: int):
+    workload = make_workload(rows=ROWS, row_bytes=200, seed=54,
+                             error_rate=0.08)
+    return run_import_workload(
+        workload,
+        config=HyperQConfig(converters=4, filewriters=2, credits=32),
+        sessions=2, chunk_bytes=64 * 1024,
+        max_errors=max_errors)
+
+
+def test_ablation_max_errors(benchmark, results_dir):
+    series = []
+    for budget in BUDGETS:
+        metrics = _run_point(budget)
+        series.append({
+            "max_errors": budget,
+            "application_s": metrics.application_s,
+            "dml_statements": metrics.dml_statements,
+            "individual+range_errors":
+                metrics.et_errors + metrics.uv_errors,
+            "rows_loaded": metrics.rows_inserted,
+        })
+    text = format_series(
+        f"Ablation: max_errors budget on an 8%-error load ({ROWS} rows)",
+        series,
+        note="expect: tighter budgets => fewer DML statements and lower "
+             "application time, coarser error reports")
+    emit(results_dir, "ablation_max_errors", text)
+
+    assert series[-1]["dml_statements"] < series[0]["dml_statements"], \
+        "a tight budget must cut the number of chunk retries"
+    assert series[-1]["application_s"] <= series[0]["application_s"], \
+        "a tight budget must not be slower than exhaustive splitting"
+
+    benchmark.pedantic(_run_point, args=(50,), rounds=1, iterations=1)

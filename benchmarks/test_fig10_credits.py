@@ -1,0 +1,39 @@
+"""Figure 10 — Data acquisition scalability with the credit pool size.
+
+Paper: rate flat across a wide credit range; degradation once
+per-process context-switch overhead dominates; at one million credits
+the node ran out of memory and crashed.  Series logic:
+:mod:`repro.bench.figures` (discrete-event model; DESIGN.md documents
+the substitution and axis scaling).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_series
+from repro.bench.figures import fig10_params, fig10_series
+from repro.sim import simulate_acquisition
+
+
+def test_fig10_credits(benchmark, results_dir):
+    series = fig10_series()
+    text = format_series(
+        "Figure 10: acquisition scalability with credit pool size "
+        "(discrete-event model, ~4.3 GB load, 8 cores)",
+        series,
+        note="expect: flat rate over a wide range, context-switch "
+             "degradation at large pools, OOM crash at the extreme")
+    emit(results_dir, "fig10_credits", text)
+
+    rates = [row["acq_rate_MBps"] for row in series]
+    assert abs(rates[0] - rates[2]) / rates[0] < 0.10, \
+        "rate should be flat across small credit pools"
+    assert rates[4] < rates[0] * 0.8, \
+        "very large pools must degrade the rate (context switching)"
+    assert series[-1]["outcome"] == "OOM-CRASH", \
+        "the million-credit run must exhaust memory"
+
+    benchmark.pedantic(
+        simulate_acquisition, args=(fig10_params(256),), rounds=1,
+        iterations=1)

@@ -1,0 +1,46 @@
+"""Figure 11 — Error handling performance.
+
+Paper: elapsed time vs. error percentage: Hyper-Q (bulk + adaptive
+splitting) vs a singleton-insert baseline.  Hyper-Q crushes the
+baseline at 0%, jumps 0%->1% when splitting first triggers, degrades
+smoothly, and still wins at 10%; the baseline is flat.  Series logic:
+:mod:`repro.bench.figures` (which also asserts both systems load
+identical rows).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, scaled
+
+from repro.bench import format_series
+from repro.bench.figures import fig11_series
+
+SCALE = bench_scale()
+ROWS = scaled(4_000)
+
+
+def test_fig11_error_handling(benchmark, results_dir):
+    series = fig11_series(SCALE)
+    text = format_series(
+        f"Figure 11: error handling performance ({ROWS} rows)",
+        series,
+        note="expect: Hyper-Q much faster at 0%, steep 0%->1% jump, "
+             "baseline flat, Hyper-Q still ahead at 10%")
+    emit(results_dir, "fig11_error_handling", text)
+
+    t = {row["error_pct"]: row for row in series}
+    assert t["0%"]["hyperq_total_s"] < t["0%"]["baseline_total_s"] / 3, \
+        "Hyper-Q should crush the baseline with clean data"
+    assert t["10%"]["hyperq_total_s"] < t["10%"]["baseline_total_s"], \
+        "Hyper-Q should still win at 10% errors"
+    if ROWS >= 2_000:  # shape assertions need enough rows to be stable
+        assert t["1%"]["hyperq_total_s"] > \
+            t["0%"]["hyperq_total_s"] * 1.5, \
+            "triggering error handling should cost a visible jump"
+        baseline_times = [row["baseline_total_s"] for row in series]
+        assert max(baseline_times) < min(baseline_times) * 1.6, \
+            "the baseline should be roughly flat in the error rate"
+
+    benchmark.pedantic(
+        fig11_series, args=(SCALE,), kwargs={"error_rates": (0.01,)},
+        rounds=1, iterations=1)

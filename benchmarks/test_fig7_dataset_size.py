@@ -1,0 +1,43 @@
+"""Figure 7 — Performance with different dataset sizes.
+
+Paper: total job time grows sub-linearly in dataset size; most time is
+the data-acquisition phase, then the application phase, and "other"
+(startup/teardown) is small and size-independent.  At 4x rows the
+acquisition phase grew 340% and the application phase 270%.
+
+The series logic lives in :mod:`repro.bench.figures` (also reachable via
+``python -m repro figures``); this benchmark adds the expected-shape
+assertions and the timed headline run.  See
+``test_fig7_paper_scale_sim.py`` for the sub-linearity cross-check at
+the paper's true scale.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.bench import format_series
+from repro.bench.figures import fig7_series
+
+SCALE = bench_scale()
+
+
+def test_fig7_dataset_size(benchmark, results_dir):
+    series = fig7_series(SCALE)
+    text = format_series(
+        f"Figure 7: performance with dataset size "
+        f"(base {series[0]['rows']} rows ~= paper's 25M)",
+        series,
+        note=("expect: acquisition dominates; application next; "
+              "'other' flat and small"))
+    emit(results_dir, "fig7_dataset_size", text)
+
+    four_x = series[-1]
+    assert four_x["acquisition_s"] > four_x["application_s"], \
+        "acquisition should dominate the job time"
+    assert four_x["other_s"] < four_x["acquisition_s"], \
+        "'other' (startup/teardown) should be comparatively small"
+
+    benchmark.pedantic(
+        fig7_series, args=(SCALE,), kwargs={"multipliers": (1,)},
+        rounds=1, iterations=1)

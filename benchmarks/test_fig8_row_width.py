@@ -1,0 +1,37 @@
+"""Figure 8 — Effect of row width on bulk load performance.
+
+Paper: datasets of the same total byte size but different average row
+widths; wider rows load faster (fewer per-row conversion/serialization
+iterations per chunk).  Series logic: :mod:`repro.bench.figures`.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.bench import format_series
+from repro.bench.figures import fig8_series
+
+SCALE = bench_scale()
+
+
+def test_fig8_row_width(benchmark, results_dir):
+    series = fig8_series(SCALE)
+    text = format_series(
+        f"Figure 8: effect of row width (constant total "
+        f"~{series[0]['total_MB']} MB)",
+        series,
+        note="expect: wider rows => lower acquisition time")
+    emit(results_dir, "fig8_row_width", text)
+
+    # Total time must drop with width; the strongest component is the
+    # per-row-bound application phase.  (The acquisition-phase delta is
+    # real but only a few percent at this scale — too noisy to gate on.)
+    assert series[-1]["total_s"] < series[0]["total_s"], \
+        "wider rows should load faster at equal volume"
+    assert series[-1]["application_s"] < series[0]["application_s"], \
+        "per-row application cost must fall with fewer rows"
+
+    benchmark.pedantic(
+        fig8_series, args=(SCALE,), kwargs={"widths": (500,)},
+        rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Figure 9 — Data acquisition scalability with CPU cores.
+
+Paper: wall-clock time as a % of the 2-core baseline, plus speedup
+efficiency S = Ts / (Tp * P).  Efficiency stays good through 8 cores
+and degrades at 16 because setup/teardown runs regardless of cores.
+
+The machine-level sweep runs on the discrete-event model (substitution
+documented in DESIGN.md); series logic: :mod:`repro.bench.figures`.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import format_series
+from repro.bench.figures import fig9_params, fig9_series
+from repro.sim import simulate_acquisition
+
+
+def test_fig9_cpu_cores(benchmark, results_dir):
+    series = fig9_series()
+    text = format_series(
+        "Figure 9: acquisition scalability with CPU cores "
+        "(discrete-event model, 1 GB load)",
+        series,
+        note="expect: near-linear scaling to 8 cores, efficiency "
+             "degradation at 16 (fixed setup/teardown)")
+    emit(results_dir, "fig9_cpu_cores", text)
+
+    effs = [row["speedup_eff_S"] for row in series]
+    assert effs[1] > 0.85 and effs[2] > 0.85, \
+        "4 and 8 cores should scale with good efficiency"
+    assert effs[3] < effs[2], \
+        "efficiency must degrade at 16 cores (setup/teardown overhead)"
+    assert series[-1]["sim_total_s"] < series[0]["sim_total_s"], \
+        "more cores must still be faster in absolute time"
+
+    benchmark.pedantic(
+        simulate_acquisition, args=(fig9_params(8),), rounds=1,
+        iterations=1)

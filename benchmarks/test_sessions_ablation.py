@@ -1,0 +1,35 @@
+"""Section 9 note — acquisition rate vs. number of parallel sessions.
+
+Paper: "the acquisition rate is the same when using 2, 4, 8, 12, or 16
+parallel sessions" — immediate acknowledgments decouple client session
+count from node resources.  Series logic: :mod:`repro.bench.figures`.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit, scaled
+
+from repro.bench import format_series
+from repro.bench.figures import sessions_series
+
+SCALE = bench_scale()
+ROWS = scaled(10_000)
+
+
+def test_sessions_ablation(benchmark, results_dir):
+    series = sessions_series(SCALE)
+    text = format_series(
+        f"Session scalability ({ROWS} rows): acquisition rate vs "
+        "parallel sessions",
+        series,
+        note="expect: roughly constant acquisition rate across session "
+             "counts (immediate acks decouple sessions from resources)")
+    emit(results_dir, "sessions_ablation", text)
+
+    times = [row["acquisition_s"] for row in series]
+    assert max(times) < min(times) * 2.0, \
+        "acquisition time should not change materially with sessions"
+
+    benchmark.pedantic(
+        sessions_series, args=(SCALE,),
+        kwargs={"session_counts": (4,)}, rounds=1, iterations=1)

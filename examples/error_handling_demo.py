@@ -1,0 +1,59 @@
+"""Adaptive error handling demo (Section 7).
+
+Loads an error-riddled file through Hyper-Q under different
+``max_errors`` budgets and shows how the error table shifts from
+per-tuple reports to range reports as the budget tightens — and how much
+application time that saves (the trade-off behind Figure 11 and the
+max_errors knob).
+
+Run:  python examples/error_handling_demo.py
+"""
+
+from repro.bench import build_stack, run_workload_through_hyperq
+from repro.core import HyperQConfig
+from repro.workloads import make_workload
+
+ROWS = 2_000
+ERROR_RATE = 0.08
+
+
+def run_budget(max_errors):
+    workload = make_workload(rows=ROWS, row_bytes=150, seed=42,
+                             error_rate=ERROR_RATE, table="DEMO.T")
+    stack = build_stack(config=HyperQConfig(converters=2, filewriters=2,
+                                            credits=16))
+    try:
+        metrics = run_workload_through_hyperq(
+            stack, workload, max_errors=max_errors)
+        individual = stack.engine.query(
+            "SELECT COUNT(*) FROM DEMO.T_ET WHERE ERRCODE = 3103")[0][0]
+        ranges = stack.engine.query(
+            "SELECT COUNT(*) FROM DEMO.T_ET WHERE ERRCODE = 9057")[0][0]
+        sample = stack.engine.query(
+            "SELECT ERRMSG FROM DEMO.T_ET LIMIT 3")
+    finally:
+        stack.close()
+    return metrics, individual, ranges, sample
+
+
+def main():
+    print(f"Loading {ROWS} rows with ~{ERROR_RATE:.0%} bad dates through "
+          "Hyper-Q under different max_errors budgets.\n")
+    print(f"{'max_errors':>10s} {'loaded':>7s} {'tuple_errs':>10s} "
+          f"{'range_errs':>10s} {'dml_stmts':>9s} {'app_s':>7s}")
+    for budget in (10_000, 100, 20, 5):
+        metrics, individual, ranges, sample = run_budget(budget)
+        print(f"{budget:10d} {metrics.rows_inserted:7d} "
+              f"{individual:10d} {ranges:10d} "
+              f"{metrics.dml_statements:9d} "
+              f"{metrics.application_s:7.2f}")
+    print("\nSample error messages from the tightest budget:")
+    for (message,) in sample:
+        print(f"  {message}")
+    print("\nObservation: tight budgets trade error granularity "
+          "(ranges instead of row numbers) for application-phase time — "
+          "exactly the knob Section 7 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""qInsight-style upfront workload analysis (Section 8).
+
+Generates a small corpus of legacy job scripts — most using ordinary
+constructs, a few containing things the cross compiler cannot translate —
+and prints the migration-readiness report: coverage percentage and the
+exact statements that must be rewritten upfront, mirroring the case
+study's "less than 1% of the queries in ETL jobs had to be rewritten
+manually" finding and the lesson to "address query rewrites early on".
+
+Run:  python examples/workload_analysis.py
+"""
+
+from repro.qinsight import WorkloadAnalyzer
+
+STANDARD_JOB = """
+.logon cdw/etl,secret;
+create table STG_{name} (
+    ID varchar(10) not null, AMOUNT decimal(12,2), TS_DAY varchar(10),
+    unique (ID));
+.layout L{name};
+.field ID varchar(10);
+.field AMOUNT varchar(14);
+.field TS_DAY varchar(10);
+.begin import tables STG_{name}
+    errortables STG_{name}_ET STG_{name}_UV;
+.dml label Ins;
+insert into STG_{name} values (
+    trim(:ID), cast(:AMOUNT as decimal(12,2)),
+    cast(:TS_DAY as DATE format 'YYYY-MM-DD') );
+.import infile {name}.txt format vartext '|' layout L{name} apply Ins;
+.end load;
+.begin export;
+.export outfile {name}_out.txt format vartext '|';
+select ID, ZEROIFNULL(AMOUNT) from STG_{name} where AMOUNT > 0;
+.end export;
+.logoff;
+"""
+
+PROBLEM_JOBS = {
+    # a numeric FORMAT cast: no CDW equivalent, needs a manual rewrite
+    "finance_legacy_fmt": """
+.logon cdw/etl,secret;
+.dml label Odd;
+insert into FIN values (cast(:AMT as integer format 'ZZZ9'));
+.import infile fin.txt format vartext '|' layout L apply Odd;
+.end load;
+.logoff;
+""",
+    # an administrative statement the gateway does not speak
+    "grants": """
+.logon cdw/etl,secret;
+GRANT SELECT ON PROD.SALES TO reporting_role;
+.logoff;
+""",
+}
+
+
+def main():
+    corpus = {
+        f"nightly_{i:03d}": STANDARD_JOB.replace("{name}", f"T{i:03d}")
+        for i in range(60)
+    }
+    corpus.update(PROBLEM_JOBS)
+
+    analyzer = WorkloadAnalyzer()
+    report = analyzer.analyze_corpus(corpus)
+    print(report.render())
+    print(f"Paper's observation: '<1% of the queries had to be "
+          f"rewritten manually'.")
+    print(f"This corpus: {1 - report.ok_fraction:.2%} of statements "
+          f"need attention, all highly localized.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — Adaptive Real-time Virtualization of Legacy ETL Pipelines.
+
+A complete reproduction of the EDBT 2023 paper by Abdelhamid et al.
+(Datometry Hyper-Q's ETL virtualization layer), including every
+substrate it runs on:
+
+- :mod:`repro.legacy`   — the legacy EDW stack (script language, wire
+  protocol, record formats, client, reference server);
+- :mod:`repro.cdw`      — the cloud data warehouse substrate
+  (set-oriented SQL engine, object store, bulk loader);
+- :mod:`repro.sqlxc`    — the SQL cross compiler;
+- :mod:`repro.core`     — Hyper-Q itself: the virtualization gateway
+  with the credit-managed acquisition pipeline and adaptive error
+  handling (the paper's contribution);
+- :mod:`repro.sim`      — a discrete-event model of the acquisition
+  pipeline for the machine-scale experiments (Figures 9-10);
+- :mod:`repro.workloads`, :mod:`repro.baselines`, :mod:`repro.bench`,
+  :mod:`repro.qinsight`, :mod:`repro.cli` — workload generation, the
+  Figure 11 baseline, the benchmark/figure harness, workload analysis,
+  and the command-line interface.
+
+Quickstart: see README.md, ``examples/quickstart.py``, or::
+
+    from repro.bench import build_stack
+    with build_stack() as stack:
+        ...  # stack.node is a running Hyper-Q in front of stack.engine
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

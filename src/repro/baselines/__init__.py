@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from repro.baselines.singleton import SingletonInsertLoader, BaselineResult
+
+__all__ = ["SingletonInsertLoader", "BaselineResult"]

@@ -1,0 +1,119 @@
+"""The Figure 11 baseline: singleton inserts with immediate error logging.
+
+Section 9: "The baseline system loads data records using singleton
+inserts, and when an erroneous tuple is encountered, it is inserted right
+away into the error log."  No bulk path, no staging table, no adaptive
+splitting — one round trip per record, which is why its cost is flat in
+the error rate and much higher than Hyper-Q's bulk path at low error
+rates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cdw.engine import CdwEngine
+from repro.errors import (
+    HYPERQ_CONVERSION_ERROR, HYPERQ_UNIQUENESS_ERROR, BulkExecutionError,
+    CdwError, DataFormatError, SqlError,
+)
+from repro.legacy.datafmt import make_format
+from repro.sqlxc import nodes as n
+from repro.sqlxc.parser import parse_statement
+from repro.sqlxc.rewrites import bind_params_to_values, to_cdw
+from repro.workloads.generator import Workload
+
+__all__ = ["SingletonInsertLoader", "BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    elapsed_s: float = 0.0
+    rows_inserted: int = 0
+    et_errors: int = 0
+    uv_errors: int = 0
+    statements: int = 0
+
+
+class SingletonInsertLoader:
+    """Loads a workload into the CDW one INSERT at a time."""
+
+    def __init__(self, engine: CdwEngine):
+        self.engine = engine
+
+    def prepare(self, workload: Workload) -> None:
+        """Create target and error tables for the workload."""
+        self.engine.execute(to_cdw(
+            parse_statement(workload.ddl, dialect="legacy")))
+        self.engine.execute(
+            f"CREATE TABLE {workload.et_table} (SEQNO INT, ERRCODE INT, "
+            "ERRFIELD NVARCHAR(128), ERRMSG NVARCHAR(512))")
+        target = self.engine.table(workload.target_table)
+        uv_columns = ", ".join(
+            f"{c.name} {c.ctype.render()}" for c in target.columns)
+        self.engine.execute(
+            f"CREATE TABLE {workload.uv_table} ({uv_columns}, "
+            "SEQNO INT, ERRCODE INT)")
+
+    def run(self, workload: Workload) -> BaselineResult:
+        """Load every record with its own cross-compiled INSERT."""
+        result = BaselineResult()
+        started = time.perf_counter()
+        template = parse_statement(workload.apply_sql, dialect="legacy")
+        fmt = make_format(workload.format_spec, workload.layout)
+        field_names = workload.layout.field_names
+        rownum = 0
+        for item in fmt.iter_decode(workload.data):
+            rownum += 1
+            if isinstance(item, DataFormatError):
+                self._log_et(workload, rownum, item.code, item.field,
+                             str(item))
+                result.et_errors += 1
+                continue
+            bound = to_cdw(bind_params_to_values(
+                template, dict(zip(field_names, item))))
+            result.statements += 1
+            try:
+                outcome = self.engine.execute(bound)
+            except BulkExecutionError as exc:
+                if exc.kind == "uniqueness":
+                    self._log_uv(workload, bound, rownum)
+                    result.uv_errors += 1
+                else:
+                    self._log_et(workload, rownum,
+                                 HYPERQ_CONVERSION_ERROR, exc.field,
+                                 str(exc))
+                    result.et_errors += 1
+                continue
+            except (SqlError, CdwError) as exc:
+                self._log_et(workload, rownum, HYPERQ_CONVERSION_ERROR,
+                             getattr(exc, "field", None), str(exc))
+                result.et_errors += 1
+                continue
+            result.rows_inserted += outcome.rows_inserted
+        result.elapsed_s = time.perf_counter() - started
+        return result
+
+    def _log_et(self, workload: Workload, rownum: int, code: int,
+                field: str | None, message: str) -> None:
+        values = n.Values([[n.Literal(rownum), n.Literal(code),
+                            n.Literal(field), n.Literal(message[:512])]])
+        self.engine.execute(
+            n.Insert(n.TableRef(workload.et_table), [], values))
+
+    def _log_uv(self, workload: Workload, bound: n.Statement,
+                rownum: int) -> None:
+        uv = self.engine.table(workload.uv_table)
+        tuple_values: list = [None] * (uv.arity - 2)
+        if isinstance(bound, n.Insert) and isinstance(bound.source,
+                                                      n.Values):
+            from repro.cdw.expressions import RowContext, evaluate
+            ctx = RowContext()
+            raw = [evaluate(e, ctx) for e in bound.source.rows[0]]
+            tuple_values = (raw + tuple_values)[:uv.arity - 2]
+        values = n.Values([[n.Literal(v) for v in tuple_values]
+                           + [n.Literal(rownum),
+                              n.Literal(HYPERQ_UNIQUENESS_ERROR)]])
+        self.engine.execute(
+            n.Insert(n.TableRef(workload.uv_table), [], values))

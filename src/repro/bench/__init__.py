@@ -1,0 +1,11 @@
+"""Benchmark harness: end-to-end job runners and series reporting."""
+
+from repro.bench.harness import (
+    Stack, build_stack, run_import_workload, run_workload_through_hyperq,
+)
+from repro.bench.report import format_series, write_series
+
+__all__ = [
+    "Stack", "build_stack", "run_import_workload",
+    "run_workload_through_hyperq", "format_series", "write_series",
+]

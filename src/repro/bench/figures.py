@@ -1,0 +1,292 @@
+"""Programmatic regeneration of every figure in the paper's evaluation.
+
+Each ``figN_series`` function runs the corresponding experiment and
+returns the rows the paper's figure plots; ``regenerate_all`` writes the
+formatted tables to a directory.  The pytest benchmarks under
+``benchmarks/`` call these same functions and add expected-shape
+assertions; the CLI exposes them as ``python -m repro figures``.
+
+``scale`` multiplies the row counts of the real-execution experiments
+(Figures 7, 8, 11 and the session sweep); the discrete-event sweeps
+(Figures 9, 10) have fixed modelled workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines import SingletonInsertLoader
+from repro.bench.harness import run_import_workload
+from repro.bench.report import format_series, write_series
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.sim import SimParams, simulate_acquisition
+from repro.workloads import make_workload
+
+__all__ = [
+    "fig7_series", "fig8_series", "fig9_series", "fig10_series",
+    "fig11_series", "sessions_series", "fig7_paper_scale_series",
+    "regenerate_all", "FIGURES",
+]
+
+_DEFAULT_CONFIG = dict(converters=4, filewriters=2, credits=32)
+
+
+def _scaled(base_rows: int, scale: float) -> int:
+    return max(int(base_rows * scale), 100)
+
+
+# -- Figure 7: dataset size ---------------------------------------------------
+
+def fig7_series(scale: float = 1.0,
+                multipliers: tuple[int, ...] = (1, 2, 3, 4)) -> list[dict]:
+    """Figure 7 sweep: phase split vs dataset size (scaled)."""
+    base_rows = _scaled(12_500, scale)
+    series: list[dict] = []
+    baseline = None
+    for multiplier in multipliers:
+        workload = make_workload(
+            rows=base_rows * multiplier, row_bytes=500,
+            seed=70 + multiplier)
+        metrics = run_import_workload(
+            workload, config=HyperQConfig(**_DEFAULT_CONFIG),
+            sessions=4, chunk_bytes=256 * 1024)
+        if baseline is None:
+            baseline = metrics
+        series.append({
+            "rows": base_rows * multiplier,
+            "scale": f"{multiplier}x",
+            "total_s": metrics.total_s,
+            "acquisition_s": metrics.acquisition_s,
+            "application_s": metrics.application_s,
+            "other_s": metrics.other_s,
+            "acq_growth_%": round(
+                100 * metrics.acquisition_s / baseline.acquisition_s),
+            "app_growth_%": round(
+                100 * metrics.application_s / baseline.application_s),
+        })
+    return series
+
+
+# -- Figure 7 cross-check at paper scale (DES) -------------------------------
+
+def fig7_paper_scale_params(rows: int) -> SimParams:
+    """SimParams for one paper-scale Figure 7 point."""
+    return SimParams(
+        rows=rows, row_bytes=500, chunk_bytes=4 << 20,
+        sessions=8, cores=8, credits=64,
+        convert_cpu_per_byte=1.2e-9, convert_cpu_per_row=2e-8,
+        client_bandwidth_per_session=120e6,
+        disk_bandwidth=2e9, link_bandwidth=1.5e9, copy_bandwidth=5e9,
+        session_setup=4.0, fixed_setup=30.0, fixed_teardown=20.0)
+
+
+def fig7_paper_scale_series(
+        row_counts: tuple[int, ...] = (25_000_000, 50_000_000,
+                                       75_000_000, 100_000_000)
+) -> list[dict]:
+    """Figure 7 acquisition growth at 25M-100M rows (DES)."""
+    series: list[dict] = []
+    baseline = None
+    for rows in row_counts:
+        report = simulate_acquisition(fig7_paper_scale_params(rows))
+        if baseline is None:
+            baseline = report
+        series.append({
+            "rows_M": rows // 1_000_000,
+            "acquisition_s": round(report.acquisition_time, 1),
+            "total_s": round(report.total_time, 1),
+            "acq_growth_%": round(100 * report.acquisition_time
+                                  / baseline.acquisition_time),
+            "throughput_MBps": round(
+                report.throughput_bytes_per_s / 2**20, 1),
+        })
+    return series
+
+
+# -- Figure 8: row width ------------------------------------------------------
+
+def fig8_series(scale: float = 1.0,
+                widths: tuple[int, ...] = (250, 500, 1000, 2000)
+                ) -> list[dict]:
+    """Figure 8 sweep: row width at constant total bytes."""
+    total_bytes = _scaled(12_500, scale) * 500
+    series: list[dict] = []
+    for width in widths:
+        rows = max(total_bytes // width, 10)
+        workload = make_workload(rows=rows, row_bytes=width, seed=80)
+        metrics = run_import_workload(
+            workload, config=HyperQConfig(**_DEFAULT_CONFIG),
+            sessions=4, chunk_bytes=256 * 1024)
+        series.append({
+            "row_bytes": width,
+            "rows": workload.rows,
+            "total_MB": round(workload.bytes_total / 2**20, 2),
+            "total_s": metrics.total_s,
+            "acquisition_s": metrics.acquisition_s,
+            "application_s": metrics.application_s,
+        })
+    return series
+
+
+# -- Figure 9: CPU cores (DES) --------------------------------------------------
+
+def fig9_params(cores: int) -> SimParams:
+    """SimParams for one Figure 9 core-count point."""
+    return SimParams(
+        rows=2_000_000, row_bytes=500, chunk_bytes=1 << 20,
+        sessions=8, cores=cores, credits=128,
+        convert_cpu_per_byte=1e-7, convert_cpu_per_row=0.0,
+        client_bandwidth_per_session=500e6,
+        disk_bandwidth=4e9, link_bandwidth=4e9, copy_bandwidth=1e10,
+        fixed_setup=2.0, fixed_teardown=2.0, session_setup=0.2)
+
+
+def fig9_series(cores: tuple[int, ...] = (2, 4, 8, 16)) -> list[dict]:
+    """Figure 9 sweep: cores vs time% and speedup efficiency."""
+    series: list[dict] = []
+    baseline = None
+    for count in cores:
+        report = simulate_acquisition(fig9_params(count))
+        if baseline is None:
+            baseline = report.total_time
+        multiple = count / cores[0]
+        series.append({
+            "cores": count,
+            "sim_total_s": report.total_time,
+            "time_pct_of_2core": round(
+                100 * report.total_time / baseline, 1),
+            "speedup_eff_S": round(
+                baseline / (report.total_time * multiple), 3),
+        })
+    return series
+
+
+# -- Figure 10: credit pool (DES) ------------------------------------------------
+
+def fig10_params(credits: int) -> SimParams:
+    """SimParams for one Figure 10 credit-pool point."""
+    return SimParams(
+        rows=4_400_000, row_bytes=970, chunk_bytes=64 * 1024,
+        sessions=8, cores=8, credits=credits,
+        switch_cost=2e-6,
+        convert_cpu_per_byte=2.4e-8, convert_cpu_per_row=0.0,
+        client_bandwidth_per_session=120e6,
+        disk_bandwidth=4e9, link_bandwidth=4e9, copy_bandwidth=1e10,
+        memory_limit_bytes=int(2.0 * (1 << 30)),
+        file_threshold_bytes=256 << 20,
+        fixed_setup=2.0, fixed_teardown=2.0)
+
+
+def fig10_series(credit_settings: tuple[int, ...] = (
+        16, 256, 1024, 4096, 16384, 1_000_000)) -> list[dict]:
+    """Figure 10 sweep: credit pool vs acquisition rate/OOM."""
+    series: list[dict] = []
+    for credits in credit_settings:
+        report = simulate_acquisition(fig10_params(credits))
+        series.append({
+            "credits": credits,
+            "acq_rate_MBps": round(
+                report.throughput_bytes_per_s / 2**20, 1)
+            if not report.crashed else 0.0,
+            "acq_time_s": round(report.acquisition_time, 1),
+            "peak_runnable": report.peak_runnable_tasks,
+            "peak_mem_GB": round(report.peak_memory_bytes / 2**30, 2),
+            "outcome": "OOM-CRASH" if report.crashed else "ok",
+        })
+    return series
+
+
+# -- Figure 11: error handling -----------------------------------------------------
+
+def fig11_series(scale: float = 1.0,
+                 error_rates: tuple[float, ...] = (0.0, 0.01, 0.02,
+                                                   0.05, 0.10)
+                 ) -> list[dict]:
+    """Figure 11 sweep: error % — Hyper-Q vs singleton baseline."""
+    rows = _scaled(4_000, scale)
+    series: list[dict] = []
+    for rate in error_rates:
+        workload = make_workload(rows=rows, row_bytes=200, seed=110,
+                                 error_rate=rate, table="PROD.F11")
+        hyperq = run_import_workload(
+            workload, config=HyperQConfig(**_DEFAULT_CONFIG),
+            sessions=2, chunk_bytes=64 * 1024)
+        baseline_workload = make_workload(
+            rows=rows, row_bytes=200, seed=110, error_rate=rate,
+            table="PROD.F11B")
+        loader = SingletonInsertLoader(CdwEngine())
+        loader.prepare(baseline_workload)
+        base = loader.run(baseline_workload)
+        if hyperq.rows_inserted != base.rows_inserted:
+            raise AssertionError(
+                "Hyper-Q and the baseline must load the same rows")
+        series.append({
+            "error_pct": f"{rate * 100:.0f}%",
+            "hyperq_total_s": hyperq.total_s,
+            "baseline_total_s": base.elapsed_s,
+            "hyperq_dml_stmts": hyperq.dml_statements,
+            "baseline_stmts": base.statements,
+            "errors_recorded": hyperq.et_errors + hyperq.uv_errors,
+        })
+    return series
+
+
+# -- Section 9 note: parallel sessions ------------------------------------------------
+
+def sessions_series(scale: float = 1.0,
+                    session_counts: tuple[int, ...] = (2, 4, 8, 12, 16)
+                    ) -> list[dict]:
+    """Section 9 sweep: acquisition rate vs parallel sessions."""
+    rows = _scaled(10_000, scale)
+    series: list[dict] = []
+    for sessions in session_counts:
+        workload = make_workload(rows=rows, row_bytes=300, seed=90)
+        metrics = run_import_workload(
+            workload,
+            config=HyperQConfig(converters=4, filewriters=2, credits=64),
+            sessions=sessions, chunk_bytes=128 * 1024)
+        series.append({
+            "sessions": sessions,
+            "acquisition_s": metrics.acquisition_s,
+            "rate_MBps": round(metrics.acquisition_rate_mb_s, 2),
+        })
+    return series
+
+
+#: figure id -> (title, series function taking scale).
+FIGURES = {
+    "fig7": ("Figure 7: performance with dataset size",
+             lambda scale: fig7_series(scale)),
+    "fig7_paper_scale": (
+        "Figure 7 cross-check at paper scale (discrete-event model)",
+        lambda scale: fig7_paper_scale_series()),
+    "fig8": ("Figure 8: effect of row width (constant total bytes)",
+             lambda scale: fig8_series(scale)),
+    "fig9": ("Figure 9: acquisition scalability with CPU cores "
+             "(discrete-event model)",
+             lambda scale: fig9_series()),
+    "fig10": ("Figure 10: acquisition scalability with credit pool "
+              "size (discrete-event model)",
+              lambda scale: fig10_series()),
+    "fig11": ("Figure 11: error handling performance",
+              lambda scale: fig11_series(scale)),
+    "sessions": ("Acquisition rate vs parallel sessions (Section 9)",
+                 lambda scale: sessions_series(scale)),
+}
+
+
+def regenerate_all(out_dir: str, scale: float = 1.0,
+                   only: list[str] | None = None) -> dict[str, str]:
+    """Regenerate figures into ``out_dir``; returns {figure: path}."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: dict[str, str] = {}
+    for figure, (title, runner) in FIGURES.items():
+        if only and figure not in only:
+            continue
+        series = runner(scale)
+        text = format_series(title, series)
+        path = os.path.join(out_dir, f"{figure}.txt")
+        write_series(path, text)
+        written[figure] = path
+    return written

@@ -1,0 +1,98 @@
+"""End-to-end job runners used by the benchmarks and the examples.
+
+``build_stack`` assembles a complete virtualized environment (CDW engine,
+cloud store, Hyper-Q node); ``run_import_workload`` pushes a generated
+workload through it with an unmodified legacy client and returns the
+node-side :class:`~repro.core.metrics.JobMetrics` (phase split included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.gateway import HyperQNode
+from repro.core.metrics import JobMetrics
+from repro.legacy.client import ImportJobSpec, LegacyEtlClient
+from repro.workloads.generator import Workload
+
+__all__ = ["Stack", "build_stack", "run_import_workload",
+           "run_workload_through_hyperq"]
+
+
+@dataclass
+class Stack:
+    """A complete virtualized environment for one experiment."""
+
+    engine: CdwEngine
+    store: CloudStore
+    node: HyperQNode
+
+    def close(self) -> None:
+        """Stop the node and release the stack's resources."""
+        self.node.stop()
+
+    def __enter__(self) -> "Stack":
+        """Context-manager support: returns the stack itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the stack on context exit."""
+        self.close()
+
+
+def build_stack(config: HyperQConfig | None = None,
+                native_unique: bool = True,
+                link_bandwidth_bytes_per_s: float | None = None) -> Stack:
+    """Assemble engine + store + started Hyper-Q node."""
+    store = CloudStore(bandwidth_bytes_per_s=link_bandwidth_bytes_per_s)
+    engine = CdwEngine(store=store, native_unique=native_unique)
+    node = HyperQNode(engine, store, config=config).start()
+    return Stack(engine=engine, store=store, node=node)
+
+
+def run_workload_through_hyperq(stack: Stack, workload: Workload,
+                                sessions: int = 2,
+                                chunk_bytes: int = 64 * 1024,
+                                max_errors: int | None = None,
+                                max_retries: int | None = None,
+                                create_tables: bool = True) -> JobMetrics:
+    """Run one import job end to end; returns Hyper-Q's job metrics."""
+    client = LegacyEtlClient(stack.node.connect)
+    client.logon("cdw-host", "etl", "secret")
+    try:
+        if create_tables:
+            client.execute_sql(workload.ddl)
+        spec = ImportJobSpec(
+            target_table=workload.target_table,
+            et_table=workload.et_table,
+            uv_table=workload.uv_table,
+            layout=workload.layout,
+            apply_sql=workload.apply_sql,
+            data=workload.data,
+            format_spec=workload.format_spec,
+            sessions=sessions,
+            chunk_bytes=chunk_bytes,
+            max_errors=max_errors,
+            max_retries=max_retries,
+        )
+        client.run_import(spec)
+    finally:
+        client.logoff()
+    return stack.node.completed_jobs[-1]
+
+
+def run_import_workload(workload: Workload,
+                        config: HyperQConfig | None = None,
+                        sessions: int = 2,
+                        chunk_bytes: int = 64 * 1024,
+                        native_unique: bool = True,
+                        max_errors: int | None = None,
+                        max_retries: int | None = None) -> JobMetrics:
+    """Convenience: fresh stack, one job, teardown."""
+    with build_stack(config=config, native_unique=native_unique) as stack:
+        return run_workload_through_hyperq(
+            stack, workload, sessions=sessions, chunk_bytes=chunk_bytes,
+            max_errors=max_errors, max_retries=max_retries)

@@ -1,0 +1,49 @@
+"""Series formatting for benchmark output.
+
+Each figure's benchmark prints a table with the same rows/series the
+paper reports and also writes it under ``benchmarks/results/`` so the
+tables survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["format_series", "write_series"]
+
+
+def format_series(title: str, rows: list[dict],
+                  note: str = "") -> str:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        return f"== {title} ==\n(no data)\n"
+    columns = list(rows[0].keys())
+    rendered = [[_cell(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+    lines = [f"== {title} =="]
+    if note:
+        lines.append(note)
+    lines.append("  ".join(
+        str(c).ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def write_series(path: str, text: str) -> None:
+    """Write a rendered table, creating the results directory."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,546 @@
+"""Scalar expression evaluation over AST expressions.
+
+Shared by the CDW engine and the reference legacy server: the two systems
+agree on expression *semantics* (SQL three-valued logic, NULL propagation,
+cast rules) and differ only in statement-level error handling, which lives
+in their respective executors.
+
+The evaluator understands both dialects' constructs: legacy ``CAST .. AS
+DATE FORMAT 'fmt'`` is evaluated directly (the legacy server executes
+un-rewritten SQL) and CDW ``TO_DATE(x, 'fmt')`` uses the same machinery —
+by construction the cross-compiled query computes the same value.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+from typing import Callable
+
+from repro import values
+from repro.cdw.types import cdw_type_from_node
+from repro.errors import ExpressionError, SqlTranslationError
+from repro.sqlxc import nodes as n
+
+__all__ = ["RowContext", "evaluate", "is_true"]
+
+#: signature of the hook the engine provides for subquery evaluation.
+SubqueryRunner = Callable[[n.Select, "RowContext"], list[tuple]]
+
+
+class RowContext:
+    """Column bindings for one evaluation: binding name -> (columns, row).
+
+    ``bindings`` preserves insertion order; unqualified column lookup
+    searches all bindings and raises on ambiguity.
+    """
+
+    def __init__(self,
+                 bindings: dict[str, tuple[list[str], tuple]] | None = None,
+                 parent: "RowContext | None" = None):
+        self._bindings: dict[str, tuple[list[str], tuple]] = {}
+        self.parent = parent
+        for binding, (columns, row) in (bindings or {}).items():
+            self.bind(binding, columns, row)
+
+    def bind(self, binding: str, columns: list[str], row: tuple) -> None:
+        """Add (or replace) a binding: columns and one row."""
+        self._bindings[binding.upper()] = (
+            [c.upper() for c in columns], row)
+
+    def resolve(self, name: str, table: str | None = None):
+        """Resolve a column reference to its value."""
+        upper = name.upper()
+        if table is not None:
+            entry = self._bindings.get(table.upper())
+            if entry is None:
+                if self.parent is not None:
+                    return self.parent.resolve(name, table)
+                raise ExpressionError(
+                    f"unknown table or alias {table!r}")
+            columns, row = entry
+            if upper not in columns:
+                raise ExpressionError(
+                    f"{table}.{name} does not exist", field=name)
+            return row[columns.index(upper)]
+        matches = []
+        for columns, row in self._bindings.values():
+            if upper in columns:
+                matches.append(row[columns.index(upper)])
+        if len(matches) > 1:
+            raise ExpressionError(f"ambiguous column {name!r}", field=name)
+        if matches:
+            return matches[0]
+        if self.parent is not None:
+            return self.parent.resolve(name)
+        raise ExpressionError(f"unknown column {name!r}", field=name)
+
+
+def is_true(value) -> bool:
+    """SQL WHERE semantics: only TRUE passes (NULL/unknown does not)."""
+    return value is True
+
+
+def evaluate(expr: n.Expr, ctx: RowContext,
+             subquery_runner: SubqueryRunner | None = None):
+    """Evaluate a scalar expression in a row context."""
+    return _Evaluator(ctx, subquery_runner).eval(expr)
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _numeric(value, what: str):
+    if isinstance(value, (int, float, Decimal)) \
+            and not isinstance(value, bool):
+        return value
+    raise ExpressionError(f"{what} needs a numeric operand, got "
+                          f"{type(value).__name__}")
+
+
+class _Evaluator:
+    def __init__(self, ctx: RowContext,
+                 subquery_runner: SubqueryRunner | None):
+        self.ctx = ctx
+        self.subquery_runner = subquery_runner
+
+    def eval(self, expr: n.Expr):
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise ExpressionError(
+                f"cannot evaluate {type(expr).__name__} node")
+        return method(expr)
+
+    # -- leaves ------------------------------------------------------------
+
+    def _eval_Literal(self, expr: n.Literal):
+        return expr.value
+
+    def _eval_ColumnRef(self, expr: n.ColumnRef):
+        return self.ctx.resolve(expr.name, expr.table)
+
+    def _eval_HostParam(self, expr: n.HostParam):
+        raise ExpressionError(
+            f"host parameter :{expr.name} reached the evaluator unbound")
+
+    def _eval_BoundParam(self, expr: n.BoundParam):
+        return expr.value
+
+    @staticmethod
+    def _provenance(expr: n.Expr) -> str | None:
+        """The input field an expression's value came from, if traceable."""
+        for node in n.walk(expr):
+            if isinstance(node, (n.BoundParam, n.ColumnRef)):
+                return node.name
+        return None
+
+    # -- operators -----------------------------------------------------------
+
+    def _eval_UnaryOp(self, expr: n.UnaryOp):
+        value = self.eval(expr.operand)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return not value
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -_numeric(value, "unary minus")
+        return _numeric(value, "unary plus")
+
+    def _eval_BinaryOp(self, expr: n.BinaryOp):
+        op = expr.op
+        if op in ("AND", "OR"):
+            return self._logical(op, expr.left, expr.right)
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return self._to_text(left) + self._to_text(right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return self._compare(op, left, right)
+        if left is None or right is None:
+            return None
+        left = _numeric(left, op)
+        right = _numeric(right, op)
+        if isinstance(left, Decimal) or isinstance(right, Decimal):
+            left, right = Decimal(str(left)), Decimal(str(right))
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExpressionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)  # SQL integer division
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ExpressionError("division by zero")
+            return left % right
+        raise ExpressionError(f"unknown operator {op!r}")
+
+    def _logical(self, op: str, left_expr: n.Expr, right_expr: n.Expr):
+        left = self.eval(left_expr)
+        if op == "AND":
+            if left is False:
+                return False
+            right = self.eval(right_expr)
+            if left is None or right is None:
+                return False if right is False else None
+            return bool(left) and bool(right)
+        # OR
+        if left is True:
+            return True
+        right = self.eval(right_expr)
+        if left is None or right is None:
+            return True if right is True else None
+        return bool(left) or bool(right)
+
+    @staticmethod
+    def _to_text(value) -> str:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, values.Timestamp):
+            return value.isoformat(sep=" ")
+        if isinstance(value, values.Date):
+            return value.isoformat()
+        return str(value)
+
+    def _compare(self, op: str, left, right):
+        if left is None or right is None:
+            return None
+        left, right = self._align(left, right)
+        try:
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot compare {type(left).__name__} with "
+                f"{type(right).__name__}") from exc
+
+    @staticmethod
+    def _align(left, right):
+        """Align operand types for comparison (CHAR padding, numerics)."""
+        if isinstance(left, str) and isinstance(right, str):
+            # CHAR semantics: trailing blanks do not affect comparison.
+            return left.rstrip(), right.rstrip()
+        if isinstance(left, Decimal) and isinstance(right, float):
+            return float(left), right
+        if isinstance(left, float) and isinstance(right, Decimal):
+            return left, float(right)
+        if isinstance(left, values.Timestamp) != isinstance(
+                right, values.Timestamp) and isinstance(
+                left, values.Date) and isinstance(right, values.Date):
+            # date vs timestamp: promote the date to midnight.
+            if not isinstance(left, values.Timestamp):
+                left = values.Timestamp(left.year, left.month, left.day)
+            if not isinstance(right, values.Timestamp):
+                right = values.Timestamp(right.year, right.month, right.day)
+        return left, right
+
+    # -- predicates -------------------------------------------------------------
+
+    def _eval_IsNull(self, expr: n.IsNull):
+        value = self.eval(expr.operand)
+        result = value is None
+        return not result if expr.negated else result
+
+    def _eval_Between(self, expr: n.Between):
+        value = self.eval(expr.operand)
+        low = self.eval(expr.low)
+        high = self.eval(expr.high)
+        ge = self._compare(">=", value, low)
+        le = self._compare("<=", value, high)
+        if ge is None or le is None:
+            result = None
+        else:
+            result = ge and le
+        if expr.negated and result is not None:
+            return not result
+        return result
+
+    def _eval_Like(self, expr: n.Like):
+        value = self.eval(expr.operand)
+        pattern = self.eval(expr.pattern)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise ExpressionError("LIKE needs string operands")
+        result = bool(_like_to_regex(pattern).match(value))
+        return not result if expr.negated else result
+
+    def _eval_InExpr(self, expr: n.InExpr):
+        value = self.eval(expr.operand)
+        if expr.subquery is not None:
+            rows = self._run_subquery(expr.subquery)
+            candidates = [row[0] for row in rows]
+        else:
+            candidates = [self.eval(item) for item in expr.items]
+        if value is None:
+            return None
+        found = False
+        saw_null = False
+        for candidate in candidates:
+            if candidate is None:
+                saw_null = True
+                continue
+            if self._compare("=", value, candidate) is True:
+                found = True
+                break
+        if found:
+            result = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        if expr.negated and result is not None:
+            return not result
+        return result
+
+    def _eval_Exists(self, expr: n.Exists):
+        rows = self._run_subquery(expr.subquery)
+        result = bool(rows)
+        return not result if expr.negated else result
+
+    def _eval_SubqueryExpr(self, expr: n.SubqueryExpr):
+        rows = self._run_subquery(expr.subquery)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExpressionError("scalar subquery returned several rows")
+        return rows[0][0]
+
+    def _run_subquery(self, select: n.Select) -> list[tuple]:
+        if self.subquery_runner is None:
+            raise ExpressionError(
+                "subqueries are not available in this context")
+        return self.subquery_runner(select, self.ctx)
+
+    # -- conversions ---------------------------------------------------------------
+
+    def _eval_Cast(self, expr: n.Cast):
+        value = self.eval(expr.operand)
+        if value is None:
+            return None
+        ctype = cdw_type_from_node(expr.type)
+        field = self._provenance(expr.operand)
+        try:
+            if expr.format is not None:
+                if ctype.base == "DATE":
+                    if isinstance(value, values.Date):
+                        return value
+                    return values.parse_date(
+                        str(value), expr.format, field=field)
+                if ctype.base == "TIMESTAMP":
+                    if isinstance(value, values.Timestamp):
+                        return value
+                    return values.parse_timestamp(str(value), field=field)
+                raise SqlTranslationError(
+                    f"FORMAT cast to {expr.type.base} is not supported")
+            return ctype.coerce(value, field=field)
+        except ExpressionError as exc:
+            if exc.field is None:
+                exc.field = field
+            raise
+
+    def _eval_CaseExpr(self, expr: n.CaseExpr):
+        for when in expr.whens:
+            if is_true(self.eval(when.condition)):
+                return self.eval(when.result)
+        if expr.else_result is not None:
+            return self.eval(expr.else_result)
+        return None
+
+    # -- functions --------------------------------------------------------------------
+
+    def _eval_FuncCall(self, expr: n.FuncCall):
+        name = expr.name.upper()
+        handler = _FUNCTIONS.get(name)
+        if handler is None:
+            raise ExpressionError(f"unknown function {name}")
+        args = [self.eval(a) for a in expr.args]
+        try:
+            return handler(args)
+        except ExpressionError as exc:
+            if exc.field is None and expr.args:
+                exc.field = self._provenance(expr.args[0])
+            raise
+
+    def _eval_Star(self, expr: n.Star):
+        raise ExpressionError("'*' is only valid in a select list")
+
+
+# -- scalar function library ---------------------------------------------------
+
+def _need_str(value, fn: str) -> str:
+    if isinstance(value, str):
+        return value
+    raise ExpressionError(f"{fn} needs a string argument, got "
+                          f"{type(value).__name__}")
+
+
+def _null_passthrough(fn):
+    def wrapper(args):
+        if args and args[0] is None:
+            return None
+        return fn(args)
+    return wrapper
+
+
+def _fn_substr(args):
+    if args[0] is None:
+        return None
+    text = _need_str(args[0], "SUBSTR")
+    start = int(args[1])
+    begin = max(start - 1, 0)
+    if len(args) >= 3:
+        if args[2] is None:
+            return None
+        length = int(args[2])
+        if length < 0:
+            raise ExpressionError("SUBSTR length must be non-negative")
+        return text[begin:begin + length]
+    return text[begin:]
+
+
+def _fn_coalesce(args):
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_nullif(args):
+    a, b = args
+    if a is None:
+        return None
+    if b is not None and a == b:
+        return None
+    return a
+
+
+def _fn_to_date(args):
+    if args[0] is None:
+        return None
+    fmt = args[1] if len(args) > 1 and args[1] is not None \
+        else values.DEFAULT_DATE_FORMAT
+    if isinstance(args[0], values.Date) \
+            and not isinstance(args[0], values.Timestamp):
+        return args[0]
+    return values.parse_date(str(args[0]), fmt)
+
+
+def _fn_to_timestamp(args):
+    if args[0] is None:
+        return None
+    if isinstance(args[0], values.Timestamp):
+        return args[0]
+    return values.parse_timestamp(str(args[0]))
+
+
+def _fn_mod(args):
+    if args[0] is None or args[1] is None:
+        return None
+    if args[1] == 0:
+        raise ExpressionError("MOD by zero")
+    return args[0] % args[1]
+
+
+def _fn_extract(args):
+    part, value = args[0], args[1]
+    if value is None:
+        return None
+    if not isinstance(value, values.Date):
+        raise ExpressionError(
+            f"EXTRACT needs a date/timestamp, got "
+            f"{type(value).__name__}")
+    part = str(part).upper()
+    if part == "YEAR":
+        return value.year
+    if part == "MONTH":
+        return value.month
+    if part == "DAY":
+        return value.day
+    if part in ("HOUR", "MINUTE", "SECOND"):
+        if not isinstance(value, values.Timestamp):
+            return 0
+        return {"HOUR": value.hour, "MINUTE": value.minute,
+                "SECOND": value.second}[part]
+    if part == "DOW":
+        return value.isoweekday() % 7  # Sunday = 0
+    if part == "DOY":
+        return value.timetuple().tm_yday
+    raise ExpressionError(f"unknown EXTRACT part {part!r}")
+
+
+def _fn_round(args):
+    if args[0] is None:
+        return None
+    digits = int(args[1]) if len(args) > 1 else 0
+    value = _numeric(args[0], "ROUND")
+    if isinstance(value, Decimal):
+        quantum = Decimal(1).scaleb(-digits)
+        return value.quantize(quantum)
+    return round(float(value), digits)
+
+
+_FUNCTIONS = {
+    "TRIM": _null_passthrough(lambda a: _need_str(a[0], "TRIM").strip()),
+    "LTRIM": _null_passthrough(lambda a: _need_str(a[0], "LTRIM").lstrip()),
+    "RTRIM": _null_passthrough(lambda a: _need_str(a[0], "RTRIM").rstrip()),
+    "UPPER": _null_passthrough(lambda a: _need_str(a[0], "UPPER").upper()),
+    "LOWER": _null_passthrough(lambda a: _need_str(a[0], "LOWER").lower()),
+    "LENGTH": _null_passthrough(lambda a: len(_need_str(a[0], "LENGTH"))),
+    "CHAR_LENGTH": _null_passthrough(
+        lambda a: len(_need_str(a[0], "CHAR_LENGTH"))),
+    "SUBSTR": _fn_substr,
+    "SUBSTRING": _fn_substr,
+    "STRPOS": _null_passthrough(
+        lambda a: None if a[1] is None
+        else _need_str(a[0], "STRPOS").find(_need_str(a[1], "STRPOS")) + 1),
+    "COALESCE": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+    "ABS": _null_passthrough(lambda a: abs(_numeric(a[0], "ABS"))),
+    "MOD": _fn_mod,
+    "ROUND": _fn_round,
+    "FLOOR": _null_passthrough(
+        lambda a: int(__import__("math").floor(_numeric(a[0], "FLOOR")))),
+    "CEIL": _null_passthrough(
+        lambda a: int(__import__("math").ceil(_numeric(a[0], "CEIL")))),
+    "CEILING": _null_passthrough(
+        lambda a: int(__import__("math").ceil(_numeric(a[0], "CEILING")))),
+    "TO_DATE": _fn_to_date,
+    "TO_TIMESTAMP": _fn_to_timestamp,
+    "EXTRACT": _fn_extract,
+    # Legacy-dialect spellings (the reference server evaluates them raw).
+    "ZEROIFNULL": lambda a: 0 if a[0] is None else a[0],
+    "NULLIFZERO": lambda a: None if a[0] == 0 else a[0],
+    "INDEX": _null_passthrough(
+        lambda a: None if a[1] is None
+        else _need_str(a[0], "INDEX").find(_need_str(a[1], "INDEX")) + 1),
+    "CONCAT": lambda a: None if any(v is None for v in a)
+    else "".join(_Evaluator._to_text(v) for v in a),
+}

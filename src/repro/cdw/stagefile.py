@@ -1,0 +1,146 @@
+"""The CDW's CSV bulk-ingest file format.
+
+This is the serialization the DataConverter targets and ``COPY INTO``
+consumes.  Unlike legacy VARTEXT, it distinguishes SQL NULL (the unquoted
+marker ``\\N``) from the empty string (``""``) — exactly the discrepancy
+Section 4 says the conversion layer must bridge — and uses RFC-4180-style
+quoting for delimiters, quotes, and newlines inside values.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from decimal import Decimal
+from typing import Iterable, Iterator
+
+from repro import values
+from repro.errors import DataFormatError
+
+__all__ = [
+    "encode_csv_row", "encode_csv_rows", "decode_csv_rows",
+    "compress", "decompress", "NULL_MARKER",
+]
+
+NULL_MARKER = "\\N"
+
+
+def _render_value(value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float, Decimal)):
+        return str(value)
+    if isinstance(value, values.Timestamp):
+        return value.isoformat(sep=" ")
+    if isinstance(value, values.Date):
+        return value.isoformat()
+    raise DataFormatError(
+        f"cannot serialize {type(value).__name__} into a staging file")
+
+
+def _quote(text: str, delimiter: str) -> str:
+    needs_quoting = (
+        delimiter in text or '"' in text or "\n" in text
+        or "\r" in text or text == NULL_MARKER or text == ""
+    )
+    if needs_quoting:
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def encode_csv_row(row: tuple, delimiter: str = ",") -> str:
+    """Encode one row; NULLs become the unquoted ``\\N`` marker."""
+    rendered = [
+        NULL_MARKER if value is None
+        else _quote(_render_value(value), delimiter)
+        for value in row
+    ]
+    return delimiter.join(rendered) + "\n"
+
+
+def encode_csv_rows(rows: Iterable[tuple], delimiter: str = ",") -> bytes:
+    """Encode many rows into staging-file bytes."""
+    return "".join(
+        encode_csv_row(row, delimiter) for row in rows).encode("utf-8")
+
+
+def decode_csv_rows(data: bytes,
+                    delimiter: str = ",") -> Iterator[tuple[str | None, ...]]:
+    """Decode a staging file back into rows of ``str | None`` fields.
+
+    Typing is the COPY target table's job; the file format itself only
+    distinguishes NULL from text.
+    """
+    text = data.decode("utf-8")
+    pos = 0
+    n = len(text)
+    while pos < n:
+        row: list[str | None] = []
+        field_chars: list[str] = []
+        quoted = False
+        was_quoted = False
+        while pos < n:
+            ch = text[pos]
+            if quoted:
+                if ch == '"':
+                    if pos + 1 < n and text[pos + 1] == '"':
+                        field_chars.append('"')
+                        pos += 2
+                        continue
+                    quoted = False
+                    pos += 1
+                    continue
+                field_chars.append(ch)
+                pos += 1
+                continue
+            if ch == '"' and not field_chars:
+                quoted = True
+                was_quoted = True
+                pos += 1
+                continue
+            if ch == delimiter:
+                row.append(_finish_field(field_chars, was_quoted))
+                field_chars = []
+                was_quoted = False
+                pos += 1
+                continue
+            if ch == "\n":
+                pos += 1
+                break
+            if ch == "\r":
+                pos += 1
+                continue
+            field_chars.append(ch)
+            pos += 1
+        else:
+            if quoted:
+                raise DataFormatError("unterminated quoted CSV field")
+        row.append(_finish_field(field_chars, was_quoted))
+        yield tuple(row)
+
+
+def _finish_field(chars: list[str], was_quoted: bool) -> str | None:
+    text = "".join(chars)
+    if not was_quoted and text == NULL_MARKER:
+        return None
+    return text
+
+
+def compress(data: bytes) -> bytes:
+    """Apply the staging-file compression (gzip) used before upload."""
+    buffer = io.BytesIO()
+    # mtime=0 keeps output deterministic for tests.
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+        handle.write(data)
+    return buffer.getvalue()
+
+
+def decompress(data: bytes) -> bytes:
+    """Undo :func:`compress`, mapping corruption to DataFormatError."""
+    try:
+        return gzip.decompress(data)
+    except (OSError, EOFError) as exc:
+        raise DataFormatError(f"corrupt compressed staging file: {exc}") \
+            from exc

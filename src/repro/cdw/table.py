@@ -1,0 +1,171 @@
+"""Catalog and row storage for the CDW engine (and the legacy server).
+
+Tables store rows as plain tuples.  Uniqueness enforcement is *declared*
+here but *checked* by the engine at statement commit, so that violation
+semantics stay set-oriented.  ``native_unique=False`` on the engine makes
+declared keys advisory — modelling CDWs without native uniqueness support,
+for which Hyper-Q "enforces uniqueness through emulation" (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdw.types import CdwType
+from repro.errors import BulkExecutionError, CatalogError, ExpressionError
+
+__all__ = ["ColumnSpec", "CdwTable", "Catalog"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    name: str
+    ctype: CdwType
+    nullable: bool = True
+
+
+class CdwTable:
+    """One table: schema, rows, and declared unique keys."""
+
+    def __init__(self, name: str, columns: list[ColumnSpec],
+                 unique_keys: list[tuple[str, ...]] | None = None):
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns = list(columns)
+        self._index = {c.name.upper(): i for i, c in enumerate(columns)}
+        if len(self._index) != len(columns):
+            raise CatalogError(f"table {name!r} has duplicate column names")
+        self.unique_keys: list[tuple[int, ...]] = []
+        for key in unique_keys or []:
+            self.unique_keys.append(
+                tuple(self.column_index(col) for col in key))
+        self.rows: list[tuple] = []
+        #: name of a column the rows are known to be sorted by (set by
+        #: Hyper-Q's Beta after sorting the staging table); lets the
+        #: engine slice BETWEEN-range scans with binary search instead of
+        #: a full scan.  The setter must guarantee the order holds.
+        self.sorted_by: str | None = None
+
+    # -- schema -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Position of a column by (case-insensitive) name."""
+        try:
+            return self._index[name.upper()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}") from None
+
+    def column(self, name: str) -> ColumnSpec:
+        """The ColumnSpec for a column name."""
+        return self.columns[self.column_index(name)]
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column of this name exists."""
+        return name.upper() in self._index
+
+    # -- row validation -----------------------------------------------------
+
+    def coerce_row(self, row: tuple) -> tuple:
+        """Type-coerce one candidate row against the schema.
+
+        Raises :class:`ExpressionError` on a bad value and
+        :class:`BulkExecutionError` for NOT NULL violations (both are
+        turned into statement-level aborts by the engine).
+        """
+        if len(row) != self.arity:
+            raise BulkExecutionError(
+                f"row has {len(row)} values, table {self.name!r} has "
+                f"{self.arity} columns")
+        coerced = []
+        for value, spec in zip(row, self.columns):
+            if value is None and not spec.nullable:
+                raise BulkExecutionError(
+                    f"NULL in NOT NULL column {spec.name} of {self.name}",
+                    field=spec.name)
+            coerced.append(spec.ctype.coerce(value, field=spec.name))
+        return tuple(coerced)
+
+    def unique_key_values(self, row: tuple) -> list[tuple]:
+        """Key tuples of ``row`` for each declared unique key.
+
+        Keys containing a NULL do not participate in uniqueness (standard
+        SQL semantics).
+        """
+        out = []
+        for key in self.unique_keys:
+            key_value = tuple(row[i] for i in key)
+            out.append(None if any(v is None for v in key_value)
+                       else key_value)
+        return out
+
+    def check_unique(self, candidate_rows: list[tuple],
+                     field_hint: str | None = None) -> None:
+        """Verify ``candidate_rows`` (the table's would-be full contents)
+        satisfy every declared unique key; raise a *uniqueness*
+        BulkExecutionError otherwise (without identifying the row)."""
+        for key_no, key in enumerate(self.unique_keys):
+            seen: set[tuple] = set()
+            for row in candidate_rows:
+                key_value = tuple(row[i] for i in key)
+                if any(v is None for v in key_value):
+                    continue
+                if key_value in seen:
+                    columns = ", ".join(
+                        self.columns[i].name for i in key)
+                    raise BulkExecutionError(
+                        f"uniqueness violation on {self.name}({columns})",
+                        kind="uniqueness",
+                        field=field_hint or self.columns[key[0]].name)
+                seen.add(key_value)
+
+
+@dataclass
+class Catalog:
+    """The engine's table namespace."""
+
+    tables: dict[str, CdwTable] = field(default_factory=dict)
+
+    def create(self, table: CdwTable, if_not_exists: bool = False) -> bool:
+        """Register a table; returns False if it already existed."""
+        key = table.name.upper()
+        if key in self.tables:
+            if if_not_exists:
+                return False
+            raise CatalogError(f"table {table.name!r} already exists")
+        self.tables[key] = table
+        return True
+
+    def drop(self, name: str, if_exists: bool = False) -> bool:
+        """Remove a table; returns False for if_exists no-ops."""
+        key = name.upper()
+        if key not in self.tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"no such table {name!r}")
+        del self.tables[key]
+        return True
+
+    def get(self, name: str) -> CdwTable:
+        """Look up a table; raises CatalogError if absent."""
+        try:
+            return self.tables[name.upper()]
+        except KeyError:
+            raise CatalogError(f"no such table {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        """Whether a table of this name exists."""
+        return name.upper() in self.tables
+
+    def names(self) -> list[str]:
+        """Sorted names of every table."""
+        return sorted(t.name for t in self.tables.values())

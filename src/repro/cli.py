@@ -1,0 +1,298 @@
+"""Command-line interface.
+
+Four subcommands, mirroring how the real product is operated:
+
+- ``run-script`` — execute a legacy ETL job script against a freshly
+  built virtualized stack (Hyper-Q in front of a CDW) or against the
+  reference legacy server, and print job results;
+- ``transpile``  — cross compile one legacy SQL statement to the CDW
+  dialect;
+- ``analyze``    — qInsight-style translatability report over a corpus
+  of job scripts;
+- ``simulate``   — run the discrete-event acquisition model with chosen
+  machine parameters.
+
+Usage: ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtualized legacy ETL pipelines (EDBT'23 repro)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run-script", help="execute a legacy ETL job script")
+    run.add_argument("script", help="path to the job script")
+    run.add_argument("--backend", choices=("hyperq", "legacy"),
+                     default="hyperq",
+                     help="virtualized CDW (default) or reference "
+                          "legacy server")
+    run.add_argument("--connect", default=None, metavar="HOST:PORT",
+                     help="run against an already-serving node over "
+                          "TCP instead of building a local stack")
+    run.add_argument("--base-dir", default=None,
+                     help="directory input files are read from "
+                          "(default: the script's directory)")
+    run.add_argument("--sessions-credits", type=int, default=16,
+                     dest="credits", help="Hyper-Q credit pool size")
+    run.add_argument("--show-tables", action="store_true",
+                     help="dump every table after the run")
+
+    serve = sub.add_parser(
+        "serve", help="serve a Hyper-Q node on a TCP port")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8855)
+    serve.add_argument("--credits", type=int, default=16)
+    serve.add_argument("--duration", type=float, default=None,
+                       help="stop after this many seconds "
+                            "(default: run until interrupted)")
+
+    transpile = sub.add_parser(
+        "transpile", help="cross compile one legacy SQL statement")
+    transpile.add_argument("sql", help="legacy SQL text (quote it)")
+    transpile.add_argument("--bind", default=None, metavar="F1,F2",
+                           help="bind host :params as staging columns "
+                                "of these layout fields")
+
+    analyze = sub.add_parser(
+        "analyze", help="qInsight translatability report")
+    analyze.add_argument("paths", nargs="+",
+                         help="script files or directories of scripts")
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figures as text tables")
+    figures.add_argument("--out", default="figures-out",
+                         help="output directory")
+    figures.add_argument("--scale", type=float, default=1.0,
+                         help="row-count multiplier for the "
+                              "real-execution figures")
+    figures.add_argument("--only", nargs="*", default=None,
+                         help="subset of figure ids (fig7 fig8 fig9 "
+                              "fig10 fig11 sessions fig7_paper_scale)")
+
+    simulate = sub.add_parser(
+        "simulate", help="discrete-event acquisition model")
+    simulate.add_argument("--rows", type=int, default=1_000_000)
+    simulate.add_argument("--row-bytes", type=int, default=500)
+    simulate.add_argument("--cores", type=int, default=8)
+    simulate.add_argument("--credits", type=int, default=32)
+    simulate.add_argument("--sessions", type=int, default=8)
+    simulate.add_argument("--memory-gb", type=float, default=64.0)
+    simulate.add_argument("--compression", action="store_true")
+    simulate.add_argument("--synchronous-ack", action="store_true")
+    return parser
+
+
+def _cmd_run_script(args) -> int:
+    from repro.bench.harness import build_stack
+    from repro.core.config import HyperQConfig
+    from repro.legacy.script import ScriptInterpreter, parse_script
+    from repro.legacy.server import LegacyServer
+
+    with open(args.script, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    base_dir = args.base_dir or os.path.dirname(
+        os.path.abspath(args.script))
+    script = parse_script(source)
+
+    if args.connect:
+        from repro.net_tcp import connect_tcp
+        host, _, port = args.connect.rpartition(":")
+        connect = lambda: connect_tcp(host or "127.0.0.1", int(port))  # noqa: E731
+        engine = None
+        closer = lambda: None  # noqa: E731
+    elif args.backend == "legacy":
+        backend = LegacyServer().start()
+        connect = backend.connect
+        engine = backend.engine
+        closer = backend.stop
+    else:
+        stack = build_stack(config=HyperQConfig(credits=args.credits))
+        connect = stack.node.connect
+        engine = stack.engine
+        closer = stack.close
+    try:
+        interpreter = ScriptInterpreter(connect, base_dir=base_dir)
+        result = interpreter.run(script)
+        for i, job in enumerate(result.imports):
+            print(f"import #{i + 1}: {job.rows_inserted} inserted, "
+                  f"{job.rows_updated} updated, {job.rows_deleted} "
+                  f"deleted, {job.et_errors} ET errors, "
+                  f"{job.uv_errors} UV errors")
+        for i, job in enumerate(result.exports):
+            print(f"export #{i + 1}: {job.rows_exported} rows, "
+                  f"{len(job.data)} bytes")
+        for name, data in interpreter.files.items():
+            path = os.path.join(base_dir, name)
+            if not os.path.exists(path):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+                print(f"wrote {path} ({len(data)} bytes)")
+        if args.show_tables and engine is not None:
+            for table in engine.catalog.names():
+                rows = engine.query(f'SELECT * FROM "{table}"') \
+                    if not table.isidentifier() else \
+                    engine.query(f"SELECT * FROM {table}")
+                print(f"\n{table} ({len(rows)} rows):")
+                for row in rows[:20]:
+                    print("  " + " | ".join(
+                        "NULL" if v is None else str(v) for v in row))
+    finally:
+        closer()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.cdw.cloudstore import CloudStore
+    from repro.cdw.engine import CdwEngine
+    from repro.core.config import HyperQConfig
+    from repro.core.gateway import HyperQNode
+    from repro.net_tcp import TcpListener
+
+    store = CloudStore()
+    engine = CdwEngine(store=store)
+    listener = TcpListener(host=args.host, port=args.port)
+    node = HyperQNode(engine, store,
+                      HyperQConfig(credits=args.credits),
+                      listener=listener)
+    node.start()
+    print(f"Hyper-Q serving on {listener.host}:{listener.port} "
+          f"(credits={args.credits})", flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        node.stop()
+        stats = node.stats()
+        print(f"served {stats['completed_jobs']} jobs, "
+              f"{stats['rows_loaded']} rows")
+    return 0
+
+
+def _cmd_transpile(args) -> int:
+    from repro.sqlxc import (
+        bind_params_to_columns, parse_statement, render, to_cdw,
+    )
+    statement = parse_statement(args.sql, dialect="legacy")
+    if args.bind:
+        fields = [f.strip() for f in args.bind.split(",") if f.strip()]
+        statement = bind_params_to_columns(statement, fields, "s")
+    print(render(to_cdw(statement), "cdw"))
+    return 0
+
+
+def _collect_scripts(paths: list[str]) -> dict[str, str]:
+    scripts: dict[str, str] = {}
+    for path in paths:
+        if os.path.isdir(path):
+            for entry in sorted(os.listdir(path)):
+                full = os.path.join(path, entry)
+                if os.path.isfile(full) and entry.endswith(
+                        (".etl", ".job", ".script", ".txt")):
+                    with open(full, "r", encoding="utf-8") as handle:
+                        scripts[entry] = handle.read()
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                scripts[os.path.basename(path)] = handle.read()
+    return scripts
+
+
+def _cmd_analyze(args) -> int:
+    from repro.qinsight import WorkloadAnalyzer
+    scripts = _collect_scripts(args.paths)
+    if not scripts:
+        print("no scripts found", file=sys.stderr)
+        return 1
+    report = WorkloadAnalyzer().analyze_corpus(scripts)
+    print(report.render())
+    return 0 if report.ok_fraction == 1.0 else 2
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench.figures import FIGURES, regenerate_all
+    only = args.only
+    if only:
+        unknown = [f for f in only if f not in FIGURES]
+        if unknown:
+            print(f"unknown figures: {', '.join(unknown)} "
+                  f"(known: {', '.join(FIGURES)})", file=sys.stderr)
+            return 1
+    written = regenerate_all(args.out, scale=args.scale, only=only)
+    for figure, path in written.items():
+        print(f"{figure}: {path}")
+        with open(path, "r", encoding="utf-8") as handle:
+            print(handle.read())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import SimParams, simulate_acquisition
+    params = SimParams(
+        rows=args.rows, row_bytes=args.row_bytes, cores=args.cores,
+        credits=args.credits, sessions=args.sessions,
+        memory_limit_bytes=int(args.memory_gb * (1 << 30)),
+        compression=args.compression,
+        synchronous_ack=args.synchronous_ack)
+    report = simulate_acquisition(params)
+    if report.crashed:
+        print(f"CRASHED (out of memory) at t={report.crash_time:.1f}s, "
+              f"peak memory {report.peak_memory_bytes / 2**30:.2f} GiB")
+        return 3
+    print(f"total time          : {report.total_time:.2f} s")
+    print(f"acquisition time    : {report.acquisition_time:.2f} s")
+    print(f"setup/teardown      : {report.setup_teardown_time:.2f} s")
+    print(f"throughput          : "
+          f"{report.throughput_bytes_per_s / 2**20:.1f} MiB/s")
+    print(f"peak runnable tasks : {report.peak_runnable_tasks}")
+    print(f"peak memory         : "
+          f"{report.peak_memory_bytes / 2**20:.1f} MiB")
+    print(f"blocked acquires    : {report.credit_blocked_acquires}")
+    print(f"files uploaded      : {report.files_uploaded}")
+    return 0
+
+
+_COMMANDS = {
+    "run-script": _cmd_run_script,
+    "serve": _cmd_serve,
+    "transpile": _cmd_transpile,
+    "analyze": _cmd_analyze,
+    "figures": _cmd_figures,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

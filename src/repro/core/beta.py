@@ -1,0 +1,325 @@
+"""Beta: executes the cross-compiled DML and decodes its results.
+
+The Beta process (Figure 2a) handles the *application phase* of a load
+job: the client's tuple-at-a-time DML — already cross compiled and bound
+over the staging table by the PXC — is executed as set-oriented DML over
+staging-row ranges, under the adaptive error handler of Section 7.  Beta
+also owns uniqueness *emulation* for CDWs without native unique
+constraints (Section 7, citing [26]): after each chunk's DML it validates
+the declared keys and rolls the chunk back if they broke.
+
+Error tables written here follow Figure 6: transformation errors carry
+code 3103 and messages like ``DATE conversion failed during DML on
+PROD.CUSTOMER, row number: 2``; an exhausted error budget is recorded as
+code 9057 with a row-number range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.converter import AcquisitionError
+from repro.core.errorhandling import AdaptiveErrorHandler, ApplyOutcome
+from repro.errors import (
+    HYPERQ_CONVERSION_ERROR, HYPERQ_MAX_ERRORS_REACHED,
+    HYPERQ_UNIQUENESS_ERROR, BulkExecutionError, GatewayError,
+    SqlTranslationError,
+)
+from repro.legacy.types import Layout
+from repro.sqlxc import nodes as n
+from repro.sqlxc.parser import parse_statement
+from repro.sqlxc.rewrites import bind_params_to_columns, to_cdw
+
+__all__ = ["Beta", "ApplySummary", "SEQ_COLUMN", "STAGING_ALIAS"]
+
+#: the synthetic order column Hyper-Q adds to every staging table.
+SEQ_COLUMN = "__SEQ"
+#: alias the staging table is bound under in rewritten DML.
+STAGING_ALIAS = "s"
+
+
+@dataclass
+class ApplySummary:
+    """What the application phase did (returned in APPLY_RESULT)."""
+
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+    et_errors: int = 0
+    uv_errors: int = 0
+    statements: int = 0
+    splits: int = 0
+
+
+def _first_clause(exc: BaseException) -> str:
+    """Extract the human summary of an engine error for error messages.
+
+    ``INSERT INTO T aborted: DATE conversion failed: 'x' ...`` becomes
+    ``DATE conversion failed`` — matching the Figure 6 message style.
+    """
+    text = str(exc)
+    if "aborted: " in text:
+        text = text.split("aborted: ", 1)[1]
+    return text.split(":", 1)[0].strip()
+
+
+class Beta:
+    """Application-phase executor for one Hyper-Q node."""
+
+    def __init__(self, engine: CdwEngine, config: HyperQConfig):
+        self.engine = engine
+        self.config = config
+
+    # -- DML shaping ------------------------------------------------------------
+
+    def _staging_source(self, staging_table: str, layout: Layout,
+                        lo: int, hi: int) -> n.Select:
+        items = [
+            n.SelectItem(n.ColumnRef(f, table=STAGING_ALIAS), f)
+            for f in layout.field_names
+        ]
+        return n.Select(
+            items=items,
+            from_=n.TableRef(staging_table, STAGING_ALIAS),
+            where=self._range_pred(lo, hi))
+
+    @staticmethod
+    def _range_pred(lo: int, hi: int) -> n.Expr:
+        return n.Between(
+            n.ColumnRef(SEQ_COLUMN, table=STAGING_ALIAS),
+            n.Literal(lo), n.Literal(hi))
+
+    def prepare_dml(self, sql: str, layout: Layout,
+                    staging_table: str):
+        """Cross compile the job DML into a range-parameterized builder.
+
+        Returns ``(builder, statement_kind)`` where ``builder(lo, hi)``
+        yields the CDW statement applying the DML to staging rows with
+        ``__SEQ`` in ``[lo, hi]``.
+        """
+        statement = parse_statement(sql, dialect="legacy")
+        statement = bind_params_to_columns(
+            statement, layout.field_names, STAGING_ALIAS)
+        statement = to_cdw(statement)
+
+        if isinstance(statement, n.Insert):
+            if not isinstance(statement.source, n.Values) \
+                    or len(statement.source.rows) != 1:
+                raise SqlTranslationError(
+                    "apply DML INSERT must carry one VALUES row of "
+                    "host-variable expressions")
+            value_exprs = statement.source.rows[0]
+            table = statement.table
+            columns = list(statement.columns)
+
+            def build_insert(lo: int, hi: int) -> n.Statement:
+                select = n.Select(
+                    items=[n.SelectItem(e) for e in value_exprs],
+                    from_=n.TableRef(staging_table, STAGING_ALIAS),
+                    where=self._range_pred(lo, hi))
+                return n.Insert(table, columns, select)
+
+            return build_insert, "insert"
+
+        if isinstance(statement, n.Update):
+            if statement.from_ is not None:
+                raise SqlTranslationError(
+                    "apply DML UPDATE cannot have its own FROM clause")
+            update = statement
+
+            def build_update(lo: int, hi: int) -> n.Statement:
+                pred = self._range_pred(lo, hi)
+                where = pred if update.where is None \
+                    else n.BinaryOp("AND", update.where, pred)
+                return n.Update(
+                    update.table, update.assignments,
+                    n.TableRef(staging_table, STAGING_ALIAS), where)
+
+            return build_update, "update"
+
+        if isinstance(statement, n.Delete):
+            if statement.using is not None:
+                raise SqlTranslationError(
+                    "apply DML DELETE cannot have its own USING clause")
+            delete = statement
+
+            def build_delete(lo: int, hi: int) -> n.Statement:
+                pred = self._range_pred(lo, hi)
+                where = pred if delete.where is None \
+                    else n.BinaryOp("AND", delete.where, pred)
+                return n.Delete(
+                    delete.table,
+                    n.TableRef(staging_table, STAGING_ALIAS), where)
+
+            return build_delete, "delete"
+
+        if isinstance(statement, n.Merge):
+            merge = statement
+            layout_for_source = layout
+
+            def build_merge(lo: int, hi: int) -> n.Statement:
+                source = self._staging_source(
+                    staging_table, layout_for_source, lo, hi)
+                return n.Merge(
+                    merge.target, source, STAGING_ALIAS, merge.on,
+                    merge.matched, merge.not_matched)
+
+            return build_merge, "merge"
+
+        raise SqlTranslationError(
+            f"unsupported apply DML {type(statement).__name__}")
+
+    # -- uniqueness emulation ------------------------------------------------------
+
+    @property
+    def _emulate_unique(self) -> bool:
+        return (not self.engine.native_unique
+                or self.config.force_unique_emulation)
+
+    def _execute_with_emulation(self, statement: n.Statement,
+                                target_name: str, kind: str):
+        target = self.engine.table(target_name)
+        if not (self._emulate_unique and target.unique_keys):
+            return self.engine.execute(statement)
+        if kind == "insert":
+            # inserts only append — rollback is truncation.
+            length_before = len(target.rows)
+            result = self.engine.execute(statement)
+            try:
+                target.check_unique(target.rows)
+            except BulkExecutionError:
+                del target.rows[length_before:]
+                raise
+            return result
+        snapshot = list(target.rows)
+        result = self.engine.execute(statement)
+        try:
+            target.check_unique(target.rows)
+        except BulkExecutionError:
+            target.rows = snapshot
+            raise
+        return result
+
+    # -- error-table writes -----------------------------------------------------------
+
+    def _insert_row(self, table_name: str, row: tuple) -> None:
+        values = n.Values([[n.Literal(v) for v in row]])
+        self.engine.execute(
+            n.Insert(n.TableRef(table_name), [], values))
+
+    def _record_et(self, et_table: str, rownum: int | None, code: int,
+                   field: str | None, message: str) -> None:
+        self._insert_row(et_table, (rownum, code, field, message[:512]))
+
+    # -- the application phase ------------------------------------------------------------
+
+    def apply_dml(self, *, sql: str, layout: Layout, staging_table: str,
+                  target_table: str, et_table: str, uv_table: str,
+                  chunk_records: dict[int, int],
+                  acquisition_errors: list[AcquisitionError],
+                  max_errors: int | None = None,
+                  max_retries: int | None = None) -> ApplySummary:
+        """Run the application phase of a load job."""
+        summary = ApplySummary()
+        builder, kind = self.prepare_dml(sql, layout, staging_table)
+        staging = self.engine.table(staging_table)
+        seq_idx = staging.column_index(SEQ_COLUMN)
+        staging.rows.sort(key=lambda row: row[seq_idx])
+        staging.sorted_by = SEQ_COLUMN
+        seqs = [row[seq_idx] for row in staging.rows]
+
+        rownum_of = self._rownum_mapper(chunk_records)
+
+        # 1. Acquisition-time rejects go straight to the error table.
+        for error in sorted(acquisition_errors, key=lambda e: e.seq):
+            self._record_et(
+                et_table, rownum_of(error.seq), error.code, error.field,
+                f"{error.message} during acquisition for {target_table}, "
+                f"row number: {rownum_of(error.seq)}")
+            summary.et_errors += 1
+
+        # 2. Range executor + error sinks for the adaptive handler.
+        def execute_range(lo: int, hi: int) -> tuple[int, int, int]:
+            statement = builder(lo, hi)
+            result = self._execute_with_emulation(
+                statement, target_table, kind)
+            return (result.rows_inserted, result.rows_updated,
+                    result.rows_deleted)
+
+        def record_tuple_error(seq: int, exc: BulkExecutionError) -> None:
+            rownum = rownum_of(seq)
+            if exc.kind == "uniqueness":
+                self._record_uv(uv_table, staging_table, builder, kind,
+                                seq, rownum)
+                summary.uv_errors += 1
+                return
+            self._record_et(
+                et_table, rownum, HYPERQ_CONVERSION_ERROR, exc.field,
+                f"{_first_clause(exc)} during DML on {target_table}, "
+                f"row number: {rownum}")
+            summary.et_errors += 1
+
+        def record_range_error(lo: int, hi: int,
+                               exc: BulkExecutionError,
+                               reason: str) -> None:
+            what = ("Max number of errors reached" if reason == "max_errors"
+                    else "Max number of retries reached")
+            self._record_et(
+                et_table, None, HYPERQ_MAX_ERRORS_REACHED, None,
+                f"{what} during DML on {target_table}, row numbers: "
+                f"({rownum_of(lo)}, {rownum_of(hi)})")
+            summary.et_errors += 1
+
+        handler = AdaptiveErrorHandler(
+            execute_range=execute_range,
+            record_tuple_error=record_tuple_error,
+            record_range_error=record_range_error,
+            max_errors=(max_errors if max_errors is not None
+                        else self.config.max_errors),
+            max_retries=(max_retries if max_retries is not None
+                         else self.config.max_retries),
+        )
+        outcome: ApplyOutcome = handler.apply(seqs)
+        summary.rows_inserted = outcome.rows_inserted
+        summary.rows_updated = outcome.rows_updated
+        summary.rows_deleted = outcome.rows_deleted
+        summary.statements = outcome.statements
+        summary.splits = outcome.splits
+        return summary
+
+    def _rownum_mapper(self, chunk_records: dict[int, int]):
+        stride = self.config.seq_stride
+        starts: dict[int, int] = {}
+        acc = 0
+        for chunk in sorted(chunk_records):
+            starts[chunk] = acc
+            acc += chunk_records[chunk]
+
+        def rownum(seq: int) -> int:
+            chunk = seq // stride
+            if chunk not in starts:
+                raise GatewayError(
+                    f"sequence {seq} belongs to unknown chunk {chunk}")
+            return starts[chunk] + seq % stride + 1
+
+        return rownum
+
+    def _record_uv(self, uv_table: str, staging_table: str, builder,
+                   kind: str, seq: int, rownum: int) -> None:
+        """Record the converted violating tuple (Figure 5c-style)."""
+        tuple_values: tuple = ()
+        if kind in ("insert", "merge"):
+            statement = builder(seq, seq)
+            select = (statement.source if kind == "insert"
+                      else statement.source)
+            if isinstance(select, n.Select):
+                rows = self.engine.query(select)
+                if rows:
+                    tuple_values = rows[0]
+        uv = self.engine.table(uv_table)
+        padded = list(tuple_values)[:uv.arity - 2]
+        padded += [None] * (uv.arity - 2 - len(padded))
+        self._insert_row(
+            uv_table, tuple(padded) + (rownum, HYPERQ_UNIQUENESS_ERROR))

@@ -1,0 +1,64 @@
+"""Tuning knobs of a Hyper-Q node.
+
+Section 6: "Hyper-Q exposes these different tuning parameters that the
+customers can configure according to different ETL job requirements" —
+intermediate file size, compression, parallelism, and the credit pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HyperQConfig"]
+
+
+@dataclass
+class HyperQConfig:
+    """Configuration for one Hyper-Q node."""
+
+    #: number of DataConverter worker threads.
+    converters: int = 4
+    #: number of FileWriter workers (parallel staging files).
+    filewriters: int = 2
+    #: size of the CreditManager pool shared by all jobs on the node.
+    credits: int = 16
+    #: how long a session blocks waiting for a credit before the job fails.
+    credit_timeout_s: float | None = 30.0
+    #: finalize a staging file once it reaches this many bytes.
+    file_threshold_bytes: int = 4 * 1024 * 1024
+    #: gzip-compress staging files before upload (None or "gzip").
+    compression: str | None = None
+    #: cloud store container staging files are uploaded into.
+    container: str = "hyperq-staging"
+    #: delimiter of the CSV staging files.
+    csv_delimiter: str = ","
+    #: stride between per-chunk sequence-number blocks; must exceed the
+    #: number of records any single client chunk can contain.
+    seq_stride: int = 1 << 20
+    #: default adaptive-error-handling limits (overridable per job).
+    max_errors: int = 1000
+    max_retries: int = 64
+    #: rows per TDF packet on the export path.
+    export_chunk_rows: int = 1000
+    #: how many TDF packets the TDFCursor buffers ahead of the client.
+    prefetch_packets: int = 4
+    #: emulate uniqueness checks even if the CDW enforces them natively
+    #: (normally derived from the engine's capability; True forces it).
+    force_unique_emulation: bool = False
+    #: acknowledge a chunk only after it is written to disk — the
+    #: *rejected* synchronous design of Section 5, kept for the ablation
+    #: benchmark.  Default (False) is the paper's immediate-ack pipeline.
+    synchronous_ack: bool = False
+
+    def __post_init__(self):
+        """Validate the configuration values."""
+        if self.converters < 1:
+            raise ValueError("need at least one DataConverter")
+        if self.filewriters < 1:
+            raise ValueError("need at least one FileWriter")
+        if self.credits < 1:
+            raise ValueError("credit pool cannot be empty")
+        if self.seq_stride < 2:
+            raise ValueError("seq_stride too small")
+        if self.compression not in (None, "gzip"):
+            raise ValueError(f"unsupported compression {self.compression!r}")

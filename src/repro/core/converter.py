@@ -1,0 +1,94 @@
+"""DataConverter: legacy wire chunks → CDW staging-file chunks (Section 4).
+
+One conversion turns a chunk of legacy-encoded records (VARTEXT or BINARY)
+into CSV bytes the CDW's ``COPY INTO`` understands, handling exactly the
+discrepancies the paper lists: binary value decoding, *null detection*
+(legacy empty VARTEXT field = NULL, CDW distinguishes ``\\N`` from ``""``),
+and escaping of special characters (the CSV quoting rules).
+
+Each record receives a synthetic ``__SEQ`` value ``chunk_seq * stride +
+index`` so the staging table preserves the input-file order across
+out-of-order parallel conversion — the basis for the adaptive error
+handler's range splitting and row-number reporting.
+
+Records that cannot be decoded at all (wrong field count, truncated
+binary) are *acquisition errors*: they are excluded from the staging data
+and reported with their legacy error code so Beta can record them in the
+transformation error table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdw import stagefile
+from repro.errors import DataFormatError
+from repro.legacy.datafmt import RecordFormat
+
+__all__ = ["ConvertedChunk", "AcquisitionError", "DataConverter"]
+
+
+@dataclass(frozen=True)
+class AcquisitionError:
+    """A record rejected during conversion (before it ever reaches SQL)."""
+
+    seq: int                  # synthetic __SEQ of the bad record
+    code: int
+    field: str | None
+    message: str
+
+
+@dataclass
+class ConvertedChunk:
+    """The output of one DataConverter invocation."""
+
+    chunk_seq: int
+    csv_bytes: bytes
+    records: int
+    errors: list[AcquisitionError] = field(default_factory=list)
+
+    @property
+    def total_records(self) -> int:
+        """Input records including rejected ones (for row numbering)."""
+        return self.records + len(self.errors)
+
+
+class DataConverter:
+    """Stateless conversion logic; instantiated once per load job.
+
+    The pipeline runs many invocations concurrently on worker threads —
+    safe because conversion only reads shared state.
+    """
+
+    def __init__(self, record_format: RecordFormat, seq_stride: int,
+                 csv_delimiter: str = ","):
+        self.record_format = record_format
+        self.seq_stride = seq_stride
+        self.csv_delimiter = csv_delimiter
+
+    def convert(self, chunk_seq: int, data: bytes) -> ConvertedChunk:
+        """Convert one legacy chunk into CSV staging bytes."""
+        base = chunk_seq * self.seq_stride
+        out: list[str] = []
+        errors: list[AcquisitionError] = []
+        index = 0
+        for item in self.record_format.iter_decode(data):
+            if index >= self.seq_stride:
+                raise DataFormatError(
+                    f"chunk {chunk_seq} holds more than "
+                    f"{self.seq_stride} records; raise seq_stride")
+            seq = base + index
+            index += 1
+            if isinstance(item, DataFormatError):
+                errors.append(AcquisitionError(
+                    seq=seq, code=item.code, field=item.field,
+                    message=str(item)))
+                continue
+            out.append(stagefile.encode_csv_row(
+                item + (seq,), self.csv_delimiter))
+        return ConvertedChunk(
+            chunk_seq=chunk_seq,
+            csv_bytes="".join(out).encode("utf-8"),
+            records=index - len(errors),
+            errors=errors,
+        )

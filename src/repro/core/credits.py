@@ -1,0 +1,118 @@
+"""The CreditManager: lightweight back-pressure (Section 5, Figure 4).
+
+When a session is about to pass a data chunk along for conversion it first
+requests a credit; the credit travels with the chunk through the
+DataConverter to the FileWriter, which returns it to the pool just before
+the data is written to disk.  An empty pool blocks the requesting session —
+slowing data acquisition only when the downstream stages fall behind.
+
+One CreditManager is spawned per Hyper-Q node and shared by all concurrent
+ETL jobs on the node.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import BackPressureTimeout, GatewayError
+
+__all__ = ["Credit", "CreditManager"]
+
+
+@dataclass(frozen=True)
+class Credit:
+    """A single credit token; carried along the pipeline with its chunk."""
+
+    serial: int
+
+
+class CreditManager:
+    """A counting pool of credit tokens with wait accounting.
+
+    The implementation deliberately tracks individual tokens (not just a
+    counter) so tests can assert *conservation*: at any quiescent moment,
+    pool size == credits available + credits in flight.
+    """
+
+    def __init__(self, pool_size: int,
+                 timeout_s: float | None = 30.0):
+        if pool_size < 1:
+            raise GatewayError("credit pool cannot be empty")
+        self.pool_size = pool_size
+        self.timeout_s = timeout_s
+        self._available: list[Credit] = [
+            Credit(i) for i in range(pool_size)]
+        self._outstanding: set[int] = set()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        # -- statistics --
+        self.acquires = 0
+        self.blocked_acquires = 0
+        self.total_wait_s = 0.0
+        self.min_available = pool_size
+
+    # -- token operations -----------------------------------------------------
+
+    def acquire(self) -> Credit:
+        """Take a credit, blocking while the pool is empty."""
+        deadline = (time.monotonic() + self.timeout_s
+                    if self.timeout_s is not None else None)
+        waited = 0.0
+        with self._ready:
+            self.acquires += 1
+            blocked = not self._available
+            if blocked:
+                self.blocked_acquires += 1
+            start = time.monotonic()
+            while not self._available:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise BackPressureTimeout(
+                            f"no credit within {self.timeout_s}s "
+                            f"(pool={self.pool_size}, all in flight)")
+                self._ready.wait(timeout=remaining)
+            if blocked:
+                waited = time.monotonic() - start
+                self.total_wait_s += waited
+            credit = self._available.pop()
+            self._outstanding.add(credit.serial)
+            self.min_available = min(self.min_available,
+                                     len(self._available))
+            return credit
+
+    def release(self, credit: Credit) -> None:
+        """Return a credit to the pool (FileWriter does this, Figure 4)."""
+        with self._ready:
+            if credit.serial not in self._outstanding:
+                raise GatewayError(
+                    f"credit {credit.serial} returned but was not "
+                    "outstanding (double release?)")
+            self._outstanding.remove(credit.serial)
+            self._available.append(credit)
+            self._ready.notify()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            return len(self._available)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._outstanding)
+
+    def check_conservation(self) -> None:
+        """Assert no credit was lost or duplicated (test hook)."""
+        with self._lock:
+            total = len(self._available) + len(self._outstanding)
+            if total != self.pool_size:
+                raise GatewayError(
+                    f"credit conservation violated: {len(self._available)} "
+                    f"available + {len(self._outstanding)} in flight != "
+                    f"{self.pool_size}")

@@ -1,0 +1,77 @@
+"""FileWriter: serialize converted chunks into local staging files.
+
+Section 3/5: the FileWriter receives converted chunks from parallel
+sessions and serializes them into disk files; "the maximum size of the
+serialized file is chosen to maximize the load performance into the CDW";
+finalized files are handed to the upload stage.  Several FileWriters can
+run concurrently, each building its own sequence of files.
+
+Per Figure 4 the credit travelling with a chunk is returned to the pool
+*just before the data is written to disk* — that hand-off happens in the
+pipeline right before calling :meth:`FileWriter.append`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["StagedFile", "FileWriter"]
+
+
+@dataclass(frozen=True)
+class StagedFile:
+    """A finalized local staging file ready for upload."""
+
+    path: str
+    size: int
+    records: int
+
+
+class FileWriter:
+    """Accumulates CSV bytes and cuts files at the size threshold.
+
+    Not thread-safe by itself: the pipeline gives each FileWriter its own
+    worker thread and queue, which also "prevents fluctuations in I/O
+    performance from stalling the DataConverter workers".
+    """
+
+    def __init__(self, directory: str, writer_no: int,
+                 threshold_bytes: int):
+        self.directory = directory
+        self.writer_no = writer_no
+        self.threshold_bytes = threshold_bytes
+        self._buffer = bytearray()
+        self._buffered_records = 0
+        self._file_no = 0
+        self.files_written = 0
+        self.bytes_written = 0
+
+    def append(self, csv_bytes: bytes, records: int) -> StagedFile | None:
+        """Buffer one converted chunk; returns a file when one fills up."""
+        self._buffer += csv_bytes
+        self._buffered_records += records
+        if len(self._buffer) >= self.threshold_bytes:
+            return self._finalize()
+        return None
+
+    def flush(self) -> StagedFile | None:
+        """Finalize whatever is buffered (end of acquisition)."""
+        if not self._buffer:
+            return None
+        return self._finalize()
+
+    def _finalize(self) -> StagedFile:
+        name = f"part-{self.writer_no:02d}-{self._file_no:05d}.csv"
+        path = os.path.join(self.directory, name)
+        with open(path, "wb") as handle:
+            handle.write(self._buffer)
+        staged = StagedFile(
+            path=path, size=len(self._buffer),
+            records=self._buffered_records)
+        self.files_written += 1
+        self.bytes_written += len(self._buffer)
+        self._file_no += 1
+        self._buffer = bytearray()
+        self._buffered_records = 0
+        return staged

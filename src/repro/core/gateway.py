@@ -1,0 +1,446 @@
+"""The Hyper-Q node: Alpha listener, PXC dispatch, and job orchestration.
+
+One :class:`HyperQNode` virtualizes legacy ETL traffic against a CDW
+(Figure 2).  Per legacy connection the node runs a handler thread that
+
+- reassembles frames from raw bytes (Alpha + Coalescer),
+- decodes each message and reacts (the PXC's role): ad-hoc SQL is cross
+  compiled and executed on the CDW; DATA chunks are acknowledged
+  *immediately* and pushed to the asynchronous acquisition pipeline
+  (Sections 4-5); APPLY runs Beta with adaptive error handling
+  (Section 7); exports stream through a TDFCursor.
+
+The node owns exactly one :class:`~repro.core.credits.CreditManager`,
+shared by all concurrent jobs — Section 5: "one CreditManager is spawned
+per Hyper-Q node, with each CreditManager being shared for all concurrent
+ETL jobs on the node."
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cdw.bulkloader import CloudBulkLoader
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.beta import SEQ_COLUMN, Beta
+from repro.core.config import HyperQConfig
+from repro.core.converter import DataConverter
+from repro.core.credits import CreditManager
+from repro.core.metrics import JobMetrics
+from repro.core.pipeline import AcquisitionPipeline
+from repro.core.tdfcursor import TdfCursor
+from repro.errors import GatewayError, ProtocolError, ReproError
+from repro.legacy.client import layout_from_wire
+from repro.legacy.datafmt import BinaryFormat, FormatSpec, make_format
+from repro.legacy.infer import infer_result_layout
+from repro.legacy.protocol import Message, MessageChannel, MessageKind
+from repro.legacy.types import Layout
+from repro.net import Listener
+from repro.sqlxc import to_cdw, transpile
+from repro.sqlxc.parser import parse_statement
+
+__all__ = ["HyperQNode"]
+
+
+@dataclass
+class _LoadJob:
+    job_id: str
+    target: str
+    et_table: str
+    uv_table: str
+    layout: Layout
+    format_spec: FormatSpec
+    staging_table: str
+    staging_dir: str
+    pipeline: AcquisitionPipeline
+    metrics: JobMetrics
+    started_at: float
+    acquisition_started: float | None = None
+    sessions_seen: set[int] = field(default_factory=set)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class _ExportJob:
+    job_id: str
+    cursor: TdfCursor
+    layout: Layout
+
+
+class HyperQNode:
+    """A Hyper-Q virtualization node in front of one CDW."""
+
+    def __init__(self, engine: CdwEngine, store: CloudStore,
+                 config: HyperQConfig | None = None,
+                 name: str = "hyperq", listener=None):
+        self.engine = engine
+        self.store = store
+        self.config = config or HyperQConfig()
+        self.name = name
+        self.credits = CreditManager(
+            self.config.credits, self.config.credit_timeout_s)
+        self.beta = Beta(engine, self.config)
+        self.loader = CloudBulkLoader(
+            store, compression=self.config.compression)
+        #: any object with accept()/connect()/close() — the in-memory
+        #: transport by default, or a repro.net_tcp.TcpListener for a
+        #: real socket.
+        self.listener = listener if listener is not None else Listener()
+        store.create_container(self.config.container)
+        self._base_dir = tempfile.mkdtemp(prefix=f"{name}-staging-")
+        self._jobs: dict[str, _LoadJob] = {}
+        self._exports: dict[str, _ExportJob] = {}
+        self._registry_lock = threading.Lock()
+        #: metrics of finished jobs, in completion order (bench harness).
+        self.completed_jobs: list[JobMetrics] = []
+        self._running = False
+        self._accept_thread: threading.Thread | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "HyperQNode":
+        """Start the accept loop; returns self for chaining."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"{self.name}-accept")
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the node and tear down all job state."""
+        self._running = False
+        self.listener.close()
+        with self._registry_lock:
+            jobs = list(self._jobs.values())
+            self._jobs.clear()
+        for job in jobs:
+            job.pipeline.shutdown()
+        shutil.rmtree(self._base_dir, ignore_errors=True)
+
+    def __enter__(self) -> "HyperQNode":
+        """Context-manager support: starts the node."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the node on context exit."""
+        self.stop()
+
+    def connect(self):
+        """Connection factory handed to legacy clients."""
+        return self.listener.connect()
+
+    def stats(self) -> dict:
+        """Operational snapshot of the node (monitoring hook)."""
+        with self._registry_lock:
+            active = len(self._jobs)
+            completed = len(self.completed_jobs)
+            total_rows = sum(m.rows_inserted for m in self.completed_jobs)
+            total_bytes = sum(m.bytes_received
+                              for m in self.completed_jobs)
+        return {
+            "name": self.name,
+            "active_jobs": active,
+            "completed_jobs": completed,
+            "rows_loaded": total_rows,
+            "bytes_received": total_bytes,
+            "credits": {
+                "pool_size": self.credits.pool_size,
+                "available": self.credits.available,
+                "acquires": self.credits.acquires,
+                "blocked_acquires": self.credits.blocked_acquires,
+                "total_wait_s": round(self.credits.total_wait_s, 6),
+                "min_available": self.credits.min_available,
+            },
+            "engine_statements": dict(self.engine.statement_counts),
+            "store_bytes_uploaded": self.store.bytes_uploaded,
+        }
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            endpoint = self.listener.accept(timeout=0.5)
+            if endpoint is None:
+                continue
+            threading.Thread(
+                target=self._serve_connection, args=(endpoint,),
+                daemon=True, name=f"{self.name}-conn").start()
+
+    # -- connection handling (Alpha/Coalescer + PXC dispatch) --------------------
+
+    def _serve_connection(self, endpoint) -> None:
+        channel = MessageChannel(endpoint, timeout=None)
+        try:
+            while True:
+                message = channel.recv_or_eof()
+                if message is None:
+                    return
+                try:
+                    self._dispatch(channel, message)
+                except ReproError as exc:
+                    channel.send(Message(MessageKind.ERROR, {
+                        "code": getattr(exc, "code", 0),
+                        "message": str(exc),
+                    }))
+        except ReproError:
+            pass
+        finally:
+            channel.close()
+
+    def _dispatch(self, channel: MessageChannel, message: Message) -> None:
+        kind = message.kind
+        if kind == MessageKind.LOGON:
+            channel.send(Message(MessageKind.LOGON_OK))
+        elif kind == MessageKind.LOGOFF:
+            channel.send(Message(MessageKind.LOGOFF_OK))
+        elif kind == MessageKind.SQL_REQUEST:
+            self._handle_sql(channel, message)
+        elif kind == MessageKind.BEGIN_LOAD:
+            self._handle_begin_load(channel, message)
+        elif kind == MessageKind.DATA:
+            self._handle_data(channel, message)
+        elif kind == MessageKind.DATA_EOF:
+            self._handle_data_eof(channel, message)
+        elif kind == MessageKind.APPLY_DML:
+            self._handle_apply(channel, message)
+        elif kind == MessageKind.END_LOAD:
+            self._handle_end_load(channel, message)
+        elif kind == MessageKind.BEGIN_EXPORT:
+            self._handle_begin_export(channel, message)
+        elif kind == MessageKind.EXPORT_FETCH:
+            self._handle_export_fetch(channel, message)
+        else:
+            raise ProtocolError(f"unexpected message {kind.name}")
+
+    # -- ad-hoc SQL: cross compile and execute on the CDW ----------------------------
+
+    def _handle_sql(self, channel: MessageChannel,
+                    message: Message) -> None:
+        statement = to_cdw(
+            parse_statement(message.meta["sql"], dialect="legacy"))
+        result = self.engine.execute(statement)
+        if result.kind == "rows":
+            layout = infer_result_layout(result.columns, result.rows)
+            fmt = BinaryFormat(layout)
+            channel.send(Message(
+                MessageKind.RESULT_SET,
+                {"columns": [[f.name, f.type.render()]
+                             for f in layout.fields]},
+                body=fmt.encode_records(result.rows)))
+        else:
+            channel.send(Message(
+                MessageKind.STMT_OK,
+                {"activity_count": result.activity_count}))
+
+    # -- load jobs -----------------------------------------------------------------------
+
+    def _job(self, job_id: str) -> _LoadJob:
+        with self._registry_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"unknown load job {job_id!r}")
+        return job
+
+    def _handle_begin_load(self, channel: MessageChannel,
+                           message: Message) -> None:
+        meta = message.meta
+        job_id = meta["job_id"]
+        layout = layout_from_wire(meta["layout"])
+        format_spec = FormatSpec.from_wire(meta["format"])
+        target = meta["target"]
+        if not self.engine.catalog.exists(target):
+            raise GatewayError(
+                f"target table {target!r} does not exist in the CDW")
+
+        staging_table = f"HQ_STG_{job_id}"
+        self._create_staging_table(staging_table, layout)
+        self._create_error_tables(meta["et_table"], meta["uv_table"],
+                                  target)
+
+        staging_dir = os.path.join(self._base_dir, job_id)
+        os.makedirs(staging_dir, exist_ok=True)
+        metrics = JobMetrics(job_id=job_id,
+                             sessions=meta.get("sessions", 0))
+        converter = DataConverter(
+            make_format(format_spec, layout),
+            seq_stride=self.config.seq_stride,
+            csv_delimiter=self.config.csv_delimiter)
+        pipeline = AcquisitionPipeline(
+            converter=converter,
+            credits=self.credits,
+            loader=self.loader,
+            engine=self.engine,
+            staging_table=staging_table,
+            container=self.config.container,
+            prefix=f"{job_id}/",
+            staging_dir=staging_dir,
+            config=self.config,
+            metrics=metrics,
+        )
+        job = _LoadJob(
+            job_id=job_id, target=target,
+            et_table=meta["et_table"], uv_table=meta["uv_table"],
+            layout=layout, format_spec=format_spec,
+            staging_table=staging_table, staging_dir=staging_dir,
+            pipeline=pipeline, metrics=metrics,
+            started_at=time.perf_counter(),
+        )
+        with self._registry_lock:
+            self._jobs[job_id] = job
+        channel.send(Message(MessageKind.BEGIN_LOAD_OK,
+                             {"job_id": job_id}))
+
+    def _create_staging_table(self, name: str, layout: Layout) -> None:
+        """Staging columns are deliberately *unbounded* text for character
+        fields: length enforcement belongs to the application phase where
+        per-tuple error handling can catch it (Section 6 type mapping +
+        Section 7 error handling)."""
+        columns = []
+        for fld in layout.fields:
+            if fld.type.is_character:
+                columns.append(f"{fld.name} NVARCHAR")
+            else:
+                from repro.cdw.types import cdw_type_from_legacy
+                columns.append(
+                    f"{fld.name} {cdw_type_from_legacy(fld.type).render()}")
+        columns.append(f"{SEQ_COLUMN} BIGINT")
+        self.engine.execute(
+            f"CREATE TABLE {name} ({', '.join(columns)})")
+
+    def _create_error_tables(self, et_table: str, uv_table: str,
+                             target: str) -> None:
+        self.engine.execute(
+            f"CREATE TABLE IF NOT EXISTS {et_table} ("
+            "SEQNO INT, ERRCODE INT, ERRFIELD NVARCHAR(128), "
+            "ERRMSG NVARCHAR(512))")
+        target_table = self.engine.table(target)
+        uv_columns = ", ".join(
+            f"{c.name} {c.ctype.render()}" for c in target_table.columns)
+        self.engine.execute(
+            f"CREATE TABLE IF NOT EXISTS {uv_table} "
+            f"({uv_columns}, SEQNO INT, ERRCODE INT)")
+
+    def _handle_data(self, channel: MessageChannel,
+                     message: Message) -> None:
+        job = self._job(message.meta["job_id"])
+        with job.lock:
+            if job.acquisition_started is None:
+                job.acquisition_started = time.perf_counter()
+            job.metrics.chunks_received += 1
+            job.metrics.bytes_received += len(message.body)
+            job.sessions_seen.add(message.meta.get("session_no", 0))
+        # Minimal processing, then the immediate acknowledgment: the only
+        # thing that can delay the ack is credit back-pressure.
+        job.pipeline.submit_chunk(message.meta["seq"], message.body)
+        channel.send(Message(MessageKind.DATA_ACK,
+                             {"seq": message.meta["seq"]}))
+
+    def _handle_data_eof(self, channel: MessageChannel,
+                         message: Message) -> None:
+        self._job(message.meta["job_id"])  # validate
+        channel.send(Message(MessageKind.DATA_ACK, {"seq": -1}))
+
+    def _handle_apply(self, channel: MessageChannel,
+                      message: Message) -> None:
+        job = self._job(message.meta["job_id"])
+        # Acquisition ends once the pipeline has fully drained into the
+        # staging table (upload + in-cloud COPY included).
+        job.pipeline.drain()
+        if job.acquisition_started is not None:
+            job.metrics.acquisition_s = (
+                time.perf_counter() - job.acquisition_started)
+        job.metrics.sessions = max(
+            job.metrics.sessions, len(job.sessions_seen))
+
+        apply_started = time.perf_counter()
+        summary = self.beta.apply_dml(
+            sql=message.meta["sql"],
+            layout=job.layout,
+            staging_table=job.staging_table,
+            target_table=job.target,
+            et_table=job.et_table,
+            uv_table=job.uv_table,
+            chunk_records=job.pipeline.chunk_records,
+            acquisition_errors=job.pipeline.acquisition_errors,
+            max_errors=message.meta.get("max_errors"),
+            max_retries=message.meta.get("max_retries"),
+        )
+        job.metrics.application_s = time.perf_counter() - apply_started
+        job.metrics.rows_inserted = summary.rows_inserted
+        job.metrics.rows_updated = summary.rows_updated
+        job.metrics.rows_deleted = summary.rows_deleted
+        job.metrics.et_errors = summary.et_errors
+        job.metrics.uv_errors = summary.uv_errors
+        job.metrics.dml_statements = summary.statements
+        job.metrics.chunk_retries = summary.splits
+        channel.send(Message(MessageKind.APPLY_RESULT, {
+            "rows_inserted": summary.rows_inserted,
+            "rows_updated": summary.rows_updated,
+            "rows_deleted": summary.rows_deleted,
+            "et_errors": summary.et_errors,
+            "uv_errors": summary.uv_errors,
+        }))
+
+    def _handle_end_load(self, channel: MessageChannel,
+                         message: Message) -> None:
+        job_id = message.meta["job_id"]
+        job = self._job(job_id)
+        job.pipeline.shutdown()
+        self.engine.execute(f"DROP TABLE IF EXISTS {job.staging_table}")
+        self.store.delete_prefix(self.config.container, f"{job_id}/")
+        shutil.rmtree(job.staging_dir, ignore_errors=True)
+        job.metrics.total_s = time.perf_counter() - job.started_at
+        with self._registry_lock:
+            self._jobs.pop(job_id, None)
+            self.completed_jobs.append(job.metrics)
+        channel.send(Message(MessageKind.END_LOAD_OK))
+
+    # -- export jobs ------------------------------------------------------------------------
+
+    def _handle_begin_export(self, channel: MessageChannel,
+                             message: Message) -> None:
+        job_id = message.meta["job_id"]
+        cdw_sql = transpile(message.meta["sql"], "legacy", "cdw")
+        cursor = TdfCursor(
+            self.engine, cdw_sql,
+            chunk_rows=self.config.export_chunk_rows,
+            prefetch=max(self.config.prefetch_packets,
+                         message.meta.get("sessions", 1)))
+        # Infer the legacy layout from the materialized result so every
+        # chunk is encoded consistently.
+        layout = infer_result_layout(cursor.columns, cursor._rows)
+        job = _ExportJob(job_id=job_id, cursor=cursor, layout=layout)
+        with self._registry_lock:
+            self._exports[job_id] = job
+        channel.send(Message(MessageKind.BEGIN_EXPORT_OK, {
+            "columns": [[f.name, f.type.render()] for f in layout.fields],
+        }))
+
+    def _handle_export_fetch(self, channel: MessageChannel,
+                             message: Message) -> None:
+        with self._registry_lock:
+            job = self._exports.get(message.meta["job_id"])
+        if job is None:
+            raise ProtocolError(
+                f"unknown export job {message.meta.get('job_id')!r}")
+        chunk_no = message.meta["chunk_no"]
+        packet_bytes = job.cursor.packet(chunk_no)
+        if packet_bytes is None:
+            channel.send(Message(MessageKind.EXPORT_DATA,
+                                 {"chunk_no": chunk_no, "eof": True}))
+            return
+        # PXC unwraps the TDF packet and re-encodes rows in the legacy
+        # binary representation the client expects (Section 4).
+        from repro.core import tdf
+        packet = tdf.decode_packet(packet_bytes)
+        fmt = BinaryFormat(job.layout)
+        channel.send(Message(
+            MessageKind.EXPORT_DATA,
+            {"chunk_no": chunk_no, "eof": False,
+             "records": len(packet.rows)},
+            body=fmt.encode_records(packet.rows)))

@@ -1,0 +1,280 @@
+"""The pipelined data-acquisition path (Sections 4-6, Figures 2-4).
+
+Stage wiring for one load job::
+
+    session handler ──credit──> converter queue ──> DataConverter workers
+         (ack sent immediately after enqueueing; credits provide the only
+          back-pressure, exactly as in Section 5)
+    DataConverter ──(credit, converted chunk)──> FileWriter worker queues
+    FileWriter: returns the credit *just before* writing to disk (Fig. 4),
+         cuts staging files at the size threshold
+    finalized file ──> uploader thread ──> cloud bulk loader ──> store
+    drain(): flush writers, wait for uploads, then one in-cloud COPY INTO
+         the staging table
+
+Worker failures are captured and re-raised to the job's control session.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+
+from repro.cdw.bulkloader import CloudBulkLoader
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.converter import AcquisitionError, DataConverter
+from repro.core.credits import Credit, CreditManager
+from repro.core.filewriter import FileWriter, StagedFile
+from repro.core.metrics import JobMetrics
+from repro.errors import GatewayError
+
+__all__ = ["AcquisitionPipeline"]
+
+_STOP = object()
+_FLUSH = object()
+
+
+class AcquisitionPipeline:
+    """Runs the converter/filewriter/uploader stages for one load job."""
+
+    def __init__(self, *, converter: DataConverter, credits: CreditManager,
+                 loader: CloudBulkLoader, engine: CdwEngine,
+                 staging_table: str, container: str, prefix: str,
+                 staging_dir: str, config: HyperQConfig,
+                 metrics: JobMetrics):
+        self.converter = converter
+        self.credits = credits
+        self.loader = loader
+        self.engine = engine
+        self.staging_table = staging_table
+        self.container = container
+        self.prefix = prefix
+        self.staging_dir = staging_dir
+        self.config = config
+        self.metrics = metrics
+
+        #: per-chunk record counts (incl. rejected records), keyed by
+        #: chunk seq — the basis for file row-number reconstruction.
+        self.chunk_records: dict[int, int] = {}
+        #: records rejected during conversion, for Beta to report.
+        self.acquisition_errors: list[AcquisitionError] = []
+
+        self._state = threading.Condition()
+        self._seen_seqs: set[int] = set()
+        self._submitted = 0
+        self._written = 0
+        self._flushes_done = 0
+        self._finalized_files = 0
+        self._uploaded_files = 0
+        self._failures: list[BaseException] = []
+        self._drained = False
+
+        self._converter_queue: queue.Queue = queue.Queue()
+        self._upload_queue: queue.Queue = queue.Queue()
+        self._writer_queues: list[queue.Queue] = [
+            queue.Queue() for _ in range(config.filewriters)]
+        self._writers = [
+            FileWriter(staging_dir, i, config.file_threshold_bytes)
+            for i in range(config.filewriters)
+        ]
+
+        self._threads: list[threading.Thread] = []
+        for i in range(config.converters):
+            self._spawn(self._converter_worker, f"converter-{i}")
+        for i in range(config.filewriters):
+            self._spawn(self._filewriter_worker, f"filewriter-{i}", i)
+        self._spawn(self._uploader_worker, "uploader")
+
+    def _spawn(self, target, name: str, *args) -> None:
+        thread = threading.Thread(
+            target=target, args=args, daemon=True, name=f"hyperq-{name}")
+        thread.start()
+        self._threads.append(thread)
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._state:
+            self._failures.append(exc)
+            self._state.notify_all()
+
+    def _check_failures(self) -> None:
+        with self._state:
+            failure = self._failures[0] if self._failures else None
+        if failure is not None:
+            raise GatewayError(
+                f"acquisition pipeline failed: {failure}") from failure
+
+    # -- producer side (called from session handler threads) -----------------
+
+    def submit_chunk(self, chunk_seq: int, data: bytes) -> None:
+        """Hand one raw client chunk to the pipeline.
+
+        Blocks only while acquiring a credit — the back-pressure point.
+        The caller sends the client's DATA_ACK right after this returns.
+
+        Resubmitting an already-seen chunk sequence is a no-op (but still
+        acknowledged): that makes client checkpoint/restart idempotent —
+        a client whose ack was lost in a connection failure can safely
+        resend the chunk.
+        """
+        self._check_failures()
+        with self._state:
+            if chunk_seq in self._seen_seqs:
+                return
+            self._seen_seqs.add(chunk_seq)
+        started = time.perf_counter()
+        credit = self.credits.acquire()
+        waited = time.perf_counter() - started
+        with self._state:
+            self.metrics.credit_wait_s += waited
+            if waited > 0.0005:
+                self.metrics.credit_waits += 1
+            self._submitted += 1
+        self._converter_queue.put((credit, chunk_seq, data))
+        if self.config.synchronous_ack:
+            # The rejected design of Section 5: hold the ack until this
+            # chunk's bytes are on disk.
+            with self._state:
+                while chunk_seq not in self.chunk_records:
+                    if self._failures:
+                        break
+                    self._state.wait(timeout=0.5)
+            self._check_failures()
+
+    # -- workers -----------------------------------------------------------------
+
+    def _converter_worker(self) -> None:
+        while True:
+            item = self._converter_queue.get()
+            if item is _STOP:
+                return
+            credit, chunk_seq, data = item
+            try:
+                converted = self.converter.convert(chunk_seq, data)
+            except BaseException as exc:
+                self.credits.release(credit)
+                self._fail(exc)
+                continue
+            target = self._writer_queues[
+                chunk_seq % len(self._writer_queues)]
+            target.put((credit, converted))
+
+    def _filewriter_worker(self, writer_no: int) -> None:
+        writer = self._writers[writer_no]
+        q = self._writer_queues[writer_no]
+        while True:
+            item = q.get()
+            if item is _STOP:
+                return
+            if item is _FLUSH:
+                try:
+                    staged = writer.flush()
+                except BaseException as exc:
+                    self._fail(exc)
+                    staged = None
+                if staged is not None:
+                    self._enqueue_upload(staged)
+                with self._state:
+                    self._flushes_done += 1
+                    self._state.notify_all()
+                continue
+            credit, converted = item
+            # Figure 4: the credit returns to the pool just before the
+            # data is written to disk.
+            self.credits.release(credit)
+            try:
+                staged = writer.append(
+                    converted.csv_bytes, converted.records)
+            except BaseException as exc:
+                self._fail(exc)
+                continue
+            if staged is not None:
+                self._enqueue_upload(staged)
+            with self._state:
+                self.chunk_records[converted.chunk_seq] = \
+                    converted.total_records
+                self.acquisition_errors.extend(converted.errors)
+                self.metrics.records_converted += converted.records
+                self.metrics.bytes_staged += len(converted.csv_bytes)
+                self._written += 1
+                self._state.notify_all()
+
+    def _enqueue_upload(self, staged: StagedFile) -> None:
+        with self._state:
+            self._finalized_files += 1
+            self.metrics.files_written += 1
+        self._upload_queue.put(staged)
+
+    def _uploader_worker(self) -> None:
+        while True:
+            item = self._upload_queue.get()
+            if item is _STOP:
+                return
+            staged: StagedFile = item
+            try:
+                report = self.loader.upload_file(
+                    staged.path, self.container, self.prefix)
+                os.unlink(staged.path)
+            except BaseException as exc:
+                self._fail(exc)
+                continue
+            with self._state:
+                self.metrics.bytes_uploaded += report.uploaded_bytes
+                self._uploaded_files += 1
+                self._state.notify_all()
+
+    # -- drain -----------------------------------------------------------------------
+
+    def drain(self, timeout_s: float = 300.0) -> None:
+        """Wait for every submitted chunk to be staged, then COPY.
+
+        Called when the client starts the application phase: "After data
+        is completely consumed, Hyper-Q initiates an in-the-cloud COPY
+        operation to move data to a staging table in the CDW".
+        """
+        if self._drained:
+            return
+        deadline = time.monotonic() + timeout_s
+
+        def wait_for(predicate) -> None:
+            with self._state:
+                while not predicate():
+                    if self._failures:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise GatewayError(
+                            "acquisition pipeline drain timed out")
+                    self._state.wait(timeout=min(remaining, 1.0))
+
+        wait_for(lambda: self._written >= self._submitted)
+        self._check_failures()
+        # Flush partial files and wait for every writer to acknowledge.
+        expected_flushes = self._flushes_done + len(self._writer_queues)
+        for q in self._writer_queues:
+            q.put(_FLUSH)
+        wait_for(lambda: self._flushes_done >= expected_flushes)
+        wait_for(lambda: self._uploaded_files >= self._finalized_files)
+        self._check_failures()
+        # The in-cloud COPY into the staging table.
+        url = CloudStore.make_url(self.container, self.prefix)
+        result = self.engine.execute(
+            f"COPY INTO {self.staging_table} FROM '{url}' FORMAT csv "
+            f"DELIMITER '{self.config.csv_delimiter}'")
+        self.metrics.copy_rows = result.rows_inserted
+        self._drained = True
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop all workers (idempotent)."""
+        for _ in range(self.config.converters):
+            self._converter_queue.put(_STOP)
+        for q in self._writer_queues:
+            q.put(_STOP)
+        self._upload_queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=10.0)

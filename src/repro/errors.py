@@ -1,0 +1,178 @@
+"""Shared exception hierarchy for the whole reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish "the system under test reported a problem" from
+programming errors.  Error *codes* mirror the numeric codes shown in the
+paper's Figures 5 and 6 (2666/2794 for the legacy EDW, 3103/3805/9057 for
+Hyper-Q's emulated error reporting).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Script language / protocol level
+# ---------------------------------------------------------------------------
+
+class ScriptError(ReproError):
+    """Legacy ETL script could not be parsed or is semantically invalid."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ProtocolError(ReproError):
+    """Malformed or unexpected message on the legacy wire protocol."""
+
+
+class TransportClosed(ReproError):
+    """The peer closed the connection while data was still expected."""
+
+
+# ---------------------------------------------------------------------------
+# SQL cross compiler
+# ---------------------------------------------------------------------------
+
+class SqlError(ReproError):
+    """Base class for SQL lexing/parsing/translation failures."""
+
+
+class SqlLexError(SqlError):
+    def __init__(self, message: str, pos: int):
+        self.pos = pos
+        super().__init__(f"at offset {pos}: {message}")
+
+
+class SqlParseError(SqlError):
+    def __init__(self, message: str, token: object = None):
+        self.token = token
+        super().__init__(message)
+
+
+class SqlTranslationError(SqlError):
+    """A legacy construct has no equivalent in the target dialect."""
+
+
+class UnboundParameterError(SqlError):
+    """A host variable (``:name``) had no binding at execution time."""
+
+
+# ---------------------------------------------------------------------------
+# Data representation
+# ---------------------------------------------------------------------------
+
+class DataFormatError(ReproError):
+    """A record could not be encoded/decoded in the requested format.
+
+    ``field`` names the offending field when known; ``code`` carries the
+    legacy-style numeric error code used in error tables.
+    """
+
+    #: legacy EDW code for a data conversion failure (Figure 5b).
+    LEGACY_CONVERSION = 2666
+    #: legacy EDW code for a uniqueness violation (Figure 5c).
+    LEGACY_UNIQUENESS = 2794
+
+    def __init__(self, message: str, field: str | None = None,
+                 code: int = LEGACY_CONVERSION):
+        self.field = field
+        self.code = code
+        super().__init__(message)
+
+
+class TdfError(ReproError):
+    """Corrupt or unsupported Tabular Data Format payload."""
+
+
+# ---------------------------------------------------------------------------
+# CDW engine
+# ---------------------------------------------------------------------------
+
+class CdwError(ReproError):
+    """Base class for cloud data warehouse errors."""
+
+
+class CatalogError(CdwError):
+    """Unknown/duplicate table, column, or schema."""
+
+
+class TypeError_(CdwError):
+    """Value does not fit the declared column type."""
+
+
+class ExpressionError(CdwError):
+    """Runtime failure while evaluating a scalar expression (bad cast...)."""
+
+    def __init__(self, message: str, field: str | None = None):
+        self.field = field
+        super().__init__(message)
+
+
+class BulkExecutionError(CdwError):
+    """A set-oriented DML statement aborted wholesale.
+
+    Modern CDWs process DML in bulk: one bad tuple aborts the whole
+    statement, and the error is observed at *statement* granularity (the
+    engine intentionally does not say which row failed — that opacity is
+    what forces the adaptive splitting of Section 7).  ``kind`` is either
+    ``"conversion"`` or ``"uniqueness"``; ``field`` is a best-effort hint.
+    """
+
+    def __init__(self, message: str, kind: str = "conversion",
+                 field: str | None = None):
+        self.kind = kind
+        self.field = field
+        super().__init__(message)
+
+
+class StorageError(CdwError):
+    """Cloud object store failure (missing blob, container...)."""
+
+
+# ---------------------------------------------------------------------------
+# Hyper-Q gateway
+# ---------------------------------------------------------------------------
+
+class GatewayError(ReproError):
+    """Internal Hyper-Q failure (pipeline wiring, job state machine...)."""
+
+
+class BackPressureTimeout(GatewayError):
+    """A credit could not be acquired within the configured timeout."""
+
+
+#: Hyper-Q error-table code: data conversion failed during DML (Figure 6).
+HYPERQ_CONVERSION_ERROR = 3103
+#: Hyper-Q error-table code: uniqueness violation detected during DML.
+HYPERQ_UNIQUENESS_ERROR = 3805
+#: Hyper-Q error-table code: max_errors budget exhausted (Figure 6).
+HYPERQ_MAX_ERRORS_REACHED = 9057
+
+
+# ---------------------------------------------------------------------------
+# Simulator
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulator failures."""
+
+
+class SimOutOfMemory(SimulationError):
+    """The modelled Hyper-Q node exceeded its memory budget.
+
+    Reproduces the experimental run mentioned with Figure 10 where one
+    million credits let so many chunks pile up in flight that the node
+    crashed before the load completed.
+    """
+
+    def __init__(self, message: str, at_time: float, peak_bytes: int):
+        self.at_time = at_time
+        self.peak_bytes = peak_bytes
+        super().__init__(message)

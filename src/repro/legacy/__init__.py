@@ -1,0 +1,20 @@
+"""The legacy EDW substrate: script language, wire protocol, client, server.
+
+This package is a from-scratch stand-in for the proprietary legacy data
+warehouse stack (a Teradata-like system and its FastLoad/MultiLoad-style
+utilities) that the paper virtualizes.  It provides:
+
+- :mod:`repro.legacy.types` — the legacy type system;
+- :mod:`repro.legacy.datafmt` — VARTEXT and BINARY record encodings;
+- :mod:`repro.legacy.protocol` — the synchronous chunked wire protocol;
+- :mod:`repro.legacy.script` — the dot-command ETL scripting language;
+- :mod:`repro.legacy.client` — the ETL client utility driving load/export
+  sessions (it only speaks the legacy protocol and therefore works
+  unmodified against either the reference server or Hyper-Q);
+- :mod:`repro.legacy.server` — a reference legacy EDW server used as the
+  ground truth in parity tests.
+"""
+
+from repro.legacy.types import LegacyType, FieldDef, Layout, parse_type
+
+__all__ = ["LegacyType", "FieldDef", "Layout", "parse_type"]

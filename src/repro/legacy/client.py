@@ -1,0 +1,419 @@
+"""The legacy ETL client utility.
+
+This module is the stand-in for the proprietary load/export tools of the
+legacy EDW (the FastLoad/MultiLoad-style utilities of Section 2).  It is
+deliberately *dumb about the backend*: it speaks only the legacy wire
+protocol of :mod:`repro.legacy.protocol`, chunks input files on record
+boundaries, pumps chunks through parallel data sessions with synchronous
+per-chunk acknowledgements, and interprets responses in legacy formats.
+
+Because of that, the exact same client (and therefore the exact same job
+script) runs against the reference legacy server and against Hyper-Q — the
+transparency property the paper's virtualization approach provides.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import uuid
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError, TransportClosed
+from repro.legacy.datafmt import FormatSpec, make_format
+from repro.legacy.protocol import Message, MessageChannel, MessageKind
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+__all__ = [
+    "LegacyEtlClient", "ImportJobSpec", "ExportJobSpec",
+    "ImportJobResult", "ExportJobResult", "StatementResult",
+    "split_into_chunks",
+]
+
+
+@dataclass
+class StatementResult:
+    """Outcome of an ad-hoc SQL request."""
+
+    activity_count: int = 0
+    columns: list[tuple[str, str]] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+
+    @property
+    def is_result_set(self) -> bool:
+        return bool(self.columns)
+
+
+@dataclass
+class ImportJobSpec:
+    """Everything one ``.begin import`` … ``.end load`` block describes."""
+
+    target_table: str
+    et_table: str
+    uv_table: str
+    layout: Layout
+    apply_sql: str
+    data: bytes
+    format_spec: FormatSpec = field(
+        default_factory=lambda: FormatSpec("vartext", "|"))
+    sessions: int = 2
+    chunk_bytes: int = 64 * 1024
+    max_errors: int | None = None
+    max_retries: int | None = None
+    #: data-session checkpoint/restart: how many times a failed session
+    #: reconnects and resumes from its last unacknowledged chunk.  The
+    #: server side is idempotent, so resending a chunk whose ack was
+    #: lost is safe.
+    retry_attempts: int = 0
+
+
+@dataclass
+class ImportJobResult:
+    """Job status the server reports after the application phase."""
+
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+    et_errors: int = 0
+    uv_errors: int = 0
+    chunks_sent: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def total_errors(self) -> int:
+        return self.et_errors + self.uv_errors
+
+
+@dataclass
+class ExportJobSpec:
+    """An export job: run a SELECT and dump the result in legacy format."""
+
+    select_sql: str
+    format_spec: FormatSpec = field(
+        default_factory=lambda: FormatSpec("vartext", "|"))
+    sessions: int = 2
+
+
+@dataclass
+class ExportJobResult:
+    data: bytes = b""
+    rows_exported: int = 0
+    chunks_fetched: int = 0
+    columns: list[tuple[str, str]] = field(default_factory=list)
+
+
+def split_into_chunks(data: bytes, format_spec: FormatSpec,
+                      chunk_bytes: int) -> list[bytes]:
+    """Split encoded records into chunks on record boundaries."""
+    if chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    if format_spec.kind == "vartext":
+        return _split_vartext(data, chunk_bytes)
+    if format_spec.kind == "binary":
+        return _split_binary(data, chunk_bytes)
+    raise ProtocolError(f"unknown format {format_spec.kind!r}")
+
+
+def _split_vartext(data: bytes, chunk_bytes: int) -> list[bytes]:
+    chunks: list[bytes] = []
+    start = 0
+    while start < len(data):
+        end = min(start + chunk_bytes, len(data))
+        if end < len(data):
+            newline = data.rfind(b"\n", start, end)
+            if newline < 0:
+                # A single record longer than chunk_bytes: extend forward.
+                newline = data.find(b"\n", end)
+                if newline < 0:
+                    newline = len(data) - 1
+            end = newline + 1
+        chunks.append(data[start:end])
+        start = end
+    return chunks
+
+
+def _split_binary(data: bytes, chunk_bytes: int) -> list[bytes]:
+    chunks: list[bytes] = []
+    start = 0
+    pos = 0
+    while pos < len(data):
+        if pos + 2 > len(data):
+            raise ProtocolError("truncated binary record header in input")
+        (body_len,) = struct.unpack_from("<H", data, pos)
+        record_end = pos + 2 + body_len
+        if record_end > len(data):
+            raise ProtocolError("truncated binary record in input")
+        if record_end - start >= chunk_bytes:
+            chunks.append(data[start:record_end])
+            start = record_end
+        pos = record_end
+    if start < len(data):
+        chunks.append(data[start:])
+    return chunks
+
+
+def _layout_to_wire(layout: Layout) -> dict:
+    return {
+        "name": layout.name,
+        "fields": [[f.name, f.type.render()] for f in layout.fields],
+    }
+
+
+def layout_from_wire(payload: dict) -> Layout:
+    """Inverse of the layout encoding used in BEGIN_LOAD messages."""
+    return Layout(payload["name"], [
+        FieldDef(name, parse_type(type_text))
+        for name, type_text in payload["fields"]
+    ])
+
+
+def _columns_layout(columns: list[tuple[str, str]]) -> Layout:
+    return Layout("__resultset__", [
+        FieldDef(name, parse_type(type_text)) for name, type_text in columns
+    ])
+
+
+class LegacyEtlClient:
+    """Drives legacy load/export jobs over the legacy wire protocol.
+
+    ``connect`` is any zero-argument callable returning a fresh
+    :class:`~repro.net.Endpoint` — typically ``listener.connect`` where the
+    listener belongs to either the reference server or a Hyper-Q node.
+    """
+
+    def __init__(self, connect, timeout: float | None = 30.0):
+        self._connect = connect
+        self._timeout = timeout
+        self._control: MessageChannel | None = None
+        self._credentials: tuple[str, str, str] | None = None
+
+    # -- session management --------------------------------------------------
+
+    def logon(self, host: str, user: str, password: str) -> None:
+        """Open the control session and authenticate."""
+        if self._control is not None:
+            raise ProtocolError("already logged on")
+        self._credentials = (host, user, password)
+        self._control = MessageChannel(self._connect(), timeout=self._timeout)
+        self._control.request(
+            Message(MessageKind.LOGON,
+                    {"host": host, "user": user, "password": password}),
+            MessageKind.LOGON_OK)
+
+    def logoff(self) -> None:
+        """Close the control session (idempotent)."""
+        if self._control is None:
+            return
+        try:
+            self._control.request(
+                Message(MessageKind.LOGOFF), MessageKind.LOGOFF_OK)
+        finally:
+            self._control.close()
+            self._control = None
+
+    def _require_control(self) -> MessageChannel:
+        if self._control is None:
+            raise ProtocolError("not logged on")
+        return self._control
+
+    def _open_data_session(self, job_id: str,
+                           session_no: int) -> MessageChannel:
+        channel = MessageChannel(self._connect(), timeout=self._timeout)
+        host, user, password = self._credentials or ("", "", "")
+        channel.request(
+            Message(MessageKind.LOGON,
+                    {"host": host, "user": user, "password": password,
+                     "job_id": job_id, "session_no": session_no}),
+            MessageKind.LOGON_OK)
+        return channel
+
+    # -- ad-hoc SQL ------------------------------------------------------------
+
+    def execute_sql(self, sql: str) -> StatementResult:
+        """Run one SQL statement; decode a result set when one comes back."""
+        control = self._require_control()
+        control.send(Message(MessageKind.SQL_REQUEST, {"sql": sql}))
+        response = control.recv()
+        if response.kind == MessageKind.STMT_OK:
+            return StatementResult(
+                activity_count=response.meta.get("activity_count", 0))
+        response.expect(MessageKind.RESULT_SET)
+        columns = [tuple(c) for c in response.meta["columns"]]
+        fmt = make_format(FormatSpec("binary"), _columns_layout(columns))
+        rows = fmt.decode_records(response.body)
+        return StatementResult(
+            activity_count=len(rows), columns=columns, rows=rows)
+
+    # -- import jobs -------------------------------------------------------------
+
+    def run_import(self, spec: ImportJobSpec) -> ImportJobResult:
+        """Execute a full import job: acquisition then DML application."""
+        control = self._require_control()
+        job_id = uuid.uuid4().hex[:12]
+        control.request(
+            Message(MessageKind.BEGIN_LOAD, {
+                "job_id": job_id,
+                "target": spec.target_table,
+                "et_table": spec.et_table,
+                "uv_table": spec.uv_table,
+                "layout": _layout_to_wire(spec.layout),
+                "format": spec.format_spec.to_wire(),
+                "sessions": spec.sessions,
+            }),
+            MessageKind.BEGIN_LOAD_OK)
+
+        chunks = split_into_chunks(
+            spec.data, spec.format_spec, spec.chunk_bytes)
+        result = ImportJobResult(
+            chunks_sent=len(chunks),
+            bytes_sent=sum(len(c) for c in chunks))
+        self._pump_data(job_id, spec.sessions, chunks,
+                        retry_attempts=spec.retry_attempts)
+
+        apply_meta = {"job_id": job_id, "sql": spec.apply_sql}
+        if spec.max_errors is not None:
+            apply_meta["max_errors"] = spec.max_errors
+        if spec.max_retries is not None:
+            apply_meta["max_retries"] = spec.max_retries
+        applied = control.request(
+            Message(MessageKind.APPLY_DML, apply_meta),
+            MessageKind.APPLY_RESULT)
+        result.rows_inserted = applied.meta.get("rows_inserted", 0)
+        result.rows_updated = applied.meta.get("rows_updated", 0)
+        result.rows_deleted = applied.meta.get("rows_deleted", 0)
+        result.et_errors = applied.meta.get("et_errors", 0)
+        result.uv_errors = applied.meta.get("uv_errors", 0)
+
+        control.request(
+            Message(MessageKind.END_LOAD, {"job_id": job_id}),
+            MessageKind.END_LOAD_OK)
+        return result
+
+    def _pump_data(self, job_id: str, sessions: int,
+                   chunks: list[bytes], retry_attempts: int = 0) -> None:
+        """Send chunks through parallel sessions, one thread per session.
+
+        Each session is strictly synchronous (send one DATA, wait for the
+        DATA_ACK) exactly like the legacy utilities; parallelism comes only
+        from running several sessions at once.  With ``retry_attempts``
+        a failed session reconnects and *resumes* from the first chunk
+        whose acknowledgment it never saw (checkpoint/restart).
+        """
+        session_count = max(1, min(sessions, len(chunks)) or 1)
+        failures: list[BaseException] = []
+
+        def run_session(session_no: int) -> None:
+            pending = list(range(session_no, len(chunks), session_count))
+            attempts_left = retry_attempts
+            position = 0
+            while True:
+                channel = None
+                try:
+                    channel = self._open_data_session(job_id, session_no)
+                    while position < len(pending):
+                        seq = pending[position]
+                        channel.request(
+                            Message(MessageKind.DATA,
+                                    {"job_id": job_id,
+                                     "session_no": session_no,
+                                     "seq": seq},
+                                    body=chunks[seq]),
+                            MessageKind.DATA_ACK)
+                        position += 1  # checkpoint: this chunk is acked
+                    channel.request(
+                        Message(MessageKind.DATA_EOF,
+                                {"job_id": job_id,
+                                 "session_no": session_no}),
+                        MessageKind.DATA_ACK)
+                    return
+                except TransportClosed as exc:
+                    if attempts_left <= 0:
+                        failures.append(exc)
+                        return
+                    attempts_left -= 1
+                    # reconnect and resend from the unacked chunk
+                except BaseException as exc:
+                    failures.append(exc)
+                    return
+                finally:
+                    if channel is not None:
+                        channel.close()
+
+        threads = [
+            threading.Thread(target=run_session, args=(i,), daemon=True)
+            for i in range(session_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+
+    # -- export jobs -------------------------------------------------------------
+
+    def run_export(self, spec: ExportJobSpec) -> ExportJobResult:
+        """Execute an export job: SELECT on the server, fetch chunks."""
+        control = self._require_control()
+        job_id = uuid.uuid4().hex[:12]
+        begun = control.request(
+            Message(MessageKind.BEGIN_EXPORT, {
+                "job_id": job_id,
+                "sql": spec.select_sql,
+                "format": spec.format_spec.to_wire(),
+                "sessions": spec.sessions,
+            }),
+            MessageKind.BEGIN_EXPORT_OK)
+        columns = [tuple(c) for c in begun.meta["columns"]]
+        layout = _columns_layout(columns)
+        fmt = make_format(spec.format_spec, layout)
+
+        session_count = max(1, spec.sessions)
+        collected: dict[int, bytes] = {}
+        lock = threading.Lock()
+        failures: list[BaseException] = []
+
+        def run_session(session_no: int) -> None:
+            try:
+                channel = self._open_data_session(job_id, session_no)
+                try:
+                    chunk_no = session_no
+                    while True:
+                        response = channel.request(
+                            Message(MessageKind.EXPORT_FETCH,
+                                    {"job_id": job_id,
+                                     "chunk_no": chunk_no}),
+                            MessageKind.EXPORT_DATA)
+                        if response.meta.get("eof"):
+                            break
+                        with lock:
+                            collected[chunk_no] = response.body
+                        chunk_no += session_count
+                finally:
+                    channel.close()
+            except BaseException as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=run_session, args=(i,), daemon=True)
+            for i in range(session_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+
+        # Chunks arrive in legacy *binary* encoding from the server; the
+        # client re-encodes them into the requested output file format.
+        binary_fmt = make_format(FormatSpec("binary"), layout)
+        out = bytearray()
+        rows_exported = 0
+        for chunk_no in sorted(collected):
+            rows = binary_fmt.decode_records(collected[chunk_no])
+            rows_exported += len(rows)
+            out += fmt.encode_records(rows)
+        return ExportJobResult(
+            data=bytes(out), rows_exported=rows_exported,
+            chunks_fetched=len(collected), columns=columns)

@@ -1,0 +1,196 @@
+"""The legacy EDW wire protocol: frame format, message kinds, Coalescer.
+
+The protocol is *synchronous and chunked*: the client sends one request and
+waits for the matching response; during data acquisition each DATA message
+must be acknowledged before the next is sent (Section 5: "ETL clients
+typically use a synchronous protocol requiring an acknowledgment of one
+chunk before sending the next").
+
+Frame layout (little-endian)::
+
+    u16  magic  (0x4C50, "LP")
+    u16  kind   (MessageKind)
+    u32  meta length
+    u32  body length
+    ...  meta  — UTF-8 JSON object with the structured fields
+    ...  body  — raw bytes (encoded records for DATA / RESULT_SET / ...)
+
+The :class:`Coalescer` reassembles complete frames from the arbitrary byte
+chunks a transport delivers — it is the component of the same name in
+Figure 2(a), and is used both by the reference legacy server and by
+Hyper-Q's Alpha listener.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterator
+
+from repro.errors import ProtocolError, TransportClosed
+from repro.net import Endpoint
+
+__all__ = ["MessageKind", "Message", "Coalescer", "MessageChannel"]
+
+_MAGIC = 0x4C50
+_HEADER = struct.Struct("<HHII")
+
+
+class MessageKind(IntEnum):
+    """Every request/response the legacy protocol knows."""
+
+    LOGON = 1
+    LOGON_OK = 2
+    LOGOFF = 3
+    LOGOFF_OK = 4
+
+    SQL_REQUEST = 10       # ad-hoc SQL (DDL, SELECT, singleton DML)
+    STMT_OK = 11           # statement succeeded, meta carries row counts
+    RESULT_SET = 12        # meta: columns; body: binary-encoded rows
+    ERROR = 13             # meta: code + message
+
+    BEGIN_LOAD = 20        # meta: job, target, error tables, layout, format
+    BEGIN_LOAD_OK = 21
+    DATA = 22              # body: encoded records; meta: session/seq
+    DATA_ACK = 23
+    DATA_EOF = 24          # a data session finished sending
+    APPLY_DML = 25         # meta: sql, label, max_errors/max_retries
+    APPLY_RESULT = 26      # meta: activity counts + error counts
+    END_LOAD = 27
+    END_LOAD_OK = 28
+
+    BEGIN_EXPORT = 30      # meta: select sql, format, sessions
+    BEGIN_EXPORT_OK = 31   # meta: columns of the result
+    EXPORT_FETCH = 32      # meta: chunk_no requested
+    EXPORT_DATA = 33       # body: encoded records; meta: chunk_no, eof
+
+
+@dataclass
+class Message:
+    """One protocol frame: a kind, JSON-able metadata, and a raw body."""
+
+    kind: MessageKind
+    meta: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message as one wire frame."""
+        meta_raw = json.dumps(self.meta, separators=(",", ":")).encode()
+        header = _HEADER.pack(_MAGIC, int(self.kind),
+                              len(meta_raw), len(self.body))
+        return header + meta_raw + self.body
+
+    def expect(self, kind: MessageKind) -> "Message":
+        """Assert this message has the given kind; raise the peer's error."""
+        if self.kind == MessageKind.ERROR and kind != MessageKind.ERROR:
+            raise ProtocolError(
+                f"peer error {self.meta.get('code')}: "
+                f"{self.meta.get('message')}")
+        if self.kind != kind:
+            raise ProtocolError(
+                f"expected {kind.name}, got {self.kind.name}")
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message({self.kind.name}, meta={self.meta}, "
+                f"body={len(self.body)}B)")
+
+
+class Coalescer:
+    """Reassembles complete frames from raw byte chunks.
+
+    Feed it whatever the transport delivers; it buffers partial frames and
+    yields :class:`Message` objects as soon as they are complete.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        #: total raw bytes ever fed (acquisition-rate accounting).
+        self.bytes_seen = 0
+
+    def feed(self, data: bytes) -> Iterator[Message]:
+        """Consume raw bytes; yield every completed message."""
+        self._buffer += data
+        self.bytes_seen += len(data)
+        while True:
+            message = self._try_extract()
+            if message is None:
+                return
+            yield message
+
+    def _try_extract(self) -> Message | None:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, kind, meta_len, body_len = _HEADER.unpack_from(self._buffer)
+        if magic != _MAGIC:
+            raise ProtocolError(f"bad frame magic 0x{magic:04x}")
+        total = _HEADER.size + meta_len + body_len
+        if len(self._buffer) < total:
+            return None
+        meta_raw = bytes(self._buffer[_HEADER.size:_HEADER.size + meta_len])
+        body = bytes(self._buffer[_HEADER.size + meta_len:total])
+        del self._buffer[:total]
+        try:
+            meta = json.loads(meta_raw) if meta_raw else {}
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"bad frame metadata: {exc}") from exc
+        try:
+            message_kind = MessageKind(kind)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown message kind {kind}") from exc
+        return Message(message_kind, meta, body)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+class MessageChannel:
+    """A message-granular view over a byte endpoint.
+
+    Wraps an :class:`~repro.net.Endpoint` with a :class:`Coalescer` so
+    callers can ``send``/``recv`` whole messages.  Both the legacy client
+    and the reference server use it; Hyper-Q's Alpha process uses the
+    Coalescer directly so it can also account for raw acquisition bytes.
+    """
+
+    def __init__(self, endpoint: Endpoint, timeout: float | None = 30.0):
+        self._endpoint = endpoint
+        self._coalescer = Coalescer()
+        self._ready: list[Message] = []
+        self.timeout = timeout
+
+    def send(self, message: Message) -> None:
+        """Send one message over the endpoint."""
+        self._endpoint.send_bytes(message.to_bytes())
+
+    def recv(self) -> Message:
+        """Block until the next complete message arrives."""
+        while not self._ready:
+            chunk = self._endpoint.recv_bytes(timeout=self.timeout)
+            if chunk is None:
+                raise TransportClosed("connection closed mid-message")
+            self._ready.extend(self._coalescer.feed(chunk))
+        return self._ready.pop(0)
+
+    def recv_or_eof(self) -> Message | None:
+        """Like :meth:`recv` but returns ``None`` on a clean EOF."""
+        while not self._ready:
+            chunk = self._endpoint.recv_bytes(timeout=self.timeout)
+            if chunk is None:
+                if self._coalescer.pending_bytes:
+                    raise TransportClosed("connection closed mid-frame")
+                return None
+            self._ready.extend(self._coalescer.feed(chunk))
+        return self._ready.pop(0)
+
+    def request(self, message: Message, expect: MessageKind) -> Message:
+        """Send a request and wait for its (typed) response."""
+        self.send(message)
+        return self.recv().expect(expect)
+
+    def close(self) -> None:
+        """Close the underlying endpoint."""
+        self._endpoint.close()

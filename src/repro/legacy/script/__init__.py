@@ -1,0 +1,42 @@
+"""The legacy dot-command ETL scripting language.
+
+This is the proprietary scripting language of Example 2.1 — the thing the
+paper says makes pipelines "very difficult and expensive to rewrite for
+CDWs".  A job script declares record layouts, DML labels containing legacy
+SQL, and import/export commands, e.g.::
+
+    .logon host/user,pass;
+    .layout CustLayout;
+    .field CUST_ID varchar(5);
+    .field CUST_NAME varchar(50);
+    .field JOIN_DATE varchar(10);
+    .begin import tables PROD.CUSTOMER
+        errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+    .dml label InsApply;
+    insert into PROD.CUSTOMER values (
+        trim(:CUST_ID), trim(:CUST_NAME),
+        cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') );
+    .import infile input.txt
+        format vartext '|' layout CustLayout apply InsApply;
+    .end load;
+
+The interpreter executes a parsed script by driving the legacy ETL client;
+because the client only speaks the legacy wire protocol, the same script
+runs unchanged against the reference legacy server *or* against Hyper-Q —
+which is the entire point of the paper.
+"""
+
+from repro.legacy.script.ast import (
+    Script, LogonCmd, LogoffCmd, LayoutDecl, BeginImportCmd, DmlDecl,
+    ImportCmd, EndLoadCmd, BeginExportCmd, ExportCmd, EndExportCmd,
+    SetCmd, SqlCmd,
+)
+from repro.legacy.script.parser import parse_script
+from repro.legacy.script.interpreter import ScriptInterpreter, ScriptResult
+
+__all__ = [
+    "Script", "LogonCmd", "LogoffCmd", "LayoutDecl", "BeginImportCmd",
+    "DmlDecl", "ImportCmd", "EndLoadCmd", "BeginExportCmd", "ExportCmd",
+    "EndExportCmd", "SetCmd", "SqlCmd",
+    "parse_script", "ScriptInterpreter", "ScriptResult",
+]

@@ -1,0 +1,135 @@
+"""AST of the legacy ETL scripting language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScriptError
+from repro.legacy.datafmt import FormatSpec
+from repro.legacy.types import Layout
+
+__all__ = [
+    "Command", "LogonCmd", "LogoffCmd", "LayoutDecl", "BeginImportCmd",
+    "DmlDecl", "ImportCmd", "EndLoadCmd", "BeginExportCmd", "ExportCmd",
+    "EndExportCmd", "SetCmd", "SqlCmd", "Script",
+]
+
+
+@dataclass
+class Command:
+    """Base class: every command remembers its source line."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class LogonCmd(Command):
+    """``.logon host/user,password;``"""
+
+    host: str
+    user: str
+    password: str
+
+
+@dataclass
+class LogoffCmd(Command):
+    """``.logoff;``"""
+
+
+@dataclass
+class LayoutDecl(Command):
+    """A ``.layout NAME;`` block together with its ``.field`` lines."""
+
+    layout: Layout
+
+
+@dataclass
+class BeginImportCmd(Command):
+    """``.begin import tables T errortables ET UV [sessions N];``"""
+
+    target_table: str
+    et_table: str
+    uv_table: str
+    sessions: int = 2
+
+
+@dataclass
+class DmlDecl(Command):
+    """``.dml label NAME;`` followed by one legacy SQL statement."""
+
+    label: str
+    sql: str
+
+
+@dataclass
+class ImportCmd(Command):
+    """``.import infile F format vartext '|' layout L apply D;``"""
+
+    infile: str
+    format_spec: FormatSpec
+    layout_name: str
+    apply_label: str
+
+
+@dataclass
+class EndLoadCmd(Command):
+    """``.end load;``"""
+
+
+@dataclass
+class BeginExportCmd(Command):
+    """``.begin export [sessions N];``"""
+
+    sessions: int = 2
+
+
+@dataclass
+class ExportCmd(Command):
+    """``.export outfile F format vartext '|';`` followed by a SELECT."""
+
+    outfile: str
+    format_spec: FormatSpec
+    select_sql: str = ""
+
+
+@dataclass
+class EndExportCmd(Command):
+    """``.end export;``"""
+
+
+@dataclass
+class SetCmd(Command):
+    """``.set NAME VALUE;`` — job tuning knobs (max_errors, max_retries...)."""
+
+    name: str
+    value: str
+
+
+@dataclass
+class SqlCmd(Command):
+    """A bare SQL statement outside any block (sent as an ad-hoc request)."""
+
+    sql: str
+
+
+@dataclass
+class Script:
+    """A parsed job script: the command list plus name-resolved indexes."""
+
+    commands: list[Command] = field(default_factory=list)
+    layouts: dict[str, Layout] = field(default_factory=dict)
+    dmls: dict[str, DmlDecl] = field(default_factory=dict)
+
+    def layout(self, name: str) -> Layout:
+        """Look up a layout by name (case-insensitive)."""
+        try:
+            return self.layouts[name.upper()]
+        except KeyError:
+            raise ScriptError(f"undefined layout {name!r}") from None
+
+    def dml(self, label: str) -> DmlDecl:
+        """Look up a DML declaration by label (case-insensitive)."""
+        try:
+            return self.dmls[label.upper()]
+        except KeyError:
+            raise ScriptError(f"undefined dml label {label!r}") from None

@@ -1,0 +1,145 @@
+"""Statement-level lexer for the legacy ETL scripting language.
+
+A job script is a sequence of statements terminated by ``;``.  Statements
+starting with ``.`` are dot-commands; anything else is a legacy SQL payload
+(attached by the parser to the preceding ``.dml label`` or ``.export``).
+The lexer honours single-quoted strings (with ``''`` escapes), ``--`` line
+comments and ``/* */`` block comments, and records the line number of every
+statement for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScriptError
+
+__all__ = ["RawStatement", "split_statements", "split_words"]
+
+
+@dataclass(frozen=True)
+class RawStatement:
+    """One ``;``-terminated statement with its 1-based starting line."""
+
+    text: str
+    line: int
+
+    @property
+    def is_dot_command(self) -> bool:
+        return self.text.lstrip().startswith(".")
+
+
+def split_statements(source: str) -> list[RawStatement]:
+    """Split a script into ``;``-terminated statements."""
+    statements: list[RawStatement] = []
+    buf: list[str] = []
+    line = 1
+    stmt_line: int | None = None
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            buf.append(ch)
+            i += 1
+            continue
+        if ch == "-" and source.startswith("--", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if ch == "/" and source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ScriptError("unterminated block comment", line=line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "'":
+            if stmt_line is None:
+                stmt_line = line
+            j = i + 1
+            while j < n:
+                if source[j] == "'":
+                    if j + 1 < n and source[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                if source[j] == "\n":
+                    line += 1
+                j += 1
+            else:
+                raise ScriptError("unterminated string literal", line=line)
+            buf.append(source[i:j + 1])
+            i = j + 1
+            continue
+        if ch == ";":
+            text = "".join(buf).strip()
+            if text:
+                statements.append(RawStatement(text, stmt_line or line))
+            buf = []
+            stmt_line = None
+            i += 1
+            continue
+        if stmt_line is None and not ch.isspace():
+            stmt_line = line
+        buf.append(ch)
+        i += 1
+    trailing = "".join(buf).strip()
+    if trailing:
+        raise ScriptError(
+            f"statement not terminated by ';': {trailing[:40]!r}",
+            line=stmt_line or line)
+    return statements
+
+
+def split_words(text: str) -> list[str]:
+    """Split a dot-command into words, keeping quoted strings intact.
+
+    Quoted words keep their quotes so the parser can tell ``'|'`` (a
+    delimiter literal) from a bare identifier.  Parenthesized type suffixes
+    stay glued to their word (``varchar(5)``, ``decimal(10,2)``) and a
+    parenthesized group separated by spaces is re-joined (``varchar (5)``).
+    """
+    words: list[str] = []
+    buf: list[str] = []
+    depth = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            buf.append(text[i:j + 1])
+            i = j + 1
+            continue
+        if ch == "(":
+            depth += 1
+            buf.append(ch)
+        elif ch == ")":
+            depth -= 1
+            buf.append(ch)
+        elif ch.isspace() and depth == 0:
+            if buf:
+                words.append("".join(buf))
+                buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    if buf:
+        words.append("".join(buf))
+    # Re-join a dangling "( ... )" group to the preceding word.
+    merged: list[str] = []
+    for word in words:
+        if word.startswith("(") and merged:
+            merged[-1] += word
+        else:
+            merged.append(word)
+    return merged

@@ -1,0 +1,262 @@
+"""Parser for the legacy ETL scripting language."""
+
+from __future__ import annotations
+
+from repro.errors import ScriptError
+from repro.legacy.datafmt import FormatSpec
+from repro.legacy.script import ast
+from repro.legacy.script.lexer import RawStatement, split_statements, split_words
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+__all__ = ["parse_script"]
+
+
+def _unquote(word: str) -> str:
+    if len(word) >= 2 and word.startswith("'") and word.endswith("'"):
+        return word[1:-1].replace("''", "'")
+    return word
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.statements = split_statements(source)
+        self.script = ast.Script()
+        self._current_layout: Layout | None = None
+        self._pending_dml: ast.DmlDecl | None = None
+        self._pending_export: ast.ExportCmd | None = None
+
+    def parse(self) -> ast.Script:
+        for stmt in self.statements:
+            if stmt.is_dot_command:
+                self._dot_command(stmt)
+            else:
+                self._sql_payload(stmt)
+        if self._pending_dml is not None:
+            raise ScriptError(
+                f".dml label {self._pending_dml.label!r} has no SQL "
+                "statement", line=self._pending_dml.line)
+        if self._pending_export is not None:
+            raise ScriptError(
+                ".export has no SELECT statement",
+                line=self._pending_export.line)
+        return self.script
+
+    # -- SQL payloads -------------------------------------------------------
+
+    def _sql_payload(self, stmt: RawStatement) -> None:
+        if self._pending_dml is not None:
+            dml = self._pending_dml
+            self._pending_dml = None
+            dml.sql = stmt.text
+            self.script.dmls[dml.label.upper()] = dml
+            self.script.commands.append(dml)
+            return
+        if self._pending_export is not None:
+            export = self._pending_export
+            self._pending_export = None
+            export.select_sql = stmt.text
+            self.script.commands.append(export)
+            return
+        self.script.commands.append(ast.SqlCmd(stmt.text, line=stmt.line))
+
+    # -- dot commands -------------------------------------------------------
+
+    def _dot_command(self, stmt: RawStatement) -> None:
+        if self._pending_dml is not None:
+            raise ScriptError(
+                f".dml label {self._pending_dml.label!r} must be followed "
+                "by a SQL statement", line=stmt.line)
+        if self._pending_export is not None:
+            raise ScriptError(
+                ".export must be followed by a SELECT statement",
+                line=stmt.line)
+        words = split_words(stmt.text)
+        verb = words[0][1:].lower()  # strip the leading dot
+        handler = getattr(self, f"_cmd_{verb}", None)
+        if handler is None:
+            raise ScriptError(f"unknown command .{verb}", line=stmt.line)
+        handler(words, stmt.line)
+
+    def _cmd_logon(self, words: list[str], line: int) -> None:
+        if len(words) != 2:
+            raise ScriptError(".logon expects host/user,password", line=line)
+        spec = words[1]
+        host, sep, rest = spec.partition("/")
+        user, sep2, password = rest.partition(",")
+        if not sep or not sep2 or not host or not user:
+            raise ScriptError(
+                f"malformed .logon spec {spec!r} "
+                "(expected host/user,password)", line=line)
+        self.script.commands.append(
+            ast.LogonCmd(host, user, password, line=line))
+
+    def _cmd_logoff(self, words: list[str], line: int) -> None:
+        self.script.commands.append(ast.LogoffCmd(line=line))
+
+    def _cmd_layout(self, words: list[str], line: int) -> None:
+        if len(words) != 2:
+            raise ScriptError(".layout expects exactly one name", line=line)
+        layout = Layout(words[1], [])
+        key = layout.name.upper()
+        if key in self.script.layouts:
+            raise ScriptError(f"duplicate layout {layout.name!r}", line=line)
+        self.script.layouts[key] = layout
+        self._current_layout = layout
+        self.script.commands.append(ast.LayoutDecl(layout, line=line))
+
+    def _cmd_field(self, words: list[str], line: int) -> None:
+        if self._current_layout is None:
+            raise ScriptError(".field outside a .layout block", line=line)
+        if len(words) < 3:
+            raise ScriptError(".field expects NAME TYPE", line=line)
+        name = words[1]
+        type_text = " ".join(words[2:])
+        field = FieldDef(name, parse_type(type_text))
+        if any(f.name.upper() == name.upper()
+               for f in self._current_layout.fields):
+            raise ScriptError(
+                f"duplicate field {name!r} in layout "
+                f"{self._current_layout.name!r}", line=line)
+        self._current_layout.fields.append(field)
+
+    def _cmd_begin(self, words: list[str], line: int) -> None:
+        if len(words) < 2:
+            raise ScriptError(".begin expects import or export", line=line)
+        mode = words[1].lower()
+        if mode == "import":
+            self._begin_import(words[2:], line)
+        elif mode == "export":
+            self._begin_export(words[2:], line)
+        else:
+            raise ScriptError(f"unknown .begin mode {mode!r}", line=line)
+
+    def _begin_import(self, words: list[str], line: int) -> None:
+        target = et = uv = None
+        sessions = 2
+        i = 0
+        while i < len(words):
+            key = words[i].lower()
+            if key == "tables":
+                target = words[i + 1]
+                i += 2
+            elif key == "errortables":
+                et, uv = words[i + 1], words[i + 2]
+                i += 3
+            elif key == "sessions":
+                sessions = int(words[i + 1])
+                i += 2
+            else:
+                raise ScriptError(
+                    f"unexpected word {words[i]!r} in .begin import",
+                    line=line)
+        if target is None or et is None or uv is None:
+            raise ScriptError(
+                ".begin import needs 'tables T errortables ET UV'",
+                line=line)
+        self.script.commands.append(ast.BeginImportCmd(
+            target, et, uv, sessions=sessions, line=line))
+
+    def _begin_export(self, words: list[str], line: int) -> None:
+        sessions = 2
+        i = 0
+        while i < len(words):
+            key = words[i].lower()
+            if key == "sessions":
+                sessions = int(words[i + 1])
+                i += 2
+            else:
+                raise ScriptError(
+                    f"unexpected word {words[i]!r} in .begin export",
+                    line=line)
+        self.script.commands.append(
+            ast.BeginExportCmd(sessions=sessions, line=line))
+
+    def _cmd_dml(self, words: list[str], line: int) -> None:
+        if len(words) != 3 or words[1].lower() != "label":
+            raise ScriptError(".dml expects 'label NAME'", line=line)
+        label = words[2]
+        if label.upper() in self.script.dmls:
+            raise ScriptError(f"duplicate dml label {label!r}", line=line)
+        self._pending_dml = ast.DmlDecl(label, "", line=line)
+
+    def _parse_format(self, words: list[str], i: int,
+                      line: int) -> tuple[FormatSpec, int]:
+        kind = words[i].lower()
+        if kind == "vartext":
+            delim = "|"
+            if i + 1 < len(words) and words[i + 1].startswith("'"):
+                delim = _unquote(words[i + 1])
+                i += 1
+            return FormatSpec("vartext", delim), i + 1
+        if kind == "binary":
+            return FormatSpec("binary"), i + 1
+        raise ScriptError(f"unknown format {words[i]!r}", line=line)
+
+    def _cmd_import(self, words: list[str], line: int) -> None:
+        infile = None
+        format_spec = FormatSpec("vartext", "|")
+        layout_name = None
+        apply_label = None
+        i = 1
+        while i < len(words):
+            key = words[i].lower()
+            if key == "infile":
+                infile = _unquote(words[i + 1])
+                i += 2
+            elif key == "format":
+                format_spec, i = self._parse_format(words, i + 1, line)
+            elif key == "layout":
+                layout_name = words[i + 1]
+                i += 2
+            elif key == "apply":
+                apply_label = words[i + 1]
+                i += 2
+            else:
+                raise ScriptError(
+                    f"unexpected word {words[i]!r} in .import", line=line)
+        if infile is None or layout_name is None or apply_label is None:
+            raise ScriptError(
+                ".import needs 'infile F ... layout L apply D'", line=line)
+        self.script.commands.append(ast.ImportCmd(
+            infile, format_spec, layout_name, apply_label, line=line))
+
+    def _cmd_export(self, words: list[str], line: int) -> None:
+        outfile = None
+        format_spec = FormatSpec("vartext", "|")
+        i = 1
+        while i < len(words):
+            key = words[i].lower()
+            if key == "outfile":
+                outfile = _unquote(words[i + 1])
+                i += 2
+            elif key == "format":
+                format_spec, i = self._parse_format(words, i + 1, line)
+            else:
+                raise ScriptError(
+                    f"unexpected word {words[i]!r} in .export", line=line)
+        if outfile is None:
+            raise ScriptError(".export needs 'outfile F'", line=line)
+        self._pending_export = ast.ExportCmd(
+            outfile, format_spec, line=line)
+
+    def _cmd_end(self, words: list[str], line: int) -> None:
+        if len(words) != 2:
+            raise ScriptError(".end expects load or export", line=line)
+        mode = words[1].lower()
+        if mode == "load":
+            self.script.commands.append(ast.EndLoadCmd(line=line))
+        elif mode == "export":
+            self.script.commands.append(ast.EndExportCmd(line=line))
+        else:
+            raise ScriptError(f"unknown .end mode {mode!r}", line=line)
+
+    def _cmd_set(self, words: list[str], line: int) -> None:
+        if len(words) != 3:
+            raise ScriptError(".set expects NAME VALUE", line=line)
+        self.script.commands.append(
+            ast.SetCmd(words[1].lower(), words[2], line=line))
+
+
+def parse_script(source: str) -> ast.Script:
+    """Parse a legacy ETL job script into a :class:`~...ast.Script`."""
+    return _Parser(source).parse()

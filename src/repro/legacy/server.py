@@ -1,0 +1,375 @@
+"""The reference legacy EDW server.
+
+This is the ground-truth implementation of the *legacy* system's observable
+behaviour, used in parity tests against Hyper-Q:
+
+- it speaks the legacy wire protocol natively;
+- load jobs are processed **tuple-at-a-time**: each staged record is bound
+  into the job's DML and applied individually; a record that fails data
+  conversion goes to the transformation error table (``_ET``, code 2666 —
+  Figure 5b) and a record that violates a uniqueness constraint goes to
+  the uniqueness-violation table (``_UV``, code 2794 — Figure 5c), after
+  which the job simply proceeds (Section 7: "errors in ETL jobs do not
+  result in suspending the job");
+- export jobs run the SELECT and serve ordered result chunks.
+
+Internally the server reuses the generic relational machinery (catalog,
+expression evaluator) — what defines "legacy" is the wire protocol, the
+SQL dialect, and the per-tuple error semantics, all of which live here.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.cdw.engine import CdwEngine
+from repro.errors import (
+    BulkExecutionError, CdwError, DataFormatError, ProtocolError,
+    ReproError, SqlError,
+)
+from repro.legacy.client import layout_from_wire
+from repro.legacy.datafmt import BinaryFormat, FormatSpec, make_format
+from repro.legacy.infer import infer_result_layout
+from repro.legacy.protocol import Message, MessageChannel, MessageKind
+from repro.legacy.types import Layout
+from repro.net import Listener
+from repro.sqlxc.nodes import Insert, Select, Statement
+from repro.sqlxc.parser import parse_statement
+from repro.sqlxc.rewrites import bind_params_to_values
+
+__all__ = ["LegacyServer", "ET_COLUMNS_SQL", "UV_EXTRA_COLUMNS_SQL"]
+
+#: schema of a transformation error table (Figure 5b, plus a message).
+ET_COLUMNS_SQL = (
+    "SEQNO INT, ERRCODE INT, ERRFIELD VARCHAR(128), ERRMSG VARCHAR(512)")
+#: columns appended to the target schema for a UV table (Figure 5c).
+UV_EXTRA_COLUMNS_SQL = "SEQNO INT, ERRCODE INT"
+
+_UV_CODE = 2794
+_ET_CODE = 2666
+
+
+@dataclass
+class _LoadJob:
+    job_id: str
+    target: str
+    et_table: str
+    uv_table: str
+    layout: Layout
+    format_spec: FormatSpec
+    chunks: dict[int, bytes] = field(default_factory=dict)
+    eof_sessions: set[int] = field(default_factory=set)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class _ExportJob:
+    job_id: str
+    columns: list[str]
+    chunks: list[list[tuple]]
+    layout: Layout
+
+
+class LegacyServer:
+    """A reference legacy EDW node: listener plus native ETL semantics."""
+
+    def __init__(self, chunk_rows: int = 1000, mtu: int | None = None,
+                 listener=None):
+        self.engine = CdwEngine(native_unique=True)
+        self.listener = listener if listener is not None \
+            else Listener(mtu=mtu)
+        self.chunk_rows = chunk_rows
+        self._jobs: dict[str, _LoadJob] = {}
+        self._exports: dict[str, _ExportJob] = {}
+        self._jobs_lock = threading.Lock()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "LegacyServer":
+        """Start the accept loop; returns self for chaining."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name="legacy-server-accept")
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections."""
+        self._running = False
+        self.listener.close()
+
+    def __enter__(self) -> "LegacyServer":
+        """Context-manager support: starts the server."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the server on context exit."""
+        self.stop()
+
+    def connect(self):
+        """Client-side connection factory (pass to the ETL client)."""
+        return self.listener.connect()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            endpoint = self.listener.accept(timeout=0.5)
+            if endpoint is None:
+                continue
+            threading.Thread(
+                target=self._serve_connection, args=(endpoint,),
+                daemon=True, name="legacy-server-conn").start()
+
+    # -- connection handling ------------------------------------------------------
+
+    def _serve_connection(self, endpoint) -> None:
+        channel = MessageChannel(endpoint, timeout=None)
+        try:
+            while True:
+                message = channel.recv_or_eof()
+                if message is None:
+                    return
+                try:
+                    self._dispatch(channel, message)
+                except ReproError as exc:
+                    channel.send(Message(MessageKind.ERROR, {
+                        "code": getattr(exc, "code", 0),
+                        "message": str(exc),
+                    }))
+        except ReproError:
+            pass  # connection torn down mid-message
+        finally:
+            channel.close()
+
+    def _dispatch(self, channel: MessageChannel, message: Message) -> None:
+        kind = message.kind
+        if kind == MessageKind.LOGON:
+            channel.send(Message(MessageKind.LOGON_OK))
+        elif kind == MessageKind.LOGOFF:
+            channel.send(Message(MessageKind.LOGOFF_OK))
+        elif kind == MessageKind.SQL_REQUEST:
+            self._handle_sql(channel, message)
+        elif kind == MessageKind.BEGIN_LOAD:
+            self._handle_begin_load(channel, message)
+        elif kind == MessageKind.DATA:
+            self._handle_data(channel, message)
+        elif kind == MessageKind.DATA_EOF:
+            self._handle_data_eof(channel, message)
+        elif kind == MessageKind.APPLY_DML:
+            self._handle_apply(channel, message)
+        elif kind == MessageKind.END_LOAD:
+            self._handle_end_load(channel, message)
+        elif kind == MessageKind.BEGIN_EXPORT:
+            self._handle_begin_export(channel, message)
+        elif kind == MessageKind.EXPORT_FETCH:
+            self._handle_export_fetch(channel, message)
+        else:
+            raise ProtocolError(f"unexpected message {kind.name}")
+
+    # -- ad-hoc SQL --------------------------------------------------------------------
+
+    def _handle_sql(self, channel: MessageChannel,
+                    message: Message) -> None:
+        statement = parse_statement(message.meta["sql"], dialect="legacy")
+        result = self.engine.execute(statement)
+        if result.kind == "rows":
+            layout = infer_result_layout(result.columns, result.rows)
+            fmt = BinaryFormat(layout)
+            channel.send(Message(
+                MessageKind.RESULT_SET,
+                {"columns": [[f.name, f.type.render()]
+                             for f in layout.fields]},
+                body=fmt.encode_records(result.rows)))
+        else:
+            channel.send(Message(
+                MessageKind.STMT_OK,
+                {"activity_count": result.activity_count}))
+
+    # -- load jobs -------------------------------------------------------------------------
+
+    def _handle_begin_load(self, channel: MessageChannel,
+                           message: Message) -> None:
+        meta = message.meta
+        layout = layout_from_wire(meta["layout"])
+        job = _LoadJob(
+            job_id=meta["job_id"],
+            target=meta["target"],
+            et_table=meta["et_table"],
+            uv_table=meta["uv_table"],
+            layout=layout,
+            format_spec=FormatSpec.from_wire(meta["format"]),
+        )
+        self._create_error_tables(job)
+        with self._jobs_lock:
+            self._jobs[job.job_id] = job
+        channel.send(Message(MessageKind.BEGIN_LOAD_OK,
+                             {"job_id": job.job_id}))
+
+    def _create_error_tables(self, job: _LoadJob) -> None:
+        self.engine.execute(
+            f"CREATE TABLE IF NOT EXISTS {job.et_table} "
+            f"({ET_COLUMNS_SQL})")
+        target = self.engine.table(job.target)
+        uv_columns = ", ".join(
+            f"{c.name} {c.ctype.render()}" for c in target.columns)
+        self.engine.execute(
+            f"CREATE TABLE IF NOT EXISTS {job.uv_table} "
+            f"({uv_columns}, {UV_EXTRA_COLUMNS_SQL})")
+
+    def _job(self, job_id: str) -> _LoadJob:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"unknown load job {job_id!r}")
+        return job
+
+    def _handle_data(self, channel: MessageChannel,
+                     message: Message) -> None:
+        job = self._job(message.meta["job_id"])
+        with job.lock:
+            job.chunks[message.meta["seq"]] = message.body
+        channel.send(Message(MessageKind.DATA_ACK,
+                             {"seq": message.meta["seq"]}))
+
+    def _handle_data_eof(self, channel: MessageChannel,
+                         message: Message) -> None:
+        job = self._job(message.meta["job_id"])
+        with job.lock:
+            job.eof_sessions.add(message.meta["session_no"])
+        channel.send(Message(MessageKind.DATA_ACK, {"seq": -1}))
+
+    # Tuple-at-a-time application: the defining legacy behaviour. ----------
+
+    def _handle_apply(self, channel: MessageChannel,
+                      message: Message) -> None:
+        job = self._job(message.meta["job_id"])
+        template = parse_statement(message.meta["sql"], dialect="legacy")
+        fmt = make_format(job.format_spec, job.layout)
+        field_names = job.layout.field_names
+
+        inserted = updated = deleted = 0
+        et_errors = uv_errors = 0
+        rownum = 0
+        with job.lock:
+            ordered = [job.chunks[k] for k in sorted(job.chunks)]
+        for chunk in ordered:
+            for item in fmt.iter_decode(chunk):
+                rownum += 1
+                if isinstance(item, DataFormatError):
+                    self._record_et(job, rownum, item.code,
+                                    item.field, str(item))
+                    et_errors += 1
+                    continue
+                bindings = dict(zip(field_names, item))
+                bound = bind_params_to_values(template, bindings)
+                try:
+                    result = self.engine.execute(bound)
+                except BulkExecutionError as exc:
+                    if exc.kind == "uniqueness":
+                        self._record_uv(job, bound, item, rownum)
+                        uv_errors += 1
+                    else:
+                        self._record_et(job, rownum, _ET_CODE,
+                                        exc.field, str(exc))
+                        et_errors += 1
+                    continue
+                except (SqlError, CdwError) as exc:
+                    self._record_et(job, rownum, _ET_CODE,
+                                    getattr(exc, "field", None), str(exc))
+                    et_errors += 1
+                    continue
+                inserted += result.rows_inserted
+                updated += result.rows_updated
+                deleted += result.rows_deleted
+        channel.send(Message(MessageKind.APPLY_RESULT, {
+            "rows_inserted": inserted,
+            "rows_updated": updated,
+            "rows_deleted": deleted,
+            "et_errors": et_errors,
+            "uv_errors": uv_errors,
+        }))
+
+    def _record_et(self, job: _LoadJob, rownum: int, code: int,
+                   field_name: str | None, message: str) -> None:
+        table = self.engine.table(job.et_table)
+        table.rows.append(table.coerce_row(
+            (rownum, code, field_name, message[:512])))
+
+    def _record_uv(self, job: _LoadJob, bound_stmt: Statement,
+                   raw_item: tuple, rownum: int) -> None:
+        """Record the *converted* violating tuple, like Figure 5c."""
+        table = self.engine.table(job.uv_table)
+        target = self.engine.table(job.target)
+        tuple_values: tuple
+        if isinstance(bound_stmt, Insert) and bound_stmt.source is not None:
+            # Evaluate the insert's expressions to get the converted tuple
+            # (conversion already succeeded — only uniqueness failed).
+            from repro.cdw.expressions import RowContext, evaluate
+            rows = getattr(bound_stmt.source, "rows", None)
+            if rows:
+                ctx = RowContext()
+                raw = tuple(evaluate(e, ctx) for e in rows[0])
+                shaped = self.engine._shape_insert_row(
+                    target, bound_stmt.columns, raw)
+                tuple_values = target.coerce_row(shaped)
+            else:
+                tuple_values = tuple([None] * target.arity)
+        else:
+            tuple_values = tuple([None] * target.arity)
+        table.rows.append(table.coerce_row(
+            tuple_values + (rownum, _UV_CODE)))
+
+    def _handle_end_load(self, channel: MessageChannel,
+                         message: Message) -> None:
+        with self._jobs_lock:
+            self._jobs.pop(message.meta["job_id"], None)
+        channel.send(Message(MessageKind.END_LOAD_OK))
+
+    # -- export jobs ---------------------------------------------------------------------------
+
+    def _handle_begin_export(self, channel: MessageChannel,
+                             message: Message) -> None:
+        statement = parse_statement(message.meta["sql"], dialect="legacy")
+        if not isinstance(statement, Select):
+            raise ProtocolError("export job needs a SELECT statement")
+        result = self.engine.execute(statement)
+        layout = infer_result_layout(result.columns, result.rows)
+        chunks = [
+            result.rows[i:i + self.chunk_rows]
+            for i in range(0, len(result.rows), self.chunk_rows)
+        ] or [[]]
+        job = _ExportJob(
+            job_id=message.meta["job_id"],
+            columns=result.columns,
+            chunks=chunks,
+            layout=layout,
+        )
+        with self._jobs_lock:
+            self._exports[job.job_id] = job
+        channel.send(Message(MessageKind.BEGIN_EXPORT_OK, {
+            "columns": [[f.name, f.type.render()] for f in layout.fields],
+        }))
+
+    def _handle_export_fetch(self, channel: MessageChannel,
+                             message: Message) -> None:
+        with self._jobs_lock:
+            job = self._exports.get(message.meta["job_id"])
+        if job is None:
+            raise ProtocolError(
+                f"unknown export job {message.meta.get('job_id')!r}")
+        chunk_no = message.meta["chunk_no"]
+        if chunk_no >= len(job.chunks) or (
+                chunk_no > 0 and not job.chunks[chunk_no]):
+            channel.send(Message(MessageKind.EXPORT_DATA,
+                                 {"chunk_no": chunk_no, "eof": True}))
+            return
+        fmt = BinaryFormat(job.layout)
+        body = fmt.encode_records(job.chunks[chunk_no])
+        channel.send(Message(
+            MessageKind.EXPORT_DATA,
+            {"chunk_no": chunk_no, "eof": False,
+             "records": len(job.chunks[chunk_no])},
+            body=body))

@@ -1,0 +1,147 @@
+"""Legacy EDW type system.
+
+The legacy system's types appear in two places: ``.field`` declarations in
+ETL scripts (Example 2.1) and SQL DDL.  A :class:`Layout` is an ordered list
+of :class:`FieldDef` — exactly what a ``.layout``/``.field`` block declares —
+and is the schema against which wire records are encoded and decoded.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dc_field
+from decimal import Decimal
+
+from repro.errors import ScriptError
+from repro import values
+
+__all__ = ["LegacyType", "FieldDef", "Layout", "parse_type"]
+
+
+_TYPE_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z_0-9]*)\s*(?:\(\s*(\d+)\s*(?:,\s*(\d+)\s*)?\))?\s*$"
+)
+
+#: canonical base-type names the legacy system understands.
+_KNOWN_BASES = {
+    "VARCHAR", "CHAR", "BYTEINT", "SMALLINT", "INTEGER", "BIGINT",
+    "DECIMAL", "FLOAT", "DATE", "TIMESTAMP", "UNICODE",
+}
+
+_ALIASES = {
+    "INT": "INTEGER",
+    "NUMERIC": "DECIMAL",
+    "DOUBLE": "FLOAT",
+    "CHARACTER": "CHAR",
+}
+
+
+@dataclass(frozen=True)
+class LegacyType:
+    """A legacy SQL type, e.g. ``VARCHAR(5)`` or ``DECIMAL(10, 2)``."""
+
+    base: str
+    length: int | None = None
+    scale: int | None = None
+
+    def __post_init__(self):
+        """Validate the base type name."""
+        if self.base not in _KNOWN_BASES:
+            raise ScriptError(f"unknown legacy type {self.base!r}")
+
+    def render(self) -> str:
+        """SQL rendering of the type, e.g. ``VARCHAR(5)``."""
+        if self.base == "DECIMAL" and self.length is not None:
+            scale = self.scale if self.scale is not None else 0
+            return f"DECIMAL({self.length},{scale})"
+        if self.length is not None:
+            return f"{self.base}({self.length})"
+        return self.base
+
+    @property
+    def is_character(self) -> bool:
+        return self.base in ("VARCHAR", "CHAR", "UNICODE")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.base in ("BYTEINT", "SMALLINT", "INTEGER", "BIGINT")
+
+    def python_type(self) -> type:
+        """The Python type values of this legacy type are carried as."""
+        if self.is_character:
+            return str
+        if self.is_integer:
+            return int
+        if self.base == "DECIMAL":
+            return Decimal
+        if self.base == "FLOAT":
+            return float
+        if self.base == "DATE":
+            return values.Date
+        if self.base == "TIMESTAMP":
+            return values.Timestamp
+        raise AssertionError(self.base)
+
+
+def parse_type(text: str) -> LegacyType:
+    """Parse a type expression like ``varchar(50)`` from a script or DDL."""
+    match = _TYPE_RE.match(text)
+    if match is None:
+        raise ScriptError(f"cannot parse type expression {text!r}")
+    base = match.group(1).upper()
+    base = _ALIASES.get(base, base)
+    if base not in _KNOWN_BASES:
+        raise ScriptError(f"unknown legacy type {base!r}")
+    length = int(match.group(2)) if match.group(2) else None
+    scale = int(match.group(3)) if match.group(3) else None
+    return LegacyType(base, length, scale)
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One ``.field NAME TYPE;`` declaration inside a ``.layout`` block."""
+
+    name: str
+    type: LegacyType
+
+    def render(self) -> str:
+        """``NAME TYPE`` rendering for DDL/messages."""
+        return f"{self.name} {self.type.render()}"
+
+
+@dataclass
+class Layout:
+    """An ordered record layout — the schema of rows on the wire."""
+
+    name: str
+    fields: list[FieldDef] = dc_field(default_factory=list)
+
+    def __post_init__(self):
+        """Reject duplicate field names."""
+        seen: set[str] = set()
+        for fld in self.fields:
+            key = fld.name.upper()
+            if key in seen:
+                raise ScriptError(
+                    f"layout {self.name!r}: duplicate field {fld.name!r}")
+            seen.add(key)
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def index_of(self, name: str) -> int:
+        """Position of a field by (case-insensitive) name."""
+        target = name.upper()
+        for i, fld in enumerate(self.fields):
+            if fld.name.upper() == target:
+                return i
+        raise ScriptError(f"layout {self.name!r} has no field {name!r}")
+
+    def field(self, name: str) -> FieldDef:
+        """The FieldDef for a field name."""
+        return self.fields[self.index_of(name)]

@@ -1,0 +1,138 @@
+"""In-memory byte-stream transport.
+
+The paper's Hyper-Q sits between an unmodified legacy client and the cloud
+warehouse, listening on a TCP port.  For a hermetic, deterministic test bed
+we replace the TCP socket with an in-memory duplex byte stream that has the
+same essential properties:
+
+- it carries *bytes*, not messages — writes can be split at arbitrary
+  boundaries (an optional ``mtu`` forces splitting), so the receiving side
+  genuinely needs the Coalescer of Figure 2 to reassemble frames;
+- reads block until data or EOF;
+- both ends can be driven from different threads.
+
+:class:`Listener` plays the role of the server socket the Alpha process
+listens on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.errors import TransportClosed
+
+__all__ = ["Endpoint", "Listener", "pipe"]
+
+_EOF = object()
+
+
+class _HalfStream:
+    """One direction of a duplex stream: a byte queue with EOF."""
+
+    def __init__(self, mtu: int | None = None):
+        self._queue: queue.Queue = queue.Queue()
+        self._mtu = mtu
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def write(self, data: bytes) -> None:
+        with self._lock:
+            if self._closed:
+                raise TransportClosed("write on closed stream")
+        if self._mtu is None:
+            self._queue.put(bytes(data))
+            return
+        for start in range(0, len(data), self._mtu):
+            self._queue.put(bytes(data[start:start + self._mtu]))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_EOF)
+
+    def read(self, timeout: float | None = None) -> bytes | None:
+        """Return the next chunk, or ``None`` on EOF."""
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportClosed(
+                f"no data within {timeout}s (peer hung?)") from None
+        if item is _EOF:
+            self._queue.put(_EOF)  # keep EOF observable for repeat reads
+            return None
+        return item
+
+
+class Endpoint:
+    """One end of a duplex in-memory connection."""
+
+    def __init__(self, outgoing: _HalfStream, incoming: _HalfStream,
+                 name: str = ""):
+        self._out = outgoing
+        self._in = incoming
+        self.name = name
+
+    def send_bytes(self, data: bytes) -> None:
+        """Write bytes to the peer (may split at the MTU)."""
+        self._out.write(data)
+
+    def recv_bytes(self, timeout: float | None = None) -> bytes | None:
+        """Receive the next raw chunk; ``None`` signals EOF."""
+        return self._in.read(timeout=timeout)
+
+    def close(self) -> None:
+        """Close the outgoing direction (peer sees EOF)."""
+        self._out.close()
+
+    def close_both(self) -> None:
+        """Close both directions at once."""
+        self._out.close()
+        self._in.close()
+
+
+def pipe(mtu: int | None = None,
+         names: tuple[str, str] = ("client", "server")
+         ) -> tuple[Endpoint, Endpoint]:
+    """Create a connected pair of endpoints."""
+    a_to_b = _HalfStream(mtu=mtu)
+    b_to_a = _HalfStream(mtu=mtu)
+    left = Endpoint(a_to_b, b_to_a, name=names[0])
+    right = Endpoint(b_to_a, a_to_b, name=names[1])
+    return left, right
+
+
+class Listener:
+    """Accepts in-memory connections, like a listening TCP socket."""
+
+    def __init__(self, mtu: int | None = None):
+        self._mtu = mtu
+        self._pending: queue.Queue = queue.Queue()
+        self._closed = False
+
+    def connect(self) -> Endpoint:
+        """Client side: establish a new connection to this listener."""
+        if self._closed:
+            raise TransportClosed("listener is closed")
+        client_end, server_end = pipe(mtu=self._mtu)
+        self._pending.put(server_end)
+        return client_end
+
+    def accept(self, timeout: float | None = None) -> Endpoint | None:
+        """Server side: wait for the next connection (``None`` when closed)."""
+        try:
+            item = self._pending.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if item is _EOF:
+            self._pending.put(_EOF)
+            return None
+        return item
+
+    def close(self) -> None:
+        """Stop accepting; pending accepts see None."""
+        if not self._closed:
+            self._closed = True
+            self._pending.put(_EOF)

@@ -1,0 +1,116 @@
+"""Real TCP transport with the same interface as :mod:`repro.net`.
+
+The in-memory transport keeps tests hermetic; this module provides the
+production-shaped alternative: a Hyper-Q node (or the reference legacy
+server) listening on an actual socket, with unmodified clients
+connecting over localhost or the network.  Both transports expose the
+same ``Endpoint``/``Listener`` surface, so every component is
+transport-agnostic — pass ``TcpListener`` where a
+:class:`repro.net.Listener` is expected.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import TransportClosed
+
+__all__ = ["TcpEndpoint", "TcpListener", "connect_tcp"]
+
+_RECV_SIZE = 64 * 1024
+
+
+class TcpEndpoint:
+    """One end of a TCP connection, adapted to the Endpoint interface."""
+
+    def __init__(self, sock: socket.socket, name: str = ""):
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.name = name
+        self._closed = False
+
+    def send_bytes(self, data: bytes) -> None:
+        """Send all bytes; raises TransportClosed on failure."""
+        if self._closed:
+            raise TransportClosed("write on closed socket")
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportClosed(f"socket send failed: {exc}") from exc
+
+    def recv_bytes(self, timeout: float | None = None) -> bytes | None:
+        """Receive the next chunk; None on EOF."""
+        try:
+            self._sock.settimeout(timeout)
+            chunk = self._sock.recv(_RECV_SIZE)
+        except socket.timeout as exc:
+            raise TransportClosed(
+                f"no data within {timeout}s (peer hung?)") from exc
+        except OSError:
+            return None
+        return chunk if chunk else None
+
+    def close(self) -> None:
+        """Half-close the socket (peer sees EOF)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+    def close_both(self) -> None:
+        """Close the socket entirely."""
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TcpListener:
+    """A listening TCP socket with the Listener interface."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 32):
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(backlog)
+        self.host, self.port = self._server.getsockname()
+        self._closed = False
+
+    def connect(self) -> TcpEndpoint:
+        """Client-side convenience: connect to this listener."""
+        return connect_tcp(self.host, self.port)
+
+    def accept(self, timeout: float | None = None) -> TcpEndpoint | None:
+        """Accept the next connection or None on timeout/close."""
+        if self._closed:
+            return None
+        try:
+            self._server.settimeout(timeout)
+            sock, peer = self._server.accept()
+        except socket.timeout:
+            return None
+        except OSError:
+            return None
+        return TcpEndpoint(sock, name=f"server<-{peer}")
+
+    def close(self) -> None:
+        """Close the listening socket."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._server.close()
+            except OSError:
+                pass
+
+
+def connect_tcp(host: str, port: int,
+                timeout: float | None = 10.0) -> TcpEndpoint:
+    """Open a client connection to a listening node."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return TcpEndpoint(sock, name=f"client->{host}:{port}")

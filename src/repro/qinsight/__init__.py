@@ -1,0 +1,16 @@
+"""qInsight-style workload analysis (Section 8).
+
+The case study reports that "less than 1% of the queries in ETL jobs had
+to be rewritten manually" and that the migration used qInsight [4] "to
+identify parts of ETL jobs that need to be rewritten upfront".  This
+package provides that upfront analysis for a corpus of legacy job
+scripts: every statement is run through the cross compiler, failures are
+classified by construct, and a coverage report says what fraction of the
+workload virtualizes out of the box.
+"""
+
+from repro.qinsight.analyzer import (
+    StatementFinding, WorkloadAnalyzer, WorkloadReport,
+)
+
+__all__ = ["StatementFinding", "WorkloadAnalyzer", "WorkloadReport"]

@@ -1,0 +1,33 @@
+"""Discrete-event simulator of the Hyper-Q acquisition pipeline.
+
+Figures 9 and 10 of the paper sweep machine-level resources — CPU cores
+and the CreditManager pool — at scales (16-core servers, 97 GB loads, up
+to one million credits) that a test process cannot exercise directly.
+This package provides a from-scratch discrete-event simulation of exactly
+the mechanisms those experiments measure:
+
+- :mod:`repro.sim.events` — a generator-based event loop (processes,
+  timeouts) in the SimPy style, built from scratch;
+- :mod:`repro.sim.resources` — FIFO stores and a credit pool;
+- :mod:`repro.sim.cpu` — a processor-sharing CPU pool with a per-process
+  context-switch/overhead model (the effect that dominates Figure 10's
+  tail) and configurable core count (Figure 9);
+- :mod:`repro.sim.memory` — memory accounting with an OOM limit (the
+  one-million-credit crash mentioned with Figure 10);
+- :mod:`repro.sim.pipeline` — the acquisition pipeline model: sessions,
+  credit-gated asynchronous conversion, FileWriters with fluctuating disk
+  bandwidth, upload, and COPY, with fixed setup/teardown costs (the
+  Amdahl term behind Figure 9's efficiency drop at 16 cores).
+"""
+
+from repro.sim.events import Environment, Process, Timeout
+from repro.sim.resources import CreditPool, Store
+from repro.sim.cpu import SharedCpuPool
+from repro.sim.memory import MemoryModel
+from repro.sim.pipeline import SimParams, SimReport, simulate_acquisition
+
+__all__ = [
+    "Environment", "Process", "Timeout", "CreditPool", "Store",
+    "SharedCpuPool", "MemoryModel", "SimParams", "SimReport",
+    "simulate_acquisition",
+]

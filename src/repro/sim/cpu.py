@@ -1,0 +1,119 @@
+"""A processor-sharing CPU pool with per-process overhead.
+
+Models the Hyper-Q host machine for Figures 9 and 10:
+
+- ``cores`` parallel cores; with ``k`` runnable tasks each task advances
+  at rate ``min(1, cores / k)`` (ideal processor sharing);
+- when ``k > cores`` the OS time-slices: each quantum ``q`` pays a
+  context-switch cost ``c``, and the per-process footprint (run-queue
+  management, cache/TLB pressure) grows with the backlog.  We use the
+  first-order efficiency model::
+
+      efficiency(k) = 1 / (1 + (c/q) * max(0, k - cores) / cores)
+
+  which is ~1 while tasks fit the cores, decays slowly for moderate
+  oversubscription, and collapses once hundreds of thousands of runnable
+  processes exist — reproducing the Figure 10 plateau-then-degrade shape
+  ("eventually, the per-process overhead (i.e., context switching)
+  inevitably begins to dominate the cost of the actual work").
+
+Implementation: *virtual-time* processor sharing.  All runnable tasks
+progress at the same instantaneous rate, so a single virtual clock that
+advances at that rate orders completions; each task finishes when the
+virtual clock reaches ``V_admission + work``.  Every operation is then
+O(log k) on a heap — the pool stays exact yet handles hundreds of
+thousands of concurrent tasks (needed for the Figure 10 sweep).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.sim.events import Environment, Event
+
+__all__ = ["SharedCpuPool"]
+
+
+class SharedCpuPool:
+    """Event-driven processor-sharing pool with virtual-time accounting."""
+
+    def __init__(self, env: Environment, cores: int,
+                 quantum: float = 0.004, switch_cost: float = 0.000_02):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.env = env
+        self.cores = cores
+        self.quantum = quantum
+        self.switch_cost = switch_cost
+        self._virtual = 0.0
+        self._last_update = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._timer: Event | None = None
+        # -- statistics --
+        self.tasks_completed = 0
+        self.busy_time = 0.0
+        self.peak_runnable = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def compute(self, work: float) -> Event:
+        """An event that fires when ``work`` seconds of CPU are done."""
+        done = self.env.event()
+        if work <= 0:
+            done.succeed()
+            return done
+        self._advance()
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self._virtual + work, self._sequence, done))
+        self.peak_runnable = max(self.peak_runnable, len(self._heap))
+        self._reschedule()
+        return done
+
+    @property
+    def runnable(self) -> int:
+        return len(self._heap)
+
+    def rate_for(self, k: int) -> float:
+        """Per-task progress rate with ``k`` runnable tasks (exposed for
+        tests and for analytic cross-checks)."""
+        if k == 0:
+            return 0.0
+        share = min(1.0, self.cores / k)
+        oversubscribed = max(0, k - self.cores)
+        efficiency = 1.0 / (
+            1.0 + (self.switch_cost / self.quantum)
+            * oversubscribed / self.cores)
+        return share * efficiency
+
+    # -- internals -----------------------------------------------------------------
+
+    def _advance(self) -> None:
+        dt = self.env.now - self._last_update
+        self._last_update = self.env.now
+        k = len(self._heap)
+        if dt <= 0 or k == 0:
+            return
+        self._virtual += dt * self.rate_for(k)
+        self.busy_time += dt * min(k, self.cores)
+
+    def _reschedule(self) -> None:
+        if self._timer is not None and not self._timer.triggered:
+            self._timer.cancel()
+        self._timer = None
+        if not self._heap:
+            return
+        rate = self.rate_for(len(self._heap))
+        next_finish = self._heap[0][0]
+        delay = max((next_finish - self._virtual) / rate, 0.0)
+        self._timer = self.env.timeout(delay)
+        self._timer.callbacks.append(self._on_timer)
+
+    def _on_timer(self, _event: Event) -> None:
+        self._advance()
+        while self._heap and self._heap[0][0] <= self._virtual + 1e-12:
+            _, _, done = heapq.heappop(self._heap)
+            self.tasks_completed += 1
+            done.succeed()
+        self._reschedule()

@@ -1,0 +1,145 @@
+"""A minimal generator-based discrete-event loop (SimPy-style, from
+scratch).
+
+Processes are Python generators that ``yield`` events; the environment
+resumes them when the event fires.  Only the primitives the pipeline
+model needs are implemented: immediate events, timeouts, and processes
+(which are themselves events that fire on return).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "Environment"]
+
+
+class Event:
+    """Something that will happen; processes can wait on it."""
+
+    __slots__ = ("env", "callbacks", "triggered", "value", "cancelled",
+                 "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list = []
+        self.triggered = False
+        self.cancelled = False
+        self._scheduled = False
+        self.value = None
+
+    def succeed(self, value=None, delay: float = 0.0) -> "Event":
+        """Mark the event triggered (optionally after a delay)."""
+        if self.triggered or self._scheduled:
+            raise SimulationError("event already triggered")
+        self.value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def cancel(self) -> None:
+        """Prevent a scheduled event from firing (used by the CPU pool)."""
+        self.cancelled = True
+
+
+class Timeout(Event):
+    """Fires after a simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(env)
+        self.env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; fires (with the return value) when it ends."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: Generator):
+        super().__init__(env)
+        self._generator = generator
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.value = stop.value
+            if not self.triggered:
+                self.env._schedule(self, 0.0)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected Event")
+        if target.triggered:
+            # Already fired: resume on the next loop iteration.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            relay.succeed(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The event loop: a time-ordered heap of pending events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    # -- primitives -------------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        """An event firing after the simulated delay."""
+        return Timeout(self, delay)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if event.triggered:
+            raise SimulationError("event already triggered")
+        event._scheduled = True
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence,
+                                    event))
+
+    def _pending(self) -> Iterator[Event]:  # pragma: no cover - debug aid
+        return (event for _, _, event in self._heap)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap empties (or ``until`` passes).
+
+        Returns the simulated time reached.
+        """
+        while self._heap:
+            at, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if until is not None and at > until:
+                # Push back and stop.
+                heapq.heappush(self._heap, (at, self._sequence, event))
+                self.now = until
+                return self.now
+            self.now = at
+            event.triggered = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        return self.now

@@ -1,0 +1,41 @@
+"""Memory accounting for the simulated Hyper-Q node.
+
+Every in-flight chunk holds memory from arrival until its bytes are
+written to a staging file.  Exceeding the node's budget raises
+:class:`~repro.errors.SimOutOfMemory` — reproducing the experimental run
+reported with Figure 10 where one million credits let Hyper-Q "run out
+of memory and crash before all of the records could be loaded".
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimOutOfMemory
+from repro.sim.events import Environment
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Tracks allocated bytes against a hard limit."""
+
+    def __init__(self, env: Environment, limit_bytes: int | None):
+        self.env = env
+        self.limit_bytes = limit_bytes
+        self.in_use = 0
+        self.peak = 0
+
+    def allocate(self, size: int) -> None:
+        """Claim bytes; raises SimOutOfMemory over the limit."""
+        self.in_use += size
+        self.peak = max(self.peak, self.in_use)
+        if self.limit_bytes is not None and self.in_use > self.limit_bytes:
+            raise SimOutOfMemory(
+                f"simulated node exceeded {self.limit_bytes} bytes "
+                f"({self.in_use} in use) at t={self.env.now:.3f}s",
+                at_time=self.env.now, peak_bytes=self.peak)
+
+    def free(self, size: int) -> None:
+        """Release previously allocated bytes."""
+        self.in_use -= size
+        if self.in_use < 0:
+            raise AssertionError("memory accounting went negative")

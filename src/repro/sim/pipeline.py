@@ -1,0 +1,279 @@
+"""Simulated acquisition pipeline (the model behind Figures 9 and 10).
+
+The process structure mirrors :mod:`repro.core.pipeline` one-to-one:
+
+- ``sessions`` client sessions transmit chunks synchronously (one ack per
+  chunk); the ack path does minimal CPU work and then waits only for a
+  credit;
+- conversion runs asynchronously on the shared CPU pool (this is where
+  core count and run-queue length matter);
+- FileWriters return the credit just before writing, write at a
+  fluctuating disk bandwidth, and cut files at a threshold;
+- finalized files are uploaded over the cloud link (optionally
+  compressed), and one in-cloud COPY finishes acquisition;
+- fixed setup/teardown time is spent regardless of resources — the
+  Amdahl term that caps speedup efficiency in Figure 9.
+
+Chunk memory is held from credit acquisition until the bytes hit disk;
+with an oversized credit pool the converted backlog grows without bound
+and the simulated node dies with :class:`~repro.errors.SimOutOfMemory`,
+like the one-million-credit run described with Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimOutOfMemory
+from repro.sim.cpu import SharedCpuPool
+from repro.sim.events import Environment
+from repro.sim.memory import MemoryModel
+from repro.sim.resources import CreditPool, Store
+
+__all__ = ["SimParams", "SimReport", "simulate_acquisition"]
+
+
+@dataclass
+class SimParams:
+    """Workload and machine parameters for one simulated load job."""
+
+    rows: int = 10_000_000
+    row_bytes: int = 500
+    chunk_bytes: int = 1 << 20
+    sessions: int = 8
+    # -- machine --
+    cores: int = 8
+    quantum: float = 0.004
+    switch_cost: float = 0.000_02
+    credits: int = 32
+    memory_limit_bytes: int | None = 64 << 30
+    # -- per-stage costs --
+    receive_cpu_per_byte: float = 2e-10
+    convert_cpu_per_byte: float = 1.2e-9
+    convert_cpu_per_row: float = 3e-7
+    client_bandwidth_per_session: float = 120e6
+    disk_bandwidth: float = 400e6
+    disk_fluctuation: float = 0.2
+    filewriters: int = 2
+    file_threshold_bytes: int = 64 << 20
+    link_bandwidth: float = 200e6
+    compression: bool = False
+    compression_ratio: float = 2.5
+    compression_cpu_per_byte: float = 8e-10
+    copy_bandwidth: float = 1.5e9
+    csv_expansion: float = 1.05
+    session_setup: float = 0.5
+    fixed_setup: float = 6.0
+    fixed_teardown: float = 4.0
+    #: model the rejected synchronous design of Section 5: the ack (and
+    #: therefore the client's next chunk) waits until the chunk's bytes
+    #: are written to disk.
+    synchronous_ack: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    @property
+    def chunk_count(self) -> int:
+        return max(1, math.ceil(self.total_bytes / self.chunk_bytes))
+
+
+@dataclass
+class SimReport:
+    """What one simulated run measured."""
+
+    total_time: float = 0.0
+    acquisition_time: float = 0.0
+    setup_teardown_time: float = 0.0
+    peak_memory_bytes: int = 0
+    peak_runnable_tasks: int = 0
+    credit_blocked_acquires: int = 0
+    credit_total_wait: float = 0.0
+    files_uploaded: int = 0
+    crashed: bool = False
+    crash_time: float | None = None
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        if self.acquisition_time <= 0:
+            return 0.0
+        return self._bytes / self.acquisition_time
+
+    _bytes: int = 0
+
+
+def simulate_acquisition(params: SimParams) -> SimReport:
+    """Run one simulated load job and report its timings."""
+    env = Environment()
+    cpu = SharedCpuPool(env, params.cores, params.quantum,
+                        params.switch_cost)
+    credits = CreditPool(env, params.credits)
+    memory = MemoryModel(env, params.memory_limit_bytes)
+    report = SimReport()
+    report._bytes = params.total_bytes
+
+    chunk_count = params.chunk_count
+    last_chunk_bytes = (params.total_bytes
+                        - (chunk_count - 1) * params.chunk_bytes)
+    rows_per_chunk = params.rows / chunk_count
+
+    writer_stores = [Store(env) for _ in range(params.filewriters)]
+    upload_store = Store(env)
+    flush_acks = Store(env)
+    upload_acks = Store(env)
+    chunks_written = Store(env)  # one token per chunk that reached disk
+
+    state = {
+        "acq_start": None,
+        "acq_end": None,
+        "files_finalized": 0,
+        "writer_buffers": [0.0] * params.filewriters,
+        "writer_records": [0] * params.filewriters,
+    }
+    chunk_done: dict[int, object] = {}
+
+    def chunk_size(index: int) -> float:
+        return (last_chunk_bytes if index == chunk_count - 1
+                else params.chunk_bytes)
+
+    def disk_rate(writer_no: int) -> float:
+        """Fluctuating disk bandwidth (deterministic wave)."""
+        wobble = params.disk_fluctuation * math.sin(
+            env.now * 0.7 + writer_no * 1.3)
+        return params.disk_bandwidth * (1.0 + wobble)
+
+    # -- converter -------------------------------------------------------------
+
+    def converter(index: int, raw: float):
+        work = (raw * params.convert_cpu_per_byte
+                + rows_per_chunk * params.convert_cpu_per_row)
+        yield cpu.compute(work)
+        csv = raw * params.csv_expansion
+        memory.allocate(int(csv))
+        memory.free(int(raw))
+        writer_stores[index % params.filewriters].put((index, csv))
+
+    # -- sessions -----------------------------------------------------------------
+
+    def session(session_no: int):
+        yield env.timeout(params.session_setup)
+        for index in range(session_no, chunk_count, params.sessions):
+            raw = chunk_size(index)
+            # client transmission (synchronous per session)
+            yield env.timeout(raw / params.client_bandwidth_per_session)
+            # minimal ack-path processing; this is network/kernel work on
+            # a fast path, not competing in the converter CPU pool.
+            yield env.timeout(raw * params.receive_cpu_per_byte)
+            # back-pressure point
+            yield credits.acquire()
+            memory.allocate(int(raw))
+            if params.synchronous_ack:
+                done = env.event()
+                chunk_done[index] = done
+                env.process(converter(index, raw))
+                # rejected design: hold the ack until the write lands.
+                yield done
+            else:
+                env.process(converter(index, raw))
+            # the DATA_ACK goes out here; next loop iteration models the
+            # client sending its next chunk.
+
+    # -- filewriters -----------------------------------------------------------------
+
+    def filewriter(writer_no: int):
+        store = writer_stores[writer_no]
+        while True:
+            item = yield store.get()
+            if item == "FLUSH":
+                buffered = state["writer_buffers"][writer_no]
+                if buffered > 0:
+                    state["writer_buffers"][writer_no] = 0.0
+                    state["files_finalized"] += 1
+                    upload_store.put(buffered)
+                flush_acks.put(writer_no)
+                return
+            index, csv = item
+            credits.release()  # just before the write (Figure 4)
+            yield env.timeout(csv / disk_rate(writer_no))
+            memory.free(int(csv))
+            state["writer_buffers"][writer_no] += csv
+            if state["writer_buffers"][writer_no] \
+                    >= params.file_threshold_bytes:
+                upload_store.put(state["writer_buffers"][writer_no])
+                state["writer_buffers"][writer_no] = 0.0
+                state["files_finalized"] += 1
+            done = chunk_done.pop(index, None)
+            if done is not None:
+                done.succeed()
+            chunks_written.put(index)
+
+    # -- uploader -----------------------------------------------------------------------
+
+    def uploader():
+        while True:
+            item = yield upload_store.get()
+            if item == "STOP":
+                return
+            size = item
+            if params.compression:
+                yield cpu.compute(size * params.compression_cpu_per_byte)
+                size /= params.compression_ratio
+            yield env.timeout(size / params.link_bandwidth)
+            report.files_uploaded += 1
+            upload_acks.put(True)
+
+    # -- coordinator ------------------------------------------------------------------------
+
+    def coordinator():
+        yield env.timeout(params.fixed_setup)
+        # The acquisition phase includes per-session setup: Section 9
+        # attributes the Figure 9 efficiency degradation to "the setup
+        # and teardown overhead associated with the acquisition phase".
+        state["acq_start"] = env.now
+        for i in range(params.sessions):
+            env.process(session(i))
+        for j in range(params.filewriters):
+            env.process(filewriter(j))
+        env.process(uploader())
+        for _ in range(chunk_count):
+            yield chunks_written.get()
+        # flush partial files
+        for store in writer_stores:
+            store.put("FLUSH")
+        for _ in range(params.filewriters):
+            yield flush_acks.get()
+        for _ in range(state["files_finalized"]):
+            yield upload_acks.get()
+        upload_store.put("STOP")
+        # the in-cloud COPY
+        total_csv = params.total_bytes * params.csv_expansion
+        yield env.timeout(total_csv / params.copy_bandwidth)
+        state["acq_end"] = env.now
+        yield env.timeout(params.fixed_teardown)
+
+    main = env.process(coordinator())
+    try:
+        env.run()
+    except SimOutOfMemory as oom:
+        report.crashed = True
+        report.crash_time = oom.at_time
+        report.total_time = oom.at_time
+        report.peak_memory_bytes = memory.peak
+        report.peak_runnable_tasks = cpu.peak_runnable
+        report.credit_blocked_acquires = credits.blocked_acquires
+        report.credit_total_wait = credits.total_wait
+        return report
+    if not main.triggered:
+        raise AssertionError("simulation ended before the job completed")
+    report.total_time = env.now
+    start = state["acq_start"] if state["acq_start"] is not None else 0.0
+    end = state["acq_end"] if state["acq_end"] is not None else env.now
+    report.acquisition_time = max(end - start, 0.0)
+    report.setup_teardown_time = report.total_time - report.acquisition_time
+    report.peak_memory_bytes = memory.peak
+    report.peak_runnable_tasks = cpu.peak_runnable
+    report.credit_blocked_acquires = credits.blocked_acquires
+    report.credit_total_wait = credits.total_wait
+    return report

@@ -1,0 +1,86 @@
+"""Queues and the credit pool for the simulated pipeline."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.events import Environment, Event
+
+__all__ = ["Store", "CreditPool"]
+
+
+class Store:
+    """An unbounded FIFO hand-off between pipeline stages."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item) -> None:
+        """Add an item, waking the oldest waiting getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        """Number of buffered items."""
+        return len(self._items)
+
+
+class CreditPool:
+    """The simulated CreditManager: a counted pool with FIFO waiters.
+
+    Mirrors :class:`repro.core.credits.CreditManager` semantics in
+    simulated time, including wait-time accounting.
+    """
+
+    def __init__(self, env: Environment, size: int):
+        self.env = env
+        self.size = size
+        self.available = size
+        self._waiters: deque[tuple[Event, float]] = deque()
+        # -- statistics --
+        self.acquires = 0
+        self.blocked_acquires = 0
+        self.total_wait = 0.0
+        self.min_available = size
+        self.peak_in_flight = 0
+
+    def acquire(self) -> Event:
+        """An event that fires once a credit is held."""
+        event = self.env.event()
+        self.acquires += 1
+        if self.available > 0:
+            self.available -= 1
+            self._note_levels()
+            event.succeed()
+        else:
+            self.blocked_acquires += 1
+            self._waiters.append((event, self.env.now))
+        return event
+
+    def release(self) -> None:
+        """Return a credit, waking the oldest waiter."""
+        if self._waiters:
+            event, since = self._waiters.popleft()
+            self.total_wait += self.env.now - since
+            self._note_levels()
+            event.succeed()
+        else:
+            self.available += 1
+
+    def _note_levels(self) -> None:
+        self.min_available = min(self.min_available, self.available)
+        self.peak_in_flight = max(self.peak_in_flight,
+                                  self.size - self.available)

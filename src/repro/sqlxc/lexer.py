@@ -1,0 +1,164 @@
+"""SQL lexer shared by the legacy and CDW dialects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SqlLexError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENT = auto()          # bare or "quoted" identifier
+    STRING = auto()         # 'literal'
+    NUMBER = auto()
+    HOSTPARAM = auto()      # :NAME (legacy host variable)
+    OP = auto()             # operators and punctuation
+    EOF = auto()
+
+
+#: Words with grammatical meaning.  Anything else is an identifier; function
+#: names (TRIM, COALESCE...) are deliberately *not* keywords so they can be
+#: parsed uniformly as calls.
+KEYWORDS = frozenset({
+    "SELECT", "SEL", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "DISTINCT", "AS", "AND", "OR", "NOT", "IN",
+    "IS", "NULL", "BETWEEN", "LIKE", "EXISTS", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "CAST", "FORMAT", "INSERT", "INTO", "VALUES", "UPDATE",
+    "SET", "DELETE", "MERGE", "USING", "ON", "MATCHED", "CREATE", "TABLE",
+    "DROP", "IF", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
+    "CROSS", "UNIQUE", "PRIMARY", "KEY", "COPY", "TRUE", "FALSE", "DATE",
+    "TIMESTAMP", "TIME", "INTERVAL", "TRIM", "LEADING", "TRAILING", "BOTH",
+    "POSITION", "SUBSTRING", "FOR", "COMPRESSION", "DELIMITER",
+    "CONSTRAINT", "DEFAULT", "UNION", "EXCEPT", "INTERSECT", "ALL",
+    "EXTRACT",
+})
+
+_MULTI_OPS = ("<>", "!=", ">=", "<=", "||", "**")
+_SINGLE_OPS = "+-*/%(),.=<>;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    pos: int
+
+    def match(self, *keywords: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return (self.type is TokenType.KEYWORD
+                and self.value in keywords)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+def tokenize(sql: str, dialect: str = "legacy") -> list[Token]:
+    """Lex a SQL string into tokens (dialect only affects ``:params``)."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise SqlLexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            else:
+                raise SqlLexError("unterminated string literal", i)
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SqlLexError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, sql[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch == ":":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SqlLexError("bare ':' (host parameter needs a name)", i)
+            tokens.append(Token(TokenType.HOSTPARAM, sql[i + 1:j], i))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (sql[j + 1].isdigit()
+                                      or sql[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2 if sql[j + 1] in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] in "_$"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                # SEL is the legacy abbreviation for SELECT.
+                value = "SELECT" if upper == "SEL" else upper
+                tokens.append(Token(TokenType.KEYWORD, value, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenType.OP, ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,14 @@
+"""Synthetic workload generators for the experiments.
+
+The paper evaluates with "real-world jobs" on proprietary customer data;
+we substitute seeded synthetic datasets with the same knobs the
+experiments turn: row count, average row width (Figures 7/8), column
+count (Figure 10), and injected error rates (Figure 11: bad dates and
+duplicate keys).
+"""
+
+from repro.workloads.generator import (
+    Workload, make_workload, wide_workload,
+)
+
+__all__ = ["Workload", "make_workload", "wide_workload"]

@@ -1,0 +1,53 @@
+"""Figure 11 baseline loader tests."""
+
+from repro.baselines import SingletonInsertLoader
+from repro.cdw.engine import CdwEngine
+from repro.workloads import make_workload
+
+
+def run(workload):
+    loader = SingletonInsertLoader(CdwEngine())
+    loader.prepare(workload)
+    return loader.engine, loader.run(workload)
+
+
+class TestSingletonLoader:
+    def test_clean_load(self):
+        workload = make_workload(rows=50, row_bytes=100, seed=1,
+                                 table="B.T")
+        engine, result = run(workload)
+        assert result.rows_inserted == 50
+        assert result.statements == 50
+        assert engine.query("SELECT COUNT(*) FROM B.T") == [(50,)]
+
+    def test_errors_logged_immediately(self):
+        workload = make_workload(rows=100, row_bytes=100, seed=2,
+                                 error_rate=0.1, table="B.T")
+        engine, result = run(workload)
+        assert result.et_errors == workload.expected_date_errors
+        assert engine.query(
+            "SELECT COUNT(*) FROM B.T_ET") == [(result.et_errors,)]
+        # every error row carries its 1-based row number
+        seqnos = [r[0] for r in engine.query("SELECT SEQNO FROM B.T_ET")]
+        assert all(1 <= s <= 100 for s in seqnos)
+
+    def test_uniqueness_violations_to_uv(self):
+        workload = make_workload(rows=100, row_bytes=100, seed=3,
+                                 dup_rate=0.05, table="B.T")
+        engine, result = run(workload)
+        assert result.uv_errors > 0
+        assert engine.query(
+            "SELECT COUNT(*) FROM B.T_UV") == [(result.uv_errors,)]
+
+    def test_matches_hyperq_outcome(self):
+        """The baseline and Hyper-Q agree on WHAT loads; they differ
+        only in HOW long it takes (the Figure 11 comparison)."""
+        from repro.bench import run_import_workload
+        workload = make_workload(rows=150, row_bytes=100, seed=4,
+                                 error_rate=0.05, dup_rate=0.03,
+                                 table="B.T")
+        engine, base = run(workload)
+        hyperq = run_import_workload(workload)
+        assert base.rows_inserted == hyperq.rows_inserted
+        assert base.et_errors == hyperq.et_errors
+        assert base.uv_errors == hyperq.uv_errors

@@ -1,0 +1,59 @@
+"""Tests for the programmatic figure-regeneration API."""
+
+import os
+
+from repro.bench.figures import (
+    FIGURES, fig9_series, fig10_series, fig11_series, regenerate_all,
+)
+from repro.cli import main
+
+
+class TestSeriesFunctions:
+    def test_fig9_shape(self):
+        series = fig9_series(cores=(2, 4))
+        assert [row["cores"] for row in series] == [2, 4]
+        assert series[0]["speedup_eff_S"] == 1.0
+        assert series[1]["sim_total_s"] < series[0]["sim_total_s"]
+
+    def test_fig10_small_subset(self):
+        series = fig10_series(credit_settings=(16, 64))
+        assert all(row["outcome"] == "ok" for row in series)
+        assert series[0]["peak_runnable"] <= 16
+
+    def test_fig11_tiny(self):
+        series = fig11_series(scale=0.1, error_rates=(0.0,))
+        assert series[0]["errors_recorded"] == 0
+        assert series[0]["hyperq_total_s"] < \
+            series[0]["baseline_total_s"]
+
+    def test_figures_registry_complete(self):
+        assert set(FIGURES) == {
+            "fig7", "fig7_paper_scale", "fig8", "fig9", "fig10",
+            "fig11", "sessions"}
+
+
+class TestRegenerateAll:
+    def test_subset_written(self, tmp_path):
+        written = regenerate_all(str(tmp_path), scale=0.05,
+                                 only=["fig9"])
+        assert set(written) == {"fig9"}
+        with open(written["fig9"]) as handle:
+            content = handle.read()
+        assert "cores" in content
+        assert "speedup_eff_S" in content
+
+
+class TestCliFigures:
+    def test_cli_subset(self, tmp_path, capsys):
+        code = main(["figures", "--out", str(tmp_path),
+                     "--scale", "0.05", "--only", "fig9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert os.path.exists(os.path.join(str(tmp_path), "fig9.txt"))
+
+    def test_cli_unknown_figure(self, tmp_path, capsys):
+        code = main(["figures", "--out", str(tmp_path),
+                     "--only", "fig99"])
+        assert code == 1
+        assert "unknown figures" in capsys.readouterr().err

@@ -1,0 +1,59 @@
+"""Bench harness and report-formatting tests."""
+
+import os
+
+from repro.bench import (
+    build_stack, format_series, run_import_workload,
+    run_workload_through_hyperq, write_series,
+)
+from repro.core import HyperQConfig
+from repro.workloads import make_workload
+
+
+class TestHarness:
+    def test_run_import_workload_metrics(self):
+        workload = make_workload(rows=200, row_bytes=120, seed=1)
+        metrics = run_import_workload(workload, sessions=2)
+        assert metrics.rows_inserted == 200
+        assert metrics.records_converted == 200
+        assert metrics.acquisition_s > 0
+        assert metrics.total_s >= metrics.acquisition_s
+
+    def test_reusable_stack_multiple_jobs(self):
+        with build_stack(config=HyperQConfig(credits=8)) as stack:
+            w1 = make_workload(rows=50, seed=2, table="T.A")
+            w2 = make_workload(rows=60, seed=3, table="T.B")
+            m1 = run_workload_through_hyperq(stack, w1)
+            m2 = run_workload_through_hyperq(stack, w2)
+            assert m1.rows_inserted == 50
+            assert m2.rows_inserted == 60
+            assert len(stack.node.completed_jobs) == 2
+
+    def test_metrics_as_row(self):
+        workload = make_workload(rows=30, seed=4)
+        metrics = run_import_workload(workload)
+        row = metrics.as_row()
+        assert row["rows_inserted"] == 30
+        assert set(row) >= {"total_s", "acquisition_s", "application_s"}
+
+
+class TestReport:
+    def test_format_series_alignment(self):
+        text = format_series("My Table", [
+            {"a": 1, "b": 0.123456, "c": "x"},
+            {"a": 1000, "b": 2.0, "c": None},
+        ], note="a note")
+        lines = text.strip().split("\n")
+        assert lines[0] == "== My Table =="
+        assert lines[1] == "a note"
+        assert "0.123" in text
+        assert "-" in lines[-1]  # None renders as '-'
+
+    def test_format_series_empty(self):
+        assert "(no data)" in format_series("Empty", [])
+
+    def test_write_series(self, tmp_path):
+        path = os.path.join(str(tmp_path), "sub", "out.txt")
+        write_series(path, "content\n")
+        with open(path) as handle:
+            assert handle.read() == "content\n"

@@ -1,0 +1,72 @@
+"""Derived-table (subquery in FROM) tests."""
+
+import pytest
+
+from repro.cdw.engine import CdwEngine
+from repro.sqlxc import parse_statement, render
+
+
+@pytest.fixture
+def db():
+    engine = CdwEngine()
+    engine.execute("CREATE TABLE s (REGION NVARCHAR(8), AMT INT)")
+    engine.execute(
+        "INSERT INTO s VALUES ('n', 10), ('n', 20), ('s', 5), ('s', 7)")
+    return engine
+
+
+class TestDerivedTables:
+    def test_basic(self, db):
+        rows = db.query(
+            "SELECT t.REGION, t.TOTAL FROM "
+            "(SELECT REGION, SUM(AMT) AS TOTAL FROM s GROUP BY REGION) "
+            "AS t ORDER BY t.REGION")
+        assert rows == [("n", 30), ("s", 12)]
+
+    def test_where_over_derived(self, db):
+        rows = db.query(
+            "SELECT t.REGION FROM "
+            "(SELECT REGION, SUM(AMT) AS TOTAL FROM s GROUP BY REGION) "
+            "AS t WHERE t.TOTAL > 20")
+        assert rows == [("n",)]
+
+    def test_join_table_with_derived(self, db):
+        db.execute("CREATE TABLE names (REGION NVARCHAR(8), "
+                   "FULL_NAME NVARCHAR(16))")
+        db.execute("INSERT INTO names VALUES ('n', 'north'), "
+                   "('s', 'south')")
+        rows = db.query(
+            "SELECT names.FULL_NAME, t.TOTAL FROM names JOIN "
+            "(SELECT REGION, SUM(AMT) AS TOTAL FROM s GROUP BY REGION) "
+            "AS t ON names.REGION = t.REGION ORDER BY 1")
+        assert rows == [("north", 30), ("south", 12)]
+
+    def test_star_over_derived(self, db):
+        rows = db.query(
+            "SELECT * FROM (SELECT REGION FROM s WHERE AMT > 8) AS x")
+        assert sorted(rows) == [("n",), ("n",)]
+
+    def test_nested_derived(self, db):
+        rows = db.query(
+            "SELECT y.R FROM (SELECT x.REGION AS R FROM "
+            "(SELECT REGION FROM s) AS x) AS y WHERE y.R = 's' LIMIT 1")
+        assert rows == [("s",)]
+
+    def test_derived_from_union(self, db):
+        rows = db.query(
+            "SELECT COUNT(*) FROM "
+            "(SELECT REGION FROM s UNION SELECT 'x') AS u")
+        assert rows == [(3,)]
+
+    def test_render_roundtrip(self):
+        sql = ("SELECT t.A FROM (SELECT A FROM b WHERE (A > 1)) AS t "
+               "LIMIT 3")
+        first = render(parse_statement(sql, "cdw"), "cdw")
+        second = render(parse_statement(first, "cdw"), "cdw")
+        assert first == second
+
+    def test_legacy_dialect_supported(self, db):
+        from repro.sqlxc import transpile
+        out = transpile(
+            "sel t.TOTAL from (sel SUM(AMT) as TOTAL from s) t")
+        assert "(SELECT SUM(AMT) AS TOTAL FROM s) AS t" in out

@@ -1,0 +1,194 @@
+"""SELECT pipeline tests: joins, aggregation, ordering, subqueries."""
+
+import pytest
+
+from repro.cdw.engine import CdwEngine
+from repro.errors import CatalogError, CdwError
+
+
+@pytest.fixture
+def db():
+    engine = CdwEngine()
+    engine.execute("CREATE TABLE emp (ID INT, NAME NVARCHAR(20), "
+                   "DEPT NVARCHAR(10), SALARY INT)")
+    engine.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ann', 'eng', 100), (2, 'bob', 'eng', 80), "
+        "(3, 'cat', 'ops', 90), (4, 'dan', 'ops', NULL), "
+        "(5, 'eve', 'hr', 70)")
+    engine.execute("CREATE TABLE dept (DEPT NVARCHAR(10), LOC NVARCHAR(10))")
+    engine.execute(
+        "INSERT INTO dept VALUES ('eng', 'sf'), ('ops', 'nyc')")
+    return engine
+
+
+class TestProjection:
+    def test_star(self, db):
+        rows = db.query("SELECT * FROM emp ORDER BY ID")
+        assert len(rows) == 5 and len(rows[0]) == 4
+
+    def test_expressions_and_aliases(self, db):
+        result = db.execute(
+            "SELECT NAME, SALARY * 2 AS double_pay FROM emp "
+            "WHERE ID = 1")
+        assert result.columns == ["NAME", "double_pay"]
+        assert result.rows == [("ann", 200)]
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 1 + 1") == [(2,)]
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM nope")
+
+
+class TestFiltering:
+    def test_where(self, db):
+        rows = db.query("SELECT NAME FROM emp WHERE SALARY > 85 "
+                        "ORDER BY NAME")
+        assert rows == [("ann",), ("cat",)]
+
+    def test_null_never_matches(self, db):
+        rows = db.query("SELECT NAME FROM emp WHERE SALARY > 0")
+        assert ("dan",) not in rows
+
+    def test_is_null(self, db):
+        assert db.query(
+            "SELECT NAME FROM emp WHERE SALARY IS NULL") == [("dan",)]
+
+
+class TestOrdering:
+    def test_order_by_column(self, db):
+        rows = db.query("SELECT NAME FROM emp ORDER BY SALARY DESC")
+        # NULL sorts first ascending, so last row descending is dan.
+        assert rows[0] == ("ann",)
+
+    def test_order_by_position(self, db):
+        rows = db.query("SELECT NAME, SALARY FROM emp ORDER BY 2 DESC")
+        assert rows[0] == ("ann", 100)
+
+    def test_order_by_alias(self, db):
+        rows = db.query(
+            "SELECT NAME, SALARY AS s FROM emp WHERE SALARY IS NOT NULL "
+            "ORDER BY s")
+        assert rows[0] == ("eve", 70)
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT * FROM emp LIMIT 2")) == 2
+
+    def test_multi_key_order(self, db):
+        rows = db.query("SELECT DEPT, NAME FROM emp ORDER BY DEPT, NAME")
+        assert rows[0] == ("eng", "ann")
+        assert rows[-1] == ("ops", "dan")
+
+
+class TestDistinct:
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT DEPT FROM emp ORDER BY DEPT")
+        assert rows == [("eng",), ("hr",), ("ops",)]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = db.query(
+            "SELECT e.NAME, d.LOC FROM emp e JOIN dept d "
+            "ON e.DEPT = d.DEPT ORDER BY e.NAME")
+        assert ("ann", "sf") in rows
+        assert all(name != "eve" for name, _ in rows)  # hr has no dept row
+
+    def test_left_join_null_extends(self, db):
+        rows = db.query(
+            "SELECT e.NAME, d.LOC FROM emp e LEFT JOIN dept d "
+            "ON e.DEPT = d.DEPT WHERE d.LOC IS NULL")
+        assert rows == [("eve", None)]
+
+    def test_cross_join(self, db):
+        rows = db.query("SELECT e.ID, d.DEPT FROM emp e CROSS JOIN dept d")
+        assert len(rows) == 10
+
+    def test_right_join_unsupported(self, db):
+        with pytest.raises(CdwError):
+            db.query("SELECT * FROM emp e RIGHT JOIN dept d "
+                     "ON e.DEPT = d.DEPT")
+
+
+class TestAggregation:
+    def test_count_star_and_column(self, db):
+        assert db.query("SELECT COUNT(*), COUNT(SALARY) FROM emp") == \
+            [(5, 4)]
+
+    def test_sum_avg_min_max(self, db):
+        (row,) = db.query(
+            "SELECT SUM(SALARY), AVG(SALARY), MIN(SALARY), MAX(SALARY) "
+            "FROM emp")
+        assert row == (340, 85.0, 70, 100)
+
+    def test_aggregate_over_empty_is_null(self, db):
+        assert db.query(
+            "SELECT SUM(SALARY) FROM emp WHERE ID > 99") == [(None,)]
+
+    def test_count_over_empty_is_zero(self, db):
+        assert db.query(
+            "SELECT COUNT(*) FROM emp WHERE ID > 99") == [(0,)]
+
+    def test_group_by(self, db):
+        rows = db.query(
+            "SELECT DEPT, COUNT(*) FROM emp GROUP BY DEPT ORDER BY 1")
+        assert rows == [("eng", 2), ("hr", 1), ("ops", 2)]
+
+    def test_having(self, db):
+        rows = db.query(
+            "SELECT DEPT FROM emp GROUP BY DEPT HAVING COUNT(*) > 1 "
+            "ORDER BY 1")
+        assert rows == [("eng",), ("ops",)]
+
+    def test_count_distinct(self, db):
+        assert db.query("SELECT COUNT(DISTINCT DEPT) FROM emp") == [(3,)]
+
+    def test_aggregate_in_expression(self, db):
+        assert db.query("SELECT MAX(SALARY) - MIN(SALARY) FROM emp") == \
+            [(30,)]
+
+
+class TestSubqueries:
+    def test_in_subquery(self, db):
+        rows = db.query(
+            "SELECT NAME FROM emp WHERE DEPT IN "
+            "(SELECT DEPT FROM dept WHERE LOC = 'sf')")
+        assert rows == [("ann",), ("bob",)]
+
+    def test_scalar_subquery(self, db):
+        rows = db.query(
+            "SELECT NAME FROM emp WHERE SALARY = "
+            "(SELECT MAX(SALARY) FROM emp)")
+        assert rows == [("ann",)]
+
+    def test_correlated_exists(self, db):
+        rows = db.query(
+            "SELECT d.DEPT FROM dept d WHERE EXISTS "
+            "(SELECT 1 FROM emp e WHERE e.DEPT = d.DEPT "
+            "AND e.SALARY > 95)")
+        assert rows == [("eng",)]
+
+
+class TestSortedSlicePushdown:
+    def test_between_slice_matches_full_scan(self, db):
+        engine = CdwEngine()
+        engine.execute("CREATE TABLE s (K BIGINT, V INT)")
+        table = engine.table("s")
+        table.rows = [(i, i * 10) for i in range(1000)]
+        sql = "SELECT COUNT(*), SUM(V) FROM s WHERE K BETWEEN 100 AND 199"
+        unsliced = engine.query(sql)
+        table.sorted_by = "K"
+        sliced = engine.query(sql)
+        assert sliced == unsliced == [(100, 149500)]
+
+    def test_residual_predicate_still_applies(self):
+        engine = CdwEngine()
+        engine.execute("CREATE TABLE s (K BIGINT, V INT)")
+        table = engine.table("s")
+        table.rows = [(i, i % 2) for i in range(100)]
+        table.sorted_by = "K"
+        rows = engine.query(
+            "SELECT COUNT(*) FROM s WHERE K BETWEEN 0 AND 49 AND V = 1")
+        assert rows == [(25,)]

@@ -1,0 +1,126 @@
+"""Set operations, EXTRACT, and CREATE TABLE AS tests."""
+
+import datetime
+
+import pytest
+
+from repro.cdw.engine import CdwEngine
+from repro.errors import CdwError
+
+
+@pytest.fixture
+def db():
+    engine = CdwEngine()
+    engine.execute("CREATE TABLE a (X INT)")
+    engine.execute("INSERT INTO a VALUES (1), (2), (3), (3)")
+    engine.execute("CREATE TABLE b (X INT)")
+    engine.execute("INSERT INTO b VALUES (3), (4)")
+    return engine
+
+
+class TestSetOps:
+    def test_union_dedupes(self, db):
+        rows = db.query("SELECT X FROM a UNION SELECT X FROM b")
+        assert sorted(rows) == [(1,), (2,), (3,), (4,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.query("SELECT X FROM a UNION ALL SELECT X FROM b")
+        assert len(rows) == 6
+
+    def test_except(self, db):
+        rows = db.query("SELECT X FROM a EXCEPT SELECT X FROM b")
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_intersect(self, db):
+        rows = db.query("SELECT X FROM a INTERSECT SELECT X FROM b")
+        assert rows == [(3,)]
+
+    def test_chained_set_ops(self, db):
+        rows = db.query(
+            "SELECT X FROM a UNION SELECT X FROM b "
+            "EXCEPT SELECT 4")
+        assert sorted(rows) == [(1,), (2,), (3,)]
+
+    def test_arity_mismatch_raises(self, db):
+        with pytest.raises(CdwError):
+            db.query("SELECT X FROM a UNION SELECT X, X FROM b")
+
+    def test_insert_from_union(self, db):
+        db.execute("CREATE TABLE c (X INT)")
+        result = db.execute(
+            "INSERT INTO c SELECT X FROM a UNION SELECT X FROM b")
+        assert result.rows_inserted == 4
+
+    def test_in_subquery_with_union(self, db):
+        rows = db.query(
+            "SELECT X FROM a WHERE X IN "
+            "(SELECT X FROM b UNION SELECT 1)")
+        assert sorted(set(rows)) == [(1,), (3,)]
+
+    def test_render_roundtrip(self, db):
+        from repro.sqlxc import parse_statement, render
+        sql = "SELECT X FROM a UNION ALL SELECT X FROM b"
+        first = render(parse_statement(sql, "cdw"), "cdw")
+        second = render(parse_statement(first, "cdw"), "cdw")
+        assert first == second
+
+
+class TestExtract:
+    def test_date_parts(self, db):
+        (row,) = db.query(
+            "SELECT EXTRACT(YEAR FROM DATE '2020-03-04'), "
+            "EXTRACT(MONTH FROM DATE '2020-03-04'), "
+            "EXTRACT(DAY FROM DATE '2020-03-04')")
+        assert row == (2020, 3, 4)
+
+    def test_timestamp_parts(self, db):
+        (row,) = db.query(
+            "SELECT EXTRACT(HOUR FROM TIMESTAMP '2020-01-01 13:14:15')")
+        assert row == (13,)
+
+    def test_null_propagates(self, db):
+        db.execute("CREATE TABLE d (D DATE)")
+        db.execute("INSERT INTO d VALUES (NULL)")
+        assert db.query("SELECT EXTRACT(YEAR FROM D) FROM d") == \
+            [(None,)]
+
+    def test_render_roundtrip(self):
+        from repro.sqlxc import parse_statement, render
+        sql = "SELECT EXTRACT(YEAR FROM D) FROM t"
+        first = render(parse_statement(sql, "cdw"), "cdw")
+        assert "EXTRACT(YEAR FROM D)" in first
+
+
+class TestCreateTableAs:
+    def test_types_inferred(self, db):
+        db.execute(
+            "CREATE TABLE summary AS SELECT X, X * 1.5 AS scaled, "
+            "'tag' AS label FROM a")
+        table = db.table("summary")
+        assert table.column("X").ctype.base == "BIGINT"
+        assert table.column("scaled").ctype.base == "DECIMAL"
+        assert table.column("label").ctype.base == "NVARCHAR"
+        assert len(table.rows) == 4
+
+    def test_date_column_inferred(self, db):
+        db.execute("CREATE TABLE dd AS SELECT DATE '2020-01-01' AS d")
+        assert db.table("dd").column("d").ctype.base == "DATE"
+        assert db.query("SELECT d FROM dd") == \
+            [(datetime.date(2020, 1, 1),)]
+
+    def test_from_union(self, db):
+        db.execute("CREATE TABLE u AS "
+                   "SELECT X FROM a UNION SELECT X FROM b")
+        assert len(db.table("u").rows) == 4
+
+    def test_if_not_exists_noop(self, db):
+        db.execute("CREATE TABLE t2 AS SELECT X FROM a")
+        result = db.execute(
+            "CREATE TABLE IF NOT EXISTS t2 AS SELECT X FROM b")
+        assert result.rows_inserted == 0
+        assert len(db.table("t2").rows) == 4
+
+    def test_legacy_transpile(self):
+        from repro.sqlxc import transpile
+        out = transpile("create table s as sel X from a")
+        assert out == "CREATE TABLE s AS SELECT X FROM a"

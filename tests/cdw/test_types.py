@@ -1,0 +1,141 @@
+"""Tests for the CDW type system and coercion."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.cdw.types import CdwType, cdw_type_from_legacy, cdw_type_from_node
+from repro.errors import ExpressionError, TypeError_
+from repro.legacy.types import parse_type
+from repro.sqlxc import nodes as n
+
+
+class TestConstruction:
+    def test_unknown_base_rejected(self):
+        with pytest.raises(TypeError_):
+            CdwType("BLOB")
+
+    def test_render(self):
+        assert CdwType("NVARCHAR", 10).render() == "NVARCHAR(10)"
+        assert CdwType("DECIMAL", 10, 2).render() == "DECIMAL(10,2)"
+        assert CdwType("NVARCHAR").render() == "NVARCHAR"
+        assert CdwType("BIGINT", 10).render() == "BIGINT"
+
+    def test_from_legacy(self):
+        assert cdw_type_from_legacy(parse_type("unicode(7)")) == \
+            CdwType("NVARCHAR", 7)
+        assert cdw_type_from_legacy(parse_type("float")) == \
+            CdwType("DOUBLE")
+
+    def test_from_node_both_dialects(self):
+        legacy = n.TypeName("INTEGER", dialect="legacy")
+        assert cdw_type_from_node(legacy).base == "INT"
+        cdw = n.TypeName("INT", dialect="cdw")
+        assert cdw_type_from_node(cdw).base == "INT"
+
+
+class TestCharacterCoercion:
+    def test_varchar_accepts_str(self):
+        assert CdwType("VARCHAR", 5).coerce("abc") == "abc"
+
+    def test_varchar_overflow_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("VARCHAR", 3).coerce("abcd")
+
+    def test_char_pads(self):
+        assert CdwType("CHAR", 4).coerce("ab") == "ab  "
+
+    def test_numbers_stringify(self):
+        assert CdwType("NVARCHAR").coerce(42) == "42"
+
+    def test_date_stringifies_iso(self):
+        assert CdwType("NVARCHAR").coerce(
+            datetime.date(2020, 1, 2)) == "2020-01-02"
+
+    def test_null_passthrough(self):
+        assert CdwType("VARCHAR", 1).coerce(None) is None
+
+
+class TestIntegerCoercion:
+    def test_from_string(self):
+        assert CdwType("INT").coerce(" 42 ") == 42
+
+    def test_bad_string_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("INT").coerce("abc")
+
+    def test_range_check(self):
+        with pytest.raises(ExpressionError):
+            CdwType("SMALLINT").coerce(40000)
+        assert CdwType("BIGINT").coerce(2**62) == 2**62
+
+    def test_non_integral_float_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("INT").coerce(1.5)
+
+    def test_integral_float_ok(self):
+        assert CdwType("INT").coerce(3.0) == 3
+
+    def test_bool_becomes_int(self):
+        assert CdwType("INT").coerce(True) == 1
+
+
+class TestDecimalCoercion:
+    def test_scale_quantization(self):
+        assert CdwType("DECIMAL", 10, 2).coerce("1.5") == \
+            Decimal("1.50")
+
+    def test_precision_overflow_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("DECIMAL", 4, 2).coerce("123.45")
+
+    def test_bad_string_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("DECIMAL", 10, 2).coerce("1.2.3")
+
+    def test_float_input(self):
+        assert CdwType("DECIMAL", 10, 2).coerce(0.1) == Decimal("0.10")
+
+
+class TestTemporalCoercion:
+    def test_date_from_string(self):
+        assert CdwType("DATE").coerce("2020-02-03") == \
+            datetime.date(2020, 2, 3)
+
+    def test_date_from_timestamp(self):
+        ts = datetime.datetime(2020, 1, 2, 3, 4)
+        assert CdwType("DATE").coerce(ts) == datetime.date(2020, 1, 2)
+
+    def test_bad_date_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("DATE").coerce("yesterday")
+
+    def test_timestamp_from_date(self):
+        value = CdwType("TIMESTAMP").coerce(datetime.date(2020, 1, 2))
+        assert value == datetime.datetime(2020, 1, 2)
+
+    def test_timestamp_from_string(self):
+        assert CdwType("TIMESTAMP").coerce("2020-01-02 03:04:05").hour == 3
+
+
+class TestOtherCoercion:
+    def test_double_from_string(self):
+        assert CdwType("DOUBLE").coerce("1.5") == 1.5
+
+    def test_double_bad_string_raises(self):
+        with pytest.raises(ExpressionError):
+            CdwType("DOUBLE").coerce("one point five")
+
+    def test_boolean_variants(self):
+        t = CdwType("BOOLEAN")
+        assert t.coerce("true") is True
+        assert t.coerce("F") is False
+        assert t.coerce(1) is True
+        with pytest.raises(ExpressionError):
+            t.coerce("maybe")
+
+    def test_field_attribution(self):
+        with pytest.raises(ExpressionError) as info:
+            CdwType("DATE").coerce("junk", field="D")
+        assert info.value.field == "D"

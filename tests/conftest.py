@@ -1,0 +1,74 @@
+"""Shared fixtures: the paper's running example (Example 2.1 / Figures
+5-6) and pre-wired stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Stack, build_stack
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.gateway import HyperQNode
+from repro.legacy.server import LegacyServer
+
+#: Example 2.1's job script, plus the DDL the paper leaves implicit.
+EXAMPLE_SCRIPT = """
+.logon host/user,pass;
+create table PROD.CUSTOMER (
+    CUST_ID varchar(5) not null,
+    CUST_NAME varchar(50),
+    JOIN_DATE date,
+    unique (CUST_ID));
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+    trim(:CUST_ID), trim(:CUST_NAME),
+    cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') );
+.import infile input.txt
+    format vartext '|' layout CustLayout
+    apply InsApply;
+.end load;
+.logoff;
+"""
+
+#: the data file of Figure 5(a): rows 2-3 have bad dates, row 4
+#: duplicates row 1's key, rows 1 and 5 are clean.
+EXAMPLE_DATA = (
+    b"123|Smith|2012-01-01\n"
+    b"456|Brown|xxxx\n"
+    b"789|Brown|yyyyy\n"
+    b"123|Jones|2012-12-01\n"
+    b"157|Jones|2012-12-01\n"
+)
+
+
+@pytest.fixture
+def legacy_server():
+    server = LegacyServer().start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def stack():
+    built = build_stack(
+        config=HyperQConfig(converters=2, filewriters=2, credits=8))
+    yield built
+    built.close()
+
+
+@pytest.fixture
+def engine():
+    return CdwEngine(store=CloudStore())
+
+
+def make_node(native_unique: bool = True,
+              config: HyperQConfig | None = None) -> Stack:
+    """Non-fixture helper for tests needing special wiring."""
+    return build_stack(config=config, native_unique=native_unique)

@@ -1,0 +1,82 @@
+"""DataConverter tests: legacy chunk -> CSV staging bytes."""
+
+import datetime
+
+import pytest
+
+from repro.cdw import stagefile
+from repro.core.converter import DataConverter
+from repro.errors import DataFormatError
+from repro.legacy.datafmt import BinaryFormat, VartextFormat
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+LAYOUT = Layout("L", [
+    FieldDef("A", parse_type("varchar(20)")),
+    FieldDef("B", parse_type("varchar(20)")),
+])
+
+
+def make_converter(record_format=None, stride=1000):
+    fmt = record_format or VartextFormat(LAYOUT)
+    return DataConverter(fmt, seq_stride=stride)
+
+
+class TestConvert:
+    def test_basic_vartext(self):
+        converter = make_converter()
+        converted = converter.convert(0, b"x|y\na|b\n")
+        assert converted.records == 2
+        rows = list(stagefile.decode_csv_rows(converted.csv_bytes))
+        assert rows == [("x", "y", "0"), ("a", "b", "1")]
+
+    def test_seq_uses_stride(self):
+        converter = make_converter(stride=100)
+        converted = converter.convert(3, b"x|y\n")
+        rows = list(stagefile.decode_csv_rows(converted.csv_bytes))
+        assert rows[0][-1] == "300"
+
+    def test_null_becomes_marker_not_empty(self):
+        """The null-detection discrepancy of Section 4: legacy empty
+        vartext field -> CDW NULL marker."""
+        converter = make_converter()
+        converted = converter.convert(0, b"x|\n")
+        assert b"\\N" in converted.csv_bytes
+        rows = list(stagefile.decode_csv_rows(converted.csv_bytes))
+        assert rows[0][1] is None
+
+    def test_special_characters_escaped(self):
+        converter = make_converter()
+        data = VartextFormat(LAYOUT).encode_record(('a,"b', "c\nd"))
+        converted = converter.convert(0, data)
+        rows = list(stagefile.decode_csv_rows(converted.csv_bytes))
+        assert rows[0][:2] == ('a,"b', "c\nd")
+
+    def test_bad_records_become_acquisition_errors(self):
+        converter = make_converter()
+        converted = converter.convert(0, b"a|b\nonly-one-field\nc|d\n")
+        assert converted.records == 2
+        assert len(converted.errors) == 1
+        assert converted.errors[0].seq == 1  # second record of chunk 0
+        assert converted.total_records == 3
+
+    def test_binary_input_types_serialized(self):
+        layout = Layout("B", [
+            FieldDef("N", parse_type("integer")),
+            FieldDef("D", parse_type("date")),
+        ])
+        fmt = BinaryFormat(layout)
+        converter = DataConverter(fmt, seq_stride=100)
+        data = fmt.encode_record((7, datetime.date(2020, 1, 2)))
+        converted = converter.convert(0, data)
+        rows = list(stagefile.decode_csv_rows(converted.csv_bytes))
+        assert rows == [("7", "2020-01-02", "0")]
+
+    def test_stride_overflow_raises(self):
+        converter = make_converter(stride=2)
+        with pytest.raises(DataFormatError):
+            converter.convert(0, b"a|b\nc|d\ne|f\n")
+
+    def test_empty_chunk(self):
+        converted = make_converter().convert(0, b"")
+        assert converted.records == 0
+        assert converted.csv_bytes == b""

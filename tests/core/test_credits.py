@@ -1,0 +1,105 @@
+"""CreditManager tests: blocking, conservation, statistics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.credits import CreditManager
+from repro.errors import BackPressureTimeout, GatewayError
+
+
+class TestBasics:
+    def test_acquire_release(self):
+        manager = CreditManager(2)
+        credit = manager.acquire()
+        assert manager.available == 1
+        assert manager.in_flight == 1
+        manager.release(credit)
+        assert manager.available == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(GatewayError):
+            CreditManager(0)
+
+    def test_double_release_rejected(self):
+        manager = CreditManager(1)
+        credit = manager.acquire()
+        manager.release(credit)
+        with pytest.raises(GatewayError):
+            manager.release(credit)
+
+    def test_timeout(self):
+        manager = CreditManager(1, timeout_s=0.05)
+        manager.acquire()
+        with pytest.raises(BackPressureTimeout):
+            manager.acquire()
+
+    def test_conservation_check(self):
+        manager = CreditManager(3)
+        credits = [manager.acquire() for _ in range(3)]
+        manager.check_conservation()
+        for credit in credits:
+            manager.release(credit)
+        manager.check_conservation()
+
+    def test_conservation_detects_leak(self):
+        manager = CreditManager(2)
+        manager.acquire()
+        manager._outstanding.clear()  # simulate a lost credit
+        with pytest.raises(GatewayError):
+            manager.check_conservation()
+
+
+class TestBlocking:
+    def test_blocked_acquire_wakes_on_release(self):
+        manager = CreditManager(1, timeout_s=5)
+        held = manager.acquire()
+        acquired = threading.Event()
+
+        def taker():
+            manager.acquire()
+            acquired.set()
+
+        thread = threading.Thread(target=taker, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        manager.release(held)
+        assert acquired.wait(timeout=2)
+        assert manager.blocked_acquires == 1
+        assert manager.total_wait_s > 0
+
+    def test_stats_min_available(self):
+        manager = CreditManager(4)
+        credits = [manager.acquire() for _ in range(3)]
+        assert manager.min_available == 1
+        for credit in credits:
+            manager.release(credit)
+        assert manager.acquires == 3
+
+
+class TestConcurrentStress:
+    def test_many_workers_conserve_credits(self):
+        """Property: after any interleaving, the pool is whole again."""
+        manager = CreditManager(5, timeout_s=10)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    credit = manager.acquire()
+                    credits_snapshot = manager.in_flight
+                    assert 0 < credits_snapshot <= 5
+                    manager.release(credit)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert manager.available == 5
+        manager.check_conservation()

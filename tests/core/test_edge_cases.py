@@ -1,0 +1,93 @@
+"""Edge cases: empty jobs, single-row jobs, pushdown boundaries."""
+
+import pytest
+
+from repro.cdw.engine import CdwEngine
+from repro.legacy.client import ImportJobSpec, LegacyEtlClient
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+LAYOUT = Layout("L", [FieldDef("A", parse_type("varchar(8)"))])
+
+
+def run(stack, data: bytes, **kwargs):
+    client = LegacyEtlClient(stack.node.connect)
+    client.logon("h", "u", "p")
+    if not stack.engine.catalog.exists("E"):
+        client.execute_sql("create table E (A varchar(8))")
+    spec = ImportJobSpec(
+        target_table="E", et_table="E_ET", uv_table="E_UV",
+        layout=LAYOUT, apply_sql="insert into E values (:A)",
+        data=data, **kwargs)
+    result = client.run_import(spec)
+    client.logoff()
+    return result
+
+
+class TestEmptyAndTiny:
+    def test_empty_input_file(self, stack):
+        result = run(stack, b"")
+        assert result.rows_inserted == 0
+        assert result.chunks_sent == 0
+        assert stack.node.completed_jobs[-1].records_converted == 0
+
+    def test_single_row(self, stack):
+        result = run(stack, b"only\n")
+        assert result.rows_inserted == 1
+
+    def test_input_without_trailing_newline(self, stack):
+        result = run(stack, b"a\nb")
+        assert result.rows_inserted == 2
+
+    def test_more_sessions_than_chunks(self, stack):
+        result = run(stack, b"a\nb\n", sessions=16, chunk_bytes=4)
+        assert result.rows_inserted == 2
+
+    def test_single_record_larger_than_chunk(self, stack):
+        big = b"x" * 3000 + b"\n"
+        # layout field is varchar(8): staging takes it (unbounded), the
+        # DML cast to the 8-char target column fails -> ET error.
+        result = run(stack, big, chunk_bytes=64)
+        assert result.rows_inserted == 0
+        assert result.et_errors == 1
+
+
+class TestSortedSliceBoundaries:
+    @pytest.fixture
+    def engine(self):
+        eng = CdwEngine()
+        eng.execute("CREATE TABLE s (K BIGINT)")
+        table = eng.table("s")
+        table.rows = [(k,) for k in (1, 3, 3, 3, 7, 9)]
+        table.sorted_by = "K"
+        return eng
+
+    def test_duplicate_keys_in_range(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s WHERE K BETWEEN 3 AND 3") == [(3,)]
+
+    def test_range_below_all(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s WHERE K BETWEEN -5 AND 0") == [(0,)]
+
+    def test_range_above_all(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s WHERE K BETWEEN 100 AND 200") == \
+            [(0,)]
+
+    def test_full_cover_range(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s WHERE K BETWEEN 0 AND 100") == [(6,)]
+
+    def test_boundaries_inclusive(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s WHERE K BETWEEN 1 AND 9") == [(6,)]
+
+    def test_alias_qualified_between(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s AS x WHERE x.K BETWEEN 3 AND 7") == \
+            [(4,)]
+
+    def test_negated_between_not_pushed(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM s WHERE K NOT BETWEEN 3 AND 7") == \
+            [(2,)]

@@ -1,0 +1,42 @@
+"""FileWriter tests: buffering, thresholds, flush."""
+
+import os
+
+from repro.core.filewriter import FileWriter
+
+
+class TestFileWriter:
+    def test_buffers_until_threshold(self, tmp_path):
+        writer = FileWriter(str(tmp_path), 0, threshold_bytes=100)
+        assert writer.append(b"x" * 40, records=4) is None
+        assert writer.append(b"y" * 40, records=4) is None
+        staged = writer.append(b"z" * 40, records=4)
+        assert staged is not None
+        assert staged.size == 120
+        assert staged.records == 12
+        with open(staged.path, "rb") as handle:
+            assert handle.read() == b"x" * 40 + b"y" * 40 + b"z" * 40
+
+    def test_flush_partial(self, tmp_path):
+        writer = FileWriter(str(tmp_path), 0, threshold_bytes=1000)
+        writer.append(b"abc", records=1)
+        staged = writer.flush()
+        assert staged is not None and staged.size == 3
+
+    def test_flush_empty_returns_none(self, tmp_path):
+        writer = FileWriter(str(tmp_path), 0, threshold_bytes=10)
+        assert writer.flush() is None
+
+    def test_file_names_are_unique_and_ordered(self, tmp_path):
+        writer = FileWriter(str(tmp_path), 3, threshold_bytes=1)
+        paths = [writer.append(b"x", records=1).path for _ in range(3)]
+        names = [os.path.basename(p) for p in paths]
+        assert names == sorted(names)
+        assert all(name.startswith("part-03-") for name in names)
+
+    def test_statistics(self, tmp_path):
+        writer = FileWriter(str(tmp_path), 0, threshold_bytes=2)
+        writer.append(b"ab", records=1)
+        writer.append(b"cd", records=1)
+        assert writer.files_written == 2
+        assert writer.bytes_written == 4

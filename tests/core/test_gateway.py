@@ -1,0 +1,235 @@
+"""End-to-end Hyper-Q gateway tests (import, export, ad-hoc SQL).
+
+These drive the *unmodified* legacy client and script interpreter against
+a Hyper-Q node — the transparency property the paper claims.
+"""
+
+import datetime
+
+import pytest
+
+from repro.core.config import HyperQConfig
+from repro.errors import ProtocolError
+from repro.legacy.client import ExportJobSpec, LegacyEtlClient
+from repro.legacy.script import ScriptInterpreter, parse_script
+from tests.conftest import EXAMPLE_DATA, EXAMPLE_SCRIPT, make_node
+
+
+class TestExampleThroughHyperQ:
+    """Figure 5 parity + Figure 6 when max_errors=2."""
+
+    def test_parity_with_legacy_figure5(self, stack):
+        interp = ScriptInterpreter(
+            stack.node.connect, files={"input.txt": EXAMPLE_DATA})
+        result = interp.run(parse_script(EXAMPLE_SCRIPT))
+        imp = result.last_import
+        assert (imp.rows_inserted, imp.et_errors, imp.uv_errors) == \
+            (2, 2, 1)
+        assert stack.engine.query(
+            "SELECT * FROM PROD.CUSTOMER ORDER BY CUST_ID") == [
+                ("123", "Smith", datetime.date(2012, 1, 1)),
+                ("157", "Jones", datetime.date(2012, 12, 1))]
+        assert stack.engine.query(
+            "SELECT SEQNO, ERRFIELD FROM PROD.CUSTOMER_ET "
+            "ORDER BY SEQNO") == [(2, "JOIN_DATE"), (3, "JOIN_DATE")]
+        assert stack.engine.query(
+            "SELECT CUST_ID, CUST_NAME, SEQNO FROM PROD.CUSTOMER_UV") \
+            == [("123", "Jones", 4)]
+
+    def test_figure6_with_max_errors_2(self, stack):
+        script = EXAMPLE_SCRIPT.replace(
+            ".begin import", ".set max_errors 2;\n.begin import")
+        interp = ScriptInterpreter(
+            stack.node.connect, files={"input.txt": EXAMPLE_DATA})
+        interp.run(parse_script(script))
+        rows = stack.engine.query(
+            "SELECT ERRCODE, ERRFIELD, ERRMSG FROM PROD.CUSTOMER_ET")
+        assert [(r[0], r[1]) for r in rows] == [
+            (3103, "JOIN_DATE"), (3103, "JOIN_DATE"), (9057, None)]
+        assert "row number: 2" in rows[0][2]
+        assert "row number: 3" in rows[1][2]
+        assert "row numbers: (4, 5)" in rows[2][2]
+        # Row 5 was skipped (range not split), so only row 1 loaded.
+        assert stack.engine.query(
+            "SELECT COUNT(*) FROM PROD.CUSTOMER") == [(1,)]
+
+    def test_metrics_recorded(self, stack):
+        interp = ScriptInterpreter(
+            stack.node.connect, files={"input.txt": EXAMPLE_DATA})
+        interp.run(parse_script(EXAMPLE_SCRIPT))
+        (metrics,) = stack.node.completed_jobs
+        assert metrics.records_converted == 5
+        assert metrics.bytes_received == len(EXAMPLE_DATA)
+        assert metrics.acquisition_s > 0
+        assert metrics.application_s > 0
+        assert metrics.total_s >= \
+            metrics.acquisition_s + metrics.application_s
+
+    def test_staging_cleanup_after_end_load(self, stack):
+        interp = ScriptInterpreter(
+            stack.node.connect, files={"input.txt": EXAMPLE_DATA})
+        interp.run(parse_script(EXAMPLE_SCRIPT))
+        leftovers = [t for t in stack.engine.catalog.names()
+                     if t.startswith("HQ_STG_")]
+        assert leftovers == []
+        assert stack.store.list_blobs(
+            stack.node.config.container) == []
+
+    def test_credit_conservation_after_job(self, stack):
+        interp = ScriptInterpreter(
+            stack.node.connect, files={"input.txt": EXAMPLE_DATA})
+        interp.run(parse_script(EXAMPLE_SCRIPT))
+        stack.node.credits.check_conservation()
+        assert stack.node.credits.available == \
+            stack.node.credits.pool_size
+
+
+class TestAdHocSql:
+    def test_cross_compiled_ddl_and_query(self, stack):
+        client = LegacyEtlClient(stack.node.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql(
+            "create table T (A integer, B unicode(5), C float)")
+        client.execute_sql("insert into T values (1, 'x', 2.5)")
+        result = client.execute_sql(
+            "sel A, ZEROIFNULL(C) from T where B = 'x'")
+        client.logoff()
+        assert result.rows == [(1, 2.5)]
+        # The legacy UNICODE type became NVARCHAR on the CDW.
+        assert stack.engine.table("T").column("B").ctype.base == \
+            "NVARCHAR"
+
+    def test_error_surfaces_as_protocol_error(self, stack):
+        client = LegacyEtlClient(stack.node.connect)
+        client.logon("h", "u", "p")
+        with pytest.raises(ProtocolError):
+            client.execute_sql("select * from MISSING_TABLE")
+        client.logoff()
+
+    def test_load_into_missing_target_fails_cleanly(self, stack):
+        from repro.legacy.client import ImportJobSpec
+        from repro.legacy.types import FieldDef, Layout, parse_type
+        client = LegacyEtlClient(stack.node.connect)
+        client.logon("h", "u", "p")
+        layout = Layout("L", [FieldDef("A", parse_type("varchar(5)"))])
+        with pytest.raises(ProtocolError, match="does not exist"):
+            client.run_import(ImportJobSpec(
+                target_table="NOPE", et_table="NOPE_ET",
+                uv_table="NOPE_UV", layout=layout,
+                apply_sql="insert into NOPE values (:A)", data=b"a\n"))
+        client.logoff()
+
+
+class TestExportThroughHyperQ:
+    def _load_target(self, stack, rows=10):
+        client = LegacyEtlClient(stack.node.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql("create table E (A integer, D date)")
+        for i in range(rows):
+            client.execute_sql(
+                f"insert into E values ({i}, DATE '2020-01-0{i % 9 + 1}')")
+        return client
+
+    def test_export_roundtrip(self, stack):
+        client = self._load_target(stack)
+        result = client.run_export(ExportJobSpec(
+            "sel A, D from E order by A", sessions=3))
+        client.logoff()
+        assert result.rows_exported == 10
+        lines = result.data.decode().strip().split("\n")
+        assert lines[0].startswith("0|2020-01-01")
+
+    def test_export_chunks_served_in_order(self, stack):
+        stack.node.config.export_chunk_rows = 3
+        client = self._load_target(stack)
+        result = client.run_export(ExportJobSpec(
+            "sel A from E order by A", sessions=2))
+        client.logoff()
+        values = [int(line) for line in
+                  result.data.decode().strip().split("\n")]
+        assert values == list(range(10))
+        assert result.chunks_fetched == 4
+
+    def test_export_then_reimport_identity(self, stack):
+        """Round-trip invariant: export a table, re-import the file,
+        contents match (incl. NULL handling)."""
+        client = LegacyEtlClient(stack.node.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql(
+            "create table SRC (K varchar(5), N integer)")
+        client.execute_sql("insert into SRC values ('a', 1)")
+        client.execute_sql("insert into SRC values ('b', NULL)")
+        exported = client.run_export(ExportJobSpec(
+            "sel K, N from SRC order by K", sessions=1))
+        client.execute_sql(
+            "create table DST (K varchar(5), N integer)")
+        from repro.legacy.client import ImportJobSpec
+        from repro.legacy.types import FieldDef, Layout, parse_type
+        layout = Layout("L", [
+            FieldDef("K", parse_type("varchar(5)")),
+            FieldDef("N", parse_type("varchar(12)")),
+        ])
+        client.run_import(ImportJobSpec(
+            target_table="DST", et_table="DST_ET", uv_table="DST_UV",
+            layout=layout,
+            apply_sql="insert into DST values (:K, "
+                      "cast(:N as integer))",
+            data=exported.data))
+        client.logoff()
+        assert stack.engine.query("SELECT * FROM DST ORDER BY K") == \
+            stack.engine.query("SELECT * FROM SRC ORDER BY K")
+
+    def test_unknown_export_job_rejected(self, stack):
+        from repro.legacy.protocol import (
+            Message, MessageChannel, MessageKind,
+        )
+        channel = MessageChannel(stack.node.connect(), timeout=5)
+        channel.request(Message(MessageKind.LOGON, {}),
+                        MessageKind.LOGON_OK)
+        channel.send(Message(MessageKind.EXPORT_FETCH,
+                             {"job_id": "ghost", "chunk_no": 0}))
+        response = channel.recv()
+        assert response.kind == MessageKind.ERROR
+
+
+class TestConcurrentJobs:
+    def test_two_imports_share_one_credit_manager(self):
+        stack = make_node(config=HyperQConfig(
+            converters=2, filewriters=1, credits=6))
+        try:
+            import threading
+            from repro.legacy.client import ImportJobSpec
+            from repro.legacy.types import FieldDef, Layout, parse_type
+            layout = Layout("L", [
+                FieldDef("K", parse_type("varchar(8)")),
+            ])
+            setup = LegacyEtlClient(stack.node.connect)
+            setup.logon("h", "u", "p")
+            setup.execute_sql("create table J1 (K varchar(8))")
+            setup.execute_sql("create table J2 (K varchar(8))")
+            setup.logoff()
+
+            def run_job(table):
+                client = LegacyEtlClient(stack.node.connect)
+                client.logon("h", "u", "p")
+                data = "".join(f"{table}-{i}\n" for i in range(200))
+                client.run_import(ImportJobSpec(
+                    target_table=table, et_table=f"{table}_ET",
+                    uv_table=f"{table}_UV", layout=layout,
+                    apply_sql=f"insert into {table} values (:K)",
+                    data=data.encode(), sessions=2, chunk_bytes=256))
+                client.logoff()
+
+            threads = [threading.Thread(target=run_job, args=(t,))
+                       for t in ("J1", "J2")]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert stack.engine.query(
+                "SELECT COUNT(*) FROM J1") == [(200,)]
+            assert stack.engine.query(
+                "SELECT COUNT(*) FROM J2") == [(200,)]
+            stack.node.credits.check_conservation()
+        finally:
+            stack.close()

@@ -1,0 +1,110 @@
+"""Kitchen-sink integration: every feature in one job.
+
+One load job combining: multiple parallel sessions, small chunks, gzip
+staging compression, a slow-ish simulated cloud link, injected date
+errors + duplicate keys + field-count errors, Unicode payloads, a tight
+credit pool, checkpoint/restart on a flaky connection, followed by a
+verification export — the closest thing to the production case study
+that fits in a unit test.
+"""
+
+import random
+
+from repro.bench.harness import build_stack
+from repro.core.config import HyperQConfig
+from repro.legacy.client import (
+    ExportJobSpec, ImportJobSpec, LegacyEtlClient,
+)
+from repro.legacy.datafmt import VartextFormat
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+ROWS = 600
+
+LAYOUT = Layout("L", [
+    FieldDef("K", parse_type("varchar(10)")),
+    FieldDef("NAME", parse_type("unicode(24)")),
+    FieldDef("D", parse_type("varchar(10)")),
+])
+
+
+def build_input():
+    rng = random.Random(4242)
+    lines = []
+    expected_good = 0
+    date_errors = dup_errors = field_errors = 0
+    seen_keys = set()
+    for i in range(ROWS):
+        roll = rng.random()
+        key = f"K{i:06d}"
+        name = rng.choice(["plain", "søren", "北京", "a|b", 'q"x'])
+        date = f"202{rng.randrange(6)}-{1 + rng.randrange(12):02d}-" \
+               f"{1 + rng.randrange(28):02d}"
+        if roll < 0.04 and i > 0:
+            key = f"K{rng.randrange(i):06d}"  # duplicate
+        elif roll < 0.08:
+            date = "garbage"
+        elif roll < 0.10:
+            lines.append(f"{key}|{name}")  # missing field
+            field_errors += 1
+            continue
+        encoded_name = (name.replace("\\", "\\\\")
+                        .replace("|", "\\|"))
+        lines.append(f"{key}|{encoded_name}|{date}")
+        if date == "garbage":
+            date_errors += 1
+        elif key in seen_keys:
+            dup_errors += 1
+        else:
+            seen_keys.add(key)
+            expected_good += 1
+    data = ("\n".join(lines) + "\n").encode()
+    return data, expected_good, date_errors, dup_errors, field_errors
+
+
+def test_kitchen_sink():
+    data, good, date_errors, dup_errors, field_errors = build_input()
+    config = HyperQConfig(
+        converters=3, filewriters=2, credits=4,
+        compression="gzip", file_threshold_bytes=8 * 1024)
+    stack = build_stack(config=config,
+                        link_bandwidth_bytes_per_s=20e6)
+    try:
+        # A flaky second connection exercises checkpoint/restart.
+        from tests.core.test_restart import flaky_connect
+        connect, flag = flaky_connect(stack.node, fail_after=5)
+        client = LegacyEtlClient(connect, timeout=10)
+        client.logon("h", "u", "p")
+        client.execute_sql(
+            "create table KS (K varchar(10) not null, "
+            "NAME unicode(24), D date, unique (K))")
+        result = client.run_import(ImportJobSpec(
+            target_table="KS", et_table="KS_ET", uv_table="KS_UV",
+            layout=LAYOUT,
+            apply_sql="insert into KS values (trim(:K), :NAME, "
+                      "cast(:D as DATE format 'YYYY-MM-DD'))",
+            data=data, sessions=3, chunk_bytes=512,
+            retry_attempts=3))
+        assert flag["tripped"], "the connection failure must have fired"
+        assert result.rows_inserted == good
+        assert result.et_errors == date_errors + field_errors
+        assert result.uv_errors == dup_errors
+
+        # Verify through an export: count and spot-check fidelity.
+        export = client.run_export(ExportJobSpec(
+            "sel K, NAME from KS order by K", sessions=2))
+        assert export.rows_exported == good
+        exported_rows = VartextFormat(Layout("E", [
+            FieldDef("K", parse_type("varchar(10)")),
+            FieldDef("NAME", parse_type("varchar(24)")),
+        ])).decode_records(export.data)
+        stored = stack.engine.query("SELECT K, NAME FROM KS ORDER BY K")
+        assert exported_rows == stored
+
+        # Node hygiene after everything.
+        client.logoff()
+        stack.node.credits.check_conservation()
+        stats = stack.node.stats()
+        assert stats["active_jobs"] == 0
+        assert stats["completed_jobs"] == 1
+    finally:
+        stack.close()

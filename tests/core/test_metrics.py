@@ -1,0 +1,59 @@
+"""JobMetrics and Stopwatch tests."""
+
+import time
+
+from repro.core.metrics import JobMetrics, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.02)
+        watch.stop()
+        first = watch.elapsed
+        assert first >= 0.015
+        watch.start()
+        time.sleep(0.02)
+        watch.stop()
+        assert watch.elapsed > first
+
+    def test_idempotent_start_stop(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.start()  # no-op
+        watch.stop()
+        elapsed = watch.elapsed
+        watch.stop()  # no-op
+        assert watch.elapsed == elapsed
+
+    def test_context_manager(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.005
+        assert not watch.running
+
+
+class TestJobMetrics:
+    def test_other_is_residual(self):
+        metrics = JobMetrics(total_s=10.0, acquisition_s=6.0,
+                             application_s=3.0)
+        assert metrics.other_s == 1.0
+
+    def test_other_never_negative(self):
+        metrics = JobMetrics(total_s=1.0, acquisition_s=2.0)
+        assert metrics.other_s == 0.0
+
+    def test_acquisition_rate(self):
+        metrics = JobMetrics(acquisition_s=2.0,
+                             bytes_received=4 * 1024 * 1024)
+        assert metrics.acquisition_rate_mb_s == 2.0
+
+    def test_rate_with_zero_time(self):
+        assert JobMetrics().acquisition_rate_mb_s == 0.0
+
+    def test_as_row_keys(self):
+        row = JobMetrics(job_id="x", total_s=1.23456).as_row()
+        assert row["total_s"] == 1.2346  # rounded
+        assert "credit_waits" in row

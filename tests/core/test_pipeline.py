@@ -1,0 +1,133 @@
+"""Acquisition pipeline tests: drain, ordering, back-pressure, failures."""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.cdw.bulkloader import CloudBulkLoader
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.converter import DataConverter
+from repro.core.credits import CreditManager
+from repro.core.metrics import JobMetrics
+from repro.core.pipeline import AcquisitionPipeline
+from repro.errors import GatewayError
+from repro.legacy.datafmt import VartextFormat
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+LAYOUT = Layout("L", [
+    FieldDef("A", parse_type("varchar(20)")),
+    FieldDef("B", parse_type("varchar(20)")),
+])
+
+
+@pytest.fixture
+def rig(tmp_path):
+    store = CloudStore()
+    store.create_container("stage")
+    engine = CdwEngine(store=store)
+    engine.execute(
+        "CREATE TABLE STG (A NVARCHAR, B NVARCHAR, __SEQ BIGINT)")
+    config = HyperQConfig(converters=2, filewriters=2, credits=4,
+                          file_threshold_bytes=64)
+    credits = CreditManager(config.credits, timeout_s=10)
+    metrics = JobMetrics(job_id="j1")
+    pipeline = AcquisitionPipeline(
+        converter=DataConverter(VartextFormat(LAYOUT),
+                                seq_stride=config.seq_stride),
+        credits=credits,
+        loader=CloudBulkLoader(store),
+        engine=engine,
+        staging_table="STG",
+        container="stage",
+        prefix="j1/",
+        staging_dir=str(tmp_path),
+        config=config,
+        metrics=metrics,
+    )
+    yield pipeline, engine, store, credits, metrics
+    pipeline.shutdown()
+
+
+class TestPipeline:
+    def test_chunks_reach_staging_table(self, rig):
+        pipeline, engine, _store, _credits, metrics = rig
+        for seq in range(5):
+            pipeline.submit_chunk(seq, f"a{seq}|b{seq}\n".encode())
+        pipeline.drain()
+        rows = engine.query("SELECT A, __SEQ FROM STG ORDER BY __SEQ")
+        assert [r[0] for r in rows] == [f"a{i}" for i in range(5)]
+        assert metrics.copy_rows == 5
+        assert metrics.records_converted == 5
+
+    def test_out_of_order_chunks_keep_seq_order(self, rig):
+        pipeline, engine, _store, _credits, _metrics = rig
+        for seq in (3, 0, 2, 1):
+            pipeline.submit_chunk(seq, f"v{seq}|x\n".encode())
+        pipeline.drain()
+        rows = engine.query("SELECT A FROM STG ORDER BY __SEQ")
+        assert rows == [("v0",), ("v1",), ("v2",), ("v3",)]
+
+    def test_credits_returned_after_drain(self, rig):
+        pipeline, _engine, _store, credits, _metrics = rig
+        for seq in range(20):
+            pipeline.submit_chunk(seq, b"a|b\n")
+        pipeline.drain()
+        credits.check_conservation()
+        assert credits.available == credits.pool_size
+
+    def test_back_pressure_engages_under_tiny_pool(self, rig):
+        pipeline, _engine, _store, credits, _metrics = rig
+        for seq in range(50):
+            pipeline.submit_chunk(seq, b"a|b\n" * 20)
+        pipeline.drain()
+        # With 4 credits and 50 chunks, some acquires must have blocked
+        # at least momentarily OR all completed fast; conservation holds
+        # either way and min_available dipped.
+        assert credits.min_available < credits.pool_size
+
+    def test_multiple_files_cut_by_threshold(self, rig):
+        pipeline, _engine, store, _credits, metrics = rig
+        payload = ("x" * 30 + "|y\n").encode()
+        for seq in range(10):
+            pipeline.submit_chunk(seq, payload)
+        pipeline.drain()
+        assert metrics.files_written > 1
+        assert len(store.list_blobs("stage", "j1/")) == \
+            metrics.files_written
+
+    def test_acquisition_errors_collected(self, rig):
+        pipeline, engine, _store, _credits, _metrics = rig
+        pipeline.submit_chunk(0, b"good|row\nbad-row\n")
+        pipeline.drain()
+        assert len(pipeline.acquisition_errors) == 1
+        assert pipeline.chunk_records[0] == 2
+        assert engine.query("SELECT COUNT(*) FROM STG") == [(1,)]
+
+    def test_drain_is_idempotent(self, rig):
+        pipeline, engine, _store, _credits, _metrics = rig
+        pipeline.submit_chunk(0, b"a|b\n")
+        pipeline.drain()
+        pipeline.drain()
+        assert engine.query("SELECT COUNT(*) FROM STG") == [(1,)]
+
+    def test_worker_failure_surfaces_on_drain(self, rig):
+        pipeline, _engine, _store, _credits, _metrics = rig
+
+        def exploding_convert(chunk_seq, data):
+            raise RuntimeError("converter crashed")
+
+        pipeline.converter.convert = exploding_convert
+        pipeline.submit_chunk(0, b"a|b\n")
+        with pytest.raises(GatewayError, match="converter crashed"):
+            pipeline.drain()
+
+    def test_staging_files_deleted_after_upload(self, rig, tmp_path):
+        pipeline, _engine, _store, _credits, _metrics = rig
+        payload = ("x" * 30 + "|y\n").encode()
+        for seq in range(10):
+            pipeline.submit_chunk(seq, payload)
+        pipeline.drain()
+        assert os.listdir(str(tmp_path)) == []

@@ -1,0 +1,102 @@
+"""TDF (Tabular Data Format) encode/decode tests."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import tdf
+from repro.errors import TdfError
+
+
+def roundtrip(columns, rows, chunk_no=0):
+    packet = tdf.decode_packet(tdf.encode_packet(chunk_no, columns, rows))
+    return packet
+
+
+class TestPackets:
+    def test_basic_roundtrip(self):
+        packet = roundtrip(["A", "B"], [(1, "x"), (2, None)], chunk_no=7)
+        assert packet.chunk_no == 7
+        assert packet.columns == ["A", "B"]
+        assert packet.rows == [(1, "x"), (2, None)]
+
+    def test_empty_packet(self):
+        packet = roundtrip(["A"], [])
+        assert packet.rows == []
+
+    def test_all_scalar_types(self):
+        row = (None, True, -42, 2.5, "text", b"\x00\x01",
+               datetime.date(2020, 1, 2),
+               datetime.datetime(2021, 2, 3, 4, 5, 6, 789),
+               Decimal("12.34"))
+        packet = roundtrip([f"c{i}" for i in range(len(row))], [row])
+        assert packet.rows == [row]
+
+    def test_nested_values(self):
+        out = bytearray()
+        value = {"list": [1, [2, 3], {"k": "v"}], "n": None}
+        tdf.encode_value(value, out)
+        decoded, pos = tdf.decode_value(memoryview(bytes(out)), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(TdfError):
+            tdf.decode_packet(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated_packet_raises(self):
+        raw = tdf.encode_packet(0, ["A"], [(1,)])
+        with pytest.raises(TdfError):
+            tdf.decode_packet(raw[:-2])
+
+    def test_trailing_garbage_raises(self):
+        raw = tdf.encode_packet(0, ["A"], [(1,)])
+        with pytest.raises(TdfError):
+            tdf.decode_packet(raw + b"\x00")
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(TdfError):
+            tdf.encode_value(object(), bytearray())
+
+
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-2**62, 2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    st.dates(min_value=datetime.date(1, 1, 2),
+             max_value=datetime.date(9999, 12, 30)),
+    st.datetimes(min_value=datetime.datetime(1, 1, 1),
+                 max_value=datetime.datetime(9999, 12, 31)),
+    st.decimals(allow_nan=False, allow_infinity=False, places=4),
+)
+
+
+@given(st.lists(st.tuples(_scalar, _scalar, _scalar), max_size=15),
+       st.integers(0, 2**31))
+def test_tdf_roundtrip_property(rows, chunk_no):
+    packet = roundtrip(["A", "B", "C"], rows, chunk_no)
+    assert packet.rows == rows
+    assert packet.chunk_no == chunk_no
+
+
+_nested = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4)),
+    max_leaves=12)
+
+
+@given(_nested)
+def test_tdf_nested_value_property(value):
+    """TDF handles arbitrarily nested data (the format's design goal)."""
+    out = bytearray()
+    tdf.encode_value(value, out)
+    decoded, pos = tdf.decode_value(memoryview(bytes(out)), 0)
+    assert decoded == value
+    assert pos == len(out)

@@ -1,0 +1,84 @@
+"""TDFCursor tests: ordered chunk serving with bounded prefetch."""
+
+import threading
+
+import pytest
+
+from repro.cdw.engine import CdwEngine
+from repro.core import tdf
+from repro.core.tdfcursor import TdfCursor
+from repro.errors import GatewayError
+
+
+@pytest.fixture
+def engine():
+    eng = CdwEngine()
+    eng.execute("CREATE TABLE t (A INT, B NVARCHAR(10))")
+    rows = ", ".join(f"({i}, 'v{i}')" for i in range(25))
+    eng.execute(f"INSERT INTO t VALUES {rows}")
+    return eng
+
+
+class TestCursor:
+    def test_chunking(self, engine):
+        cursor = TdfCursor(engine, "SELECT A FROM t ORDER BY A",
+                           chunk_rows=10)
+        assert cursor.total_rows == 25
+        assert cursor.num_chunks == 3
+        cursor.close()
+
+    def test_packets_in_order(self, engine):
+        cursor = TdfCursor(engine, "SELECT A FROM t ORDER BY A",
+                           chunk_rows=10, prefetch=2)
+        seen = []
+        for chunk_no in range(cursor.num_chunks):
+            packet = tdf.decode_packet(cursor.packet(chunk_no))
+            assert packet.chunk_no == chunk_no
+            seen.extend(row[0] for row in packet.rows)
+        assert seen == list(range(25))
+        assert cursor.packet(cursor.num_chunks) is None
+        cursor.close()
+
+    def test_out_of_order_requests(self, engine):
+        """Sessions request interleaved chunk numbers (Section 3)."""
+        cursor = TdfCursor(engine, "SELECT A FROM t ORDER BY A",
+                           chunk_rows=5, prefetch=5)
+        results = {}
+
+        def fetch(session_no, session_count):
+            chunk_no = session_no
+            while chunk_no < cursor.num_chunks:
+                packet = tdf.decode_packet(cursor.packet(chunk_no))
+                results[chunk_no] = [r[0] for r in packet.rows]
+                chunk_no += session_count
+
+        threads = [threading.Thread(target=fetch, args=(i, 3))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ordered = [v for _, vs in sorted(results.items()) for v in vs]
+        assert ordered == list(range(25))
+        cursor.close()
+
+    def test_empty_result(self, engine):
+        cursor = TdfCursor(engine, "SELECT A FROM t WHERE A < 0")
+        assert cursor.num_chunks == 0
+        assert cursor.packet(0) is None
+        cursor.close()
+
+    def test_non_select_rejected(self, engine):
+        with pytest.raises(GatewayError):
+            TdfCursor(engine, "INSERT INTO t VALUES (99, 'x')")
+
+    def test_prefetch_bounded(self, engine):
+        cursor = TdfCursor(engine, "SELECT A FROM t ORDER BY A",
+                           chunk_rows=1, prefetch=3)
+        import time
+        deadline = time.monotonic() + 2
+        while cursor._next_to_encode < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # Encoder must stall at the prefetch window, not race ahead.
+        assert cursor._next_to_encode <= 3 + 1
+        cursor.close()

@@ -1,0 +1,195 @@
+"""Tests for the legacy VARTEXT and BINARY record encodings."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DataFormatError
+from repro.legacy.datafmt import (
+    LEGACY_FIELD_COUNT_ERROR, BinaryFormat, FormatSpec, VartextFormat,
+    make_format,
+)
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+
+def text_layout(n: int = 3) -> Layout:
+    return Layout("T", [
+        FieldDef(f"F{i}", parse_type("varchar(100)")) for i in range(n)
+    ])
+
+
+TYPED_LAYOUT = Layout("Typed", [
+    FieldDef("S", parse_type("varchar(20)")),
+    FieldDef("I", parse_type("integer")),
+    FieldDef("B", parse_type("bigint")),
+    FieldDef("SM", parse_type("smallint")),
+    FieldDef("BY", parse_type("byteint")),
+    FieldDef("F", parse_type("float")),
+    FieldDef("DEC", parse_type("decimal(10,2)")),
+    FieldDef("D", parse_type("date")),
+    FieldDef("TS", parse_type("timestamp")),
+])
+
+TYPED_ROW = ("hello", 42, 2**40, -3, 7, 1.5, Decimal("12.34"),
+             datetime.date(2012, 1, 2),
+             datetime.datetime(2020, 3, 4, 5, 6, 7))
+
+
+class TestFormatSpec:
+    def test_wire_roundtrip(self):
+        spec = FormatSpec("vartext", ";")
+        assert FormatSpec.from_wire(spec.to_wire()) == spec
+
+    def test_binary_default_delimiter(self):
+        assert FormatSpec.from_wire("binary:").delimiter == "|"
+
+    def test_make_format_dispatch(self):
+        layout = text_layout()
+        assert isinstance(
+            make_format(FormatSpec("vartext"), layout), VartextFormat)
+        assert isinstance(
+            make_format(FormatSpec("binary"), layout), BinaryFormat)
+
+    def test_make_format_unknown(self):
+        with pytest.raises(DataFormatError):
+            make_format(FormatSpec("parquet"), text_layout())
+
+
+class TestVartext:
+    def test_roundtrip_simple(self):
+        fmt = VartextFormat(text_layout())
+        rows = [("a", "b", "c"), ("d", "e", "f")]
+        assert fmt.decode_records(fmt.encode_records(rows)) == rows
+
+    def test_empty_field_is_null(self):
+        fmt = VartextFormat(text_layout())
+        decoded = fmt.decode_records(b"a||c\n")
+        assert decoded == [("a", None, "c")]
+
+    def test_null_encodes_as_empty(self):
+        fmt = VartextFormat(text_layout())
+        assert fmt.encode_record(("a", None, "c")) == b"a||c\n"
+
+    def test_delimiter_escaping(self):
+        fmt = VartextFormat(text_layout())
+        rows = [("a|b", "c\\d", "e\nf")]
+        assert fmt.decode_records(fmt.encode_records(rows)) == rows
+
+    def test_custom_delimiter(self):
+        fmt = VartextFormat(text_layout(), delimiter=";")
+        assert fmt.decode_records(b"a;b;c\n") == [("a", "b", "c")]
+
+    def test_invalid_delimiter_rejected(self):
+        with pytest.raises(DataFormatError):
+            VartextFormat(text_layout(), delimiter="\\")
+        with pytest.raises(DataFormatError):
+            VartextFormat(text_layout(), delimiter="||")
+
+    def test_wrong_field_count_is_lenient_error(self):
+        fmt = VartextFormat(text_layout())
+        items = list(fmt.iter_decode(b"a|b\nx|y|z\n"))
+        assert isinstance(items[0], DataFormatError)
+        assert items[0].code == LEGACY_FIELD_COUNT_ERROR
+        assert items[1] == ("x", "y", "z")
+
+    def test_strict_decode_raises(self):
+        fmt = VartextFormat(text_layout())
+        with pytest.raises(DataFormatError):
+            fmt.decode_records(b"a|b\n")
+
+    def test_encode_wrong_arity_raises(self):
+        fmt = VartextFormat(text_layout())
+        with pytest.raises(DataFormatError):
+            fmt.encode_record(("a", "b"))
+
+    def test_typed_values_render(self):
+        fmt = VartextFormat(Layout("L", [
+            FieldDef("D", parse_type("date")),
+            FieldDef("N", parse_type("integer")),
+        ]))
+        encoded = fmt.encode_record((datetime.date(2020, 1, 2), 7))
+        assert encoded == b"2020-01-02|7\n"
+
+
+class TestBinary:
+    def test_roundtrip_typed(self):
+        fmt = BinaryFormat(TYPED_LAYOUT)
+        assert fmt.decode_records(fmt.encode_record(TYPED_ROW)) == \
+            [TYPED_ROW]
+
+    def test_nulls_via_bitmap(self):
+        fmt = BinaryFormat(TYPED_LAYOUT)
+        row = tuple([None] * len(TYPED_LAYOUT.fields))
+        assert fmt.decode_records(fmt.encode_record(row)) == [row]
+
+    def test_mixed_nulls(self):
+        fmt = BinaryFormat(TYPED_LAYOUT)
+        row = ("x", None, 1, None, 2, None, None,
+               datetime.date(1999, 12, 31), None)
+        assert fmt.decode_records(fmt.encode_record(row)) == [row]
+
+    def test_multiple_records(self):
+        fmt = BinaryFormat(TYPED_LAYOUT)
+        data = fmt.encode_records([TYPED_ROW, TYPED_ROW])
+        assert len(fmt.decode_records(data)) == 2
+
+    def test_truncated_record_is_error(self):
+        fmt = BinaryFormat(TYPED_LAYOUT)
+        data = fmt.encode_record(TYPED_ROW)
+        items = list(fmt.iter_decode(data[:-3]))
+        assert any(isinstance(i, DataFormatError) for i in items)
+
+    def test_unencodable_value_raises(self):
+        fmt = BinaryFormat(TYPED_LAYOUT)
+        bad = ("x",) + TYPED_ROW[1:]
+        with pytest.raises(DataFormatError):
+            fmt.encode_record(bad[:1] + ("not-an-int",) + bad[2:])
+
+    def test_date_epoch_encoding(self):
+        # Legacy (year-1900)*10000 + month*100 + day packing.
+        fmt = BinaryFormat(Layout("L", [FieldDef("D", parse_type("date"))]))
+        encoded = fmt.encode_record((datetime.date(2012, 1, 2),))
+        import struct
+        (body_len,) = struct.unpack_from("<H", encoded, 0)
+        (packed,) = struct.unpack_from("<i", encoded, 2 + 1)
+        assert packed == (2012 - 1900) * 10000 + 100 + 2
+        assert body_len == 5  # 1 bitmap byte + 4 date bytes
+
+
+# -- property-based round trips -------------------------------------------
+
+_text_field = st.one_of(
+    st.none(),
+    st.text(
+        alphabet=st.characters(
+            codec="utf-8",
+            blacklist_categories=("Cs",)),
+        min_size=1, max_size=40),
+)
+
+
+@given(st.lists(st.tuples(_text_field, _text_field, _text_field),
+                max_size=20))
+def test_vartext_roundtrip_property(rows):
+    """Any non-empty text (or NULL) survives vartext encode/decode."""
+    fmt = VartextFormat(text_layout())
+    assert fmt.decode_records(fmt.encode_records(rows)) == rows
+
+
+@given(st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.text(max_size=20)),
+        st.one_of(st.none(), st.integers(-2**31, 2**31 - 1)),
+        st.one_of(st.none(), st.dates(min_value=datetime.date(1900, 1, 1),
+                                      max_value=datetime.date(2150, 1, 1))),
+    ),
+    max_size=20))
+def test_binary_roundtrip_property(rows):
+    fmt = BinaryFormat(Layout("L", [
+        FieldDef("S", parse_type("varchar(50)")),
+        FieldDef("I", parse_type("integer")),
+        FieldDef("D", parse_type("date")),
+    ]))
+    assert fmt.decode_records(fmt.encode_records(rows)) == rows

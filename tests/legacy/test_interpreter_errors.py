@@ -1,0 +1,82 @@
+"""Interpreter state-machine error handling."""
+
+import pytest
+
+from repro.errors import ScriptError
+from repro.legacy.script import ScriptInterpreter, parse_script
+from repro.legacy.server import LegacyServer
+
+
+def run(source, files=None):
+    server = LegacyServer().start()
+    try:
+        interp = ScriptInterpreter(server.connect, files=files or {})
+        return interp.run(parse_script(source))
+    finally:
+        server.stop()
+
+
+class TestInterpreterErrors:
+    def test_import_outside_block(self):
+        with pytest.raises(ScriptError, match="outside"):
+            run(".logon h/u,p;\n.layout L;\n.field A varchar(2);\n"
+                ".import infile f format vartext '|' layout L apply D;")
+
+    def test_end_load_without_import(self):
+        with pytest.raises(ScriptError, match="complete import"):
+            run(".logon h/u,p;\n"
+                ".begin import tables T errortables E U;\n.end load;")
+
+    def test_nested_begin_blocks(self):
+        with pytest.raises(ScriptError, match="nested"):
+            run(".logon h/u,p;\n"
+                ".begin import tables T errortables E U;\n"
+                ".begin export;\n.end export;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ScriptError, match="never ended"):
+            run(".logon h/u,p;\n"
+                ".begin import tables T errortables E U;")
+
+    def test_export_outside_block(self):
+        with pytest.raises(ScriptError, match="outside"):
+            run(".logon h/u,p;\n"
+                ".export outfile o.txt format vartext '|';\nselect 1;")
+
+    def test_missing_input_file(self):
+        source = """
+.logon h/u,p;
+create table T (A varchar(2));
+.layout L;
+.field A varchar(2);
+.begin import tables T errortables T_ET T_UV;
+.dml label D;
+insert into T values (:A);
+.import infile nope.txt format vartext '|' layout L apply D;
+.end load;
+"""
+        with pytest.raises(FileNotFoundError):
+            run(source)
+
+    def test_undefined_layout_reference(self):
+        source = """
+.logon h/u,p;
+create table T (A varchar(2));
+.begin import tables T errortables T_ET T_UV;
+.dml label D;
+insert into T values (:A);
+.import infile f.txt format vartext '|' layout GHOST apply D;
+.end load;
+"""
+        with pytest.raises(ScriptError, match="undefined layout"):
+            run(source, files={"f.txt": b"a\n"})
+
+    def test_settings_tracked(self):
+        server = LegacyServer().start()
+        try:
+            interp = ScriptInterpreter(server.connect)
+            interp.run(parse_script(
+                ".logon h/u,p;\n.set max_errors 3;\n.logoff;"))
+            assert interp.settings == {"max_errors": "3"}
+        finally:
+            server.stop()

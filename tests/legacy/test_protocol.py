@@ -1,0 +1,147 @@
+"""Tests for frame encoding and the Coalescer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProtocolError, TransportClosed
+from repro.legacy.protocol import (
+    Coalescer, Message, MessageChannel, MessageKind,
+)
+from repro.net import pipe
+
+
+def sample_messages():
+    return [
+        Message(MessageKind.LOGON, {"user": "u", "password": "p"}),
+        Message(MessageKind.DATA, {"seq": 3}, body=b"\x00\x01payload"),
+        Message(MessageKind.DATA_ACK, {"seq": 3}),
+        Message(MessageKind.ERROR, {"code": 42, "message": "boom"}),
+    ]
+
+
+class TestFraming:
+    def test_roundtrip_single(self):
+        coalescer = Coalescer()
+        for message in sample_messages():
+            out = list(coalescer.feed(message.to_bytes()))
+            assert len(out) == 1
+            assert out[0].kind == message.kind
+            assert out[0].meta == message.meta
+            assert out[0].body == message.body
+
+    def test_byte_at_a_time_reassembly(self):
+        coalescer = Coalescer()
+        message = Message(MessageKind.DATA, {"seq": 1}, body=b"x" * 100)
+        raw = message.to_bytes()
+        collected = []
+        for i in range(len(raw)):
+            collected.extend(coalescer.feed(raw[i:i + 1]))
+        assert len(collected) == 1
+        assert collected[0].body == b"x" * 100
+        assert coalescer.pending_bytes == 0
+
+    def test_multiple_frames_in_one_chunk(self):
+        coalescer = Coalescer()
+        raw = b"".join(m.to_bytes() for m in sample_messages())
+        out = list(coalescer.feed(raw))
+        assert [m.kind for m in out] == \
+            [m.kind for m in sample_messages()]
+
+    def test_bytes_seen_accounting(self):
+        coalescer = Coalescer()
+        raw = sample_messages()[1].to_bytes()
+        list(coalescer.feed(raw))
+        assert coalescer.bytes_seen == len(raw)
+
+    def test_bad_magic_raises(self):
+        coalescer = Coalescer()
+        with pytest.raises(ProtocolError):
+            list(coalescer.feed(b"\xff" * 12))
+
+    def test_unknown_kind_raises(self):
+        raw = bytearray(Message(MessageKind.LOGON).to_bytes())
+        raw[2] = 0xEE  # corrupt the kind field
+        with pytest.raises(ProtocolError):
+            list(Coalescer().feed(bytes(raw)))
+
+    def test_empty_meta_allowed(self):
+        message = Message(MessageKind.LOGOFF)
+        out = list(Coalescer().feed(message.to_bytes()))
+        assert out[0].meta == {}
+
+
+class TestExpect:
+    def test_expect_matching(self):
+        msg = Message(MessageKind.LOGON_OK)
+        assert msg.expect(MessageKind.LOGON_OK) is msg
+
+    def test_expect_mismatch_raises(self):
+        with pytest.raises(ProtocolError):
+            Message(MessageKind.LOGON_OK).expect(MessageKind.DATA_ACK)
+
+    def test_expect_surfaces_peer_error(self):
+        error = Message(MessageKind.ERROR,
+                        {"code": 7, "message": "nope"})
+        with pytest.raises(ProtocolError, match="nope"):
+            error.expect(MessageKind.LOGON_OK)
+
+
+class TestMessageChannel:
+    def test_request_response(self):
+        client_end, server_end = pipe(mtu=5)
+        client = MessageChannel(client_end, timeout=5)
+        server = MessageChannel(server_end, timeout=5)
+
+        import threading
+
+        def serve():
+            request = server.recv()
+            server.send(Message(MessageKind.LOGON_OK,
+                                {"echo": request.meta}))
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        response = client.request(
+            Message(MessageKind.LOGON, {"user": "x"}),
+            MessageKind.LOGON_OK)
+        thread.join()
+        assert response.meta["echo"] == {"user": "x"}
+
+    def test_recv_or_eof(self):
+        client_end, server_end = pipe()
+        server = MessageChannel(server_end, timeout=1)
+        client_end.close()
+        assert server.recv_or_eof() is None
+
+    def test_eof_mid_frame_raises(self):
+        client_end, server_end = pipe()
+        server = MessageChannel(server_end, timeout=1)
+        raw = Message(MessageKind.LOGON).to_bytes()
+        client_end.send_bytes(raw[:4])
+        client_end.close()
+        with pytest.raises(TransportClosed):
+            server.recv_or_eof()
+
+
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(list(MessageKind)),
+        st.dictionaries(st.text(max_size=8),
+                        st.one_of(st.integers(), st.text(max_size=12)),
+                        max_size=4),
+        st.binary(max_size=200)),
+    min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=17))
+def test_coalescer_roundtrip_property(specs, mtu):
+    """Any message sequence survives arbitrary re-chunking."""
+    messages = [Message(kind, meta, body) for kind, meta, body in specs]
+    raw = b"".join(m.to_bytes() for m in messages)
+    coalescer = Coalescer()
+    out = []
+    for start in range(0, len(raw), mtu):
+        out.extend(coalescer.feed(raw[start:start + mtu]))
+    assert len(out) == len(messages)
+    for got, want in zip(out, messages):
+        assert got.kind == want.kind
+        assert got.meta == want.meta
+        assert got.body == want.body

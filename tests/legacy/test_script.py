@@ -1,0 +1,173 @@
+"""Tests for the dot-command scripting language (lexer + parser)."""
+
+import pytest
+
+from repro.errors import ScriptError
+from repro.legacy.script import (
+    BeginExportCmd, BeginImportCmd, DmlDecl, EndExportCmd, EndLoadCmd,
+    ExportCmd, ImportCmd, LogoffCmd, LogonCmd, SetCmd, SqlCmd,
+    parse_script,
+)
+from repro.legacy.script.lexer import split_statements, split_words
+
+
+class TestLexer:
+    def test_split_statements_basic(self):
+        statements = split_statements(".logon a/b,c;\nselect 1;")
+        assert [s.text for s in statements] == \
+            [".logon a/b,c", "select 1"]
+
+    def test_line_numbers(self):
+        statements = split_statements("\n\n.logoff;")
+        assert statements[0].line == 3
+
+    def test_semicolon_inside_string(self):
+        statements = split_statements("select ';' ;")
+        assert len(statements) == 1
+        assert statements[0].text == "select ';'"
+
+    def test_line_comment_stripped(self):
+        statements = split_statements("-- comment\n.logoff;")
+        assert statements[0].text == ".logoff"
+
+    def test_block_comment_stripped(self):
+        statements = split_statements("/* multi\nline */ .logoff;")
+        assert statements[0].text == ".logoff"
+
+    def test_unterminated_statement_raises(self):
+        with pytest.raises(ScriptError):
+            split_statements(".logoff")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ScriptError):
+            split_statements("select 'oops;")
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ScriptError):
+            split_statements("/* forever")
+
+    def test_split_words_quotes(self):
+        words = split_words(".import infile 'my file.txt' format vartext '|'")
+        assert "'my file.txt'" in words
+        assert "'|'" in words
+
+    def test_split_words_glues_type_parens(self):
+        assert split_words(".field A varchar(5)")[-1] == "varchar(5)"
+        assert split_words(".field A varchar (5)")[-1] == "varchar(5)"
+
+
+class TestParser:
+    def test_example_21_structure(self):
+        from tests.conftest import EXAMPLE_SCRIPT
+        script = parse_script(EXAMPLE_SCRIPT)
+        kinds = [type(c).__name__ for c in script.commands]
+        assert kinds == [
+            "LogonCmd", "SqlCmd", "LayoutDecl", "BeginImportCmd",
+            "DmlDecl", "ImportCmd", "EndLoadCmd", "LogoffCmd",
+        ]
+        layout = script.layout("CustLayout")
+        assert layout.field_names == ["CUST_ID", "CUST_NAME", "JOIN_DATE"]
+        dml = script.dml("InsApply")
+        assert "insert into PROD.CUSTOMER" in dml.sql
+
+    def test_logon_parsing(self):
+        script = parse_script(".logon host/user,pass;")
+        cmd = script.commands[0]
+        assert isinstance(cmd, LogonCmd)
+        assert (cmd.host, cmd.user, cmd.password) == \
+            ("host", "user", "pass")
+
+    def test_malformed_logon_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".logon justhost;")
+
+    def test_begin_import_sessions(self):
+        script = parse_script(
+            ".begin import tables T errortables E U sessions 7;")
+        cmd = script.commands[0]
+        assert isinstance(cmd, BeginImportCmd)
+        assert cmd.sessions == 7
+
+    def test_begin_import_missing_errortables_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".begin import tables T;")
+
+    def test_dml_without_sql_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".dml label X;")
+
+    def test_dml_followed_by_dot_command_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".dml label X;\n.logoff;")
+
+    def test_duplicate_dml_label_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(
+                ".dml label X;\nselect 1;\n.dml label x;\nselect 2;")
+
+    def test_duplicate_layout_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".layout L;\n.layout L;")
+
+    def test_field_outside_layout_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".field A varchar(5);")
+
+    def test_import_options_any_order(self):
+        script = parse_script(
+            ".layout L;\n.field A varchar(2);\n"
+            ".import apply D layout L infile f.txt format vartext ';';")
+        cmd = script.commands[-1]
+        assert isinstance(cmd, ImportCmd)
+        assert cmd.infile == "f.txt"
+        assert cmd.format_spec.delimiter == ";"
+        assert cmd.apply_label == "D"
+
+    def test_import_binary_format(self):
+        script = parse_script(
+            ".import infile f format binary layout L apply D;")
+        assert script.commands[0].format_spec.kind == "binary"
+
+    def test_export_block(self):
+        script = parse_script(
+            ".begin export sessions 3;\n"
+            ".export outfile out.txt format vartext '|';\n"
+            "select A from T;\n"
+            ".end export;")
+        begin, export, end = script.commands
+        assert isinstance(begin, BeginExportCmd) and begin.sessions == 3
+        assert isinstance(export, ExportCmd)
+        assert export.select_sql == "select A from T"
+        assert isinstance(end, EndExportCmd)
+
+    def test_export_without_select_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".export outfile o.txt;\n.end export;")
+
+    def test_set_command(self):
+        script = parse_script(".set max_errors 5;")
+        cmd = script.commands[0]
+        assert isinstance(cmd, SetCmd)
+        assert (cmd.name, cmd.value) == ("max_errors", "5")
+
+    def test_bare_sql_is_sqlcmd(self):
+        script = parse_script("create table T (a int);")
+        assert isinstance(script.commands[0], SqlCmd)
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ScriptError):
+            parse_script(".frobnicate;")
+
+    def test_unknown_layout_lookup_raises(self):
+        script = parse_script(".logoff;")
+        with pytest.raises(ScriptError):
+            script.layout("nope")
+
+    def test_end_load_and_logoff(self):
+        script = parse_script(".end load;\n.logoff;")
+        assert isinstance(script.commands[0], EndLoadCmd)
+        assert isinstance(script.commands[1], LogoffCmd)
+
+    def test_dml_registered_in_index(self):
+        script = parse_script(".dml label Up;\nupdate T set a = 1;")
+        assert isinstance(script.dml("UP"), DmlDecl)

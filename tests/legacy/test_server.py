@@ -1,0 +1,146 @@
+"""Reference legacy server tests — the Figure 5 ground truth."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.legacy.client import (
+    ExportJobSpec, ImportJobSpec, LegacyEtlClient,
+)
+from repro.legacy.script import ScriptInterpreter, parse_script
+from repro.legacy.types import FieldDef, Layout, parse_type
+from tests.conftest import EXAMPLE_DATA, EXAMPLE_SCRIPT
+
+
+class TestExample71:
+    """Figure 5: exact error-table and target-table contents."""
+
+    @pytest.fixture(autouse=True)
+    def _run(self, legacy_server):
+        self.server = legacy_server
+        interp = ScriptInterpreter(
+            legacy_server.connect, files={"input.txt": EXAMPLE_DATA})
+        self.result = interp.run(parse_script(EXAMPLE_SCRIPT))
+
+    def test_job_counts(self):
+        imp = self.result.last_import
+        assert imp.rows_inserted == 2
+        assert imp.et_errors == 2
+        assert imp.uv_errors == 1
+
+    def test_target_table_figure_5d(self):
+        rows = self.server.engine.query(
+            "SELECT * FROM PROD.CUSTOMER ORDER BY CUST_ID")
+        assert rows == [
+            ("123", "Smith", datetime.date(2012, 1, 1)),
+            ("157", "Jones", datetime.date(2012, 12, 1)),
+        ]
+
+    def test_et_table_figure_5b(self):
+        rows = self.server.engine.query(
+            "SELECT SEQNO, ERRCODE, ERRFIELD FROM PROD.CUSTOMER_ET "
+            "ORDER BY SEQNO")
+        assert rows == [
+            (2, 2666, "JOIN_DATE"),
+            (3, 2666, "JOIN_DATE"),
+        ]
+
+    def test_uv_table_figure_5c(self):
+        rows = self.server.engine.query("SELECT * FROM PROD.CUSTOMER_UV")
+        assert rows == [
+            ("123", "Jones", datetime.date(2012, 12, 1), 4, 2794),
+        ]
+
+
+class TestAdHocSql:
+    def test_result_set_roundtrip(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql("create table T (A integer, B varchar(5))")
+        client.execute_sql("insert into T values (1, 'x')")
+        result = client.execute_sql("select A, B from T")
+        assert result.rows == [(1, "x")]
+        assert result.columns[0][0] == "A"
+        client.logoff()
+
+    def test_error_response_raises(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        client.logon("h", "u", "p")
+        with pytest.raises(ProtocolError):
+            client.execute_sql("select * from NO_SUCH_TABLE")
+        client.logoff()
+
+    def test_statement_without_logon_raises(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        with pytest.raises(ProtocolError):
+            client.execute_sql("select 1")
+
+
+class TestExport:
+    def test_export_ordered_chunks(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql("create table T (A integer)")
+        for i in range(10):
+            client.execute_sql(f"insert into T values ({i})")
+        legacy_server.chunk_rows = 3  # force multiple chunks
+        result = client.run_export(ExportJobSpec(
+            "select A from T order by A", sessions=3))
+        client.logoff()
+        lines = result.data.decode().strip().split("\n")
+        assert lines == [str(i) for i in range(10)]
+        assert result.rows_exported == 10
+        assert result.chunks_fetched == 4  # ceil(10 / 3)
+
+    def test_export_empty_result(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql("create table E (A integer)")
+        result = client.run_export(ExportJobSpec("select A from E"))
+        client.logoff()
+        assert result.rows_exported == 0
+        assert result.data == b""
+
+
+class TestImportViaClientApi:
+    def test_binary_format_import(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql("create table B (K integer, V varchar(10))")
+        layout = Layout("L", [
+            FieldDef("K", parse_type("integer")),
+            FieldDef("V", parse_type("varchar(10)")),
+        ])
+        from repro.legacy.datafmt import BinaryFormat, FormatSpec
+        fmt = BinaryFormat(layout)
+        data = fmt.encode_records([(1, "one"), (2, None), (3, "three")])
+        result = client.run_import(ImportJobSpec(
+            target_table="B", et_table="B_ET", uv_table="B_UV",
+            layout=layout, apply_sql="insert into B values (:K, :V)",
+            data=data, format_spec=FormatSpec("binary"), sessions=2,
+            chunk_bytes=16))
+        client.logoff()
+        assert result.rows_inserted == 3
+        assert legacy_server.engine.query(
+            "SELECT * FROM B ORDER BY K") == \
+            [(1, "one"), (2, None), (3, "three")]
+
+    def test_field_count_error_recorded(self, legacy_server):
+        client = LegacyEtlClient(legacy_server.connect)
+        client.logon("h", "u", "p")
+        client.execute_sql("create table C (A varchar(5), B varchar(5))")
+        layout = Layout("L", [
+            FieldDef("A", parse_type("varchar(5)")),
+            FieldDef("B", parse_type("varchar(5)")),
+        ])
+        result = client.run_import(ImportJobSpec(
+            target_table="C", et_table="C_ET", uv_table="C_UV",
+            layout=layout, apply_sql="insert into C values (:A, :B)",
+            data=b"a|b\nonlyone\nc|d\n", sessions=1))
+        client.logoff()
+        assert result.rows_inserted == 2
+        assert result.et_errors == 1
+        et = legacy_server.engine.query(
+            "SELECT SEQNO, ERRCODE FROM C_ET")
+        assert et == [(2, 2673)]

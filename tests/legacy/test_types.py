@@ -1,0 +1,83 @@
+"""Tests for the legacy type system and layouts."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import ScriptError
+from repro.legacy.types import FieldDef, Layout, LegacyType, parse_type
+
+
+class TestParseType:
+    def test_varchar_with_length(self):
+        t = parse_type("varchar(50)")
+        assert t == LegacyType("VARCHAR", 50)
+
+    def test_spaces_tolerated(self):
+        assert parse_type(" decimal ( 10 , 2 ) ") == \
+            LegacyType("DECIMAL", 10, 2)
+
+    def test_aliases(self):
+        assert parse_type("int").base == "INTEGER"
+        assert parse_type("numeric(5)").base == "DECIMAL"
+        assert parse_type("double").base == "FLOAT"
+        assert parse_type("character(3)").base == "CHAR"
+
+    def test_bare_types(self):
+        for name in ("date", "timestamp", "bigint", "byteint", "float"):
+            assert parse_type(name).length is None
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ScriptError):
+            parse_type("blob(10)")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ScriptError):
+            parse_type("varchar(")
+
+
+class TestLegacyType:
+    def test_render(self):
+        assert parse_type("varchar(5)").render() == "VARCHAR(5)"
+        assert parse_type("decimal(10,2)").render() == "DECIMAL(10,2)"
+        assert parse_type("decimal(10)").render() == "DECIMAL(10,0)"
+        assert parse_type("date").render() == "DATE"
+
+    def test_predicates(self):
+        assert parse_type("unicode(5)").is_character
+        assert parse_type("byteint").is_integer
+        assert not parse_type("float").is_integer
+
+    def test_python_type(self):
+        assert parse_type("varchar(5)").python_type() is str
+        assert parse_type("integer").python_type() is int
+        assert parse_type("decimal(4,1)").python_type() is Decimal
+        assert parse_type("date").python_type() is datetime.date
+
+
+class TestLayout:
+    def _layout(self):
+        return Layout("L", [
+            FieldDef("A", parse_type("varchar(5)")),
+            FieldDef("B", parse_type("integer")),
+        ])
+
+    def test_field_names_and_arity(self):
+        layout = self._layout()
+        assert layout.field_names == ["A", "B"]
+        assert layout.arity == 2
+
+    def test_index_of_case_insensitive(self):
+        assert self._layout().index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(ScriptError):
+            self._layout().index_of("ZZZ")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ScriptError):
+            Layout("L", [
+                FieldDef("A", parse_type("integer")),
+                FieldDef("a", parse_type("integer")),
+            ])

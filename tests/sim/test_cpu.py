@@ -1,0 +1,103 @@
+"""Processor-sharing CPU pool tests."""
+
+import pytest
+
+from repro.sim.cpu import SharedCpuPool
+from repro.sim.events import Environment
+
+
+def run_tasks(cores, works, submit_times=None, **kwargs):
+    """Run tasks on a pool; returns completion times by index."""
+    env = Environment()
+    pool = SharedCpuPool(env, cores, **kwargs)
+    completions = {}
+
+    def submit(index, work, at):
+        yield env.timeout(at)
+        yield pool.compute(work)
+        completions[index] = env.now
+
+    times = submit_times or [0.0] * len(works)
+    for i, (work, at) in enumerate(zip(works, times)):
+        env.process(submit(i, work, at))
+    env.run()
+    return completions, pool
+
+
+class TestSingleTask:
+    def test_exact_duration(self):
+        completions, _ = run_tasks(1, [2.5])
+        assert completions[0] == pytest.approx(2.5)
+
+    def test_zero_work_immediate(self):
+        completions, _ = run_tasks(1, [0.0])
+        assert completions[0] == 0.0
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            SharedCpuPool(Environment(), 0)
+
+
+class TestSharing:
+    def test_two_tasks_one_core_share(self):
+        # Two 1s tasks on one core: both finish at t=2 under PS.
+        completions, _ = run_tasks(1, [1.0, 1.0],
+                                   switch_cost=0.0)
+        assert completions[0] == pytest.approx(2.0)
+        assert completions[1] == pytest.approx(2.0)
+
+    def test_two_tasks_two_cores_parallel(self):
+        completions, _ = run_tasks(2, [1.0, 1.0], switch_cost=0.0)
+        assert completions[0] == pytest.approx(1.0)
+        assert completions[1] == pytest.approx(1.0)
+
+    def test_unequal_tasks(self):
+        # 1s and 3s on one core: short finishes at 2 (shared), then the
+        # long one runs alone: 2 + (3 - 1) = 4.
+        completions, _ = run_tasks(1, [1.0, 3.0], switch_cost=0.0)
+        assert completions[0] == pytest.approx(2.0)
+        assert completions[1] == pytest.approx(4.0)
+
+    def test_late_arrival(self):
+        # 2s task; a second 2s task arrives at t=1.
+        # [0,1): task0 alone (1s done). [1,?): shared.
+        # task0 has 1s left -> finishes at t=3; task1 then alone -> t=4.
+        completions, _ = run_tasks(
+            1, [2.0, 2.0], submit_times=[0.0, 1.0], switch_cost=0.0)
+        assert completions[0] == pytest.approx(3.0)
+        assert completions[1] == pytest.approx(4.0)
+
+    def test_statistics(self):
+        _, pool = run_tasks(2, [1.0, 1.0, 1.0], switch_cost=0.0)
+        assert pool.tasks_completed == 3
+        assert pool.peak_runnable == 3
+        assert pool.busy_time == pytest.approx(3.0)
+
+
+class TestOverheadModel:
+    def test_rate_at_or_below_capacity_is_full(self):
+        pool = SharedCpuPool(Environment(), 8)
+        assert pool.rate_for(4) == pytest.approx(1.0)
+        assert pool.rate_for(8) == pytest.approx(1.0)
+
+    def test_rate_decays_with_backlog(self):
+        pool = SharedCpuPool(Environment(), 8, quantum=0.004,
+                             switch_cost=0.00002)
+        r100 = pool.rate_for(100) * 100 / 8     # normalized efficiency
+        r100000 = pool.rate_for(100_000) * 100_000 / 8
+        assert r100 > r100000
+        assert r100 > 0.9
+        assert r100000 < 0.5
+
+    def test_oversubscription_slows_completion(self):
+        fast, _ = run_tasks(2, [1.0] * 4, switch_cost=0.0)
+        slow, _ = run_tasks(2, [1.0] * 4, quantum=0.01,
+                            switch_cost=0.01)
+        assert max(slow.values()) > max(fast.values())
+
+    def test_work_conservation_under_overhead(self):
+        """Tasks still all finish; overhead slows but never starves."""
+        completions, pool = run_tasks(2, [0.5] * 20, quantum=0.004,
+                                      switch_cost=0.001)
+        assert len(completions) == 20
+        assert pool.tasks_completed == 20

@@ -1,0 +1,69 @@
+"""Property: the CPU pool matches closed-form processor-sharing math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.cpu import SharedCpuPool
+from repro.sim.events import Environment
+
+
+@given(st.integers(1, 16), st.integers(1, 40),
+       st.floats(0.01, 10.0))
+def test_equal_tasks_finish_at_analytic_time(cores, tasks, work):
+    """N equal tasks submitted together finish simultaneously at
+    N*work/cores / efficiency (for N >= cores), or at work (N <= cores).
+    """
+    env = Environment()
+    pool = SharedCpuPool(env, cores)
+    done_times = []
+
+    def submit():
+        yield pool.compute(work)
+        done_times.append(env.now)
+
+    for _ in range(tasks):
+        env.process(submit())
+    env.run()
+
+    assert len(done_times) == tasks
+    # All equal tasks finish at the same simulated instant.
+    assert max(done_times) - min(done_times) < 1e-6
+    # rate_for(k) folds in both the core share and the overhead model,
+    # so the makespan of k equal tasks is simply work / rate.
+    expected = work / pool.rate_for(tasks)
+    assert done_times[0] == pytest.approx(expected, rel=1e-9)
+
+
+@given(st.integers(1, 8), st.lists(st.floats(0.1, 5.0), min_size=1,
+                                   max_size=10))
+def test_total_busy_time_conserved(cores, works):
+    """Work is conserved: busy_time equals the total work divided by
+    the efficiency actually experienced — and with no overhead
+    (switch_cost=0) it equals the sum of work exactly."""
+    env = Environment()
+    pool = SharedCpuPool(env, cores, switch_cost=0.0)
+
+    def submit(w):
+        yield pool.compute(w)
+
+    for w in works:
+        env.process(submit(w))
+    env.run()
+    assert pool.tasks_completed == len(works)
+    assert pool.busy_time == pytest.approx(sum(works), rel=1e-6)
+
+
+@given(st.integers(1, 8), st.floats(0.5, 4.0), st.floats(0.5, 4.0))
+def test_makespan_lower_bound(cores, w1, w2):
+    """The makespan is never below max(critical path, total/cores)."""
+    env = Environment()
+    pool = SharedCpuPool(env, cores, switch_cost=0.0)
+
+    def submit(w):
+        yield pool.compute(w)
+
+    env.process(submit(w1))
+    env.process(submit(w2))
+    end = env.run()
+    assert end >= max(w1, w2) - 1e-9
+    assert end >= (w1 + w2) / cores - 1e-9

@@ -1,0 +1,128 @@
+"""Event-loop tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Environment
+
+
+class TestTimeouts:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        log = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            log.append((name, env.now))
+
+        env.process(proc("b", 2.0))
+        env.process(proc("a", 1.0))
+        env.run()
+        assert log == [("a", 1.0), ("b", 2.0)]
+
+    def test_zero_delay(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.timeout(0)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10)
+
+        env.process(proc())
+        assert env.run(until=5) == 5
+        assert env.run() == 10
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            return 42
+
+        collected = []
+
+        def parent():
+            value = yield env.process(child())
+            collected.append(value)
+
+        env.process(parent())
+        env.run()
+        assert collected == [42]
+
+    def test_waiting_on_triggered_event(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("early")
+        got = []
+
+        def proc():
+            value = yield event
+            got.append(value)
+
+        env.process(proc())
+        env.run()
+        assert got == ["early"]
+
+    def test_multiple_waiters_all_resume(self):
+        env = Environment()
+        gate = env.event()
+        woken = []
+
+        def waiter(name):
+            yield gate
+            woken.append(name)
+
+        for name in ("x", "y", "z"):
+            env.process(waiter(name))
+
+        def opener():
+            yield env.timeout(1)
+            gate.succeed()
+
+        env.process(opener())
+        env.run()
+        assert sorted(woken) == ["x", "y", "z"]
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_cancelled_event_skipped(self):
+        env = Environment()
+        timer = env.timeout(5)
+        fired = []
+        timer.callbacks.append(lambda e: fired.append(env.now))
+        timer.cancel()
+        env.run()
+        assert fired == []
+        assert env.now == 0.0

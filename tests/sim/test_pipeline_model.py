@@ -1,0 +1,127 @@
+"""Simulated acquisition pipeline tests (the Fig 9/10 substrate)."""
+
+import pytest
+
+from repro.errors import SimOutOfMemory
+from repro.sim.events import Environment
+from repro.sim.memory import MemoryModel
+from repro.sim.pipeline import SimParams, simulate_acquisition
+
+
+def small_params(**overrides) -> SimParams:
+    base = dict(
+        rows=100_000, row_bytes=500, chunk_bytes=1 << 20,
+        sessions=4, cores=4, credits=16,
+        convert_cpu_per_byte=1e-8, convert_cpu_per_row=0.0,
+        client_bandwidth_per_session=200e6,
+        disk_bandwidth=2e9, link_bandwidth=2e9, copy_bandwidth=1e10,
+        fixed_setup=1.0, fixed_teardown=1.0, session_setup=0.1,
+    )
+    base.update(overrides)
+    return SimParams(**base)
+
+
+class TestMemoryModel:
+    def test_peak_tracking(self):
+        env = Environment()
+        memory = MemoryModel(env, limit_bytes=100)
+        memory.allocate(60)
+        memory.allocate(30)
+        memory.free(50)
+        assert memory.peak == 90
+        assert memory.in_use == 40
+
+    def test_oom_raises(self):
+        env = Environment()
+        memory = MemoryModel(env, limit_bytes=100)
+        with pytest.raises(SimOutOfMemory):
+            memory.allocate(200)
+
+    def test_unlimited(self):
+        memory = MemoryModel(Environment(), limit_bytes=None)
+        memory.allocate(10**15)  # no limit, no error
+
+
+class TestSimulation:
+    def test_completes_and_reports(self):
+        report = simulate_acquisition(small_params())
+        assert not report.crashed
+        assert report.total_time > 0
+        assert report.acquisition_time > 0
+        assert report.setup_teardown_time > 0
+        assert report.files_uploaded >= 1
+        assert report.peak_memory_bytes > 0
+
+    def test_more_data_takes_longer(self):
+        t1 = simulate_acquisition(small_params(rows=50_000))
+        t2 = simulate_acquisition(small_params(rows=200_000))
+        assert t2.acquisition_time > t1.acquisition_time
+
+    def test_deterministic(self):
+        a = simulate_acquisition(small_params())
+        b = simulate_acquisition(small_params())
+        assert a.total_time == b.total_time
+        assert a.peak_memory_bytes == b.peak_memory_bytes
+
+    def test_more_cores_help_cpu_bound_load(self):
+        slow = simulate_acquisition(small_params(
+            cores=2, convert_cpu_per_byte=1e-7))
+        fast = simulate_acquisition(small_params(
+            cores=8, convert_cpu_per_byte=1e-7))
+        assert fast.total_time < slow.total_time
+
+    def test_tiny_credit_pool_throttles(self):
+        # Conversion slower than arrival: credits bound the backlog.
+        throttled = simulate_acquisition(small_params(
+            credits=2, convert_cpu_per_byte=5e-8))
+        roomy = simulate_acquisition(small_params(
+            credits=64, convert_cpu_per_byte=5e-8))
+        assert throttled.credit_blocked_acquires > 0
+        assert throttled.peak_runnable_tasks <= 2
+        assert roomy.acquisition_time <= throttled.acquisition_time
+
+    def test_in_flight_bounded_by_credits(self):
+        report = simulate_acquisition(small_params(
+            credits=8, convert_cpu_per_byte=1e-7))
+        assert report.peak_runnable_tasks <= 8
+
+    def test_oom_with_unbounded_credits(self):
+        report = simulate_acquisition(small_params(
+            rows=400_000, credits=10**6,
+            convert_cpu_per_byte=2e-7,   # conversion far behind arrival
+            memory_limit_bytes=32 << 20))
+        assert report.crashed
+        assert report.crash_time is not None
+
+    def test_synchronous_ack_slower(self):
+        fast = simulate_acquisition(small_params(
+            convert_cpu_per_byte=4e-8))
+        slow = simulate_acquisition(small_params(
+            convert_cpu_per_byte=4e-8, synchronous_ack=True))
+        assert slow.acquisition_time > fast.acquisition_time
+
+    def test_compression_helps_on_slow_link(self):
+        plain = simulate_acquisition(small_params(link_bandwidth=20e6))
+        gzipped = simulate_acquisition(small_params(
+            link_bandwidth=20e6, compression=True))
+        assert gzipped.acquisition_time < plain.acquisition_time
+
+    def test_compression_costs_cpu_on_fast_link(self):
+        plain = simulate_acquisition(small_params(
+            cores=1, convert_cpu_per_byte=2e-8))
+        gzipped = simulate_acquisition(small_params(
+            cores=1, convert_cpu_per_byte=2e-8, compression=True,
+            compression_cpu_per_byte=2e-8))
+        assert gzipped.total_time >= plain.total_time
+
+    def test_file_threshold_controls_file_count(self):
+        many = simulate_acquisition(small_params(
+            file_threshold_bytes=4 << 20))
+        few = simulate_acquisition(small_params(
+            file_threshold_bytes=256 << 20))
+        assert many.files_uploaded > few.files_uploaded
+
+    def test_throughput_property(self):
+        report = simulate_acquisition(small_params())
+        expected = small_params().total_bytes / report.acquisition_time
+        assert report.throughput_bytes_per_s == pytest.approx(expected)

@@ -1,0 +1,112 @@
+"""Store and CreditPool tests for the simulator."""
+
+from repro.sim.events import Environment
+from repro.sim.resources import CreditPool, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        got = []
+
+        def getter():
+            value = yield store.get()
+            got.append(value)
+
+        env.process(getter())
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            value = yield store.get()
+            got.append((value, env.now))
+
+        def putter():
+            yield env.timeout(3)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [("late", 3.0)]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(name):
+            value = yield store.get()
+            got.append((name, value))
+
+        env.process(getter("first"))
+        env.process(getter("second"))
+
+        def putter():
+            yield env.timeout(1)
+            store.put(1)
+            store.put(2)
+
+        env.process(putter())
+        env.run()
+        assert got == [("first", 1), ("second", 2)]
+
+
+class TestCreditPool:
+    def test_immediate_acquire(self):
+        env = Environment()
+        pool = CreditPool(env, 2)
+        done = []
+
+        def proc():
+            yield pool.acquire()
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+        assert pool.available == 1
+
+    def test_blocking_and_wait_accounting(self):
+        env = Environment()
+        pool = CreditPool(env, 1)
+        times = []
+
+        def holder():
+            yield pool.acquire()
+            yield env.timeout(5)
+            pool.release()
+
+        def waiter():
+            yield env.timeout(1)  # arrive after the holder
+            yield pool.acquire()
+            times.append(env.now)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert times == [5.0]
+        assert pool.blocked_acquires == 1
+        assert pool.total_wait == 4.0
+
+    def test_min_available_tracked(self):
+        env = Environment()
+        pool = CreditPool(env, 3)
+
+        def proc():
+            yield pool.acquire()
+            yield pool.acquire()
+            pool.release()
+            pool.release()
+
+        env.process(proc())
+        env.run()
+        assert pool.min_available == 1
+        assert pool.available == 3

@@ -1,0 +1,71 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sqlxc.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert kinds("select from")[0] == (TokenType.KEYWORD, "SELECT")
+
+    def test_sel_abbreviation(self):
+        assert kinds("sel")[0] == (TokenType.KEYWORD, "SELECT")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("MyTable")[0] == (TokenType.IDENT, "MyTable")
+
+    def test_function_names_are_identifiers(self):
+        assert kinds("coalesce")[0][0] is TokenType.IDENT
+
+    def test_quoted_identifier(self):
+        assert kinds('"weird name"')[0] == \
+            (TokenType.IDENT, "weird name")
+
+    def test_string_with_escape(self):
+        assert kinds("'it''s'")[0] == (TokenType.STRING, "it's")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_host_param(self):
+        assert kinds(":CUST_ID")[0] == (TokenType.HOSTPARAM, "CUST_ID")
+
+    def test_bare_colon_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a : b")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+        assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+        assert kinds("1e5")[0] == (TokenType.NUMBER, "1e5")
+        assert kinds("2.5E-3")[0] == (TokenType.NUMBER, "2.5E-3")
+
+    def test_multi_char_operators(self):
+        ops = [v for t, v in kinds("a <> b != c >= d || e")
+               if t is TokenType.OP]
+        assert ops == ["<>", "!=", ">=", "||"]
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment\n b") == \
+            [(TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+        assert kinds("a /* x */ b") == \
+            [(TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a /* forever")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a ? b")
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("select 1")
+        assert tokens[-1].type is TokenType.EOF

@@ -1,0 +1,181 @@
+"""Tests for the legacy->CDW rewrite rules and parameter binding."""
+
+import pytest
+
+from repro.errors import SqlTranslationError, UnboundParameterError
+from repro.sqlxc import nodes as n
+from repro.sqlxc import transpile
+from repro.sqlxc.parser import parse_expression, parse_statement
+from repro.sqlxc.render import render
+from repro.sqlxc.rewrites import (
+    bind_params_to_columns, bind_params_to_values, collect_host_params,
+    map_type, to_cdw, upsert_to_merge,
+)
+
+
+class TestTypeMap:
+    def test_unicode_to_nvarchar(self):
+        mapped = map_type(n.TypeName("UNICODE", 20, dialect="legacy"))
+        assert (mapped.base, mapped.length) == ("NVARCHAR", 20)
+
+    def test_byteint_widened(self):
+        assert map_type(n.TypeName("BYTEINT", dialect="legacy")).base == \
+            "SMALLINT"
+
+    def test_float_to_double(self):
+        assert map_type(n.TypeName("FLOAT", dialect="legacy")).base == \
+            "DOUBLE"
+
+    def test_cdw_types_pass_through(self):
+        t = n.TypeName("NVARCHAR", 5, dialect="cdw")
+        assert map_type(t) is t
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SqlTranslationError):
+            map_type(n.TypeName("GEOMETRY", dialect="legacy"))
+
+
+class TestStructuralRewrites:
+    def test_format_cast_becomes_to_date(self):
+        sql = "SELECT CAST(a AS DATE FORMAT 'MM/DD/YYYY') FROM t"
+        assert transpile(sql) == \
+            "SELECT TO_DATE(a, 'MM/DD/YYYY') FROM t"
+
+    def test_format_cast_timestamp(self):
+        stmt = to_cdw(parse_statement(
+            "SELECT CAST(a AS TIMESTAMP FORMAT 'X') FROM t", "legacy"))
+        assert "TO_TIMESTAMP" in render(stmt)
+
+    def test_format_cast_to_int_rejected(self):
+        with pytest.raises(SqlTranslationError):
+            to_cdw(parse_statement(
+                "SELECT CAST(a AS INTEGER FORMAT '9') FROM t", "legacy"))
+
+    def test_plain_cast_type_mapped(self):
+        assert transpile("SELECT CAST(a AS UNICODE(5)) FROM t") == \
+            "SELECT CAST(a AS NVARCHAR(5)) FROM t"
+
+    def test_zeroifnull(self):
+        assert transpile("SELECT ZEROIFNULL(a) FROM t") == \
+            "SELECT COALESCE(a, 0) FROM t"
+
+    def test_nullifzero(self):
+        assert transpile("SELECT NULLIFZERO(a) FROM t") == \
+            "SELECT NULLIF(a, 0) FROM t"
+
+    def test_index_to_strpos(self):
+        assert transpile("SELECT INDEX(a, 'x') FROM t") == \
+            "SELECT STRPOS(a, 'x') FROM t"
+
+    def test_position_to_strpos_swaps_args(self):
+        assert transpile("SELECT POSITION('x' IN a) FROM t") == \
+            "SELECT STRPOS(a, 'x') FROM t"
+
+    def test_ddl_types_mapped(self):
+        out = transpile(
+            "CREATE TABLE t (a UNICODE(5), b BYTEINT, c FLOAT)")
+        assert "NVARCHAR(5)" in out
+        assert "SMALLINT" in out
+        assert "DOUBLE" in out
+
+
+class TestUpsertToMerge:
+    def _upsert(self, sql):
+        stmt = parse_statement(sql, dialect="legacy")
+        assert isinstance(stmt, n.Upsert)
+        return stmt
+
+    def test_basic_structure(self):
+        stmt = self._upsert(
+            "UPDATE t SET v = s.v WHERE t.k = s.k "
+            "ELSE INSERT INTO t VALUES (s.k, s.v)")
+        merge = upsert_to_merge(stmt)
+        assert isinstance(merge, n.Merge)
+        assert merge.target.name == "t"
+        assert merge.matched.assignments[0].column == "v"
+        assert len(merge.not_matched.values) == 2
+
+    def test_mismatched_tables_rejected(self):
+        stmt = self._upsert(
+            "UPDATE t SET v = 1 WHERE k = 1 "
+            "ELSE INSERT INTO other VALUES (1)")
+        with pytest.raises(SqlTranslationError):
+            upsert_to_merge(stmt)
+
+    def test_missing_where_rejected(self):
+        stmt = self._upsert(
+            "UPDATE t SET v = 1 ELSE INSERT INTO t VALUES (1)")
+        with pytest.raises(SqlTranslationError):
+            upsert_to_merge(stmt)
+
+    def test_via_to_cdw(self):
+        stmt = parse_statement(
+            "UPDATE t SET v = s.v WHERE t.k = s.k "
+            "ELSE INSERT INTO t VALUES (s.k, s.v)", dialect="legacy")
+        out = render(to_cdw(stmt))
+        assert out.startswith("MERGE INTO t USING s")
+
+
+class TestBinding:
+    SQL = ("insert into T values (trim(:A), "
+           "cast(:B as DATE format 'YYYY-MM-DD'))")
+
+    def test_collect_host_params(self):
+        stmt = parse_statement(self.SQL, dialect="legacy")
+        assert collect_host_params(stmt) == ["A", "B"]
+
+    def test_bind_to_columns(self):
+        stmt = parse_statement(self.SQL, dialect="legacy")
+        bound = bind_params_to_columns(stmt, ["A", "B"], "s")
+        refs = [node for node in n.walk(bound)
+                if isinstance(node, n.ColumnRef)]
+        assert {(r.table, r.name) for r in refs} == \
+            {("s", "A"), ("s", "B")}
+
+    def test_bind_to_columns_case_insensitive(self):
+        stmt = parse_statement("select :x", dialect="legacy")
+        bound = bind_params_to_columns(stmt, ["X"], "s")
+        ref = bound.items[0].expr
+        assert ref.name == "X"
+
+    def test_bind_to_columns_unknown_raises(self):
+        stmt = parse_statement(self.SQL, dialect="legacy")
+        with pytest.raises(UnboundParameterError):
+            bind_params_to_columns(stmt, ["A"], "s")
+
+    def test_bind_to_values(self):
+        stmt = parse_statement(self.SQL, dialect="legacy")
+        bound = bind_params_to_values(stmt, {"A": " x ", "B": "2020-01-01"})
+        params = [node for node in n.walk(bound)
+                  if isinstance(node, n.BoundParam)]
+        assert {(p.name, p.value) for p in params} == \
+            {("A", " x "), ("B", "2020-01-01")}
+
+    def test_bind_to_values_missing_raises(self):
+        stmt = parse_statement(self.SQL, dialect="legacy")
+        with pytest.raises(UnboundParameterError):
+            bind_params_to_values(stmt, {"A": 1})
+
+    def test_binding_is_non_destructive(self):
+        stmt = parse_statement(self.SQL, dialect="legacy")
+        bind_params_to_values(stmt, {"A": 1, "B": 2})
+        # The original template still carries host params (rebindable).
+        assert collect_host_params(stmt) == ["A", "B"]
+
+
+class TestEndToEndTranspile:
+    def test_example_21_dml(self):
+        sql = ("insert into PROD.CUSTOMER values (trim(:CUST_ID), "
+               "trim(:CUST_NAME), "
+               "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))")
+        stmt = parse_statement(sql, dialect="legacy")
+        bound = bind_params_to_columns(
+            stmt, ["CUST_ID", "CUST_NAME", "JOIN_DATE"], "s")
+        out = render(to_cdw(bound), "cdw")
+        assert out == (
+            "INSERT INTO PROD.CUSTOMER VALUES (TRIM(s.CUST_ID), "
+            "TRIM(s.CUST_NAME), TO_DATE(s.JOIN_DATE, 'YYYY-MM-DD'))")
+
+    def test_select_passthrough(self):
+        sql = "sel a from t where a > 1"
+        assert transpile(sql) == "SELECT a FROM t WHERE (a > 1)"

@@ -1,0 +1,107 @@
+"""CLI tests (driving main() in-process)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import EXAMPLE_DATA, EXAMPLE_SCRIPT
+
+
+@pytest.fixture
+def script_dir(tmp_path):
+    (tmp_path / "job.etl").write_text(EXAMPLE_SCRIPT)
+    (tmp_path / "input.txt").write_bytes(EXAMPLE_DATA)
+    return tmp_path
+
+
+class TestRunScript:
+    def test_hyperq_backend(self, script_dir, capsys):
+        code = main(["run-script", str(script_dir / "job.etl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 inserted" in out
+        assert "2 ET errors" in out
+        assert "1 UV errors" in out
+
+    def test_legacy_backend(self, script_dir, capsys):
+        code = main(["run-script", str(script_dir / "job.etl"),
+                     "--backend", "legacy"])
+        assert code == 0
+        assert "2 inserted" in capsys.readouterr().out
+
+    def test_show_tables(self, script_dir, capsys):
+        code = main(["run-script", str(script_dir / "job.etl"),
+                     "--show-tables"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROD.CUSTOMER" in out
+        assert "Smith" in out
+
+    def test_export_writes_output_file(self, tmp_path, capsys):
+        script = EXAMPLE_SCRIPT.replace(
+            ".logoff;",
+            ".begin export;\n.export outfile out.txt format vartext "
+            "'|';\nselect CUST_ID from PROD.CUSTOMER;\n.end export;\n"
+            ".logoff;")
+        (tmp_path / "job.etl").write_text(script)
+        (tmp_path / "input.txt").write_bytes(EXAMPLE_DATA)
+        code = main(["run-script", str(tmp_path / "job.etl")])
+        assert code == 0
+        assert (tmp_path / "out.txt").exists()
+
+    def test_missing_script_errors(self, capsys):
+        assert main(["run-script", "/no/such/script.etl"]) == 1
+
+
+class TestTranspile:
+    def test_plain(self, capsys):
+        code = main(["transpile",
+                     "select ZEROIFNULL(A) from T"])
+        assert code == 0
+        assert "COALESCE(A, 0)" in capsys.readouterr().out
+
+    def test_with_binding(self, capsys):
+        code = main([
+            "transpile",
+            "insert into T values (cast(:D as DATE format "
+            "'YYYY-MM-DD'))",
+            "--bind", "D"])
+        assert code == 0
+        assert "TO_DATE(s.D" in capsys.readouterr().out
+
+    def test_bad_sql_errors(self, capsys):
+        assert main(["transpile", "NOT SQL AT ALL"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_clean_corpus_exit_zero(self, tmp_path, capsys):
+        (tmp_path / "a.etl").write_text(
+            ".logon h/u,p;\nselect 1;\n.logoff;")
+        code = main(["analyze", str(tmp_path)])
+        assert code == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_problem_corpus_exit_two(self, tmp_path, capsys):
+        (tmp_path / "a.etl").write_text(
+            ".logon h/u,p;\nGRANT ALL TO x;\n.logoff;")
+        assert main(["analyze", str(tmp_path)]) == 2
+
+    def test_empty_corpus_exit_one(self, tmp_path):
+        assert main(["analyze", str(tmp_path)]) == 1
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(["simulate", "--rows", "100000", "--cores", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "acquisition time" in out
+        assert "throughput" in out
+
+    def test_oom_exit_code(self, capsys):
+        code = main(["simulate", "--rows", "2000000",
+                     "--credits", "1000000", "--memory-gb", "0.01"])
+        assert code == 3
+        assert "CRASHED" in capsys.readouterr().out

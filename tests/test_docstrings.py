@@ -1,0 +1,64 @@
+"""Meta-test: every public module, class, and function is documented.
+
+The paper reproduction is meant to be adoptable; undocumented public
+surface fails this test.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_docstring():
+    undocumented = [m.__name__ for m in iter_modules()
+                    if not (m.__doc__ or "").strip()]
+    assert undocumented == []
+
+
+def test_public_classes_and_functions_documented():
+    missing: list[str] = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports are documented at their source
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (inspect.getdoc(obj) or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+    assert missing == [], f"undocumented public items: {missing}"
+
+
+def test_public_methods_documented():
+    missing: list[str] = []
+    allow_undocumented = {
+        # dunder-adjacent plumbing that needs no prose
+        "__enter__", "__exit__", "__post_init__", "__repr__",
+        "__len__",
+    }
+    for module in iter_modules():
+        for cls_name, cls in vars(module).items():
+            if cls_name.startswith("_") or not inspect.isclass(cls):
+                continue
+            if cls.__module__ != module.__name__:
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_") and name not in allow_undocumented:
+                    continue
+                if not inspect.isfunction(member):
+                    continue
+                if not (inspect.getdoc(member) or "").strip():
+                    missing.append(
+                        f"{module.__name__}.{cls_name}.{name}")
+    assert missing == [], f"undocumented public methods: {missing}"

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "retail_nightly_batch.py",
+    "export_roundtrip.py",
+    "sql_crosscompile_demo.py",
+    "workload_analysis.py",
+    "error_handling_demo.py",
+    "bi_reporting.py",
+]
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys, monkeypatch):
+    path = os.path.join(EXAMPLES_DIR, example)
+    monkeypatch.chdir(EXAMPLES_DIR)
+    # examples import nothing from each other; run as __main__
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"
+
+
+def test_quickstart_reproduces_figures(capsys, monkeypatch):
+    monkeypatch.chdir(EXAMPLES_DIR)
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "123 | Smith | 2012-01-01" in out
+    assert "row numbers: (4, 5)" in out
+
+
+def test_export_roundtrip_is_exact(capsys, monkeypatch):
+    monkeypatch.chdir(EXAMPLES_DIR)
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "export_roundtrip.py"),
+                   run_name="__main__")
+    assert "identical to source: True" in capsys.readouterr().out
+
+
+def test_retail_batch_meets_sla(capsys, monkeypatch):
+    monkeypatch.chdir(EXAMPLES_DIR)
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "retail_nightly_batch.py"),
+        run_name="__main__")
+    assert "SLA MET" in capsys.readouterr().out

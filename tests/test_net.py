@@ -1,0 +1,101 @@
+"""Tests for the in-memory byte transport."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportClosed
+from repro.net import Listener, pipe
+
+
+class TestPipe:
+    def test_basic_send_recv(self):
+        left, right = pipe()
+        left.send_bytes(b"hello")
+        assert right.recv_bytes() == b"hello"
+
+    def test_both_directions(self):
+        left, right = pipe()
+        left.send_bytes(b"ping")
+        right.send_bytes(b"pong")
+        assert right.recv_bytes() == b"ping"
+        assert left.recv_bytes() == b"pong"
+
+    def test_eof_after_close(self):
+        left, right = pipe()
+        left.send_bytes(b"last")
+        left.close()
+        assert right.recv_bytes() == b"last"
+        assert right.recv_bytes() is None
+        assert right.recv_bytes() is None  # EOF is sticky
+
+    def test_write_after_close_raises(self):
+        left, _right = pipe()
+        left.close()
+        with pytest.raises(TransportClosed):
+            left.send_bytes(b"x")
+
+    def test_mtu_splits_writes(self):
+        left, right = pipe(mtu=3)
+        left.send_bytes(b"abcdefgh")
+        chunks = [right.recv_bytes() for _ in range(3)]
+        assert chunks == [b"abc", b"def", b"gh"]
+
+    def test_recv_timeout(self):
+        _left, right = pipe()
+        with pytest.raises(TransportClosed):
+            right.recv_bytes(timeout=0.05)
+
+    def test_cross_thread(self):
+        left, right = pipe()
+
+        def writer():
+            for i in range(100):
+                left.send_bytes(bytes([i]))
+            left.close()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        received = []
+        while True:
+            chunk = right.recv_bytes(timeout=5)
+            if chunk is None:
+                break
+            received.append(chunk)
+        thread.join()
+        assert b"".join(received) == bytes(range(100))
+
+
+class TestListener:
+    def test_connect_accept(self):
+        listener = Listener()
+        client = listener.connect()
+        server = listener.accept(timeout=1)
+        client.send_bytes(b"hi")
+        assert server.recv_bytes() == b"hi"
+        server.send_bytes(b"yo")
+        assert client.recv_bytes() == b"yo"
+
+    def test_accept_timeout_returns_none(self):
+        listener = Listener()
+        assert listener.accept(timeout=0.05) is None
+
+    def test_closed_listener_rejects_connect(self):
+        listener = Listener()
+        listener.close()
+        with pytest.raises(TransportClosed):
+            listener.connect()
+
+    def test_accept_after_close_returns_none(self):
+        listener = Listener()
+        listener.close()
+        assert listener.accept(timeout=0.1) is None
+
+    def test_multiple_connections(self):
+        listener = Listener()
+        clients = [listener.connect() for _ in range(3)]
+        servers = [listener.accept(timeout=1) for _ in range(3)]
+        for i, client in enumerate(clients):
+            client.send_bytes(f"c{i}".encode())
+        received = sorted(s.recv_bytes() for s in servers)
+        assert received == [b"c0", b"c1", b"c2"]

@@ -1,0 +1,96 @@
+"""Real-TCP transport tests: the whole stack over localhost sockets."""
+
+import pytest
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.gateway import HyperQNode
+from repro.errors import TransportClosed
+from repro.legacy.script import ScriptInterpreter, parse_script
+from repro.legacy.server import LegacyServer
+from repro.net_tcp import TcpListener, connect_tcp
+from tests.conftest import EXAMPLE_DATA, EXAMPLE_SCRIPT
+
+
+class TestTcpTransport:
+    def test_basic_roundtrip(self):
+        listener = TcpListener()
+        client = listener.connect()
+        server = listener.accept(timeout=2)
+        client.send_bytes(b"ping")
+        assert server.recv_bytes(timeout=2) == b"ping"
+        server.send_bytes(b"pong")
+        assert client.recv_bytes(timeout=2) == b"pong"
+        client.close_both()
+        server.close_both()
+        listener.close()
+
+    def test_eof_on_peer_close(self):
+        listener = TcpListener()
+        client = listener.connect()
+        server = listener.accept(timeout=2)
+        client.close()
+        assert server.recv_bytes(timeout=2) is None
+        server.close_both()
+        client.close_both()
+        listener.close()
+
+    def test_recv_timeout(self):
+        listener = TcpListener()
+        client = listener.connect()
+        server = listener.accept(timeout=2)
+        with pytest.raises(TransportClosed):
+            server.recv_bytes(timeout=0.05)
+        client.close_both()
+        server.close_both()
+        listener.close()
+
+    def test_accept_timeout(self):
+        listener = TcpListener()
+        assert listener.accept(timeout=0.05) is None
+        listener.close()
+
+    def test_connect_by_address(self):
+        listener = TcpListener()
+        endpoint = connect_tcp(listener.host, listener.port)
+        server = listener.accept(timeout=2)
+        endpoint.send_bytes(b"hello")
+        assert server.recv_bytes(timeout=2) == b"hello"
+        endpoint.close_both()
+        server.close_both()
+        listener.close()
+
+
+class TestStackOverTcp:
+    def test_hyperq_over_real_sockets(self):
+        """The full Example 2.1 job over a localhost TCP socket."""
+        store = CloudStore()
+        engine = CdwEngine(store=store)
+        node = HyperQNode(engine, store,
+                          HyperQConfig(converters=2, filewriters=1,
+                                       credits=8),
+                          listener=TcpListener())
+        node.start()
+        try:
+            interp = ScriptInterpreter(
+                node.listener.connect,
+                files={"input.txt": EXAMPLE_DATA})
+            result = interp.run(parse_script(EXAMPLE_SCRIPT))
+            imp = result.last_import
+            assert (imp.rows_inserted, imp.et_errors,
+                    imp.uv_errors) == (2, 2, 1)
+        finally:
+            node.stop()
+
+    def test_legacy_server_over_real_sockets(self):
+        server = LegacyServer(listener=TcpListener())
+        server.start()
+        try:
+            interp = ScriptInterpreter(
+                server.listener.connect,
+                files={"input.txt": EXAMPLE_DATA})
+            result = interp.run(parse_script(EXAMPLE_SCRIPT))
+            assert result.last_import.rows_inserted == 2
+        finally:
+            server.stop()

@@ -1,0 +1,123 @@
+"""Tests for the shared value model and legacy date formats."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import values
+from repro.errors import ExpressionError
+
+
+class TestDateFormatTokens:
+    def test_iso_format(self):
+        assert values.date_format_tokens("YYYY-MM-DD") == \
+            ("YYYY", "-", "MM", "-", "DD")
+
+    def test_two_digit_year(self):
+        assert values.date_format_tokens("YY/MM/DD") == \
+            ("YY", "/", "MM", "/", "DD")
+
+    def test_month_name(self):
+        assert values.date_format_tokens("DDMMMYYYY") == \
+            ("DD", "MMM", "YYYY")
+
+    def test_lowercase_format(self):
+        assert values.date_format_tokens("yyyy-mm-dd") == \
+            ("YYYY", "-", "MM", "-", "DD")
+
+
+class TestParseDate:
+    def test_iso(self):
+        assert values.parse_date("2012-01-01") == \
+            datetime.date(2012, 1, 1)
+
+    def test_leading_trailing_space(self):
+        assert values.parse_date("  2012-01-01 ") == \
+            datetime.date(2012, 1, 1)
+
+    def test_us_format(self):
+        assert values.parse_date("12/31/1999", "MM/DD/YYYY") == \
+            datetime.date(1999, 12, 31)
+
+    def test_month_abbreviation(self):
+        assert values.parse_date("01Feb2020", "DDMMMYYYY") == \
+            datetime.date(2020, 2, 1)
+
+    def test_two_digit_year_window(self):
+        assert values.parse_date("49/01/01", "YY/MM/DD").year == 2049
+        assert values.parse_date("50/01/01", "YY/MM/DD").year == 1950
+
+    def test_garbage_raises(self):
+        with pytest.raises(ExpressionError):
+            values.parse_date("xxxx")
+
+    def test_bad_day_raises(self):
+        with pytest.raises(ExpressionError):
+            values.parse_date("2012-02-31")
+
+    def test_bad_month_name_raises(self):
+        with pytest.raises(ExpressionError):
+            values.parse_date("01Xxx2020", "DDMMMYYYY")
+
+    def test_field_attribution(self):
+        with pytest.raises(ExpressionError) as info:
+            values.parse_date("junk", field="JOIN_DATE")
+        assert info.value.field == "JOIN_DATE"
+
+    def test_format_without_year_rejected(self):
+        with pytest.raises(ExpressionError):
+            values.parse_date("01-02", "MM-DD")
+
+
+class TestFormatDate:
+    def test_iso(self):
+        assert values.format_date(datetime.date(2012, 1, 2)) == \
+            "2012-01-02"
+
+    def test_short_year(self):
+        assert values.format_date(
+            datetime.date(2012, 12, 1), "YY/MM/DD") == "12/12/01"
+
+    def test_month_name(self):
+        assert values.format_date(
+            datetime.date(2020, 2, 1), "DDMMMYYYY") == "01Feb2020"
+
+
+@given(st.dates(min_value=datetime.date(1900, 1, 1),
+                max_value=datetime.date(2199, 12, 31)),
+       st.sampled_from(["YYYY-MM-DD", "MM/DD/YYYY", "DDMMMYYYY",
+                        "YYYYMMDD", "DD.MM.YYYY"]))
+def test_date_roundtrip_property(date, fmt):
+    """format_date and parse_date are inverses for 4-digit-year formats."""
+    assert values.parse_date(values.format_date(date, fmt), fmt) == date
+
+
+class TestTimestamps:
+    def test_basic(self):
+        ts = values.parse_timestamp("2020-01-02 03:04:05")
+        assert ts == datetime.datetime(2020, 1, 2, 3, 4, 5)
+
+    def test_fractional_seconds(self):
+        ts = values.parse_timestamp("2020-01-02 03:04:05.5")
+        assert ts.microsecond == 500_000
+
+    def test_t_separator(self):
+        assert values.parse_timestamp("2020-01-02T03:04:05").hour == 3
+
+    def test_garbage_raises(self):
+        with pytest.raises(ExpressionError):
+            values.parse_timestamp("not a timestamp")
+
+    def test_bad_components_raise(self):
+        with pytest.raises(ExpressionError):
+            values.parse_timestamp("2020-13-02 03:04:05")
+
+
+class TestParseDecimal:
+    def test_basic(self):
+        assert values.parse_decimal("12.50") == values.Decimal("12.50")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ExpressionError):
+            values.parse_decimal("12.5.0")

@@ -1,0 +1,77 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.legacy.datafmt import VartextFormat
+from repro.workloads import make_workload, wide_workload
+
+
+class TestMakeWorkload:
+    def test_row_count_and_width(self):
+        workload = make_workload(rows=500, row_bytes=300, seed=1)
+        assert workload.rows == 500
+        assert abs(workload.avg_row_bytes - 300) < 30
+
+    def test_deterministic_by_seed(self):
+        a = make_workload(rows=50, seed=9)
+        b = make_workload(rows=50, seed=9)
+        c = make_workload(rows=50, seed=10)
+        assert a.data == b.data
+        assert a.data != c.data
+
+    def test_data_decodes_against_layout(self):
+        workload = make_workload(rows=40, row_bytes=120, seed=2)
+        fmt = VartextFormat(workload.layout)
+        rows = fmt.decode_records(workload.data)
+        assert len(rows) == 40
+        assert all(len(r) == workload.layout.arity for r in rows)
+
+    def test_error_injection_counts(self):
+        workload = make_workload(rows=300, row_bytes=100, seed=3,
+                                 error_rate=0.1)
+        assert workload.expected_date_errors > 0
+        bad = workload.data.count(b"not-a-date")
+        assert bad == workload.expected_date_errors
+
+    def test_dup_injection(self):
+        workload = make_workload(rows=300, row_bytes=100, seed=4,
+                                 dup_rate=0.05)
+        assert workload.expected_dup_errors > 0
+        fmt = VartextFormat(workload.layout)
+        keys = [r[0] for r in fmt.decode_records(workload.data)]
+        assert len(keys) - len(set(keys)) >= 1
+
+    def test_field_count_errors(self):
+        workload = make_workload(rows=200, row_bytes=100, seed=5,
+                                 field_count_error_rate=0.1)
+        fmt = VartextFormat(workload.layout)
+        from repro.errors import DataFormatError
+        errors = [i for i in fmt.iter_decode(workload.data)
+                  if isinstance(i, DataFormatError)]
+        assert len(errors) == workload.expected_field_count_errors > 0
+
+    def test_no_errors_by_default(self):
+        workload = make_workload(rows=100, seed=6)
+        assert workload.expected_good_rows == 100
+
+    def test_rejects_bad_rows_param(self):
+        with pytest.raises(ValueError):
+            make_workload(rows=0)
+
+    def test_dml_references_all_fields(self):
+        workload = make_workload(rows=10, seed=7)
+        for field in workload.layout.field_names:
+            assert f":{field}" in workload.apply_sql
+
+
+class TestWideWorkload:
+    def test_column_count(self):
+        workload = wide_workload(rows=20, columns=50)
+        assert workload.layout.arity == 50
+        fmt = VartextFormat(workload.layout)
+        rows = fmt.decode_records(workload.data)
+        assert all(len(r) == 50 for r in rows)
+
+    def test_needs_two_columns(self):
+        with pytest.raises(ValueError):
+            wide_workload(rows=10, columns=1)
