@@ -1,0 +1,44 @@
+"""Stage-latency histograms — the observability layer's bench surface.
+
+Runs one import workload through a fully instrumented stack and emits
+the per-stage latency table (receive/convert/write/upload/copy/apply)
+built from the node's ``hyperq_stage_seconds`` histograms — the data
+behind the paper's "where does the time go" analysis, now recorded
+alongside the figure series on every bench run.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled
+
+from repro.bench import format_series
+from repro.bench.harness import (
+    build_stack, run_workload_through_hyperq, stage_timing_rows,
+)
+from repro.core.config import HyperQConfig
+from repro.workloads.generator import make_workload
+
+PIPELINE_STAGES = {"receive", "convert", "write", "upload", "copy",
+                   "apply"}
+
+
+def test_stage_histograms(results_dir):
+    workload = make_workload(scaled(12_500))
+    config = HyperQConfig(metrics_enabled=True)
+    with build_stack(config=config) as stack:
+        metrics = run_workload_through_hyperq(stack, workload,
+                                              sessions=2)
+        rows = stage_timing_rows(stack.node)
+
+    text = format_series(
+        f"Pipeline stage latencies ({workload.rows} rows)",
+        rows,
+        note="from hyperq_stage_seconds; ms per unit of stage work")
+    emit(results_dir, "stage_histograms", text)
+
+    assert {row["stage"] for row in rows} >= PIPELINE_STAGES, \
+        "every pipeline stage should have been observed"
+    assert metrics.rows_inserted == workload.rows
+    for row in rows:
+        assert row["count"] > 0
+        assert row["p50_ms"] <= row["p99_ms"] <= row["max_ms"]

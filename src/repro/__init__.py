@@ -14,6 +14,9 @@ substrate it runs on:
   handling (the paper's contribution);
 - :mod:`repro.sim`      — a discrete-event model of the acquisition
   pipeline for the machine-scale experiments (Figures 9-10);
+- :mod:`repro.obs`      — the observability layer: node-level metrics
+  registry, pipeline span tracer, structured logging
+  (``docs/OBSERVABILITY.md``);
 - :mod:`repro.workloads`, :mod:`repro.baselines`, :mod:`repro.bench`,
   :mod:`repro.qinsight`, :mod:`repro.cli` — workload generation, the
   Figure 11 baseline, the benchmark/figure harness, workload analysis,

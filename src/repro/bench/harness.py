@@ -4,6 +4,9 @@
 cloud store, Hyper-Q node); ``run_import_workload`` pushes a generated
 workload through it with an unmodified legacy client and returns the
 node-side :class:`~repro.core.metrics.JobMetrics` (phase split included).
+``stage_timing_rows`` turns the node's per-stage latency histograms into
+table rows so benchmarks can record where time goes alongside the
+figure series (see ``benchmarks/test_stage_histograms.py``).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from repro.legacy.client import ImportJobSpec, LegacyEtlClient
 from repro.workloads.generator import Workload
 
 __all__ = ["Stack", "build_stack", "run_import_workload",
-           "run_workload_through_hyperq"]
+           "run_workload_through_hyperq", "stage_timing_rows"]
 
 
 @dataclass
@@ -82,6 +85,34 @@ def run_workload_through_hyperq(stack: Stack, workload: Workload,
     finally:
         client.logoff()
     return stack.node.completed_jobs[-1]
+
+
+def stage_timing_rows(node: HyperQNode,
+                      family: str = "hyperq_stage_seconds") -> list[dict]:
+    """Rows (one per pipeline stage) from a node's latency histograms.
+
+    Suitable for :func:`repro.bench.report.format_series`; milliseconds
+    for readability.  Empty when the node's metrics are disabled.
+    """
+    collected = node.obs.registry.collect().get(family)
+    if not collected:
+        return []
+    rows = []
+    for sample in collected["samples"]:
+        labels = sample["labels"]
+        count = sample["count"]
+        rows.append({
+            "stage": labels.get("stage", "-"),
+            "count": count,
+            "total_s": round(sample["sum"], 4),
+            "mean_ms": round(sample["sum"] / count * 1000, 3)
+            if count else 0.0,
+            "p50_ms": round(sample["p50"] * 1000, 3),
+            "p95_ms": round(sample["p95"] * 1000, 3),
+            "p99_ms": round(sample["p99"] * 1000, 3),
+            "max_ms": round(sample["max"] * 1000, 3),
+        })
+    return rows
 
 
 def run_import_workload(workload: Workload,

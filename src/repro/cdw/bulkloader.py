@@ -15,8 +15,11 @@ from dataclasses import dataclass
 from repro.cdw import stagefile
 from repro.cdw.cloudstore import CloudStore
 from repro.errors import StorageError
+from repro.obs import NULL_OBS, Observability, get_logger
 
 __all__ = ["CloudBulkLoader", "UploadReport"]
+
+log = get_logger("bulkloader")
 
 
 @dataclass
@@ -38,11 +41,13 @@ class UploadReport:
 class CloudBulkLoader:
     """Uploads finalized local staging files into the cloud store."""
 
-    def __init__(self, store: CloudStore, compression: str | None = None):
+    def __init__(self, store: CloudStore, compression: str | None = None,
+                 obs: Observability = NULL_OBS):
         if compression not in (None, "gzip"):
             raise StorageError(f"unsupported compression {compression!r}")
         self.store = store
         self.compression = compression
+        self.obs = obs
 
     def _prepare(self, data: bytes) -> bytes:
         if self.compression == "gzip":
@@ -60,19 +65,19 @@ class CloudBulkLoader:
         """Upload one local file, applying compression if configured."""
         with open(local_path, "rb") as handle:
             data = handle.read()
-        payload = self._prepare(data)
-        blob = self._blob_name(prefix, os.path.basename(local_path))
-        self.store.put_blob(container, blob, payload)
-        return UploadReport(
-            files=1, raw_bytes=len(data), uploaded_bytes=len(payload),
-            compressed=self.compression is not None)
+        return self.upload_bytes(data, container, prefix,
+                                 os.path.basename(local_path))
 
     def upload_bytes(self, data: bytes, container: str, prefix: str,
                      filename: str) -> UploadReport:
         """Upload in-memory data (used when staging files never hit disk)."""
         payload = self._prepare(data)
         blob = self._blob_name(prefix, filename)
-        self.store.put_blob(container, blob, payload)
+        with self.obs.upload_seconds.time():
+            self.store.put_blob(container, blob, payload)
+        self.obs.bytes_uploaded.inc(len(payload))
+        log.debug("uploaded %s/%s (%d -> %d bytes)",
+                  container, blob, len(data), len(payload))
         return UploadReport(
             files=1, raw_bytes=len(data), uploaded_bytes=len(payload),
             compressed=self.compression is not None)

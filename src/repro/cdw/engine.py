@@ -24,6 +24,7 @@ not strict SQL:2003 MERGE.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from decimal import Decimal
 
@@ -90,6 +91,10 @@ class CdwEngine:
         self._lock = threading.RLock()
         #: statement log (statement type -> count), for tests/metrics.
         self.statement_counts: dict[str, int] = {}
+        #: optional observability hook ``(statement_name, seconds)``,
+        #: called after every execution (including failed ones); the
+        #: Hyper-Q node points this at its statement-latency histogram.
+        self.on_statement: "callable | None" = None
 
     # -- public API ----------------------------------------------------------
 
@@ -104,7 +109,14 @@ class CdwEngine:
             handler = getattr(self, f"_exec_{name}", None)
             if handler is None:
                 raise CdwError(f"cannot execute {name} statement")
-            return handler(statement)
+            hook = self.on_statement
+            if hook is None:
+                return handler(statement)
+            started = time.perf_counter()
+            try:
+                return handler(statement)
+            finally:
+                hook(name, time.perf_counter() - started)
 
     def query(self, sql: "str | n.Select") -> list[tuple]:
         """Convenience: run a SELECT and return its rows."""

@@ -10,7 +10,11 @@ Four subcommands, mirroring how the real product is operated:
 - ``analyze``    — qInsight-style translatability report over a corpus
   of job scripts;
 - ``simulate``   — run the discrete-event acquisition model with chosen
-  machine parameters.
+  machine parameters;
+- ``stats``      — run a job (synthetic or scripted) on an instrumented
+  node and print its metrics registry (Prometheus text or JSON);
+- ``trace``      — same, with span tracing enabled; exports the span
+  tree as JSONL.
 
 Usage: ``python -m repro <subcommand> --help``.
 """
@@ -50,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
                      dest="credits", help="Hyper-Q credit pool size")
     run.add_argument("--show-tables", action="store_true",
                      help="dump every table after the run")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="enable span tracing and write the spans "
+                          "as JSONL to PATH after the run")
+    run.add_argument("--stats", action="store_true",
+                     help="print the node's stats() snapshot as JSON "
+                          "after the run")
+    _add_logging_args(run)
 
     serve = sub.add_parser(
         "serve", help="serve a Hyper-Q node on a TCP port")
@@ -59,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="stop after this many seconds "
                             "(default: run until interrupted)")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable span tracing on the served node")
+    _add_logging_args(serve)
 
     transpile = sub.add_parser(
         "transpile", help="cross compile one legacy SQL statement")
@@ -83,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="subset of figure ids (fig7 fig8 fig9 "
                               "fig10 fig11 sessions fig7_paper_scale)")
 
+    stats = sub.add_parser(
+        "stats", help="run an instrumented job and print node metrics")
+    _add_observed_job_args(stats)
+    stats.add_argument("--format", choices=("prom", "json"),
+                       default="prom",
+                       help="Prometheus text exposition (default) or "
+                            "the full stats() JSON snapshot")
+    _add_logging_args(stats)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced job and export its spans as JSONL")
+    _add_observed_job_args(trace)
+    trace.add_argument("--out", default="-", metavar="PATH",
+                       help="JSONL destination (default: stdout)")
+    trace.add_argument("--buffer-events", type=int, default=65536,
+                       help="trace ring-buffer capacity")
+    _add_logging_args(trace)
+
     simulate = sub.add_parser(
         "simulate", help="discrete-event acquisition model")
     simulate.add_argument("--rows", type=int, default=1_000_000)
@@ -96,18 +128,121 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_logging_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="enable structured logging (DEBUG/INFO/WARNING/...)")
+    sub_parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines instead of text")
+
+
+def _add_observed_job_args(sub_parser) -> None:
+    """Workload options shared by ``stats`` and ``trace``."""
+    sub_parser.add_argument(
+        "--script", default=None, metavar="PATH",
+        help="legacy ETL job script to run (default: a synthetic "
+             "import workload)")
+    sub_parser.add_argument("--base-dir", default=None,
+                            help="input-file directory for --script")
+    sub_parser.add_argument("--rows", type=int, default=5000,
+                            help="synthetic workload size")
+    sub_parser.add_argument("--sessions", type=int, default=2,
+                            help="parallel load sessions")
+    sub_parser.add_argument("--credits", type=int, default=16,
+                            help="Hyper-Q credit pool size")
+
+
+def _configure_cli_logging(args) -> None:
+    if getattr(args, "log_level", None) is not None:
+        from repro.obs import configure_logging
+        configure_logging(args.log_level, json_output=args.log_json)
+
+
+def _run_observed_job(args, *, trace: bool,
+                      trace_buffer_events: int = 65536):
+    """Run one load job on an instrumented stack; returns the node.
+
+    The caller owns the returned node's stack via ``node._cli_stack``
+    and must close it after reading metrics/spans.
+    """
+    from repro.bench.harness import build_stack, run_workload_through_hyperq
+    from repro.core.config import HyperQConfig
+    from repro.workloads.generator import make_workload
+
+    config = HyperQConfig(credits=args.credits, trace_enabled=trace,
+                          trace_buffer_events=trace_buffer_events)
+    stack = build_stack(config=config)
+    try:
+        if args.script:
+            from repro.legacy.script import ScriptInterpreter, parse_script
+            with open(args.script, "r", encoding="utf-8") as handle:
+                script = parse_script(handle.read())
+            base_dir = args.base_dir or os.path.dirname(
+                os.path.abspath(args.script))
+            ScriptInterpreter(stack.node.connect,
+                              base_dir=base_dir).run(script)
+        else:
+            workload = make_workload(args.rows)
+            run_workload_through_hyperq(stack, workload,
+                                        sessions=args.sessions)
+    except BaseException:
+        stack.close()
+        raise
+    node = stack.node
+    node._cli_stack = stack
+    return node
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    _configure_cli_logging(args)
+    node = _run_observed_job(args, trace=False)
+    try:
+        if args.format == "prom":
+            print(node.render_prometheus(), end="")
+        else:
+            print(json.dumps(node.stats(), indent=2, default=str))
+    finally:
+        node._cli_stack.close()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    _configure_cli_logging(args)
+    node = _run_observed_job(args, trace=True,
+                             trace_buffer_events=args.buffer_events)
+    try:
+        tracer = node.obs.tracer
+        if args.out == "-":
+            count = tracer.export_jsonl(sys.stdout)
+        else:
+            count = tracer.export_jsonl(args.out)
+            print(f"wrote {count} spans to {args.out}")
+        if tracer.dropped:
+            print(f"warning: ring buffer dropped spans "
+                  f"{tracer.dropped} time(s); raise --buffer-events",
+                  file=sys.stderr)
+    finally:
+        node._cli_stack.close()
+    return 0
+
+
 def _cmd_run_script(args) -> int:
     from repro.bench.harness import build_stack
     from repro.core.config import HyperQConfig
     from repro.legacy.script import ScriptInterpreter, parse_script
     from repro.legacy.server import LegacyServer
 
+    _configure_cli_logging(args)
     with open(args.script, "r", encoding="utf-8") as handle:
         source = handle.read()
     base_dir = args.base_dir or os.path.dirname(
         os.path.abspath(args.script))
     script = parse_script(source)
 
+    node = None
     if args.connect:
         from repro.net_tcp import connect_tcp
         host, _, port = args.connect.rpartition(":")
@@ -120,10 +255,13 @@ def _cmd_run_script(args) -> int:
         engine = backend.engine
         closer = backend.stop
     else:
-        stack = build_stack(config=HyperQConfig(credits=args.credits))
+        stack = build_stack(config=HyperQConfig(
+            credits=args.credits,
+            trace_enabled=args.trace_out is not None))
         connect = stack.node.connect
         engine = stack.engine
         closer = stack.close
+        node = stack.node
     try:
         interpreter = ScriptInterpreter(connect, base_dir=base_dir)
         result = interpreter.run(script)
@@ -150,6 +288,12 @@ def _cmd_run_script(args) -> int:
                 for row in rows[:20]:
                     print("  " + " | ".join(
                         "NULL" if v is None else str(v) for v in row))
+        if node is not None and args.trace_out:
+            count = node.obs.tracer.export_jsonl(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}")
+        if node is not None and args.stats:
+            import json
+            print(json.dumps(node.stats(), indent=2, default=str))
     finally:
         closer()
     return 0
@@ -164,11 +308,13 @@ def _cmd_serve(args) -> int:
     from repro.core.gateway import HyperQNode
     from repro.net_tcp import TcpListener
 
+    _configure_cli_logging(args)
     store = CloudStore()
     engine = CdwEngine(store=store)
     listener = TcpListener(host=args.host, port=args.port)
     node = HyperQNode(engine, store,
-                      HyperQConfig(credits=args.credits),
+                      HyperQConfig(credits=args.credits,
+                                   trace_enabled=args.trace),
                       listener=listener)
     node.start()
     print(f"Hyper-Q serving on {listener.host}:{listener.port} "
@@ -278,6 +424,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "figures": _cmd_figures,
     "simulate": _cmd_simulate,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 
@@ -290,6 +438,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # bad option values surfaced by config/logging validation
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

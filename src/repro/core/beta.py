@@ -28,11 +28,14 @@ from repro.errors import (
     SqlTranslationError,
 )
 from repro.legacy.types import Layout
+from repro.obs import NULL_OBS, NULL_SPAN, Observability, get_logger
 from repro.sqlxc import nodes as n
 from repro.sqlxc.parser import parse_statement
 from repro.sqlxc.rewrites import bind_params_to_columns, to_cdw
 
 __all__ = ["Beta", "ApplySummary", "SEQ_COLUMN", "STAGING_ALIAS"]
+
+log = get_logger("beta")
 
 #: the synthetic order column Hyper-Q adds to every staging table.
 SEQ_COLUMN = "__SEQ"
@@ -68,9 +71,11 @@ def _first_clause(exc: BaseException) -> str:
 class Beta:
     """Application-phase executor for one Hyper-Q node."""
 
-    def __init__(self, engine: CdwEngine, config: HyperQConfig):
+    def __init__(self, engine: CdwEngine, config: HyperQConfig,
+                 obs: Observability = NULL_OBS):
         self.engine = engine
         self.config = config
+        self.obs = obs
 
     # -- DML shaping ------------------------------------------------------------
 
@@ -220,8 +225,14 @@ class Beta:
                   chunk_records: dict[int, int],
                   acquisition_errors: list[AcquisitionError],
                   max_errors: int | None = None,
-                  max_retries: int | None = None) -> ApplySummary:
-        """Run the application phase of a load job."""
+                  max_retries: int | None = None,
+                  span=NULL_SPAN) -> ApplySummary:
+        """Run the application phase of a load job.
+
+        ``span`` is the tracing parent (the job's ``apply`` span);
+        adaptive-error-handler splits and skips are emitted as child
+        events under it.
+        """
         summary = ApplySummary()
         builder, kind = self.prepare_dml(sql, layout, staging_table)
         staging = self.engine.table(staging_table)
@@ -272,6 +283,14 @@ class Beta:
                 f"({rownum_of(lo)}, {rownum_of(hi)})")
             summary.et_errors += 1
 
+        def observe_split(event: str, details: dict) -> None:
+            self.obs.tracer.event(f"apply.{event}", parent=span,
+                                  target=target_table, **details)
+            if event == "split":
+                self.obs.apply_splits.inc()
+            elif event == "range_skip":
+                self.obs.apply_errors.labels(kind="range").inc()
+
         handler = AdaptiveErrorHandler(
             execute_range=execute_range,
             record_tuple_error=record_tuple_error,
@@ -280,6 +299,7 @@ class Beta:
                         else self.config.max_errors),
             max_retries=(max_retries if max_retries is not None
                          else self.config.max_retries),
+            observer=observe_split,
         )
         outcome: ApplyOutcome = handler.apply(seqs)
         summary.rows_inserted = outcome.rows_inserted
@@ -287,6 +307,21 @@ class Beta:
         summary.rows_deleted = outcome.rows_deleted
         summary.statements = outcome.statements
         summary.splits = outcome.splits
+        self.obs.apply_statements.inc(outcome.statements)
+        self.obs.apply_errors.labels(kind="et").inc(summary.et_errors)
+        self.obs.apply_errors.labels(kind="uv").inc(summary.uv_errors)
+        self.obs.rows_applied.labels(op="insert").inc(
+            summary.rows_inserted)
+        self.obs.rows_applied.labels(op="update").inc(
+            summary.rows_updated)
+        self.obs.rows_applied.labels(op="delete").inc(
+            summary.rows_deleted)
+        log.debug(
+            "applied DML on %s: %d inserted, %d updated, %d deleted, "
+            "%d ET errors, %d UV errors, %d statements, %d splits",
+            target_table, summary.rows_inserted, summary.rows_updated,
+            summary.rows_deleted, summary.et_errors, summary.uv_errors,
+            summary.statements, summary.splits)
         return summary
 
     def _rownum_mapper(self, chunk_records: dict[int, int]):

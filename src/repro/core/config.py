@@ -49,6 +49,19 @@ class HyperQConfig:
     #: *rejected* synchronous design of Section 5, kept for the ablation
     #: benchmark.  Default (False) is the paper's immediate-ack pipeline.
     synchronous_ack: bool = False
+    #: maintain the node-level metrics registry (counters/histograms
+    #: behind ``HyperQNode.stats()``); near-zero cost, but can be turned
+    #: off for pure-throughput benchmarking.
+    metrics_enabled: bool = True
+    #: emit a span per chunk/file/DML unit into the trace ring buffer.
+    trace_enabled: bool = False
+    #: capacity of the trace ring buffer (oldest spans dropped first).
+    trace_buffer_events: int = 4096
+    #: when set ("DEBUG"/"INFO"/...), configure structured logging for
+    #: the whole ``repro.*`` hierarchy at node construction.
+    log_level: str | None = None
+    #: emit logs as JSON lines instead of human-readable text.
+    log_json: bool = False
 
     def __post_init__(self):
         """Validate the configuration values."""
@@ -62,3 +75,5 @@ class HyperQConfig:
             raise ValueError("seq_stride too small")
         if self.compression not in (None, "gzip"):
             raise ValueError(f"unsupported compression {self.compression!r}")
+        if self.trace_buffer_events < 1:
+            raise ValueError("trace buffer needs at least one slot")

@@ -24,8 +24,11 @@ from dataclasses import dataclass, field
 from repro.cdw import stagefile
 from repro.errors import DataFormatError
 from repro.legacy.datafmt import RecordFormat
+from repro.obs import NULL_OBS, Observability, get_logger
 
 __all__ = ["ConvertedChunk", "AcquisitionError", "DataConverter"]
+
+log = get_logger("converter")
 
 
 @dataclass(frozen=True)
@@ -61,10 +64,12 @@ class DataConverter:
     """
 
     def __init__(self, record_format: RecordFormat, seq_stride: int,
-                 csv_delimiter: str = ","):
+                 csv_delimiter: str = ",",
+                 obs: Observability = NULL_OBS):
         self.record_format = record_format
         self.seq_stride = seq_stride
         self.csv_delimiter = csv_delimiter
+        self.obs = obs
 
     def convert(self, chunk_seq: int, data: bytes) -> ConvertedChunk:
         """Convert one legacy chunk into CSV staging bytes."""
@@ -86,9 +91,15 @@ class DataConverter:
                 continue
             out.append(stagefile.encode_csv_row(
                 item + (seq,), self.csv_delimiter))
+        records = index - len(errors)
+        self.obs.records_converted.inc(records)
+        if errors:
+            self.obs.acquisition_errors.inc(len(errors))
+            log.debug("chunk %d: %d records rejected during conversion",
+                      chunk_seq, len(errors))
         return ConvertedChunk(
             chunk_seq=chunk_seq,
             csv_bytes="".join(out).encode("utf-8"),
-            records=index - len(errors),
+            records=records,
             errors=errors,
         )

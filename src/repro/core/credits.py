@@ -17,8 +17,11 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import BackPressureTimeout, GatewayError
+from repro.obs import NULL_OBS, Observability, get_logger
 
 __all__ = ["Credit", "CreditManager"]
+
+log = get_logger("credits")
 
 
 @dataclass(frozen=True)
@@ -37,11 +40,13 @@ class CreditManager:
     """
 
     def __init__(self, pool_size: int,
-                 timeout_s: float | None = 30.0):
+                 timeout_s: float | None = 30.0,
+                 obs: Observability = NULL_OBS):
         if pool_size < 1:
             raise GatewayError("credit pool cannot be empty")
         self.pool_size = pool_size
         self.timeout_s = timeout_s
+        self.obs = obs
         self._available: list[Credit] = [
             Credit(i) for i in range(pool_size)]
         self._outstanding: set[int] = set()
@@ -52,6 +57,7 @@ class CreditManager:
         self.blocked_acquires = 0
         self.total_wait_s = 0.0
         self.min_available = pool_size
+        obs.credits_available.set(pool_size)
 
     # -- token operations -----------------------------------------------------
 
@@ -71,6 +77,10 @@ class CreditManager:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
+                        log.warning(
+                            "credit acquisition timed out",
+                            extra={"pool_size": self.pool_size,
+                                   "timeout_s": self.timeout_s})
                         raise BackPressureTimeout(
                             f"no credit within {self.timeout_s}s "
                             f"(pool={self.pool_size}, all in flight)")
@@ -82,6 +92,11 @@ class CreditManager:
             self._outstanding.add(credit.serial)
             self.min_available = min(self.min_available,
                                      len(self._available))
+            self.obs.credit_acquires.labels(
+                blocked="yes" if blocked else "no").inc()
+            if blocked:
+                self.obs.credit_wait_seconds.observe(waited)
+            self.obs.credits_available.set(len(self._available))
             return credit
 
     def release(self, credit: Credit) -> None:
@@ -93,6 +108,7 @@ class CreditManager:
                     "outstanding (double release?)")
             self._outstanding.remove(credit.serial)
             self._available.append(credit)
+            self.obs.credits_available.set(len(self._available))
             self._ready.notify()
 
     # -- introspection ------------------------------------------------------------

@@ -28,8 +28,11 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import BulkExecutionError
+from repro.obs import get_logger
 
 __all__ = ["ApplyOutcome", "AdaptiveErrorHandler"]
+
+log = get_logger("errorhandler")
 
 
 @dataclass
@@ -59,6 +62,10 @@ RangeExecutor = Callable[[int, int], tuple[int, int, int]]
 TupleErrorSink = Callable[[int, BulkExecutionError], None]
 #: records a skipped range (lo seq, hi seq, error, reason).
 RangeErrorSink = Callable[[int, int, BulkExecutionError, str], None]
+#: observability hook ``(event, details)`` with events ``"split"``,
+#: ``"tuple_error"``, and ``"range_skip"`` — keeps the handler free of
+#: any tracing dependency while letting Beta emit structured events.
+SplitObserver = Callable[[str, dict], None]
 
 
 @dataclass
@@ -68,6 +75,11 @@ class AdaptiveErrorHandler:
     record_range_error: RangeErrorSink
     max_errors: int = 1000
     max_retries: int = 64
+    observer: SplitObserver | None = None
+
+    def _observe(self, event: str, **details) -> None:
+        if self.observer is not None:
+            self.observer(event, details)
 
     def apply(self, seqs: list[int]) -> ApplyOutcome:
         """Apply the DML over all of ``seqs`` (sorted staging sequence
@@ -101,18 +113,27 @@ class AdaptiveErrorHandler:
         if lo == hi:
             self.record_tuple_error(seqs[lo], exc)
             outcome.tuple_errors += 1
+            self._observe("tuple_error", seq=seqs[lo],
+                          kind=getattr(exc, "kind", None))
             if outcome.tuple_errors >= self.max_errors:
                 outcome.budget_exhausted = True
+                log.debug("error budget exhausted after %d tuple errors",
+                          outcome.tuple_errors)
             return
         if outcome.budget_exhausted:
             self.record_range_error(seqs[lo], seqs[hi], exc, "max_errors")
             outcome.range_errors += 1
+            self._observe("range_skip", lo=seqs[lo], hi=seqs[hi],
+                          reason="max_errors")
             return
         if depth >= self.max_retries:
             self.record_range_error(seqs[lo], seqs[hi], exc, "max_retries")
             outcome.range_errors += 1
+            self._observe("range_skip", lo=seqs[lo], hi=seqs[hi],
+                          reason="max_retries")
             return
         mid = (lo + hi) // 2
         outcome.splits += 1
+        self._observe("split", lo=seqs[lo], hi=seqs[hi], depth=depth)
         stack.append((mid + 1, hi, depth + 1))
         stack.append((lo, mid, depth + 1))

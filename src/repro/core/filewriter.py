@@ -16,7 +16,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.obs import NULL_OBS, Observability, get_logger
+
 __all__ = ["StagedFile", "FileWriter"]
+
+log = get_logger("filewriter")
 
 
 @dataclass(frozen=True)
@@ -37,10 +41,12 @@ class FileWriter:
     """
 
     def __init__(self, directory: str, writer_no: int,
-                 threshold_bytes: int):
+                 threshold_bytes: int,
+                 obs: Observability = NULL_OBS):
         self.directory = directory
         self.writer_no = writer_no
         self.threshold_bytes = threshold_bytes
+        self.obs = obs
         self._buffer = bytearray()
         self._buffered_records = 0
         self._file_no = 0
@@ -71,6 +77,10 @@ class FileWriter:
             records=self._buffered_records)
         self.files_written += 1
         self.bytes_written += len(self._buffer)
+        self.obs.files_written.inc()
+        self.obs.staged_file_bytes.observe(staged.size)
+        log.debug("finalized staging file %s (%d bytes, %d records)",
+                  name, staged.size, staged.records)
         self._file_no += 1
         self._buffer = bytearray()
         self._buffered_records = 0

@@ -22,7 +22,6 @@ import os
 import shutil
 import tempfile
 import threading
-import time
 from dataclasses import dataclass, field
 
 from repro.cdw.bulkloader import CloudBulkLoader
@@ -32,10 +31,11 @@ from repro.core.beta import SEQ_COLUMN, Beta
 from repro.core.config import HyperQConfig
 from repro.core.converter import DataConverter
 from repro.core.credits import CreditManager
-from repro.core.metrics import JobMetrics
+from repro.core.metrics import JobMetrics, Stopwatch
 from repro.core.pipeline import AcquisitionPipeline
 from repro.core.tdfcursor import TdfCursor
 from repro.errors import GatewayError, ProtocolError, ReproError
+from repro.obs import NULL_SPAN, Observability, configure_logging, get_logger
 from repro.legacy.client import layout_from_wire
 from repro.legacy.datafmt import BinaryFormat, FormatSpec, make_format
 from repro.legacy.infer import infer_result_layout
@@ -46,6 +46,8 @@ from repro.sqlxc import to_cdw, transpile
 from repro.sqlxc.parser import parse_statement
 
 __all__ = ["HyperQNode"]
+
+log = get_logger("gateway")
 
 
 @dataclass
@@ -60,8 +62,14 @@ class _LoadJob:
     staging_dir: str
     pipeline: AcquisitionPipeline
     metrics: JobMetrics
-    started_at: float
-    acquisition_started: float | None = None
+    #: the job's root trace span (parent of every stage span).
+    span: object = NULL_SPAN
+    #: phase stopwatches (Figure 7 split) — total runs begin→end load,
+    #: acquisition from the first DATA chunk until the pipeline drains,
+    #: application across Beta's DML run.
+    total_watch: Stopwatch = field(default_factory=Stopwatch)
+    acquisition_watch: Stopwatch = field(default_factory=Stopwatch)
+    application_watch: Stopwatch = field(default_factory=Stopwatch)
     sessions_seen: set[int] = field(default_factory=set)
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -83,11 +91,20 @@ class HyperQNode:
         self.store = store
         self.config = config or HyperQConfig()
         self.name = name
+        if self.config.log_level is not None:
+            configure_logging(self.config.log_level,
+                              json_output=self.config.log_json)
+        self.obs = Observability.from_config(self.config, node=name)
+        if engine.on_statement is None:
+            engine.on_statement = (
+                lambda stmt, seconds: self.obs.statement_seconds
+                .labels(statement=stmt).observe(seconds))
         self.credits = CreditManager(
-            self.config.credits, self.config.credit_timeout_s)
-        self.beta = Beta(engine, self.config)
+            self.config.credits, self.config.credit_timeout_s,
+            obs=self.obs)
+        self.beta = Beta(engine, self.config, obs=self.obs)
         self.loader = CloudBulkLoader(
-            store, compression=self.config.compression)
+            store, compression=self.config.compression, obs=self.obs)
         #: any object with accept()/connect()/close() — the in-memory
         #: transport by default, or a repro.net_tcp.TcpListener for a
         #: real socket.
@@ -123,6 +140,9 @@ class HyperQNode:
         for job in jobs:
             job.pipeline.shutdown()
         shutil.rmtree(self._base_dir, ignore_errors=True)
+        log.info("node stopped", extra={
+            "node": self.name, "abandoned_jobs": len(jobs),
+            "completed_jobs": len(self.completed_jobs)})
 
     def __enter__(self) -> "HyperQNode":
         """Context-manager support: starts the node."""
@@ -160,7 +180,17 @@ class HyperQNode:
             },
             "engine_statements": dict(self.engine.statement_counts),
             "store_bytes_uploaded": self.store.bytes_uploaded,
+            "metrics": self.obs.registry.collect(),
+            "trace": {
+                "enabled": self.obs.tracer.enabled,
+                "buffered_spans": len(self.obs.tracer.records()),
+                "dropped": self.obs.tracer.dropped,
+            },
         }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the node's metric registry."""
+        return self.obs.registry.render_prometheus()
 
     def _accept_loop(self) -> None:
         while self._running:
@@ -194,6 +224,7 @@ class HyperQNode:
 
     def _dispatch(self, channel: MessageChannel, message: Message) -> None:
         kind = message.kind
+        self.obs.messages_total.labels(kind=kind.name).inc()
         if kind == MessageKind.LOGON:
             channel.send(Message(MessageKind.LOGON_OK))
         elif kind == MessageKind.LOGOFF:
@@ -266,10 +297,13 @@ class HyperQNode:
         os.makedirs(staging_dir, exist_ok=True)
         metrics = JobMetrics(job_id=job_id,
                              sessions=meta.get("sessions", 0))
+        job_span = self.obs.tracer.span(
+            "job", job_id=job_id, target=target)
         converter = DataConverter(
             make_format(format_spec, layout),
             seq_stride=self.config.seq_stride,
-            csv_delimiter=self.config.csv_delimiter)
+            csv_delimiter=self.config.csv_delimiter,
+            obs=self.obs)
         pipeline = AcquisitionPipeline(
             converter=converter,
             credits=self.credits,
@@ -281,6 +315,8 @@ class HyperQNode:
             staging_dir=staging_dir,
             config=self.config,
             metrics=metrics,
+            obs=self.obs,
+            job_span=job_span,
         )
         job = _LoadJob(
             job_id=job_id, target=target,
@@ -288,8 +324,13 @@ class HyperQNode:
             layout=layout, format_spec=format_spec,
             staging_table=staging_table, staging_dir=staging_dir,
             pipeline=pipeline, metrics=metrics,
-            started_at=time.perf_counter(),
+            span=job_span,
         )
+        job.total_watch.start()
+        self.obs.jobs_total.labels(event="started").inc()
+        log.info("load job started", extra={
+            "job_id": job_id, "target": target,
+            "sessions": meta.get("sessions", 0)})
         with self._registry_lock:
             self._jobs[job_id] = job
         channel.send(Message(MessageKind.BEGIN_LOAD_OK,
@@ -329,14 +370,28 @@ class HyperQNode:
                      message: Message) -> None:
         job = self._job(message.meta["job_id"])
         with job.lock:
-            if job.acquisition_started is None:
-                job.acquisition_started = time.perf_counter()
+            # Stopwatch.start is a no-op while running, so the first
+            # chunk starts the acquisition clock and the rest are free.
+            job.acquisition_watch.start()
             job.metrics.chunks_received += 1
             job.metrics.bytes_received += len(message.body)
             job.sessions_seen.add(message.meta.get("session_no", 0))
+        self.obs.chunks_received.inc()
+        self.obs.bytes_received.inc(len(message.body))
+        receive_span = self.obs.tracer.span(
+            "receive", parent=job.span, chunk_seq=message.meta["seq"],
+            bytes=len(message.body),
+            session=message.meta.get("session_no", 0))
         # Minimal processing, then the immediate acknowledgment: the only
         # thing that can delay the ack is credit back-pressure.
-        job.pipeline.submit_chunk(message.meta["seq"], message.body)
+        try:
+            with self.obs.stage_seconds.labels(stage="receive").time():
+                job.pipeline.submit_chunk(
+                    message.meta["seq"], message.body, span=receive_span)
+        except BaseException:
+            receive_span.end("error")
+            raise
+        receive_span.end()
         channel.send(Message(MessageKind.DATA_ACK,
                              {"seq": message.meta["seq"]}))
 
@@ -351,26 +406,36 @@ class HyperQNode:
         # Acquisition ends once the pipeline has fully drained into the
         # staging table (upload + in-cloud COPY included).
         job.pipeline.drain()
-        if job.acquisition_started is not None:
-            job.metrics.acquisition_s = (
-                time.perf_counter() - job.acquisition_started)
+        job.acquisition_watch.stop()
+        job.metrics.acquisition_s = job.acquisition_watch.elapsed
         job.metrics.sessions = max(
             job.metrics.sessions, len(job.sessions_seen))
 
-        apply_started = time.perf_counter()
-        summary = self.beta.apply_dml(
-            sql=message.meta["sql"],
-            layout=job.layout,
-            staging_table=job.staging_table,
-            target_table=job.target,
-            et_table=job.et_table,
-            uv_table=job.uv_table,
-            chunk_records=job.pipeline.chunk_records,
-            acquisition_errors=job.pipeline.acquisition_errors,
-            max_errors=message.meta.get("max_errors"),
-            max_retries=message.meta.get("max_retries"),
-        )
-        job.metrics.application_s = time.perf_counter() - apply_started
+        apply_span = self.obs.tracer.span(
+            "apply", parent=job.span, job_id=job.job_id,
+            target=job.target)
+        try:
+            with job.application_watch, \
+                    self.obs.stage_seconds.labels(stage="apply").time():
+                summary = self.beta.apply_dml(
+                    sql=message.meta["sql"],
+                    layout=job.layout,
+                    staging_table=job.staging_table,
+                    target_table=job.target,
+                    et_table=job.et_table,
+                    uv_table=job.uv_table,
+                    chunk_records=job.pipeline.chunk_records,
+                    acquisition_errors=job.pipeline.acquisition_errors,
+                    max_errors=message.meta.get("max_errors"),
+                    max_retries=message.meta.get("max_retries"),
+                    span=apply_span,
+                )
+        except BaseException:
+            apply_span.end("error")
+            raise
+        apply_span.set_attribute("rows_inserted", summary.rows_inserted)
+        apply_span.end()
+        job.metrics.application_s = job.application_watch.elapsed
         job.metrics.rows_inserted = summary.rows_inserted
         job.metrics.rows_updated = summary.rows_updated
         job.metrics.rows_deleted = summary.rows_deleted
@@ -394,7 +459,24 @@ class HyperQNode:
         self.engine.execute(f"DROP TABLE IF EXISTS {job.staging_table}")
         self.store.delete_prefix(self.config.container, f"{job_id}/")
         shutil.rmtree(job.staging_dir, ignore_errors=True)
-        job.metrics.total_s = time.perf_counter() - job.started_at
+        job.total_watch.stop()
+        job.metrics.total_s = job.total_watch.elapsed
+        metrics = job.metrics
+        self.obs.job_phase_seconds.labels(phase="total").observe(
+            metrics.total_s)
+        self.obs.job_phase_seconds.labels(phase="acquisition").observe(
+            metrics.acquisition_s)
+        self.obs.job_phase_seconds.labels(phase="application").observe(
+            metrics.application_s)
+        self.obs.jobs_total.labels(event="completed").inc()
+        job.span.set_attribute("total_s", round(metrics.total_s, 6))
+        job.span.end()
+        log.info("load job completed", extra={
+            "job_id": job_id, "target": job.target,
+            "total_s": round(metrics.total_s, 4),
+            "rows_inserted": metrics.rows_inserted,
+            "et_errors": metrics.et_errors,
+            "uv_errors": metrics.uv_errors})
         with self._registry_lock:
             self._jobs.pop(job_id, None)
             self.completed_jobs.append(job.metrics)

@@ -93,7 +93,7 @@ class JobMetrics:
         return self.bytes_received / self.acquisition_s / (1024 * 1024)
 
     def as_row(self) -> dict:
-        """Flat dict for bench-harness reporting."""
+        """Flat dict for bench-harness reporting (every counter)."""
         return {
             "total_s": round(self.total_s, 4),
             "acquisition_s": round(self.acquisition_s, 4),
@@ -101,8 +101,15 @@ class JobMetrics:
             "other_s": round(self.other_s, 4),
             "records": self.records_converted,
             "bytes_in": self.bytes_received,
+            "bytes_staged": self.bytes_staged,
+            "files_written": self.files_written,
+            "bytes_uploaded": self.bytes_uploaded,
+            "copy_rows": self.copy_rows,
             "rows_inserted": self.rows_inserted,
             "et_errors": self.et_errors,
             "uv_errors": self.uv_errors,
+            "dml_statements": self.dml_statements,
+            "chunk_retries": self.chunk_retries,
             "credit_waits": self.credit_waits,
+            "credit_wait_s": round(self.credit_wait_s, 4),
         }

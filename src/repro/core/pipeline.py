@@ -31,8 +31,11 @@ from repro.core.credits import Credit, CreditManager
 from repro.core.filewriter import FileWriter, StagedFile
 from repro.core.metrics import JobMetrics
 from repro.errors import GatewayError
+from repro.obs import NULL_OBS, NULL_SPAN, Observability, get_logger
 
 __all__ = ["AcquisitionPipeline"]
+
+log = get_logger("pipeline")
 
 _STOP = object()
 _FLUSH = object()
@@ -45,7 +48,8 @@ class AcquisitionPipeline:
                  loader: CloudBulkLoader, engine: CdwEngine,
                  staging_table: str, container: str, prefix: str,
                  staging_dir: str, config: HyperQConfig,
-                 metrics: JobMetrics):
+                 metrics: JobMetrics, obs: Observability = NULL_OBS,
+                 job_span=NULL_SPAN):
         self.converter = converter
         self.credits = credits
         self.loader = loader
@@ -56,6 +60,10 @@ class AcquisitionPipeline:
         self.staging_dir = staging_dir
         self.config = config
         self.metrics = metrics
+        self.obs = obs
+        #: the job's root span — tracing parent for uploads and COPY,
+        #: whose work aggregates many chunks.
+        self.job_span = job_span
 
         #: per-chunk record counts (incl. rejected records), keyed by
         #: chunk seq — the basis for file row-number reconstruction.
@@ -78,7 +86,8 @@ class AcquisitionPipeline:
         self._writer_queues: list[queue.Queue] = [
             queue.Queue() for _ in range(config.filewriters)]
         self._writers = [
-            FileWriter(staging_dir, i, config.file_threshold_bytes)
+            FileWriter(staging_dir, i, config.file_threshold_bytes,
+                       obs=obs)
             for i in range(config.filewriters)
         ]
 
@@ -109,11 +118,14 @@ class AcquisitionPipeline:
 
     # -- producer side (called from session handler threads) -----------------
 
-    def submit_chunk(self, chunk_seq: int, data: bytes) -> None:
+    def submit_chunk(self, chunk_seq: int, data: bytes,
+                     span=NULL_SPAN) -> None:
         """Hand one raw client chunk to the pipeline.
 
         Blocks only while acquiring a credit — the back-pressure point.
         The caller sends the client's DATA_ACK right after this returns.
+        ``span`` is the chunk's ``receive`` span; downstream stage spans
+        nest under it as the chunk hops worker threads.
 
         Resubmitting an already-seen chunk sequence is a no-op (but still
         acknowledged): that makes client checkpoint/restart idempotent —
@@ -125,15 +137,23 @@ class AcquisitionPipeline:
             if chunk_seq in self._seen_seqs:
                 return
             self._seen_seqs.add(chunk_seq)
+        acquire_span = self.obs.tracer.span(
+            "credit.acquire", parent=span, chunk_seq=chunk_seq)
         started = time.perf_counter()
-        credit = self.credits.acquire()
+        try:
+            credit = self.credits.acquire()
+        except BaseException:
+            acquire_span.end("error")
+            raise
         waited = time.perf_counter() - started
+        acquire_span.set_attribute("wait_s", round(waited, 6))
+        acquire_span.end()
         with self._state:
             self.metrics.credit_wait_s += waited
             if waited > 0.0005:
                 self.metrics.credit_waits += 1
             self._submitted += 1
-        self._converter_queue.put((credit, chunk_seq, data))
+        self._converter_queue.put((credit, chunk_seq, data, span))
         if self.config.synchronous_ack:
             # The rejected design of Section 5: hold the ack until this
             # chunk's bytes are on disk.
@@ -151,16 +171,24 @@ class AcquisitionPipeline:
             item = self._converter_queue.get()
             if item is _STOP:
                 return
-            credit, chunk_seq, data = item
+            credit, chunk_seq, data, rx_span = item
+            convert_span = self.obs.tracer.span(
+                "convert", parent=rx_span, chunk_seq=chunk_seq,
+                bytes=len(data))
             try:
-                converted = self.converter.convert(chunk_seq, data)
+                with self.obs.stage_seconds.labels(
+                        stage="convert").time():
+                    converted = self.converter.convert(chunk_seq, data)
             except BaseException as exc:
+                convert_span.end("error")
                 self.credits.release(credit)
                 self._fail(exc)
                 continue
+            convert_span.set_attribute("records", converted.records)
+            convert_span.end()
             target = self._writer_queues[
                 chunk_seq % len(self._writer_queues)]
-            target.put((credit, converted))
+            target.put((credit, converted, convert_span))
 
     def _filewriter_worker(self, writer_no: int) -> None:
         writer = self._writers[writer_no]
@@ -181,16 +209,24 @@ class AcquisitionPipeline:
                     self._flushes_done += 1
                     self._state.notify_all()
                 continue
-            credit, converted = item
+            credit, converted, convert_span = item
             # Figure 4: the credit returns to the pool just before the
             # data is written to disk.
             self.credits.release(credit)
+            write_span = self.obs.tracer.span(
+                "write", parent=convert_span,
+                chunk_seq=converted.chunk_seq,
+                bytes=len(converted.csv_bytes))
             try:
-                staged = writer.append(
-                    converted.csv_bytes, converted.records)
+                with self.obs.stage_seconds.labels(
+                        stage="write").time():
+                    staged = writer.append(
+                        converted.csv_bytes, converted.records)
             except BaseException as exc:
+                write_span.end("error")
                 self._fail(exc)
                 continue
+            write_span.end()
             if staged is not None:
                 self._enqueue_upload(staged)
             with self._state:
@@ -201,6 +237,7 @@ class AcquisitionPipeline:
                 self.metrics.bytes_staged += len(converted.csv_bytes)
                 self._written += 1
                 self._state.notify_all()
+            self.obs.bytes_staged.inc(len(converted.csv_bytes))
 
     def _enqueue_upload(self, staged: StagedFile) -> None:
         with self._state:
@@ -214,13 +251,22 @@ class AcquisitionPipeline:
             if item is _STOP:
                 return
             staged: StagedFile = item
+            upload_span = self.obs.tracer.span(
+                "upload", parent=self.job_span, path=staged.path,
+                bytes=staged.size, records=staged.records)
             try:
-                report = self.loader.upload_file(
-                    staged.path, self.container, self.prefix)
+                with self.obs.stage_seconds.labels(
+                        stage="upload").time():
+                    report = self.loader.upload_file(
+                        staged.path, self.container, self.prefix)
                 os.unlink(staged.path)
             except BaseException as exc:
+                upload_span.end("error")
                 self._fail(exc)
                 continue
+            upload_span.set_attribute("uploaded_bytes",
+                                      report.uploaded_bytes)
+            upload_span.end()
             with self._state:
                 self.metrics.bytes_uploaded += report.uploaded_bytes
                 self._uploaded_files += 1
@@ -261,10 +307,18 @@ class AcquisitionPipeline:
         self._check_failures()
         # The in-cloud COPY into the staging table.
         url = CloudStore.make_url(self.container, self.prefix)
-        result = self.engine.execute(
-            f"COPY INTO {self.staging_table} FROM '{url}' FORMAT csv "
-            f"DELIMITER '{self.config.csv_delimiter}'")
+        with self.obs.tracer.span(
+                "copy", parent=self.job_span,
+                staging_table=self.staging_table) as copy_span, \
+                self.obs.stage_seconds.labels(stage="copy").time():
+            result = self.engine.execute(
+                f"COPY INTO {self.staging_table} FROM '{url}' FORMAT csv "
+                f"DELIMITER '{self.config.csv_delimiter}'")
+            copy_span.set_attribute("rows", result.rows_inserted)
         self.metrics.copy_rows = result.rows_inserted
+        self.obs.copy_rows.inc(result.rows_inserted)
+        log.debug("COPY INTO %s landed %d rows",
+                  self.staging_table, result.rows_inserted)
         self._drained = True
 
     # -- teardown ----------------------------------------------------------------------

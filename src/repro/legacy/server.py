@@ -34,11 +34,14 @@ from repro.legacy.infer import infer_result_layout
 from repro.legacy.protocol import Message, MessageChannel, MessageKind
 from repro.legacy.types import Layout
 from repro.net import Listener
+from repro.obs import get_logger
 from repro.sqlxc.nodes import Insert, Select, Statement
 from repro.sqlxc.parser import parse_statement
 from repro.sqlxc.rewrites import bind_params_to_values
 
 __all__ = ["LegacyServer", "ET_COLUMNS_SQL", "UV_EXTRA_COLUMNS_SQL"]
+
+log = get_logger("legacy.server")
 
 #: schema of a transformation error table (Figure 5b, plus a message).
 ET_COLUMNS_SQL = (
@@ -85,6 +88,11 @@ class LegacyServer:
         self._jobs_lock = threading.Lock()
         self._accept_thread: threading.Thread | None = None
         self._running = False
+        #: dispatch counters by message kind (monitoring parity with
+        #: ``HyperQNode.stats()``).
+        self._message_counts: dict[str, int] = {}
+        self._connections = 0
+        self._jobs_completed = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -114,6 +122,17 @@ class LegacyServer:
         """Client-side connection factory (pass to the ETL client)."""
         return self.listener.connect()
 
+    def stats(self) -> dict:
+        """Operational snapshot (monitoring parity with Hyper-Q)."""
+        with self._jobs_lock:
+            return {
+                "active_jobs": len(self._jobs),
+                "active_exports": len(self._exports),
+                "completed_jobs": self._jobs_completed,
+                "connections": self._connections,
+                "messages": dict(self._message_counts),
+            }
+
     def _accept_loop(self) -> None:
         while self._running:
             endpoint = self.listener.accept(timeout=0.5)
@@ -127,6 +146,9 @@ class LegacyServer:
 
     def _serve_connection(self, endpoint) -> None:
         channel = MessageChannel(endpoint, timeout=None)
+        with self._jobs_lock:
+            self._connections += 1
+        log.debug("legacy connection opened")
         try:
             while True:
                 message = channel.recv_or_eof()
@@ -135,6 +157,9 @@ class LegacyServer:
                 try:
                     self._dispatch(channel, message)
                 except ReproError as exc:
+                    log.warning("request failed: %s", exc, extra={
+                        "kind": message.kind.name,
+                        "code": getattr(exc, "code", 0)})
                     channel.send(Message(MessageKind.ERROR, {
                         "code": getattr(exc, "code", 0),
                         "message": str(exc),
@@ -142,10 +167,14 @@ class LegacyServer:
         except ReproError:
             pass  # connection torn down mid-message
         finally:
+            log.debug("legacy connection closed")
             channel.close()
 
     def _dispatch(self, channel: MessageChannel, message: Message) -> None:
         kind = message.kind
+        with self._jobs_lock:
+            self._message_counts[kind.name] = \
+                self._message_counts.get(kind.name, 0) + 1
         if kind == MessageKind.LOGON:
             channel.send(Message(MessageKind.LOGON_OK))
         elif kind == MessageKind.LOGOFF:
@@ -205,6 +234,8 @@ class LegacyServer:
         self._create_error_tables(job)
         with self._jobs_lock:
             self._jobs[job.job_id] = job
+        log.info("legacy load job started", extra={
+            "job_id": job.job_id, "target": job.target})
         channel.send(Message(MessageKind.BEGIN_LOAD_OK,
                              {"job_id": job.job_id}))
 
@@ -284,6 +315,9 @@ class LegacyServer:
                 inserted += result.rows_inserted
                 updated += result.rows_updated
                 deleted += result.rows_deleted
+        log.debug("legacy apply done", extra={
+            "job_id": job.job_id, "rows_inserted": inserted,
+            "et_errors": et_errors, "uv_errors": uv_errors})
         channel.send(Message(MessageKind.APPLY_RESULT, {
             "rows_inserted": inserted,
             "rows_updated": updated,
@@ -326,6 +360,9 @@ class LegacyServer:
                          message: Message) -> None:
         with self._jobs_lock:
             self._jobs.pop(message.meta["job_id"], None)
+            self._jobs_completed += 1
+        log.info("legacy load job completed",
+                 extra={"job_id": message.meta["job_id"]})
         channel.send(Message(MessageKind.END_LOAD_OK))
 
     # -- export jobs ---------------------------------------------------------------------------

@@ -1,0 +1,146 @@
+"""repro.obs — the end-to-end observability layer.
+
+Three cooperating pieces, all threaded through the Hyper-Q stack via
+one :class:`Observability` facade per node:
+
+- :mod:`repro.obs.metrics` — a thread-safe registry of labeled
+  counters/gauges/histograms aggregating across concurrent jobs;
+- :mod:`repro.obs.trace`   — a span tracer that follows every chunk,
+  staging file, and DML range through the pipeline into a bounded ring
+  buffer with JSONL export;
+- :mod:`repro.obs.logging` — per-component structured loggers with an
+  optional JSON formatter.
+
+Components take an ``obs`` argument defaulting to :data:`NULL_OBS`
+(everything disabled, near-zero cost), so instrumentation points never
+branch on ``None``.  See ``docs/OBSERVABILITY.md`` for the metric
+catalog and the trace event schema.
+"""
+
+from __future__ import annotations
+
+from repro.obs.logging import (
+    JsonLogFormatter, configure_logging, get_logger,
+)
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricFamily, MetricsRegistry,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Observability", "NULL_OBS",
+    "MetricsRegistry", "MetricFamily", "Counter", "Gauge", "Histogram",
+    "Tracer", "Span", "NULL_SPAN",
+    "configure_logging", "get_logger", "JsonLogFormatter",
+]
+
+
+class Observability:
+    """Per-node bundle of the metrics registry and the tracer.
+
+    The canonical metric families every layer shares are created
+    eagerly so call sites pay one attribute lookup — and so a disabled
+    registry turns them all into the shared no-op instrument.
+    """
+
+    def __init__(self, *, metrics_enabled: bool = True,
+                 trace_enabled: bool = False,
+                 trace_buffer_events: int = 4096,
+                 node: str = "hyperq"):
+        self.node = node
+        self.registry = MetricsRegistry(enabled=metrics_enabled)
+        self.tracer = Tracer(enabled=trace_enabled,
+                             max_events=trace_buffer_events)
+        reg = self.registry
+
+        # -- gateway / protocol --
+        self.messages_total = reg.counter(
+            "hyperq_messages_total",
+            "Protocol messages dispatched by the PXC", ("kind",))
+        self.jobs_total = reg.counter(
+            "hyperq_jobs_total",
+            "Load jobs by lifecycle event", ("event",))
+        self.job_phase_seconds = reg.histogram(
+            "hyperq_job_phase_seconds",
+            "Per-job phase durations (Figure 7 split)", ("phase",))
+
+        # -- acquisition pipeline --
+        self.stage_seconds = reg.histogram(
+            "hyperq_stage_seconds",
+            "Per-unit latency of each pipeline stage", ("stage",))
+        self.chunks_received = reg.counter(
+            "hyperq_chunks_received_total",
+            "Client DATA chunks accepted")
+        self.bytes_received = reg.counter(
+            "hyperq_bytes_received_total",
+            "Raw legacy-encoded bytes accepted")
+        self.records_converted = reg.counter(
+            "hyperq_records_converted_total",
+            "Records successfully converted to staging CSV")
+        self.acquisition_errors = reg.counter(
+            "hyperq_acquisition_errors_total",
+            "Records rejected during conversion")
+        self.bytes_staged = reg.counter(
+            "hyperq_bytes_staged_total",
+            "CSV bytes handed to the FileWriters")
+        self.files_written = reg.counter(
+            "hyperq_files_written_total",
+            "Staging files finalized on local disk")
+        self.staged_file_bytes = reg.histogram(
+            "hyperq_staged_file_bytes",
+            "Size distribution of finalized staging files")
+        self.bytes_uploaded = reg.counter(
+            "hyperq_bytes_uploaded_total",
+            "Bytes shipped to the cloud store (post-compression)")
+        self.upload_seconds = reg.histogram(
+            "hyperq_upload_seconds",
+            "Bulk-loader upload latency per file")
+        self.copy_rows = reg.counter(
+            "hyperq_copy_rows_total",
+            "Rows landed in staging tables by COPY INTO")
+
+        # -- credit back-pressure --
+        self.credit_acquires = reg.counter(
+            "hyperq_credit_acquires_total",
+            "Credit acquisitions", ("blocked",))
+        self.credit_wait_seconds = reg.histogram(
+            "hyperq_credit_wait_seconds",
+            "Time sessions stalled waiting for a credit")
+        self.credits_available = reg.gauge(
+            "hyperq_credits_available",
+            "Credits currently in the pool")
+
+        # -- application phase --
+        self.rows_applied = reg.counter(
+            "hyperq_rows_applied_total",
+            "Target-table rows affected by applied DML", ("op",))
+        self.apply_statements = reg.counter(
+            "hyperq_apply_statements_total",
+            "Set-oriented DML executions (successful or failed)")
+        self.apply_splits = reg.counter(
+            "hyperq_apply_splits_total",
+            "Adaptive error-handler chunk splits")
+        self.apply_errors = reg.counter(
+            "hyperq_apply_errors_total",
+            "Errors recorded during application", ("kind",))
+
+        # -- CDW substrate --
+        self.statement_seconds = reg.histogram(
+            "cdw_statement_seconds",
+            "CDW engine statement latency", ("statement",))
+
+    @classmethod
+    def from_config(cls, config, node: str = "hyperq") -> "Observability":
+        """Build the bundle from a :class:`HyperQConfig`."""
+        return cls(
+            metrics_enabled=getattr(config, "metrics_enabled", True),
+            trace_enabled=getattr(config, "trace_enabled", False),
+            trace_buffer_events=getattr(config, "trace_buffer_events",
+                                        4096),
+            node=node,
+        )
+
+
+#: shared fully-disabled bundle; the default ``obs`` everywhere.
+NULL_OBS = Observability(metrics_enabled=False, trace_enabled=False,
+                         node="null")

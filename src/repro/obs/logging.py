@@ -1,0 +1,103 @@
+"""Structured logging for the repro stack.
+
+Every component logs under the ``repro.`` hierarchy
+(``repro.gateway``, ``repro.pipeline``, ``repro.legacy.server`` …) via
+:func:`get_logger`.  Nothing is emitted until :func:`configure_logging`
+installs a handler — importing the library never touches the root
+logger configuration of the host application.
+
+Two output shapes are supported: a compact human-readable line, and a
+JSON object per line (``json_output=True``) carrying the timestamp,
+level, component, message, and any extra fields passed via
+``logger.info(..., extra={...})`` — the shape log shippers expect.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = ["JsonLogFormatter", "configure_logging", "get_logger",
+           "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: attributes of a vanilla LogRecord — anything else came in via
+#: ``extra=`` and is forwarded as structured context.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class _TextFormatter(logging.Formatter):
+    """Human-readable line that still shows structured extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (f"{self.formatTime(record, '%H:%M:%S')} "
+                f"{record.levelname:<7} {record.name}: "
+                f"{record.getMessage()}")
+        extras = {
+            key: value for key, value in record.__dict__.items()
+            if key not in _STANDARD_ATTRS and not key.startswith("_")
+        }
+        if extras:
+            rendered = " ".join(
+                f"{k}={v}" for k, v in sorted(extras.items()))
+            base = f"{base} [{rendered}]"
+        if record.exc_info and record.exc_info[0] is not None:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(component: str) -> logging.Logger:
+    """The logger for one component, rooted under ``repro.``."""
+    if component.startswith(ROOT_LOGGER_NAME + ".") \
+            or component == ROOT_LOGGER_NAME:
+        return logging.getLogger(component)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{component}")
+
+
+def configure_logging(level: str | int = "INFO",
+                      json_output: bool = False,
+                      stream=None) -> logging.Logger:
+    """Install (or replace) the stack's log handler; returns the root.
+
+    Idempotent: calling it again reconfigures rather than stacking
+    handlers, so tests and the CLI can adjust level/shape freely.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_handler = True
+    handler.setFormatter(
+        JsonLogFormatter() if json_output else _TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

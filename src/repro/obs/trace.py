@@ -1,0 +1,245 @@
+"""Span-based structured tracing of the virtualization pipeline.
+
+Every unit of work flowing through a Hyper-Q node — a protocol chunk, a
+staging file, a DML range — can be wrapped in a :class:`Span`.  Spans
+nest: within one thread the tracer keeps an implicit current-span stack,
+and across threads (the acquisition pipeline hops session handler →
+converter → filewriter → uploader) the parent is passed explicitly, so
+one load job yields a tree like::
+
+    job
+    ├── receive (chunk 0)          [session handler thread]
+    │   ├── credit.acquire
+    │   └── convert                [converter worker]
+    │       └── write              [filewriter worker]
+    ├── upload (part-00-00000.csv) [uploader thread]
+    ├── copy
+    └── apply
+        └── apply.split …          (adaptive error handler events)
+
+Finished spans land in a bounded in-memory ring buffer (oldest dropped
+first) and can be exported as JSONL — one object per span with
+``trace_id``/``span_id``/``parent_id`` for reconstruction.  A disabled
+tracer hands out a shared null span; tracing points cost one method
+call and nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "NULL_TRACER"]
+
+_ids = itertools.count(1)
+
+
+def _next_id() -> int:
+    return next(_ids)
+
+
+class Span:
+    """One traced unit of work; record it by closing (``end()``)."""
+
+    __slots__ = ("_tracer", "trace_id", "span_id", "parent_id", "name",
+                 "attrs", "status", "started_at", "_t0", "duration_s",
+                 "_ended")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 trace_id: int, parent_id: int | None, attrs: dict):
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = _next_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.status = "ok"
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.duration_s = 0.0
+        self._ended = False
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach one key/value to the span."""
+        self.attrs[key] = value
+
+    def end(self, status: str | None = None) -> None:
+        """Close the span and push its record to the ring buffer."""
+        if self._ended:
+            return
+        self._ended = True
+        if status is not None:
+            self.status = status
+        self.duration_s = time.perf_counter() - self._t0
+        self._tracer._record(self)
+
+    # -- context-manager protocol (same-thread nesting) -----------------------
+
+    def __enter__(self) -> "Span":
+        """Make this the creating thread's current (innermost) span."""
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Pop the stack and end, with ``"error"`` status on exception."""
+        self._tracer._pop(self)
+        self.end("error" if exc_type is not None else None)
+
+    def to_dict(self) -> dict:
+        """The span's JSONL-exportable record."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ts": round(self.started_at, 6),
+            "duration_s": round(self.duration_s, 9),
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    name = ""
+    status = "ok"
+    attrs: dict = {}
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def end(self, status: str | None = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Producer and ring buffer of span records for one node."""
+
+    def __init__(self, enabled: bool = False, max_events: int = 4096):
+        if max_events < 1:
+            raise ValueError("trace buffer needs at least one slot")
+        self.enabled = enabled
+        self.max_events = max_events
+        self._lock = threading.Lock()
+        self._buffer: list[dict] = []
+        self._dropped = 0
+        self._local = threading.local()
+
+    # -- span creation ----------------------------------------------------------
+
+    def span(self, name: str, parent: "Span | _NullSpan | None" = None,
+             **attrs) -> "Span | _NullSpan":
+        """Create a span (use as a context manager, or ``end()`` it).
+
+        ``parent`` pins the span into an explicit tree — required when
+        work hops threads.  Without it, the creating thread's innermost
+        open span (entered via ``with``) is the parent; with no such
+        span either, a new trace is started.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None or parent is NULL_SPAN:
+            parent = self._current()
+        if parent is None:
+            return Span(self, name, trace_id=_next_id(),
+                        parent_id=None, attrs=attrs)
+        return Span(self, name, trace_id=parent.trace_id,
+                    parent_id=parent.span_id, attrs=attrs)
+
+    def event(self, name: str, parent: "Span | None" = None,
+              **attrs) -> None:
+        """Record a point-in-time event (a zero-duration span)."""
+        if not self.enabled:
+            return
+        self.span(name, parent=parent, **attrs).end()
+
+    # -- thread-local current-span stack ---------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current(self) -> "Span | None":
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- ring buffer -------------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        record = span.to_dict()
+        with self._lock:
+            self._buffer.append(record)
+            if len(self._buffer) > self.max_events:
+                del self._buffer[:len(self._buffer) - self.max_events]
+                self._dropped += 1
+
+    def records(self) -> list[dict]:
+        """Snapshot of the buffered span records (oldest first)."""
+        with self._lock:
+            return list(self._buffer)
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Buffered records, optionally filtered by span name."""
+        records = self.records()
+        if name is None:
+            return records
+        return [r for r in records if r["name"] == name]
+
+    @property
+    def dropped(self) -> int:
+        """How many times the ring buffer evicted old spans."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        """Empty the ring buffer and reset the dropped count."""
+        with self._lock:
+            self._buffer.clear()
+            self._dropped = 0
+
+    # -- export ------------------------------------------------------------------
+
+    def export_jsonl(self, destination) -> int:
+        """Write buffered spans as JSON lines; returns the span count.
+
+        ``destination`` is a path or a writable text file object.
+        """
+        records = self.records()
+        if hasattr(destination, "write"):
+            for record in records:
+                destination.write(json.dumps(record) + "\n")
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record) + "\n")
+        return len(records)
+
+
+#: a shared disabled tracer for components instantiated without one.
+NULL_TRACER = Tracer(enabled=False)

@@ -50,6 +50,30 @@ class TestBasics:
         with pytest.raises(GatewayError):
             manager.check_conservation()
 
+    def test_conservation_detects_counterfeit(self):
+        """A credit injected from outside the pool breaks conservation."""
+        manager = CreditManager(2)
+        manager._outstanding.add(999)  # never minted by this pool
+        with pytest.raises(GatewayError):
+            manager.check_conservation()
+
+    def test_conservation_holds_mid_flight(self):
+        """The invariant holds at every point, not just at rest."""
+        manager = CreditManager(4)
+        held = []
+        for _ in range(4):
+            held.append(manager.acquire())
+            manager.check_conservation()
+        while held:
+            manager.release(held.pop())
+            manager.check_conservation()
+
+    def test_release_foreign_credit_rejected(self):
+        from repro.core.credits import Credit
+        manager = CreditManager(1)
+        with pytest.raises(GatewayError):
+            manager.release(Credit(12345))
+
 
 class TestBlocking:
     def test_blocked_acquire_wakes_on_release(self):

@@ -1,0 +1,140 @@
+"""End-to-end observability: one traced job through the full stack.
+
+The acceptance bar for the observability layer: a load job yields at
+least one span per pipeline stage with correct parent/child nesting,
+and the registry's counters reconcile with the node's own JobMetrics.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    build_stack, run_workload_through_hyperq, stage_timing_rows,
+)
+from repro.core.config import HyperQConfig
+from repro.workloads.generator import make_workload
+
+STAGES = ("receive", "convert", "write", "upload", "copy", "apply")
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One instrumented job shared by every assertion in the module."""
+    workload = make_workload(3_000)
+    config = HyperQConfig(metrics_enabled=True, trace_enabled=True)
+    with build_stack(config=config) as stack:
+        metrics = run_workload_through_hyperq(stack, workload,
+                                              sessions=2)
+        yield stack, workload, metrics, stack.node.obs.tracer.records()
+
+
+def _counter_total(collected, name):
+    family = collected.get(name, {"samples": []})
+    return sum(sample["value"] for sample in family["samples"])
+
+
+class TestSpans:
+    def test_every_stage_traced(self, traced_run):
+        _, _, _, records = traced_run
+        names = {record["name"] for record in records}
+        for stage in STAGES:
+            assert stage in names, f"no span for stage {stage!r}"
+        assert "job" in names
+        assert "credit.acquire" in names
+
+    def test_single_trace_tree(self, traced_run):
+        _, _, _, records = traced_run
+        trace_ids = {record["trace_id"] for record in records}
+        assert len(trace_ids) == 1, "one job => one trace"
+
+    def test_parent_child_nesting(self, traced_run):
+        _, _, _, records = traced_run
+        by_id = {record["span_id"]: record for record in records}
+        [job] = [r for r in records if r["name"] == "job"]
+        assert job["parent_id"] is None
+
+        def parents_of(name):
+            return {by_id[r["parent_id"]]["name"]
+                    for r in records if r["name"] == name}
+
+        assert parents_of("receive") == {"job"}
+        assert parents_of("credit.acquire") == {"receive"}
+        assert parents_of("convert") == {"receive"}
+        assert parents_of("write") == {"convert"}
+        assert parents_of("upload") == {"job"}
+        assert parents_of("copy") == {"job"}
+        assert parents_of("apply") == {"job"}
+
+    def test_chunk_spans_cover_every_chunk(self, traced_run):
+        _, _, metrics, records = traced_run
+        receives = [r for r in records if r["name"] == "receive"]
+        assert len(receives) == metrics.chunks_received
+        assert {r["attrs"]["chunk_seq"] for r in receives} == \
+            set(range(metrics.chunks_received))
+
+    def test_spans_all_ok(self, traced_run):
+        _, _, _, records = traced_run
+        assert all(record["status"] == "ok" for record in records)
+
+
+class TestReconciliation:
+    """Registry counters must agree with the node's JobMetrics."""
+
+    def test_acquisition_counters(self, traced_run):
+        stack, _, metrics, _ = traced_run
+        collected = stack.node.obs.registry.collect()
+        pairs = [
+            ("hyperq_chunks_received_total", metrics.chunks_received),
+            ("hyperq_bytes_received_total", metrics.bytes_received),
+            ("hyperq_records_converted_total",
+             metrics.records_converted),
+            ("hyperq_bytes_staged_total", metrics.bytes_staged),
+            ("hyperq_files_written_total", metrics.files_written),
+            ("hyperq_bytes_uploaded_total", metrics.bytes_uploaded),
+            ("hyperq_copy_rows_total", metrics.copy_rows),
+        ]
+        for name, expected in pairs:
+            assert _counter_total(collected, name) == expected, name
+
+    def test_application_counters(self, traced_run):
+        stack, workload, metrics, _ = traced_run
+        collected = stack.node.obs.registry.collect()
+        rows = {s["labels"]["op"]: s["value"]
+                for s in collected["hyperq_rows_applied_total"]
+                ["samples"]}
+        assert rows.get("insert", 0) == metrics.rows_inserted \
+            == workload.rows
+        assert _counter_total(
+            collected, "hyperq_apply_statements_total") == \
+            metrics.dml_statements
+
+    def test_stage_histogram_counts(self, traced_run):
+        stack, _, metrics, _ = traced_run
+        rows = {row["stage"]: row
+                for row in stage_timing_rows(stack.node)}
+        assert set(rows) >= set(STAGES)
+        assert rows["receive"]["count"] == metrics.chunks_received
+        assert rows["write"]["count"] == metrics.chunks_received
+        assert rows["upload"]["count"] == metrics.files_written
+        assert rows["copy"]["count"] == 1
+        assert rows["apply"]["count"] == 1
+
+    def test_credit_conservation_after_job(self, traced_run):
+        stack, _, _, _ = traced_run
+        stack.node.credits.check_conservation()
+
+
+class TestExporters:
+    def test_stats_payload(self, traced_run):
+        stack, _, _, records = traced_run
+        stats = stack.node.stats()
+        assert "hyperq_chunks_received_total" in stats["metrics"]
+        assert stats["trace"]["enabled"] is True
+        assert stats["trace"]["buffered_spans"] == len(records)
+
+    def test_render_prometheus(self, traced_run):
+        stack, _, metrics, _ = traced_run
+        text = stack.node.render_prometheus()
+        assert (f"hyperq_chunks_received_total "
+                f"{metrics.chunks_received}") in text
+        assert 'hyperq_stage_seconds_count{stage="apply"} 1' in text
+        assert "# TYPE hyperq_stage_seconds histogram" in text

@@ -1,0 +1,185 @@
+"""MetricsRegistry, instrument, and exposition tests."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        hist = Histogram()
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        sample = hist.sample()
+        assert sample["count"] == 3
+        assert sample["sum"] == 6.0
+        assert sample["min"] == 1.0
+        assert sample["max"] == 3.0
+
+    def test_percentiles_ordered(self):
+        hist = Histogram()
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.percentile(0.5) <= hist.percentile(0.95) \
+            <= hist.percentile(0.99)
+        assert hist.percentile(0.0) == 0.0
+        assert hist.percentile(1.0) == 99.0
+
+    def test_percentile_empty(self):
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+
+    def test_reservoir_bounded(self):
+        hist = Histogram(reservoir=16)
+        for value in range(1000):
+            hist.observe(float(value))
+        assert hist.count == 1000          # exact count survives eviction
+        assert len(hist._samples) == 16    # reservoir stays bounded
+        assert hist.percentile(0.5) >= 984  # quantiles track recent values
+
+    def test_timer(self):
+        hist = Histogram()
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.sample()["sum"] >= 0.0
+
+    def test_mean(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean == 3.0
+
+
+class TestFamilies:
+    def test_labeled_children_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "", ("stage",))
+        family.labels(stage="a").inc()
+        family.labels(stage="a").inc()
+        family.labels(stage="b").inc(5)
+        samples = {s["labels"]["stage"]: s["value"]
+                   for s in family.samples()}
+        assert samples == {"a": 2.0, "b": 5.0}
+
+    def test_wrong_labels_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("y_total", "", ("stage",))
+        with pytest.raises(ValueError):
+            family.labels(phase="a")
+        with pytest.raises(ValueError):
+            family.inc()  # labeled family needs .labels(...)
+
+    def test_unlabeled_convenience(self):
+        registry = MetricsRegistry()
+        family = registry.counter("z_total")
+        family.inc(3)
+        assert family.samples()[0]["value"] == 3.0
+
+    def test_reregistration_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("shared_total", "", ("k",))
+        second = registry.counter("shared_total", "", ("k",))
+        assert first is second
+
+    def test_reregistration_conflict(self):
+        registry = MetricsRegistry()
+        registry.counter("conflict_total")
+        with pytest.raises(ValueError):
+            registry.gauge("conflict_total")
+        with pytest.raises(ValueError):
+            registry.counter("conflict_total", "", ("new_label",))
+
+
+class TestRegistry:
+    def test_collect_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help a").inc()
+        registry.histogram("b_seconds").observe(0.5)
+        collected = registry.collect()
+        assert collected["a_total"]["type"] == "counter"
+        assert collected["a_total"]["help"] == "help a"
+        assert collected["b_seconds"]["samples"][0]["count"] == 1
+
+    def test_render_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", ("kind",)) \
+            .labels(kind="data").inc(7)
+        registry.histogram("lat_seconds").observe(0.25)
+        text = registry.render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{kind="data"} 7' in text
+        assert "lat_seconds_count 1" in text
+        assert "lat_seconds_sum 0.25" in text
+        assert 'lat_seconds{quantile="0.5"} 0.25' in text
+
+    def test_render_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", "", ("q",)) \
+            .labels(q='a"b\nc').inc()
+        text = registry.render_prometheus()
+        assert r'q="a\"b\nc"' in text
+
+    def test_empty_render(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestDisabledRegistry:
+    def test_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        family = registry.counter("off_total", "", ("k",))
+        family.labels(k="x").inc()      # all no-ops
+        family.inc()
+        registry.gauge("g").set(5)
+        with registry.histogram("h").time():
+            pass
+        assert registry.collect() == {}
+        assert registry.render_prometheus() == ""
+
+    def test_shared_null_registry(self):
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.collect() == {}

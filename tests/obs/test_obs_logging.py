@@ -1,0 +1,87 @@
+"""Structured-logging tests: logger naming, JSON shape, idempotence."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME, configure_logging, get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logging():
+    """Leave the repro logger tree as the test found it."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+class TestGetLogger:
+    def test_prefixes_component(self):
+        assert get_logger("gateway").name == "repro.gateway"
+
+    def test_idempotent_prefix(self):
+        assert get_logger("repro.pipeline").name == "repro.pipeline"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_json_output_with_extras(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=True, stream=stream)
+        get_logger("gateway").info("job started",
+                                   extra={"job_id": "j1", "chunks": 4})
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.gateway"
+        assert payload["message"] == "job started"
+        assert payload["job_id"] == "j1"
+        assert payload["chunks"] == 4
+        assert isinstance(payload["ts"], float)
+
+    def test_json_output_exception(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=True, stream=stream)
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            get_logger("x").exception("it failed")
+        payload = json.loads(stream.getvalue())
+        assert "ValueError: bad" in payload["exc"]
+
+    def test_text_output_shows_extras(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=False, stream=stream)
+        get_logger("credits").warning("stalled",
+                                      extra={"pool_size": 8})
+        line = stream.getvalue()
+        assert "repro.credits" in line
+        assert "stalled" in line
+        assert "pool_size=8" in line
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        configure_logging("INFO", stream=io.StringIO())
+        configure_logging("DEBUG", stream=io.StringIO())
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        tagged = [h for h in root.handlers
+                  if getattr(h, "_repro_handler", False)]
+        assert len(tagged) == 1
+        assert root.level == logging.DEBUG
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("WARNING", stream=stream)
+        get_logger("quiet").info("not shown")
+        get_logger("quiet").warning("shown")
+        assert "not shown" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("LOUD")

@@ -1,0 +1,74 @@
+"""Disabled-observability overhead smoke checks.
+
+Instrumentation points stay in the code when observability is off, so
+the null objects must be cheap and a disabled pipeline must not run
+measurably slower than an instrumented one.  Bounds are generous —
+these are smoke checks against gross regressions, not micro-benchmarks.
+"""
+
+import time
+
+from repro.bench.harness import build_stack, run_workload_through_hyperq
+from repro.core.config import HyperQConfig
+from repro.obs import NULL_OBS
+from repro.obs.trace import NULL_SPAN
+
+
+def _best_of(repeats, func):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class TestNullObjects:
+    def test_null_instruments_are_cheap(self):
+        """200k disabled instrumentation points in well under a second."""
+
+        def hammer():
+            for _ in range(200_000):
+                NULL_OBS.bytes_received.inc(100)
+
+        assert _best_of(3, hammer) < 1.0
+
+    def test_null_span_lifecycle_is_cheap(self):
+        def hammer():
+            for _ in range(100_000):
+                with NULL_OBS.tracer.span("x", chunk_seq=1) as span:
+                    span.set_attribute("k", "v")
+
+        assert _best_of(3, hammer) < 1.0
+
+    def test_null_obs_is_fully_disabled(self):
+        assert not NULL_OBS.registry.enabled
+        assert not NULL_OBS.tracer.enabled
+        assert NULL_OBS.tracer.span("anything") is NULL_SPAN
+        assert NULL_OBS.registry.collect() == {}
+
+
+class TestPipelineOverhead:
+    def test_disabled_not_slower_than_enabled(self):
+        """Observability off must not cost more than observability on.
+
+        Run the same small workload both ways (best of 3) — the
+        disabled stack does strictly less work, so allowing a 1.5x
+        cushion absorbs scheduler noise while still catching an
+        accidentally-expensive disabled path.
+        """
+        from repro.workloads.generator import make_workload
+
+        def run(config):
+            workload = make_workload(2_000)
+            with build_stack(config=config) as stack:
+                run_workload_through_hyperq(stack, workload,
+                                            sessions=2)
+
+        disabled = HyperQConfig(metrics_enabled=False,
+                                trace_enabled=False)
+        enabled = HyperQConfig(metrics_enabled=True,
+                               trace_enabled=True)
+        time_disabled = _best_of(3, lambda: run(disabled))
+        time_enabled = _best_of(3, lambda: run(enabled))
+        assert time_disabled < time_enabled * 1.5 + 0.05

@@ -1,0 +1,160 @@
+"""Tracer and Span tests: nesting, cross-thread parenting, export."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class TestSpanBasics:
+    def test_manual_end(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.span("work", items=3)
+        span.set_attribute("extra", "yes")
+        span.end()
+        [record] = tracer.records()
+        assert record["name"] == "work"
+        assert record["status"] == "ok"
+        assert record["attrs"] == {"items": 3, "extra": "yes"}
+        assert record["duration_s"] >= 0.0
+
+    def test_end_idempotent(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        assert len(tracer.records()) == 1
+
+    def test_context_manager_error_status(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        [record] = tracer.records()
+        assert record["status"] == "error"
+
+
+class TestNesting:
+    def test_same_thread_implicit_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["inner"]["parent_id"] == \
+            records["outer"]["span_id"]
+
+    def test_explicit_parent_beats_stack(self):
+        tracer = Tracer(enabled=True)
+        root = tracer.span("root")
+        with tracer.span("unrelated"):
+            child = tracer.span("child", parent=root)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+    def test_null_span_parent_falls_back_to_stack(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            child = tracer.span("child", parent=NULL_SPAN)
+        assert child.parent_id == outer.span_id
+
+    def test_cross_thread_explicit_parent(self):
+        """The pipeline pattern: spans hop threads via queue items."""
+        tracer = Tracer(enabled=True)
+        root = tracer.span("job")
+        results = []
+
+        def worker(parent):
+            span = tracer.span("convert", parent=parent)
+            span.end()
+            results.append(span)
+
+        thread = threading.Thread(target=worker, args=(root,))
+        thread.start()
+        thread.join()
+        root.end()
+        assert results[0].parent_id == root.span_id
+        assert results[0].trace_id == root.trace_id
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer(enabled=True)
+        a = tracer.span("a")
+        b = tracer.span("b")
+        assert a.trace_id != b.trace_id
+
+
+class TestBuffer:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(enabled=True, max_events=3)
+        for index in range(5):
+            tracer.span(f"s{index}").end()
+        names = [r["name"] for r in tracer.records()]
+        assert names == ["s2", "s3", "s4"]
+        assert tracer.dropped > 0
+
+    def test_buffer_size_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(enabled=True, max_events=0)
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True, max_events=1)
+        tracer.span("a").end()
+        tracer.span("b").end()
+        tracer.clear()
+        assert tracer.records() == []
+        assert tracer.dropped == 0
+
+    def test_event_is_point_record(self):
+        tracer = Tracer(enabled=True)
+        parent = tracer.span("apply")
+        tracer.event("apply.split", parent=parent, lo=0, hi=10)
+        [record] = tracer.spans("apply.split")
+        assert record["parent_id"] == parent.span_id
+        assert record["attrs"] == {"lo": 0, "hi": 10}
+
+    def test_spans_filter(self):
+        tracer = Tracer(enabled=True)
+        tracer.span("x").end()
+        tracer.span("y").end()
+        tracer.span("x").end()
+        assert len(tracer.spans("x")) == 2
+        assert len(tracer.spans()) == 3
+
+
+class TestDisabled:
+    def test_disabled_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("ignored")
+        assert span is NULL_SPAN
+        with span:
+            span.set_attribute("k", "v")
+        span.end("error")
+        tracer.event("also.ignored")
+        assert tracer.records() == []
+
+
+class TestExport:
+    def test_export_to_file_object(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            tracer.span("leaf").end()
+        sink = io.StringIO()
+        count = tracer.export_jsonl(sink)
+        assert count == 2
+        lines = [json.loads(line)
+                 for line in sink.getvalue().splitlines()]
+        by_name = {line["name"]: line for line in lines}
+        assert by_name["leaf"]["parent_id"] == \
+            by_name["root"]["span_id"]
+
+    def test_export_to_path(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        tracer.span("solo").end()
+        out = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(out) == 1
+        [line] = out.read_text().splitlines()
+        assert json.loads(line)["name"] == "solo"

@@ -54,6 +54,68 @@ class TestRunScript:
         assert main(["run-script", "/no/such/script.etl"]) == 1
 
 
+class TestStatsCommand:
+    def test_prometheus_output(self, capsys):
+        code = main(["stats", "--rows", "500", "--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE hyperq_chunks_received_total counter" in out
+        assert "hyperq_jobs_total{event=\"completed\"} 1" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(["stats", "--rows", "500", "--format", "json"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "hyperq_stage_seconds" in stats["metrics"]
+        assert stats["completed_jobs"] == 1
+
+    def test_script_input(self, script_dir, capsys):
+        code = main(["stats", "--script",
+                     str(script_dir / "job.etl")])
+        assert code == 0
+        assert "hyperq_bytes_received_total 94" in \
+            capsys.readouterr().out
+
+    def test_bad_log_level_errors(self, capsys):
+        code = main(["stats", "--rows", "100", "--log-level", "LOUD"])
+        assert code == 1
+        assert "unknown log level" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.jsonl"
+        code = main(["trace", "--rows", "500", "--out", str(out)])
+        assert code == 0
+        spans = [json.loads(line)
+                 for line in out.read_text().splitlines()]
+        names = {span["name"] for span in spans}
+        assert names >= {"job", "receive", "convert", "write",
+                         "upload", "copy", "apply"}
+
+    def test_stdout_export(self, capsys):
+        code = main(["trace", "--rows", "500", "--out", "-"])
+        assert code == 0
+        assert '"name": "job"' in capsys.readouterr().out
+
+    def test_small_buffer_warns(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["trace", "--rows", "500", "--out", str(out),
+                     "--buffer-events", "3"])
+        assert code == 0
+        assert "dropped spans" in capsys.readouterr().err
+
+    def test_zero_buffer_errors(self, capsys):
+        code = main(["trace", "--rows", "100",
+                     "--buffer-events", "0"])
+        assert code == 1
+        assert "at least one slot" in capsys.readouterr().err
+
+
 class TestTranspile:
     def test_plain(self, capsys):
         code = main(["transpile",
