@@ -1,0 +1,85 @@
+"""Retry-path overhead — the resilience layer's bench surface.
+
+Runs the same import workload fault-free and under seeded chaos
+profiles with increasing transient-fault rates on the upload/COPY
+paths, and records what the absorbed retries cost end to end.  The
+interesting claim is the fault-free row: with no faults armed the
+injection points and retry wrappers are pure pass-throughs, so the
+resilience layer should be visible only when the cloud actually
+misbehaves.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, scaled
+
+from repro.bench import format_series
+from repro.bench.harness import build_stack, run_workload_through_hyperq
+from repro.core.config import HyperQConfig
+from repro.workloads.generator import make_workload
+
+
+def chaos_profile(rate: float) -> dict | None:
+    if rate == 0.0:
+        return None
+    return {
+        "seed": 7,
+        "rules": [
+            {"point": "store.upload", "probability": rate},
+            {"point": "copy.into", "probability": rate},
+        ],
+    }
+
+
+def run_once(workload, rate: float) -> dict:
+    config = HyperQConfig(
+        file_threshold_bytes=64 * 1024,
+        retry_max_attempts=6,
+        retry_base_delay_s=0.002,
+        retry_max_delay_s=0.05,
+        chaos_profile=chaos_profile(rate))
+    with build_stack(config=config) as stack:
+        started = time.perf_counter()
+        metrics = run_workload_through_hyperq(stack, workload,
+                                              sessions=2)
+        elapsed = time.perf_counter() - started
+        stats = stack.node.stats()["resilience"]
+    return {
+        "fault_rate": rate,
+        "elapsed_s": round(elapsed, 4),
+        "rows": metrics.rows_inserted,
+        "faults_injected": stats["faults_injected"],
+        "retry_attempts": stats["retry_attempts"],
+        "retry_giveups": stats["retry_giveups"],
+    }
+
+
+def test_retry_overhead(results_dir):
+    workload = make_workload(scaled(12_500))
+    rows = []
+    baseline = None
+    for rate in (0.0, 0.05, 0.15, 0.30):
+        row = run_once(workload, rate)
+        if baseline is None:
+            baseline = row["elapsed_s"]
+        row["overhead_pct"] = round(
+            (row["elapsed_s"] / baseline - 1.0) * 100, 1)
+        rows.append(row)
+
+    text = format_series(
+        f"Retry-path overhead ({workload.rows} rows)",
+        rows,
+        note="seeded transient faults on store.upload + copy.into; "
+             "overhead vs fault-free run")
+    emit(results_dir, "retry_overhead", text)
+
+    for row in rows:
+        assert row["rows"] == workload.rows, \
+            "retries must not change load results"
+        assert row["retry_giveups"] == 0
+    assert rows[0]["faults_injected"] == 0
+    assert rows[0]["retry_attempts"] == 0
+    assert all(row["faults_injected"] > 0 for row in rows[1:])
+    assert all(row["retry_attempts"] > 0 for row in rows[1:])

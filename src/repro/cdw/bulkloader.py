@@ -5,6 +5,12 @@ storage accounts.  Some tuning may be needed ... data compression can
 improve upload speed if the communication link ... is slow.  It may also
 be more efficient to upload a directory of files rather than individual
 files."  This utility exposes exactly those knobs.
+
+The loader is also the stack's first cloud-facing hop, so it hosts the
+``store.upload`` / ``store.download`` fault-injection points and wraps
+every blob PUT/GET in the node's retry policy and per-target circuit
+breaker: transient store failures are absorbed here, invisible to the
+pipeline above.
 """
 
 from __future__ import annotations
@@ -15,7 +21,9 @@ from dataclasses import dataclass
 from repro.cdw import stagefile
 from repro.cdw.cloudstore import CloudStore
 from repro.errors import StorageError
-from repro.obs import NULL_OBS, Observability, get_logger
+from repro.faults import NULL_INJECTOR, FaultInjector
+from repro.obs import NULL_OBS, NULL_SPAN, Observability, get_logger
+from repro.resilience import CircuitBreakerRegistry, RetryPolicy
 
 __all__ = ["CloudBulkLoader", "UploadReport"]
 
@@ -42,12 +50,29 @@ class CloudBulkLoader:
     """Uploads finalized local staging files into the cloud store."""
 
     def __init__(self, store: CloudStore, compression: str | None = None,
-                 obs: Observability = NULL_OBS):
+                 obs: Observability = NULL_OBS,
+                 faults: FaultInjector = NULL_INJECTOR,
+                 retry: RetryPolicy | None = None,
+                 breakers: CircuitBreakerRegistry | None = None):
         if compression not in (None, "gzip"):
             raise StorageError(f"unsupported compression {compression!r}")
         self.store = store
         self.compression = compression
         self.obs = obs
+        self.faults = faults
+        self.retry = retry
+        self.breakers = breakers
+
+    def _guarded(self, target: str, fn, span=NULL_SPAN):
+        """Run one store call under breaker + retry (when configured)."""
+        op = fn
+        if self.breakers is not None:
+            breaker = self.breakers.get(target)
+            op = lambda: breaker.call(fn)  # noqa: E731
+        if self.retry is not None:
+            return self.retry.call(op, target=target, obs=self.obs,
+                                   parent=span)
+        return op()
 
     def _prepare(self, data: bytes) -> bytes:
         if self.compression == "gzip":
@@ -61,20 +86,30 @@ class CloudBulkLoader:
         return name
 
     def upload_file(self, local_path: str, container: str,
-                    prefix: str = "") -> UploadReport:
+                    prefix: str = "", span=NULL_SPAN) -> UploadReport:
         """Upload one local file, applying compression if configured."""
         with open(local_path, "rb") as handle:
             data = handle.read()
         return self.upload_bytes(data, container, prefix,
-                                 os.path.basename(local_path))
+                                 os.path.basename(local_path), span=span)
 
     def upload_bytes(self, data: bytes, container: str, prefix: str,
-                     filename: str) -> UploadReport:
-        """Upload in-memory data (used when staging files never hit disk)."""
+                     filename: str, span=NULL_SPAN) -> UploadReport:
+        """Upload in-memory data (used when staging files never hit disk).
+
+        ``span`` parents the retry spans emitted when transient store
+        faults are absorbed on this call.
+        """
         payload = self._prepare(data)
         blob = self._blob_name(prefix, filename)
-        with self.obs.upload_seconds.time():
+
+        def put() -> None:
+            self.faults.fire("store.upload", container=container,
+                             blob=blob, bytes=len(payload))
             self.store.put_blob(container, blob, payload)
+
+        with self.obs.upload_seconds.time():
+            self._guarded("store.upload", put, span=span)
         self.obs.bytes_uploaded.inc(len(payload))
         log.debug("uploaded %s/%s (%d -> %d bytes)",
                   container, blob, len(data), len(payload))
@@ -84,7 +119,12 @@ class CloudBulkLoader:
 
     def upload_directory(self, local_dir: str, container: str,
                          prefix: str = "") -> UploadReport:
-        """Upload every regular file in a directory (one loader call)."""
+        """Upload every regular file in a directory (one loader call).
+
+        Files are visited in sorted name order — ``os.listdir`` order is
+        filesystem-dependent, and blob manifests / COPY input sets must
+        be identical across platforms and runs.
+        """
         report = UploadReport(compressed=self.compression is not None)
         for entry in sorted(os.listdir(local_dir)):
             path = os.path.join(local_dir, entry)
@@ -98,9 +138,16 @@ class CloudBulkLoader:
 
     # -- read side (used by COPY INTO) ---------------------------------------
 
-    def fetch_decoded(self, container: str, blob: str) -> bytes:
+    def fetch_decoded(self, container: str, blob: str,
+                      span=NULL_SPAN) -> bytes:
         """Fetch a blob, transparently decompressing ``.gz`` payloads."""
-        data = self.store.get_blob(container, blob)
+
+        def get() -> bytes:
+            self.faults.fire("store.download", container=container,
+                             blob=blob)
+            return self.store.get_blob(container, blob)
+
+        data = self._guarded("store.download", get, span=span)
         if blob.endswith(".gz"):
             return stagefile.decompress(data)
         return data

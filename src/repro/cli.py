@@ -60,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stats", action="store_true",
                      help="print the node's stats() snapshot as JSON "
                           "after the run")
+    _add_chaos_args(run)
     _add_logging_args(run)
 
     serve = sub.add_parser(
@@ -128,6 +129,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_chaos_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--chaos-profile", default=None, metavar="PATH",
+        help="arm the fault injector with this chaos-profile JSON "
+             "(see docs/RESILIENCE.md for the schema)")
+    sub_parser.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="override the chaos profile's rng seed")
+
+
+def _load_chaos_profile(args):
+    """The parsed --chaos-profile JSON, or None when not given."""
+    path = getattr(args, "chaos_profile", None)
+    if path is None:
+        return None
+    import json
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def _add_logging_args(sub_parser) -> None:
     sub_parser.add_argument(
         "--log-level", default=None, metavar="LEVEL",
@@ -151,6 +172,7 @@ def _add_observed_job_args(sub_parser) -> None:
                             help="parallel load sessions")
     sub_parser.add_argument("--credits", type=int, default=16,
                             help="Hyper-Q credit pool size")
+    _add_chaos_args(sub_parser)
 
 
 def _configure_cli_logging(args) -> None:
@@ -171,7 +193,9 @@ def _run_observed_job(args, *, trace: bool,
     from repro.workloads.generator import make_workload
 
     config = HyperQConfig(credits=args.credits, trace_enabled=trace,
-                          trace_buffer_events=trace_buffer_events)
+                          trace_buffer_events=trace_buffer_events,
+                          chaos_profile=_load_chaos_profile(args),
+                          chaos_seed=getattr(args, "chaos_seed", None))
     stack = build_stack(config=config)
     try:
         if args.script:
@@ -257,7 +281,9 @@ def _cmd_run_script(args) -> int:
     else:
         stack = build_stack(config=HyperQConfig(
             credits=args.credits,
-            trace_enabled=args.trace_out is not None))
+            trace_enabled=args.trace_out is not None,
+            chaos_profile=_load_chaos_profile(args),
+            chaos_seed=args.chaos_seed))
         connect = stack.node.connect
         engine = stack.engine
         closer = stack.close

@@ -63,6 +63,30 @@ class HyperQConfig:
     #: emit logs as JSON lines instead of human-readable text.
     log_json: bool = False
 
+    # -- resilience (repro.resilience) --
+    #: total tries per cloud-facing call (1 = no retry).
+    retry_max_attempts: int = 4
+    #: first full-jitter backoff ceiling; doubles per retry.
+    retry_base_delay_s: float = 0.05
+    #: backoff ceiling cap.
+    retry_max_delay_s: float = 2.0
+    #: max cumulative backoff sleep per retried call.
+    retry_budget_s: float = 30.0
+    #: consecutive failures that open a target's circuit breaker.
+    breaker_failure_threshold: int = 5
+    #: how long an open breaker rejects calls before half-open probes.
+    breaker_cooldown_s: float = 5.0
+    #: write a per-job chunk-level CheckpointJournal enabling load
+    #: restart without re-sending/re-uploading durable work.
+    checkpoint_enabled: bool = True
+
+    # -- fault injection (repro.faults) --
+    #: parsed chaos-profile JSON ({"seed": ..., "rules": [...]} or a
+    #: bare rule list); None disables injection entirely.
+    chaos_profile: dict | list | None = None
+    #: overrides the profile's rng seed when not None.
+    chaos_seed: int | None = None
+
     def __post_init__(self):
         """Validate the configuration values."""
         if self.converters < 1:
@@ -77,3 +101,15 @@ class HyperQConfig:
             raise ValueError(f"unsupported compression {self.compression!r}")
         if self.trace_buffer_events < 1:
             raise ValueError("trace buffer needs at least one slot")
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if min(self.retry_base_delay_s, self.retry_max_delay_s,
+               self.retry_budget_s) < 0:
+            raise ValueError("retry delays cannot be negative")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s cannot be negative")
+        if self.chaos_profile is not None and \
+                not isinstance(self.chaos_profile, (dict, list)):
+            raise ValueError("chaos_profile must be a dict or rule list")

@@ -25,11 +25,24 @@ log = get_logger("filewriter")
 
 @dataclass(frozen=True)
 class StagedFile:
-    """A finalized local staging file ready for upload."""
+    """A finalized local staging file ready for upload.
+
+    ``chunks`` is the file's chunk manifest — one entry per client chunk
+    whose converted bytes the file contains (``{"seq", "records",
+    "errors"}``) — recorded in the job's
+    :class:`~repro.resilience.checkpoint.CheckpointJournal` so a
+    restarted job knows which chunks are already durable.
+    """
 
     path: str
     size: int
     records: int
+    chunks: tuple = ()
+
+    @property
+    def name(self) -> str:
+        """The file's journal/blob key (its basename)."""
+        return os.path.basename(self.path)
 
 
 class FileWriter:
@@ -42,21 +55,33 @@ class FileWriter:
 
     def __init__(self, directory: str, writer_no: int,
                  threshold_bytes: int,
-                 obs: Observability = NULL_OBS):
+                 obs: Observability = NULL_OBS,
+                 start_file_no: int = 0):
         self.directory = directory
         self.writer_no = writer_no
         self.threshold_bytes = threshold_bytes
         self.obs = obs
         self._buffer = bytearray()
         self._buffered_records = 0
-        self._file_no = 0
+        self._buffered_chunks: list[dict] = []
+        #: resumed jobs continue numbering so new files never collide
+        #: with (and overwrite) journaled durable ones.
+        self._file_no = start_file_no
         self.files_written = 0
         self.bytes_written = 0
 
-    def append(self, csv_bytes: bytes, records: int) -> StagedFile | None:
-        """Buffer one converted chunk; returns a file when one fills up."""
+    def append(self, csv_bytes: bytes, records: int,
+               chunk: dict | None = None) -> StagedFile | None:
+        """Buffer one converted chunk; returns a file when one fills up.
+
+        ``chunk`` is the manifest entry describing the buffered chunk
+        (seq, record count, acquisition errors) — carried onto the
+        finalized :class:`StagedFile` for checkpoint journaling.
+        """
         self._buffer += csv_bytes
         self._buffered_records += records
+        if chunk is not None:
+            self._buffered_chunks.append(chunk)
         if len(self._buffer) >= self.threshold_bytes:
             return self._finalize()
         return None
@@ -74,7 +99,8 @@ class FileWriter:
             handle.write(self._buffer)
         staged = StagedFile(
             path=path, size=len(self._buffer),
-            records=self._buffered_records)
+            records=self._buffered_records,
+            chunks=tuple(self._buffered_chunks))
         self.files_written += 1
         self.bytes_written += len(self._buffer)
         self.obs.files_written.inc()
@@ -84,4 +110,5 @@ class FileWriter:
         self._file_no += 1
         self._buffer = bytearray()
         self._buffered_records = 0
+        self._buffered_chunks = []
         return staged

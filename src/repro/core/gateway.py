@@ -35,7 +35,11 @@ from repro.core.metrics import JobMetrics, Stopwatch
 from repro.core.pipeline import AcquisitionPipeline
 from repro.core.tdfcursor import TdfCursor
 from repro.errors import GatewayError, ProtocolError, ReproError
+from repro.faults import FaultInjector, FaultyEndpoint
 from repro.obs import NULL_SPAN, Observability, configure_logging, get_logger
+from repro.resilience import (
+    CheckpointJournal, CircuitBreakerRegistry, RetryPolicy,
+)
 from repro.legacy.client import layout_from_wire
 from repro.legacy.datafmt import BinaryFormat, FormatSpec, make_format
 from repro.legacy.infer import infer_result_layout
@@ -103,8 +107,18 @@ class HyperQNode:
             self.config.credits, self.config.credit_timeout_s,
             obs=self.obs)
         self.beta = Beta(engine, self.config, obs=self.obs)
+        #: the resilience trio shared by every cloud-facing call site on
+        #: this node: one chaos injector, one retry policy (its counters
+        #: are the node's retry telemetry), one breaker per target.
+        self.faults = FaultInjector.from_profile(
+            self.config.chaos_profile, seed=self.config.chaos_seed,
+            obs=self.obs)
+        self.retry = RetryPolicy.from_config(self.config)
+        self.breakers = CircuitBreakerRegistry.from_config(
+            self.config, obs=self.obs)
         self.loader = CloudBulkLoader(
-            store, compression=self.config.compression, obs=self.obs)
+            store, compression=self.config.compression, obs=self.obs,
+            faults=self.faults, retry=self.retry, breakers=self.breakers)
         #: any object with accept()/connect()/close() — the in-memory
         #: transport by default, or a repro.net_tcp.TcpListener for a
         #: real socket.
@@ -180,6 +194,14 @@ class HyperQNode:
             },
             "engine_statements": dict(self.engine.statement_counts),
             "store_bytes_uploaded": self.store.bytes_uploaded,
+            "resilience": {
+                "retry_attempts": self.retry.attempts_total,
+                "retry_giveups": self.retry.giveups_total,
+                "retry": self.retry.snapshot(),
+                "breakers": self.breakers.snapshot(),
+                "faults_injected": self.faults.total_injected,
+                "faults": self.faults.snapshot(),
+            },
             "metrics": self.obs.registry.collect(),
             "trace": {
                 "enabled": self.obs.tracer.enabled,
@@ -197,6 +219,10 @@ class HyperQNode:
             endpoint = self.listener.accept(timeout=0.5)
             if endpoint is None:
                 continue
+            if self.faults.enabled:
+                # armed ``net.send`` rules surface as connection drops
+                # on the server side of the wire.
+                endpoint = FaultyEndpoint(endpoint, self.faults)
             threading.Thread(
                 target=self._serve_connection, args=(endpoint,),
                 daemon=True, name=f"{self.name}-conn").start()
@@ -284,17 +310,35 @@ class HyperQNode:
         layout = layout_from_wire(meta["layout"])
         format_spec = FormatSpec.from_wire(meta["format"])
         target = meta["target"]
+        resume = bool(meta.get("resume"))
         if not self.engine.catalog.exists(target):
             raise GatewayError(
                 f"target table {target!r} does not exist in the CDW")
 
+        # A restarted job (same job_id, resume flag) replaces whatever
+        # is left of its killed predecessor; the checkpoint journal in
+        # the job's staging directory carries the durable progress over.
+        if resume:
+            with self._registry_lock:
+                stale = self._jobs.pop(job_id, None)
+            if stale is not None:
+                stale.pipeline.shutdown()
+                stale.span.end("error")
+                self.obs.jobs_total.labels(event="restarted").inc()
+
         staging_table = f"HQ_STG_{job_id}"
-        self._create_staging_table(staging_table, layout)
+        if not (resume and self.engine.catalog.exists(staging_table)):
+            self._create_staging_table(staging_table, layout)
         self._create_error_tables(meta["et_table"], meta["uv_table"],
                                   target)
 
         staging_dir = os.path.join(self._base_dir, job_id)
         os.makedirs(staging_dir, exist_ok=True)
+        journal = None
+        if self.config.checkpoint_enabled:
+            journal = CheckpointJournal(
+                os.path.join(staging_dir, "checkpoint.jsonl"),
+                fresh=not resume)
         metrics = JobMetrics(job_id=job_id,
                              sessions=meta.get("sessions", 0))
         job_span = self.obs.tracer.span(
@@ -317,6 +361,11 @@ class HyperQNode:
             metrics=metrics,
             obs=self.obs,
             job_span=job_span,
+            faults=self.faults,
+            retry=self.retry,
+            breakers=self.breakers,
+            journal=journal,
+            resume=resume,
         )
         job = _LoadJob(
             job_id=job_id, target=target,
@@ -333,8 +382,13 @@ class HyperQNode:
             "sessions": meta.get("sessions", 0)})
         with self._registry_lock:
             self._jobs[job_id] = job
-        channel.send(Message(MessageKind.BEGIN_LOAD_OK,
-                             {"job_id": job_id}))
+        ok_meta: dict = {"job_id": job_id}
+        if resume:
+            # The authoritative durable set: with the immediate-ack
+            # pipeline an ack is NOT durability, so the client must only
+            # skip chunks the gateway confirms it still has.
+            ok_meta["durable_seqs"] = sorted(pipeline.resumed_seqs)
+        channel.send(Message(MessageKind.BEGIN_LOAD_OK, ok_meta))
 
     def _create_staging_table(self, name: str, layout: Layout) -> None:
         """Staging columns are deliberately *unbounded* text for character
@@ -414,22 +468,33 @@ class HyperQNode:
         apply_span = self.obs.tracer.span(
             "apply", parent=job.span, job_id=job.job_id,
             target=job.target)
+
+        def run_apply():
+            # The ``dml.apply`` injection point fires *before* Beta
+            # dispatches any DML, so an absorbed transient fault never
+            # retries a partially applied statement sequence.
+            self.faults.fire("dml.apply", job_id=job.job_id)
+            return self.beta.apply_dml(
+                sql=message.meta["sql"],
+                layout=job.layout,
+                staging_table=job.staging_table,
+                target_table=job.target,
+                et_table=job.et_table,
+                uv_table=job.uv_table,
+                chunk_records=job.pipeline.chunk_records,
+                acquisition_errors=job.pipeline.acquisition_errors,
+                max_errors=message.meta.get("max_errors"),
+                max_retries=message.meta.get("max_retries"),
+                span=apply_span,
+            )
+
+        breaker = self.breakers.get("dml.apply")
         try:
             with job.application_watch, \
                     self.obs.stage_seconds.labels(stage="apply").time():
-                summary = self.beta.apply_dml(
-                    sql=message.meta["sql"],
-                    layout=job.layout,
-                    staging_table=job.staging_table,
-                    target_table=job.target,
-                    et_table=job.et_table,
-                    uv_table=job.uv_table,
-                    chunk_records=job.pipeline.chunk_records,
-                    acquisition_errors=job.pipeline.acquisition_errors,
-                    max_errors=message.meta.get("max_errors"),
-                    max_retries=message.meta.get("max_retries"),
-                    span=apply_span,
-                )
+                summary = self.retry.call(
+                    lambda: breaker.call(run_apply),
+                    target="dml.apply", obs=self.obs, parent=apply_span)
         except BaseException:
             apply_span.end("error")
             raise

@@ -12,26 +12,44 @@ Stage wiring for one load job::
     drain(): flush writers, wait for uploads, then one in-cloud COPY INTO
          the staging table
 
-Worker failures are captured and re-raised to the job's control session.
+Worker failures are captured and re-raised to the job's control session
+as a :class:`~repro.errors.PipelineFailure` whose ``__cause__`` is the
+original worker exception (traceback preserved across the thread hop).
+
+Resilience: every finalized staging file and durable upload is recorded
+in the job's :class:`~repro.resilience.checkpoint.CheckpointJournal`;
+constructing the pipeline with ``resume=True`` replays that journal so a
+restarted job re-uploads zero already-durable files and treats every
+chunk inside them as already received.  The terminal ``COPY INTO`` runs
+under the node's retry policy and circuit breaker, with the
+``copy.into`` fault-injection point armed in front of it.
 """
 
 from __future__ import annotations
 
 import os
 import queue
+import re
 import threading
 import time
+from dataclasses import asdict
 
 from repro.cdw.bulkloader import CloudBulkLoader
 from repro.cdw.cloudstore import CloudStore
 from repro.cdw.engine import CdwEngine
 from repro.core.config import HyperQConfig
-from repro.core.converter import AcquisitionError, DataConverter
+from repro.core.converter import (
+    AcquisitionError, ConvertedChunk, DataConverter,
+)
 from repro.core.credits import Credit, CreditManager
 from repro.core.filewriter import FileWriter, StagedFile
 from repro.core.metrics import JobMetrics
-from repro.errors import GatewayError
+from repro.errors import GatewayError, PipelineFailure
+from repro.faults import NULL_INJECTOR, FaultInjector
 from repro.obs import NULL_OBS, NULL_SPAN, Observability, get_logger
+from repro.resilience import (
+    CheckpointJournal, CircuitBreakerRegistry, RetryPolicy,
+)
 
 __all__ = ["AcquisitionPipeline"]
 
@@ -39,6 +57,8 @@ log = get_logger("pipeline")
 
 _STOP = object()
 _FLUSH = object()
+
+_PART_NAME = re.compile(r"part-(\d+)-(\d+)\.csv$")
 
 
 class AcquisitionPipeline:
@@ -49,7 +69,12 @@ class AcquisitionPipeline:
                  staging_table: str, container: str, prefix: str,
                  staging_dir: str, config: HyperQConfig,
                  metrics: JobMetrics, obs: Observability = NULL_OBS,
-                 job_span=NULL_SPAN):
+                 job_span=NULL_SPAN,
+                 faults: FaultInjector = NULL_INJECTOR,
+                 retry: RetryPolicy | None = None,
+                 breakers: CircuitBreakerRegistry | None = None,
+                 journal: CheckpointJournal | None = None,
+                 resume: bool = False):
         self.converter = converter
         self.credits = credits
         self.loader = loader
@@ -64,6 +89,10 @@ class AcquisitionPipeline:
         #: the job's root span — tracing parent for uploads and COPY,
         #: whose work aggregates many chunks.
         self.job_span = job_span
+        self.faults = faults
+        self.retry = retry
+        self.breakers = breakers
+        self.journal = journal
 
         #: per-chunk record counts (incl. rejected records), keyed by
         #: chunk seq — the basis for file row-number reconstruction.
@@ -80,6 +109,14 @@ class AcquisitionPipeline:
         self._uploaded_files = 0
         self._failures: list[BaseException] = []
         self._drained = False
+        #: chunks/files found durable in the journal on resume.
+        self.resumed_chunks = 0
+        self.resumed_files = 0
+        #: the durable chunk seqs replayed on resume — reported back to
+        #: the client in BEGIN_LOAD_OK so it can skip exactly these.
+        self.resumed_seqs: set[int] = set()
+
+        resumed_uploads = self._replay_journal() if resume else []
 
         self._converter_queue: queue.Queue = queue.Queue()
         self._upload_queue: queue.Queue = queue.Queue()
@@ -87,7 +124,8 @@ class AcquisitionPipeline:
             queue.Queue() for _ in range(config.filewriters)]
         self._writers = [
             FileWriter(staging_dir, i, config.file_threshold_bytes,
-                       obs=obs)
+                       obs=obs,
+                       start_file_no=self._next_file_no(i, resume))
             for i in range(config.filewriters)
         ]
 
@@ -97,6 +135,66 @@ class AcquisitionPipeline:
         for i in range(config.filewriters):
             self._spawn(self._filewriter_worker, f"filewriter-{i}", i)
         self._spawn(self._uploader_worker, "uploader")
+        # staged-but-unuploaded survivors go back through the uploader.
+        for staged in resumed_uploads:
+            self._enqueue_upload(staged, journaled=True)
+
+    # -- checkpoint replay (restart support) ---------------------------------
+
+    def _replay_journal(self) -> list[StagedFile]:
+        """Replay the journal: seed durable chunks, collect re-uploads.
+
+        Chunks whose staging file is durable (uploaded, or still present
+        on local disk) are marked seen so a restarted client can resend
+        everything and only the lost tail is re-processed.  Staging
+        files that were finalized but never uploaded are returned for
+        re-enqueueing — already-uploaded files are *not*, which is the
+        restart guarantee: zero re-uploads of durable work.
+        """
+        if self.journal is None:
+            return []
+        for seq, chunk in sorted(self.journal.durable_chunks().items()):
+            self._seen_seqs.add(seq)
+            self.resumed_seqs.add(seq)
+            self.chunk_records[seq] = chunk["records"]
+            self.acquisition_errors.extend(
+                AcquisitionError(**e) for e in chunk.get("errors", ()))
+            self.resumed_chunks += 1
+        self.resumed_files = len(self.journal.uploaded)
+        self.obs.checkpoint_skips.labels(kind="chunk").inc(
+            self.resumed_chunks)
+        self.obs.checkpoint_skips.labels(kind="upload").inc(
+            self.resumed_files)
+        pending = []
+        for rec in self.journal.pending_files():
+            if not os.path.exists(rec.get("path", "")):
+                continue
+            pending.append(StagedFile(
+                path=rec["path"], size=rec["size"],
+                records=rec["records"],
+                chunks=tuple(rec.get("chunks", ()))))
+        if self.resumed_chunks or pending:
+            log.info("resumed from checkpoint journal", extra={
+                "durable_chunks": self.resumed_chunks,
+                "uploaded_files": self.resumed_files,
+                "requeued_files": len(pending)})
+        return pending
+
+    def _next_file_no(self, writer_no: int, resume: bool) -> int:
+        """First file number a (possibly resumed) writer may use.
+
+        Journaled staging files keep their names on restart, so new
+        files must continue the numbering rather than collide with (and
+        silently overwrite) durable ones.
+        """
+        if not resume or self.journal is None:
+            return 0
+        highest = -1
+        for name in self.journal.staged:
+            match = _PART_NAME.search(name)
+            if match and int(match.group(1)) == writer_no:
+                highest = max(highest, int(match.group(2)))
+        return highest + 1
 
     def _spawn(self, target, name: str, *args) -> None:
         thread = threading.Thread(
@@ -111,10 +209,11 @@ class AcquisitionPipeline:
 
     def _check_failures(self) -> None:
         with self._state:
-            failure = self._failures[0] if self._failures else None
-        if failure is not None:
-            raise GatewayError(
-                f"acquisition pipeline failed: {failure}") from failure
+            failures = list(self._failures)
+        if failures:
+            raise PipelineFailure(
+                f"acquisition pipeline failed: {failures[0]}",
+                failures=failures) from failures[0]
 
     # -- producer side (called from session handler threads) -----------------
 
@@ -130,7 +229,8 @@ class AcquisitionPipeline:
         Resubmitting an already-seen chunk sequence is a no-op (but still
         acknowledged): that makes client checkpoint/restart idempotent —
         a client whose ack was lost in a connection failure can safely
-        resend the chunk.
+        resend the chunk, and a restarted job can resend everything
+        while only the non-durable tail is re-processed.
         """
         self._check_failures()
         with self._state:
@@ -190,6 +290,15 @@ class AcquisitionPipeline:
                 chunk_seq % len(self._writer_queues)]
             target.put((credit, converted, convert_span))
 
+    @staticmethod
+    def _manifest_entry(converted: ConvertedChunk) -> dict:
+        """The chunk's checkpoint-journal manifest entry."""
+        return {
+            "seq": converted.chunk_seq,
+            "records": converted.total_records,
+            "errors": [asdict(e) for e in converted.errors],
+        }
+
     def _filewriter_worker(self, writer_no: int) -> None:
         writer = self._writers[writer_no]
         q = self._writer_queues[writer_no]
@@ -221,7 +330,8 @@ class AcquisitionPipeline:
                 with self.obs.stage_seconds.labels(
                         stage="write").time():
                     staged = writer.append(
-                        converted.csv_bytes, converted.records)
+                        converted.csv_bytes, converted.records,
+                        chunk=self._manifest_entry(converted))
             except BaseException as exc:
                 write_span.end("error")
                 self._fail(exc)
@@ -239,7 +349,12 @@ class AcquisitionPipeline:
                 self._state.notify_all()
             self.obs.bytes_staged.inc(len(converted.csv_bytes))
 
-    def _enqueue_upload(self, staged: StagedFile) -> None:
+    def _enqueue_upload(self, staged: StagedFile,
+                        journaled: bool = False) -> None:
+        if self.journal is not None and not journaled:
+            self.journal.record_staged(
+                staged.name, path=staged.path, size=staged.size,
+                records=staged.records, chunks=list(staged.chunks))
         with self._state:
             self._finalized_files += 1
             self.metrics.files_written += 1
@@ -258,7 +373,10 @@ class AcquisitionPipeline:
                 with self.obs.stage_seconds.labels(
                         stage="upload").time():
                     report = self.loader.upload_file(
-                        staged.path, self.container, self.prefix)
+                        staged.path, self.container, self.prefix,
+                        span=upload_span)
+                if self.journal is not None:
+                    self.journal.record_uploaded(staged.name)
                 os.unlink(staged.path)
             except BaseException as exc:
                 upload_span.end("error")
@@ -305,21 +423,53 @@ class AcquisitionPipeline:
         wait_for(lambda: self._flushes_done >= expected_flushes)
         wait_for(lambda: self._uploaded_files >= self._finalized_files)
         self._check_failures()
+        if self.journal is not None and self.journal.copy_rows is not None:
+            # A previous incarnation of this job already COPYed: running
+            # it again would double-load every staged blob.
+            self.obs.checkpoint_skips.labels(kind="copy").inc()
+            self.metrics.copy_rows = self.journal.copy_rows
+            self._drained = True
+            return
         # The in-cloud COPY into the staging table.
         url = CloudStore.make_url(self.container, self.prefix)
+        statement = (
+            f"COPY INTO {self.staging_table} FROM '{url}' FORMAT csv "
+            f"DELIMITER '{self.config.csv_delimiter}'")
         with self.obs.tracer.span(
                 "copy", parent=self.job_span,
                 staging_table=self.staging_table) as copy_span, \
                 self.obs.stage_seconds.labels(stage="copy").time():
-            result = self.engine.execute(
-                f"COPY INTO {self.staging_table} FROM '{url}' FORMAT csv "
-                f"DELIMITER '{self.config.csv_delimiter}'")
+            result = self._execute_copy(statement, copy_span)
             copy_span.set_attribute("rows", result.rows_inserted)
+        if self.journal is not None:
+            self.journal.record_copy(result.rows_inserted)
         self.metrics.copy_rows = result.rows_inserted
         self.obs.copy_rows.inc(result.rows_inserted)
         log.debug("COPY INTO %s landed %d rows",
                   self.staging_table, result.rows_inserted)
         self._drained = True
+
+    def _execute_copy(self, statement: str, copy_span):
+        """Run COPY under the ``copy.into`` fault point + retry/breaker.
+
+        Safe to retry: the engine's set-oriented execution is
+        all-or-nothing, and the injection point fires *before* the
+        statement is dispatched, so an absorbed fault never leaves a
+        partial COPY behind.
+        """
+
+        def attempt():
+            self.faults.fire("copy.into", staging_table=self.staging_table)
+            return self.engine.execute(statement)
+
+        op = attempt
+        if self.breakers is not None:
+            breaker = self.breakers.get("copy.into")
+            op = lambda: breaker.call(attempt)  # noqa: E731
+        if self.retry is not None:
+            return self.retry.call(op, target="copy.into", obs=self.obs,
+                                   parent=copy_span)
+        return op()
 
     # -- teardown ----------------------------------------------------------------------
 
@@ -332,3 +482,5 @@ class AcquisitionPipeline:
         self._upload_queue.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=10.0)
+        if self.journal is not None:
+            self.journal.close()

@@ -148,6 +148,66 @@ class BackPressureTimeout(GatewayError):
     """A credit could not be acquired within the configured timeout."""
 
 
+class PipelineFailure(GatewayError):
+    """The acquisition pipeline failed on a worker thread.
+
+    ``failures`` holds every captured worker exception (first one wins as
+    ``__cause__`` so the original traceback survives the thread hop).
+    """
+
+    def __init__(self, message: str,
+                 failures: list[BaseException] | None = None):
+        self.failures = list(failures or [])
+        super().__init__(message)
+
+
+class CircuitOpenError(GatewayError):
+    """A circuit breaker rejected the call without attempting it.
+
+    Deliberately *not* transient: when the breaker for a target is open,
+    retrying immediately is exactly what the breaker exists to prevent.
+    """
+
+    def __init__(self, target: str, retry_after_s: float = 0.0):
+        self.target = target
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"circuit breaker for {target!r} is open "
+            f"(retry in {retry_after_s:.2f}s)")
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (repro.faults)
+# ---------------------------------------------------------------------------
+
+class FaultInjected(ReproError):
+    """Base class for errors raised by the chaos fault injector.
+
+    ``transient`` drives the resilience layer's retry predicate: transient
+    faults model recoverable cloud hiccups (throttling, connection reset),
+    permanent ones model hard failures (auth revoked, container deleted).
+    """
+
+    transient = False
+
+    def __init__(self, message: str, point: str = "", rule: int = 0):
+        self.point = point
+        self.rule = rule
+        super().__init__(message)
+
+
+class TransientFault(FaultInjected):
+    """An injected recoverable fault — the retry layer may absorb it."""
+
+    transient = True
+
+
+class PermanentFault(FaultInjected):
+    """An injected unrecoverable fault — must surface to the caller."""
+
+    transient = False
+
+
 #: Hyper-Q error-table code: data conversion failed during DML (Figure 6).
 HYPERQ_CONVERSION_ERROR = 3103
 #: Hyper-Q error-table code: uniqueness violation detected during DML.

@@ -1,0 +1,24 @@
+"""repro.faults — deterministic fault injection for the virtualized stack.
+
+A :class:`FaultInjector` arms named injection points (``store.upload``,
+``store.download``, ``copy.into``, ``dml.apply``, ``net.send``) with
+:class:`FaultRule`\\ s loaded from a chaos profile — probability,
+every-Nth, and once-at-call-K triggers; transient vs. permanent error
+classes; optional latency injection — all driven by one seeded rng so a
+fault schedule replays identically across runs.  See
+``docs/RESILIENCE.md`` for the profile schema and
+:mod:`repro.resilience` for the machinery that absorbs the injected
+failures.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import (
+    INJECTION_POINTS, NULL_INJECTOR, FaultInjector, FaultRule,
+    FaultyEndpoint,
+)
+
+__all__ = [
+    "INJECTION_POINTS", "FaultInjector", "FaultRule", "FaultyEndpoint",
+    "NULL_INJECTOR",
+]

@@ -1,0 +1,311 @@
+"""The deterministic, seedable fault injector.
+
+Cloud-facing operations in the virtualized stack (object-store uploads,
+``COPY INTO``, set-oriented DML, the legacy wire) are exactly the
+interfaces that fail in production, yet a reproduction running against
+in-memory stand-ins never exercises a single error path.  The injector
+gives every such interface a *named injection point* that the chaos
+profile can arm:
+
+========================  =====================================================
+point                     fires inside
+========================  =====================================================
+``store.upload``          :meth:`CloudBulkLoader.upload_bytes` (per blob PUT)
+``store.download``        :meth:`CloudBulkLoader.fetch_decoded` (per blob GET)
+``copy.into``             the pipeline's in-cloud ``COPY INTO`` statement
+``dml.apply``             the gateway's application-phase dispatch
+``net.send``              every server-side wire send (via FaultyEndpoint)
+========================  =====================================================
+
+Rules are evaluated per *call* of a point.  Triggers — ``probability``,
+``every_nth``, ``at_call`` — may be combined (all present triggers must
+match), and ``max_fires`` bounds how often one rule fires.  Randomness
+comes from one seeded :class:`random.Random`, so a given profile + seed
+produces the same fault schedule on every run — failures become test
+fixtures instead of flakes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    PermanentFault, ReproError, TransientFault, TransportClosed,
+)
+
+__all__ = [
+    "INJECTION_POINTS", "FaultRule", "FaultInjector", "NULL_INJECTOR",
+    "FaultyEndpoint",
+]
+
+#: the named injection points threaded through the stack.
+INJECTION_POINTS = (
+    "store.upload", "store.download", "copy.into", "dml.apply",
+    "net.send",
+)
+
+_ERROR_CLASSES = {"transient": TransientFault, "permanent": PermanentFault}
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: a trigger condition at one injection point."""
+
+    point: str
+    #: fire with this probability on each call (0.0 disables).
+    probability: float = 0.0
+    #: fire on every Nth call of the point (1-based; None disables).
+    every_nth: int | None = None
+    #: fire exactly when the point's call counter equals K (1-based).
+    at_call: int | None = None
+    #: ``"transient"``, ``"permanent"``, or None for latency-only rules.
+    error: str | None = "transient"
+    #: extra latency injected when the rule fires (before any error).
+    latency_s: float = 0.0
+    #: stop firing after this many hits (None = unlimited).
+    max_fires: int | None = None
+    message: str = ""
+    #: how often this rule has fired (maintained by the injector).
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        """Validate the rule right where the profile author sees it."""
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r} "
+                f"(known: {', '.join(INJECTION_POINTS)})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability {self.probability} outside [0, 1]")
+        if self.every_nth is not None and self.every_nth < 1:
+            raise ValueError("every_nth must be >= 1")
+        if self.at_call is not None and self.at_call < 1:
+            raise ValueError("at_call is 1-based and must be >= 1")
+        if self.error is not None and self.error not in _ERROR_CLASSES:
+            raise ValueError(
+                f"unknown error class {self.error!r} "
+                "(transient | permanent | null for latency-only)")
+        if self.latency_s < 0:
+            raise ValueError("latency_s cannot be negative")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError("max_fires must be >= 1")
+        if (self.probability == 0.0 and self.every_nth is None
+                and self.at_call is None):
+            raise ValueError(
+                f"rule for {self.point!r} has no trigger "
+                "(probability, every_nth, or at_call)")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRule":
+        """Build a rule from one chaos-profile JSON object."""
+        known = {"point", "probability", "every_nth", "at_call", "error",
+                 "latency_s", "max_fires", "message"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown chaos-rule keys: {', '.join(sorted(unknown))}")
+        if "point" not in payload:
+            raise ValueError("chaos rule missing 'point'")
+        return cls(**payload)
+
+    def matches(self, call_no: int, rng: random.Random) -> bool:
+        """Does this rule trigger on the point's ``call_no``-th call?
+
+        All configured triggers must agree; the probability draw runs
+        last (and only when needed) so deterministic triggers do not
+        perturb the rng stream.
+        """
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            return False
+        if self.at_call is not None and call_no != self.at_call:
+            return False
+        if self.every_nth is not None and call_no % self.every_nth != 0:
+            return False
+        if self.probability > 0.0 and rng.random() >= self.probability:
+            return False
+        if (self.probability == 0.0 and self.every_nth is None
+                and self.at_call is None):
+            return False
+        return True
+
+
+class FaultInjector:
+    """Evaluates armed :class:`FaultRule`\\ s at named injection points.
+
+    Thread-safe: pipeline workers, session handlers, and the uploader all
+    fire points concurrently; rule evaluation and the rng draw happen
+    under one lock.  The per-point/per-kind counters feed
+    ``HyperQNode.stats()["resilience"]["faults_injected"]``.
+    """
+
+    def __init__(self, rules: list[FaultRule] | None = None,
+                 seed: int = 0, obs=None, sleep=time.sleep):
+        self.rules = list(rules or [])
+        self.seed = seed
+        self.obs = obs
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        #: fired-fault counts keyed by (point, error-kind).
+        self.injected: dict[tuple[str, str], int] = {}
+        self._by_point: dict[str, list[FaultRule]] = {}
+        for rule in self.rules:
+            self._by_point.setdefault(rule.point, []).append(rule)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_profile(cls, profile: dict | list | None,
+                     seed: int | None = None, obs=None,
+                     sleep=time.sleep) -> "FaultInjector":
+        """Build an injector from a chaos-profile JSON value.
+
+        Accepts either a bare list of rule objects or a dict of the form
+        ``{"seed": 42, "rules": [...]}``; an explicit ``seed`` argument
+        overrides the profile's.  ``None`` yields a disabled injector.
+        """
+        if profile is None:
+            return cls([], seed=seed or 0, obs=obs, sleep=sleep)
+        if isinstance(profile, list):
+            rule_dicts, profile_seed = profile, 0
+        elif isinstance(profile, dict):
+            unknown = set(profile) - {"seed", "rules"}
+            if unknown:
+                raise ValueError(
+                    "unknown chaos-profile keys: "
+                    f"{', '.join(sorted(unknown))}")
+            rule_dicts = profile.get("rules", [])
+            profile_seed = int(profile.get("seed", 0))
+        else:
+            raise ValueError(
+                f"chaos profile must be a list or dict, "
+                f"not {type(profile).__name__}")
+        rules = [FaultRule.from_dict(d) for d in rule_dicts]
+        return cls(rules, seed=profile_seed if seed is None else seed,
+                   obs=obs, sleep=sleep)
+
+    # -- the hot path ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.rules)
+
+    def fire(self, point: str, **context) -> None:
+        """Evaluate ``point``'s rules for one call; may sleep or raise.
+
+        The single call every instrumented interface makes.  A disabled
+        injector returns after one dict lookup, so leaving the hooks in
+        place costs nothing in production configurations.
+        """
+        if not self.rules:
+            return
+        rules = self._by_point.get(point)
+        if not rules:
+            return
+        latency = 0.0
+        tripped: FaultRule | None = None
+        with self._lock:
+            call_no = self._calls.get(point, 0) + 1
+            self._calls[point] = call_no
+            for rule in rules:
+                if not rule.matches(call_no, self._rng):
+                    continue
+                rule.fires += 1
+                latency += rule.latency_s
+                kind = rule.error or "latency"
+                key = (point, kind)
+                self.injected[key] = self.injected.get(key, 0) + 1
+                if rule.error is not None:
+                    tripped = rule
+                    break
+        if self.obs is not None:
+            if latency > 0 and tripped is None:
+                self.obs.faults_injected.labels(
+                    point=point, kind="latency").inc()
+            if tripped is not None:
+                self.obs.faults_injected.labels(
+                    point=point, kind=tripped.error).inc()
+        if latency > 0:
+            self._sleep(latency)
+        if tripped is not None:
+            message = tripped.message or (
+                f"injected {tripped.error} fault at {point} "
+                f"(call {call_no})")
+            raise _ERROR_CLASSES[tripped.error](
+                message, point=point, rule=self.rules.index(tripped))
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults fired (latency-only hits included)."""
+        with self._lock:
+            return sum(self.injected.values())
+
+    def calls(self, point: str) -> int:
+        """How many times ``point`` has been fired (hit or not)."""
+        with self._lock:
+            return self._calls.get(point, 0)
+
+    def snapshot(self) -> dict:
+        """Stats-friendly view: per-point call and injection counts."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rules": len(self.rules),
+                "calls": dict(self._calls),
+                "injected": {
+                    f"{point}:{kind}": count
+                    for (point, kind), count in sorted(
+                        self.injected.items())
+                },
+                "total_injected": sum(self.injected.values()),
+            }
+
+
+#: the shared disabled injector — the default everywhere.
+NULL_INJECTOR = FaultInjector()
+
+
+class FaultyEndpoint:
+    """Endpoint wrapper realizing ``net.send`` faults as connection drops.
+
+    A fired ``net.send`` rule closes both directions of the transport and
+    raises :class:`TransportClosed` — exactly what a mid-flight network
+    partition looks like to the peer — so the legacy client's
+    checkpoint/restart machinery (``retry_attempts``) is what recovers,
+    not a hidden in-band retry.  Permanent rules re-raise the injected
+    fault itself so the failure surfaces unretried.
+    """
+
+    def __init__(self, inner, faults: FaultInjector):
+        self._inner = inner
+        self._faults = faults
+
+    def send_bytes(self, data: bytes) -> None:
+        """Send, unless an armed ``net.send`` rule kills the link."""
+        try:
+            self._faults.fire("net.send", bytes=len(data))
+        except TransientFault as exc:
+            self._inner.close_both()
+            raise TransportClosed(str(exc)) from exc
+        except ReproError:
+            self._inner.close_both()
+            raise
+        self._inner.send_bytes(data)
+
+    def recv_bytes(self, timeout: float | None = None) -> bytes | None:
+        """Receive from the wrapped endpoint (never faulted)."""
+        return self._inner.recv_bytes(timeout=timeout)
+
+    def close(self) -> None:
+        """Close this side of the wrapped endpoint."""
+        self._inner.close()
+
+    def close_both(self) -> None:
+        """Close both directions of the wrapped endpoint."""
+        self._inner.close_both()

@@ -14,8 +14,10 @@ transparency property the paper's virtualization approach provides.
 
 from __future__ import annotations
 
+import random
 import struct
 import threading
+import time
 import uuid
 from dataclasses import dataclass, field
 
@@ -23,6 +25,7 @@ from repro.errors import ProtocolError, TransportClosed
 from repro.legacy.datafmt import FormatSpec, make_format
 from repro.legacy.protocol import Message, MessageChannel, MessageKind
 from repro.legacy.types import FieldDef, Layout, parse_type
+from repro.resilience import CheckpointJournal, full_jitter_delay
 
 __all__ = [
     "LegacyEtlClient", "ImportJobSpec", "ExportJobSpec",
@@ -65,6 +68,20 @@ class ImportJobSpec:
     #: server side is idempotent, so resending a chunk whose ack was
     #: lost is safe.
     retry_attempts: int = 0
+    #: base delay before a session reconnects (full jitter, doubling per
+    #: attempt, capped at 32x the base); 0 reconnects immediately.
+    reconnect_backoff_s: float = 0.0
+    #: stable job identifier — required to restart an interrupted job
+    #: against its server-side checkpoint state (default: random).
+    job_id: str | None = None
+    #: restart an earlier run of ``job_id``: the gateway replays its
+    #: checkpoint journal so durable work is not re-done, and this
+    #: client skips the chunks the gateway confirms durable (further
+    #: narrowed to acks recorded in ``journal_path``, when set).
+    resume: bool = False
+    #: path of the client-side ack journal (records per-chunk acks so a
+    #: whole-process restart knows what this client already sent).
+    journal_path: str | None = None
 
 
 @dataclass
@@ -249,26 +266,50 @@ class LegacyEtlClient:
     def run_import(self, spec: ImportJobSpec) -> ImportJobResult:
         """Execute a full import job: acquisition then DML application."""
         control = self._require_control()
-        job_id = uuid.uuid4().hex[:12]
-        control.request(
-            Message(MessageKind.BEGIN_LOAD, {
-                "job_id": job_id,
-                "target": spec.target_table,
-                "et_table": spec.et_table,
-                "uv_table": spec.uv_table,
-                "layout": _layout_to_wire(spec.layout),
-                "format": spec.format_spec.to_wire(),
-                "sessions": spec.sessions,
-            }),
+        job_id = spec.job_id or uuid.uuid4().hex[:12]
+        begin_meta = {
+            "job_id": job_id,
+            "target": spec.target_table,
+            "et_table": spec.et_table,
+            "uv_table": spec.uv_table,
+            "layout": _layout_to_wire(spec.layout),
+            "format": spec.format_spec.to_wire(),
+            "sessions": spec.sessions,
+        }
+        if spec.resume:
+            begin_meta["resume"] = True
+        begun = control.request(
+            Message(MessageKind.BEGIN_LOAD, begin_meta),
             MessageKind.BEGIN_LOAD_OK)
 
+        journal = None
+        if spec.journal_path is not None:
+            journal = CheckpointJournal(spec.journal_path,
+                                        fresh=not spec.resume)
+        # Chunks safe to skip on a restarted job: the gateway's reply
+        # lists the chunk seqs whose staged data survived (an ack alone
+        # is NOT durability under the immediate-ack pipeline).  The
+        # local journal narrows that to chunks this client actually saw
+        # acknowledged; anything resent unnecessarily is deduplicated
+        # server-side, so skipping conservatively is always safe.
+        skip_seqs: set[int] = set()
+        if spec.resume:
+            skip_seqs = set(begun.meta.get("durable_seqs", ()))
+            if journal is not None and journal.acked:
+                skip_seqs &= journal.acked
         chunks = split_into_chunks(
             spec.data, spec.format_spec, spec.chunk_bytes)
         result = ImportJobResult(
             chunks_sent=len(chunks),
             bytes_sent=sum(len(c) for c in chunks))
-        self._pump_data(job_id, spec.sessions, chunks,
-                        retry_attempts=spec.retry_attempts)
+        try:
+            self._pump_data(job_id, spec.sessions, chunks,
+                            retry_attempts=spec.retry_attempts,
+                            reconnect_backoff_s=spec.reconnect_backoff_s,
+                            journal=journal, skip_seqs=skip_seqs)
+        finally:
+            if journal is not None:
+                journal.close()
 
         apply_meta = {"job_id": job_id, "sql": spec.apply_sql}
         if spec.max_errors is not None:
@@ -290,21 +331,35 @@ class LegacyEtlClient:
         return result
 
     def _pump_data(self, job_id: str, sessions: int,
-                   chunks: list[bytes], retry_attempts: int = 0) -> None:
+                   chunks: list[bytes], retry_attempts: int = 0,
+                   reconnect_backoff_s: float = 0.0,
+                   journal: CheckpointJournal | None = None,
+                   skip_seqs: set[int] | None = None) -> None:
         """Send chunks through parallel sessions, one thread per session.
 
         Each session is strictly synchronous (send one DATA, wait for the
         DATA_ACK) exactly like the legacy utilities; parallelism comes only
         from running several sessions at once.  With ``retry_attempts``
-        a failed session reconnects and *resumes* from the first chunk
-        whose acknowledgment it never saw (checkpoint/restart).
+        a failed session reconnects — after a jittered exponential
+        backoff when ``reconnect_backoff_s`` is set — and *resumes* from
+        the first chunk whose acknowledgment it never saw
+        (checkpoint/restart).  A ``journal`` records acked chunk seqs as
+        they arrive, extending the checkpoint across whole-process
+        restarts; ``skip_seqs`` (the server-confirmed durable chunks of
+        a resumed job) are not sent at all.
         """
         session_count = max(1, min(sessions, len(chunks)) or 1)
         failures: list[BaseException] = []
+        backoff_rng = random.Random()
+        skip = skip_seqs or set()
 
         def run_session(session_no: int) -> None:
-            pending = list(range(session_no, len(chunks), session_count))
+            pending = [seq
+                       for seq in range(session_no, len(chunks),
+                                        session_count)
+                       if seq not in skip]
             attempts_left = retry_attempts
+            attempt_no = 0
             position = 0
             while True:
                 channel = None
@@ -320,6 +375,8 @@ class LegacyEtlClient:
                                     body=chunks[seq]),
                             MessageKind.DATA_ACK)
                         position += 1  # checkpoint: this chunk is acked
+                        if journal is not None:
+                            journal.record_ack(seq)
                     channel.request(
                         Message(MessageKind.DATA_EOF,
                                 {"job_id": job_id,
@@ -331,6 +388,11 @@ class LegacyEtlClient:
                         failures.append(exc)
                         return
                     attempts_left -= 1
+                    attempt_no += 1
+                    if reconnect_backoff_s > 0:
+                        time.sleep(full_jitter_delay(
+                            attempt_no, reconnect_backoff_s,
+                            reconnect_backoff_s * 32, backoff_rng))
                     # reconnect and resend from the unacked chunk
                 except BaseException as exc:
                     failures.append(exc)

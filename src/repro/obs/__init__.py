@@ -124,6 +124,30 @@ class Observability:
             "hyperq_apply_errors_total",
             "Errors recorded during application", ("kind",))
 
+        # -- resilience / fault injection --
+        self.faults_injected = reg.counter(
+            "hyperq_faults_injected_total",
+            "Faults fired by the chaos injector", ("point", "kind"))
+        self.retry_attempts = reg.counter(
+            "hyperq_retry_attempts_total",
+            "Transient failures absorbed by the retry layer",
+            ("target",))
+        self.retry_giveups = reg.counter(
+            "hyperq_retry_giveups_total",
+            "Retried calls that exhausted attempts or budget",
+            ("target",))
+        self.breaker_transitions = reg.counter(
+            "hyperq_breaker_transitions_total",
+            "Circuit-breaker state transitions", ("target", "state"))
+        self.breaker_open = reg.gauge(
+            "hyperq_breaker_open",
+            "1 while a target's circuit breaker is open",
+            ("target",))
+        self.checkpoint_skips = reg.counter(
+            "hyperq_checkpoint_skips_total",
+            "Work units skipped because the checkpoint journal showed "
+            "them durable", ("kind",))
+
         # -- CDW substrate --
         self.statement_seconds = reg.histogram(
             "cdw_statement_seconds",

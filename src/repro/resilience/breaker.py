@@ -1,0 +1,190 @@
+"""Per-target circuit breakers for the cloud-facing interfaces.
+
+Retry alone turns a *down* dependency into a pile-up: every session
+burns its full backoff budget against an interface that cannot succeed,
+multiplying latency and load exactly when the remote side needs relief.
+The :class:`CircuitBreaker` adds the standard three-state machine in
+front of each target (``store.upload``, ``copy.into``, ``dml.apply``,
+...):
+
+- **closed** — calls pass through; consecutive failures are counted;
+- **open** — after ``failure_threshold`` consecutive failures the
+  breaker rejects calls instantly with
+  :class:`~repro.errors.CircuitOpenError` (not transient, so the retry
+  layer fails fast instead of hammering);
+- **half-open** — once ``cooldown_s`` has elapsed, a limited number of
+  probe calls are admitted; one success closes the breaker, one failure
+  re-opens it and restarts the cooldown.
+
+Breakers compose *inside* retry (``retry.call(lambda:
+breaker.call(op))``): each attempt consults the breaker, so a breaker
+that opens mid-retry stops the remaining attempts immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker", "CircuitBreakerRegistry"]
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """One target's three-state breaker (thread-safe)."""
+
+    def __init__(self, target: str, failure_threshold: int = 5,
+                 cooldown_s: float = 5.0, half_open_max_calls: int = 1,
+                 clock=time.monotonic, obs=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s cannot be negative")
+        if half_open_max_calls < 1:
+            raise ValueError("half_open_max_calls must be >= 1")
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_max_calls = half_open_max_calls
+        self.clock = clock
+        self.obs = obs
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_in_flight = 0
+        #: lifetime counters for stats().
+        self.rejections = 0
+        self.opens = 0
+
+    # -- state machine ---------------------------------------------------------
+
+    def _transition(self, state: str) -> None:
+        """Must hold the lock; records the transition metric."""
+        if state == self._state:
+            return
+        self._state = state
+        if state == OPEN:
+            self.opens += 1
+            self._opened_at = self.clock()
+        if state != HALF_OPEN:
+            self._half_open_in_flight = 0
+        if self.obs is not None:
+            self.obs.breaker_transitions.labels(
+                target=self.target, state=state).inc()
+            self.obs.breaker_open.labels(target=self.target).set(
+                1.0 if state == OPEN else 0.0)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and \
+                self.clock() - self._opened_at >= self.cooldown_s:
+            self._transition(HALF_OPEN)
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == OPEN:
+                self.rejections += 1
+                remaining = self.cooldown_s - (
+                    self.clock() - self._opened_at)
+                raise CircuitOpenError(self.target,
+                                       retry_after_s=max(remaining, 0.0))
+            if self._state == HALF_OPEN:
+                if self._half_open_in_flight >= self.half_open_max_calls:
+                    self.rejections += 1
+                    raise CircuitOpenError(self.target,
+                                           retry_after_s=0.0)
+                self._half_open_in_flight += 1
+
+    def on_success(self) -> None:
+        """Report a successful call: closes a half-open breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+
+    def on_failure(self) -> None:
+        """Report a failed call: may open the breaker."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+            elif self._state == CLOSED and \
+                    self._consecutive_failures >= self.failure_threshold:
+                self._transition(OPEN)
+
+    def call(self, fn):
+        """Run ``fn`` under the breaker's admission control."""
+        self.allow()
+        try:
+            result = fn()
+        except BaseException:
+            self.on_failure()
+            raise
+        self.on_success()
+        return result
+
+    def snapshot(self) -> dict:
+        """Stats-friendly view of the breaker's state and counters."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "rejections": self.rejections,
+            }
+
+
+class CircuitBreakerRegistry:
+    """Lazily materializes one breaker per target with shared settings."""
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 5.0,
+                 half_open_max_calls: int = 1, clock=time.monotonic,
+                 obs=None):
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_max_calls = half_open_max_calls
+        self.clock = clock
+        self.obs = obs
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    @classmethod
+    def from_config(cls, config, obs=None,
+                    clock=time.monotonic) -> "CircuitBreakerRegistry":
+        """Build the node registry from a :class:`HyperQConfig`."""
+        return cls(
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+            clock=clock, obs=obs)
+
+    def get(self, target: str) -> CircuitBreaker:
+        """The breaker guarding ``target`` (created on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(target)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    target, failure_threshold=self.failure_threshold,
+                    cooldown_s=self.cooldown_s,
+                    half_open_max_calls=self.half_open_max_calls,
+                    clock=self.clock, obs=self.obs)
+                self._breakers[target] = breaker
+        return breaker
+
+    def snapshot(self) -> dict:
+        """Per-target breaker states for ``HyperQNode.stats()``."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {target: b.snapshot()
+                for target, b in sorted(breakers.items())}

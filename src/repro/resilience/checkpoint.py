@@ -1,0 +1,187 @@
+"""Chunk-level checkpoint journal for restartable load jobs.
+
+The legacy utilities the paper virtualizes (FastLoad/MultiLoad, Section
+2) write checkpoint records so an interrupted load restarts *from the
+checkpoint* instead of from scratch.  The reproduction mirrors that at
+both ends of the wire with one append-only JSONL journal:
+
+- **client side** — every acknowledged chunk sequence number is recorded
+  (``ack`` records); on restart these narrow the set of chunks the
+  client skips (an ack alone is *not* durability under the
+  immediate-ack pipeline — the gateway's BEGIN_LOAD_OK reply carries
+  the authoritative durable set);
+- **gateway side** — each finalized staging file is recorded with the
+  chunk manifest it contains (``staged``), each durable upload
+  (``uploaded``), and the terminal ``COPY INTO`` (``copy``); a resumed
+  :class:`~repro.core.pipeline.AcquisitionPipeline` re-uploads *zero*
+  already-durable files, re-enqueues staged-but-unuploaded local files,
+  and treats every chunk inside a durable file as already seen.
+
+Records are single-line JSON objects with a ``t`` type tag; a torn final
+line (the process died mid-append) is ignored on load, so a journal is
+always readable after a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+__all__ = ["CheckpointJournal"]
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of load-job progress (thread-safe)."""
+
+    def __init__(self, path: str, fresh: bool = False,
+                 fsync: bool = False):
+        self.path = path
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        #: chunk seqs the server acknowledged (client-side records).
+        self.acked: set[int] = set()
+        #: finalized staging files: name -> its ``staged`` record.
+        self.staged: dict[str, dict] = {}
+        #: staging files durably uploaded to the cloud store.
+        self.uploaded: set[str] = set()
+        #: rows landed by a completed COPY INTO (None = not yet run).
+        self.copy_rows: int | None = None
+        #: how many records were replayed from an existing journal.
+        self.replayed = 0
+        if fresh and os.path.exists(path):
+            os.unlink(path)
+        elif os.path.exists(path):
+            self._load()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    # -- load / replay ---------------------------------------------------------
+
+    def _load(self) -> None:
+        valid_bytes = 0
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if line:
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        break  # torn tail write from a crash — stop
+                    self._apply(record)
+                    self.replayed += 1
+                if not raw.endswith(b"\n"):
+                    break  # unterminated tail — do not append onto it
+                valid_bytes += len(raw)
+        if valid_bytes < os.path.getsize(self.path):
+            # Drop the torn tail so future appends start a fresh line.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+
+    def _apply(self, record: dict) -> None:
+        kind = record.get("t")
+        if kind == "ack":
+            self.acked.add(record["seq"])
+        elif kind == "staged":
+            self.staged[record["file"]] = record
+        elif kind == "uploaded":
+            self.uploaded.add(record["file"])
+        elif kind == "copy":
+            self.copy_rows = record["rows"]
+        # unknown record types are skipped: forward compatibility
+
+    # -- appends ----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            self._apply(record)
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    def record_ack(self, seq: int) -> None:
+        """Client side: the server acknowledged chunk ``seq``."""
+        self._append({"t": "ack", "seq": seq})
+
+    def record_staged(self, name: str, *, path: str, size: int,
+                      records: int, chunks: list[dict]) -> None:
+        """Gateway side: staging file finalized with this chunk manifest.
+
+        ``chunks`` entries are ``{"seq": int, "records": int,
+        "errors": [...]}`` — enough to reconstruct
+        ``pipeline.chunk_records`` and the acquisition-error list for
+        every chunk the file contains.
+        """
+        self._append({"t": "staged", "file": name, "path": path,
+                      "size": size, "records": records, "chunks": chunks})
+
+    def record_uploaded(self, name: str) -> None:
+        """Gateway side: the staging file is durable in the cloud store."""
+        self._append({"t": "uploaded", "file": name})
+
+    def record_copy(self, rows: int) -> None:
+        """Gateway side: COPY INTO the staging table completed."""
+        self._append({"t": "copy", "rows": rows})
+
+    # -- resume queries ----------------------------------------------------------
+
+    def is_uploaded(self, name: str) -> bool:
+        """Is the named staging file already durable in the store?"""
+        with self._lock:
+            return name in self.uploaded
+
+    def durable_files(self) -> list[dict]:
+        """``staged`` records of files already uploaded."""
+        with self._lock:
+            return [rec for name, rec in sorted(self.staged.items())
+                    if name in self.uploaded]
+
+    def pending_files(self) -> list[dict]:
+        """``staged`` records finalized locally but never uploaded."""
+        with self._lock:
+            return [rec for name, rec in sorted(self.staged.items())
+                    if name not in self.uploaded]
+
+    def durable_chunks(self) -> dict[int, dict]:
+        """Chunks that need not be resent: seq -> manifest entry.
+
+        A chunk is durable once the staging file containing it is either
+        uploaded or still present on local disk (the resumed pipeline
+        re-enqueues such files for upload itself).
+        """
+        out: dict[int, dict] = {}
+        with self._lock:
+            for name, rec in self.staged.items():
+                if name not in self.uploaded and \
+                        not os.path.exists(rec.get("path", "")):
+                    continue  # lost with the local disk state
+                for chunk in rec.get("chunks", ()):
+                    out[chunk["seq"]] = chunk
+        return out
+
+    def snapshot(self) -> dict:
+        """Stats-friendly summary for ``HyperQNode.stats()``."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "acked_chunks": len(self.acked),
+                "staged_files": len(self.staged),
+                "uploaded_files": len(self.uploaded),
+                "copy_rows": self.copy_rows,
+                "replayed_records": self.replayed,
+            }
+
+    def close(self) -> None:
+        """Close the journal file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        """Context-manager support: returns the journal."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on context exit."""
+        self.close()

@@ -105,6 +105,25 @@ class TestBulkLoader:
         assert report.files == 3
         assert report.raw_bytes == 6
 
+    def test_upload_directory_visits_files_in_sorted_order(
+            self, tmp_path):
+        """Blob manifests must not depend on os.listdir ordering."""
+        for name in ("b.csv", "part-2.csv", "a.csv", "part-10.csv"):
+            (tmp_path / name).write_bytes(b"x")
+        store = CloudStore()
+        store.create_container("c")
+        puts = []
+        original = store.put_blob
+
+        def recording_put(container, blob, data):
+            puts.append(blob)
+            return original(container, blob, data)
+
+        store.put_blob = recording_put
+        CloudBulkLoader(store).upload_directory(str(tmp_path), "c", "d/")
+        assert puts == ["d/a.csv", "d/b.csv", "d/part-10.csv",
+                        "d/part-2.csv"]
+
     def test_unknown_compression_rejected(self):
         with pytest.raises(StorageError):
             CloudBulkLoader(CloudStore(), compression="zstd")

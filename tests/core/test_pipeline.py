@@ -124,6 +124,23 @@ class TestPipeline:
         with pytest.raises(GatewayError, match="converter crashed"):
             pipeline.drain()
 
+    def test_worker_failure_preserves_cause_and_failures(self, rig):
+        from repro.errors import PipelineFailure
+        pipeline, _engine, _store, _credits, _metrics = rig
+        original = RuntimeError("converter crashed")
+
+        def exploding_convert(chunk_seq, data):
+            raise original
+
+        pipeline.converter.convert = exploding_convert
+        pipeline.submit_chunk(0, b"a|b\n")
+        with pytest.raises(PipelineFailure) as info:
+            pipeline.drain()
+        # The worker-thread exception survives the thread hop intact:
+        # as __cause__ (chained traceback) and in the failures list.
+        assert info.value.__cause__ is original
+        assert info.value.failures == [original]
+
     def test_staging_files_deleted_after_upload(self, rig, tmp_path):
         pipeline, _engine, _store, _credits, _metrics = rig
         payload = ("x" * 30 + "|y\n").encode()

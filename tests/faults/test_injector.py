@@ -1,0 +1,177 @@
+"""Unit tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.errors import PermanentFault, TransientFault
+from repro.faults import (
+    INJECTION_POINTS, FaultInjector, FaultRule, NULL_INJECTOR,
+)
+
+
+def fire_all(injector, point, calls):
+    """Fire ``point`` ``calls`` times; return the call numbers that hit."""
+    hits = []
+    for call_no in range(1, calls + 1):
+        try:
+            injector.fire(point)
+        except (TransientFault, PermanentFault):
+            hits.append(call_no)
+    return hits
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultRule(point="store.explode", probability=0.5)
+
+    def test_no_trigger_rejected(self):
+        with pytest.raises(ValueError, match="no trigger"):
+            FaultRule(point="store.upload")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            FaultRule(point="store.upload", probability=1.5)
+
+    def test_unknown_error_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown error class"):
+            FaultRule(point="store.upload", at_call=1, error="weird")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown chaos-rule keys"):
+            FaultRule.from_dict({"point": "store.upload", "at_call": 1,
+                                 "frequency": 3})
+
+    def test_from_dict_requires_point(self):
+        with pytest.raises(ValueError, match="missing 'point'"):
+            FaultRule.from_dict({"at_call": 1})
+
+    def test_zero_based_triggers_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule(point="copy.into", at_call=0)
+        with pytest.raises(ValueError, match="every_nth"):
+            FaultRule(point="copy.into", every_nth=0)
+
+
+class TestTriggers:
+    def test_at_call_fires_exactly_once(self):
+        injector = FaultInjector(
+            [FaultRule(point="store.upload", at_call=3)])
+        assert fire_all(injector, "store.upload", 10) == [3]
+
+    def test_every_nth_fires_periodically(self):
+        injector = FaultInjector(
+            [FaultRule(point="store.upload", every_nth=4)])
+        assert fire_all(injector, "store.upload", 12) == [4, 8, 12]
+
+    def test_max_fires_bounds_a_rule(self):
+        injector = FaultInjector(
+            [FaultRule(point="store.upload", every_nth=2, max_fires=2)])
+        assert fire_all(injector, "store.upload", 10) == [2, 4]
+
+    def test_probability_is_deterministic_per_seed(self):
+        def schedule(seed):
+            injector = FaultInjector(
+                [FaultRule(point="copy.into", probability=0.3)],
+                seed=seed)
+            return fire_all(injector, "copy.into", 200)
+
+        assert schedule(7) == schedule(7)  # same seed, same schedule
+        assert schedule(7) != schedule(8)  # different seed differs
+        assert 20 < len(schedule(7)) < 100  # roughly 30% of 200
+
+    def test_points_count_calls_independently(self):
+        injector = FaultInjector([
+            FaultRule(point="store.upload", at_call=2),
+            FaultRule(point="copy.into", at_call=2),
+        ])
+        injector.fire("copy.into")  # does not advance store.upload
+        injector.fire("store.upload")
+        with pytest.raises(TransientFault):
+            injector.fire("store.upload")
+        assert injector.calls("copy.into") == 1
+        assert injector.calls("store.upload") == 2
+
+
+class TestErrorClasses:
+    def test_transient_fault_is_transient(self):
+        injector = FaultInjector(
+            [FaultRule(point="dml.apply", at_call=1, error="transient")])
+        with pytest.raises(TransientFault) as info:
+            injector.fire("dml.apply")
+        assert info.value.transient
+        assert info.value.point == "dml.apply"
+
+    def test_permanent_fault_is_not_transient(self):
+        injector = FaultInjector(
+            [FaultRule(point="dml.apply", at_call=1, error="permanent",
+                       message="disk on fire")])
+        with pytest.raises(PermanentFault, match="disk on fire") as info:
+            injector.fire("dml.apply")
+        assert not info.value.transient
+
+    def test_latency_only_rule_sleeps_without_raising(self):
+        slept = []
+        injector = FaultInjector(
+            [FaultRule(point="store.upload", every_nth=2, error=None,
+                       latency_s=0.25)],
+            sleep=slept.append)
+        injector.fire("store.upload")
+        injector.fire("store.upload")
+        assert slept == [0.25]
+        assert injector.total_injected == 1
+
+
+class TestFromProfile:
+    def test_none_profile_is_disabled(self):
+        injector = FaultInjector.from_profile(None)
+        assert not injector.enabled
+        injector.fire("store.upload")  # no-op
+
+    def test_list_profile(self):
+        injector = FaultInjector.from_profile(
+            [{"point": "store.upload", "at_call": 1}])
+        assert injector.enabled
+        with pytest.raises(TransientFault):
+            injector.fire("store.upload")
+
+    def test_dict_profile_with_seed(self):
+        injector = FaultInjector.from_profile(
+            {"seed": 42, "rules": [{"point": "copy.into",
+                                    "probability": 0.5}]})
+        assert injector.seed == 42
+
+    def test_explicit_seed_overrides_profile(self):
+        injector = FaultInjector.from_profile(
+            {"seed": 42, "rules": []}, seed=7)
+        assert injector.seed == 7
+
+    def test_unknown_profile_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos-profile"):
+            FaultInjector.from_profile({"seeds": 42, "rules": []})
+
+    def test_non_dict_non_list_rejected(self):
+        with pytest.raises(ValueError, match="list or dict"):
+            FaultInjector.from_profile("chaos")
+
+
+class TestIntrospection:
+    def test_snapshot_counts_by_point_and_kind(self):
+        injector = FaultInjector([
+            FaultRule(point="store.upload", every_nth=2),
+            FaultRule(point="copy.into", at_call=1, error="permanent"),
+        ])
+        fire_all(injector, "store.upload", 4)
+        fire_all(injector, "copy.into", 1)
+        snap = injector.snapshot()
+        assert snap["injected"] == {"store.upload:transient": 2,
+                                    "copy.into:permanent": 1}
+        assert snap["total_injected"] == 3
+        assert snap["calls"] == {"store.upload": 4, "copy.into": 1}
+
+    def test_null_injector_is_shared_and_disabled(self):
+        assert not NULL_INJECTOR.enabled
+        assert NULL_INJECTOR.total_injected == 0
+
+    def test_all_points_accept_fire(self):
+        for point in INJECTION_POINTS:
+            NULL_INJECTOR.fire(point)

@@ -1,0 +1,167 @@
+"""Unit tests for the circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.resilience import CircuitBreaker, CircuitBreakerRegistry
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def boom():
+    raise RuntimeError("boom")
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("cooldown_s", 10.0)
+    breaker = CircuitBreaker("store.upload", clock=clock, **kwargs)
+    return breaker, clock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_passes_calls(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.call(lambda: 42) == 42
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(boom)
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(boom)
+        breaker.call(lambda: "ok")  # streak broken
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(boom)
+        assert breaker.state == CLOSED
+
+    def test_open_breaker_rejects_instantly(self):
+        breaker, _ = make_breaker(failure_threshold=1, cooldown_s=10.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.call(lambda: "never runs")
+        assert info.value.target == "store.upload"
+        assert 0.0 < info.value.retry_after_s <= 10.0
+        assert breaker.rejections == 1
+
+    def test_circuit_open_error_is_not_transient(self):
+        from repro.resilience import is_transient
+        assert not is_transient(CircuitOpenError("t", retry_after_s=1.0))
+
+    def test_half_open_after_cooldown_then_closes_on_success(self):
+        breaker, clock = make_breaker(failure_threshold=1,
+                                      cooldown_s=10.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.call(lambda: "probe") == "probe"
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker(failure_threshold=1,
+                                      cooldown_s=10.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        clock.advance(10.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)  # the probe fails
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # cooldown restarted: still open
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_limit(self):
+        breaker, clock = make_breaker(failure_threshold=1,
+                                      cooldown_s=1.0,
+                                      half_open_max_calls=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        clock.advance(1.0)
+        breaker.allow()  # first probe admitted (still in flight)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # second concurrent probe rejected
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", cooldown_s=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", half_open_max_calls=0)
+
+    def test_snapshot(self):
+        breaker, _ = make_breaker(failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["opens"] == 1
+
+    def test_transition_metrics(self):
+        from repro.obs import Observability
+        obs = Observability()
+        clock = FakeClock()
+        breaker = CircuitBreaker("copy.into", failure_threshold=1,
+                                 cooldown_s=1.0, clock=clock, obs=obs)
+        with pytest.raises(RuntimeError):
+            breaker.call(boom)
+        gauges = obs.registry.collect()["hyperq_breaker_open"]
+        (sample,) = gauges["samples"]
+        assert sample["labels"] == {"target": "copy.into"}
+        assert sample["value"] == 1.0
+        clock.advance(1.0)
+        breaker.call(lambda: "ok")
+        gauges = obs.registry.collect()["hyperq_breaker_open"]
+        (sample,) = gauges["samples"]
+        assert sample["value"] == 0.0
+
+
+class TestRegistry:
+    def test_get_creates_once_per_target(self):
+        registry = CircuitBreakerRegistry(failure_threshold=2)
+        a = registry.get("store.upload")
+        assert registry.get("store.upload") is a
+        assert registry.get("copy.into") is not a
+        assert a.failure_threshold == 2
+
+    def test_snapshot_covers_all_targets(self):
+        registry = CircuitBreakerRegistry()
+        registry.get("b").on_failure()
+        registry.get("a")
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["b"]["consecutive_failures"] == 1
+
+    def test_from_config(self):
+        from repro.core.config import HyperQConfig
+        config = HyperQConfig(breaker_failure_threshold=7,
+                              breaker_cooldown_s=3.0)
+        registry = CircuitBreakerRegistry.from_config(config)
+        breaker = registry.get("x")
+        assert breaker.failure_threshold == 7
+        assert breaker.cooldown_s == 3.0

@@ -1,0 +1,288 @@
+"""End-to-end loads under seeded chaos profiles.
+
+The acceptance property of the resilience subsystem: a load running
+under a chaos profile with transient store/COPY faults finishes with
+*row-for-row identical* target-table and error-table contents as the
+fault-free run — the retries are invisible to job semantics.  Permanent
+faults surface as clean gateway errors, and a job killed mid-load
+restarts from its checkpoint journal without re-uploading any
+already-durable staging file.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import HyperQConfig
+from repro.errors import ProtocolError, TransportClosed
+from repro.legacy.client import ImportJobSpec, LegacyEtlClient
+from repro.legacy.types import FieldDef, Layout, parse_type
+
+from tests.conftest import make_node
+
+CUSTOMER_DDL = (
+    "create table PROD.CUSTOMER ("
+    "CUST_ID varchar(5) not null, CUST_NAME varchar(50), "
+    "JOIN_DATE date, unique (CUST_ID))")
+CUSTOMER_LAYOUT = Layout("CustLayout", [
+    FieldDef("CUST_ID", parse_type("varchar(5)")),
+    FieldDef("CUST_NAME", parse_type("varchar(50)")),
+    FieldDef("JOIN_DATE", parse_type("varchar(10)")),
+])
+CUSTOMER_APPLY = (
+    "insert into PROD.CUSTOMER values (trim(:CUST_ID), "
+    "trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))")
+
+
+def customer_data() -> bytes:
+    """48 rows: 2 bad dates (ET) and 4 duplicate keys (UV)."""
+    rows = []
+    for i in range(44):
+        date = "xxxx" if i in (5, 17) else f"2012-01-{i % 28 + 1:02d}"
+        rows.append(f"{i:03d}|Name{i}|{date}")
+    for i in range(4):  # duplicate the first four keys
+        rows.append(f"{i:03d}|Dup{i}|2012-06-01")
+    return ("\n".join(rows) + "\n").encode()
+
+
+#: ≥10% transient fault rates on the upload and COPY paths, plus a
+#: guaranteed hit on each path's first call, all from one fixed seed.
+CHAOS_PROFILE = {
+    "seed": 20230325,
+    "rules": [
+        {"point": "store.upload", "at_call": 1},
+        {"point": "store.upload", "probability": 0.15},
+        {"point": "copy.into", "at_call": 1},
+        {"point": "store.upload", "every_nth": 7, "error": None,
+         "latency_s": 0.001},
+    ],
+}
+
+
+def run_customer_job(stack, chunk_bytes: int = 128):
+    client = LegacyEtlClient(stack.node.connect, timeout=15)
+    client.logon("h", "u", "p")
+    client.execute_sql(CUSTOMER_DDL)
+    result = client.run_import(ImportJobSpec(
+        target_table="PROD.CUSTOMER", et_table="PROD.CUSTOMER_ET",
+        uv_table="PROD.CUSTOMER_UV", layout=CUSTOMER_LAYOUT,
+        apply_sql=CUSTOMER_APPLY, data=customer_data(),
+        sessions=2, chunk_bytes=chunk_bytes))
+    client.logoff()
+    return result
+
+
+def table_rows(stack, table):
+    return sorted(stack.engine.query(f"SELECT * FROM {table}"))
+
+
+class TestChaosEquivalence:
+    def test_seeded_chaos_run_matches_fault_free_run(self):
+        with make_node(config=HyperQConfig(
+                converters=2, filewriters=2, credits=8,
+                file_threshold_bytes=256)) as clean:
+            clean_result = run_customer_job(clean)
+            clean_rows = {t: table_rows(clean, t) for t in (
+                "PROD.CUSTOMER", "PROD.CUSTOMER_ET",
+                "PROD.CUSTOMER_UV")}
+
+        with make_node(config=HyperQConfig(
+                converters=2, filewriters=2, credits=8,
+                file_threshold_bytes=256,
+                retry_base_delay_s=0.001, retry_max_delay_s=0.01,
+                chaos_profile=CHAOS_PROFILE)) as chaotic:
+            chaos_result = run_customer_job(chaotic)
+            stats = chaotic.node.stats()
+            for table, expected in clean_rows.items():
+                assert table_rows(chaotic, table) == expected, table
+
+        assert chaos_result.rows_inserted == clean_result.rows_inserted
+        assert chaos_result.et_errors == clean_result.et_errors == 2
+        assert chaos_result.uv_errors == clean_result.uv_errors == 4
+
+        resilience = stats["resilience"]
+        assert resilience["faults_injected"] > 0
+        assert resilience["retry_attempts"] > 0
+        assert resilience["retry_giveups"] == 0
+        assert resilience["faults"]["calls"]["store.upload"] > 0
+        assert resilience["retry"]["by_target"]["store.upload"] > 0
+        assert resilience["retry"]["by_target"]["copy.into"] >= 1
+
+    def test_chaos_schedule_is_reproducible(self):
+        def run():
+            with make_node(config=HyperQConfig(
+                    converters=1, filewriters=1, credits=8,
+                    file_threshold_bytes=256,
+                    retry_base_delay_s=0.001, retry_max_delay_s=0.01,
+                    chaos_profile=CHAOS_PROFILE)) as stack:
+                run_customer_job(stack)
+                snap = stack.node.faults.snapshot()
+            return snap["injected"]
+
+        assert run() == run()
+
+
+class TestPermanentFaults:
+    def test_permanent_copy_fault_surfaces_as_clean_error(self):
+        profile = [{"point": "copy.into", "at_call": 1,
+                    "error": "permanent",
+                    "message": "COPY permanently rejected"}]
+        with make_node(config=HyperQConfig(
+                converters=2, filewriters=2, credits=8,
+                chaos_profile=profile)) as stack:
+            with pytest.raises(ProtocolError,
+                               match="COPY permanently rejected"):
+                run_customer_job(stack)
+            resilience = stack.node.stats()["resilience"]
+            assert resilience["faults"]["injected"] == \
+                {"copy.into:permanent": 1}
+            # permanent = not retried: no attempts burned on it.
+            assert resilience["retry"]["by_target"].get("copy.into") \
+                is None
+
+    def test_permanent_upload_fault_fails_the_job(self):
+        profile = [{"point": "store.upload", "at_call": 1,
+                    "error": "permanent", "message": "bucket gone"}]
+        with make_node(config=HyperQConfig(
+                converters=2, filewriters=2, credits=8,
+                chaos_profile=profile)) as stack:
+            with pytest.raises(ProtocolError, match="bucket gone"):
+                run_customer_job(stack)
+
+
+class TestNetworkChaos:
+    def test_dropped_connection_recovered_by_client_restart(self):
+        # The 7th server send is a DATA_ACK; dropping it kills the data
+        # session mid-flight, exactly once.
+        profile = [{"point": "net.send", "at_call": 7, "max_fires": 1}]
+        with make_node(config=HyperQConfig(
+                converters=2, filewriters=2, credits=8,
+                chaos_profile=profile)) as stack:
+            client = LegacyEtlClient(stack.node.connect, timeout=15)
+            client.logon("h", "u", "p")
+            client.execute_sql(
+                "create table R (A varchar(20) not null, unique (A))")
+            data = "".join(
+                f"row-{i:04d}\n" for i in range(40)).encode()
+            result = client.run_import(ImportJobSpec(
+                target_table="R", et_table="R_ET", uv_table="R_UV",
+                layout=Layout("L", [FieldDef("A",
+                                             parse_type("varchar(20)"))]),
+                apply_sql="insert into R values (:A)", data=data,
+                sessions=1, chunk_bytes=64, retry_attempts=2,
+                reconnect_backoff_s=0.001))
+            client.logoff()
+            assert result.rows_inserted == 40
+            assert result.uv_errors == 0  # nothing double-loaded
+            assert stack.engine.query("SELECT COUNT(*) FROM R") == \
+                [(40,)]
+            assert stack.node.faults.snapshot()["injected"] == \
+                {"net.send:transient": 1}
+
+
+def wait_until(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.01)
+
+
+class TestCheckpointRestart:
+    def test_restart_reuploads_zero_durable_files(self, tmp_path):
+        """Kill a load mid-data, restart it, and count re-uploads."""
+        # One row per chunk, one staging file per chunk: every chunk's
+        # durability is independently visible in the store.
+        config = HyperQConfig(
+            converters=1, filewriters=1, credits=8,
+            file_threshold_bytes=16,
+            chaos_profile=[{"point": "net.send", "at_call": 12,
+                            "max_fires": 1}])
+        data = "".join(
+            f"row-{i:04d}-{'x' * 24}\n" for i in range(24)).encode()
+        spec_kwargs = dict(
+            target_table="R", et_table="R_ET", uv_table="R_UV",
+            layout=Layout("L", [FieldDef("A",
+                                         parse_type("varchar(40)"))]),
+            apply_sql="insert into R values (:A)", data=data,
+            sessions=1, chunk_bytes=16, job_id="restartjob",
+            journal_path=str(tmp_path / "client.jsonl"))
+
+        with make_node(config=config) as stack:
+            client = LegacyEtlClient(stack.node.connect, timeout=15)
+            client.logon("h", "u", "p")
+            client.execute_sql(
+                "create table R (A varchar(40) not null, unique (A))")
+
+            # Run 1: the connection drops mid-data and, with no retry
+            # budget, the job dies like a killed process would.
+            with pytest.raises(TransportClosed):
+                client.run_import(ImportJobSpec(**spec_kwargs))
+
+            # Chunks 0-7 were submitted before the drop (the 8th ack
+            # was the dropped send); the node stays up, so they all
+            # become durable uploads.  Wait for that to settle.
+            container = stack.node.config.container
+            wait_until(lambda: stack.store.upload_count >= 8)
+            time.sleep(0.1)
+            uploads_before = stack.store.upload_count
+            blobs_before = set(stack.store.list_blobs(container))
+            assert uploads_before == len(blobs_before) == 8
+
+            # Run 2: same job_id, resume=True — restarts from the
+            # gateway's checkpoint journal.
+            result = client.run_import(ImportJobSpec(
+                **spec_kwargs, resume=True))
+            client.logoff()
+
+            # Zero re-uploads: of the 24 one-chunk staging files, the 8
+            # durable ones are never PUT again — run 2 uploads exactly
+            # the 16 files for the chunks the gateway never staged.
+            # (END_LOAD already cleaned the staging prefix.)
+            new_uploads = stack.store.upload_count - uploads_before
+            assert new_uploads == 24 - 8
+
+            # ... and the load is still exactly-once.
+            assert result.rows_inserted == 24
+            assert result.uv_errors == 0
+            assert stack.engine.query("SELECT COUNT(*) FROM R") == \
+                [(24,)]
+
+            stats = stack.node.stats()
+            skips = {}
+            for sample in stack.node.obs.registry.collect()[
+                    "hyperq_checkpoint_skips_total"]["samples"]:
+                skips[sample["labels"]["kind"]] = sample["value"]
+            assert skips.get("chunk", 0) > 0  # durable chunks skipped
+            assert skips.get("upload", 0) == len(blobs_before)
+            assert stats["resilience"]["faults_injected"] == 1
+
+    def test_resume_skips_only_server_confirmed_chunks(self, tmp_path):
+        """A client ack does not imply durability: the resumed client
+        must resend chunks the gateway lost, even if they were acked."""
+        import json
+        config = HyperQConfig(converters=1, filewriters=1, credits=8,
+                              file_threshold_bytes=16)
+        data = "".join(
+            f"row-{i:04d}-{'x' * 24}\n" for i in range(8)).encode()
+        journal_path = tmp_path / "client.jsonl"
+        # Forge a client journal claiming every chunk was acked, with
+        # no server-side journal to back it: nothing is durable.
+        with open(journal_path, "w", encoding="utf-8") as handle:
+            for seq in range(8):
+                handle.write(json.dumps({"t": "ack", "seq": seq}) + "\n")
+
+        with make_node(config=config) as stack:
+            client = LegacyEtlClient(stack.node.connect, timeout=15)
+            client.logon("h", "u", "p")
+            client.execute_sql("create table R (A varchar(40))")
+            result = client.run_import(ImportJobSpec(
+                target_table="R", et_table="R_ET", uv_table="R_UV",
+                layout=Layout("L", [FieldDef("A",
+                                             parse_type("varchar(40)"))]),
+                apply_sql="insert into R values (:A)", data=data,
+                sessions=1, chunk_bytes=16, job_id="forged",
+                journal_path=str(journal_path), resume=True))
+            client.logoff()
+            # All 8 rows landed: the forged acks alone skipped nothing.
+            assert result.rows_inserted == 8

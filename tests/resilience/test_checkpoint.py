@@ -1,0 +1,105 @@
+"""Unit tests for the checkpoint journal (replay, torn tails, resume)."""
+
+import json
+import os
+
+from repro.resilience import CheckpointJournal
+
+
+def journal_path(tmp_path):
+    return os.path.join(str(tmp_path), "checkpoint.jsonl")
+
+
+class TestRoundTrip:
+    def test_records_replay_across_reopen(self, tmp_path):
+        path = journal_path(tmp_path)
+        with CheckpointJournal(path) as journal:
+            journal.record_ack(0)
+            journal.record_ack(2)
+            journal.record_staged(
+                "part-0-0.csv", path="/stage/part-0-0.csv", size=64,
+                records=3, chunks=[{"seq": 0, "records": 3,
+                                    "errors": []}])
+            journal.record_uploaded("part-0-0.csv")
+            journal.record_copy(3)
+        with CheckpointJournal(path) as reopened:
+            assert reopened.acked == {0, 2}
+            assert reopened.uploaded == {"part-0-0.csv"}
+            assert reopened.copy_rows == 3
+            assert reopened.replayed == 5
+            assert reopened.is_uploaded("part-0-0.csv")
+            assert not reopened.is_uploaded("part-0-1.csv")
+
+    def test_fresh_discards_previous_state(self, tmp_path):
+        path = journal_path(tmp_path)
+        with CheckpointJournal(path) as journal:
+            journal.record_ack(1)
+        with CheckpointJournal(path, fresh=True) as journal:
+            assert journal.acked == set()
+            assert journal.replayed == 0
+
+    def test_unknown_record_types_are_skipped(self, tmp_path):
+        path = journal_path(tmp_path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"t": "future-thing"}) + "\n")
+            handle.write(json.dumps({"t": "ack", "seq": 5}) + "\n")
+        with CheckpointJournal(path) as journal:
+            assert journal.acked == {5}
+
+
+class TestTornTail:
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = journal_path(tmp_path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"t": "ack", "seq": 0}) + "\n")
+            handle.write('{"t": "ack", "se')  # crashed mid-append
+        with CheckpointJournal(path) as journal:
+            assert journal.acked == {0}
+            assert journal.replayed == 1
+            journal.record_ack(1)  # journal stays appendable
+        with CheckpointJournal(path) as reopened:
+            assert reopened.acked == {0, 1}
+
+
+class TestResumeQueries:
+    def _staged(self, journal, name, path, seqs):
+        journal.record_staged(
+            name, path=path, size=10, records=len(seqs),
+            chunks=[{"seq": s, "records": 1, "errors": []} for s in seqs])
+
+    def test_durable_vs_pending_files(self, tmp_path):
+        path = journal_path(tmp_path)
+        with CheckpointJournal(path) as journal:
+            self._staged(journal, "a.csv", "/gone/a.csv", [0])
+            self._staged(journal, "b.csv", "/gone/b.csv", [1])
+            journal.record_uploaded("a.csv")
+            assert [r["file"] for r in journal.durable_files()] == \
+                ["a.csv"]
+            assert [r["file"] for r in journal.pending_files()] == \
+                ["b.csv"]
+
+    def test_durable_chunks_require_upload_or_local_file(self, tmp_path):
+        path = journal_path(tmp_path)
+        survivor = os.path.join(str(tmp_path), "b.csv")
+        with open(survivor, "wb") as handle:
+            handle.write(b"x\n")
+        with CheckpointJournal(path) as journal:
+            self._staged(journal, "a.csv", "/gone/a.csv", [0, 1])
+            self._staged(journal, "b.csv", survivor, [2])
+            self._staged(journal, "c.csv", "/gone/c.csv", [3])
+            journal.record_uploaded("a.csv")
+            durable = journal.durable_chunks()
+        # a.csv uploaded, b.csv still on disk, c.csv lost with the host.
+        assert sorted(durable) == [0, 1, 2]
+        assert durable[2]["records"] == 1
+
+    def test_snapshot(self, tmp_path):
+        path = journal_path(tmp_path)
+        with CheckpointJournal(path) as journal:
+            journal.record_ack(0)
+            self._staged(journal, "a.csv", "/gone/a.csv", [0])
+            snap = journal.snapshot()
+        assert snap["acked_chunks"] == 1
+        assert snap["staged_files"] == 1
+        assert snap["uploaded_files"] == 0
+        assert snap["copy_rows"] is None

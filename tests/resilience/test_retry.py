@@ -1,0 +1,156 @@
+"""Unit tests for the retry policy (backoff, budget, classification)."""
+
+import random
+
+import pytest
+
+from repro.errors import PermanentFault, TransientFault, TransportClosed
+from repro.resilience import RetryPolicy, full_jitter_delay, is_transient
+
+
+def flaky(failures, exc_factory=lambda: TransientFault("blip")):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    state = {"left": failures, "calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc_factory()
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+def no_sleep_policy(**kwargs):
+    kwargs.setdefault("sleep", lambda s: None)
+    kwargs.setdefault("rng", random.Random(0))
+    return RetryPolicy(**kwargs)
+
+
+class TestClassification:
+    def test_injected_faults_carry_their_class(self):
+        assert is_transient(TransientFault("x"))
+        assert not is_transient(PermanentFault("x"))
+
+    def test_transport_closed_is_transient(self):
+        assert is_transient(TransportClosed("gone"))
+
+    def test_plain_exceptions_are_permanent(self):
+        assert not is_transient(ValueError("nope"))
+
+    def test_transient_attribute_opts_in(self):
+        exc = RuntimeError("throttled")
+        exc.transient = True
+        assert is_transient(exc)
+
+
+class TestFullJitter:
+    def test_delay_within_exponential_envelope(self):
+        rng = random.Random(1)
+        for attempt in range(1, 8):
+            ceiling = min(2.0, 0.1 * 2 ** (attempt - 1))
+            for _ in range(50):
+                delay = full_jitter_delay(attempt, 0.1, 2.0, rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_same_seed_same_delays(self):
+        a = [full_jitter_delay(i, 0.1, 2.0, random.Random(3))
+             for i in range(1, 5)]
+        b = [full_jitter_delay(i, 0.1, 2.0, random.Random(3))
+             for i in range(1, 5)]
+        assert a == b
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        policy = no_sleep_policy(max_attempts=4)
+        fn = flaky(2)
+        assert policy.call(fn, target="store.upload") == "ok"
+        assert fn.state["calls"] == 3
+        assert policy.attempts_total == 2
+        assert policy.by_target == {"store.upload": 2}
+        assert policy.giveups_total == 0
+
+    def test_gives_up_after_max_attempts(self):
+        policy = no_sleep_policy(max_attempts=3)
+        fn = flaky(99)
+        with pytest.raises(TransientFault):
+            policy.call(fn, target="copy.into")
+        assert fn.state["calls"] == 3
+        assert policy.attempts_total == 2  # two re-attempts were made
+        assert policy.giveups_total == 1
+
+    def test_permanent_error_not_retried(self):
+        policy = no_sleep_policy(max_attempts=5)
+        fn = flaky(99, exc_factory=lambda: PermanentFault("dead"))
+        with pytest.raises(PermanentFault):
+            policy.call(fn)
+        assert fn.state["calls"] == 1
+        assert policy.attempts_total == 0
+        assert policy.giveups_total == 0  # not a transient give-up
+
+    def test_budget_bounds_total_sleep(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=50, base_delay_s=1.0,
+                             max_delay_s=1.0, budget_s=2.5,
+                             rng=random.Random(0), sleep=slept.append)
+        # Force deterministic full-ceiling delays.
+        policy.rng = random.Random()
+        policy.rng.uniform = lambda a, b: b
+        with pytest.raises(TransientFault):
+            policy.call(flaky(99))
+        assert sum(slept) <= 2.5
+        assert policy.giveups_total == 1
+
+    def test_single_attempt_policy_never_retries(self):
+        policy = no_sleep_policy(max_attempts=1)
+        with pytest.raises(TransientFault):
+            policy.call(flaky(1))
+        assert policy.attempts_total == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_snapshot(self):
+        policy = no_sleep_policy()
+        policy.call(flaky(1), target="a")
+        snap = policy.snapshot()
+        assert snap["attempts"] == 1
+        assert snap["by_target"] == {"a": 1}
+
+
+class TestRetryObservability:
+    def test_metrics_and_spans_recorded(self):
+        from repro.obs import Observability
+        obs = Observability(trace_enabled=True)
+        policy = no_sleep_policy(max_attempts=4)
+        with obs.tracer.span("op") as parent:
+            policy.call(flaky(2), target="store.upload", obs=obs,
+                        parent=parent)
+        counters = obs.registry.collect()["hyperq_retry_attempts_total"]
+        (sample,) = counters["samples"]
+        assert sample["labels"] == {"target": "store.upload"}
+        assert sample["value"] == 2
+        retry_spans = obs.tracer.spans("retry")
+        assert len(retry_spans) == 2
+        assert all(s["parent_id"] == parent.span_id
+                   for s in retry_spans)
+        assert retry_spans[0]["attrs"]["attempt"] == 1
+        assert all(s["status"] == "error" for s in retry_spans)
+
+    def test_giveup_metric_recorded(self):
+        from repro.obs import Observability
+        obs = Observability()
+        policy = no_sleep_policy(max_attempts=2)
+        with pytest.raises(TransientFault):
+            policy.call(flaky(9), target="copy.into", obs=obs)
+        counters = obs.registry.collect()["hyperq_retry_giveups_total"]
+        (sample,) = counters["samples"]
+        assert sample["value"] == 1
