@@ -17,6 +17,7 @@ import os
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def bench_scale() -> float:
@@ -39,3 +40,11 @@ def emit(results_dir: str, name: str, text: str) -> None:
     path = os.path.join(results_dir, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
+
+
+def bench_json(name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` at the repo root (the perf trajectory)."""
+    from repro.bench.report import write_bench_json
+
+    return write_bench_json(
+        os.path.join(REPO_ROOT, f"BENCH_{name}.json"), payload)

@@ -10,10 +10,12 @@ identical rows).
 
 from __future__ import annotations
 
-from conftest import bench_scale, emit, scaled
+from conftest import bench_json, bench_scale, emit, scaled
 
 from repro.bench import format_series
 from repro.bench.figures import fig11_series
+from repro.bench.harness import build_stack, run_workload_through_hyperq
+from repro.workloads import make_workload
 
 SCALE = bench_scale()
 ROWS = scaled(4_000)
@@ -40,6 +42,28 @@ def test_fig11_error_handling(benchmark, results_dir):
         baseline_times = [row["baseline_total_s"] for row in series]
         assert max(baseline_times) < min(baseline_times) * 1.6, \
             "the baseline should be roughly flat in the error rate"
+
+    # The adaptive splitter issues the same-shaped DML over and over with
+    # only the __SEQ range changed, so the error-heavy point must run
+    # almost entirely out of the prepared-plan cache (PR 3).
+    workload = make_workload(rows=ROWS, row_bytes=500, seed=115,
+                             error_rate=0.05)
+    with build_stack() as stack:
+        run_workload_through_hyperq(
+            stack, workload, sessions=2, max_errors=10**9)
+        hits = stack.node.obs.plan_cache_hits.labels().value
+        misses = stack.node.obs.plan_cache_misses.labels().value
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    assert hit_rate > 0.95, \
+        f"error handling should reuse prepared DML plans " \
+        f"(hyperq_plan_cache hit rate {hit_rate:.4f})"
+
+    bench_json("fig11", {
+        "scale": SCALE, "series": series,
+        "plan_cache": {"error_rate": 0.05, "rows": ROWS,
+                       "hits": hits, "misses": misses,
+                       "hit_rate": round(hit_rate, 4)},
+    })
 
     benchmark.pedantic(
         fig11_series, args=(SCALE,), kwargs={"error_rates": (0.01,)},

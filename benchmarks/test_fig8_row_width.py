@@ -7,7 +7,7 @@ iterations per chunk).  Series logic: :mod:`repro.bench.figures`.
 
 from __future__ import annotations
 
-from conftest import bench_scale, emit
+from conftest import bench_json, bench_scale, emit
 
 from repro.bench import format_series
 from repro.bench.figures import fig8_series
@@ -23,6 +23,7 @@ def test_fig8_row_width(benchmark, results_dir):
         series,
         note="expect: wider rows => lower acquisition time")
     emit(results_dir, "fig8_row_width", text)
+    bench_json("fig8", {"scale": SCALE, "series": series})
 
     # Total time must drop with width; the strongest component is the
     # per-row-bound application phase.  (The acquisition-phase delta is

@@ -3,9 +3,10 @@
 from repro.bench.harness import (
     Stack, build_stack, run_import_workload, run_workload_through_hyperq,
 )
-from repro.bench.report import format_series, write_series
+from repro.bench.report import format_series, write_bench_json, write_series
 
 __all__ = [
     "Stack", "build_stack", "run_import_workload",
     "run_workload_through_hyperq", "format_series", "write_series",
+    "write_bench_json",
 ]

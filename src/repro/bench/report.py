@@ -7,9 +7,10 @@ tables survive pytest's output capturing.
 
 from __future__ import annotations
 
+import json
 import os
 
-__all__ = ["format_series", "write_series"]
+__all__ = ["format_series", "write_series", "write_bench_json"]
 
 
 def format_series(title: str, rows: list[dict],
@@ -47,3 +48,19 @@ def write_series(path: str, text: str) -> None:
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
+
+
+def write_bench_json(path: str, payload: dict) -> str:
+    """Write one machine-readable benchmark result file.
+
+    These are the ``BENCH_*.json`` files at the repo root — the perf
+    trajectory consumed by CI and by humans comparing PRs (see
+    ``docs/PERFORMANCE.md`` for the schema conventions).
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

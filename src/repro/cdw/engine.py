@@ -37,6 +37,7 @@ from repro.cdw.types import cdw_type_from_node
 from repro.errors import (
     BulkExecutionError, CatalogError, CdwError, ExpressionError,
 )
+from repro.plancache import PlanCache
 from repro.sqlxc import nodes as n
 from repro.sqlxc.parser import parse_statement
 
@@ -84,11 +85,17 @@ class CdwEngine:
     """An in-process cloud data warehouse."""
 
     def __init__(self, store: CloudStore | None = None,
-                 native_unique: bool = True):
+                 native_unique: bool = True,
+                 parse_cache_size: int = 256):
         self.catalog = Catalog()
         self.store = store
         self.native_unique = native_unique
         self._lock = threading.RLock()
+        #: parsed-statement cache for SQL text handed to execute():
+        #: repeated statement texts (staging DDL probes, prepared error
+        #: INSERT shapes, bench workloads) skip the parser entirely.
+        #: Safe because executors treat parsed trees as read-only.
+        self.plan_cache = PlanCache(capacity=parse_cache_size)
         #: statement log (statement type -> count), for tests/metrics.
         self.statement_counts: dict[str, int] = {}
         #: optional observability hook ``(statement_name, seconds)``,
@@ -101,7 +108,9 @@ class CdwEngine:
     def execute(self, statement: "str | n.Statement") -> CdwResult:
         """Execute one statement (SQL text is parsed in the cdw dialect)."""
         if isinstance(statement, str):
-            statement = parse_statement(statement, dialect="cdw")
+            statement = self.plan_cache.get_or_compile(
+                statement,
+                lambda: parse_statement(statement, dialect="cdw"))
         with self._lock:
             name = type(statement).__name__
             self.statement_counts[name] = \

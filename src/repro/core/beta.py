@@ -29,11 +29,13 @@ from repro.errors import (
 )
 from repro.legacy.types import Layout
 from repro.obs import NULL_OBS, NULL_SPAN, Observability, get_logger
+from repro.plancache import PlanCache
 from repro.sqlxc import nodes as n
 from repro.sqlxc.parser import parse_statement
 from repro.sqlxc.rewrites import bind_params_to_columns, to_cdw
 
-__all__ = ["Beta", "ApplySummary", "SEQ_COLUMN", "STAGING_ALIAS"]
+__all__ = ["Beta", "ApplySummary", "PreparedDml", "SEQ_COLUMN",
+           "STAGING_ALIAS"]
 
 log = get_logger("beta")
 
@@ -56,6 +58,33 @@ class ApplySummary:
     splits: int = 0
 
 
+class PreparedDml:
+    """A range-parameterized prepared statement.
+
+    The cross-compiled DML is built *once* into a statement template
+    whose ``__SEQ BETWEEN lo AND hi`` bounds are two dedicated mutable
+    :class:`~repro.sqlxc.nodes.Literal` nodes; :meth:`bind` rebinds only
+    those two literals and returns the shared template.  Safe because a
+    job's application phase executes ranges sequentially and each job
+    has its own staging table (hence its own cache entry and template).
+    """
+
+    __slots__ = ("kind", "statement", "_lo", "_hi")
+
+    def __init__(self, kind: str, statement: n.Statement,
+                 lo: n.Literal, hi: n.Literal):
+        self.kind = kind
+        self.statement = statement
+        self._lo = lo
+        self._hi = hi
+
+    def bind(self, lo: int, hi: int) -> n.Statement:
+        """Rebind the ``__SEQ`` range and return the statement."""
+        self._lo.value = lo
+        self._hi.value = hi
+        return self.statement
+
+
 def _first_clause(exc: BaseException) -> str:
     """Extract the human summary of an engine error for error messages.
 
@@ -76,25 +105,19 @@ class Beta:
         self.engine = engine
         self.config = config
         self.obs = obs
+        self.plans = PlanCache(
+            capacity=config.plan_cache_size,
+            on_hit=obs.plan_cache_hits.inc,
+            on_miss=obs.plan_cache_misses.inc)
 
     # -- DML shaping ------------------------------------------------------------
 
-    def _staging_source(self, staging_table: str, layout: Layout,
-                        lo: int, hi: int) -> n.Select:
-        items = [
-            n.SelectItem(n.ColumnRef(f, table=STAGING_ALIAS), f)
-            for f in layout.field_names
-        ]
-        return n.Select(
-            items=items,
-            from_=n.TableRef(staging_table, STAGING_ALIAS),
-            where=self._range_pred(lo, hi))
-
     @staticmethod
-    def _range_pred(lo: int, hi: int) -> n.Expr:
-        return n.Between(
-            n.ColumnRef(SEQ_COLUMN, table=STAGING_ALIAS),
-            n.Literal(lo), n.Literal(hi))
+    def _plan_key(sql: str, layout: Layout, staging_table: str) -> tuple:
+        signature = tuple(
+            (f.name, f.type.base, f.type.length, f.type.scale)
+            for f in layout.fields)
+        return (sql, staging_table, signature)
 
     def prepare_dml(self, sql: str, layout: Layout,
                     staging_table: str):
@@ -102,12 +125,27 @@ class Beta:
 
         Returns ``(builder, statement_kind)`` where ``builder(lo, hi)``
         yields the CDW statement applying the DML to staging rows with
-        ``__SEQ`` in ``[lo, hi]``.
+        ``__SEQ`` in ``[lo, hi]``.  The compiled :class:`PreparedDml` is
+        cached: repeat calls for the same (sql, staging table, layout)
+        rebind the existing template instead of re-running
+        parse → bind → translate.
         """
+        plan = self.plans.get_or_compile(
+            self._plan_key(sql, layout, staging_table),
+            lambda: self._compile_dml(sql, layout, staging_table))
+        return plan.bind, plan.kind
+
+    def _compile_dml(self, sql: str, layout: Layout,
+                     staging_table: str) -> PreparedDml:
         statement = parse_statement(sql, dialect="legacy")
         statement = bind_params_to_columns(
             statement, layout.field_names, STAGING_ALIAS)
         statement = to_cdw(statement)
+
+        lo = n.Literal(0)
+        hi = n.Literal(0)
+        pred = n.Between(
+            n.ColumnRef(SEQ_COLUMN, table=STAGING_ALIAS), lo, hi)
 
         if isinstance(statement, n.Insert):
             if not isinstance(statement.source, n.Values) \
@@ -115,63 +153,48 @@ class Beta:
                 raise SqlTranslationError(
                     "apply DML INSERT must carry one VALUES row of "
                     "host-variable expressions")
-            value_exprs = statement.source.rows[0]
-            table = statement.table
-            columns = list(statement.columns)
-
-            def build_insert(lo: int, hi: int) -> n.Statement:
-                select = n.Select(
-                    items=[n.SelectItem(e) for e in value_exprs],
-                    from_=n.TableRef(staging_table, STAGING_ALIAS),
-                    where=self._range_pred(lo, hi))
-                return n.Insert(table, columns, select)
-
-            return build_insert, "insert"
+            select = n.Select(
+                items=[n.SelectItem(e) for e in statement.source.rows[0]],
+                from_=n.TableRef(staging_table, STAGING_ALIAS),
+                where=pred)
+            template = n.Insert(
+                statement.table, list(statement.columns), select)
+            return PreparedDml("insert", template, lo, hi)
 
         if isinstance(statement, n.Update):
             if statement.from_ is not None:
                 raise SqlTranslationError(
                     "apply DML UPDATE cannot have its own FROM clause")
-            update = statement
-
-            def build_update(lo: int, hi: int) -> n.Statement:
-                pred = self._range_pred(lo, hi)
-                where = pred if update.where is None \
-                    else n.BinaryOp("AND", update.where, pred)
-                return n.Update(
-                    update.table, update.assignments,
-                    n.TableRef(staging_table, STAGING_ALIAS), where)
-
-            return build_update, "update"
+            where = pred if statement.where is None \
+                else n.BinaryOp("AND", statement.where, pred)
+            template = n.Update(
+                statement.table, statement.assignments,
+                n.TableRef(staging_table, STAGING_ALIAS), where)
+            return PreparedDml("update", template, lo, hi)
 
         if isinstance(statement, n.Delete):
             if statement.using is not None:
                 raise SqlTranslationError(
                     "apply DML DELETE cannot have its own USING clause")
-            delete = statement
-
-            def build_delete(lo: int, hi: int) -> n.Statement:
-                pred = self._range_pred(lo, hi)
-                where = pred if delete.where is None \
-                    else n.BinaryOp("AND", delete.where, pred)
-                return n.Delete(
-                    delete.table,
-                    n.TableRef(staging_table, STAGING_ALIAS), where)
-
-            return build_delete, "delete"
+            where = pred if statement.where is None \
+                else n.BinaryOp("AND", statement.where, pred)
+            template = n.Delete(
+                statement.table,
+                n.TableRef(staging_table, STAGING_ALIAS), where)
+            return PreparedDml("delete", template, lo, hi)
 
         if isinstance(statement, n.Merge):
-            merge = statement
-            layout_for_source = layout
-
-            def build_merge(lo: int, hi: int) -> n.Statement:
-                source = self._staging_source(
-                    staging_table, layout_for_source, lo, hi)
-                return n.Merge(
-                    merge.target, source, STAGING_ALIAS, merge.on,
-                    merge.matched, merge.not_matched)
-
-            return build_merge, "merge"
+            source = n.Select(
+                items=[
+                    n.SelectItem(n.ColumnRef(f, table=STAGING_ALIAS), f)
+                    for f in layout.field_names
+                ],
+                from_=n.TableRef(staging_table, STAGING_ALIAS),
+                where=pred)
+            template = n.Merge(
+                statement.target, source, STAGING_ALIAS, statement.on,
+                statement.matched, statement.not_matched)
+            return PreparedDml("merge", template, lo, hi)
 
         raise SqlTranslationError(
             f"unsupported apply DML {type(statement).__name__}")
@@ -253,7 +276,11 @@ class Beta:
 
         # 2. Range executor + error sinks for the adaptive handler.
         def execute_range(lo: int, hi: int) -> tuple[int, int, int]:
-            statement = builder(lo, hi)
+            # Per-range cache lookup: every split/retry the adaptive
+            # handler issues counts as a plan-cache hit, so the hit
+            # rate mirrors how many parse+bind cycles were avoided.
+            bind, _ = self.prepare_dml(sql, layout, staging_table)
+            statement = bind(lo, hi)
             result = self._execute_with_emulation(
                 statement, target_table, kind)
             return (result.rows_inserted, result.rows_updated,

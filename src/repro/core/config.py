@@ -45,6 +45,13 @@ class HyperQConfig:
     #: emulate uniqueness checks even if the CDW enforces them natively
     #: (normally derived from the engine's capability; True forces it).
     force_unique_emulation: bool = False
+    #: use the layout-compiled row codecs (repro.legacy.codec) for the
+    #: job's record format; False falls back to the reference
+    #: interpreters (kept as the behavioural oracle and A/B baseline).
+    compiled_codecs: bool = True
+    #: entries in Beta's prepared-DML plan cache (LRU; one entry per
+    #: distinct (DML text, staging table, layout) shape).
+    plan_cache_size: int = 128
     #: acknowledge a chunk only after it is written to disk — the
     #: *rejected* synchronous design of Section 5, kept for the ablation
     #: benchmark.  Default (False) is the paper's immediate-ack pipeline.
@@ -101,6 +108,8 @@ class HyperQConfig:
             raise ValueError(f"unsupported compression {self.compression!r}")
         if self.trace_buffer_events < 1:
             raise ValueError("trace buffer needs at least one slot")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
         if self.retry_max_attempts < 1:
             raise ValueError("retry_max_attempts must be >= 1")
         if min(self.retry_base_delay_s, self.retry_max_delay_s,

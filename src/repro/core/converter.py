@@ -19,6 +19,7 @@ transformation error table.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.cdw import stagefile
@@ -65,23 +66,39 @@ class DataConverter:
 
     def __init__(self, record_format: RecordFormat, seq_stride: int,
                  csv_delimiter: str = ",",
-                 obs: Observability = NULL_OBS):
+                 obs: Observability = NULL_OBS,
+                 staging_table: str | None = None):
         self.record_format = record_format
         self.seq_stride = seq_stride
         self.csv_delimiter = csv_delimiter
         self.obs = obs
+        self.staging_table = staging_table
+        self.kernel = stagefile.CsvKernel(csv_delimiter)
+        # Each pipeline converter thread reuses one scratch line buffer
+        # instead of growing a fresh list per chunk.
+        self._scratch = threading.local()
 
     def convert(self, chunk_seq: int, data: bytes) -> ConvertedChunk:
         """Convert one legacy chunk into CSV staging bytes."""
+        total = self.record_format.count_records(data)
+        if total > self.seq_stride:
+            where = (f" of staging table {self.staging_table}"
+                     if self.staging_table else "")
+            raise DataFormatError(
+                f"chunk {chunk_seq}{where} holds {total} records, more "
+                f"than the configured seq_stride of {self.seq_stride}; "
+                f"raise seq_stride")
         base = chunk_seq * self.seq_stride
-        out: list[str] = []
+        out = getattr(self._scratch, "lines", None)
+        if out is None:
+            out = self._scratch.lines = []
+        else:
+            out.clear()
         errors: list[AcquisitionError] = []
         index = 0
+        render_row = self.kernel.render_row
+        append = out.append
         for item in self.record_format.iter_decode(data):
-            if index >= self.seq_stride:
-                raise DataFormatError(
-                    f"chunk {chunk_seq} holds more than "
-                    f"{self.seq_stride} records; raise seq_stride")
             seq = base + index
             index += 1
             if isinstance(item, DataFormatError):
@@ -89,9 +106,10 @@ class DataConverter:
                     seq=seq, code=item.code, field=item.field,
                     message=str(item)))
                 continue
-            out.append(stagefile.encode_csv_row(
-                item + (seq,), self.csv_delimiter))
+            append(render_row(item, seq))
         records = index - len(errors)
+        csv_bytes = "".join(out).encode("utf-8")
+        out.clear()
         self.obs.records_converted.inc(records)
         if errors:
             self.obs.acquisition_errors.inc(len(errors))
@@ -99,7 +117,7 @@ class DataConverter:
                       chunk_seq, len(errors))
         return ConvertedChunk(
             chunk_seq=chunk_seq,
-            csv_bytes="".join(out).encode("utf-8"),
+            csv_bytes=csv_bytes,
             records=records,
             errors=errors,
         )

@@ -193,6 +193,10 @@ class HyperQNode:
                 "min_available": self.credits.min_available,
             },
             "engine_statements": dict(self.engine.statement_counts),
+            "plan_cache": {
+                "dml": self.beta.plans.stats(),
+                "engine_parse": self.engine.plan_cache.stats(),
+            },
             "store_bytes_uploaded": self.store.bytes_uploaded,
             "resilience": {
                 "retry_attempts": self.retry.attempts_total,
@@ -343,11 +347,19 @@ class HyperQNode:
                              sessions=meta.get("sessions", 0))
         job_span = self.obs.tracer.span(
             "job", job_id=job_id, target=target)
+        with self.obs.tracer.span(
+                "codec.compile", parent=job_span, job_id=job_id,
+                kind=format_spec.kind,
+                compiled=self.config.compiled_codecs):
+            record_format = make_format(
+                format_spec, layout, compiled=self.config.compiled_codecs)
+        self.obs.codec_compiles.labels(kind=format_spec.kind).inc()
         converter = DataConverter(
-            make_format(format_spec, layout),
+            record_format,
             seq_stride=self.config.seq_stride,
             csv_delimiter=self.config.csv_delimiter,
-            obs=self.obs)
+            obs=self.obs,
+            staging_table=staging_table)
         pipeline = AcquisitionPipeline(
             converter=converter,
             credits=self.credits,

@@ -36,6 +36,7 @@ __all__ = [
     "VartextFormat",
     "BinaryFormat",
     "make_format",
+    "DEFAULT_COMPILED",
     "LEGACY_FIELD_COUNT_ERROR",
 ]
 
@@ -66,8 +67,26 @@ class FormatSpec:
         return cls(kind=kind, delimiter=delim or "|")
 
 
-def make_format(spec: FormatSpec, layout: Layout) -> "RecordFormat":
-    """Instantiate the encoder/decoder named by ``spec`` for ``layout``."""
+#: process-wide default for ``make_format(compiled=None)``.  Benchmarks
+#: flip this to run the reference interpreters as an A/B baseline.
+DEFAULT_COMPILED = True
+
+
+def make_format(spec: FormatSpec, layout: Layout,
+                compiled: bool | None = None) -> "RecordFormat":
+    """Instantiate the encoder/decoder named by ``spec`` for ``layout``.
+
+    With ``compiled`` true (the default via :data:`DEFAULT_COMPILED`),
+    returns the layout-compiled codecs from :mod:`repro.legacy.codec`;
+    they are subclasses of the reference classes below and byte-identical
+    in behaviour, errors included.
+    """
+    if compiled is None:
+        compiled = DEFAULT_COMPILED
+    if compiled:
+        from repro.legacy import codec
+
+        return codec.compile_format(spec, layout)
     if spec.kind == "vartext":
         return VartextFormat(layout, delimiter=spec.delimiter)
     if spec.kind == "binary":
@@ -105,6 +124,13 @@ class RecordFormat:
                 raise item
             out.append(item)
         return out
+
+    def count_records(self, data: bytes) -> int:
+        """Number of items :meth:`iter_decode` would yield for ``data``.
+
+        Lets callers size-check a chunk before paying for the decode.
+        """
+        return sum(1 for _ in self.iter_decode(data))
 
 
 class VartextFormat(RecordFormat):
@@ -190,6 +216,15 @@ class VartextFormat(RecordFormat):
                     code=LEGACY_FIELD_COUNT_ERROR)
                 continue
             yield tuple(fields)
+
+    def count_records(self, data: bytes) -> int:
+        """Count records without decoding the text.
+
+        UTF-8 multi-byte sequences never contain ``0x0A``, so splitting
+        the raw bytes on newlines sees exactly the lines ``iter_decode``
+        sees; empty lines are skipped there too.
+        """
+        return sum(1 for line in data.split(b"\n") if line)
 
 
 class BinaryFormat(RecordFormat):
@@ -320,6 +355,25 @@ class BinaryFormat(RecordFormat):
             record_view = view[pos + 2:body_end]
             pos = body_end
             yield self._decode_one(record_view)
+
+    def count_records(self, data: bytes) -> int:
+        """Count records by walking the length headers only.
+
+        A truncated header or body contributes one item — the error
+        object ``iter_decode`` yields before stopping.
+        """
+        n = len(data)
+        pos = 0
+        count = 0
+        while pos < n:
+            if pos + 2 > n:
+                return count + 1
+            body_end = pos + 2 + (data[pos] | (data[pos + 1] << 8))
+            if body_end > n:
+                return count + 1
+            count += 1
+            pos = body_end
+        return count
 
     def _decode_one(self, body: memoryview) -> tuple | DataFormatError:
         if len(body) < self._bitmap_len:

@@ -124,6 +124,18 @@ class Observability:
             "hyperq_apply_errors_total",
             "Errors recorded during application", ("kind",))
 
+        # -- compiled codecs / prepared plans --
+        self.plan_cache_hits = reg.counter(
+            "hyperq_plan_cache_hits_total",
+            "Prepared-DML plan cache hits (template reused, only the "
+            "__SEQ range literals rebound)")
+        self.plan_cache_misses = reg.counter(
+            "hyperq_plan_cache_misses_total",
+            "Prepared-DML plan cache misses (full parse+bind+translate)")
+        self.codec_compiles = reg.counter(
+            "hyperq_codec_compiles_total",
+            "Row codecs compiled per job layout", ("kind",))
+
         # -- resilience / fault injection --
         self.faults_injected = reg.counter(
             "hyperq_faults_injected_total",

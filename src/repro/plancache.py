@@ -1,0 +1,97 @@
+"""A bounded LRU cache for compiled statement plans.
+
+The adaptive error handler (Section 7) can issue hundreds of DML
+statements per failing chunk, every one of them the *same shape* with
+only the ``__SEQ`` range literals changed — and the engine re-parses any
+statement text it is handed.  Dialect-translation systems amortize that
+by caching the compiled plan keyed by statement identity; this module is
+that cache, shared by Beta's prepared DML templates and the engine's
+parsed-statement cache.
+
+The cache is thread-safe; compilation runs under the cache lock, so a
+key is compiled exactly once no matter how many threads race on it.
+Entries are only ever dropped by LRU eviction — keys embed everything
+identity-relevant (statement text, staging table name, layout
+signature), so a schema or table change produces a *different* key and
+the stale entry simply ages out.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Bounded LRU ``key -> compiled plan`` map with hit/miss counters.
+
+    ``on_hit``/``on_miss`` are optional callbacks (typically obs counter
+    ``inc`` methods) invoked once per lookup outcome.
+    """
+
+    def __init__(self, capacity: int = 128,
+                 on_hit: Callable[[], None] | None = None,
+                 on_miss: Callable[[], None] | None = None):
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._on_hit = on_hit
+        self._on_miss = on_miss
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get_or_compile(self, key: Hashable,
+                       compile_fn: Callable[[], Any]) -> Any:
+        """Return the cached plan for ``key``, compiling it on first use."""
+        with self._lock:
+            plans = self._plans
+            try:
+                plan = plans[key]
+                plans.move_to_end(key)
+                self.hits += 1
+                hit = True
+            except KeyError:
+                plan = plans[key] = compile_fn()
+                self.misses += 1
+                hit = False
+                if len(plans) > self.capacity:
+                    plans.popitem(last=False)
+                    self.evictions += 1
+        if hit:
+            if self._on_hit is not None:
+                self._on_hit()
+        elif self._on_miss is not None:
+            self._on_miss()
+        return plan
+
+    def __len__(self) -> int:
+        """Number of cached plans."""
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters for ``stats()`` surfaces and benchmarks."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

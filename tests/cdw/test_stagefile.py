@@ -88,3 +88,75 @@ _field = st.one_of(
 def test_csv_roundtrip_property(rows):
     """NULL vs empty vs arbitrary text all survive the staging format."""
     assert roundtrip(rows) == rows
+
+
+KERNEL_VALUES = [
+    None, "", "plain", "\\N", 'quo"te', "del,imiter", "nl\nine",
+    " padded ", True, False, 0, -17, 2**40, 1.5, -0.0, float("inf"),
+    Decimal("12.34"), Decimal("-0.5"),
+    datetime.date(2020, 1, 2), datetime.datetime(2020, 1, 2, 3, 4, 5),
+    datetime.datetime(2020, 1, 2, 3, 4, 5, 678901),
+]
+
+
+class IntSub(int):
+    """An int subclass: must take the reference fallback path."""
+
+
+class TestCsvKernel:
+    """CsvKernel.render_row must match encode_csv_row byte for byte."""
+
+    @pytest.mark.parametrize(
+        "delimiter", [",", "|", ";", "\t", "~", "5", "e", "-"])
+    def test_matches_reference_for_all_value_types(self, delimiter):
+        kernel = stagefile.CsvKernel(delimiter)
+        for i in range(0, len(KERNEL_VALUES), 3):
+            row = tuple(KERNEL_VALUES[i:i + 3])
+            assert kernel.render_row(row) == \
+                stagefile.encode_csv_row(row, delimiter)
+
+    @pytest.mark.parametrize("delimiter", [",", "5", "-"])
+    def test_seq_column_matches_reference(self, delimiter):
+        kernel = stagefile.CsvKernel(delimiter)
+        for seq in (0, 5, 12345):
+            assert kernel.render_row(("a", None), seq) == \
+                stagefile.encode_csv_row(("a", None, seq), delimiter)
+
+    def test_subclass_values_take_reference_path(self):
+        kernel = stagefile.CsvKernel(",")
+        row = (IntSub(7), "x")
+        assert kernel.render_row(row) == stagefile.encode_csv_row(row)
+
+    def test_unserializable_raises_like_reference(self):
+        kernel = stagefile.CsvKernel(",")
+        with pytest.raises(DataFormatError):
+            kernel.render_row((object(),))
+
+
+class TestStreamingEncode:
+    def test_bytes_unchanged_regression(self):
+        """encode_csv_rows streams into one buffer now (PR 3); the bytes
+        must be exactly the old per-row concatenation."""
+        rows = [("a", "b"), (None, ""), ('q"uote', "x,y"), ("\\N", None)]
+        expected = b"".join(
+            stagefile.encode_csv_row(row).encode("utf-8") for row in rows)
+        assert stagefile.encode_csv_rows(rows) == expected
+        assert stagefile.encode_csv_rows(rows) == \
+            b'a,b\n\\N,""\n"q""uote","x,y"\n"\\N",\\N\n'
+
+    def test_empty_rows(self):
+        assert stagefile.encode_csv_rows([]) == b""
+
+
+@given(st.text(alphabet='abc,\n\r|\\N', max_size=60))
+def test_decode_fast_path_matches_slow_path(text):
+    """Differential test for the quote-free decode fast path.
+
+    Prefixing a quoted row forces the character-loop slow path over the
+    same remaining input; both parses must agree row for row.
+    """
+    data = text.encode("utf-8")
+    fast = list(stagefile.decode_csv_rows(data))
+    slow = list(stagefile.decode_csv_rows(b'"q"\n' + data))
+    assert slow[0] == ("q",)
+    assert slow[1:] == fast

@@ -80,3 +80,40 @@ class TestConvert:
         converted = make_converter().convert(0, b"")
         assert converted.records == 0
         assert converted.csv_bytes == b""
+
+    def test_scratch_buffer_does_not_leak_between_chunks(self):
+        converter = make_converter()
+        first = converter.convert(0, b"x|y\n")
+        second = converter.convert(1, b"a|b\n")
+        assert list(stagefile.decode_csv_rows(first.csv_bytes)) == \
+            [("x", "y", "0")]
+        assert list(stagefile.decode_csv_rows(second.csv_bytes)) == \
+            [("a", "b", "1000")]
+
+
+class TestOversizeChunk:
+    """Oversized chunks are rejected up front, naming the staging table."""
+
+    def test_message_names_chunk_and_staging_table(self):
+        converter = DataConverter(
+            VartextFormat(LAYOUT), seq_stride=2, staging_table="HQ_STG_7")
+        with pytest.raises(DataFormatError) as excinfo:
+            converter.convert(4, b"a|b\nc|d\ne|f\n")
+        message = str(excinfo.value)
+        assert "HQ_STG_7" in message
+        assert "chunk 4" in message
+        assert "3 records" in message
+        assert "seq_stride" in message
+
+    def test_rejected_before_converting_any_record(self):
+        # The count check runs before row conversion: even a chunk whose
+        # every record is malformed (conversion would error them out)
+        # trips the stride check first.
+        converter = make_converter(stride=1)
+        with pytest.raises(DataFormatError):
+            converter.convert(0, b"only-one-field\nanother\n")
+
+    def test_exact_stride_is_accepted(self):
+        converter = make_converter(stride=2)
+        converted = converter.convert(0, b"a|b\nc|d\n")
+        assert converted.records == 2

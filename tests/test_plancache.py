@@ -1,0 +1,158 @@
+"""PlanCache unit tests plus its two integration points (PR 3).
+
+The cache itself is a bounded thread-safe LRU with exactly-once
+compilation; Beta uses it to turn per-range DML into a rebind of one
+prepared template, and the engine uses it to skip re-parsing repeated
+statement text.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.beta import Beta
+from repro.core.config import HyperQConfig
+from repro.legacy.types import FieldDef, Layout, parse_type
+from repro.plancache import PlanCache
+from repro.sqlxc.render import render
+
+
+class TestPlanCache:
+    def test_compiles_once_then_hits(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            plan = cache.get_or_compile("k", lambda: calls.append(1) or "P")
+            assert plan == "P"
+        assert calls == [1]
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_compile("a", lambda: "A")
+        cache.get_or_compile("b", lambda: "B")
+        cache.get_or_compile("a", lambda: "A2")  # refresh a
+        cache.get_or_compile("c", lambda: "C")   # evicts b, not a
+        assert cache.get_or_compile("a", lambda: "A3") == "A"
+        assert cache.get_or_compile("b", lambda: "B2") == "B2"
+        assert cache.evictions >= 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_callbacks_fire_per_outcome(self):
+        events = []
+        cache = PlanCache(capacity=4,
+                          on_hit=lambda: events.append("hit"),
+                          on_miss=lambda: events.append("miss"))
+        cache.get_or_compile("k", lambda: 1)
+        cache.get_or_compile("k", lambda: 1)
+        assert events == ["miss", "hit"]
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = PlanCache()
+        cache.get_or_compile("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        cache.get_or_compile("k", lambda: 2)
+        assert cache.misses == 2
+
+    def test_stats_shape(self):
+        cache = PlanCache(capacity=8)
+        cache.get_or_compile("k", lambda: 1)
+        stats = cache.stats()
+        assert stats == {"capacity": 8, "entries": 1, "hits": 0,
+                         "misses": 1, "evictions": 0, "hit_rate": 0.0}
+
+    def test_threaded_compile_exactly_once(self):
+        cache = PlanCache(capacity=4)
+        compiled = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                cache.get_or_compile(
+                    "shared", lambda: compiled.append(1) or object())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(compiled) == 1
+        assert cache.hits + cache.misses == 400
+
+
+LAYOUT = Layout("L", [
+    FieldDef("K", parse_type("varchar(10)")),
+    FieldDef("V", parse_type("varchar(10)")),
+])
+
+INSERT_SQL = "insert into TGT values (:K, :V)"
+
+
+def make_beta(config=None):
+    engine = CdwEngine(store=CloudStore())
+    return Beta(engine, config or HyperQConfig())
+
+
+class TestBetaPreparedDml:
+    def test_repeat_prepare_hits_cache(self):
+        beta = make_beta()
+        beta.prepare_dml(INSERT_SQL, LAYOUT, "STG")
+        beta.prepare_dml(INSERT_SQL, LAYOUT, "STG")
+        assert beta.plans.stats()["hits"] == 1
+        assert beta.plans.stats()["misses"] == 1
+
+    def test_bind_rebinds_only_the_seq_range(self):
+        beta = make_beta()
+        build, kind = beta.prepare_dml(INSERT_SQL, LAYOUT, "STG")
+        assert kind == "insert"
+        first = render(build(0, 9))
+        second = render(build(700, 799))
+        assert "0" in first and "9" in first
+        assert "700" in second and "799" in second
+        assert first.replace("0", "").replace("9", "") == \
+            second.replace("7", "").replace("0", "").replace("9", "")
+
+    def test_distinct_staging_tables_get_distinct_plans(self):
+        beta = make_beta()
+        beta.prepare_dml(INSERT_SQL, LAYOUT, "HQ_STG_1")
+        beta.prepare_dml(INSERT_SQL, LAYOUT, "HQ_STG_2")
+        assert beta.plans.stats()["misses"] == 2
+
+    def test_distinct_layouts_get_distinct_plans(self):
+        beta = make_beta()
+        other = Layout("L2", [
+            FieldDef("K", parse_type("varchar(99)")),
+            FieldDef("V", parse_type("varchar(10)")),
+        ])
+        beta.prepare_dml(INSERT_SQL, LAYOUT, "STG")
+        beta.prepare_dml(INSERT_SQL, other, "STG")
+        assert beta.plans.stats()["misses"] == 2
+
+
+class TestEngineParseCache:
+    def test_repeated_statement_text_parses_once(self):
+        engine = CdwEngine(store=CloudStore())
+        engine.execute("CREATE TABLE T (A INT)")
+        for i in range(3):
+            engine.execute("INSERT INTO T VALUES (1)")
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] == 2
+        assert engine.table("T").rows == [(1,), (1,), (1,)]
+
+    def test_distinct_text_misses(self):
+        engine = CdwEngine(store=CloudStore())
+        engine.execute("CREATE TABLE T (A INT)")
+        engine.execute("INSERT INTO T VALUES (1)")
+        engine.execute("INSERT INTO T VALUES (2)")
+        assert engine.plan_cache.stats()["hits"] == 0
