@@ -1,0 +1,212 @@
+"""WLM benchmark — fair-share isolation and graceful degradation.
+
+Two results, persisted to ``BENCH_wlm.json`` at the repo root (plus a
+human-readable table under ``benchmarks/results/``):
+
+* scheduler fairness A/B: two equal-weight pools share a 4-credit
+  manager; the "hog" pool runs 8 worker threads against the "meek"
+  pool's 2.  Under the fair-share arbiter both pools must land within
+  1.5x of each other's grant throughput; under the ``fifo`` baseline
+  (straight pass-through to the manager) the hog exceeds 3x, because
+  arrival rate alone decides who gets credits.
+* graceful degradation e2e: 8 concurrent clients target a pool sized
+  for 4 (2 slots + 2 queue entries — 2x oversubscribed).  Surplus
+  sessions are shed with retryable ``WLM_THROTTLED`` errors, back off
+  per the server hint, and retry; every job must finish with the right
+  row counts and zero aborts.
+
+CI's wlm-smoke job runs this module and fails on either assertion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import bench_json, bench_scale, emit, scaled
+
+from repro.bench import build_stack, format_series
+from repro.core.config import HyperQConfig
+from repro.core.credits import CreditManager
+from repro.legacy.client import ImportJobSpec, LegacyEtlClient
+from repro.wlm import FairShareCreditArbiter
+from repro.workloads import multi_tenant_workloads
+
+SCALE = bench_scale()
+
+CREDITS = 4
+HOG_THREADS = 8
+MEEK_THREADS = 2
+HOLD_S = 0.001
+DURATION_S = 1.2
+
+CLIENTS = 8
+POOL_SLOTS = 2
+POOL_QUEUE = 2
+ROWS_PER_CLIENT = scaled(400)
+
+_RESULTS: dict = {"scale": SCALE}
+
+
+def _grant_rates(policy: str) -> dict[str, int]:
+    """Grants per pool after DURATION_S of saturated churn."""
+    manager = CreditManager(CREDITS, timeout_s=30)
+    arbiter = FairShareCreditArbiter(
+        manager, {"hog": 1.0, "meek": 1.0}, policy=policy)
+    grants = {"hog": 0, "meek": 0}
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def worker(pool: str) -> None:
+        while not stop.is_set():
+            credit = arbiter.acquire(pool)
+            time.sleep(HOLD_S)
+            arbiter.release(credit, pool)
+            with lock:
+                grants[pool] += 1
+
+    threads = [threading.Thread(target=worker, args=("hog",), daemon=True)
+               for _ in range(HOG_THREADS)]
+    threads += [threading.Thread(target=worker, args=("meek",), daemon=True)
+                for _ in range(MEEK_THREADS)]
+    for thread in threads:
+        thread.start()
+    time.sleep(DURATION_S)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    manager.check_conservation()
+    return grants
+
+
+def test_fair_share_isolates_equal_weight_pools(results_dir):
+    """Fair policy: ratio <= 1.5x; fifo baseline: ratio >= 3x."""
+    series = []
+    ratios = {}
+    for policy in ("fair", "fifo"):
+        grants = _grant_rates(policy)
+        ratio = grants["hog"] / max(grants["meek"], 1)
+        ratios[policy] = ratio
+        series.append({
+            "policy": policy,
+            "hog_grants": grants["hog"],
+            "meek_grants": grants["meek"],
+            "hog_over_meek": round(ratio, 2),
+        })
+        _RESULTS.setdefault("scheduler_fairness", {
+            "credits": CREDITS, "duration_s": DURATION_S,
+            "hold_ms": HOLD_S * 1000,
+            "threads": {"hog": HOG_THREADS, "meek": MEEK_THREADS},
+            "policies": {},
+        })["policies"][policy] = {
+            "hog_grants": grants["hog"],
+            "meek_grants": grants["meek"],
+            "ratio": round(ratio, 3),
+        }
+    text = format_series(
+        f"WLM fair-share A/B ({CREDITS} credits, "
+        f"{HOG_THREADS}v{MEEK_THREADS} threads, equal weights)",
+        series,
+        note="expect: fair within 1.5x, fifo dominated by arrival rate")
+    emit(results_dir, "wlm_fairness", text)
+
+    assert ratios["fair"] <= 1.5, \
+        f"fair-share pools diverged {ratios['fair']:.2f}x (limit 1.5x)"
+    assert ratios["fifo"] >= 3.0, \
+        f"fifo baseline ratio {ratios['fifo']:.2f}x should exceed 3x"
+
+
+def test_graceful_degradation_under_oversubscription(results_dir):
+    """2x oversubscription: throttle + retry, zero aborts."""
+    profile = {
+        "policy": "fair",
+        "pools": [{"name": "etl", "weight": 1,
+                   "max_concurrency": POOL_SLOTS,
+                   "queue_limit": POOL_QUEUE,
+                   "queue_timeout_s": 0.25,
+                   "retry_after_s": 0.05,
+                   "match": {"user": "*"}}],
+    }
+    tenants = multi_tenant_workloads(
+        tenants=1, scripts=CLIENTS, base_rows=ROWS_PER_CLIENT,
+        skew=1.0, seed=31, row_bytes=100)
+    workloads = tenants[0].workloads
+    config = HyperQConfig(credits=8, converters=2, filewriters=2,
+                          wlm_profile=profile)
+    loaded: dict[str, int] = {}
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    with build_stack(config=config) as stack:
+        for workload in workloads:
+            stack.engine.execute(workload.ddl)
+
+        def run_client(workload) -> None:
+            try:
+                client = LegacyEtlClient(stack.node.connect, timeout=60)
+                client.logon("cdw-host", "etl", "secret")
+                result = client.run_import(ImportJobSpec(
+                    target_table=workload.target_table,
+                    et_table=workload.et_table,
+                    uv_table=workload.uv_table,
+                    layout=workload.layout,
+                    apply_sql=workload.apply_sql,
+                    data=workload.data,
+                    sessions=1,
+                    admission_retry_attempts=40,
+                    admission_backoff_s=0.05))
+                client.logoff()
+                with lock:
+                    loaded[workload.name] = result.rows_inserted
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        started = time.perf_counter()
+        threads = [threading.Thread(target=run_client, args=(w,),
+                                    daemon=True) for w in workloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        wall_s = time.perf_counter() - started
+
+        assert not failures, failures
+        for workload in workloads:
+            assert loaded[workload.name] == workload.expected_good_rows
+        stack.node.credits.check_conservation()
+        pool = stack.node.stats()["wlm"]["pools"]["etl"]
+
+    # 8 arrivals into 2 slots + 2 queue entries must shed someone, and
+    # every shed session must have recovered via retry (all rows landed).
+    assert pool["admitted"] == CLIENTS
+    throttled = pool["throttled"] + pool["queue_timeouts"]
+    assert throttled >= 1, "2x oversubscription never throttled anyone"
+    assert pool["occupied_slots"] == 0
+    assert pool["queue_depth"] == 0
+
+    _RESULTS["graceful_degradation"] = {
+        "clients": CLIENTS,
+        "capacity": {"slots": POOL_SLOTS, "queue": POOL_QUEUE},
+        "rows_per_client": ROWS_PER_CLIENT,
+        "admitted": pool["admitted"],
+        "throttled": pool["throttled"],
+        "queue_timeouts": pool["queue_timeouts"],
+        "max_admission_wait_s": pool["max_admission_wait_s"],
+        "aborted": 0,
+        "rows_loaded": sum(loaded.values()),
+        "wall_s": round(wall_s, 3),
+    }
+    series = [{
+        "clients": CLIENTS,
+        "capacity": POOL_SLOTS + POOL_QUEUE,
+        "admitted": pool["admitted"],
+        "throttled": pool["throttled"],
+        "queue_timeouts": pool["queue_timeouts"],
+        "aborted": 0,
+        "wall_s": round(wall_s, 3),
+    }]
+    emit(results_dir, "wlm_degradation", format_series(
+        "WLM graceful degradation (2x oversubscribed pool)", series,
+        note="expect: throttled >= 1, aborted == 0, all rows loaded"))
+
+    bench_json("wlm", _RESULTS)

@@ -61,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the node's stats() snapshot as JSON "
                           "after the run")
     _add_chaos_args(run)
+    _add_wlm_args(run)
     _add_logging_args(run)
 
     serve = sub.add_parser(
@@ -73,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: run until interrupted)")
     serve.add_argument("--trace", action="store_true",
                        help="enable span tracing on the served node")
+    _add_wlm_args(serve)
     _add_logging_args(serve)
 
     transpile = sub.add_parser(
@@ -149,6 +151,23 @@ def _load_chaos_profile(args):
         return json.load(handle)
 
 
+def _add_wlm_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--wlm-profile", default=None, metavar="PATH",
+        help="enable workload management with this wlm-profile JSON "
+             "(resource pools + fair-share policy; see docs/WLM.md)")
+
+
+def _load_wlm_profile(args):
+    """The parsed --wlm-profile JSON, or None when not given."""
+    path = getattr(args, "wlm_profile", None)
+    if path is None:
+        return None
+    import json
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def _add_logging_args(sub_parser) -> None:
     sub_parser.add_argument(
         "--log-level", default=None, metavar="LEVEL",
@@ -173,6 +192,7 @@ def _add_observed_job_args(sub_parser) -> None:
     sub_parser.add_argument("--credits", type=int, default=16,
                             help="Hyper-Q credit pool size")
     _add_chaos_args(sub_parser)
+    _add_wlm_args(sub_parser)
 
 
 def _configure_cli_logging(args) -> None:
@@ -195,7 +215,8 @@ def _run_observed_job(args, *, trace: bool,
     config = HyperQConfig(credits=args.credits, trace_enabled=trace,
                           trace_buffer_events=trace_buffer_events,
                           chaos_profile=_load_chaos_profile(args),
-                          chaos_seed=getattr(args, "chaos_seed", None))
+                          chaos_seed=getattr(args, "chaos_seed", None),
+                          wlm_profile=_load_wlm_profile(args))
     stack = build_stack(config=config)
     try:
         if args.script:
@@ -283,7 +304,8 @@ def _cmd_run_script(args) -> int:
             credits=args.credits,
             trace_enabled=args.trace_out is not None,
             chaos_profile=_load_chaos_profile(args),
-            chaos_seed=args.chaos_seed))
+            chaos_seed=args.chaos_seed,
+            wlm_profile=_load_wlm_profile(args)))
         connect = stack.node.connect
         engine = stack.engine
         closer = stack.close
@@ -340,7 +362,8 @@ def _cmd_serve(args) -> int:
     listener = TcpListener(host=args.host, port=args.port)
     node = HyperQNode(engine, store,
                       HyperQConfig(credits=args.credits,
-                                   trace_enabled=args.trace),
+                                   trace_enabled=args.trace,
+                                   wlm_profile=_load_wlm_profile(args)),
                       listener=listener)
     node.start()
     print(f"Hyper-Q serving on {listener.host}:{listener.port} "

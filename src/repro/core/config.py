@@ -87,6 +87,11 @@ class HyperQConfig:
     #: restart without re-sending/re-uploading durable work.
     checkpoint_enabled: bool = True
 
+    # -- workload management (repro.wlm) --
+    #: parsed wlm-profile JSON ({"policy": ..., "pools": [...]} or a
+    #: bare pool list); None disables workload management entirely.
+    wlm_profile: dict | list | None = None
+
     # -- fault injection (repro.faults) --
     #: parsed chaos-profile JSON ({"seed": ..., "rules": [...]} or a
     #: bare rule list); None disables injection entirely.
@@ -122,3 +127,6 @@ class HyperQConfig:
         if self.chaos_profile is not None and \
                 not isinstance(self.chaos_profile, (dict, list)):
             raise ValueError("chaos_profile must be a dict or rule list")
+        if self.wlm_profile is not None and \
+                not isinstance(self.wlm_profile, (dict, list)):
+            raise ValueError("wlm_profile must be a dict or pool list")

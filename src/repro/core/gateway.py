@@ -40,6 +40,7 @@ from repro.obs import NULL_SPAN, Observability, configure_logging, get_logger
 from repro.resilience import (
     CheckpointJournal, CircuitBreakerRegistry, RetryPolicy,
 )
+from repro.wlm import WorkloadManager
 from repro.legacy.client import layout_from_wire
 from repro.legacy.datafmt import BinaryFormat, FormatSpec, make_format
 from repro.legacy.infer import infer_result_layout
@@ -76,6 +77,8 @@ class _LoadJob:
     application_watch: Stopwatch = field(default_factory=Stopwatch)
     sessions_seen: set[int] = field(default_factory=set)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: workload-management admission (None when wlm is disabled).
+    ticket: object = None
 
 
 @dataclass
@@ -83,6 +86,11 @@ class _ExportJob:
     job_id: str
     cursor: TdfCursor
     layout: Layout
+    #: workload-management admission (None when wlm is disabled).
+    ticket: object = None
+    #: data sessions that must see EOF before the job is torn down.
+    eof_needed: int = 1
+    eof_seen: set[int] = field(default_factory=set)
 
 
 class HyperQNode:
@@ -114,6 +122,11 @@ class HyperQNode:
             self.config.chaos_profile, seed=self.config.chaos_seed,
             obs=self.obs)
         self.retry = RetryPolicy.from_config(self.config)
+        #: multi-tenant workload management: classification, per-pool
+        #: admission, fair-share credit arbitration.  Disabled (pure
+        #: pass-through) unless ``config.wlm_profile`` is set.
+        self.wlm = WorkloadManager.from_config(
+            self.config, self.credits, obs=self.obs)
         self.breakers = CircuitBreakerRegistry.from_config(
             self.config, obs=self.obs)
         self.loader = CloudBulkLoader(
@@ -151,8 +164,13 @@ class HyperQNode:
         with self._registry_lock:
             jobs = list(self._jobs.values())
             self._jobs.clear()
+            exports = list(self._exports.values())
+            self._exports.clear()
         for job in jobs:
             job.pipeline.shutdown()
+            self.wlm.release(job.ticket)
+        for export in exports:
+            self.wlm.release(export.ticket)
         shutil.rmtree(self._base_dir, ignore_errors=True)
         log.info("node stopped", extra={
             "node": self.name, "abandoned_jobs": len(jobs),
@@ -198,6 +216,7 @@ class HyperQNode:
                 "engine_parse": self.engine.plan_cache.stats(),
             },
             "store_bytes_uploaded": self.store.bytes_uploaded,
+            "wlm": self.wlm.snapshot(),
             "resilience": {
                 "retry_attempts": self.retry.attempts_total,
                 "retry_giveups": self.retry.giveups_total,
@@ -235,34 +254,45 @@ class HyperQNode:
 
     def _serve_connection(self, endpoint) -> None:
         channel = MessageChannel(endpoint, timeout=None)
+        #: connection-scoped session attributes (set at LOGON) — the
+        #: classification inputs the workload manager sees at BEGIN.
+        conn: dict = {"user": ""}
         try:
             while True:
                 message = channel.recv_or_eof()
                 if message is None:
                     return
                 try:
-                    self._dispatch(channel, message)
+                    self._dispatch(channel, message, conn)
                 except ReproError as exc:
-                    channel.send(Message(MessageKind.ERROR, {
+                    error_meta = {
                         "code": getattr(exc, "code", 0),
                         "message": str(exc),
-                    }))
+                    }
+                    # Workload-management throttles carry structured
+                    # backoff guidance the client-side retry honors.
+                    for key in ("retry_after_s", "pool", "reason"):
+                        value = getattr(exc, key, None)
+                        if value:
+                            error_meta[key] = value
+                    channel.send(Message(MessageKind.ERROR, error_meta))
         except ReproError:
             pass
         finally:
             channel.close()
 
-    def _dispatch(self, channel: MessageChannel, message: Message) -> None:
+    def _dispatch(self, channel: MessageChannel, message: Message,
+                  conn: dict) -> None:
         kind = message.kind
         self.obs.messages_total.labels(kind=kind.name).inc()
         if kind == MessageKind.LOGON:
-            channel.send(Message(MessageKind.LOGON_OK))
+            self._handle_logon(channel, message, conn)
         elif kind == MessageKind.LOGOFF:
             channel.send(Message(MessageKind.LOGOFF_OK))
         elif kind == MessageKind.SQL_REQUEST:
             self._handle_sql(channel, message)
         elif kind == MessageKind.BEGIN_LOAD:
-            self._handle_begin_load(channel, message)
+            self._handle_begin_load(channel, message, conn)
         elif kind == MessageKind.DATA:
             self._handle_data(channel, message)
         elif kind == MessageKind.DATA_EOF:
@@ -272,11 +302,27 @@ class HyperQNode:
         elif kind == MessageKind.END_LOAD:
             self._handle_end_load(channel, message)
         elif kind == MessageKind.BEGIN_EXPORT:
-            self._handle_begin_export(channel, message)
+            self._handle_begin_export(channel, message, conn)
         elif kind == MessageKind.EXPORT_FETCH:
             self._handle_export_fetch(channel, message)
         else:
             raise ProtocolError(f"unexpected message {kind.name}")
+
+    def _handle_logon(self, channel: MessageChannel, message: Message,
+                      conn: dict) -> None:
+        """Record the session identity and name the handler thread.
+
+        Data-session LOGONs carry the job they serve, so the handler
+        thread is renamed ``<node>-job-<id>-s<n>`` — a hung or
+        credit-starved load is then visible directly in a thread dump.
+        """
+        conn["user"] = message.meta.get("user", "")
+        job_id = message.meta.get("job_id")
+        if job_id:
+            threading.current_thread().name = (
+                f"{self.name}-job-{job_id}"
+                f"-s{message.meta.get('session_no', 0)}")
+        channel.send(Message(MessageKind.LOGON_OK))
 
     # -- ad-hoc SQL: cross compile and execute on the CDW ----------------------------
 
@@ -307,10 +353,22 @@ class HyperQNode:
             raise ProtocolError(f"unknown load job {job_id!r}")
         return job
 
+    def _classify(self, meta: dict, conn: dict, target: str = "") -> str:
+        """Resource pool for one BEGIN_* request.
+
+        Tenancy is declared explicitly (``tenant`` in the request meta)
+        or falls back to the logon user — legacy scripts predate any
+        notion of tenancy, so the common case is user-based pooling.
+        """
+        user = conn.get("user", "")
+        return self.wlm.classify(
+            tenant=meta.get("tenant") or user, user=user, target=target)
+
     def _handle_begin_load(self, channel: MessageChannel,
-                           message: Message) -> None:
+                           message: Message, conn: dict) -> None:
         meta = message.meta
         job_id = meta["job_id"]
+        threading.current_thread().name = f"{self.name}-job-{job_id}-ctl"
         layout = layout_from_wire(meta["layout"])
         format_spec = FormatSpec.from_wire(meta["format"])
         target = meta["target"]
@@ -319,6 +377,24 @@ class HyperQNode:
             raise GatewayError(
                 f"target table {target!r} does not exist in the CDW")
 
+        # Admission control happens before ANY job state is created, so
+        # a shed request leaves nothing behind — the client just sees
+        # WLM_THROTTLED and retries the whole BEGIN_LOAD later.
+        pool = self._classify(meta, conn, target=target)
+        ticket = self.wlm.admit(pool, job_id, kind="load")
+        try:
+            self._begin_load_admitted(channel, meta, job_id, layout,
+                                      format_spec, target, resume,
+                                      pool, ticket)
+        except BaseException:
+            self.wlm.release(ticket)
+            raise
+
+    def _begin_load_admitted(self, channel: MessageChannel, meta: dict,
+                             job_id: str, layout: Layout,
+                             format_spec: FormatSpec, target: str,
+                             resume: bool, pool: str, ticket) -> None:
+        """Set up one admitted load job (the pre-wlm BEGIN_LOAD body)."""
         # A restarted job (same job_id, resume flag) replaces whatever
         # is left of its killed predecessor; the checkpoint journal in
         # the job's staging directory carries the durable progress over.
@@ -328,6 +404,7 @@ class HyperQNode:
             if stale is not None:
                 stale.pipeline.shutdown()
                 stale.span.end("error")
+                self.wlm.release(stale.ticket)
                 self.obs.jobs_total.labels(event="restarted").inc()
 
         staging_table = f"HQ_STG_{job_id}"
@@ -346,7 +423,8 @@ class HyperQNode:
         metrics = JobMetrics(job_id=job_id,
                              sessions=meta.get("sessions", 0))
         job_span = self.obs.tracer.span(
-            "job", job_id=job_id, target=target)
+            "job", job_id=job_id, target=target,
+            **({"pool": pool} if pool else {}))
         with self.obs.tracer.span(
                 "codec.compile", parent=job_span, job_id=job_id,
                 kind=format_spec.kind,
@@ -362,8 +440,9 @@ class HyperQNode:
             staging_table=staging_table)
         pipeline = AcquisitionPipeline(
             converter=converter,
-            credits=self.credits,
+            credits=self.wlm.credit_source(pool),
             loader=self.loader,
+            job_id=job_id,
             engine=self.engine,
             staging_table=staging_table,
             container=self.config.container,
@@ -385,12 +464,12 @@ class HyperQNode:
             layout=layout, format_spec=format_spec,
             staging_table=staging_table, staging_dir=staging_dir,
             pipeline=pipeline, metrics=metrics,
-            span=job_span,
+            span=job_span, ticket=ticket,
         )
         job.total_watch.start()
         self.obs.jobs_total.labels(event="started").inc()
         log.info("load job started", extra={
-            "job_id": job_id, "target": target,
+            "job_id": job_id, "target": target, "pool": pool,
             "sessions": meta.get("sessions", 0)})
         with self._registry_lock:
             self._jobs[job_id] = job
@@ -557,23 +636,35 @@ class HyperQNode:
         with self._registry_lock:
             self._jobs.pop(job_id, None)
             self.completed_jobs.append(job.metrics)
+        # The pool slot frees only after every trace of the job is gone,
+        # so admission really does bound concurrent resource footprints.
+        self.wlm.release(job.ticket)
         channel.send(Message(MessageKind.END_LOAD_OK))
 
     # -- export jobs ------------------------------------------------------------------------
 
     def _handle_begin_export(self, channel: MessageChannel,
-                             message: Message) -> None:
+                             message: Message, conn: dict) -> None:
         job_id = message.meta["job_id"]
-        cdw_sql = transpile(message.meta["sql"], "legacy", "cdw")
-        cursor = TdfCursor(
-            self.engine, cdw_sql,
-            chunk_rows=self.config.export_chunk_rows,
-            prefetch=max(self.config.prefetch_packets,
-                         message.meta.get("sessions", 1)))
-        # Infer the legacy layout from the materialized result so every
-        # chunk is encoded consistently.
-        layout = infer_result_layout(cursor.columns, cursor._rows)
-        job = _ExportJob(job_id=job_id, cursor=cursor, layout=layout)
+        threading.current_thread().name = f"{self.name}-job-{job_id}-ctl"
+        pool = self._classify(message.meta, conn)
+        ticket = self.wlm.admit(pool, job_id, kind="export")
+        try:
+            cdw_sql = transpile(message.meta["sql"], "legacy", "cdw")
+            cursor = TdfCursor(
+                self.engine, cdw_sql,
+                chunk_rows=self.config.export_chunk_rows,
+                prefetch=max(self.config.prefetch_packets,
+                             message.meta.get("sessions", 1)))
+            # Infer the legacy layout from the materialized result so
+            # every chunk is encoded consistently.
+            layout = infer_result_layout(cursor.columns, cursor._rows)
+        except BaseException:
+            self.wlm.release(ticket)
+            raise
+        job = _ExportJob(
+            job_id=job_id, cursor=cursor, layout=layout, ticket=ticket,
+            eof_needed=max(1, message.meta.get("sessions", 1)))
         with self._registry_lock:
             self._exports[job_id] = job
         channel.send(Message(MessageKind.BEGIN_EXPORT_OK, {
@@ -590,6 +681,19 @@ class HyperQNode:
         chunk_no = message.meta["chunk_no"]
         packet_bytes = job.cursor.packet(chunk_no)
         if packet_bytes is None:
+            # Each data session fetches the chunk stripe
+            # ``chunk_no ≡ session (mod sessions)``, so the first
+            # past-the-end chunk_no identifies which session drained.
+            # Once every session saw EOF the job is complete: drop it
+            # from the registry and free its admission slot.
+            done = False
+            with self._registry_lock:
+                job.eof_seen.add(chunk_no % job.eof_needed)
+                if len(job.eof_seen) >= job.eof_needed:
+                    self._exports.pop(job.job_id, None)
+                    done = True
+            if done:
+                self.wlm.release(job.ticket)
             channel.send(Message(MessageKind.EXPORT_DATA,
                                  {"chunk_no": chunk_no, "eof": True}))
             return

@@ -41,7 +41,7 @@ from repro.core.config import HyperQConfig
 from repro.core.converter import (
     AcquisitionError, ConvertedChunk, DataConverter,
 )
-from repro.core.credits import Credit, CreditManager
+from repro.core.credits import Credit
 from repro.core.filewriter import FileWriter, StagedFile
 from repro.core.metrics import JobMetrics
 from repro.errors import GatewayError, PipelineFailure
@@ -64,7 +64,7 @@ _PART_NAME = re.compile(r"part-(\d+)-(\d+)\.csv$")
 class AcquisitionPipeline:
     """Runs the converter/filewriter/uploader stages for one load job."""
 
-    def __init__(self, *, converter: DataConverter, credits: CreditManager,
+    def __init__(self, *, converter: DataConverter, credits,
                  loader: CloudBulkLoader, engine: CdwEngine,
                  staging_table: str, container: str, prefix: str,
                  staging_dir: str, config: HyperQConfig,
@@ -74,9 +74,14 @@ class AcquisitionPipeline:
                  retry: RetryPolicy | None = None,
                  breakers: CircuitBreakerRegistry | None = None,
                  journal: CheckpointJournal | None = None,
-                 resume: bool = False):
+                 resume: bool = False, job_id: str = ""):
         self.converter = converter
+        #: credit source — the node's CreditManager, or a pool-bound
+        #: :class:`repro.wlm.PoolCredits` view when workload management
+        #: is enabled (same acquire()/release(credit) surface).
         self.credits = credits
+        #: owning job id; stamps worker thread names for diagnosability.
+        self.job_id = job_id
         self.loader = loader
         self.engine = engine
         self.staging_table = staging_table
@@ -197,8 +202,13 @@ class AcquisitionPipeline:
         return highest + 1
 
     def _spawn(self, target, name: str, *args) -> None:
+        # Job-scoped names (``hyperq-job-<id>-converter-0``) make thread
+        # dumps of a busy multi-tenant node attributable at a glance.
+        prefix = (f"hyperq-job-{self.job_id}" if self.job_id
+                  else "hyperq")
         thread = threading.Thread(
-            target=target, args=args, daemon=True, name=f"hyperq-{name}")
+            target=target, args=args, daemon=True,
+            name=f"{prefix}-{name}")
         thread.start()
         self._threads.append(thread)
 

@@ -161,6 +161,34 @@ class PipelineFailure(GatewayError):
         super().__init__(message)
 
 
+class WlmThrottled(GatewayError):
+    """Admission control rejected or timed out a job (workload manager).
+
+    Deliberately *transient* (``transient = True``) so the legacy
+    client's :class:`~repro.resilience.retry.RetryPolicy` backs off and
+    retries the BEGIN_LOAD / BEGIN_EXPORT instead of failing the job.
+    ``retry_after_s`` is the server's backoff hint (it floors the
+    client's jittered delay); ``reason`` is ``"queue_full"`` (shed
+    immediately — the pool's bounded admission queue had no room) or
+    ``"queue_timeout"`` (queued, but no slot freed within the pool's
+    queue timeout).  In-flight jobs are never aborted by the workload
+    manager — throttling happens strictly at admission.
+    """
+
+    transient = True
+    #: Hyper-Q protocol error code carried in ERROR frames (the repro's
+    #: stand-in for the legacy EDW's "delayed by workload rule" codes).
+    code = 3149
+
+    def __init__(self, message: str, pool: str = "",
+                 reason: str = "queue_full",
+                 retry_after_s: float = 0.0):
+        self.pool = pool
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
 class CircuitOpenError(GatewayError):
     """A circuit breaker rejected the call without attempting it.
 
@@ -214,6 +242,9 @@ HYPERQ_CONVERSION_ERROR = 3103
 HYPERQ_UNIQUENESS_ERROR = 3805
 #: Hyper-Q error-table code: max_errors budget exhausted (Figure 6).
 HYPERQ_MAX_ERRORS_REACHED = 9057
+#: Hyper-Q protocol code: job throttled by workload management (see
+#: :class:`WlmThrottled` and docs/WLM.md) — retryable after backoff.
+HYPERQ_WLM_THROTTLED = WlmThrottled.code
 
 
 # ---------------------------------------------------------------------------

@@ -21,11 +21,13 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from repro.errors import ProtocolError, TransportClosed
+from repro.errors import ProtocolError, TransportClosed, WlmThrottled
 from repro.legacy.datafmt import FormatSpec, make_format
 from repro.legacy.protocol import Message, MessageChannel, MessageKind
 from repro.legacy.types import FieldDef, Layout, parse_type
-from repro.resilience import CheckpointJournal, full_jitter_delay
+from repro.resilience import (
+    CheckpointJournal, RetryPolicy, full_jitter_delay,
+)
 
 __all__ = [
     "LegacyEtlClient", "ImportJobSpec", "ExportJobSpec",
@@ -82,6 +84,16 @@ class ImportJobSpec:
     #: path of the client-side ack journal (records per-chunk acks so a
     #: whole-process restart knows what this client already sent).
     journal_path: str | None = None
+    #: tenant this job runs on behalf of — a workload-managed gateway
+    #: classifies the job into a resource pool by it (falls back to the
+    #: logon user when empty).
+    tenant: str = ""
+    #: how many times a WLM_THROTTLED BEGIN is retried before the
+    #: throttle propagates to the caller (0 = no admission retry).
+    admission_retry_attempts: int = 0
+    #: base backoff between admission retries; the server's
+    #: retry-after hint floors each delay.
+    admission_backoff_s: float = 0.05
 
 
 @dataclass
@@ -109,6 +121,12 @@ class ExportJobSpec:
     format_spec: FormatSpec = field(
         default_factory=lambda: FormatSpec("vartext", "|"))
     sessions: int = 2
+    #: tenant this job runs on behalf of (see ImportJobSpec.tenant).
+    tenant: str = ""
+    #: admission retries for a WLM_THROTTLED BEGIN_EXPORT.
+    admission_retry_attempts: int = 0
+    #: base backoff between admission retries (server hint floors it).
+    admission_backoff_s: float = 0.05
 
 
 @dataclass
@@ -263,6 +281,28 @@ class LegacyEtlClient:
 
     # -- import jobs -------------------------------------------------------------
 
+    def _request_admitted(self, control: MessageChannel, message: Message,
+                          expect: MessageKind, attempts: int,
+                          backoff_s: float) -> Message:
+        """Send a BEGIN request, absorbing WLM_THROTTLED with backoff.
+
+        A workload-managed gateway sheds BEGIN requests when the job's
+        resource pool is saturated; the shed carries a retry-after hint
+        which floors each backoff delay.  Only throttles are retried —
+        any other error still surfaces immediately.  The legacy
+        utilities behaved exactly this way against a busy EDW: wait,
+        retry the logon/begin, eventually give up.
+        """
+        if attempts <= 0:
+            return control.request(message, expect)
+        policy = RetryPolicy(
+            max_attempts=attempts + 1,
+            base_delay_s=backoff_s,
+            max_delay_s=max(backoff_s * 32, backoff_s),
+            classify=lambda exc: isinstance(exc, WlmThrottled))
+        return policy.call(lambda: control.request(message, expect),
+                           target="wlm.admit")
+
     def run_import(self, spec: ImportJobSpec) -> ImportJobResult:
         """Execute a full import job: acquisition then DML application."""
         control = self._require_control()
@@ -276,11 +316,14 @@ class LegacyEtlClient:
             "format": spec.format_spec.to_wire(),
             "sessions": spec.sessions,
         }
+        if spec.tenant:
+            begin_meta["tenant"] = spec.tenant
         if spec.resume:
             begin_meta["resume"] = True
-        begun = control.request(
-            Message(MessageKind.BEGIN_LOAD, begin_meta),
-            MessageKind.BEGIN_LOAD_OK)
+        begun = self._request_admitted(
+            control, Message(MessageKind.BEGIN_LOAD, begin_meta),
+            MessageKind.BEGIN_LOAD_OK,
+            spec.admission_retry_attempts, spec.admission_backoff_s)
 
         journal = None
         if spec.journal_path is not None:
@@ -418,14 +461,18 @@ class LegacyEtlClient:
         """Execute an export job: SELECT on the server, fetch chunks."""
         control = self._require_control()
         job_id = uuid.uuid4().hex[:12]
-        begun = control.request(
-            Message(MessageKind.BEGIN_EXPORT, {
-                "job_id": job_id,
-                "sql": spec.select_sql,
-                "format": spec.format_spec.to_wire(),
-                "sessions": spec.sessions,
-            }),
-            MessageKind.BEGIN_EXPORT_OK)
+        begin_meta = {
+            "job_id": job_id,
+            "sql": spec.select_sql,
+            "format": spec.format_spec.to_wire(),
+            "sessions": spec.sessions,
+        }
+        if spec.tenant:
+            begin_meta["tenant"] = spec.tenant
+        begun = self._request_admitted(
+            control, Message(MessageKind.BEGIN_EXPORT, begin_meta),
+            MessageKind.BEGIN_EXPORT_OK,
+            spec.admission_retry_attempts, spec.admission_backoff_s)
         columns = [tuple(c) for c in begun.meta["columns"]]
         layout = _columns_layout(columns)
         fmt = make_format(spec.format_spec, layout)

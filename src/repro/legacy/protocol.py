@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Iterator
 
-from repro.errors import ProtocolError, TransportClosed
+from repro.errors import ProtocolError, TransportClosed, WlmThrottled
 from repro.net import Endpoint
 
 __all__ = ["MessageKind", "Message", "Coalescer", "MessageChannel"]
@@ -85,6 +85,16 @@ class Message:
     def expect(self, kind: MessageKind) -> "Message":
         """Assert this message has the given kind; raise the peer's error."""
         if self.kind == MessageKind.ERROR and kind != MessageKind.ERROR:
+            if self.meta.get("code") == WlmThrottled.code:
+                # Workload-management shedding is a *typed* peer error:
+                # the client's admission retry loop catches it and backs
+                # off using the server's retry-after hint.
+                raise WlmThrottled(
+                    str(self.meta.get("message")),
+                    pool=self.meta.get("pool", ""),
+                    reason=self.meta.get("reason", "queue_full"),
+                    retry_after_s=float(
+                        self.meta.get("retry_after_s", 0.0)))
             raise ProtocolError(
                 f"peer error {self.meta.get('code')}: "
                 f"{self.meta.get('message')}")

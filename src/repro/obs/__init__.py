@@ -160,6 +160,37 @@ class Observability:
             "Work units skipped because the checkpoint journal showed "
             "them durable", ("kind",))
 
+        # -- workload management --
+        self.wlm_admitted = reg.counter(
+            "hyperq_wlm_admitted_total",
+            "Jobs admitted into a resource pool", ("pool",))
+        self.wlm_throttled = reg.counter(
+            "hyperq_wlm_throttled_total",
+            "Admissions shed with WLM_THROTTLED", ("pool", "reason"))
+        self.wlm_timeouts = reg.counter(
+            "hyperq_wlm_timeout_total",
+            "Queued admissions that outlived queue_timeout_s", ("pool",))
+        self.wlm_queue_depth = reg.gauge(
+            "hyperq_wlm_queue_depth",
+            "Admissions currently queued per pool", ("pool",))
+        self.wlm_slots_occupied = reg.gauge(
+            "hyperq_wlm_slots_occupied",
+            "Concurrency slots currently occupied per pool", ("pool",))
+        self.wlm_admission_wait_seconds = reg.histogram(
+            "hyperq_wlm_admission_wait_seconds",
+            "Time admitted jobs queued before getting a slot", ("pool",))
+        self.wlm_job_seconds = reg.histogram(
+            "hyperq_wlm_job_seconds",
+            "Admission-to-release lifetime of pool slots", ("pool",))
+        self.wlm_credit_grants = reg.counter(
+            "hyperq_wlm_credit_grants_total",
+            "Credits granted by the fair-share arbiter",
+            ("pool", "contended"))
+        self.wlm_credit_wait_seconds = reg.histogram(
+            "hyperq_wlm_credit_wait_seconds",
+            "Time sessions waited on the arbiter for a credit",
+            ("pool",))
+
         # -- CDW substrate --
         self.statement_seconds = reg.histogram(
             "cdw_statement_seconds",

@@ -134,6 +134,13 @@ class RetryPolicy:
                 retryable = self.classify(exc)
                 out_of_attempts = attempt >= self.max_attempts
                 delay = 0.0 if out_of_attempts else self.delay(attempt)
+                # Server-provided backoff hints (WlmThrottled and
+                # friends expose ``retry_after_s``) floor the jittered
+                # delay: retrying sooner than the peer asked would just
+                # re-trip the same admission limit.
+                if not out_of_attempts:
+                    delay = max(delay, float(
+                        getattr(exc, "retry_after_s", 0.0) or 0.0))
                 over_budget = slept + delay > self.budget_s
                 if not retryable or out_of_attempts or over_budget:
                     if retryable:

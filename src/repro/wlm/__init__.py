@@ -1,0 +1,37 @@
+"""Workload management for Hyper-Q nodes (``repro.wlm``).
+
+Multi-tenant nodes share one credit pool and one apply executor; this
+package keeps concurrent tenants from trampling each other on those
+shared resources.  It is three small layers:
+
+- :mod:`repro.wlm.profile` — the ``wlm_profile`` JSON: named resource
+  pools with weights, concurrency slots, bounded admission queues, and
+  glob ``match`` clauses that classify sessions by tenant/user/target;
+- :mod:`repro.wlm.arbiter` — the weighted fair-share credit arbiter
+  wrapped around :class:`~repro.core.credits.CreditManager`
+  (work-conserving: idle pools' shares flow to busy ones);
+- :mod:`repro.wlm.manager` — the :class:`WorkloadManager` the gateway
+  consults on every BEGIN_LOAD / BEGIN_EXPORT: admit into a slot, queue
+  briefly, or shed with a retryable ``WLM_THROTTLED`` error carrying a
+  retry-after hint.  In-flight jobs are never aborted.
+
+See ``docs/WLM.md`` for the operator-facing guide and
+``examples/wlm_profile.json`` for a starting profile.
+"""
+
+from repro.wlm.arbiter import FairShareCreditArbiter, PoolCredits
+from repro.wlm.manager import AdmissionTicket, WorkloadManager
+from repro.wlm.profile import (DEFAULT_POOL, MATCH_KEYS, POLICIES,
+                               PoolSpec, WlmProfile)
+
+__all__ = [
+    "AdmissionTicket",
+    "DEFAULT_POOL",
+    "FairShareCreditArbiter",
+    "MATCH_KEYS",
+    "POLICIES",
+    "PoolCredits",
+    "PoolSpec",
+    "WlmProfile",
+    "WorkloadManager",
+]

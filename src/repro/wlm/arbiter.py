@@ -1,0 +1,214 @@
+"""The weighted fair-share credit arbiter.
+
+Section 5 hangs every concurrent job on a node off one shared
+:class:`~repro.core.credits.CreditManager`; without arbitration the
+pool drains first-come-first-served, so one tenant running wide loads
+(many data sessions, each holding a credit per in-flight chunk) starves
+everyone else.  The :class:`FairShareCreditArbiter` sits in front of
+the manager and apportions *in-flight credits* across resource pools by
+weight:
+
+- each pool's instantaneous fair share is
+  ``pool_size * weight / sum(weights of active pools)`` where a pool is
+  *active* while it holds credits or has sessions waiting — idle pools
+  contribute nothing, so their capacity flows to busy pools
+  (**work-conserving**);
+- a pool below its share is granted a credit as soon as one is free;
+- a pool at/above its share may still take more, but only while no
+  *other* pool is deprived (has waiters and sits below its own share) —
+  that single rule is what turns FIFO starvation into weighted fairness
+  without ever idling credits.
+
+The arbiter only decides *who* gets the next token; the wrapped
+``CreditManager`` still mints, tracks, and conserves the tokens
+themselves, so ``check_conservation()`` keeps working unchanged.  With
+``policy="fifo"`` the arbiter degrades to a pass-through that merely
+keeps per-pool accounting — the measured baseline of the fairness
+benchmark (``benchmarks/test_wlm_fairness.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.credits import Credit, CreditManager
+from repro.errors import BackPressureTimeout
+from repro.obs import NULL_OBS, Observability
+
+__all__ = ["FairShareCreditArbiter", "PoolCredits"]
+
+
+class FairShareCreditArbiter:
+    """Apportions one CreditManager's tokens across pools by weight."""
+
+    def __init__(self, manager: CreditManager,
+                 weights: dict[str, float],
+                 policy: str = "fair",
+                 obs: Observability = NULL_OBS):
+        if not weights:
+            raise ValueError("arbiter needs at least one pool")
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError("pool weights must be > 0")
+        self.manager = manager
+        self.policy = policy
+        self.weights = dict(weights)
+        self.obs = obs
+        self._cond = threading.Condition()
+        self._in_flight = {name: 0 for name in weights}
+        self._waiters = {name: 0 for name in weights}
+        # -- per-pool statistics (under _cond) --
+        self.grants = {name: 0 for name in weights}
+        #: grants made while some *other* pool also had waiters — the
+        #: contention window where the scheduling policy is visible.
+        self.contended_grants = {name: 0 for name in weights}
+        self.wait_s = {name: 0.0 for name in weights}
+
+    # -- scheduling decision (under _cond) ---------------------------------
+
+    def _share(self, pool: str) -> float:
+        """``pool``'s instantaneous fair share of the credit pool.
+
+        Computed over *active* pools only (work conservation) and
+        floored at one credit so every active pool can always make
+        progress.
+        """
+        active_weight = sum(
+            w for name, w in self.weights.items()
+            if self._in_flight[name] > 0 or self._waiters[name] > 0
+            or name == pool)
+        share = self.manager.pool_size * self.weights[pool] / active_weight
+        return max(share, 1.0)
+
+    def _may_grant(self, pool: str) -> bool:
+        """May ``pool`` take the next credit right now?"""
+        if sum(self._in_flight.values()) >= self.manager.pool_size:
+            return False
+        if self.policy == "fifo":
+            return True
+        if self._in_flight[pool] < self._share(pool):
+            return True
+        # Work-conserving overshoot: exceed the share only while no
+        # other pool is deprived (waiting below its own share).
+        for other, waiting in self._waiters.items():
+            if other == pool or waiting == 0:
+                continue
+            if self._in_flight[other] < self._share(other):
+                return False
+        return True
+
+    # -- token operations ---------------------------------------------------
+
+    def acquire(self, pool: str) -> Credit:
+        """Take a credit on behalf of ``pool``; blocks while over-share.
+
+        Raises :class:`~repro.errors.BackPressureTimeout` after the
+        wrapped manager's ``timeout_s``, exactly like a direct
+        ``CreditManager.acquire``.
+        """
+        timeout_s = self.manager.timeout_s
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
+        started = time.monotonic()
+        with self._cond:
+            self._waiters[pool] += 1
+            try:
+                while not self._may_grant(pool):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise BackPressureTimeout(
+                                f"pool {pool!r}: no credit within "
+                                f"{timeout_s}s "
+                                f"(pool_size={self.manager.pool_size}, "
+                                f"share={self._share(pool):.1f})")
+                    self._cond.wait(timeout=remaining)
+                self._in_flight[pool] += 1
+                self.grants[pool] += 1
+                contended = any(
+                    w > 0 for name, w in self._waiters.items()
+                    if name != pool)
+                if contended:
+                    self.contended_grants[pool] += 1
+                waited = time.monotonic() - started
+                self.wait_s[pool] += waited
+            finally:
+                self._waiters[pool] -= 1
+                # A grant (or an abandoned wait) changes the picture
+                # for *other* pools — e.g. this pool may no longer be
+                # deprived — so let every waiter re-evaluate.
+                self._cond.notify_all()
+        # Guaranteed not to block: grants never exceed pool_size, the
+        # in-flight count is raised before the token is taken, and
+        # releases return the token before lowering the count.
+        credit = self.manager.acquire()
+        self.obs.wlm_credit_grants.labels(
+            pool=pool, contended="yes" if contended else "no").inc()
+        self.obs.wlm_credit_wait_seconds.labels(pool=pool).observe(waited)
+        return credit
+
+    def release(self, credit: Credit, pool: str) -> None:
+        """Return ``pool``'s credit and wake the next deserving waiter."""
+        self.manager.release(credit)
+        with self._cond:
+            self._in_flight[pool] -= 1
+            self._cond.notify_all()
+
+    # -- introspection -------------------------------------------------------
+
+    def in_flight(self, pool: str) -> int:
+        """Credits ``pool`` currently holds."""
+        with self._cond:
+            return self._in_flight[pool]
+
+    def waiters(self, pool: str) -> int:
+        """Sessions of ``pool`` currently blocked waiting for a credit."""
+        with self._cond:
+            return self._waiters[pool]
+
+    def view(self, pool: str) -> "PoolCredits":
+        """A pool-bound facade duck-typing ``CreditManager`` acquire/release."""
+        if pool not in self.weights:
+            raise ValueError(f"unknown pool {pool!r}")
+        return PoolCredits(self, pool)
+
+    def snapshot(self) -> dict:
+        """Per-pool scheduling statistics for ``stats()["wlm"]``."""
+        with self._cond:
+            return {
+                name: {
+                    "weight": self.weights[name],
+                    "in_flight": self._in_flight[name],
+                    "waiters": self._waiters[name],
+                    "grants": self.grants[name],
+                    "contended_grants": self.contended_grants[name],
+                    "wait_s": round(self.wait_s[name], 6),
+                }
+                for name in sorted(self.weights)
+            }
+
+
+class PoolCredits:
+    """A pool-bound view of the arbiter with the CreditManager surface.
+
+    The acquisition pipeline only ever calls ``acquire()`` and
+    ``release(credit)``, so binding the pool here means
+    :class:`~repro.core.pipeline.AcquisitionPipeline` needs no
+    workload-management awareness at all — a job admitted into pool P
+    simply receives a ``PoolCredits`` instead of the raw manager.
+    """
+
+    __slots__ = ("arbiter", "pool")
+
+    def __init__(self, arbiter: FairShareCreditArbiter, pool: str):
+        self.arbiter = arbiter
+        self.pool = pool
+
+    def acquire(self) -> Credit:
+        """Take a credit, arbitrated under this view's pool."""
+        return self.arbiter.acquire(self.pool)
+
+    def release(self, credit: Credit) -> None:
+        """Return a credit under this view's pool."""
+        return self.arbiter.release(credit, self.pool)

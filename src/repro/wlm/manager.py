@@ -1,0 +1,269 @@
+"""The per-node workload manager: classification, admission, shedding.
+
+One :class:`WorkloadManager` sits between the gateway's connection
+handlers and the node's shared credit/apply resources (cf. Hive LLAP's
+workload management: resource plans, pools, query admission).  Its job
+is to make overload a *first-class, recoverable* condition instead of a
+handler thread blocking indefinitely in ``CreditManager.acquire()``:
+
+1. **Classify** — every BEGIN_LOAD / BEGIN_EXPORT is mapped to a
+   resource pool by its session attributes (tenant, user, target table)
+   via the :class:`~repro.wlm.profile.WlmProfile`.
+2. **Admit** — each pool holds ``max_concurrency`` slots and a bounded
+   queue.  A free slot admits immediately; a full queue sheds the
+   arrival *now* (``queue_full``); a queued arrival that outlives the
+   pool's ``queue_timeout_s`` is shed late (``queue_timeout``).  Both
+   raise :class:`~repro.errors.WlmThrottled`, which travels to the
+   legacy client as a retryable ``WLM_THROTTLED`` protocol error with a
+   retry-after hint.  In-flight jobs are never aborted.
+3. **Arbitrate** — admitted jobs draw credits through the
+   :class:`~repro.wlm.arbiter.FairShareCreditArbiter`, so one pool's
+   wide load cannot starve another's chunks out of the pipeline.
+
+A node built without a ``wlm_profile`` gets a *disabled* manager:
+``admit`` returns ``None``, ``credit_source`` hands back the raw
+manager, and the node behaves byte-for-byte as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.credits import CreditManager
+from repro.errors import WlmThrottled
+from repro.obs import NULL_OBS, Observability, get_logger
+from repro.wlm.arbiter import FairShareCreditArbiter
+from repro.wlm.profile import PoolSpec, WlmProfile
+
+__all__ = ["AdmissionTicket", "WorkloadManager"]
+
+log = get_logger("wlm")
+
+
+class AdmissionTicket:
+    """Proof of one admitted job; releasing it frees the pool slot."""
+
+    __slots__ = ("pool", "job_id", "kind", "admitted_at", "_released")
+
+    def __init__(self, pool: str, job_id: str, kind: str):
+        self.pool = pool
+        self.job_id = job_id
+        self.kind = kind
+        self.admitted_at = time.monotonic()
+        self._released = False
+
+
+class _PoolState:
+    """Mutable per-pool admission state (guarded by the manager lock)."""
+
+    __slots__ = ("spec", "occupied", "queued", "admitted", "throttled",
+                 "timeouts", "admission_wait_s", "max_wait_s")
+
+    def __init__(self, spec: PoolSpec):
+        self.spec = spec
+        self.occupied = 0
+        self.queued = 0
+        self.admitted = 0
+        self.throttled = 0
+        self.timeouts = 0
+        self.admission_wait_s = 0.0
+        self.max_wait_s = 0.0
+
+
+class WorkloadManager:
+    """Admission control + fair-share credit arbitration for one node."""
+
+    def __init__(self, profile: WlmProfile | None,
+                 credits: CreditManager,
+                 obs: Observability = NULL_OBS):
+        self.profile = profile
+        self.credits = credits
+        self.obs = obs
+        self._cond = threading.Condition()
+        self._pools: dict[str, _PoolState] = {}
+        self.arbiter: FairShareCreditArbiter | None = None
+        if profile is not None:
+            self._pools = {name: _PoolState(spec)
+                           for name, spec in profile.pools.items()}
+            self.arbiter = FairShareCreditArbiter(
+                credits,
+                {name: spec.weight
+                 for name, spec in profile.pools.items()},
+                policy=profile.policy, obs=obs)
+            for name in self._pools:
+                obs.wlm_queue_depth.labels(pool=name).set(0)
+                obs.wlm_slots_occupied.labels(pool=name).set(0)
+
+    @classmethod
+    def from_config(cls, config, credits: CreditManager,
+                    obs: Observability = NULL_OBS) -> "WorkloadManager":
+        """Build the node's manager from ``HyperQConfig.wlm_profile``."""
+        return cls(WlmProfile.from_profile(config.wlm_profile),
+                   credits, obs=obs)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a profile is armed (disabled managers pass through)."""
+        return self.profile is not None
+
+    # -- classification ------------------------------------------------------
+
+    def classify(self, **attrs) -> str:
+        """Resource pool for a session with these attributes."""
+        if self.profile is None:
+            return ""
+        return self.profile.classify(**attrs)
+
+    def credit_source(self, pool: str):
+        """What the admitted job's pipeline should draw credits from.
+
+        The pool-bound arbiter view when enabled, the raw shared
+        ``CreditManager`` otherwise — both expose the same
+        ``acquire()`` / ``release(credit)`` surface.
+        """
+        if self.arbiter is None or not pool:
+            return self.credits
+        return self.arbiter.view(pool)
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, pool: str, job_id: str,
+              kind: str = "load", parent_span=None) -> AdmissionTicket | None:
+        """Admit one job into ``pool`` or shed it with ``WlmThrottled``.
+
+        Returns ``None`` when workload management is disabled.  Blocks
+        at most the pool's ``queue_timeout_s`` (and only when a queue
+        position is free); emits the ``wlm.admit`` span and the
+        admitted/throttled/timeout counters either way.
+        """
+        if self.profile is None:
+            return None
+        state = self._pools[pool]
+        spec = state.spec
+        span = self.obs.tracer.span(
+            "wlm.admit", parent=parent_span, pool=pool, job_id=job_id,
+            kind=kind)
+        started = time.monotonic()
+        try:
+            ticket = self._admit_locked(pool, state, spec, job_id, kind)
+        except WlmThrottled as exc:
+            span.set_attribute("reason", exc.reason)
+            span.set_attribute("retry_after_s", exc.retry_after_s)
+            span.end("error")
+            raise
+        waited = time.monotonic() - started
+        span.set_attribute("wait_s", round(waited, 6))
+        span.end()
+        self.obs.wlm_admitted.labels(pool=pool).inc()
+        self.obs.wlm_admission_wait_seconds.labels(pool=pool).observe(
+            waited)
+        with self._cond:
+            state.admitted += 1
+            state.admission_wait_s += waited
+            state.max_wait_s = max(state.max_wait_s, waited)
+        log.debug("admitted %s job %s into pool %s (waited %.3fs)",
+                  kind, job_id, pool, waited)
+        return ticket
+
+    def _admit_locked(self, pool: str, state: _PoolState, spec: PoolSpec,
+                      job_id: str, kind: str) -> AdmissionTicket:
+        """The admission state machine proper (throttles raise)."""
+        with self._cond:
+            if state.occupied < spec.max_concurrency:
+                return self._take_slot(pool, state, job_id, kind)
+            if state.queued >= spec.queue_limit:
+                self._shed(pool, state, "queue_full",
+                           f"pool {pool!r} admission queue full "
+                           f"({state.queued}/{spec.queue_limit} queued, "
+                           f"{state.occupied} running)")
+            deadline = (time.monotonic() + spec.queue_timeout_s
+                        if spec.queue_timeout_s is not None else None)
+            state.queued += 1
+            self.obs.wlm_queue_depth.labels(pool=pool).set(state.queued)
+            try:
+                while state.occupied >= spec.max_concurrency:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            state.timeouts += 1
+                            self.obs.wlm_timeouts.labels(pool=pool).inc()
+                            self._shed(
+                                pool, state, "queue_timeout",
+                                f"pool {pool!r}: no slot within "
+                                f"{spec.queue_timeout_s}s "
+                                f"({state.occupied} running)")
+                    self._cond.wait(timeout=remaining)
+                return self._take_slot(pool, state, job_id, kind)
+            finally:
+                state.queued -= 1
+                self.obs.wlm_queue_depth.labels(pool=pool).set(
+                    state.queued)
+
+    def _take_slot(self, pool: str, state: _PoolState,
+                   job_id: str, kind: str) -> AdmissionTicket:
+        """Occupy one slot (caller holds the lock)."""
+        state.occupied += 1
+        self.obs.wlm_slots_occupied.labels(pool=pool).set(state.occupied)
+        return AdmissionTicket(pool, job_id, kind)
+
+    def _shed(self, pool: str, state: _PoolState, reason: str,
+              message: str) -> None:
+        """Raise the throttle for one shed admission (lock held)."""
+        state.throttled += 1
+        hint = state.spec.throttle_hint_s(state.queued)
+        self.obs.wlm_throttled.labels(pool=pool, reason=reason).inc()
+        log.warning("shed %s admission: %s (retry in %.3fs)",
+                    pool, message, hint,
+                    extra={"pool": pool, "reason": reason})
+        raise WlmThrottled(message, pool=pool, reason=reason,
+                           retry_after_s=hint)
+
+    def release(self, ticket: AdmissionTicket | None) -> None:
+        """Free an admitted job's slot (idempotent, ``None``-tolerant)."""
+        if ticket is None or ticket._released:
+            return
+        ticket._released = True
+        pool = ticket.pool
+        with self._cond:
+            state = self._pools[pool]
+            state.occupied -= 1
+            self.obs.wlm_slots_occupied.labels(pool=pool).set(
+                state.occupied)
+            self._cond.notify_all()
+        self.obs.wlm_job_seconds.labels(pool=pool).observe(
+            time.monotonic() - ticket.admitted_at)
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``stats()["wlm"]`` payload: per-pool admission + credits."""
+        if self.profile is None:
+            return {"enabled": False, "pools": {}}
+        credit_stats = (self.arbiter.snapshot()
+                        if self.arbiter is not None else {})
+        with self._cond:
+            pools = {}
+            for name, state in sorted(self._pools.items()):
+                spec = state.spec
+                pools[name] = {
+                    "weight": spec.weight,
+                    "max_concurrency": spec.max_concurrency,
+                    "occupied_slots": state.occupied,
+                    "queue_depth": state.queued,
+                    "queue_limit": spec.queue_limit,
+                    "queue_timeout_s": spec.queue_timeout_s,
+                    "admitted": state.admitted,
+                    "throttled": state.throttled,
+                    "queue_timeouts": state.timeouts,
+                    "admission_wait_s": round(state.admission_wait_s, 6),
+                    "max_admission_wait_s": round(state.max_wait_s, 6),
+                    "credits": credit_stats.get(name, {}),
+                }
+        return {
+            "enabled": True,
+            "policy": self.profile.policy,
+            "default_pool": self.profile.default_pool,
+            "pools": pools,
+        }

@@ -1,0 +1,206 @@
+"""Workload-management profiles: resource pools and session classification.
+
+A *wlm profile* is a JSON document (loaded exactly like the resilience
+layer's ``chaos_profile``) that partitions the sessions hitting one
+Hyper-Q node into named **resource pools**::
+
+    {
+      "policy": "fair",
+      "default_pool": "default",
+      "pools": [
+        {"name": "interactive", "weight": 3, "max_concurrency": 4,
+         "queue_limit": 8, "queue_timeout_s": 10,
+         "match": {"tenant": "bi-*"}},
+        {"name": "batch", "weight": 1, "max_concurrency": 2,
+         "queue_limit": 4, "queue_timeout_s": 30,
+         "match": {"user": "etl*", "target": "PROD.*"}}
+      ]
+    }
+
+Each pool carries
+
+- a ``weight`` — its share of the node's credit pool under the
+  weighted fair-share arbiter (:mod:`repro.wlm.arbiter`);
+- ``max_concurrency`` — how many admitted jobs may run at once;
+- a bounded admission queue (``queue_limit`` waiters, each waiting at
+  most ``queue_timeout_s``) — overflow and timeouts are *shed* with a
+  retryable ``WLM_THROTTLED`` error instead of blocking forever;
+- a ``match`` clause of glob patterns over session attributes
+  (``tenant``, ``user``, ``target``).  Pools are tried in declaration
+  order; the first match wins, and unmatched sessions land in the
+  default pool.
+
+Profiles are validated eagerly at node construction so configuration
+mistakes surface where the operator can see them, not mid-load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+__all__ = ["MATCH_KEYS", "POLICIES", "PoolSpec", "WlmProfile"]
+
+#: session attributes a pool's ``match`` clause may test.
+MATCH_KEYS = ("tenant", "user", "target")
+
+#: credit-arbiter policies: weighted fair share, or the FIFO baseline
+#: (pools classified and admitted, but credits granted first-come).
+POLICIES = ("fair", "fifo")
+
+#: the pool unmatched sessions fall into (auto-created when the profile
+#: does not declare it).
+DEFAULT_POOL = "default"
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One resource pool: weight, concurrency slots, admission queue."""
+
+    name: str
+    #: fair-share weight of the node's credit pool (relative).
+    weight: float = 1.0
+    #: concurrent admitted jobs (load or export) in this pool.
+    max_concurrency: int = 8
+    #: admissions allowed to queue when every slot is occupied;
+    #: arrivals beyond this are shed immediately (``queue_full``).
+    queue_limit: int = 16
+    #: how long one queued admission waits for a slot before being shed
+    #: (``queue_timeout``); None waits forever (not recommended).
+    queue_timeout_s: float | None = 10.0
+    #: base retry-after hint returned with a throttle; scaled by the
+    #: instantaneous queue depth so backed-up pools push clients out
+    #: further.
+    retry_after_s: float = 0.25
+    #: glob patterns over session attributes (see :data:`MATCH_KEYS`);
+    #: every present key must match for the pool to claim the session.
+    match: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        """Validate the pool right where the profile author sees it."""
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("pool needs a non-empty string name")
+        if self.weight <= 0:
+            raise ValueError(
+                f"pool {self.name!r}: weight must be > 0")
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"pool {self.name!r}: max_concurrency must be >= 1")
+        if self.queue_limit < 0:
+            raise ValueError(
+                f"pool {self.name!r}: queue_limit cannot be negative")
+        if self.queue_timeout_s is not None and self.queue_timeout_s < 0:
+            raise ValueError(
+                f"pool {self.name!r}: queue_timeout_s cannot be "
+                "negative")
+        if self.retry_after_s < 0:
+            raise ValueError(
+                f"pool {self.name!r}: retry_after_s cannot be negative")
+        if not isinstance(self.match, dict):
+            raise ValueError(f"pool {self.name!r}: match must be a dict")
+        unknown = set(self.match) - set(MATCH_KEYS)
+        if unknown:
+            raise ValueError(
+                f"pool {self.name!r}: unknown match keys "
+                f"{', '.join(sorted(unknown))} "
+                f"(known: {', '.join(MATCH_KEYS)})")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PoolSpec":
+        """Build a pool spec from one wlm-profile JSON object."""
+        known = {"name", "weight", "max_concurrency", "queue_limit",
+                 "queue_timeout_s", "retry_after_s", "match"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown wlm-pool keys: {', '.join(sorted(unknown))}")
+        if "name" not in payload:
+            raise ValueError("wlm pool missing 'name'")
+        return cls(**payload)
+
+    def matches(self, attrs: dict) -> bool:
+        """Does this pool claim a session with these attributes?
+
+        An empty ``match`` clause claims everything (useful as an
+        explicit catch-all pool); otherwise every configured pattern
+        must glob-match the corresponding attribute (missing attributes
+        compare as the empty string).
+        """
+        for key, pattern in self.match.items():
+            if not fnmatchcase(str(attrs.get(key) or ""), str(pattern)):
+                return False
+        return True
+
+    def throttle_hint_s(self, queued: int) -> float:
+        """Retry-after hint for a shed admission, scaled by queue depth."""
+        return round(min(self.retry_after_s * (queued + 1), 30.0), 3)
+
+
+class WlmProfile:
+    """A validated workload-management profile for one Hyper-Q node."""
+
+    def __init__(self, pools: list[PoolSpec],
+                 default_pool: str = DEFAULT_POOL,
+                 policy: str = "fair"):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown wlm policy {policy!r} "
+                f"(known: {', '.join(POLICIES)})")
+        names = [p.name for p in pools]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate pool names in wlm profile: "
+                             f"{sorted(set(n for n in names if names.count(n) > 1))}")
+        self.policy = policy
+        self.default_pool = default_pool
+        self.pools: dict[str, PoolSpec] = {p.name: p for p in pools}
+        #: classification order — declaration order, default last.
+        self._ordered = list(pools)
+        if default_pool not in self.pools:
+            fallback = PoolSpec(name=default_pool)
+            self.pools[default_pool] = fallback
+            self._ordered.append(fallback)
+
+    @classmethod
+    def from_profile(cls, profile: dict | list | None) -> "WlmProfile | None":
+        """Build a profile from a wlm-profile JSON value.
+
+        Accepts either a bare list of pool objects or a dict of the
+        form ``{"policy": ..., "default_pool": ..., "pools": [...]}``;
+        ``None`` means workload management is disabled entirely.
+        """
+        if profile is None:
+            return None
+        if isinstance(profile, list):
+            pool_dicts, default, policy = profile, DEFAULT_POOL, "fair"
+        elif isinstance(profile, dict):
+            unknown = set(profile) - {"policy", "default_pool", "pools"}
+            if unknown:
+                raise ValueError(
+                    "unknown wlm-profile keys: "
+                    f"{', '.join(sorted(unknown))}")
+            pool_dicts = profile.get("pools", [])
+            default = profile.get("default_pool", DEFAULT_POOL)
+            policy = profile.get("policy", "fair")
+        else:
+            raise ValueError(
+                f"wlm profile must be a list or dict, "
+                f"not {type(profile).__name__}")
+        pools = [PoolSpec.from_dict(d) for d in pool_dicts]
+        return cls(pools, default_pool=default, policy=policy)
+
+    def classify(self, **attrs) -> str:
+        """Name of the first pool claiming a session with ``attrs``.
+
+        Pools are tried in declaration order and the first match wins.
+        A pool with an empty ``match`` clause claims every session (a
+        deliberate catch-all); an auto-created default pool is ordered
+        last so it only catches what no declared pool claimed.
+        """
+        for spec in self._ordered:
+            if spec.matches(attrs):
+                return spec.name
+        return self.default_pool
+
+    def __len__(self) -> int:
+        """Number of pools, the auto-created default included."""
+        return len(self.pools)

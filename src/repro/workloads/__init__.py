@@ -8,7 +8,9 @@ duplicate keys).
 """
 
 from repro.workloads.generator import (
-    Workload, make_workload, wide_workload,
+    TenantWorkload, Workload, make_workload, multi_tenant_workloads,
+    wide_workload,
 )
 
-__all__ = ["Workload", "make_workload", "wide_workload"]
+__all__ = ["TenantWorkload", "Workload", "make_workload",
+           "multi_tenant_workloads", "wide_workload"]

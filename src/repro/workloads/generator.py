@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from repro.legacy.datafmt import FormatSpec
 from repro.legacy.types import FieldDef, Layout, parse_type
 
-__all__ = ["Workload", "make_workload", "wide_workload"]
+__all__ = ["Workload", "TenantWorkload", "make_workload",
+           "wide_workload", "multi_tenant_workloads"]
 
 _ALPHABET = string.ascii_uppercase + string.ascii_lowercase
 
@@ -158,6 +159,56 @@ def make_workload(rows: int, row_bytes: int = 500, seed: int = 7,
         expected_dup_errors=dup_errors,
         expected_field_count_errors=field_errors,
     )
+
+
+@dataclass
+class TenantWorkload:
+    """One tenant's slice of a multi-tenant concurrent workload."""
+
+    tenant: str
+    #: this tenant's independent load jobs (distinct target tables).
+    workloads: list[Workload] = field(default_factory=list)
+
+    @property
+    def total_rows(self) -> int:
+        """Rows across every script of this tenant."""
+        return sum(w.rows for w in self.workloads)
+
+
+def multi_tenant_workloads(tenants: int = 3, scripts: int = 2,
+                           base_rows: int = 200, skew: float = 2.0,
+                           seed: int = 7, row_bytes: int = 120,
+                           table_prefix: str = "PROD.MT"
+                           ) -> list[TenantWorkload]:
+    """K tenants × M scripts with skewed sizes — the WLM test preset.
+
+    Tenant ``t`` runs ``scripts`` independent load jobs of
+    ``base_rows * skew**t`` rows each (rounded), so tenant 0 is the
+    light interactive-style user and the last tenant is the heavy batch
+    hog — the contention shape workload management exists for.  Every
+    job gets its own target table (``<prefix>_T<t>_S<s>``) and a
+    deterministic per-job seed, so concurrent runs verify row counts
+    per table without cross-talk.
+    """
+    if tenants < 1 or scripts < 1:
+        raise ValueError("need at least one tenant and one script")
+    if skew < 1.0:
+        raise ValueError("skew must be >= 1.0 (tenant t gets "
+                         "base_rows * skew**t rows)")
+    result: list[TenantWorkload] = []
+    for t in range(tenants):
+        tenant = f"tenant-{t}"
+        rows = max(1, int(round(base_rows * skew ** t)))
+        jobs = [
+            make_workload(
+                rows=rows, row_bytes=row_bytes,
+                seed=seed + 1000 * t + s,
+                table=f"{table_prefix}_T{t}_S{s}",
+                name=f"{tenant}-s{s}")
+            for s in range(scripts)
+        ]
+        result.append(TenantWorkload(tenant=tenant, workloads=jobs))
+    return result
 
 
 def wide_workload(rows: int, columns: int = 50, column_width: int = 16,

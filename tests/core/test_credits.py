@@ -127,3 +127,85 @@ class TestConcurrentStress:
         assert not errors
         assert manager.available == 5
         manager.check_conservation()
+
+    def test_churn_with_conservation_asserted_throughout(self):
+        """Conservation holds at every instant of a hot churn, not just
+        at rest: an auditor thread asserts the invariant continuously
+        while N workers acquire/hold/release as fast as they can."""
+        manager = CreditManager(4, timeout_s=10)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn():
+            try:
+                for i in range(200):
+                    credit = manager.acquire()
+                    if i % 3 == 0:
+                        time.sleep(0.0005)
+                    manager.release(credit)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def audit():
+            try:
+                while not stop.is_set():
+                    manager.check_conservation()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        workers = [threading.Thread(target=churn) for _ in range(10)]
+        auditor = threading.Thread(target=audit, daemon=True)
+        auditor.start()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        stop.set()
+        auditor.join(timeout=5)
+        assert not errors
+        assert manager.available == 4
+        manager.check_conservation()
+        assert manager.acquires == 10 * 200
+
+    def test_churn_through_fair_share_arbiter_conserves(self):
+        """The wlm arbiter in front of the pool must not break the
+        manager's conservation invariant under concurrent churn."""
+        from repro.wlm import FairShareCreditArbiter
+
+        manager = CreditManager(4, timeout_s=10)
+        arbiter = FairShareCreditArbiter(
+            manager, {"a": 2.0, "b": 1.0})
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn(pool):
+            try:
+                for _ in range(150):
+                    credit = arbiter.acquire(pool)
+                    manager.check_conservation()
+                    arbiter.release(credit, pool)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def audit():
+            try:
+                while not stop.is_set():
+                    manager.check_conservation()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        workers = [threading.Thread(target=churn, args=(pool,))
+                   for pool in ("a", "b") for _ in range(5)]
+        auditor = threading.Thread(target=audit, daemon=True)
+        auditor.start()
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        stop.set()
+        auditor.join(timeout=5)
+        assert not errors
+        assert manager.available == 4
+        manager.check_conservation()
+        assert arbiter.in_flight("a") == 0
+        assert arbiter.in_flight("b") == 0

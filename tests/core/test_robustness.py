@@ -121,8 +121,8 @@ class TestBackPressureTimeout:
 
             original_begin = stack.node._handle_begin_load
 
-            def patched_begin(channel, message):
-                original_begin(channel, message)
+            def patched_begin(channel, message, conn):
+                original_begin(channel, message, conn)
                 job = stack.node._jobs[message.meta["job_id"]]
                 job_ids.append(job.job_id)
                 original_convert = job.pipeline.converter.convert

@@ -125,6 +125,35 @@ class TestRetryPolicy:
         assert snap["attempts"] == 1
         assert snap["by_target"] == {"a": 1}
 
+    def test_retry_after_hint_floors_delay(self):
+        """A server retry-after hint (e.g. WLM_THROTTLED) overrides a
+        smaller jittered backoff — retrying sooner than the peer asked
+        would just re-trip the same admission limit."""
+        from repro.errors import WlmThrottled
+
+        slept = []
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                             max_delay_s=0.002, budget_s=30.0,
+                             rng=random.Random(0), sleep=slept.append)
+        policy.call(flaky(
+            2, exc_factory=lambda: WlmThrottled(
+                "busy", pool="p", retry_after_s=0.5)))
+        assert len(slept) == 2
+        assert all(delay >= 0.5 for delay in slept)
+
+    def test_retry_after_hint_does_not_shrink_larger_backoff(self):
+        """The hint is a floor, not a replacement for backoff."""
+        exc = TransientFault("blip")
+        exc.retry_after_s = 0.01
+        slept = []
+        policy = RetryPolicy(max_attempts=2, base_delay_s=5.0,
+                             max_delay_s=5.0, budget_s=30.0,
+                             sleep=slept.append)
+        policy.rng = random.Random()
+        policy.rng.uniform = lambda a, b: b  # deterministic ceiling
+        policy.call(flaky(1, exc_factory=lambda: exc))
+        assert slept == [5.0]
+
 
 class TestRetryObservability:
     def test_metrics_and_spans_recorded(self):

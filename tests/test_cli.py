@@ -84,6 +84,62 @@ class TestStatsCommand:
         assert "unknown log level" in capsys.readouterr().err
 
 
+class TestWlmProfileFlag:
+    @pytest.fixture
+    def profile_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "wlm.json"
+        path.write_text(json.dumps({
+            "policy": "fair",
+            "pools": [{"name": "etl", "weight": 2,
+                       "max_concurrency": 2,
+                       "match": {"user": "*"}}],
+        }))
+        return str(path)
+
+    def test_stats_json_reports_pools(self, profile_path, capsys):
+        import json
+
+        code = main(["stats", "--rows", "200", "--format", "json",
+                     "--wlm-profile", profile_path])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["wlm"]["enabled"] is True
+        assert stats["wlm"]["policy"] == "fair"
+        assert stats["wlm"]["pools"]["etl"]["admitted"] == 1
+        assert stats["wlm"]["pools"]["etl"]["occupied_slots"] == 0
+
+    def test_stats_prometheus_reports_wlm_series(self, profile_path,
+                                                 capsys):
+        code = main(["stats", "--rows", "200", "--format", "prom",
+                     "--wlm-profile", profile_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE hyperq_wlm_admitted_total counter" in out
+        assert 'hyperq_wlm_admitted_total{pool="etl"} 1' in out
+
+    def test_disabled_without_flag(self, capsys):
+        import json
+
+        code = main(["stats", "--rows", "200", "--format", "json"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["wlm"]["enabled"] is False
+
+    def test_missing_profile_file_errors(self, capsys):
+        code = main(["stats", "--rows", "100",
+                     "--wlm-profile", "/no/such/profile.json"])
+        assert code == 1
+
+    def test_run_script_accepts_profile(self, script_dir,
+                                        profile_path, capsys):
+        code = main(["run-script", str(script_dir / "job.etl"),
+                     "--wlm-profile", profile_path])
+        assert code == 0
+        assert "2 inserted" in capsys.readouterr().out
+
+
 class TestTraceCommand:
     def test_jsonl_export(self, tmp_path, capsys):
         import json

@@ -1,0 +1,191 @@
+"""FairShareCreditArbiter: shares, work conservation, starvation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.credits import CreditManager
+from repro.errors import BackPressureTimeout
+from repro.wlm import FairShareCreditArbiter, PoolCredits
+
+
+def make_arbiter(pool_size=4, timeout_s=5.0, weights=None, policy="fair"):
+    manager = CreditManager(pool_size, timeout_s=timeout_s)
+    return FairShareCreditArbiter(
+        manager, weights or {"a": 1.0, "b": 1.0}, policy=policy)
+
+
+class TestBasics:
+    def test_needs_pools(self):
+        with pytest.raises(ValueError):
+            FairShareCreditArbiter(CreditManager(2), {})
+
+    def test_positive_weights_required(self):
+        with pytest.raises(ValueError):
+            FairShareCreditArbiter(CreditManager(2), {"a": 0})
+
+    def test_acquire_release_roundtrip(self):
+        arb = make_arbiter()
+        credit = arb.acquire("a")
+        assert arb.in_flight("a") == 1
+        assert arb.manager.in_flight == 1
+        arb.release(credit, "a")
+        assert arb.in_flight("a") == 0
+        arb.manager.check_conservation()
+
+    def test_unknown_pool_view_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool"):
+            make_arbiter().view("zzz")
+
+    def test_pool_credits_duck_types_manager(self):
+        arb = make_arbiter()
+        view = arb.view("b")
+        assert isinstance(view, PoolCredits)
+        credit = view.acquire()
+        assert arb.in_flight("b") == 1
+        view.release(credit)
+        assert arb.in_flight("b") == 0
+
+    def test_idle_pool_capacity_flows_to_busy_pool(self):
+        """Work conservation: a lone pool may use the whole pool."""
+        arb = make_arbiter(pool_size=4)
+        held = [arb.acquire("a") for _ in range(4)]
+        assert arb.in_flight("a") == 4
+        for credit in held:
+            arb.release(credit, "a")
+
+    def test_timeout_propagates(self):
+        arb = make_arbiter(pool_size=1, timeout_s=0.05)
+        arb.acquire("a")
+        with pytest.raises(BackPressureTimeout):
+            arb.acquire("b")
+
+    def test_snapshot_shape(self):
+        arb = make_arbiter()
+        credit = arb.acquire("a")
+        snap = arb.snapshot()
+        assert snap["a"]["in_flight"] == 1
+        assert snap["a"]["grants"] == 1
+        assert snap["b"]["in_flight"] == 0
+        arb.release(credit, "a")
+
+
+class TestFairness:
+    def test_overshooting_pool_blocks_while_other_deprived(self):
+        """A pool at its share yields the next credit to a deprived one."""
+        arb = make_arbiter(pool_size=4, timeout_s=5.0)
+        # a takes the whole pool while b is idle (work conservation).
+        held_a = [arb.acquire("a") for _ in range(4)]
+
+        got_b = threading.Event()
+
+        def want_b():
+            credit = arb.acquire("b")
+            got_b.set()
+            arb.release(credit, "b")
+
+        thread = threading.Thread(target=want_b, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not got_b.is_set()
+
+        # a releases one credit and immediately wants another; with b
+        # waiting below its share, a must NOT reclaim it.
+        arb.release(held_a.pop(), "a")
+        assert got_b.wait(timeout=2)
+        thread.join(timeout=2)
+        for credit in held_a:
+            arb.release(credit, "a")
+        arb.manager.check_conservation()
+
+    def test_fifo_policy_allows_reclaim(self):
+        """The baseline policy grants first-come even when unfair."""
+        arb = make_arbiter(pool_size=2, timeout_s=0.2, policy="fifo")
+        held = [arb.acquire("a"), arb.acquire("a")]
+        arb.release(held.pop(), "a")
+        # Nothing stops a from hoarding under fifo.
+        held.append(arb.acquire("a"))
+        assert arb.in_flight("a") == 2
+        for credit in held:
+            arb.release(credit, "a")
+
+    def test_starvation_regression(self):
+        """The regression the arbiter exists for: a flood of pool-a
+        sessions must not starve pool b's trickle.
+
+        With a plain CreditManager (the FIFO baseline) pool b's single
+        worker competes against 8 hoarding workers for every free
+        token.  Under the fair arbiter, b must complete its fixed batch
+        while the flood runs — and never wait anywhere near the
+        timeout on any single acquire.
+        """
+        arb = make_arbiter(pool_size=4, timeout_s=10.0,
+                           weights={"a": 1.0, "b": 1.0})
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def flood():
+            while not stop.is_set():
+                try:
+                    credit = arb.acquire("a")
+                    time.sleep(0.001)
+                    arb.release(credit, "a")
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        floods = [threading.Thread(target=flood, daemon=True)
+                  for _ in range(8)]
+        for thread in floods:
+            thread.start()
+        time.sleep(0.05)  # let the flood saturate the pool
+
+        max_wait = 0.0
+        try:
+            for _ in range(20):
+                started = time.monotonic()
+                credit = arb.acquire("b")
+                max_wait = max(max_wait, time.monotonic() - started)
+                time.sleep(0.001)
+                arb.release(credit, "b")
+        finally:
+            stop.set()
+            for thread in floods:
+                thread.join(timeout=5)
+        assert not errors
+        # Each wait must be bounded by a handful of hold periods, not
+        # the 10s timeout a starved FIFO waiter would approach.
+        assert max_wait < 1.0, f"pool b starved: waited {max_wait:.3f}s"
+        arb.manager.check_conservation()
+        assert arb.snapshot()["b"]["grants"] == 20
+
+    def test_weighted_shares_respected_under_saturation(self):
+        """A 3:1 weighting gives the heavy pool ~3x the in-flight slots."""
+        arb = make_arbiter(pool_size=8, timeout_s=10.0,
+                           weights={"heavy": 3.0, "light": 1.0})
+        stop = threading.Event()
+        peak = {"heavy": 0, "light": 0}
+        lock = threading.Lock()
+
+        def churn(pool):
+            while not stop.is_set():
+                credit = arb.acquire(pool)
+                with lock:
+                    peak[pool] = max(peak[pool], arb.in_flight(pool))
+                time.sleep(0.001)
+                arb.release(credit, pool)
+
+        threads = [threading.Thread(target=churn, args=(pool,),
+                                    daemon=True)
+                   for pool in ("heavy", "light") for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        arb.manager.check_conservation()
+        # heavy's share is 6, light's is 2; transient overshoot is
+        # allowed (work conservation) but sustained peaks must differ.
+        assert peak["heavy"] > peak["light"]

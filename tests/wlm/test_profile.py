@@ -1,0 +1,127 @@
+"""WlmProfile / PoolSpec: parsing, validation, classification."""
+
+import pytest
+
+from repro.wlm import DEFAULT_POOL, PoolSpec, WlmProfile
+
+
+class TestPoolSpec:
+    def test_defaults(self):
+        spec = PoolSpec(name="p")
+        assert spec.weight == 1.0
+        assert spec.max_concurrency == 8
+        assert spec.queue_limit == 16
+        assert spec.queue_timeout_s == 10.0
+
+    def test_from_dict_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown wlm-pool keys"):
+            PoolSpec.from_dict({"name": "p", "priority": 3})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValueError, match="missing 'name'"):
+            PoolSpec.from_dict({"weight": 2})
+
+    @pytest.mark.parametrize("bad", [
+        {"name": ""},
+        {"name": "p", "weight": 0},
+        {"name": "p", "weight": -1},
+        {"name": "p", "max_concurrency": 0},
+        {"name": "p", "queue_limit": -1},
+        {"name": "p", "queue_timeout_s": -0.5},
+        {"name": "p", "retry_after_s": -1},
+        {"name": "p", "match": {"host": "x"}},
+        {"name": "p", "match": "tenant=x"},
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            PoolSpec.from_dict(bad)
+
+    def test_match_globs(self):
+        spec = PoolSpec(name="p", match={"tenant": "acme-*",
+                                         "target": "PROD.*"})
+        assert spec.matches({"tenant": "acme-eu", "target": "PROD.F"})
+        assert not spec.matches({"tenant": "bi", "target": "PROD.F"})
+        assert not spec.matches({"tenant": "acme-eu", "target": "DEV.F"})
+
+    def test_missing_attr_compares_as_empty(self):
+        spec = PoolSpec(name="p", match={"tenant": "acme*"})
+        assert not spec.matches({})
+        assert PoolSpec(name="q", match={"tenant": "*"}).matches({})
+
+    def test_empty_match_is_catch_all(self):
+        assert PoolSpec(name="p").matches({"tenant": "anyone"})
+
+    def test_throttle_hint_scales_with_queue(self):
+        spec = PoolSpec(name="p", retry_after_s=0.5)
+        assert spec.throttle_hint_s(0) == 0.5
+        assert spec.throttle_hint_s(3) == 2.0
+        assert spec.throttle_hint_s(10_000) == 30.0  # capped
+
+
+class TestWlmProfile:
+    def test_none_means_disabled(self):
+        assert WlmProfile.from_profile(None) is None
+
+    def test_bare_list_form(self):
+        profile = WlmProfile.from_profile(
+            [{"name": "a"}, {"name": "b"}])
+        assert profile.policy == "fair"
+        assert set(profile.pools) == {"a", "b", DEFAULT_POOL}
+
+    def test_dict_form(self):
+        profile = WlmProfile.from_profile({
+            "policy": "fifo",
+            "default_pool": "rest",
+            "pools": [{"name": "etl", "weight": 3}],
+        })
+        assert profile.policy == "fifo"
+        assert profile.default_pool == "rest"
+        assert set(profile.pools) == {"etl", "rest"}
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown wlm-profile keys"):
+            WlmProfile.from_profile({"pools": [], "mode": "x"})
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError, match="list or dict"):
+            WlmProfile.from_profile("fair")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown wlm policy"):
+            WlmProfile.from_profile({"policy": "lottery", "pools": []})
+
+    def test_duplicate_pool_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WlmProfile.from_profile([{"name": "a"}, {"name": "a"}])
+
+    def test_classification_first_match_wins(self):
+        profile = WlmProfile.from_profile([
+            {"name": "narrow", "match": {"tenant": "acme-eu"}},
+            {"name": "wide", "match": {"tenant": "acme-*"}},
+        ])
+        assert profile.classify(tenant="acme-eu") == "narrow"
+        assert profile.classify(tenant="acme-us") == "wide"
+        assert profile.classify(tenant="other") == DEFAULT_POOL
+
+    def test_declared_default_keeps_its_spec(self):
+        profile = WlmProfile.from_profile([
+            {"name": DEFAULT_POOL, "max_concurrency": 3},
+        ])
+        assert profile.pools[DEFAULT_POOL].max_concurrency == 3
+        assert len(profile) == 1
+
+    def test_declared_catch_all_shadows_default(self):
+        profile = WlmProfile.from_profile([
+            {"name": "everything"},  # empty match = catch-all
+        ])
+        assert profile.classify(tenant="x") == "everything"
+
+    def test_classify_by_user_and_target(self):
+        profile = WlmProfile.from_profile([
+            {"name": "prod-etl",
+             "match": {"user": "etl*", "target": "PROD.*"}},
+        ])
+        assert profile.classify(user="etl_1", target="PROD.F") == \
+            "prod-etl"
+        assert profile.classify(user="ana", target="PROD.F") == \
+            DEFAULT_POOL

@@ -1,0 +1,114 @@
+"""Concurrent multi-tenant workload over real TCP sockets.
+
+Several tenants run mixed load + export jobs concurrently against one
+workload-managed Hyper-Q node behind a :class:`TcpListener`, with a
+deliberately constrained pool configuration.  Every job must finish
+with correct row counts — admission may delay or throttle-and-retry,
+but never lose or abort work.
+"""
+
+import threading
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.gateway import HyperQNode
+from repro.legacy.client import (
+    ExportJobSpec, ImportJobSpec, LegacyEtlClient,
+)
+from repro.net_tcp import TcpListener
+from repro.workloads.generator import multi_tenant_workloads
+
+PROFILE = {
+    "policy": "fair",
+    "pools": [
+        {"name": "light", "weight": 2, "max_concurrency": 2,
+         "queue_limit": 4, "queue_timeout_s": 10.0,
+         "match": {"tenant": "tenant-0"}},
+        {"name": "heavy", "weight": 1, "max_concurrency": 1,
+         "queue_limit": 2, "queue_timeout_s": 10.0,
+         "retry_after_s": 0.05,
+         "match": {"tenant": "tenant-*"}},
+    ],
+}
+
+
+def test_multi_tenant_mixed_load_export_over_tcp():
+    """K tenants x M scripts, loads then exports, constrained pools."""
+    tenants = multi_tenant_workloads(
+        tenants=3, scripts=2, base_rows=60, skew=2.0, seed=21,
+        row_bytes=80)
+    store = CloudStore()
+    engine = CdwEngine(store=store)
+    for tenant in tenants:
+        for workload in tenant.workloads:
+            engine.execute(workload.ddl)
+
+    config = HyperQConfig(credits=4, converters=2, filewriters=2,
+                          wlm_profile=PROFILE)
+    listener = TcpListener()
+    node = HyperQNode(engine, store, config, listener=listener).start()
+    results: dict[tuple[str, str], tuple[int, int]] = {}
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def run_tenant_script(tenant, workload):
+        try:
+            client = LegacyEtlClient(listener.connect, timeout=60)
+            client.logon("h", f"{tenant}_user", "pw")
+            loaded = client.run_import(ImportJobSpec(
+                target_table=workload.target_table,
+                et_table=workload.et_table,
+                uv_table=workload.uv_table,
+                layout=workload.layout,
+                apply_sql=workload.apply_sql,
+                data=workload.data,
+                sessions=2,
+                tenant=tenant,
+                admission_retry_attempts=40,
+                admission_backoff_s=0.05))
+            exported = client.run_export(ExportJobSpec(
+                select_sql=f"SELECT * FROM {workload.target_table}",
+                sessions=2,
+                tenant=tenant,
+                admission_retry_attempts=40,
+                admission_backoff_s=0.05))
+            client.logoff()
+            with lock:
+                results[(tenant, workload.name)] = (
+                    loaded.rows_inserted, exported.rows_exported)
+        except BaseException as exc:  # pragma: no cover - diagnostics
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=run_tenant_script,
+                         args=(tenant.tenant, workload), daemon=True)
+        for tenant in tenants for workload in tenant.workloads
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+        # Correctness under contention: every tenant's every script
+        # loaded and re-exported its exact row count.
+        for tenant in tenants:
+            for workload in tenant.workloads:
+                key = (tenant.tenant, workload.name)
+                assert results[key] == (
+                    workload.expected_good_rows,
+                    workload.expected_good_rows), key
+
+        node.credits.check_conservation()
+        wlm = node.stats()["wlm"]
+        # tenant-0 classified into 'light', the rest into 'heavy';
+        # each script is one load + one export admission.
+        assert wlm["pools"]["light"]["admitted"] == 4
+        assert wlm["pools"]["heavy"]["admitted"] == 8
+        for pool in wlm["pools"].values():
+            assert pool["occupied_slots"] == 0
+            assert pool["queue_depth"] == 0
+        assert not node._exports
+    finally:
+        node.stop()

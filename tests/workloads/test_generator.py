@@ -3,7 +3,9 @@
 import pytest
 
 from repro.legacy.datafmt import VartextFormat
-from repro.workloads import make_workload, wide_workload
+from repro.workloads import (
+    make_workload, multi_tenant_workloads, wide_workload,
+)
 
 
 class TestMakeWorkload:
@@ -75,3 +77,47 @@ class TestWideWorkload:
     def test_needs_two_columns(self):
         with pytest.raises(ValueError):
             wide_workload(rows=10, columns=1)
+
+
+class TestMultiTenantPreset:
+    def test_shape_and_skew(self):
+        tenants = multi_tenant_workloads(
+            tenants=3, scripts=2, base_rows=100, skew=2.0, seed=1)
+        assert [t.tenant for t in tenants] == \
+            ["tenant-0", "tenant-1", "tenant-2"]
+        assert all(len(t.workloads) == 2 for t in tenants)
+        # tenant t runs base_rows * skew**t rows per script.
+        assert tenants[0].workloads[0].rows == 100
+        assert tenants[1].workloads[0].rows == 200
+        assert tenants[2].workloads[0].rows == 400
+        assert tenants[2].total_rows == 800
+
+    def test_distinct_tables_per_job(self):
+        tenants = multi_tenant_workloads(tenants=2, scripts=3,
+                                         base_rows=10, seed=2)
+        tables = [w.target_table
+                  for t in tenants for w in t.workloads]
+        assert len(tables) == len(set(tables)) == 6
+        assert tables[0] == "PROD.MT_T0_S0"
+
+    def test_deterministic_by_seed(self):
+        a = multi_tenant_workloads(tenants=2, scripts=1, base_rows=20,
+                                   seed=5)
+        b = multi_tenant_workloads(tenants=2, scripts=1, base_rows=20,
+                                   seed=5)
+        assert a[1].workloads[0].data == b[1].workloads[0].data
+
+    def test_jobs_decode_against_their_layouts(self):
+        tenants = multi_tenant_workloads(tenants=2, scripts=2,
+                                         base_rows=15, seed=3)
+        for tenant in tenants:
+            for workload in tenant.workloads:
+                fmt = VartextFormat(workload.layout)
+                rows = fmt.decode_records(workload.data)
+                assert len(rows) == workload.rows
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            multi_tenant_workloads(tenants=0)
+        with pytest.raises(ValueError):
+            multi_tenant_workloads(skew=0.5)
