@@ -254,9 +254,11 @@ class HyperQNode:
 
     def _serve_connection(self, endpoint) -> None:
         channel = MessageChannel(endpoint, timeout=None)
-        #: connection-scoped session attributes (set at LOGON) — the
-        #: classification inputs the workload manager sees at BEGIN.
-        conn: dict = {"user": ""}
+        #: connection-scoped session state: classification attributes
+        #: (set at LOGON) plus the jobs this connection owns — a control
+        #: connection that vanishes must not leave its jobs holding
+        #: admission slots forever.
+        conn: dict = {"user": "", "loads": {}, "exports": {}}
         try:
             while True:
                 message = channel.recv_or_eof()
@@ -280,6 +282,26 @@ class HyperQNode:
             pass
         finally:
             channel.close()
+            self._connection_closed(conn)
+
+    def _connection_closed(self, conn: dict) -> None:
+        """Reap whatever this connection was responsible for.
+
+        A dying *data* session counts as drained for its export job
+        (the job completes once every other session reaches EOF); jobs
+        begun on a dying *control* connection are abandoned — their
+        admission slots are freed so the pool cannot be bricked by
+        crashed clients, while restartable state (staging table, store
+        prefix, checkpoint journal) survives for a ``resume`` restart.
+        """
+        job_id = conn.get("job_id")
+        if job_id:
+            self._export_session_drained(job_id,
+                                         conn.get("session_no", 0))
+        for job in list(conn["loads"].values()):
+            self._abort_load_job(job, event="abandoned")
+        for job in list(conn["exports"].values()):
+            self._drop_export(job)
 
     def _dispatch(self, channel: MessageChannel, message: Message,
                   conn: dict) -> None:
@@ -300,7 +322,7 @@ class HyperQNode:
         elif kind == MessageKind.APPLY_DML:
             self._handle_apply(channel, message)
         elif kind == MessageKind.END_LOAD:
-            self._handle_end_load(channel, message)
+            self._handle_end_load(channel, message, conn)
         elif kind == MessageKind.BEGIN_EXPORT:
             self._handle_begin_export(channel, message, conn)
         elif kind == MessageKind.EXPORT_FETCH:
@@ -319,9 +341,13 @@ class HyperQNode:
         conn["user"] = message.meta.get("user", "")
         job_id = message.meta.get("job_id")
         if job_id:
+            # Remember which job/session this data connection serves so
+            # its teardown can be attributed (export EOF accounting).
+            conn["job_id"] = job_id
+            conn["session_no"] = message.meta.get("session_no", 0)
             threading.current_thread().name = (
                 f"{self.name}-job-{job_id}"
-                f"-s{message.meta.get('session_no', 0)}")
+                f"-s{conn['session_no']}")
         channel.send(Message(MessageKind.LOGON_OK))
 
     # -- ad-hoc SQL: cross compile and execute on the CDW ----------------------------
@@ -383,17 +409,21 @@ class HyperQNode:
         pool = self._classify(meta, conn, target=target)
         ticket = self.wlm.admit(pool, job_id, kind="load")
         try:
-            self._begin_load_admitted(channel, meta, job_id, layout,
-                                      format_spec, target, resume,
-                                      pool, ticket)
+            job = self._begin_load_admitted(channel, meta, job_id, layout,
+                                            format_spec, target, resume,
+                                            pool, ticket)
         except BaseException:
             self.wlm.release(ticket)
             raise
+        # This control connection owns the job: if it closes before
+        # END_LOAD the job is abandoned and its slot freed.
+        conn["loads"][job_id] = job
 
     def _begin_load_admitted(self, channel: MessageChannel, meta: dict,
                              job_id: str, layout: Layout,
                              format_spec: FormatSpec, target: str,
-                             resume: bool, pool: str, ticket) -> None:
+                             resume: bool, pool: str,
+                             ticket) -> _LoadJob:
         """Set up one admitted load job (the pre-wlm BEGIN_LOAD body)."""
         # A restarted job (same job_id, resume flag) replaces whatever
         # is left of its killed predecessor; the checkpoint journal in
@@ -480,6 +510,7 @@ class HyperQNode:
             # skip chunks the gateway confirms it still has.
             ok_meta["durable_seqs"] = sorted(pipeline.resumed_seqs)
         channel.send(Message(MessageKind.BEGIN_LOAD_OK, ok_meta))
+        return job
 
     def _create_staging_table(self, name: str, layout: Layout) -> None:
         """Staging columns are deliberately *unbounded* text for character
@@ -607,10 +638,40 @@ class HyperQNode:
             "uv_errors": summary.uv_errors,
         }))
 
+    def _abort_load_job(self, job: _LoadJob,
+                        event: str = "aborted") -> None:
+        """Tear down a failed/abandoned load and free its pool slot.
+
+        Unlike END_LOAD proper, restartable state survives: the staging
+        table, the uploaded store prefix, and the checkpoint journal in
+        the staging directory all stay put so a ``resume=True`` restart
+        of the same job_id can pick up the durable work.  Idempotent,
+        and a no-op when the registered job is not ``job`` (a resume
+        restart already replaced it).
+        """
+        with self._registry_lock:
+            if self._jobs.get(job.job_id) is not job:
+                return
+            self._jobs.pop(job.job_id)
+        job.pipeline.quiesce()
+        job.span.end("error")
+        self.obs.jobs_total.labels(event=event).inc()
+        self.wlm.release(job.ticket)
+        log.info("load job %s", event, extra={
+            "job_id": job.job_id, "target": job.target})
+
     def _handle_end_load(self, channel: MessageChannel,
-                         message: Message) -> None:
+                         message: Message, conn: dict) -> None:
         job_id = message.meta["job_id"]
         job = self._job(job_id)
+        conn["loads"].pop(job_id, None)
+        if message.meta.get("abort"):
+            # The client gave up on the job (failed apply, exhausted
+            # data-session retries, ...): release the admission slot
+            # now, keep the checkpointed state for a restart.
+            self._abort_load_job(job)
+            channel.send(Message(MessageKind.END_LOAD_OK))
+            return
         job.pipeline.shutdown()
         self.engine.execute(f"DROP TABLE IF EXISTS {job.staging_table}")
         self.store.delete_prefix(self.config.container, f"{job_id}/")
@@ -667,9 +728,40 @@ class HyperQNode:
             eof_needed=max(1, message.meta.get("sessions", 1)))
         with self._registry_lock:
             self._exports[job_id] = job
+        # This control connection owns the export: if it closes before
+        # every data session drains, the job is dropped and its
+        # admission slot freed.
+        conn["exports"][job_id] = job
         channel.send(Message(MessageKind.BEGIN_EXPORT_OK, {
             "columns": [[f.name, f.type.render()] for f in layout.fields],
         }))
+
+    def _export_session_drained(self, job_id: str,
+                                session_no: int) -> None:
+        """One data session is done with ``job_id`` (EOF or teardown).
+
+        Once every session either saw EOF or closed its connection the
+        export is complete: drop it from the registry and free its
+        admission slot.  Idempotent per session, no-op for unknown (or
+        load) jobs.
+        """
+        with self._registry_lock:
+            job = self._exports.get(job_id)
+            if job is None:
+                return
+            job.eof_seen.add(session_no)
+            done = len(job.eof_seen) >= job.eof_needed
+            if done:
+                self._exports.pop(job_id, None)
+        if done:
+            self.wlm.release(job.ticket)
+
+    def _drop_export(self, job: _ExportJob) -> None:
+        """Abandon an export whose owning connection vanished."""
+        with self._registry_lock:
+            if self._exports.get(job.job_id) is job:
+                self._exports.pop(job.job_id)
+        self.wlm.release(job.ticket)
 
     def _handle_export_fetch(self, channel: MessageChannel,
                              message: Message) -> None:
@@ -681,19 +773,13 @@ class HyperQNode:
         chunk_no = message.meta["chunk_no"]
         packet_bytes = job.cursor.packet(chunk_no)
         if packet_bytes is None:
-            # Each data session fetches the chunk stripe
-            # ``chunk_no ≡ session (mod sessions)``, so the first
-            # past-the-end chunk_no identifies which session drained.
-            # Once every session saw EOF the job is complete: drop it
-            # from the registry and free its admission slot.
-            done = False
-            with self._registry_lock:
-                job.eof_seen.add(chunk_no % job.eof_needed)
-                if len(job.eof_seen) >= job.eof_needed:
-                    self._exports.pop(job.job_id, None)
-                    done = True
-            if done:
-                self.wlm.release(job.ticket)
+            # The fetching session identifies itself in the request;
+            # older clients that omit ``session_no`` fetch the stripe
+            # ``chunk_no ≡ session (mod sessions)``, so the past-the-end
+            # chunk_no still names the session that drained.
+            session_no = message.meta.get(
+                "session_no", chunk_no % job.eof_needed)
+            self._export_session_drained(job.job_id, session_no)
             channel.send(Message(MessageKind.EXPORT_DATA,
                                  {"chunk_no": chunk_no, "eof": True}))
             return

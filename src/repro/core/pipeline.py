@@ -483,6 +483,29 @@ class AcquisitionPipeline:
 
     # -- teardown ----------------------------------------------------------------------
 
+    def quiesce(self, timeout_s: float = 30.0) -> None:
+        """Graceful teardown for an aborted/abandoned job.
+
+        Lets already-submitted work finish (bounded, best-effort)
+        before stopping the workers: credits travel attached to queued
+        items, so a mid-queue STOP would strand them, and everything
+        that stages/uploads before the stop is checkpointed work a
+        ``resume`` restart can skip.  Unlike :meth:`drain` it never
+        flushes partial files, never COPYs, and never raises — a
+        pipeline that already failed is shut down immediately.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._state:
+            while (self._written < self._submitted
+                   or self._uploaded_files < self._finalized_files):
+                if self._failures:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._state.wait(timeout=min(remaining, 1.0))
+        self.shutdown()
+
     def shutdown(self) -> None:
         """Stop all workers (idempotent)."""
         for _ in range(self.config.converters):

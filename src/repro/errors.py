@@ -179,6 +179,11 @@ class WlmThrottled(GatewayError):
     #: Hyper-Q protocol error code carried in ERROR frames (the repro's
     #: stand-in for the legacy EDW's "delayed by workload rule" codes).
     code = 3149
+    #: ceiling on the server's retry-after hint (the queue-depth-scaled
+    #: hint in :meth:`repro.wlm.profile.PoolSpec.throttle_hint_s` never
+    #: exceeds this) — clients size their admission retry sleep budget
+    #: against it so one deeply-hinted delay cannot void the budget.
+    MAX_RETRY_AFTER_S = 30.0
 
     def __init__(self, message: str, pool: str = "",
                  reason: str = "queue_full",

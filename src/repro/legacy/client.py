@@ -299,6 +299,12 @@ class LegacyEtlClient:
             max_attempts=attempts + 1,
             base_delay_s=backoff_s,
             max_delay_s=max(backoff_s * 32, backoff_s),
+            # Size the sleep budget for the worst case of every retry
+            # being floored by the server's largest possible hint —
+            # otherwise a deeply queued pool could exhaust the budget
+            # in a single hinted delay and void the configured retries.
+            budget_s=max(attempts * WlmThrottled.MAX_RETRY_AFTER_S,
+                         attempts * backoff_s * 32),
             classify=lambda exc: isinstance(exc, WlmThrottled))
         return policy.call(lambda: control.request(message, expect),
                            target="wlm.admit")
@@ -346,22 +352,31 @@ class LegacyEtlClient:
             chunks_sent=len(chunks),
             bytes_sent=sum(len(c) for c in chunks))
         try:
-            self._pump_data(job_id, spec.sessions, chunks,
-                            retry_attempts=spec.retry_attempts,
-                            reconnect_backoff_s=spec.reconnect_backoff_s,
-                            journal=journal, skip_seqs=skip_seqs)
-        finally:
-            if journal is not None:
-                journal.close()
+            try:
+                self._pump_data(
+                    job_id, spec.sessions, chunks,
+                    retry_attempts=spec.retry_attempts,
+                    reconnect_backoff_s=spec.reconnect_backoff_s,
+                    journal=journal, skip_seqs=skip_seqs)
+            finally:
+                if journal is not None:
+                    journal.close()
 
-        apply_meta = {"job_id": job_id, "sql": spec.apply_sql}
-        if spec.max_errors is not None:
-            apply_meta["max_errors"] = spec.max_errors
-        if spec.max_retries is not None:
-            apply_meta["max_retries"] = spec.max_retries
-        applied = control.request(
-            Message(MessageKind.APPLY_DML, apply_meta),
-            MessageKind.APPLY_RESULT)
+            apply_meta = {"job_id": job_id, "sql": spec.apply_sql}
+            if spec.max_errors is not None:
+                apply_meta["max_errors"] = spec.max_errors
+            if spec.max_retries is not None:
+                apply_meta["max_retries"] = spec.max_retries
+            applied = control.request(
+                Message(MessageKind.APPLY_DML, apply_meta),
+                MessageKind.APPLY_RESULT)
+        except BaseException:
+            # The job is dead on this side: tell the server so it can
+            # free the admission slot *now* instead of holding it until
+            # the control connection closes.  Checkpointed server state
+            # survives the abort, so a resume restart still works.
+            self._abort_load(control, job_id)
+            raise
         result.rows_inserted = applied.meta.get("rows_inserted", 0)
         result.rows_updated = applied.meta.get("rows_updated", 0)
         result.rows_deleted = applied.meta.get("rows_deleted", 0)
@@ -372,6 +387,22 @@ class LegacyEtlClient:
             Message(MessageKind.END_LOAD, {"job_id": job_id}),
             MessageKind.END_LOAD_OK)
         return result
+
+    @staticmethod
+    def _abort_load(control: MessageChannel, job_id: str) -> None:
+        """Best-effort END_LOAD(abort) for a job that just failed.
+
+        Never raises — the failure that got us here is the one the
+        caller must see, and the control connection may already be
+        gone (its closure releases the server-side slot anyway).
+        """
+        try:
+            control.request(
+                Message(MessageKind.END_LOAD,
+                        {"job_id": job_id, "abort": True}),
+                MessageKind.END_LOAD_OK)
+        except Exception:
+            pass
 
     def _pump_data(self, job_id: str, sessions: int,
                    chunks: list[bytes], retry_attempts: int = 0,
@@ -491,6 +522,7 @@ class LegacyEtlClient:
                         response = channel.request(
                             Message(MessageKind.EXPORT_FETCH,
                                     {"job_id": job_id,
+                                     "session_no": session_no,
                                      "chunk_no": chunk_no}),
                             MessageKind.EXPORT_DATA)
                         if response.meta.get("eof"):

@@ -137,10 +137,16 @@ class RetryPolicy:
                 # Server-provided backoff hints (WlmThrottled and
                 # friends expose ``retry_after_s``) floor the jittered
                 # delay: retrying sooner than the peer asked would just
-                # re-trip the same admission limit.
+                # re-trip the same admission limit.  The floor is capped
+                # at the *remaining* sleep budget so a single large hint
+                # cannot turn a configured multi-attempt retry into an
+                # instant give-up.
                 if not out_of_attempts:
-                    delay = max(delay, float(
-                        getattr(exc, "retry_after_s", 0.0) or 0.0))
+                    hint = float(
+                        getattr(exc, "retry_after_s", 0.0) or 0.0)
+                    if hint > 0:
+                        remaining = max(self.budget_s - slept, 0.0)
+                        delay = max(delay, min(hint, remaining))
                 over_budget = slept + delay > self.budget_s
                 if not retryable or out_of_attempts or over_budget:
                     if retryable:

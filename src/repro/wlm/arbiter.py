@@ -141,8 +141,18 @@ class FairShareCreditArbiter:
                 self._cond.notify_all()
         # Guaranteed not to block: grants never exceed pool_size, the
         # in-flight count is raised before the token is taken, and
-        # releases return the token before lowering the count.
-        credit = self.manager.acquire()
+        # releases return the token before lowering the count.  Should
+        # the manager raise anyway (a leaked credit outside the arbiter
+        # breaks the invariant and its timeout becomes reachable), the
+        # grant must be rolled back or the pool's perceived capacity
+        # shrinks permanently.
+        try:
+            credit = self.manager.acquire()
+        except BaseException:
+            with self._cond:
+                self._in_flight[pool] -= 1
+                self._cond.notify_all()
+            raise
         self.obs.wlm_credit_grants.labels(
             pool=pool, contended="yes" if contended else "no").inc()
         self.obs.wlm_credit_wait_seconds.labels(pool=pool).observe(waited)

@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 
+from repro.errors import WlmThrottled
+
 __all__ = ["MATCH_KEYS", "POLICIES", "PoolSpec", "WlmProfile"]
 
 #: session attributes a pool's ``match`` clause may test.
@@ -133,7 +135,8 @@ class PoolSpec:
 
     def throttle_hint_s(self, queued: int) -> float:
         """Retry-after hint for a shed admission, scaled by queue depth."""
-        return round(min(self.retry_after_s * (queued + 1), 30.0), 3)
+        return round(min(self.retry_after_s * (queued + 1),
+                         WlmThrottled.MAX_RETRY_AFTER_S), 3)
 
 
 class WlmProfile:

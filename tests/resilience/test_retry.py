@@ -141,6 +141,23 @@ class TestRetryPolicy:
         assert len(slept) == 2
         assert all(delay >= 0.5 for delay in slept)
 
+    def test_retry_after_hint_capped_at_remaining_budget(self):
+        """A hint larger than the whole sleep budget must not void the
+        configured attempts: it is capped at the remaining budget so
+        the retry still happens (just sooner than the peer asked)."""
+        from repro.errors import WlmThrottled
+
+        slept = []
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                             max_delay_s=0.002, budget_s=1.0,
+                             rng=random.Random(0), sleep=slept.append)
+        result = policy.call(flaky(
+            1, exc_factory=lambda: WlmThrottled(
+                "busy", pool="p", retry_after_s=60.0)))
+        assert result == "ok"
+        assert len(slept) == 1
+        assert slept[0] <= 1.0
+
     def test_retry_after_hint_does_not_shrink_larger_backoff(self):
         """The hint is a floor, not a replacement for backoff."""
         exc = TransientFault("blip")

@@ -189,3 +189,40 @@ class TestFairness:
         # heavy's share is 6, light's is 2; transient overshoot is
         # allowed (work conservation) but sustained peaks must differ.
         assert peak["heavy"] > peak["light"]
+
+
+class TestAcquireFailureRollback:
+    class _ExplodingManager:
+        """Duck-typed CreditManager whose acquire can be made to fail."""
+
+        pool_size = 2
+        timeout_s = None
+
+        def __init__(self):
+            self.explode = True
+
+        def acquire(self):
+            if self.explode:
+                raise BackPressureTimeout("no credit (invariant broken)")
+            return object()
+
+        def release(self, credit):
+            pass
+
+    def test_failed_manager_acquire_rolls_back_in_flight(self):
+        """If the wrapped manager raises despite the grant, the pool's
+        in-flight count must roll back — otherwise perceived capacity
+        shrinks permanently and grants eventually wedge."""
+        manager = self._ExplodingManager()
+        arb = FairShareCreditArbiter(manager, {"p": 1.0})
+        with pytest.raises(BackPressureTimeout):
+            arb.acquire("p")
+        assert arb.in_flight("p") == 0
+
+        # The pool recovers fully once the manager behaves again.
+        manager.explode = False
+        credits = [arb.acquire("p"), arb.acquire("p")]
+        assert arb.in_flight("p") == 2
+        for credit in credits:
+            arb.release(credit, "p")
+        assert arb.in_flight("p") == 0
