@@ -16,6 +16,7 @@ pipeline above.
 from __future__ import annotations
 
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.cdw import stagefile
@@ -53,15 +54,21 @@ class CloudBulkLoader:
                  obs: Observability = NULL_OBS,
                  faults: FaultInjector = NULL_INJECTOR,
                  retry: RetryPolicy | None = None,
-                 breakers: CircuitBreakerRegistry | None = None):
+                 breakers: CircuitBreakerRegistry | None = None,
+                 upload_workers: int = 1):
         if compression not in (None, "gzip"):
             raise StorageError(f"unsupported compression {compression!r}")
+        if upload_workers < 1:
+            raise StorageError("upload_workers must be >= 1")
         self.store = store
         self.compression = compression
         self.obs = obs
         self.faults = faults
         self.retry = retry
         self.breakers = breakers
+        #: default directory-upload concurrency (HyperQConfig wires
+        #: ``upload_workers`` here).
+        self.upload_workers = upload_workers
 
     def _guarded(self, target: str, fn, span=NULL_SPAN):
         """Run one store call under breaker + retry (when configured)."""
@@ -79,11 +86,14 @@ class CloudBulkLoader:
             return stagefile.compress(data)
         return data
 
-    def _blob_name(self, prefix: str, filename: str) -> str:
+    def blob_name(self, prefix: str, filename: str) -> str:
+        """Blob name a file of this name uploads to (compression-aware)."""
         name = f"{prefix.rstrip('/')}/{filename}" if prefix else filename
         if self.compression == "gzip":
             name += ".gz"
         return name
+
+    _blob_name = blob_name
 
     def upload_file(self, local_path: str, container: str,
                     prefix: str = "", span=NULL_SPAN) -> UploadReport:
@@ -118,19 +128,37 @@ class CloudBulkLoader:
             compressed=self.compression is not None)
 
     def upload_directory(self, local_dir: str, container: str,
-                         prefix: str = "") -> UploadReport:
+                         prefix: str = "",
+                         workers: int | None = None) -> UploadReport:
         """Upload every regular file in a directory (one loader call).
 
-        Files are visited in sorted name order — ``os.listdir`` order is
-        filesystem-dependent, and blob manifests / COPY input sets must
-        be identical across platforms and runs.
+        Files are enumerated in sorted name order — ``os.listdir`` order
+        is filesystem-dependent, and blob manifests / COPY input sets
+        must be identical across platforms and runs.  Uploads run on a
+        bounded worker pool (``workers``, defaulting to the loader's
+        ``upload_workers``), but the report is folded in the same sorted
+        order as the old sequential walk, and blob names are independent
+        of completion order, so both surfaces stay byte-identical.
         """
+        paths = [
+            path for entry in sorted(os.listdir(local_dir))
+            if os.path.isfile(path := os.path.join(local_dir, entry))
+        ]
+        pool_size = min(workers if workers is not None
+                        else self.upload_workers, max(len(paths), 1))
+        if pool_size <= 1:
+            singles = [self.upload_file(path, container, prefix)
+                       for path in paths]
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=pool_size,
+                    thread_name_prefix="bulkloader-upload") as pool:
+                singles = list(pool.map(
+                    lambda path: self.upload_file(path, container,
+                                                  prefix),
+                    paths))
         report = UploadReport(compressed=self.compression is not None)
-        for entry in sorted(os.listdir(local_dir)):
-            path = os.path.join(local_dir, entry)
-            if not os.path.isfile(path):
-                continue
-            single = self.upload_file(path, container, prefix)
+        for single in singles:
             report.files += single.files
             report.raw_bytes += single.raw_bytes
             report.uploaded_bytes += single.uploaded_bytes

@@ -32,6 +32,7 @@ from repro import values
 from repro.cdw import stagefile
 from repro.cdw.cloudstore import CloudStore
 from repro.cdw.expressions import RowContext, evaluate, is_true
+from repro.cdw.locks import LockManager
 from repro.cdw.table import Catalog, CdwTable, ColumnSpec
 from repro.cdw.types import cdw_type_from_node
 from repro.errors import (
@@ -86,11 +87,20 @@ class CdwEngine:
 
     def __init__(self, store: CloudStore | None = None,
                  native_unique: bool = True,
-                 parse_cache_size: int = 256):
+                 parse_cache_size: int = 256,
+                 zone_map_pruning: bool = True):
         self.catalog = Catalog()
         self.store = store
         self.native_unique = native_unique
-        self._lock = threading.RLock()
+        #: catalog + per-table reader/writer locks.  Statements lock only
+        #: the tables they touch (write beats read), so read-only SQL and
+        #: exports proceed concurrently with a bulk load's COPY INTO, and
+        #: eager-apply DML ranges interleave with later files' copies.
+        self.locks = LockManager()
+        self._counts_lock = threading.Lock()
+        #: slice BETWEEN scans over zone-mapped tables via binary search
+        #: (False keeps the full-scan path, for A/B benchmarking).
+        self.zone_map_pruning = zone_map_pruning
         #: parsed-statement cache for SQL text handed to execute():
         #: repeated statement texts (staging DDL probes, prepared error
         #: INSERT shapes, bench workloads) skip the parser entirely.
@@ -102,6 +112,37 @@ class CdwEngine:
         #: called after every execution (including failed ones); the
         #: Hyper-Q node points this at its statement-latency histogram.
         self.on_statement: "callable | None" = None
+        #: optional observability hook ``(rows_skipped,)`` fired whenever
+        #: a zone-map slice avoids scanning that many rows.
+        self.on_scan_pruned: "callable | None" = None
+
+    # -- locking -------------------------------------------------------------
+
+    def _lock_sets(self, statement: n.Statement
+                   ) -> "tuple[set[str], set[str]] | None":
+        """(read, write) table-name sets for a statement.
+
+        Returns None for DDL and unknown shapes — those fall back to an
+        exclusive catalog hold.  Read names come from every TableRef in
+        the tree (joins, derived tables, scalar subqueries included), so
+        a held statement never touches an unlocked table.
+        """
+        if isinstance(statement, (n.Insert, n.Update, n.Delete)):
+            writes = {statement.table.name}
+        elif isinstance(statement, n.Merge):
+            writes = {statement.target.name}
+        elif isinstance(statement, n.CopyInto):
+            writes = {statement.table.name}
+        elif isinstance(statement, n.Upsert):
+            writes = {statement.update.table.name,
+                      statement.insert.table.name}
+        elif isinstance(statement, (n.Select, n.SetOp)):
+            writes = set()
+        else:
+            return None
+        reads = {node.name for node in n.walk(statement)
+                 if isinstance(node, n.TableRef)}
+        return reads, writes
 
     # -- public API ----------------------------------------------------------
 
@@ -111,13 +152,17 @@ class CdwEngine:
             statement = self.plan_cache.get_or_compile(
                 statement,
                 lambda: parse_statement(statement, dialect="cdw"))
-        with self._lock:
-            name = type(statement).__name__
+        name = type(statement).__name__
+        with self._counts_lock:
             self.statement_counts[name] = \
                 self.statement_counts.get(name, 0) + 1
-            handler = getattr(self, f"_exec_{name}", None)
-            if handler is None:
-                raise CdwError(f"cannot execute {name} statement")
+        handler = getattr(self, f"_exec_{name}", None)
+        if handler is None:
+            raise CdwError(f"cannot execute {name} statement")
+        sets = self._lock_sets(statement)
+        guard = self.locks.ddl() if sets is None \
+            else self.locks.statement(*sets)
+        with guard:
             hook = self.on_statement
             if hook is None:
                 return handler(statement)
@@ -187,10 +232,9 @@ class CdwEngine:
                     raise BulkExecutionError(
                         f"COPY INTO {table.name} aborted: {exc}",
                         field=exc.field) from exc
-        candidate = table.rows + new_rows
         if self.native_unique and table.unique_keys:
-            table.check_unique(candidate)
-        table.rows = candidate
+            table.check_unique_append(new_rows)
+        table.append_rows(new_rows)
         return CdwResult(kind="count", rows_inserted=len(new_rows))
 
     # -- SELECT ------------------------------------------------------------------------
@@ -357,32 +401,26 @@ class CdwEngine:
             isinstance(node, n.FuncCall) and node.name in _AGGREGATES
             for node in n.walk(expr))
 
-    def _try_sorted_slice(self, stmt: n.Select, outer: RowContext | None
-                          ) -> "tuple[list[RowContext], n.Expr | None] | None":
-        """BETWEEN-range pushdown over a table sorted by one column.
-
-        When the FROM clause is a single table whose ``sorted_by`` column
-        appears in a top-level ``BETWEEN literal AND literal`` conjunct,
-        binary-search the row range instead of scanning.  This is what
-        keeps Hyper-Q's recursive chunk splitting (Section 7) cheap: each
-        sub-chunk attempt touches only its own row range.
-        """
-        if not isinstance(stmt.from_, n.TableRef) or stmt.where is None:
-            return None
-        table = self.catalog.get(stmt.from_.name)
-        if table.sorted_by is None:
-            return None
-        col = table.column_index(table.sorted_by)
-        binding = stmt.from_.binding
+    @staticmethod
+    def _where_conjuncts(where: n.Expr) -> list[n.Expr]:
+        """Flatten top-level AND structure into its conjuncts."""
         conjuncts: list[n.Expr] = []
-        stack = [stmt.where]
+        stack = [where]
         while stack:
             node = stack.pop()
             if isinstance(node, n.BinaryOp) and node.op == "AND":
                 stack.extend([node.left, node.right])
             else:
                 conjuncts.append(node)
-        chosen = None
+        return conjuncts
+
+    @staticmethod
+    def _zone_map_conjunct(conjuncts: list[n.Expr], table: CdwTable,
+                           binding: str) -> "int | None":
+        """Index of a ``sorted_by BETWEEN literal AND literal`` conjunct
+        usable to slice ``table``'s zone map, or None."""
+        if table.sorted_by is None:
+            return None
         for i, conjunct in enumerate(conjuncts):
             if (isinstance(conjunct, n.Between) and not conjunct.negated
                     and isinstance(conjunct.operand, n.ColumnRef)
@@ -393,16 +431,37 @@ class CdwEngine:
                          == binding.upper())
                     and isinstance(conjunct.low, n.Literal)
                     and isinstance(conjunct.high, n.Literal)):
-                chosen = i
-                break
+                return i
+        return None
+
+    def _note_pruned(self, table: CdwTable, lo: int, hi: int) -> None:
+        skipped = len(table.rows) - max(hi - lo, 0)
+        if skipped > 0 and self.on_scan_pruned is not None:
+            self.on_scan_pruned(skipped)
+
+    def _try_sorted_slice(self, stmt: n.Select, outer: RowContext | None
+                          ) -> "tuple[list[RowContext], n.Expr | None] | None":
+        """BETWEEN-range pushdown over a table sorted by one column.
+
+        When the FROM clause is a single table whose ``sorted_by`` column
+        appears in a top-level ``BETWEEN literal AND literal`` conjunct,
+        binary-search the row range instead of scanning.  This is what
+        keeps Hyper-Q's recursive chunk splitting (Section 7) cheap: each
+        sub-chunk attempt touches only its own row range.
+        """
+        if not self.zone_map_pruning:
+            return None
+        if not isinstance(stmt.from_, n.TableRef) or stmt.where is None:
+            return None
+        table = self.catalog.get(stmt.from_.name)
+        binding = stmt.from_.binding
+        conjuncts = self._where_conjuncts(stmt.where)
+        chosen = self._zone_map_conjunct(conjuncts, table, binding)
         if chosen is None:
             return None
         between = conjuncts[chosen]
-        import bisect
-        lo = bisect.bisect_left(
-            table.rows, between.low.value, key=lambda r: r[col])
-        hi = bisect.bisect_right(
-            table.rows, between.high.value, key=lambda r: r[col])
+        lo, hi = table.seq_slice(between.low.value, between.high.value)
+        self._note_pruned(table, lo, hi)
         contexts = []
         for row in table.rows[lo:hi]:
             ctx = RowContext(parent=outer)
@@ -415,6 +474,39 @@ class CdwEngine:
             residual = conjunct if residual is None \
                 else n.BinaryOp("AND", residual, conjunct)
         return contexts, residual
+
+    def _pruned_source_contexts(self, source: "n.TableRef | n.Join | None",
+                                where: "n.Expr | None"
+                                ) -> list[RowContext]:
+        """Source contexts for UPDATE/DELETE, zone-map sliced if possible.
+
+        When the FROM/USING clause is a single zone-mapped table and the
+        statement WHERE carries a top-level BETWEEN conjunct on its sort
+        column, bind only the sliced rows.  The full WHERE is still
+        evaluated per (target row × source row) pair afterwards — the
+        BETWEEN re-check over the slice is redundant but cheap, and
+        keeping it avoids rewriting the predicate.  This is the fix for
+        the Fig 11 cascade: each re-executed ``__SEQ`` range now binds
+        O(rows in range) source contexts instead of O(staging_rows).
+        """
+        if (self.zone_map_pruning and isinstance(source, n.TableRef)
+                and where is not None):
+            table = self.catalog.get(source.name)
+            conjuncts = self._where_conjuncts(where)
+            chosen = self._zone_map_conjunct(
+                conjuncts, table, source.binding)
+            if chosen is not None:
+                between = conjuncts[chosen]
+                lo, hi = table.seq_slice(
+                    between.low.value, between.high.value)
+                self._note_pruned(table, lo, hi)
+                contexts = []
+                for row in table.rows[lo:hi]:
+                    ctx = RowContext(parent=None)
+                    ctx.bind(source.binding, table.column_names, row)
+                    contexts.append(ctx)
+                return contexts
+        return self._source_contexts(source, None)
 
     def _run_select(self, stmt: n.Select,
                     outer: RowContext | None) -> tuple[list[tuple],
@@ -626,17 +718,16 @@ class CdwEngine:
         except ExpressionError as exc:
             raise self._wrap_row_error(
                 exc, f"INSERT INTO {table.name}") from exc
-        candidate = table.rows + new_rows
         if self.native_unique and table.unique_keys:
-            table.check_unique(candidate)
-        table.rows = candidate
+            table.check_unique_append(new_rows)
+        table.append_rows(new_rows)
         return CdwResult(kind="count", rows_inserted=len(new_rows))
 
     def _exec_Update(self, stmt: n.Update) -> CdwResult:
         table = self.catalog.get(stmt.table.name)
         binding = stmt.table.binding
         source_contexts = (
-            self._source_contexts(stmt.from_, None)
+            self._pruned_source_contexts(stmt.from_, stmt.where)
             if stmt.from_ is not None else [None])
         working = list(table.rows)
         updated: dict[int, tuple] = {}
@@ -668,13 +759,17 @@ class CdwEngine:
         if self.native_unique and table.unique_keys:
             table.check_unique(working)
         table.rows = working
+        if updated and table.sorted_by is not None and any(
+                a.column.upper() == table.sorted_by.upper()
+                for a in stmt.assignments):
+            table.sorted_by = None     # order no longer guaranteed
         return CdwResult(kind="count", rows_updated=len(updated))
 
     def _exec_Delete(self, stmt: n.Delete) -> CdwResult:
         table = self.catalog.get(stmt.table.name)
         binding = stmt.table.binding
         source_contexts = (
-            self._source_contexts(stmt.using, None)
+            self._pruned_source_contexts(stmt.using, stmt.where)
             if stmt.using is not None else [None])
         keep: list[tuple] = []
         deleted = 0
@@ -862,6 +957,8 @@ class CdwEngine:
         if self.native_unique and table.unique_keys:
             table.check_unique(final)
         table.rows = final
+        if (inserted or updated) and table.sorted_by is not None:
+            table.sorted_by = None     # appends/updates may break order
         return CdwResult(kind="count", rows_inserted=inserted,
                          rows_updated=updated, rows_deleted=deleted)
 

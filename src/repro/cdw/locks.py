@@ -1,0 +1,189 @@
+"""Reader/writer locks for the CDW engine.
+
+PRs 1-4 left the engine behind one global ``threading.RLock``: every
+statement — a multi-second COPY INTO included — serialized against every
+other, so a monitoring SELECT or an export fetch stalled behind bulk
+writes.  This module provides the two pieces that replace it:
+
+* :class:`RWLock` — a reader/writer lock with *writer preference* (new
+  readers queue behind a waiting writer, so bulk loads are not starved
+  by a stream of monitoring reads) that is **reentrant for both sides**:
+  a thread already holding the write side may re-acquire read or write
+  (Beta's uniqueness emulation wraps several engine statements in one
+  table-level write hold), and a thread already holding the read side is
+  granted further read acquisitions immediately even when a writer is
+  queued (otherwise writer preference would deadlock reentrant readers).
+  Read→write upgrade is refused with ``RuntimeError`` — it deadlocks
+  with two upgraders, so the engine never attempts it.
+
+* :class:`LockManager` — the engine's lock table: one catalog-level
+  RWLock guarding the table *namespace* plus one lazily-created RWLock
+  per table guarding that table's *rows*.  Statements acquire the
+  catalog read side plus their table locks in a single global order
+  (catalog first, then tables sorted by upper-cased name, write before
+  read for the same table), which makes deadlock impossible regardless
+  of statement mix.  DDL takes the catalog write side exclusively.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock", "LockManager"]
+
+
+class RWLock:
+    """Reentrant reader/writer lock with writer preference."""
+
+    def __init__(self):
+        self._cond = threading.Condition(threading.Lock())
+        #: per-thread count of read holds (reentrancy bookkeeping).
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None     # thread id holding write
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # -- write side ---------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Take the exclusive side; reentrant for the current writer.
+
+        Raises ``RuntimeError`` on a read→write upgrade attempt.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if self._readers.get(me):
+                raise RuntimeError(
+                    "read->write lock upgrade is not supported")
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self) -> None:
+        """Drop one write hold; wakes waiters on the last one."""
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by non-owner thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- read side ----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Take the shared side; queues behind a waiting writer unless
+        this thread already holds either side (reentrancy)."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or self._readers.get(me):
+                # Reentrant: a write holder reads its own data; an
+                # existing reader must not queue behind a waiting writer
+                # (writer preference would deadlock it).
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        """Drop one read hold; wakes writers when the last reader leaves."""
+        me = threading.get_ident()
+        with self._cond:
+            count = self._readers.get(me, 0)
+            if count == 0:
+                raise RuntimeError("release_read by non-reader thread")
+            if count == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = count - 1
+
+    # -- context managers ---------------------------------------------------
+
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — scoped shared hold."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — scoped exclusive hold."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class LockManager:
+    """Catalog + per-table RWLocks with a deadlock-free global order."""
+
+    def __init__(self):
+        self.catalog = RWLock()
+        self._meta = threading.Lock()
+        self._tables: dict[str, RWLock] = {}
+
+    def table_lock(self, name: str) -> RWLock:
+        """The RWLock for a table name (created on first use).
+
+        Locks are keyed by upper-cased name and survive DROP/CREATE of
+        the same name — a lock object is identity, not catalog state, so
+        reusing it across re-creations is harmless and keeps the lock
+        table append-only.
+        """
+        key = name.upper()
+        with self._meta:
+            lock = self._tables.get(key)
+            if lock is None:
+                lock = self._tables[key] = RWLock()
+            return lock
+
+    @contextmanager
+    def statement(self, read_tables: "set[str]", write_tables: "set[str]"):
+        """Hold the locks for one DML/query statement.
+
+        Catalog read side first, then table locks in sorted-name order;
+        a table in both sets is taken write-only (write subsumes read).
+        """
+        writes = {t.upper() for t in write_tables}
+        reads = {t.upper() for t in read_tables} - writes
+        self.catalog.acquire_read()
+        held: list[tuple[RWLock, bool]] = []
+        try:
+            for name in sorted(reads | writes):
+                lock = self.table_lock(name)
+                if name in writes:
+                    lock.acquire_write()
+                    held.append((lock, True))
+                else:
+                    lock.acquire_read()
+                    held.append((lock, False))
+            yield
+        finally:
+            for lock, is_write in reversed(held):
+                if is_write:
+                    lock.release_write()
+                else:
+                    lock.release_read()
+            self.catalog.release_read()
+
+    @contextmanager
+    def ddl(self):
+        """Exclusive catalog hold for namespace changes (and fallbacks)."""
+        with self.catalog.write():
+            yield

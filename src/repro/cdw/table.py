@@ -9,6 +9,7 @@ for which Hyper-Q "enforces uniqueness through emulation" (Section 7).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.cdw.types import CdwType
@@ -40,12 +41,39 @@ class CdwTable:
         for key in unique_keys or []:
             self.unique_keys.append(
                 tuple(self.column_index(col) for col in key))
+        #: cached per-key sets of the current rows' unique-key values;
+        #: None when stale.  Maintained by :meth:`append_rows`, dropped
+        #: by any wholesale ``rows`` reassignment or :meth:`truncate_rows`.
+        self._unique_index: list[set] | None = None
         self.rows: list[tuple] = []
         #: name of a column the rows are known to be sorted by (set by
         #: Hyper-Q's Beta after sorting the staging table); lets the
         #: engine slice BETWEEN-range scans with binary search instead of
         #: a full scan.  The setter must guarantee the order holds.
         self.sorted_by: str | None = None
+
+    # -- row storage ---------------------------------------------------------
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The table's rows (plain tuples, in storage order)."""
+        return self._rows
+
+    @rows.setter
+    def rows(self, value: list[tuple]) -> None:
+        """Replace the row list wholesale; drops the unique-key index
+        (UPDATE/DELETE/MERGE/rollback may have freed arbitrary keys)."""
+        self._rows = value
+        self._unique_index = None
+
+    def truncate_rows(self, length: int) -> None:
+        """Drop every row past ``length`` (Beta's emulation rollback).
+
+        Invalidates the unique-key index so the removed rows' keys
+        become insertable again.
+        """
+        del self._rows[length:]
+        self._unique_index = None
 
     # -- schema -------------------------------------------------------------
 
@@ -72,6 +100,66 @@ class CdwTable:
     def has_column(self, name: str) -> bool:
         """Whether a column of this name exists."""
         return name.upper() in self._index
+
+    # -- zone map -----------------------------------------------------------
+
+    def set_sorted(self, column: str) -> None:
+        """Sort the rows by ``column`` and arm the zone map.
+
+        After this, :meth:`seq_slice` answers range queries by binary
+        search and :meth:`append_rows` keeps the order as new rows land
+        (Hyper-Q's Beta arms the staging table once per apply run; the
+        eager-apply path then interleaves COPY INTO appends with
+        range-pruned DML scans).
+        """
+        col = self.column_index(column)
+        self.rows.sort(key=lambda r: r[col])
+        self.sorted_by = column
+
+    def seq_slice(self, low, high) -> tuple[int, int]:
+        """Index range ``[lo, hi)`` of rows with sort-column values in
+        ``[low, high]`` — a binary search over the armed zone map.
+
+        Raises :class:`CatalogError` when no sort column is armed.
+        """
+        if self.sorted_by is None:
+            raise CatalogError(
+                f"table {self.name!r} has no sorted column")
+        col = self.column_index(self.sorted_by)
+        lo = bisect.bisect_left(self.rows, low, key=lambda r: r[col])
+        hi = bisect.bisect_right(self.rows, high, key=lambda r: r[col])
+        return lo, hi
+
+    def append_rows(self, new_rows: list[tuple]) -> None:
+        """Append rows, preserving the zone-map order when armed.
+
+        The common eager-apply case — a staged file strictly after every
+        row already present — is a plain extend; out-of-order arrivals
+        (round-robin writers finishing early chunks late) fall back to a
+        timsort, which is near-linear on the mostly-sorted result.
+        """
+        if not new_rows:
+            return
+        if self._unique_index is not None:
+            # An append never *removes* keys, so the index stays live:
+            # fold the new rows in rather than rebuilding O(table) later.
+            for key_no, key in enumerate(self.unique_keys):
+                bucket = self._unique_index[key_no]
+                for row in new_rows:
+                    key_value = tuple(row[i] for i in key)
+                    if not any(v is None for v in key_value):
+                        bucket.add(key_value)
+        if self.sorted_by is None:
+            self.rows.extend(new_rows)
+            return
+        col = self.column_index(self.sorted_by)
+        in_order = (not self.rows
+                    or self.rows[-1][col] <= new_rows[0][col])
+        self.rows.extend(new_rows)
+        if not in_order or any(
+                new_rows[i][col] > new_rows[i + 1][col]
+                for i in range(len(new_rows) - 1)):
+            self.rows.sort(key=lambda r: r[col])
 
     # -- row validation -----------------------------------------------------
 
@@ -127,6 +215,51 @@ class CdwTable:
                         kind="uniqueness",
                         field=field_hint or self.columns[key[0]].name)
                 seen.add(key_value)
+
+    def _ensure_unique_index(self) -> list[set]:
+        """Build (once) the per-key sets of current rows' key values."""
+        if self._unique_index is None:
+            index: list[set] = [set() for _ in self.unique_keys]
+            for row in self._rows:
+                for key_no, key in enumerate(self.unique_keys):
+                    key_value = tuple(row[i] for i in key)
+                    if not any(v is None for v in key_value):
+                        index[key_no].add(key_value)
+            self._unique_index = index
+        return self._unique_index
+
+    def check_unique_append(self, new_rows: list[tuple],
+                            field_hint: str | None = None) -> None:
+        """Verify appending ``new_rows`` keeps every unique key satisfied,
+        assuming the existing rows already do.
+
+        The incremental counterpart to :meth:`check_unique`: instead of
+        rescanning the whole table per statement — quadratic across the
+        many small ranged statements eager apply issues — it checks new
+        rows against a cached key index (built once, extended by
+        :meth:`append_rows`, dropped on any other mutation).  Only valid
+        when every prior insert into this table was checked, which the
+        engine's ``native_unique`` mode guarantees.  Raises the same
+        uniqueness :class:`BulkExecutionError` as :meth:`check_unique`.
+        """
+        if not self.unique_keys:
+            return
+        index = self._ensure_unique_index()
+        staged: list[set] = [set() for _ in self.unique_keys]
+        for key_no, key in enumerate(self.unique_keys):
+            seen, local = index[key_no], staged[key_no]
+            for row in new_rows:
+                key_value = tuple(row[i] for i in key)
+                if any(v is None for v in key_value):
+                    continue
+                if key_value in seen or key_value in local:
+                    columns = ", ".join(
+                        self.columns[i].name for i in key)
+                    raise BulkExecutionError(
+                        f"uniqueness violation on {self.name}({columns})",
+                        kind="uniqueness",
+                        field=field_hint or self.columns[key[0]].name)
+                local.add(key_value)
 
 
 @dataclass

@@ -62,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "after the run")
     _add_chaos_args(run)
     _add_wlm_args(run)
+    _add_perf_args(run)
     _add_logging_args(run)
 
     serve = sub.add_parser(
@@ -168,6 +169,34 @@ def _load_wlm_profile(args):
         return json.load(handle)
 
 
+def _add_perf_args(sub_parser) -> None:
+    """Pipelining/pruning knobs shared by the job-running commands."""
+    sub_parser.add_argument(
+        "--eager-apply", action="store_true",
+        help="pipeline DML application into acquisition: COPY and "
+             "apply durable __SEQ prefixes while later chunks still "
+             "convert/upload (see docs/PERFORMANCE.md)")
+    sub_parser.add_argument(
+        "--no-zone-map-pruning", action="store_true",
+        help="disable __SEQ zone-map pruning of staging-table scans")
+    sub_parser.add_argument(
+        "--upload-workers", type=int, default=None, metavar="N",
+        help="parallel staging-file upload workers (default: 4)")
+
+
+def _perf_config_kwargs(args) -> dict:
+    """HyperQConfig overrides from the _add_perf_args options."""
+    kwargs = {
+        "eager_apply": bool(getattr(args, "eager_apply", False)),
+        "zone_map_pruning":
+            not getattr(args, "no_zone_map_pruning", False),
+    }
+    workers = getattr(args, "upload_workers", None)
+    if workers is not None:
+        kwargs["upload_workers"] = workers
+    return kwargs
+
+
 def _add_logging_args(sub_parser) -> None:
     sub_parser.add_argument(
         "--log-level", default=None, metavar="LEVEL",
@@ -193,6 +222,7 @@ def _add_observed_job_args(sub_parser) -> None:
                             help="Hyper-Q credit pool size")
     _add_chaos_args(sub_parser)
     _add_wlm_args(sub_parser)
+    _add_perf_args(sub_parser)
 
 
 def _configure_cli_logging(args) -> None:
@@ -216,7 +246,8 @@ def _run_observed_job(args, *, trace: bool,
                           trace_buffer_events=trace_buffer_events,
                           chaos_profile=_load_chaos_profile(args),
                           chaos_seed=getattr(args, "chaos_seed", None),
-                          wlm_profile=_load_wlm_profile(args))
+                          wlm_profile=_load_wlm_profile(args),
+                          **_perf_config_kwargs(args))
     stack = build_stack(config=config)
     try:
         if args.script:
@@ -305,7 +336,8 @@ def _cmd_run_script(args) -> int:
             trace_enabled=args.trace_out is not None,
             chaos_profile=_load_chaos_profile(args),
             chaos_seed=args.chaos_seed,
-            wlm_profile=_load_wlm_profile(args)))
+            wlm_profile=_load_wlm_profile(args),
+            **_perf_config_kwargs(args)))
         connect = stack.node.connect
         engine = stack.engine
         closer = stack.close

@@ -34,8 +34,8 @@ from repro.sqlxc import nodes as n
 from repro.sqlxc.parser import parse_statement
 from repro.sqlxc.rewrites import bind_params_to_columns, to_cdw
 
-__all__ = ["Beta", "ApplySummary", "PreparedDml", "SEQ_COLUMN",
-           "STAGING_ALIAS"]
+__all__ = ["Beta", "ApplyRun", "ApplySummary", "PreparedDml",
+           "SEQ_COLUMN", "STAGING_ALIAS"]
 
 log = get_logger("beta")
 
@@ -211,24 +211,29 @@ class Beta:
         target = self.engine.table(target_name)
         if not (self._emulate_unique and target.unique_keys):
             return self.engine.execute(statement)
-        if kind == "insert":
-            # inserts only append — rollback is truncation.
-            length_before = len(target.rows)
+        # The check-and-rollback sequence below reads and rewrites
+        # target.rows *around* the engine call, so it must hold the
+        # table's write lock for the whole window; the inner execute()
+        # re-acquires it reentrantly.
+        with self.engine.locks.table_lock(target_name).write():
+            if kind == "insert":
+                # inserts only append — rollback is truncation.
+                length_before = len(target.rows)
+                result = self.engine.execute(statement)
+                try:
+                    target.check_unique(target.rows)
+                except BulkExecutionError:
+                    target.truncate_rows(length_before)
+                    raise
+                return result
+            snapshot = list(target.rows)
             result = self.engine.execute(statement)
             try:
                 target.check_unique(target.rows)
             except BulkExecutionError:
-                del target.rows[length_before:]
+                target.rows = snapshot
                 raise
             return result
-        snapshot = list(target.rows)
-        result = self.engine.execute(statement)
-        try:
-            target.check_unique(target.rows)
-        except BulkExecutionError:
-            target.rows = snapshot
-            raise
-        return result
 
     # -- error-table writes -----------------------------------------------------------
 
@@ -243,6 +248,29 @@ class Beta:
 
     # -- the application phase ------------------------------------------------------------
 
+    def start_apply(self, *, sql: str, layout: Layout, staging_table: str,
+                    target_table: str, et_table: str, uv_table: str,
+                    max_errors: int | None = None,
+                    max_retries: int | None = None,
+                    span=NULL_SPAN) -> "ApplyRun":
+        """Open an incremental application run for one load job.
+
+        The two-phase path drives the returned :class:`ApplyRun` with a
+        single whole-table :meth:`ApplyRun.apply_seq_range`; the
+        eager-apply coordinator calls it once per durable contiguous
+        ``__SEQ`` prefix extension while acquisition is still running.
+        Both share one error budget and produce one merged summary.
+        """
+        return ApplyRun(
+            self, sql=sql, layout=layout, staging_table=staging_table,
+            target_table=target_table, et_table=et_table,
+            uv_table=uv_table,
+            max_errors=(max_errors if max_errors is not None
+                        else self.config.max_errors),
+            max_retries=(max_retries if max_retries is not None
+                         else self.config.max_retries),
+            span=span)
+
     def apply_dml(self, *, sql: str, layout: Layout, staging_table: str,
                   target_table: str, et_table: str, uv_table: str,
                   chunk_records: dict[int, int],
@@ -250,106 +278,22 @@ class Beta:
                   max_errors: int | None = None,
                   max_retries: int | None = None,
                   span=NULL_SPAN) -> ApplySummary:
-        """Run the application phase of a load job.
+        """Run the application phase of a load job in one shot.
 
         ``span`` is the tracing parent (the job's ``apply`` span);
         adaptive-error-handler splits and skips are emitted as child
         events under it.
         """
-        summary = ApplySummary()
-        builder, kind = self.prepare_dml(sql, layout, staging_table)
-        staging = self.engine.table(staging_table)
-        seq_idx = staging.column_index(SEQ_COLUMN)
-        staging.rows.sort(key=lambda row: row[seq_idx])
-        staging.sorted_by = SEQ_COLUMN
-        seqs = [row[seq_idx] for row in staging.rows]
-
-        rownum_of = self._rownum_mapper(chunk_records)
-
-        # 1. Acquisition-time rejects go straight to the error table.
-        for error in sorted(acquisition_errors, key=lambda e: e.seq):
-            self._record_et(
-                et_table, rownum_of(error.seq), error.code, error.field,
-                f"{error.message} during acquisition for {target_table}, "
-                f"row number: {rownum_of(error.seq)}")
-            summary.et_errors += 1
-
-        # 2. Range executor + error sinks for the adaptive handler.
-        def execute_range(lo: int, hi: int) -> tuple[int, int, int]:
-            # Per-range cache lookup: every split/retry the adaptive
-            # handler issues counts as a plan-cache hit, so the hit
-            # rate mirrors how many parse+bind cycles were avoided.
-            bind, _ = self.prepare_dml(sql, layout, staging_table)
-            statement = bind(lo, hi)
-            result = self._execute_with_emulation(
-                statement, target_table, kind)
-            return (result.rows_inserted, result.rows_updated,
-                    result.rows_deleted)
-
-        def record_tuple_error(seq: int, exc: BulkExecutionError) -> None:
-            rownum = rownum_of(seq)
-            if exc.kind == "uniqueness":
-                self._record_uv(uv_table, staging_table, builder, kind,
-                                seq, rownum)
-                summary.uv_errors += 1
-                return
-            self._record_et(
-                et_table, rownum, HYPERQ_CONVERSION_ERROR, exc.field,
-                f"{_first_clause(exc)} during DML on {target_table}, "
-                f"row number: {rownum}")
-            summary.et_errors += 1
-
-        def record_range_error(lo: int, hi: int,
-                               exc: BulkExecutionError,
-                               reason: str) -> None:
-            what = ("Max number of errors reached" if reason == "max_errors"
-                    else "Max number of retries reached")
-            self._record_et(
-                et_table, None, HYPERQ_MAX_ERRORS_REACHED, None,
-                f"{what} during DML on {target_table}, row numbers: "
-                f"({rownum_of(lo)}, {rownum_of(hi)})")
-            summary.et_errors += 1
-
-        def observe_split(event: str, details: dict) -> None:
-            self.obs.tracer.event(f"apply.{event}", parent=span,
-                                  target=target_table, **details)
-            if event == "split":
-                self.obs.apply_splits.inc()
-            elif event == "range_skip":
-                self.obs.apply_errors.labels(kind="range").inc()
-
-        handler = AdaptiveErrorHandler(
-            execute_range=execute_range,
-            record_tuple_error=record_tuple_error,
-            record_range_error=record_range_error,
-            max_errors=(max_errors if max_errors is not None
-                        else self.config.max_errors),
-            max_retries=(max_retries if max_retries is not None
-                         else self.config.max_retries),
-            observer=observe_split,
-        )
-        outcome: ApplyOutcome = handler.apply(seqs)
-        summary.rows_inserted = outcome.rows_inserted
-        summary.rows_updated = outcome.rows_updated
-        summary.rows_deleted = outcome.rows_deleted
-        summary.statements = outcome.statements
-        summary.splits = outcome.splits
-        self.obs.apply_statements.inc(outcome.statements)
-        self.obs.apply_errors.labels(kind="et").inc(summary.et_errors)
-        self.obs.apply_errors.labels(kind="uv").inc(summary.uv_errors)
-        self.obs.rows_applied.labels(op="insert").inc(
-            summary.rows_inserted)
-        self.obs.rows_applied.labels(op="update").inc(
-            summary.rows_updated)
-        self.obs.rows_applied.labels(op="delete").inc(
-            summary.rows_deleted)
-        log.debug(
-            "applied DML on %s: %d inserted, %d updated, %d deleted, "
-            "%d ET errors, %d UV errors, %d statements, %d splits",
-            target_table, summary.rows_inserted, summary.rows_updated,
-            summary.rows_deleted, summary.et_errors, summary.uv_errors,
-            summary.statements, summary.splits)
-        return summary
+        run = self.start_apply(
+            sql=sql, layout=layout, staging_table=staging_table,
+            target_table=target_table, et_table=et_table,
+            uv_table=uv_table, max_errors=max_errors,
+            max_retries=max_retries, span=span)
+        run.arm_staging()
+        run.update_chunks(chunk_records)
+        run.record_acquisition_errors(acquisition_errors)
+        run.apply_seq_range(None, None)
+        return run.finish()
 
     def _rownum_mapper(self, chunk_records: dict[int, int]):
         stride = self.config.seq_stride
@@ -385,3 +329,176 @@ class Beta:
         padded += [None] * (uv.arity - 2 - len(padded))
         self._insert_row(
             uv_table, tuple(padded) + (rownum, HYPERQ_UNIQUENESS_ERROR))
+
+
+class ApplyRun:
+    """Incremental application state for one load job.
+
+    Owns the job-wide :class:`ApplyOutcome` (shared ``max_errors``
+    budget), the prepared-DML builder, and the adaptive error handler;
+    each :meth:`apply_seq_range` call extends the applied ``__SEQ``
+    range.  Rownum mapping only depends on the record counts of earlier
+    chunks, so applying a growing chunk-aligned prefix yields row
+    numbers — and therefore ET/UV rows — identical to one whole-table
+    pass.
+    """
+
+    def __init__(self, beta: Beta, *, sql: str, layout: Layout,
+                 staging_table: str, target_table: str, et_table: str,
+                 uv_table: str, max_errors: int, max_retries: int,
+                 span=NULL_SPAN):
+        self.beta = beta
+        self.sql = sql
+        self.layout = layout
+        self.staging_table = staging_table
+        self.target_table = target_table
+        self.et_table = et_table
+        self.uv_table = uv_table
+        self.span = span
+        self.summary = ApplySummary()
+        self.outcome = ApplyOutcome()
+        self._builder, self._kind = beta.prepare_dml(
+            sql, layout, staging_table)
+        self._rownum = beta._rownum_mapper({})
+        self._recorded_acq: set[int] = set()
+        self._handler = AdaptiveErrorHandler(
+            execute_range=self._execute_range,
+            record_tuple_error=self._record_tuple_error,
+            record_range_error=self._record_range_error,
+            max_errors=max_errors,
+            max_retries=max_retries,
+            observer=self._observe_split,
+        )
+
+    # -- handler callbacks --------------------------------------------------
+
+    def _execute_range(self, lo: int, hi: int) -> tuple[int, int, int]:
+        # Per-range cache lookup: every split/retry the adaptive
+        # handler issues counts as a plan-cache hit, so the hit
+        # rate mirrors how many parse+bind cycles were avoided.
+        bind, _ = self.beta.prepare_dml(
+            self.sql, self.layout, self.staging_table)
+        statement = bind(lo, hi)
+        result = self.beta._execute_with_emulation(
+            statement, self.target_table, self._kind)
+        return (result.rows_inserted, result.rows_updated,
+                result.rows_deleted)
+
+    def _record_tuple_error(self, seq: int,
+                            exc: BulkExecutionError) -> None:
+        rownum = self._rownum(seq)
+        if exc.kind == "uniqueness":
+            self.beta._record_uv(
+                self.uv_table, self.staging_table, self._builder,
+                self._kind, seq, rownum)
+            self.summary.uv_errors += 1
+            return
+        self.beta._record_et(
+            self.et_table, rownum, HYPERQ_CONVERSION_ERROR, exc.field,
+            f"{_first_clause(exc)} during DML on {self.target_table}, "
+            f"row number: {rownum}")
+        self.summary.et_errors += 1
+
+    def _record_range_error(self, lo: int, hi: int,
+                            exc: BulkExecutionError, reason: str) -> None:
+        what = ("Max number of errors reached" if reason == "max_errors"
+                else "Max number of retries reached")
+        self.beta._record_et(
+            self.et_table, None, HYPERQ_MAX_ERRORS_REACHED, None,
+            f"{what} during DML on {self.target_table}, row numbers: "
+            f"({self._rownum(lo)}, {self._rownum(hi)})")
+        self.summary.et_errors += 1
+
+    def _observe_split(self, event: str, details: dict) -> None:
+        obs = self.beta.obs
+        obs.tracer.event(f"apply.{event}", parent=self.span,
+                         target=self.target_table, **details)
+        if event == "split":
+            obs.apply_splits.inc()
+        elif event == "range_skip":
+            obs.apply_errors.labels(kind="range").inc()
+
+    # -- incremental driving ------------------------------------------------
+
+    def arm_staging(self) -> None:
+        """Sort the staging table by ``__SEQ`` and arm its zone map.
+
+        Under the eager path this runs on the (empty) staging table
+        right after creation; subsequent COPY INTO appends keep the
+        order, so every later slice is a binary search.
+        """
+        engine = self.beta.engine
+        staging = engine.table(self.staging_table)
+        with engine.locks.table_lock(self.staging_table).write():
+            staging.set_sorted(SEQ_COLUMN)
+
+    def update_chunks(self, chunk_records: dict[int, int]) -> None:
+        """Refresh the rownum mapper with every chunk known so far."""
+        self._rownum = self.beta._rownum_mapper(chunk_records)
+
+    def mark_acquisition_recorded(self, seqs) -> None:
+        """Resume support: these seqs' acquisition errors are already in
+        the error table from a previous incarnation of the job."""
+        self._recorded_acq.update(seqs)
+
+    def record_acquisition_errors(
+            self, acquisition_errors: list[AcquisitionError]) -> None:
+        """Write acquisition-time rejects to the error table (idempotent
+        per seq — eager prefixes re-pass the growing list)."""
+        fresh = [e for e in acquisition_errors
+                 if e.seq not in self._recorded_acq]
+        for error in sorted(fresh, key=lambda e: e.seq):
+            rownum = self._rownum(error.seq)
+            self.beta._record_et(
+                self.et_table, rownum, error.code, error.field,
+                f"{error.message} during acquisition for "
+                f"{self.target_table}, row number: {rownum}")
+            self.summary.et_errors += 1
+            self._recorded_acq.add(error.seq)
+
+    def staged_seqs(self, lo_seq: int | None,
+                    hi_seq: int | None) -> list[int]:
+        """Sorted ``__SEQ`` values currently staged within a bound."""
+        engine = self.beta.engine
+        staging = engine.table(self.staging_table)
+        seq_idx = staging.column_index(SEQ_COLUMN)
+        with engine.locks.table_lock(self.staging_table).read():
+            if lo_seq is None and hi_seq is None:
+                return sorted(row[seq_idx] for row in staging.rows)
+            lo, hi = staging.seq_slice(
+                lo_seq if lo_seq is not None else 0,
+                hi_seq if hi_seq is not None else (1 << 62))
+            return [row[seq_idx] for row in staging.rows[lo:hi]]
+
+    def apply_seq_range(self, lo_seq: int | None,
+                        hi_seq: int | None) -> None:
+        """Apply the DML to staged rows with ``__SEQ`` in the bound
+        (None = open end), accumulating into the shared outcome."""
+        seqs = self.staged_seqs(lo_seq, hi_seq)
+        self._handler.apply(seqs, outcome=self.outcome)
+
+    def finish(self) -> ApplySummary:
+        """Close the run: fold the outcome into the summary, flush the
+        observability counters, and return the merged summary."""
+        summary = self.summary
+        outcome = self.outcome
+        summary.rows_inserted = outcome.rows_inserted
+        summary.rows_updated = outcome.rows_updated
+        summary.rows_deleted = outcome.rows_deleted
+        summary.statements = outcome.statements
+        summary.splits = outcome.splits
+        obs = self.beta.obs
+        obs.apply_statements.inc(outcome.statements)
+        obs.apply_errors.labels(kind="et").inc(summary.et_errors)
+        obs.apply_errors.labels(kind="uv").inc(summary.uv_errors)
+        obs.rows_applied.labels(op="insert").inc(summary.rows_inserted)
+        obs.rows_applied.labels(op="update").inc(summary.rows_updated)
+        obs.rows_applied.labels(op="delete").inc(summary.rows_deleted)
+        log.debug(
+            "applied DML on %s: %d inserted, %d updated, %d deleted, "
+            "%d ET errors, %d UV errors, %d statements, %d splits",
+            self.target_table, summary.rows_inserted,
+            summary.rows_updated, summary.rows_deleted,
+            summary.et_errors, summary.uv_errors,
+            summary.statements, summary.splits)
+        return summary

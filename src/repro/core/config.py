@@ -52,6 +52,19 @@ class HyperQConfig:
     #: entries in Beta's prepared-DML plan cache (LRU; one entry per
     #: distinct (DML text, staging table, layout) shape).
     plan_cache_size: int = 128
+    #: overlap the application phase with acquisition: COPY INTO + DML
+    #: run on durable contiguous ``__SEQ`` prefixes as staged files
+    #: land, and the client's APPLY becomes a drain barrier.  Requires
+    #: the client to send its apply DML in BEGIN_LOAD metadata (the
+    #: bundled client always does); jobs without it fall back to the
+    #: two-phase path.
+    eager_apply: bool = False
+    #: binary-search ``__SEQ BETWEEN`` ranges over the staging table's
+    #: sorted zone map instead of scanning every row per range; False
+    #: keeps the full-scan path (A/B baseline).
+    zone_map_pruning: bool = True
+    #: worker threads for BulkLoader.upload_directory.
+    upload_workers: int = 4
     #: acknowledge a chunk only after it is written to disk — the
     #: *rejected* synchronous design of Section 5, kept for the ablation
     #: benchmark.  Default (False) is the paper's immediate-ack pipeline.
@@ -115,6 +128,8 @@ class HyperQConfig:
             raise ValueError("trace buffer needs at least one slot")
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
+        if self.upload_workers < 1:
+            raise ValueError("upload_workers must be >= 1")
         if self.retry_max_attempts < 1:
             raise ValueError("retry_max_attempts must be >= 1")
         if min(self.retry_base_delay_s, self.retry_max_delay_s,

@@ -81,10 +81,19 @@ class AdaptiveErrorHandler:
         if self.observer is not None:
             self.observer(event, details)
 
-    def apply(self, seqs: list[int]) -> ApplyOutcome:
+    def apply(self, seqs: list[int],
+              outcome: ApplyOutcome | None = None) -> ApplyOutcome:
         """Apply the DML over all of ``seqs`` (sorted staging sequence
-        numbers), splitting adaptively on failure."""
-        outcome = ApplyOutcome()
+        numbers), splitting adaptively on failure.
+
+        Pass ``outcome`` to continue accumulating into a prior call's
+        result — the eager-apply path invokes the handler once per
+        durable ``__SEQ`` prefix extension and must share one
+        ``max_errors`` budget (and one set of counters) across the whole
+        job, exactly as a single two-phase call would.
+        """
+        if outcome is None:
+            outcome = ApplyOutcome()
         if not seqs:
             return outcome
         # Explicit stack, pushed right-half first so processing stays in

@@ -87,8 +87,15 @@ class FileWriter:
         return None
 
     def flush(self) -> StagedFile | None:
-        """Finalize whatever is buffered (end of acquisition)."""
-        if not self._buffer:
+        """Finalize whatever is buffered (end of acquisition).
+
+        A buffer of zero bytes still finalizes when chunk manifests are
+        pending: a chunk whose records were all rejected contributes no
+        CSV, but its manifest entry must reach the checkpoint journal
+        (and the eager-apply coordinator's durable-chunk tracking) all
+        the same.
+        """
+        if not self._buffer and not self._buffered_chunks:
             return None
         return self._finalize()
 

@@ -22,6 +22,7 @@ import os
 import shutil
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.cdw.bulkloader import CloudBulkLoader
@@ -31,6 +32,7 @@ from repro.core.beta import SEQ_COLUMN, Beta
 from repro.core.config import HyperQConfig
 from repro.core.converter import DataConverter
 from repro.core.credits import CreditManager
+from repro.core.eagerapply import DurableFileRelay, EagerApplyCoordinator
 from repro.core.metrics import JobMetrics, Stopwatch
 from repro.core.pipeline import AcquisitionPipeline
 from repro.core.tdfcursor import TdfCursor
@@ -79,6 +81,10 @@ class _LoadJob:
     lock: threading.Lock = field(default_factory=threading.Lock)
     #: workload-management admission (None when wlm is disabled).
     ticket: object = None
+    #: eager-apply coordinator (None on the two-phase path) and the
+    #: DML it was armed with at BEGIN_LOAD.
+    eager: EagerApplyCoordinator | None = None
+    eager_sql: str | None = None
 
 
 @dataclass
@@ -111,6 +117,10 @@ class HyperQNode:
             engine.on_statement = (
                 lambda stmt, seconds: self.obs.statement_seconds
                 .labels(statement=stmt).observe(seconds))
+        engine.zone_map_pruning = self.config.zone_map_pruning
+        if engine.on_scan_pruned is None:
+            engine.on_scan_pruned = (
+                lambda skipped: self.obs.scan_pruned_rows.inc(skipped))
         self.credits = CreditManager(
             self.config.credits, self.config.credit_timeout_s,
             obs=self.obs)
@@ -131,7 +141,8 @@ class HyperQNode:
             self.config, obs=self.obs)
         self.loader = CloudBulkLoader(
             store, compression=self.config.compression, obs=self.obs,
-            faults=self.faults, retry=self.retry, breakers=self.breakers)
+            faults=self.faults, retry=self.retry, breakers=self.breakers,
+            upload_workers=self.config.upload_workers)
         #: any object with accept()/connect()/close() — the in-memory
         #: transport by default, or a repro.net_tcp.TcpListener for a
         #: real socket.
@@ -168,6 +179,8 @@ class HyperQNode:
             self._exports.clear()
         for job in jobs:
             job.pipeline.shutdown()
+            if job.eager is not None:
+                job.eager.shutdown()
             self.wlm.release(job.ticket)
         for export in exports:
             self.wlm.release(export.ticket)
@@ -433,6 +446,8 @@ class HyperQNode:
                 stale = self._jobs.pop(job_id, None)
             if stale is not None:
                 stale.pipeline.shutdown()
+                if stale.eager is not None:
+                    stale.eager.shutdown()
                 stale.span.end("error")
                 self.wlm.release(stale.ticket)
                 self.obs.jobs_total.labels(event="restarted").inc()
@@ -468,7 +483,15 @@ class HyperQNode:
             csv_delimiter=self.config.csv_delimiter,
             obs=self.obs,
             staging_table=staging_table)
+        # Eager apply needs the durable-file hook wired before the
+        # pipeline exists (a resumed pipeline re-uploads during its own
+        # __init__), but the coordinator needs the pipeline — the relay
+        # buffers callbacks across that construction gap.
+        eager_sql = (meta.get("apply_sql")
+                     if self.config.eager_apply else None)
+        relay = DurableFileRelay() if eager_sql else None
         pipeline = AcquisitionPipeline(
+            on_file_durable=relay,
             converter=converter,
             credits=self.wlm.credit_source(pool),
             loader=self.loader,
@@ -488,6 +511,24 @@ class HyperQNode:
             journal=journal,
             resume=resume,
         )
+        eager = None
+        if eager_sql:
+            run = self.beta.start_apply(
+                sql=eager_sql, layout=layout,
+                staging_table=staging_table, target_table=target,
+                et_table=meta["et_table"], uv_table=meta["uv_table"],
+                max_errors=meta.get("max_errors"),
+                max_retries=meta.get("max_retries"),
+                span=job_span)
+            eager = EagerApplyCoordinator(
+                run=run, pipeline=pipeline, loader=self.loader,
+                engine=self.engine, config=self.config,
+                container=self.config.container, prefix=f"{job_id}/",
+                staging_table=staging_table, metrics=metrics,
+                obs=self.obs, job_span=job_span, journal=journal,
+                faults=self.faults, retry=self.retry,
+                breakers=self.breakers, job_id=job_id)
+            relay.attach(eager.file_durable)
         job = _LoadJob(
             job_id=job_id, target=target,
             et_table=meta["et_table"], uv_table=meta["uv_table"],
@@ -495,6 +536,7 @@ class HyperQNode:
             staging_table=staging_table, staging_dir=staging_dir,
             pipeline=pipeline, metrics=metrics,
             span=job_span, ticket=ticket,
+            eager=eager, eager_sql=eager_sql,
         )
         job.total_watch.start()
         self.obs.jobs_total.labels(event="started").inc()
@@ -579,6 +621,9 @@ class HyperQNode:
     def _handle_apply(self, channel: MessageChannel,
                       message: Message) -> None:
         job = self._job(message.meta["job_id"])
+        if job.eager is not None:
+            self._handle_apply_eager(channel, message, job)
+            return
         # Acquisition ends once the pipeline has fully drained into the
         # staging table (upload + in-cloud COPY included).
         job.pipeline.drain()
@@ -622,6 +667,55 @@ class HyperQNode:
             raise
         apply_span.set_attribute("rows_inserted", summary.rows_inserted)
         apply_span.end()
+        self._record_apply_result(channel, job, summary)
+
+    def _handle_apply_eager(self, channel: MessageChannel,
+                            message: Message, job: _LoadJob) -> None:
+        """APPLY on the eager path: a drain barrier, not a phase.
+
+        The coordinator has been copying and applying durable prefixes
+        since BEGIN_LOAD; here the gateway drains the acquisition
+        pipeline (suppressing its prefix-wide COPY — the coordinator
+        owns every copy), waits for the workers to run dry, and merges
+        one summary identical to the two-phase outcome.
+        """
+        if message.meta["sql"] != job.eager_sql:
+            raise GatewayError(
+                "APPLY statement differs from the DML announced at "
+                "BEGIN_LOAD; eager apply already ran the announced one")
+        job.pipeline.drain(copy=False)
+        job.acquisition_watch.stop()
+        acquisition_ended = time.perf_counter()
+        job.metrics.acquisition_s = job.acquisition_watch.elapsed
+        job.metrics.sessions = max(
+            job.metrics.sessions, len(job.sessions_seen))
+
+        apply_span = self.obs.tracer.span(
+            "apply", parent=job.span, job_id=job.job_id,
+            target=job.target, eager=True)
+        try:
+            with job.application_watch, \
+                    self.obs.stage_seconds.labels(stage="apply").time():
+                summary = job.eager.finish()
+        except BaseException:
+            apply_span.end("error")
+            raise
+        # Overlap: time between the first eager range application and
+        # the end of acquisition — the wall clock the pipelining saved.
+        overlap = 0.0
+        if job.eager.first_apply_at is not None:
+            overlap = max(
+                0.0, acquisition_ended - job.eager.first_apply_at)
+        job.metrics.overlap_s = overlap
+        self.obs.apply_overlap_seconds.observe(overlap)
+        apply_span.set_attribute("rows_inserted", summary.rows_inserted)
+        apply_span.set_attribute("overlap_s", round(overlap, 6))
+        apply_span.end()
+        self._record_apply_result(channel, job, summary)
+
+    def _record_apply_result(self, channel: MessageChannel,
+                             job: _LoadJob, summary) -> None:
+        """Fold an ApplySummary into job metrics and answer the client."""
         job.metrics.application_s = job.application_watch.elapsed
         job.metrics.rows_inserted = summary.rows_inserted
         job.metrics.rows_updated = summary.rows_updated
@@ -654,6 +748,8 @@ class HyperQNode:
                 return
             self._jobs.pop(job.job_id)
         job.pipeline.quiesce()
+        if job.eager is not None:
+            job.eager.shutdown()
         job.span.end("error")
         self.obs.jobs_total.labels(event=event).inc()
         self.wlm.release(job.ticket)

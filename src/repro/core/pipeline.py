@@ -74,7 +74,8 @@ class AcquisitionPipeline:
                  retry: RetryPolicy | None = None,
                  breakers: CircuitBreakerRegistry | None = None,
                  journal: CheckpointJournal | None = None,
-                 resume: bool = False, job_id: str = ""):
+                 resume: bool = False, job_id: str = "",
+                 on_file_durable: "callable | None" = None):
         self.converter = converter
         #: credit source — the node's CreditManager, or a pool-bound
         #: :class:`repro.wlm.PoolCredits` view when workload management
@@ -114,6 +115,15 @@ class AcquisitionPipeline:
         self._uploaded_files = 0
         self._failures: list[BaseException] = []
         self._drained = False
+        #: hook ``(staged: StagedFile)`` fired from the uploader thread
+        #: once a staging file is durable in the cloud store (and
+        #: journaled) — the eager-apply coordinator uses it to COPY and
+        #: apply contiguous ``__SEQ`` prefixes while later chunks are
+        #: still converting.  Exceptions it raises fail the pipeline.
+        #: Constructor-injected (not assigned post-hoc) because a
+        #: resumed pipeline starts re-uploading journaled files before
+        #: __init__ returns.
+        self.on_file_durable = on_file_durable
         #: chunks/files found durable in the journal on resume.
         self.resumed_chunks = 0
         self.resumed_files = 0
@@ -388,6 +398,9 @@ class AcquisitionPipeline:
                 if self.journal is not None:
                     self.journal.record_uploaded(staged.name)
                 os.unlink(staged.path)
+                hook = self.on_file_durable
+                if hook is not None:
+                    hook(staged)
             except BaseException as exc:
                 upload_span.end("error")
                 self._fail(exc)
@@ -402,12 +415,17 @@ class AcquisitionPipeline:
 
     # -- drain -----------------------------------------------------------------------
 
-    def drain(self, timeout_s: float = 300.0) -> None:
+    def drain(self, timeout_s: float = 300.0, copy: bool = True) -> None:
         """Wait for every submitted chunk to be staged, then COPY.
 
         Called when the client starts the application phase: "After data
         is completely consumed, Hyper-Q initiates an in-the-cloud COPY
         operation to move data to a staging table in the CDW".
+
+        ``copy=False`` skips the terminal prefix-wide COPY — the
+        eager-apply coordinator owns per-file copies in that mode, and a
+        prefix-wide COPY here would double-load every blob it already
+        moved.
         """
         if self._drained:
             return
@@ -433,6 +451,9 @@ class AcquisitionPipeline:
         wait_for(lambda: self._flushes_done >= expected_flushes)
         wait_for(lambda: self._uploaded_files >= self._finalized_files)
         self._check_failures()
+        if not copy:
+            self._drained = True
+            return
         if self.journal is not None and self.journal.copy_rows is not None:
             # A previous incarnation of this job already COPYed: running
             # it again would double-load every staged blob.

@@ -329,8 +329,8 @@ class LegacyServer:
     def _record_et(self, job: _LoadJob, rownum: int, code: int,
                    field_name: str | None, message: str) -> None:
         table = self.engine.table(job.et_table)
-        table.rows.append(table.coerce_row(
-            (rownum, code, field_name, message[:512])))
+        table.append_rows([table.coerce_row(
+            (rownum, code, field_name, message[:512]))])
 
     def _record_uv(self, job: _LoadJob, bound_stmt: Statement,
                    raw_item: tuple, rownum: int) -> None:
@@ -353,8 +353,8 @@ class LegacyServer:
                 tuple_values = tuple([None] * target.arity)
         else:
             tuple_values = tuple([None] * target.arity)
-        table.rows.append(table.coerce_row(
-            tuple_values + (rownum, _UV_CODE)))
+        table.append_rows([table.coerce_row(
+            tuple_values + (rownum, _UV_CODE))])
 
     def _handle_end_load(self, channel: MessageChannel,
                          message: Message) -> None:

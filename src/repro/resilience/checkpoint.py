@@ -47,6 +47,12 @@ class CheckpointJournal:
         self.uploaded: set[str] = set()
         #: rows landed by a completed COPY INTO (None = not yet run).
         self.copy_rows: int | None = None
+        #: blobs already copied by the eager-apply coordinator
+        #: (blob name -> rows landed).
+        self.eager_copied: dict[str, int] = {}
+        #: highest chunk seq below which every staged row has been
+        #: eagerly applied (None = eager apply never ran).
+        self.eager_applied_below: int | None = None
         #: how many records were replayed from an existing journal.
         self.replayed = 0
         if fresh and os.path.exists(path):
@@ -87,6 +93,10 @@ class CheckpointJournal:
             self.uploaded.add(record["file"])
         elif kind == "copy":
             self.copy_rows = record["rows"]
+        elif kind == "eager_copy":
+            self.eager_copied[record["blob"]] = record["rows"]
+        elif kind == "eager_apply":
+            self.eager_applied_below = record["below_chunk"]
         # unknown record types are skipped: forward compatibility
 
     # -- appends ----------------------------------------------------------------
@@ -123,6 +133,14 @@ class CheckpointJournal:
     def record_copy(self, rows: int) -> None:
         """Gateway side: COPY INTO the staging table completed."""
         self._append({"t": "copy", "rows": rows})
+
+    def record_eager_copy(self, blob: str, rows: int) -> None:
+        """Gateway side: the eager coordinator COPYed one blob."""
+        self._append({"t": "eager_copy", "blob": blob, "rows": rows})
+
+    def record_eager_apply(self, below_chunk: int) -> None:
+        """Gateway side: every chunk seq below ``below_chunk`` applied."""
+        self._append({"t": "eager_apply", "below_chunk": below_chunk})
 
     # -- resume queries ----------------------------------------------------------
 

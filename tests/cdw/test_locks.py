@@ -1,0 +1,175 @@
+"""RWLock / LockManager semantics and the engine's lock granularity.
+
+PR 5 splits the engine's one global RLock into a catalog lock plus
+per-table reader/writer locks.  These tests pin the lock semantics the
+engine now depends on (reentrancy, writer preference, refused upgrades)
+and the satellite guarantee: reads — monitoring SELECTs, export
+fetches — do not wait behind a bulk write on an unrelated table.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.cdw.locks import LockManager, RWLock
+
+
+def run_in_thread(fn, timeout_s=5.0):
+    """Run fn in a thread; returns (finished, result)."""
+    box = []
+    thread = threading.Thread(target=lambda: box.append(fn()),
+                              daemon=True)
+    thread.start()
+    thread.join(timeout=timeout_s)
+    return (not thread.is_alive(),
+            box[0] if box else None, thread)
+
+
+class TestRWLock:
+    def test_concurrent_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        finished, _, _ = run_in_thread(
+            lambda: lock.read().__enter__() or True)
+        assert finished
+        lock.release_read()
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        lock.acquire_write()
+        for acquire in (lock.acquire_read, lock.acquire_write):
+            finished, _, thread = run_in_thread(acquire, timeout_s=0.1)
+            assert not finished
+        lock.release_write()
+        time.sleep(0.1)
+
+    def test_write_reentrancy(self):
+        lock = RWLock()
+        with lock.write():
+            with lock.write():
+                with lock.read():  # write holder may read
+                    pass
+        # fully released: another thread can take it
+        finished, _, _ = run_in_thread(
+            lambda: lock.write().__enter__() or True)
+        assert finished
+
+    def test_read_reentrancy_beats_writer_preference(self):
+        """A thread already reading is granted further reads even with
+        a writer queued — otherwise reentrant readers deadlock."""
+        lock = RWLock()
+        lock.acquire_read()
+        # park a writer so _writers_waiting > 0
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(),
+                            lock.release_write()),
+            daemon=True)
+        writer.start()
+        time.sleep(0.05)
+        lock.acquire_read()  # must not block
+        lock.release_read()
+        lock.release_read()
+        writer.join(timeout=5)
+        assert not writer.is_alive()
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(),
+                            lock.release_write()),
+            daemon=True)
+        writer.start()
+        time.sleep(0.05)
+        finished, _, _ = run_in_thread(lock.acquire_read,
+                                       timeout_s=0.1)
+        assert not finished  # queued behind the waiting writer
+        lock.release_read()
+        writer.join(timeout=5)
+        assert not writer.is_alive()
+
+    def test_read_to_write_upgrade_refused(self):
+        lock = RWLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_foreign_release_refused(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        lock.acquire_write()
+        finished, result, _ = run_in_thread(
+            lambda: pytest.raises(RuntimeError, lock.release_write))
+        assert finished
+        lock.release_write()
+
+
+class TestLockManager:
+    def test_statement_orders_and_releases(self):
+        locks = LockManager()
+        with locks.statement({"b"}, {"a"}):
+            assert locks.table_lock("A")._writer is not None
+            assert locks.table_lock("B")._readers
+        assert locks.table_lock("A")._writer is None
+        assert not locks.table_lock("B")._readers
+
+    def test_write_subsumes_read_for_same_table(self):
+        locks = LockManager()
+        with locks.statement({"t"}, {"t"}):
+            assert locks.table_lock("T")._writer is not None
+            assert not locks.table_lock("T")._readers
+
+    def test_ddl_excludes_statements(self):
+        locks = LockManager()
+        ddl = locks.ddl()
+        ddl.__enter__()
+        finished, _, _ = run_in_thread(
+            lambda: locks.statement(set(), {"t"}).__enter__(),
+            timeout_s=0.1)
+        assert not finished
+        ddl.__exit__(None, None, None)
+
+
+class TestEngineLockGranularity:
+    def _engine(self):
+        engine = CdwEngine(store=CloudStore())
+        engine.execute("CREATE TABLE A (X INT)")
+        engine.execute("CREATE TABLE B (X INT)")
+        engine.execute("INSERT INTO B VALUES (1)")
+        return engine
+
+    def test_reads_bypass_bulk_write_on_other_table(self):
+        """The satellite fix: a long COPY/INSERT holding table A's
+        write lock must not stall a SELECT against table B."""
+        engine = self._engine()
+        lock = engine.locks.table_lock("A")
+        lock.acquire_write()  # stand-in for an in-flight bulk write
+        try:
+            finished, result, _ = run_in_thread(
+                lambda: engine.query("SELECT * FROM B"))
+            assert finished and result == [(1,)]
+            # ... while a write against A does wait:
+            blocked, _, thread = run_in_thread(
+                lambda: engine.execute("INSERT INTO A VALUES (1)"),
+                timeout_s=0.1)
+            assert not blocked
+        finally:
+            lock.release_write()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert engine.query("SELECT COUNT(*) FROM A") == [(1,)]
+
+    def test_concurrent_readers_on_one_table(self):
+        engine = self._engine()
+        lock = engine.locks.table_lock("B")
+        lock.acquire_read()
+        try:
+            finished, result, _ = run_in_thread(
+                lambda: engine.query("SELECT COUNT(*) FROM B"))
+            assert finished and result == [(1,)]
+        finally:
+            lock.release_read()

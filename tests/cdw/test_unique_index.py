@@ -1,0 +1,132 @@
+"""Incremental uniqueness checking must agree with the full rescan.
+
+Eager apply turns one big APPLY into many small ranged statements; a
+full ``check_unique`` rescan per statement is quadratic across them, so
+the engine's insert paths use :meth:`CdwTable.check_unique_append`
+against a cached key index.  These tests pin the invalidation
+discipline: any mutation that can *free* a key (UPDATE, DELETE, MERGE,
+Beta's emulation rollback) drops the index, so a freed key is
+insertable again and a stale index never causes a false verdict.
+"""
+
+import pytest
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.errors import BulkExecutionError
+
+
+def make_engine() -> CdwEngine:
+    engine = CdwEngine(store=CloudStore(), native_unique=True)
+    engine.execute(
+        "CREATE TABLE T (K INT, V NVARCHAR, UNIQUE (K))")
+    return engine
+
+
+def insert(engine, k, v="x"):
+    engine.execute(f"INSERT INTO T VALUES ({k}, '{v}')")
+
+
+class TestCheckUniqueAppend:
+    def test_duplicate_against_existing_rows_rejected(self):
+        engine = make_engine()
+        insert(engine, 1)
+        insert(engine, 2)
+        with pytest.raises(BulkExecutionError, match="uniqueness"):
+            insert(engine, 1)
+        assert engine.query("SELECT COUNT(*) FROM T") == [(2,)]
+
+    def test_duplicate_within_one_statement_rejected(self):
+        engine = make_engine()
+        with pytest.raises(BulkExecutionError, match="uniqueness"):
+            engine.execute(
+                "INSERT INTO T SELECT K, V FROM "
+                "(SELECT 7 AS K, 'a' AS V UNION ALL "
+                "SELECT 7 AS K, 'b' AS V) S")
+
+    def test_failed_statement_leaves_key_insertable(self):
+        """A rejected batch must not leak its keys into the index."""
+        engine = make_engine()
+        insert(engine, 1)
+        with pytest.raises(BulkExecutionError):
+            engine.execute(
+                "INSERT INTO T SELECT K, V FROM "
+                "(SELECT 9 AS K, 'a' AS V UNION ALL "
+                "SELECT 1 AS K, 'dup' AS V) S")
+        insert(engine, 9)  # 9 was staged in the failed batch
+        assert engine.query("SELECT COUNT(*) FROM T") == [(2,)]
+
+    def test_delete_frees_the_key(self):
+        engine = make_engine()
+        for k in (1, 2, 3):
+            insert(engine, k)
+        engine.execute("DELETE FROM T WHERE K = 2")
+        insert(engine, 2)
+        assert sorted(engine.query("SELECT K FROM T")) == \
+            [(1,), (2,), (3,)]
+
+    def test_update_frees_the_old_key(self):
+        engine = make_engine()
+        insert(engine, 1)
+        insert(engine, 2)
+        engine.execute("UPDATE T SET K = 10 WHERE K = 1")
+        insert(engine, 1)  # old value free again
+        with pytest.raises(BulkExecutionError, match="uniqueness"):
+            insert(engine, 10)  # new value taken
+
+    def test_merge_respects_index_invalidation(self):
+        engine = make_engine()
+        insert(engine, 1)
+        engine.execute("CREATE TABLE S (K INT, V NVARCHAR)")
+        engine.execute("INSERT INTO S VALUES (1, 'upd')")
+        engine.execute(
+            "MERGE INTO T USING S ON T.K = S.K "
+            "WHEN MATCHED THEN UPDATE SET V = S.V")
+        with pytest.raises(BulkExecutionError, match="uniqueness"):
+            insert(engine, 1)
+
+    def test_rollback_truncation_frees_keys(self):
+        """Beta's emulation rollback path: rows appended then dropped
+        via truncate_rows must release their keys."""
+        engine = make_engine()
+        insert(engine, 1)
+        table = engine.table("T")
+        table.append_rows([table.coerce_row((5, "tmp"))])
+        table.truncate_rows(1)
+        insert(engine, 5)
+        assert sorted(engine.query("SELECT K FROM T")) == [(1,), (5,)]
+
+    def test_null_keys_do_not_participate(self):
+        engine = make_engine()
+        engine.execute("INSERT INTO T VALUES (NULL, 'a')")
+        engine.execute("INSERT INTO T VALUES (NULL, 'b')")
+        assert engine.query("SELECT COUNT(*) FROM T") == [(2,)]
+
+    def test_matches_full_check_oracle(self):
+        """Randomized agreement: incremental verdicts equal a fresh
+        full-rescan check_unique on the same would-be contents."""
+        import random
+        rng = random.Random(4242)
+        engine = make_engine()
+        table = engine.table("T")
+        for step in range(300):
+            k = rng.randrange(0, 60)
+            candidate = table.coerce_row((k, f"v{step}"))
+            def full_verdict():
+                try:
+                    table.check_unique(table.rows + [candidate])
+                    return True
+                except BulkExecutionError:
+                    return False
+            ok = full_verdict()
+            if rng.random() < 0.15 and table.rows:
+                # interleave key-freeing mutations
+                victim = rng.choice(table.rows)[0]
+                engine.execute(f"DELETE FROM T WHERE K = {victim}")
+                ok = full_verdict()
+            try:
+                insert(engine, k, f"v{step}")
+                assert ok, f"step {step}: full check would reject {k}"
+            except BulkExecutionError:
+                assert not ok, \
+                    f"step {step}: full check would accept {k}"
