@@ -14,7 +14,13 @@ Four subcommands, mirroring how the real product is operated:
 - ``stats``      — run a job (synthetic or scripted) on an instrumented
   node and print its metrics registry (Prometheus text or JSON);
 - ``trace``      — same, with span tracing enabled; exports the span
-  tree as JSONL.
+  tree as JSONL, queries a persisted trace store (``--query`` with
+  ``--trace-id``/``--job``), or attributes each job's wall time to
+  pipeline stages (``--critical-path``);
+- ``slo``        — run an instrumented job under a declarative SLO
+  profile and print every objective's burn rates;
+- ``flight``     — inspect a dead job's flight-recorder bundle
+  (post-mortem events + spans + metrics).
 
 Usage: ``python -m repro <subcommand> --help``.
 """
@@ -117,7 +123,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL destination (default: stdout)")
     trace.add_argument("--buffer-events", type=int, default=65536,
                        help="trace ring-buffer capacity")
+    trace.add_argument("--sample-rate", type=float, default=1.0,
+                       help="fraction of locally-rooted traces kept")
+    trace.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="spill spans to a bounded JSONL trace "
+                            "store in DIR (also the store --query "
+                            "reads)")
+    trace.add_argument("--query", action="store_true",
+                       help="query an existing --store-dir instead of "
+                            "running a job")
+    trace.add_argument("--trace-id", default=None, metavar="HEX",
+                       help="only spans of this trace")
+    trace.add_argument("--job", default=None, metavar="JOB_ID",
+                       help="only spans of this job's trace(s)")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="print per-job stage attribution instead "
+                            "of raw spans")
     _add_logging_args(trace)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate SLO burn rates over an instrumented run")
+    _add_observed_job_args(slo)
+    slo.add_argument("--slo-profile", required=True, metavar="PATH",
+                     help="SLO profile JSON (see docs/OBSERVABILITY.md "
+                          "and examples/slo_profile.json)")
+    slo.add_argument("--format", choices=("table", "json"),
+                     default="table",
+                     help="human-readable table (default) or JSON")
+    _add_logging_args(slo)
+
+    flight = sub.add_parser(
+        "flight", help="inspect a job's flight-recorder bundle")
+    flight.add_argument("job_id", nargs="?", default=None,
+                        help="job whose bundle to print (omit to list "
+                             "every bundle in --bundle-dir)")
+    flight.add_argument("--bundle-dir", required=True, metavar="DIR",
+                        help="directory failure bundles were dumped "
+                             "into (HyperQConfig.flight_dump_dir)")
+    flight.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="event timeline (default) or the raw "
+                             "bundle JSON")
 
     simulate = sub.add_parser(
         "simulate", help="discrete-event acquisition model")
@@ -232,7 +278,8 @@ def _configure_cli_logging(args) -> None:
 
 
 def _run_observed_job(args, *, trace: bool,
-                      trace_buffer_events: int = 65536):
+                      trace_buffer_events: int = 65536,
+                      **config_kwargs):
     """Run one load job on an instrumented stack; returns the node.
 
     The caller owns the returned node's stack via ``node._cli_stack``
@@ -247,7 +294,8 @@ def _run_observed_job(args, *, trace: bool,
                           chaos_profile=_load_chaos_profile(args),
                           chaos_seed=getattr(args, "chaos_seed", None),
                           wlm_profile=_load_wlm_profile(args),
-                          **_perf_config_kwargs(args))
+                          **_perf_config_kwargs(args),
+                          **config_kwargs)
     stack = build_stack(config=config)
     try:
         if args.script:
@@ -285,23 +333,149 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _filter_trace_records(records: list, trace_id: int | None,
+                          job_id: str | None) -> list:
+    """Whole-trace filter: spans of the named trace and/or of every
+    trace the job participated in (matched by ``job_id`` span attrs)."""
+    if trace_id is None and job_id is None:
+        return list(records)
+    wanted = set()
+    if trace_id is not None:
+        wanted.add(trace_id)
+    if job_id is not None:
+        wanted.update(
+            r.get("trace_id") for r in records
+            if r.get("attrs", {}).get("job_id") == job_id)
+    return [r for r in records if r.get("trace_id") in wanted]
+
+
+def _emit_trace_records(records: list, out: str,
+                        critical_path: bool) -> None:
+    """Print records as a critical-path table or JSONL to ``out``."""
+    import json
+
+    if critical_path:
+        from repro.obs.critical_path import analyze
+        jobs = analyze(records)
+        if not jobs:
+            print("no completed job spans in the selection")
+            return
+        for row in jobs:
+            stages = " ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in row["stages"].items())
+            print(f"job {row['job_id']} trace {row['trace_id']}: "
+                  f"total={row['total_s']:.3f}s {stages} "
+                  f"other={row['other_s']:.3f}s "
+                  f"critical={row['critical_stage']}")
+        return
+    lines = "".join(json.dumps(r, sort_keys=True) + "\n"
+                    for r in records)
+    if out == "-":
+        sys.stdout.write(lines)
+    else:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(lines)
+        print(f"wrote {len(records)} spans to {out}")
+
+
 def _cmd_trace(args) -> int:
     _configure_cli_logging(args)
-    node = _run_observed_job(args, trace=True,
-                             trace_buffer_events=args.buffer_events)
+    trace_id = int(args.trace_id, 16) if args.trace_id else None
+    if args.query:
+        # Query an existing spilled store — no job run at all.
+        from repro.obs.tracestore import TraceStore
+        if not args.store_dir:
+            print("error: --query needs --store-dir", file=sys.stderr)
+            return 1
+        store = TraceStore(args.store_dir)
+        records = store.query(trace_id=trace_id, job_id=args.job)
+        store.close()
+        _emit_trace_records(records, args.out, args.critical_path)
+        return 0
+    node = _run_observed_job(
+        args, trace=True, trace_buffer_events=args.buffer_events,
+        trace_sample_rate=args.sample_rate,
+        trace_store_dir=args.store_dir)
     try:
         tracer = node.obs.tracer
-        if args.out == "-":
-            count = tracer.export_jsonl(sys.stdout)
-        else:
-            count = tracer.export_jsonl(args.out)
-            print(f"wrote {count} spans to {args.out}")
+        records = _filter_trace_records(
+            tracer.records(), trace_id, args.job)
+        _emit_trace_records(records, args.out, args.critical_path)
         if tracer.dropped:
             print(f"warning: ring buffer dropped spans "
                   f"{tracer.dropped} time(s); raise --buffer-events",
                   file=sys.stderr)
     finally:
         node._cli_stack.close()
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import json
+
+    _configure_cli_logging(args)
+    with open(args.slo_profile, "r", encoding="utf-8") as handle:
+        profile = json.load(handle)
+    node = _run_observed_job(args, trace=False, slo_profile=profile)
+    try:
+        snapshot = node.obs.slo.snapshot()
+    finally:
+        node._cli_stack.close()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, default=str))
+        return 0
+    for name, result in sorted(snapshot["slos"].items()):
+        burns = " ".join(
+            f"burn[{window}s]={rate:.2f}"
+            for window, rate in sorted(result["burn_rates"].items(),
+                                       key=lambda kv: float(kv[0])))
+        state = "BREACHING" if result["breaching"] else "ok"
+        extra = ""
+        if result["objective"] == "latency_p95":
+            extra = (f" p95={result['p95_s']:.3f}s"
+                     f"/{result['threshold_s']:g}s")
+        print(f"{name} ({result['objective']}, pool={result['pool']}): "
+              f"{state} good={result['good']} bad={result['bad']} "
+              f"{burns}{extra}")
+    return 0
+
+
+def _cmd_flight(args) -> int:
+    import json
+
+    from repro.obs.flight import FlightRecorder
+
+    if args.job_id is None:
+        names = sorted(
+            entry[:-len(".json")]
+            for entry in os.listdir(args.bundle_dir)
+            if entry.endswith(".json"))
+        if not names:
+            print("no flight bundles found", file=sys.stderr)
+            return 1
+        for name in names:
+            print(name)
+        return 0
+    path = os.path.join(args.bundle_dir, f"{args.job_id}.json")
+    bundle = FlightRecorder.load_bundle(path)
+    if args.format == "json":
+        print(json.dumps(bundle, indent=2, default=str))
+        return 0
+    print(f"job {bundle['job_id']}: {bundle.get('reason', '?')} "
+          f"({len(bundle.get('events', []))} events, "
+          f"{len(bundle.get('spans', []))} spans)")
+    for event in bundle.get("events", []):
+        fields = " ".join(
+            f"{k}={v}" for k, v in sorted(event.items())
+            if k not in ("ts", "event"))
+        print(f"  {event['ts']:.6f} {event['event']} {fields}".rstrip())
+    for event in bundle.get("node_events", []):
+        fields = " ".join(
+            f"{k}={v}" for k, v in sorted(event.items())
+            if k not in ("ts", "event"))
+        print(f"  [node] {event['ts']:.6f} {event['event']} "
+              f"{fields}".rstrip())
     return 0
 
 
@@ -507,6 +681,8 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "slo": _cmd_slo,
+    "flight": _cmd_flight,
 }
 
 

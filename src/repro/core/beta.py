@@ -252,7 +252,7 @@ class Beta:
                     target_table: str, et_table: str, uv_table: str,
                     max_errors: int | None = None,
                     max_retries: int | None = None,
-                    span=NULL_SPAN) -> "ApplyRun":
+                    span=NULL_SPAN, job_id: str = "") -> "ApplyRun":
         """Open an incremental application run for one load job.
 
         The two-phase path drives the returned :class:`ApplyRun` with a
@@ -269,7 +269,7 @@ class Beta:
                         else self.config.max_errors),
             max_retries=(max_retries if max_retries is not None
                          else self.config.max_retries),
-            span=span)
+            span=span, job_id=job_id)
 
     def apply_dml(self, *, sql: str, layout: Layout, staging_table: str,
                   target_table: str, et_table: str, uv_table: str,
@@ -277,18 +277,19 @@ class Beta:
                   acquisition_errors: list[AcquisitionError],
                   max_errors: int | None = None,
                   max_retries: int | None = None,
-                  span=NULL_SPAN) -> ApplySummary:
+                  span=NULL_SPAN, job_id: str = "") -> ApplySummary:
         """Run the application phase of a load job in one shot.
 
         ``span`` is the tracing parent (the job's ``apply`` span);
         adaptive-error-handler splits and skips are emitted as child
-        events under it.
+        events under it (and into the job's flight recorder when a
+        ``job_id`` is given).
         """
         run = self.start_apply(
             sql=sql, layout=layout, staging_table=staging_table,
             target_table=target_table, et_table=et_table,
             uv_table=uv_table, max_errors=max_errors,
-            max_retries=max_retries, span=span)
+            max_retries=max_retries, span=span, job_id=job_id)
         run.arm_staging()
         run.update_chunks(chunk_records)
         run.record_acquisition_errors(acquisition_errors)
@@ -346,8 +347,9 @@ class ApplyRun:
     def __init__(self, beta: Beta, *, sql: str, layout: Layout,
                  staging_table: str, target_table: str, et_table: str,
                  uv_table: str, max_errors: int, max_retries: int,
-                 span=NULL_SPAN):
+                 span=NULL_SPAN, job_id: str = ""):
         self.beta = beta
+        self.job_id = job_id
         self.sql = sql
         self.layout = layout
         self.staging_table = staging_table
@@ -413,6 +415,8 @@ class ApplyRun:
         obs = self.beta.obs
         obs.tracer.event(f"apply.{event}", parent=self.span,
                          target=self.target_table, **details)
+        obs.flight.record(self.job_id, f"apply_{event}",
+                          target=self.target_table, **details)
         if event == "split":
             obs.apply_splits.inc()
         elif event == "range_skip":

@@ -77,6 +77,16 @@ class HyperQConfig:
     trace_enabled: bool = False
     #: capacity of the trace ring buffer (oldest spans dropped first).
     trace_buffer_events: int = 4096
+    #: fraction of locally-rooted traces kept (1.0 = trace everything);
+    #: traces continued from a client's traceparent are always kept.
+    trace_sample_rate: float = 1.0
+    #: when set, spill every closed span to bounded JSONL segments in
+    #: this directory (queryable via ``repro trace --query``).
+    trace_store_dir: str | None = None
+    #: spans per trace-store segment file before rotation.
+    trace_store_segment_spans: int = 2048
+    #: trace-store segments retained (oldest pruned first).
+    trace_store_max_segments: int = 8
     #: when set ("DEBUG"/"INFO"/...), configure structured logging for
     #: the whole ``repro.*`` hierarchy at node construction.
     log_level: str | None = None
@@ -105,6 +115,21 @@ class HyperQConfig:
     #: bare pool list); None disables workload management entirely.
     wlm_profile: dict | list | None = None
 
+    # -- service-level objectives (repro.obs.slo) --
+    #: parsed slo-profile JSON ({"slos": [...]} or a bare spec list);
+    #: None disables SLO evaluation entirely.
+    slo_profile: dict | list | None = None
+
+    # -- per-job flight recorder (repro.obs.flight) --
+    #: keep a bounded in-memory event log per job and dump a
+    #: post-mortem bundle (events + spans + metrics) when a job dies.
+    flight_recorder_enabled: bool = True
+    #: events retained per job (oldest dropped first).
+    flight_max_events: int = 256
+    #: where failure bundles are written; None uses a ``flight/``
+    #: subdirectory of the node's staging area (removed at node stop).
+    flight_dump_dir: str | None = None
+
     # -- fault injection (repro.faults) --
     #: parsed chaos-profile JSON ({"seed": ..., "rules": [...]} or a
     #: bare rule list); None disables injection entirely.
@@ -126,6 +151,14 @@ class HyperQConfig:
             raise ValueError(f"unsupported compression {self.compression!r}")
         if self.trace_buffer_events < 1:
             raise ValueError("trace buffer needs at least one slot")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        if self.trace_store_segment_spans < 1:
+            raise ValueError("trace_store_segment_spans must be >= 1")
+        if self.trace_store_max_segments < 1:
+            raise ValueError("trace_store_max_segments must be >= 1")
+        if self.flight_max_events < 1:
+            raise ValueError("flight_max_events must be >= 1")
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
         if self.upload_workers < 1:
@@ -145,3 +178,6 @@ class HyperQConfig:
         if self.wlm_profile is not None and \
                 not isinstance(self.wlm_profile, (dict, list)):
             raise ValueError("wlm_profile must be a dict or pool list")
+        if self.slo_profile is not None and \
+                not isinstance(self.slo_profile, (dict, list)):
+            raise ValueError("slo_profile must be a dict or spec list")

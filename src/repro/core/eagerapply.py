@@ -228,6 +228,9 @@ class EagerApplyCoordinator:
             self.metrics.copy_rows += result.rows_inserted
             self.obs.copy_rows.inc(result.rows_inserted)
             self.blobs_copied += 1
+            self.obs.flight.record(
+                self.job_id, "eager_copy", blob=blob,
+                rows=result.rows_inserted)
         with self._cond:
             self._chunks_copied.update(chunks)
             self._cond.notify_all()
@@ -247,7 +250,7 @@ class EagerApplyCoordinator:
             op = lambda: breaker.call(attempt)  # noqa: E731
         if self.retry is not None:
             return self.retry.call(op, target="copy.into", obs=self.obs,
-                                   parent=copy_span)
+                                   parent=copy_span, job_id=self.job_id)
         return op()
 
     # -- applier worker ----------------------------------------------------
@@ -300,6 +303,9 @@ class EagerApplyCoordinator:
                 self.obs.stage_seconds.labels(stage="apply").time():
             self._apply_guarded(lo_seq, hi_seq, span)
         self.ranges_applied += 1
+        self.obs.flight.record(
+            self.job_id, "eager_apply_range", lo_chunk=lo_chunk,
+            hi_chunk=k - 1)
         if self.journal is not None:
             self.journal.record_eager_apply(k)
         log.debug("eagerly applied chunks [%d, %d)", lo_chunk, k)
@@ -322,7 +328,7 @@ class EagerApplyCoordinator:
             op = lambda: breaker.call(attempt)  # noqa: E731
         if self.retry is not None:
             self.retry.call(op, target="dml.apply", obs=self.obs,
-                            parent=span)
+                            parent=span, job_id=self.job_id)
             return
         op()
 

@@ -92,6 +92,9 @@ class _ExportJob:
     job_id: str
     cursor: TdfCursor
     layout: Layout
+    #: the job's root trace span (continues the client's trace when a
+    #: traceparent rode in on BEGIN_EXPORT).
+    span: object = NULL_SPAN
     #: workload-management admission (None when wlm is disabled).
     ticket: object = None
     #: data sessions that must see EOF before the job is torn down.
@@ -149,6 +152,12 @@ class HyperQNode:
         self.listener = listener if listener is not None else Listener()
         store.create_container(self.config.container)
         self._base_dir = tempfile.mkdtemp(prefix=f"{name}-staging-")
+        if self.obs.flight.enabled and self.obs.flight.dump_dir is None:
+            # Default bundle location rides the staging area (removed
+            # at node stop); set config.flight_dump_dir to keep
+            # post-mortems across node restarts.
+            self.obs.flight.dump_dir = os.path.join(
+                self._base_dir, "flight")
         self._jobs: dict[str, _LoadJob] = {}
         self._exports: dict[str, _ExportJob] = {}
         self._registry_lock = threading.Lock()
@@ -185,6 +194,7 @@ class HyperQNode:
         for export in exports:
             self.wlm.release(export.ticket)
         shutil.rmtree(self._base_dir, ignore_errors=True)
+        self.obs.close()
         log.info("node stopped", extra={
             "node": self.name, "abandoned_jobs": len(jobs),
             "completed_jobs": len(self.completed_jobs)})
@@ -243,6 +253,16 @@ class HyperQNode:
                 "enabled": self.obs.tracer.enabled,
                 "buffered_spans": len(self.obs.tracer.records()),
                 "dropped": self.obs.tracer.dropped,
+                "sample_rate": self.obs.tracer.sample_rate,
+                "store_segments": (
+                    len(self.obs.trace_store.segments())
+                    if self.obs.trace_store is not None else 0),
+            },
+            "slo": self.obs.slo.snapshot(),
+            "flight": {
+                "enabled": self.obs.flight.enabled,
+                "jobs_recorded": len(self.obs.flight.jobs()),
+                "dump_dir": self.obs.flight.dump_dir,
             },
         }
 
@@ -290,6 +310,12 @@ class HyperQNode:
                         value = getattr(exc, key, None)
                         if value:
                             error_meta[key] = value
+                    # Echo the request's trace context so even a shed
+                    # request's reply stays correlated to the client's
+                    # trace (throttle replies are part of the story).
+                    traceparent = message.meta.get("traceparent")
+                    if traceparent:
+                        error_meta["traceparent"] = traceparent
                     channel.send(Message(MessageKind.ERROR, error_meta))
         except ReproError:
             pass
@@ -416,15 +442,21 @@ class HyperQNode:
             raise GatewayError(
                 f"target table {target!r} does not exist in the CDW")
 
+        # A trace-carrying client makes this whole job a subtree of its
+        # trace: the admission span and the job span both parent to the
+        # remote context, so the gateway side has no orphan roots.
+        remote_ctx = message.trace_context()
+
         # Admission control happens before ANY job state is created, so
         # a shed request leaves nothing behind — the client just sees
         # WLM_THROTTLED and retries the whole BEGIN_LOAD later.
         pool = self._classify(meta, conn, target=target)
-        ticket = self.wlm.admit(pool, job_id, kind="load")
+        ticket = self.wlm.admit(pool, job_id, kind="load",
+                                parent_span=remote_ctx)
         try:
             job = self._begin_load_admitted(channel, meta, job_id, layout,
                                             format_spec, target, resume,
-                                            pool, ticket)
+                                            pool, ticket, remote_ctx)
         except BaseException:
             self.wlm.release(ticket)
             raise
@@ -435,8 +467,8 @@ class HyperQNode:
     def _begin_load_admitted(self, channel: MessageChannel, meta: dict,
                              job_id: str, layout: Layout,
                              format_spec: FormatSpec, target: str,
-                             resume: bool, pool: str,
-                             ticket) -> _LoadJob:
+                             resume: bool, pool: str, ticket,
+                             remote_ctx=None) -> _LoadJob:
         """Set up one admitted load job (the pre-wlm BEGIN_LOAD body)."""
         # A restarted job (same job_id, resume flag) replaces whatever
         # is left of its killed predecessor; the checkpoint journal in
@@ -451,6 +483,7 @@ class HyperQNode:
                 stale.span.end("error")
                 self.wlm.release(stale.ticket)
                 self.obs.jobs_total.labels(event="restarted").inc()
+                self.obs.flight.record(job_id, "restarted")
 
         staging_table = f"HQ_STG_{job_id}"
         if not (resume and self.engine.catalog.exists(staging_table)):
@@ -466,10 +499,15 @@ class HyperQNode:
                 os.path.join(staging_dir, "checkpoint.jsonl"),
                 fresh=not resume)
         metrics = JobMetrics(job_id=job_id,
-                             sessions=meta.get("sessions", 0))
+                             sessions=meta.get("sessions", 0),
+                             pool=pool)
+        # With a remote context the job span continues the client's
+        # trace; without one it is a locally-rooted trace as before.
         job_span = self.obs.tracer.span(
-            "job", job_id=job_id, target=target,
+            "job", parent=remote_ctx, job_id=job_id, target=target,
             **({"pool": pool} if pool else {}))
+        if job_span.trace_id:
+            metrics.trace_id = f"{job_span.trace_id:032x}"
         with self.obs.tracer.span(
                 "codec.compile", parent=job_span, job_id=job_id,
                 kind=format_spec.kind,
@@ -519,7 +557,7 @@ class HyperQNode:
                 et_table=meta["et_table"], uv_table=meta["uv_table"],
                 max_errors=meta.get("max_errors"),
                 max_retries=meta.get("max_retries"),
-                span=job_span)
+                span=job_span, job_id=job_id)
             eager = EagerApplyCoordinator(
                 run=run, pipeline=pipeline, loader=self.loader,
                 engine=self.engine, config=self.config,
@@ -540,6 +578,10 @@ class HyperQNode:
         )
         job.total_watch.start()
         self.obs.jobs_total.labels(event="started").inc()
+        self.obs.flight.record(
+            job_id, "started", target=target, pool=pool,
+            resume=resume, eager=bool(eager_sql),
+            trace_id=metrics.trace_id)
         log.info("load job started", extra={
             "job_id": job_id, "target": target, "pool": pool,
             "sessions": meta.get("sessions", 0)})
@@ -652,16 +694,18 @@ class HyperQNode:
                 acquisition_errors=job.pipeline.acquisition_errors,
                 max_errors=message.meta.get("max_errors"),
                 max_retries=message.meta.get("max_retries"),
-                span=apply_span,
+                span=apply_span, job_id=job.job_id,
             )
 
         breaker = self.breakers.get("dml.apply")
+        self.obs.flight.record(job.job_id, "apply_started")
         try:
             with job.application_watch, \
                     self.obs.stage_seconds.labels(stage="apply").time():
                 summary = self.retry.call(
                     lambda: breaker.call(run_apply),
-                    target="dml.apply", obs=self.obs, parent=apply_span)
+                    target="dml.apply", obs=self.obs, parent=apply_span,
+                    job_id=job.job_id)
         except BaseException:
             apply_span.end("error")
             raise
@@ -693,6 +737,7 @@ class HyperQNode:
         apply_span = self.obs.tracer.span(
             "apply", parent=job.span, job_id=job.job_id,
             target=job.target, eager=True)
+        self.obs.flight.record(job.job_id, "apply_started", eager=True)
         try:
             with job.application_watch, \
                     self.obs.stage_seconds.labels(stage="apply").time():
@@ -724,6 +769,11 @@ class HyperQNode:
         job.metrics.uv_errors = summary.uv_errors
         job.metrics.dml_statements = summary.statements
         job.metrics.chunk_retries = summary.splits
+        self.obs.flight.record(
+            job.job_id, "apply_finished",
+            rows_inserted=summary.rows_inserted,
+            et_errors=summary.et_errors, uv_errors=summary.uv_errors,
+            splits=summary.splits)
         channel.send(Message(MessageKind.APPLY_RESULT, {
             "rows_inserted": summary.rows_inserted,
             "rows_updated": summary.rows_updated,
@@ -751,10 +801,33 @@ class HyperQNode:
         if job.eager is not None:
             job.eager.shutdown()
         job.span.end("error")
+        job.total_watch.stop()
+        job.metrics.total_s = job.total_watch.elapsed
         self.obs.jobs_total.labels(event=event).inc()
+        self.obs.slo.record_job(job.metrics.pool, job.metrics.total_s,
+                                ok=False)
+        self.obs.flight.record(job.job_id, event)
+        self._dump_flight(job, reason=event)
         self.wlm.release(job.ticket)
         log.info("load job %s", event, extra={
             "job_id": job.job_id, "target": job.target})
+
+    def _dump_flight(self, job: _LoadJob, reason: str) -> None:
+        """Write the post-mortem bundle for a dead job, best-effort.
+
+        The bundle pairs the job's flight-recorder events with every
+        span of its trace (matched by trace id, falling back to the
+        ``job_id`` span attribute when tracing ran unsampled) and a
+        metrics snapshot.
+        """
+        if not (self.obs.flight.enabled and self.obs.flight.dump_dir):
+            return
+        trace_id = getattr(job.span, "trace_id", 0)
+        spans = [r for r in self.obs.tracer.records()
+                 if (trace_id and r.get("trace_id") == trace_id)
+                 or r.get("attrs", {}).get("job_id") == job.job_id]
+        self.obs.flight.dump(job.job_id, spans=spans,
+                             metrics=job.metrics.as_row(), reason=reason)
 
     def _handle_end_load(self, channel: MessageChannel,
                          message: Message, conn: dict) -> None:
@@ -782,6 +855,10 @@ class HyperQNode:
         self.obs.job_phase_seconds.labels(phase="application").observe(
             metrics.application_s)
         self.obs.jobs_total.labels(event="completed").inc()
+        self.obs.slo.record_job(metrics.pool, metrics.total_s, ok=True)
+        self.obs.flight.record(
+            job_id, "completed", total_s=round(metrics.total_s, 4),
+            rows_inserted=metrics.rows_inserted)
         job.span.set_attribute("total_s", round(metrics.total_s, 6))
         job.span.end()
         log.info("load job completed", extra={
@@ -805,7 +882,12 @@ class HyperQNode:
         job_id = message.meta["job_id"]
         threading.current_thread().name = f"{self.name}-job-{job_id}-ctl"
         pool = self._classify(message.meta, conn)
-        ticket = self.wlm.admit(pool, job_id, kind="export")
+        remote_ctx = message.trace_context()
+        ticket = self.wlm.admit(pool, job_id, kind="export",
+                                parent_span=remote_ctx)
+        export_span = self.obs.tracer.span(
+            "export", parent=remote_ctx, job_id=job_id,
+            **({"pool": pool} if pool else {}))
         try:
             cdw_sql = transpile(message.meta["sql"], "legacy", "cdw")
             cursor = TdfCursor(
@@ -817,10 +899,12 @@ class HyperQNode:
             # every chunk is encoded consistently.
             layout = infer_result_layout(cursor.columns, cursor._rows)
         except BaseException:
+            export_span.end("error")
             self.wlm.release(ticket)
             raise
         job = _ExportJob(
-            job_id=job_id, cursor=cursor, layout=layout, ticket=ticket,
+            job_id=job_id, cursor=cursor, layout=layout,
+            span=export_span, ticket=ticket,
             eof_needed=max(1, message.meta.get("sessions", 1)))
         with self._registry_lock:
             self._exports[job_id] = job
@@ -850,6 +934,7 @@ class HyperQNode:
             if done:
                 self._exports.pop(job_id, None)
         if done:
+            job.span.end()
             self.wlm.release(job.ticket)
 
     def _drop_export(self, job: _ExportJob) -> None:
@@ -857,6 +942,7 @@ class HyperQNode:
         with self._registry_lock:
             if self._exports.get(job.job_id) is job:
                 self._exports.pop(job.job_id)
+        job.span.end("error")
         self.wlm.release(job.ticket)
 
     def _handle_export_fetch(self, channel: MessageChannel,

@@ -83,6 +83,12 @@ class JobMetrics:
 
     sessions: int = 0
 
+    # -- observability correlation --
+    #: hex trace id of the job's span tree ("" when tracing is off).
+    trace_id: str = ""
+    #: WLM pool the job was admitted into ("" without a WLM profile).
+    pool: str = ""
+
     @property
     def other_s(self) -> float:
         """Startup/teardown time: total minus the two measured phases."""
@@ -98,6 +104,9 @@ class JobMetrics:
     def as_row(self) -> dict:
         """Flat dict for bench-harness reporting (every counter)."""
         return {
+            "job_id": self.job_id,
+            "trace_id": self.trace_id,
+            "pool": self.pool,
             "total_s": round(self.total_s, 4),
             "acquisition_s": round(self.acquisition_s, 4),
             "application_s": round(self.application_s, 4),

@@ -499,7 +499,7 @@ class AcquisitionPipeline:
             op = lambda: breaker.call(attempt)  # noqa: E731
         if self.retry is not None:
             return self.retry.call(op, target="copy.into", obs=self.obs,
-                                   parent=copy_span)
+                                   parent=copy_span, job_id=self.job_id)
         return op()
 
     # -- teardown ----------------------------------------------------------------------

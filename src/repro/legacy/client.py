@@ -25,6 +25,7 @@ from repro.errors import ProtocolError, TransportClosed, WlmThrottled
 from repro.legacy.datafmt import FormatSpec, make_format
 from repro.legacy.protocol import Message, MessageChannel, MessageKind
 from repro.legacy.types import FieldDef, Layout, parse_type
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.resilience import (
     CheckpointJournal, RetryPolicy, full_jitter_delay,
 )
@@ -214,11 +215,19 @@ class LegacyEtlClient:
     ``connect`` is any zero-argument callable returning a fresh
     :class:`~repro.net.Endpoint` — typically ``listener.connect`` where the
     listener belongs to either the reference server or a Hyper-Q node.
+
+    Given a ``tracer``, the client opens one ``client.job`` /
+    ``client.export`` root span per job and propagates its trace
+    context in BEGIN_LOAD / APPLY_DML / BEGIN_EXPORT metadata, so a
+    trace-enabled gateway parents its whole span tree under the
+    client's — one end-to-end trace across the process boundary.
     """
 
-    def __init__(self, connect, timeout: float | None = 30.0):
+    def __init__(self, connect, timeout: float | None = 30.0,
+                 tracer: Tracer = NULL_TRACER):
         self._connect = connect
         self._timeout = timeout
+        self._tracer = tracer
         self._control: MessageChannel | None = None
         self._credentials: tuple[str, str, str] | None = None
 
@@ -333,66 +342,78 @@ class LegacyEtlClient:
             begin_meta["tenant"] = spec.tenant
         if spec.resume:
             begin_meta["resume"] = True
-        begun = self._request_admitted(
-            control, Message(MessageKind.BEGIN_LOAD, begin_meta),
-            MessageKind.BEGIN_LOAD_OK,
-            spec.admission_retry_attempts, spec.admission_backoff_s)
-
-        journal = None
-        if spec.journal_path is not None:
-            journal = CheckpointJournal(spec.journal_path,
-                                        fresh=not spec.resume)
-        # Chunks safe to skip on a restarted job: the gateway's reply
-        # lists the chunk seqs whose staged data survived (an ack alone
-        # is NOT durability under the immediate-ack pipeline).  The
-        # local journal narrows that to chunks this client actually saw
-        # acknowledged; anything resent unnecessarily is deduplicated
-        # server-side, so skipping conservatively is always safe.
-        skip_seqs: set[int] = set()
-        if spec.resume:
-            skip_seqs = set(begun.meta.get("durable_seqs", ()))
-            if journal is not None and journal.acked:
-                skip_seqs &= journal.acked
-        chunks = split_into_chunks(
-            spec.data, spec.format_spec, spec.chunk_bytes)
-        result = ImportJobResult(
-            chunks_sent=len(chunks),
-            bytes_sent=sum(len(c) for c in chunks))
+        job_span = self._tracer.span(
+            "client.job", job_id=job_id, target=spec.target_table)
         try:
+            begun = self._request_admitted(
+                control,
+                Message(MessageKind.BEGIN_LOAD, begin_meta)
+                .set_trace_context(job_span),
+                MessageKind.BEGIN_LOAD_OK,
+                spec.admission_retry_attempts, spec.admission_backoff_s)
+
+            journal = None
+            if spec.journal_path is not None:
+                journal = CheckpointJournal(spec.journal_path,
+                                            fresh=not spec.resume)
+            # Chunks safe to skip on a restarted job: the gateway's
+            # reply lists the chunk seqs whose staged data survived (an
+            # ack alone is NOT durability under the immediate-ack
+            # pipeline).  The local journal narrows that to chunks this
+            # client actually saw acknowledged; anything resent
+            # unnecessarily is deduplicated server-side, so skipping
+            # conservatively is always safe.
+            skip_seqs: set[int] = set()
+            if spec.resume:
+                skip_seqs = set(begun.meta.get("durable_seqs", ()))
+                if journal is not None and journal.acked:
+                    skip_seqs &= journal.acked
+            chunks = split_into_chunks(
+                spec.data, spec.format_spec, spec.chunk_bytes)
+            result = ImportJobResult(
+                chunks_sent=len(chunks),
+                bytes_sent=sum(len(c) for c in chunks))
             try:
-                self._pump_data(
-                    job_id, spec.sessions, chunks,
-                    retry_attempts=spec.retry_attempts,
-                    reconnect_backoff_s=spec.reconnect_backoff_s,
-                    journal=journal, skip_seqs=skip_seqs)
-            finally:
-                if journal is not None:
-                    journal.close()
+                try:
+                    self._pump_data(
+                        job_id, spec.sessions, chunks,
+                        retry_attempts=spec.retry_attempts,
+                        reconnect_backoff_s=spec.reconnect_backoff_s,
+                        journal=journal, skip_seqs=skip_seqs)
+                finally:
+                    if journal is not None:
+                        journal.close()
 
-            apply_meta = {"job_id": job_id, "sql": spec.apply_sql}
-            if spec.max_errors is not None:
-                apply_meta["max_errors"] = spec.max_errors
-            if spec.max_retries is not None:
-                apply_meta["max_retries"] = spec.max_retries
-            applied = control.request(
-                Message(MessageKind.APPLY_DML, apply_meta),
-                MessageKind.APPLY_RESULT)
+                apply_meta = {"job_id": job_id, "sql": spec.apply_sql}
+                if spec.max_errors is not None:
+                    apply_meta["max_errors"] = spec.max_errors
+                if spec.max_retries is not None:
+                    apply_meta["max_retries"] = spec.max_retries
+                applied = control.request(
+                    Message(MessageKind.APPLY_DML, apply_meta)
+                    .set_trace_context(job_span),
+                    MessageKind.APPLY_RESULT)
+            except BaseException:
+                # The job is dead on this side: tell the server so it
+                # can free the admission slot *now* instead of holding
+                # it until the control connection closes.  Checkpointed
+                # server state survives the abort, so a resume restart
+                # still works.
+                self._abort_load(control, job_id)
+                raise
+            result.rows_inserted = applied.meta.get("rows_inserted", 0)
+            result.rows_updated = applied.meta.get("rows_updated", 0)
+            result.rows_deleted = applied.meta.get("rows_deleted", 0)
+            result.et_errors = applied.meta.get("et_errors", 0)
+            result.uv_errors = applied.meta.get("uv_errors", 0)
+
+            control.request(
+                Message(MessageKind.END_LOAD, {"job_id": job_id}),
+                MessageKind.END_LOAD_OK)
         except BaseException:
-            # The job is dead on this side: tell the server so it can
-            # free the admission slot *now* instead of holding it until
-            # the control connection closes.  Checkpointed server state
-            # survives the abort, so a resume restart still works.
-            self._abort_load(control, job_id)
+            job_span.end("error")
             raise
-        result.rows_inserted = applied.meta.get("rows_inserted", 0)
-        result.rows_updated = applied.meta.get("rows_updated", 0)
-        result.rows_deleted = applied.meta.get("rows_deleted", 0)
-        result.et_errors = applied.meta.get("et_errors", 0)
-        result.uv_errors = applied.meta.get("uv_errors", 0)
-
-        control.request(
-            Message(MessageKind.END_LOAD, {"job_id": job_id}),
-            MessageKind.END_LOAD_OK)
+        job_span.end()
         return result
 
     @staticmethod
@@ -507,10 +528,17 @@ class LegacyEtlClient:
         }
         if spec.tenant:
             begin_meta["tenant"] = spec.tenant
-        begun = self._request_admitted(
-            control, Message(MessageKind.BEGIN_EXPORT, begin_meta),
-            MessageKind.BEGIN_EXPORT_OK,
-            spec.admission_retry_attempts, spec.admission_backoff_s)
+        export_span = self._tracer.span("client.export", job_id=job_id)
+        try:
+            begun = self._request_admitted(
+                control,
+                Message(MessageKind.BEGIN_EXPORT, begin_meta)
+                .set_trace_context(export_span),
+                MessageKind.BEGIN_EXPORT_OK,
+                spec.admission_retry_attempts, spec.admission_backoff_s)
+        except BaseException:
+            export_span.end("error")
+            raise
         columns = [tuple(c) for c in begun.meta["columns"]]
         layout = _columns_layout(columns)
         fmt = make_format(spec.format_spec, layout)
@@ -551,7 +579,9 @@ class LegacyEtlClient:
         for thread in threads:
             thread.join()
         if failures:
+            export_span.end("error")
             raise failures[0]
+        export_span.end()
 
         # Chunks arrive in legacy *binary* encoding from the server; the
         # client re-encodes them into the requested output file format.

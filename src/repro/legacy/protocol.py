@@ -31,8 +31,16 @@ from typing import Iterator
 
 from repro.errors import ProtocolError, TransportClosed, WlmThrottled
 from repro.net import Endpoint
+from repro.obs.trace import SpanContext
 
-__all__ = ["MessageKind", "Message", "Coalescer", "MessageChannel"]
+__all__ = ["MessageKind", "Message", "Coalescer", "MessageChannel",
+           "TRACEPARENT_KEY"]
+
+#: metadata key carrying the W3C-traceparent-style trace context on
+#: BEGIN_LOAD / APPLY_DML / BEGIN_EXPORT requests (and echoed on WLM
+#: throttle replies), stitching client and gateway spans into one
+#: end-to-end trace.
+TRACEPARENT_KEY = "traceparent"
 
 _MAGIC = 0x4C50
 _HEADER = struct.Struct("<HHII")
@@ -101,6 +109,27 @@ class Message:
         if self.kind != kind:
             raise ProtocolError(
                 f"expected {kind.name}, got {self.kind.name}")
+        return self
+
+    def trace_context(self) -> SpanContext | None:
+        """The remote trace context carried in the metadata, if any.
+
+        Malformed or absent headers yield ``None`` — propagation never
+        fails the message it rode in on.
+        """
+        return SpanContext.from_traceparent(
+            self.meta.get(TRACEPARENT_KEY))
+
+    def set_trace_context(self, span) -> "Message":
+        """Stamp a span's context into the metadata (chainable).
+
+        Accepts anything with a ``context`` attribute (a ``Span``, a
+        null span, or an existing :class:`SpanContext`); no-ops when
+        there is no real context to propagate.
+        """
+        context = getattr(span, "context", span)
+        if isinstance(context, SpanContext) and context.trace_id:
+            self.meta[TRACEPARENT_KEY] = context.to_traceparent()
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

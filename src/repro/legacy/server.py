@@ -160,10 +160,17 @@ class LegacyServer:
                     log.warning("request failed: %s", exc, extra={
                         "kind": message.kind.name,
                         "code": getattr(exc, "code", 0)})
-                    channel.send(Message(MessageKind.ERROR, {
+                    error_meta = {
                         "code": getattr(exc, "code", 0),
                         "message": str(exc),
-                    }))
+                    }
+                    # Echo the request's trace context (if any) so a
+                    # traced client keeps error replies correlated —
+                    # same contract as the Hyper-Q gateway.
+                    traceparent = message.meta.get("traceparent")
+                    if traceparent:
+                        error_meta["traceparent"] = traceparent
+                    channel.send(Message(MessageKind.ERROR, error_meta))
         except ReproError:
             pass  # connection torn down mid-message
         finally:

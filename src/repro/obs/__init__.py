@@ -1,36 +1,48 @@
-"""repro.obs — the end-to-end observability layer.
+"""repro.obs — the end-to-end observability control plane.
 
-Three cooperating pieces, all threaded through the Hyper-Q stack via
-one :class:`Observability` facade per node:
+Cooperating pieces, all threaded through the Hyper-Q stack via one
+:class:`Observability` facade per node:
 
 - :mod:`repro.obs.metrics` — a thread-safe registry of labeled
-  counters/gauges/histograms aggregating across concurrent jobs;
+  counters/gauges/histograms aggregating across concurrent jobs, with
+  trace exemplars on histograms;
 - :mod:`repro.obs.trace`   — a span tracer that follows every chunk,
   staging file, and DML range through the pipeline into a bounded ring
-  buffer with JSONL export;
+  buffer, stitches cross-process traces via W3C-traceparent contexts,
+  and exports JSONL;
+- :mod:`repro.obs.tracestore` — bounded on-disk JSONL spill of the
+  ring buffer with a trace/job query API;
+- :mod:`repro.obs.slo`     — declarative per-pool objectives evaluated
+  as multi-window burn rates;
+- :mod:`repro.obs.flight`  — per-job flight recorder dumping
+  post-mortem bundles on failure;
 - :mod:`repro.obs.logging` — per-component structured loggers with an
-  optional JSON formatter.
+  optional JSON formatter and automatic trace correlation.
 
 Components take an ``obs`` argument defaulting to :data:`NULL_OBS`
 (everything disabled, near-zero cost), so instrumentation points never
 branch on ``None``.  See ``docs/OBSERVABILITY.md`` for the metric
-catalog and the trace event schema.
+catalog, the trace event schema, and the SLO profile format.
 """
 
 from __future__ import annotations
 
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightRecorder
 from repro.obs.logging import (
     JsonLogFormatter, configure_logging, get_logger,
 )
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricFamily, MetricsRegistry,
 )
-from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.slo import SloEngine, SloSpec
+from repro.obs.trace import NULL_SPAN, Span, SpanContext, Tracer
+from repro.obs.tracestore import TraceStore
 
 __all__ = [
     "Observability", "NULL_OBS",
     "MetricsRegistry", "MetricFamily", "Counter", "Gauge", "Histogram",
-    "Tracer", "Span", "NULL_SPAN",
+    "Tracer", "Span", "SpanContext", "NULL_SPAN", "TraceStore",
+    "SloEngine", "SloSpec", "FlightRecorder", "NULL_FLIGHT_RECORDER",
     "configure_logging", "get_logger", "JsonLogFormatter",
 ]
 
@@ -46,12 +58,41 @@ class Observability:
     def __init__(self, *, metrics_enabled: bool = True,
                  trace_enabled: bool = False,
                  trace_buffer_events: int = 4096,
+                 trace_sample_rate: float = 1.0,
+                 trace_store_dir: str | None = None,
+                 trace_store_segment_spans: int = 2048,
+                 trace_store_max_segments: int = 8,
+                 slo_profile=None,
+                 flight_enabled: bool = True,
+                 flight_max_events: int = 256,
+                 flight_dump_dir: str | None = None,
                  node: str = "hyperq"):
         self.node = node
         self.registry = MetricsRegistry(enabled=metrics_enabled)
-        self.tracer = Tracer(enabled=trace_enabled,
-                             max_events=trace_buffer_events)
+        self.trace_store = None
+        if trace_enabled and trace_store_dir:
+            self.trace_store = TraceStore(
+                trace_store_dir,
+                segment_max_spans=trace_store_segment_spans,
+                max_segments=trace_store_max_segments)
+        self._drop_warned = False
+        self.tracer = Tracer(
+            enabled=trace_enabled,
+            max_events=trace_buffer_events,
+            sample_rate=trace_sample_rate,
+            sink=self.trace_store.write if self.trace_store else None,
+            on_drop=self._on_span_drop)
+        self.flight = FlightRecorder(
+            enabled=flight_enabled,
+            max_events_per_job=flight_max_events,
+            dump_dir=flight_dump_dir)
         reg = self.registry
+        self.slo = SloEngine.from_profile(slo_profile, registry=reg)
+
+        # -- tracing health --
+        self.trace_dropped_spans = reg.counter(
+            "hyperq_trace_dropped_spans_total",
+            "Span-buffer ring evictions (each loses the oldest spans)")
 
         # -- gateway / protocol --
         self.messages_total = reg.counter(
@@ -203,6 +244,27 @@ class Observability:
             "cdw_statement_seconds",
             "CDW engine statement latency", ("statement",))
 
+    def _on_span_drop(self) -> None:
+        """Tracer drop hook: count every eviction, warn exactly once."""
+        self.trace_dropped_spans.inc()
+        if not self._drop_warned:
+            self._drop_warned = True
+            get_logger("obs").warning(
+                "trace ring buffer full; oldest spans are being "
+                "dropped (raise trace_buffer_events or configure a "
+                "trace store)",
+                extra={"node": self.node,
+                       "buffer_events": self.tracer.max_events})
+
+    def close(self) -> None:
+        """Flush and close the on-disk trace store, if one is wired.
+
+        The node calls this on stop so spilled segments are readable
+        by ``trace --query`` immediately afterwards.
+        """
+        if self.trace_store is not None:
+            self.trace_store.close()
+
     @classmethod
     def from_config(cls, config, node: str = "hyperq") -> "Observability":
         """Build the bundle from a :class:`HyperQConfig`."""
@@ -211,10 +273,21 @@ class Observability:
             trace_enabled=getattr(config, "trace_enabled", False),
             trace_buffer_events=getattr(config, "trace_buffer_events",
                                         4096),
+            trace_sample_rate=getattr(config, "trace_sample_rate", 1.0),
+            trace_store_dir=getattr(config, "trace_store_dir", None),
+            trace_store_segment_spans=getattr(
+                config, "trace_store_segment_spans", 2048),
+            trace_store_max_segments=getattr(
+                config, "trace_store_max_segments", 8),
+            slo_profile=getattr(config, "slo_profile", None),
+            flight_enabled=getattr(config, "flight_recorder_enabled",
+                                   True),
+            flight_max_events=getattr(config, "flight_max_events", 256),
+            flight_dump_dir=getattr(config, "flight_dump_dir", None),
             node=node,
         )
 
 
 #: shared fully-disabled bundle; the default ``obs`` everywhere.
 NULL_OBS = Observability(metrics_enabled=False, trace_enabled=False,
-                         node="null")
+                         flight_enabled=False, node="null")

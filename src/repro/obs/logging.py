@@ -10,6 +10,12 @@ Two output shapes are supported: a compact human-readable line, and a
 JSON object per line (``json_output=True``) carrying the timestamp,
 level, component, message, and any extra fields passed via
 ``logger.info(..., extra={...})`` — the shape log shippers expect.
+
+Records emitted while a tracing span is open on the emitting thread
+automatically carry that span's ``trace_id``/``span_id``, so a log
+line found by grep leads straight to the trace (and vice versa).
+Explicit ``extra={"trace_id": ...}`` fields win over the implicit
+correlation.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from __future__ import annotations
 import json
 import logging
 import sys
+
+from repro.obs.trace import current_span
 
 __all__ = ["JsonLogFormatter", "configure_logging", "get_logger",
            "ROOT_LOGGER_NAME"]
@@ -30,6 +38,19 @@ _STANDARD_ATTRS = frozenset(
 ) | {"message", "asctime", "taskName"}
 
 
+def _trace_fields() -> dict:
+    """Implicit trace correlation fields for the emitting thread.
+
+    Formatting happens synchronously on the thread that logged, so the
+    thread's innermost open span — if any — is the one the record was
+    emitted under.
+    """
+    span = current_span()
+    if span is None or not span.trace_id:
+        return {}
+    return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+
 class JsonLogFormatter(logging.Formatter):
     """Render each record as one JSON object per line."""
 
@@ -40,6 +61,7 @@ class JsonLogFormatter(logging.Formatter):
             "logger": record.name,
             "message": record.getMessage(),
         }
+        payload.update(_trace_fields())
         for key, value in record.__dict__.items():
             if key not in _STANDARD_ATTRS and not key.startswith("_"):
                 payload[key] = value
@@ -55,10 +77,11 @@ class _TextFormatter(logging.Formatter):
         base = (f"{self.formatTime(record, '%H:%M:%S')} "
                 f"{record.levelname:<7} {record.name}: "
                 f"{record.getMessage()}")
-        extras = {
+        extras = dict(_trace_fields())
+        extras.update({
             key: value for key, value in record.__dict__.items()
             if key not in _STANDARD_ATTRS and not key.startswith("_")
-        }
+        })
         if extras:
             rendered = " ".join(
                 f"{k}={v}" for k, v in sorted(extras.items()))

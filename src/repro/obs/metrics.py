@@ -17,17 +17,26 @@ mutation is thread-safe, and a registry built with ``enabled=False``
 hands out shared no-op instruments so a disabled node pays one
 attribute lookup and an empty method call per instrumentation point —
 near-zero cost on the hot path.
+
+Histograms additionally carry an **exemplar**: the trace id of their
+worst recent observation (``observe(value, trace_id=...)``), so a p99
+spike in a dashboard links straight to the one trace that caused it.
+Exemplars ride in :meth:`Histogram.sample` / ``collect()`` output but
+are deliberately left out of :func:`MetricsRegistry.render_prometheus`
+— the text exposition stays strictly parseable by
+:func:`parse_exposition`.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from collections import deque
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry",
-    "NULL_REGISTRY",
+    "NULL_REGISTRY", "parse_exposition",
 ]
 
 #: reservoir size per histogram child; old samples are evicted FIFO so
@@ -39,20 +48,27 @@ SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 
 class _Timer:
-    """Context manager that observes its wall-clock span on exit."""
+    """Context manager that observes its wall-clock span on exit.
 
-    __slots__ = ("_histogram", "_started")
+    Given a tracing span, the observation carries its trace id so the
+    histogram's exemplar can link back to the trace.
+    """
 
-    def __init__(self, histogram: "Histogram"):
+    __slots__ = ("_histogram", "_started", "_span")
+
+    def __init__(self, histogram: "Histogram", span=None):
         self._histogram = histogram
         self._started = 0.0
+        self._span = span
 
     def __enter__(self) -> "_Timer":
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._histogram.observe(time.perf_counter() - self._started)
+        trace_id = getattr(self._span, "trace_id", 0) or None
+        self._histogram.observe(
+            time.perf_counter() - self._started, trace_id=trace_id)
 
 
 class Counter:
@@ -121,7 +137,8 @@ class Histogram:
     """A distribution with count/sum/min/max and reservoir quantiles."""
 
     kind = "histogram"
-    __slots__ = ("_lock", "_samples", "count", "total", "min", "max")
+    __slots__ = ("_lock", "_samples", "count", "total", "min", "max",
+                 "_reservoir", "_exemplar", "_exemplar_at")
 
     def __init__(self, reservoir: int = HISTOGRAM_RESERVOIR):
         self._lock = threading.Lock()
@@ -130,9 +147,18 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._reservoir = reservoir
+        self._exemplar: dict | None = None
+        self._exemplar_at = 0
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, trace_id=None) -> None:
+        """Record one observation.
+
+        A ``trace_id`` makes the observation an exemplar candidate:
+        the histogram remembers the trace of its worst *recent* sample
+        (worst value wins; a stale exemplar older than one reservoir's
+        worth of observations is displaced by any traced sample).
+        """
         value = float(value)
         with self._lock:
             self.count += 1
@@ -142,10 +168,21 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if trace_id:
+                stale = self._exemplar is None or \
+                    self.count - self._exemplar_at > self._reservoir
+                if stale or value >= self._exemplar["value"]:
+                    self._exemplar = {"value": value,
+                                      "trace_id": trace_id}
+                    self._exemplar_at = self.count
 
-    def time(self) -> _Timer:
-        """Context manager timing a block into this histogram."""
-        return _Timer(self)
+    def time(self, span=None) -> _Timer:
+        """Context manager timing a block into this histogram.
+
+        ``span`` (a tracing span) makes the timing an exemplar
+        candidate carrying that span's trace id.
+        """
+        return _Timer(self, span)
 
     def percentile(self, q: float) -> float:
         """Reservoir quantile (nearest-rank); 0.0 with no samples."""
@@ -164,10 +201,15 @@ class Histogram:
             return self.total / self.count if self.count else 0.0
 
     def sample(self) -> dict:
-        """Snapshot: count/sum/min/max plus the summary quantiles."""
+        """Snapshot: count/sum/min/max plus the summary quantiles.
+
+        Includes an ``exemplar`` key (``{"value", "trace_id"}``) when
+        a traced observation has been recorded.
+        """
         with self._lock:
             count, total = self.count, self.total
             lo, hi = self.min, self.max
+            exemplar = dict(self._exemplar) if self._exemplar else None
         summary = {
             "count": count,
             "sum": round(total, 9),
@@ -176,6 +218,8 @@ class Histogram:
         }
         for q in SUMMARY_QUANTILES:
             summary[f"p{int(q * 100)}"] = self.percentile(q)
+        if exemplar is not None:
+            summary["exemplar"] = exemplar
         return summary
 
 
@@ -232,13 +276,13 @@ class MetricFamily:
         """Set the (unlabeled) family's single gauge child."""
         self._anonymous().set(value)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id=None) -> None:
         """Observe into the (unlabeled) family's single histogram."""
-        self._anonymous().observe(value)
+        self._anonymous().observe(value, trace_id=trace_id)
 
-    def time(self) -> _Timer:
+    def time(self, span=None) -> _Timer:
         """Timing context manager on the (unlabeled) histogram."""
-        return self._anonymous().time()
+        return self._anonymous().time(span)
 
     # -- snapshots ------------------------------------------------------------
 
@@ -274,10 +318,10 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id=None) -> None:
         pass
 
-    def time(self) -> "_NullInstrument":
+    def time(self, span=None) -> "_NullInstrument":
         return self
 
     def samples(self) -> list:
@@ -398,6 +442,179 @@ def _expo(name: str, labels: dict, value) -> str:
 def _escape(value) -> str:
     return str(value).replace("\\", r"\\").replace('"', r'\"') \
         .replace("\n", r"\n")
+
+
+# -- strict exposition-format parsing ------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$")
+
+
+def _parse_labels(body: str, line_no: int) -> dict:
+    """Parse a ``k="v",k2="v2"`` label body, honouring escapes."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.find('="', i)
+        if eq < 0:
+            raise ValueError(
+                f"line {line_no}: malformed label body {body!r}")
+        name = body[i:eq]
+        if not _LABEL_NAME_RE.match(name):
+            raise ValueError(
+                f"line {line_no}: bad label name {name!r}")
+        if name in labels:
+            raise ValueError(
+                f"line {line_no}: duplicate label {name!r}")
+        # scan the quoted value, honouring backslash escapes
+        j = eq + 2
+        value_chars: list[str] = []
+        while j < len(body):
+            char = body[j]
+            if char == "\\":
+                if j + 1 >= len(body):
+                    raise ValueError(
+                        f"line {line_no}: dangling escape in {body!r}")
+                escaped = body[j + 1]
+                if escaped == "n":
+                    value_chars.append("\n")
+                elif escaped in ('"', "\\"):
+                    value_chars.append(escaped)
+                else:
+                    raise ValueError(
+                        f"line {line_no}: bad escape "
+                        f"'\\{escaped}' in {body!r}")
+                j += 2
+            elif char == '"':
+                break
+            else:
+                value_chars.append(char)
+                j += 1
+        else:
+            raise ValueError(
+                f"line {line_no}: unterminated label value in {body!r}")
+        labels[name] = "".join(value_chars)
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(
+                    f"line {line_no}: expected ',' between labels "
+                    f"in {body!r}")
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Strictly parse Prometheus text exposition back to structure.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus`, used by
+    CI to prove the renderer emits well-formed exposition.  Raises
+    :class:`ValueError` on anything malformed: unknown line shapes,
+    bad metric/label names, bad escapes, non-numeric values, samples
+    without a preceding ``# TYPE``, sample names inconsistent with the
+    declared type (histograms may only emit ``<name>_count``,
+    ``<name>_sum``, and quantile-labeled ``<name>`` lines), or
+    duplicate series.
+
+    Returns ``{metric: {"type", "help",
+    "samples": [{"name", "labels", "value"}]}}``.
+    """
+    metrics: dict[str, dict] = {}
+    seen_series: set[tuple] = set()
+
+    def owner_of(sample_name: str, line_no: int) -> tuple[str, dict]:
+        for candidate in (sample_name,
+                          sample_name.rsplit("_", 1)[0]):
+            meta = metrics.get(candidate)
+            if meta is not None:
+                return candidate, meta
+        raise ValueError(
+            f"line {line_no}: sample {sample_name!r} has no "
+            "preceding # TYPE")
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise ValueError(f"line {line_no}: blank line")
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(
+                    f"line {line_no}: bad metric name {name!r}")
+            if name in metrics:
+                raise ValueError(
+                    f"line {line_no}: duplicate HELP for {name}")
+            metrics[name] = {"type": None, "help": help_text,
+                             "samples": []}
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(
+                    f"line {line_no}: bad metric name {name!r}")
+            if kind not in _METRIC_TYPES:
+                raise ValueError(
+                    f"line {line_no}: unknown metric type {kind!r}")
+            meta = metrics.setdefault(
+                name, {"type": None, "help": "", "samples": []})
+            if meta["type"] is not None:
+                raise ValueError(
+                    f"line {line_no}: duplicate TYPE for {name}")
+            if meta["samples"]:
+                raise ValueError(
+                    f"line {line_no}: TYPE after samples for {name}")
+            meta["type"] = kind
+            continue
+        if line.startswith("#"):
+            raise ValueError(
+                f"line {line_no}: unknown comment {line!r}")
+        match = _SAMPLE_LINE_RE.match(line)
+        if not match:
+            raise ValueError(
+                f"line {line_no}: malformed sample line {line!r}")
+        sample_name, label_body, value_text = match.groups()
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {line_no}: non-numeric value "
+                f"{value_text!r}") from None
+        labels = _parse_labels(label_body, line_no) \
+            if label_body else {}
+        owner, meta = owner_of(sample_name, line_no)
+        if meta["type"] is None:
+            raise ValueError(
+                f"line {line_no}: sample {sample_name!r} precedes "
+                f"# TYPE {owner}")
+        if meta["type"] == "histogram":
+            suffix = sample_name[len(owner):]
+            if suffix not in ("", "_count", "_sum"):
+                raise ValueError(
+                    f"line {line_no}: sample {sample_name!r} not "
+                    f"valid for histogram {owner}")
+            if suffix == "" and "quantile" not in labels:
+                raise ValueError(
+                    f"line {line_no}: histogram series {owner} "
+                    "without a quantile label")
+        elif sample_name != owner:
+            raise ValueError(
+                f"line {line_no}: sample {sample_name!r} not valid "
+                f"for {meta['type']} {owner}")
+        series_key = (sample_name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            raise ValueError(
+                f"line {line_no}: duplicate series {series_key}")
+        seen_series.add(series_key)
+        meta["samples"].append(
+            {"name": sample_name, "labels": labels, "value": value})
+
+    for name, meta in metrics.items():
+        if meta["type"] is None:
+            raise ValueError(f"metric {name} has HELP but no TYPE")
+    return metrics
 
 
 #: a shared disabled registry for components instantiated without one.

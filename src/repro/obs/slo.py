@@ -1,0 +1,293 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An :class:`SloSpec` states an objective for a workload pool (or a
+glob of pools): "99% of ETL jobs in pool ``etl-*`` finish under 30
+seconds", "99.9% of admissions are not throttled".  The engine feeds on
+the same per-job observations that drive the
+:class:`~repro.obs.metrics.MetricsRegistry` histograms and keeps them
+in sliding windows, evaluating each objective as a **burn rate**: the
+fraction of the error budget consumed per unit time, normalized so that
+burn 1.0 means exactly exhausting the budget if the window's behaviour
+persists::
+
+    burn(window) = bad_fraction(window) / (1 - target)
+
+Each SLO is checked over several windows at once (the classic
+fast-burn/slow-burn pairing); it is *breaching* only when **every**
+window burns at >= 1.0 — a short window alone is noise, a long window
+alone is stale history, together they mean "on fire right now and it
+has been going on long enough to matter".
+
+Results surface three ways: ``hyperq_slo_*`` gauges in the registry,
+``stats()["slo"]`` on the node, and the CLI ``slo`` command.
+
+Profile format (``HyperQConfig.slo_profile``, JSON-friendly)::
+
+    {"slos": [
+        {"name": "etl-latency", "objective": "latency_p95",
+         "pool": "etl-*", "threshold_s": 30.0, "target": 0.99,
+         "windows_s": [60, 300]},
+        {"name": "etl-errors", "objective": "error_rate",
+         "pool": "*", "target": 0.999},
+        {"name": "adhoc-throttles", "objective": "throttle_rate",
+         "pool": "adhoc", "target": 0.95}
+    ]}
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SloSpec", "SloEngine", "OBJECTIVES"]
+
+#: supported objective kinds and the feed they evaluate over.
+#: - ``latency_p95``: jobs slower than ``threshold_s`` are "bad".
+#: - ``error_rate``: jobs that failed are "bad".
+#: - ``throttle_rate``: admission attempts that were shed are "bad".
+OBJECTIVES = ("latency_p95", "error_rate", "throttle_rate")
+
+#: bounded observation history shared by all SLOs.
+_FEED_MAXLEN = 8192
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over a pool glob."""
+
+    name: str
+    objective: str
+    pool: str = "*"
+    threshold_s: float = 30.0
+    target: float = 0.99
+    windows_s: tuple = (60.0, 300.0)
+
+    def __post_init__(self):
+        """Validate the spec's fields."""
+        if not self.name:
+            raise ValueError("SLO needs a name")
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown SLO objective {self.objective!r}; "
+                f"expected one of {OBJECTIVES}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO {self.name}: target must be in (0, 1), "
+                f"got {self.target}")
+        if self.threshold_s <= 0:
+            raise ValueError(
+                f"SLO {self.name}: threshold_s must be positive")
+        if not self.windows_s:
+            raise ValueError(f"SLO {self.name}: needs >= 1 window")
+        if any(w <= 0 for w in self.windows_s):
+            raise ValueError(
+                f"SLO {self.name}: windows must be positive")
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SloSpec":
+        known = {"name", "objective", "pool", "threshold_s", "target",
+                 "windows_s"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SLO spec keys: {sorted(unknown)}")
+        kwargs = dict(raw)
+        if "windows_s" in kwargs:
+            kwargs["windows_s"] = tuple(
+                float(w) for w in kwargs["windows_s"])
+        return cls(**kwargs)
+
+
+@dataclass
+class _SloState:
+    """Mutable evaluation state carried between evaluations."""
+
+    spec: SloSpec
+    breaching: bool = False
+    burn_rates: dict = field(default_factory=dict)
+    p95_s: float = 0.0
+    good: int = 0
+    bad: int = 0
+
+
+class SloEngine:
+    """Evaluates :class:`SloSpec` objectives over sliding feeds."""
+
+    def __init__(self, specs: list[SloSpec] | None = None,
+                 registry=None, clock=time.time):
+        specs = list(specs or [])
+        names = [spec.name for spec in specs]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate SLO names in profile")
+        self.specs = specs
+        self.enabled = bool(specs)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (ts, pool, latency_s, ok) per finished job
+        self._jobs: deque = deque(maxlen=_FEED_MAXLEN)
+        #: (ts, pool, admitted) per admission attempt
+        self._admissions: deque = deque(maxlen=_FEED_MAXLEN)
+        self._states = {spec.name: _SloState(spec) for spec in specs}
+        if registry is not None and self.enabled:
+            self._burn_gauge = registry.gauge(
+                "hyperq_slo_burn_rate",
+                "Error-budget burn rate per SLO and window "
+                "(>= 1 consumes budget faster than allowed)",
+                ("slo", "window"))
+            self._healthy_gauge = registry.gauge(
+                "hyperq_slo_healthy",
+                "1 when the SLO is within budget on at least one "
+                "window, 0 when every window is burning", ("slo",))
+            self._p95_gauge = registry.gauge(
+                "hyperq_slo_latency_p95_seconds",
+                "Observed p95 job latency over the SLO's longest "
+                "window", ("slo",))
+        else:
+            self._burn_gauge = None
+            self._healthy_gauge = None
+            self._p95_gauge = None
+
+    @classmethod
+    def from_profile(cls, profile, registry=None,
+                     clock=time.time) -> "SloEngine":
+        """Build from a profile dict/list; ``None`` -> disabled engine."""
+        if profile is None:
+            return cls([], registry=None, clock=clock)
+        if isinstance(profile, dict):
+            raw_specs = profile.get("slos")
+            if raw_specs is None:
+                raise ValueError('SLO profile dict needs an "slos" key')
+            unknown = set(profile) - {"slos"}
+            if unknown:
+                raise ValueError(
+                    f"unknown SLO profile keys: {sorted(unknown)}")
+        elif isinstance(profile, list):
+            raw_specs = profile
+        else:
+            raise ValueError(
+                "SLO profile must be a dict, list, or None")
+        specs = [SloSpec.from_dict(raw) for raw in raw_specs]
+        return cls(specs, registry=registry, clock=clock)
+
+    # -- feeds -------------------------------------------------------------------
+
+    def record_job(self, pool: str, latency_s: float,
+                   ok: bool = True) -> None:
+        """Observe one finished (or failed) job."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._jobs.append(
+                (self._clock(), pool or "", latency_s, ok))
+
+    def record_admission(self, pool: str, admitted: bool) -> None:
+        """Observe one admission attempt (admitted or shed)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._admissions.append(
+                (self._clock(), pool or "", admitted))
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _window_feed(self, spec: SloSpec, now: float,
+                     window_s: float) -> tuple[int, int, list[float]]:
+        """(good, bad, latencies) of a spec's feed within one window."""
+        cutoff = now - window_s
+        good = bad = 0
+        latencies: list[float] = []
+        if spec.objective == "throttle_rate":
+            for ts, pool, admitted in self._admissions:
+                if ts < cutoff or not fnmatch.fnmatch(pool, spec.pool):
+                    continue
+                if admitted:
+                    good += 1
+                else:
+                    bad += 1
+            return good, bad, latencies
+        for ts, pool, latency_s, ok in self._jobs:
+            if ts < cutoff or not fnmatch.fnmatch(pool, spec.pool):
+                continue
+            latencies.append(latency_s)
+            if spec.objective == "latency_p95":
+                is_bad = latency_s > spec.threshold_s
+            else:  # error_rate
+                is_bad = not ok
+            if is_bad:
+                bad += 1
+            else:
+                good += 1
+        return good, bad, latencies
+
+    def evaluate(self, now: float | None = None) -> dict:
+        """Re-evaluate every SLO and refresh the gauges.
+
+        Returns ``{slo_name: {"objective", "pool", "target",
+        "breaching", "burn_rates": {window: burn}, "p95_s",
+        "good", "bad"}}``.
+        """
+        if not self.enabled:
+            return {}
+        if now is None:
+            now = self._clock()
+        results: dict[str, dict] = {}
+        with self._lock:
+            for state in self._states.values():
+                spec = state.spec
+                budget = 1.0 - spec.target
+                burns: dict[str, float] = {}
+                hot_windows = 0
+                longest_latencies: list[float] = []
+                for window_s in spec.windows_s:
+                    good, bad, lats = self._window_feed(
+                        spec, now, window_s)
+                    total = good + bad
+                    bad_fraction = bad / total if total else 0.0
+                    burn = bad_fraction / budget if budget else 0.0
+                    burns[f"{window_s:g}"] = round(burn, 6)
+                    if total and burn >= 1.0:
+                        hot_windows += 1
+                    if window_s == max(spec.windows_s):
+                        longest_latencies = lats
+                        state.good, state.bad = good, bad
+                state.burn_rates = burns
+                # Breach only when every window is simultaneously
+                # burning: the multi-window AND of fast+slow alerts.
+                state.breaching = hot_windows == len(spec.windows_s)
+                if longest_latencies:
+                    longest_latencies.sort()
+                    index = max(0, round(
+                        0.95 * len(longest_latencies)) - 1)
+                    state.p95_s = longest_latencies[index]
+                else:
+                    state.p95_s = 0.0
+                results[spec.name] = {
+                    "objective": spec.objective,
+                    "pool": spec.pool,
+                    "target": spec.target,
+                    "threshold_s": spec.threshold_s,
+                    "windows_s": list(spec.windows_s),
+                    "breaching": state.breaching,
+                    "burn_rates": dict(burns),
+                    "p95_s": round(state.p95_s, 6),
+                    "good": state.good,
+                    "bad": state.bad,
+                }
+        if self._burn_gauge is not None:
+            for name, result in results.items():
+                for window, burn in result["burn_rates"].items():
+                    self._burn_gauge.labels(
+                        slo=name, window=window).set(burn)
+                self._healthy_gauge.labels(slo=name).set(
+                    0.0 if result["breaching"] else 1.0)
+                if self._states[name].spec.objective == "latency_p95":
+                    self._p95_gauge.labels(slo=name).set(
+                        result["p95_s"])
+        return results
+
+    def snapshot(self) -> dict:
+        """``stats()["slo"]`` payload: enabled flag + fresh evaluation."""
+        return {"enabled": self.enabled, "slos": self.evaluate()}

@@ -17,27 +17,125 @@ one load job yields a tree like::
     └── apply
         └── apply.split …          (adaptive error handler events)
 
+Traces also cross *process* boundaries: a span's :class:`SpanContext`
+serializes to a W3C-traceparent-style header
+(``00-<trace_id>-<span_id>-<flags>``) that the legacy protocol carries
+in BEGIN_LOAD / APPLY_DML / BEGIN_EXPORT metadata, and a tracer given a
+``SpanContext`` as ``parent`` continues the remote trace instead of
+starting a new root — the client's ``client.job`` span and the
+gateway's whole span tree stitch into one end-to-end trace.
+
 Finished spans land in a bounded in-memory ring buffer (oldest dropped
 first) and can be exported as JSONL — one object per span with
-``trace_id``/``span_id``/``parent_id`` for reconstruction.  A disabled
-tracer hands out a shared null span; tracing points cost one method
-call and nothing else.
+``trace_id``/``span_id``/``parent_id`` for reconstruction.  An optional
+``sink`` callback (see :class:`repro.obs.tracestore.TraceStore`) sees
+every record as it closes, and ``on_drop`` fires once per ring-buffer
+eviction so drops can be surfaced as a metric.  A disabled tracer hands
+out a shared null span; tracing points cost one method call and nothing
+else.  ``sample_rate`` < 1.0 drops that fraction of *new roots* (spans
+continuing an existing trace or remote context are always kept, so
+sampling decisions are made once, at the trace root).
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import random
 import threading
 import time
 
-__all__ = ["Span", "Tracer", "NULL_SPAN", "NULL_TRACER"]
+__all__ = [
+    "Span", "SpanContext", "Tracer", "NULL_SPAN", "NULL_TRACER",
+    "current_span",
+]
 
-_ids = itertools.count(1)
+#: Span/trace ids are drawn from one process-wide counter seeded at a
+#: random offset, so ids minted by different processes (the legacy
+#: client on one side of the wire, the gateway on the other) do not
+#: collide when their spans merge into a single trace.
+_ids = itertools.count((random.getrandbits(44) << 18) + 1)
 
 
 def _next_id() -> int:
     return next(_ids)
+
+
+#: module-level current-span stack shared by every tracer in the
+#: process: log records emitted inside a ``with span:`` block pick up
+#: the innermost span's ids regardless of which tracer minted it.
+_active = threading.local()
+
+
+def _active_stack() -> list:
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    return stack
+
+
+def current_span() -> "Span | None":
+    """The calling thread's innermost open span, if any.
+
+    The hook :mod:`repro.obs.logging` uses to stamp ``trace_id`` /
+    ``span_id`` onto records emitted inside an active span.
+    """
+    stack = _active_stack()
+    return stack[-1] if stack else None
+
+
+class SpanContext:
+    """The propagatable identity of a span: trace, span, sampling flag.
+
+    Serializes to/from a W3C-traceparent-style header so the legacy
+    wire protocol can carry it in message metadata::
+
+        00-<32 hex trace_id>-<16 hex span_id>-<2 hex flags>
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def to_traceparent(self) -> str:
+        """Render the context as a traceparent header value."""
+        flags = 0x01 if self.sampled else 0x00
+        return (f"00-{self.trace_id:032x}-{self.span_id:016x}"
+                f"-{flags:02x}")
+
+    @classmethod
+    def from_traceparent(cls, header) -> "SpanContext | None":
+        """Parse a traceparent header; ``None`` for anything malformed.
+
+        Propagation is best-effort by design: a peer sending garbage
+        (or nothing) must never fail the protocol message it rode in
+        on — the receiver just starts a fresh root trace.
+        """
+        if not isinstance(header, str):
+            return None
+        parts = header.split("-")
+        if len(parts) != 4 or parts[0] != "00":
+            return None
+        version, trace_hex, span_hex, flags_hex = parts
+        if len(trace_hex) != 32 or len(span_hex) != 16 \
+                or len(flags_hex) != 2:
+            return None
+        try:
+            trace_id = int(trace_hex, 16)
+            span_id = int(span_hex, 16)
+            flags = int(flags_hex, 16)
+        except ValueError:
+            return None
+        if trace_id == 0 or span_id == 0:
+            return None
+        return cls(trace_id, span_id, sampled=bool(flags & 0x01))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext({self.to_traceparent()})"
 
 
 class Span:
@@ -60,6 +158,11 @@ class Span:
         self._t0 = time.perf_counter()
         self.duration_s = 0.0
         self._ended = False
+
+    @property
+    def context(self) -> SpanContext:
+        """The span's propagatable :class:`SpanContext`."""
+        return SpanContext(self.trace_id, self.span_id, sampled=True)
 
     def set_attribute(self, key: str, value) -> None:
         """Attach one key/value to the span."""
@@ -111,6 +214,8 @@ class _NullSpan:
     name = ""
     status = "ok"
     attrs: dict = {}
+    #: no identity to propagate — callers guard on ``ctx is None``.
+    context = None
 
     def set_attribute(self, key: str, value) -> None:
         pass
@@ -131,11 +236,22 @@ NULL_SPAN = _NullSpan()
 class Tracer:
     """Producer and ring buffer of span records for one node."""
 
-    def __init__(self, enabled: bool = False, max_events: int = 4096):
+    def __init__(self, enabled: bool = False, max_events: int = 4096,
+                 sample_rate: float = 1.0, sink=None, on_drop=None,
+                 rng: random.Random | None = None):
         if max_events < 1:
             raise ValueError("trace buffer needs at least one slot")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
         self.enabled = enabled
         self.max_events = max_events
+        #: fraction of *new roots* kept; continuations are always kept.
+        self.sample_rate = sample_rate
+        #: ``sink(record)`` sees every closed span (trace-store spill).
+        self.sink = sink
+        #: ``on_drop()`` fires once per ring-buffer eviction batch.
+        self.on_drop = on_drop
+        self._rng = rng or random.Random()
         self._lock = threading.Lock()
         self._buffer: list[dict] = []
         self._dropped = 0
@@ -143,26 +259,38 @@ class Tracer:
 
     # -- span creation ----------------------------------------------------------
 
-    def span(self, name: str, parent: "Span | _NullSpan | None" = None,
+    def span(self, name: str,
+             parent: "Span | SpanContext | _NullSpan | None" = None,
              **attrs) -> "Span | _NullSpan":
         """Create a span (use as a context manager, or ``end()`` it).
 
         ``parent`` pins the span into an explicit tree — required when
-        work hops threads.  Without it, the creating thread's innermost
-        open span (entered via ``with``) is the parent; with no such
-        span either, a new trace is started.
+        work hops threads — and may be a :class:`SpanContext` received
+        from a remote peer, in which case the span continues the
+        remote trace.  Without it, the creating thread's innermost open
+        span (entered via ``with``) is the parent; with no such span
+        either, a new trace is started (subject to ``sample_rate``).
         """
         if not self.enabled:
             return NULL_SPAN
+        if isinstance(parent, SpanContext):
+            if not parent.sampled:
+                return NULL_SPAN
+            return Span(self, name, trace_id=parent.trace_id,
+                        parent_id=parent.span_id, attrs=attrs)
         if parent is None or parent is NULL_SPAN:
             parent = self._current()
         if parent is None:
+            if self.sample_rate < 1.0 \
+                    and self._rng.random() >= self.sample_rate:
+                return NULL_SPAN
             return Span(self, name, trace_id=_next_id(),
                         parent_id=None, attrs=attrs)
         return Span(self, name, trace_id=parent.trace_id,
                     parent_id=parent.span_id, attrs=attrs)
 
-    def event(self, name: str, parent: "Span | None" = None,
+    def event(self, name: str,
+              parent: "Span | SpanContext | None" = None,
               **attrs) -> None:
         """Record a point-in-time event (a zero-duration span)."""
         if not self.enabled:
@@ -183,21 +311,33 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         self._stack().append(span)
+        _active_stack().append(span)
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
+        active = _active_stack()
+        if active and active[-1] is span:
+            active.pop()
 
     # -- ring buffer -------------------------------------------------------------
 
     def _record(self, span: Span) -> None:
         record = span.to_dict()
+        dropped = False
         with self._lock:
             self._buffer.append(record)
             if len(self._buffer) > self.max_events:
                 del self._buffer[:len(self._buffer) - self.max_events]
                 self._dropped += 1
+                dropped = True
+        # Callbacks run outside the lock: a sink that flushes to disk
+        # (or a drop hook that logs) must not serialize the hot path.
+        if self.sink is not None:
+            self.sink(record)
+        if dropped and self.on_drop is not None:
+            self.on_drop()
 
     def records(self) -> list[dict]:
         """Snapshot of the buffered span records (oldest first)."""

@@ -1,0 +1,140 @@
+"""Bounded on-disk spill of the span ring buffer.
+
+The in-memory tracer forgets: its ring buffer holds the last N spans
+and silently evicts the rest.  :class:`TraceStore` is the durable side
+of the pair — wired in as the tracer's ``sink``, it appends every
+closed span to a JSONL segment file, rotates segments at a fixed span
+count, and prunes the oldest segments past a cap, so disk usage stays
+bounded at roughly ``segment_max_spans * max_segments`` records no
+matter how long the node runs.
+
+On top of the segments sits the query API the CLI ``trace`` command
+uses: :meth:`query` filters by ``trace_id`` or by ``job_id`` (resolving
+the job's trace ids from span attributes first, then returning every
+span of those traces, which may span rotated segment boundaries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+__all__ = ["TraceStore"]
+
+_SEGMENT_PREFIX = "spans-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+class TraceStore:
+    """Rotating JSONL segment files of span records under one directory."""
+
+    def __init__(self, directory: str, segment_max_spans: int = 2048,
+                 max_segments: int = 8):
+        if segment_max_spans < 1:
+            raise ValueError("segment_max_spans must be >= 1")
+        if max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        self.directory = directory
+        self.segment_max_spans = segment_max_spans
+        self.max_segments = max_segments
+        self._lock = threading.Lock()
+        self._handle = None
+        self._segment_spans = 0
+        os.makedirs(directory, exist_ok=True)
+        # Resume numbering after any segments left by a previous run.
+        existing = self._segment_names()
+        self._next_seq = len(existing) and (
+            int(existing[-1][len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+            + 1) or 1
+
+    # -- write path (tracer sink) ---------------------------------------------
+
+    def write(self, record: dict) -> None:
+        """Append one span record; rotates and prunes as needed."""
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            if self._handle is None \
+                    or self._segment_spans >= self.segment_max_spans:
+                self._rotate_locked()
+            self._handle.write(line)
+            self._segment_spans += 1
+
+    def _rotate_locked(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        name = f"{_SEGMENT_PREFIX}{self._next_seq:06d}{_SEGMENT_SUFFIX}"
+        self._next_seq += 1
+        self._handle = open(os.path.join(self.directory, name), "w",
+                            encoding="utf-8")
+        self._segment_spans = 0
+        for stale in self._segment_names()[:-self.max_segments]:
+            try:
+                os.unlink(os.path.join(self.directory, stale))
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+
+    def flush(self) -> None:
+        """Flush the active segment so readers see buffered spans."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the active segment."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- read path ---------------------------------------------------------------
+
+    def _segment_names(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        return sorted(n for n in names
+                      if n.startswith(_SEGMENT_PREFIX)
+                      and n.endswith(_SEGMENT_SUFFIX))
+
+    def segments(self) -> list[str]:
+        """Absolute paths of the live segments, oldest first."""
+        return [os.path.join(self.directory, n)
+                for n in self._segment_names()]
+
+    def records(self) -> list[dict]:
+        """Every stored span record, oldest segment first."""
+        self.flush()
+        out: list[dict] = []
+        for path in self.segments():
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            out.append(json.loads(line))
+            except FileNotFoundError:  # pragma: no cover - pruned mid-read
+                continue
+        return out
+
+    def query(self, trace_id: int | None = None,
+              job_id: str | None = None) -> list[dict]:
+        """Spans of one trace, or of every trace touching one job.
+
+        A job's spans are found via their ``job_id`` attribute; the
+        result then includes *all* spans of the matching traces, so a
+        client-originated trace comes back whole even though only some
+        of its spans carry the attribute.
+        """
+        records = self.records()
+        if trace_id is None and job_id is None:
+            return records
+        wanted: set[int] = set()
+        if trace_id is not None:
+            wanted.add(trace_id)
+        if job_id is not None:
+            wanted.update(
+                r["trace_id"] for r in records
+                if r.get("attrs", {}).get("job_id") == job_id)
+        return [r for r in records if r["trace_id"] in wanted]

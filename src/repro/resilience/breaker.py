@@ -77,6 +77,12 @@ class CircuitBreaker:
                 target=self.target, state=state).inc()
             self.obs.breaker_open.labels(target=self.target).set(
                 1.0 if state == OPEN else 0.0)
+            flight = getattr(self.obs, "flight", None)
+            if flight is not None:
+                # Breaker trips are node-wide events: they gate every
+                # job that shares the target, not one job's history.
+                flight.record_node("breaker_transition",
+                                   target=self.target, state=state)
 
     @property
     def state(self) -> str:

@@ -117,15 +117,19 @@ class RetryPolicy:
                 self.attempts_total += 1
                 self.by_target[target] = self.by_target.get(target, 0) + 1
 
-    def call(self, fn, *, target: str = "", obs=None, parent=None):
+    def call(self, fn, *, target: str = "", obs=None, parent=None,
+             job_id: str = ""):
         """Run ``fn`` with transient-only retry; returns its result.
 
         ``obs`` (an :class:`repro.obs.Observability`) makes each retry a
         labeled counter increment and a ``retry`` child span of
         ``parent`` recording the attempt number, the absorbed error, and
         the backoff chosen — so a traced job shows exactly where time
-        went when the cloud misbehaved.
+        went when the cloud misbehaved.  With a ``job_id``, each retry
+        (and give-up) also lands in that job's flight recorder so a
+        post-mortem bundle carries the full retry history.
         """
+        flight = getattr(obs, "flight", None) if job_id else None
         slept = 0.0
         for attempt in range(1, self.max_attempts + 1):
             try:
@@ -153,6 +157,10 @@ class RetryPolicy:
                         self._count(target, gave_up=True)
                         if obs is not None:
                             obs.retry_giveups.labels(target=target).inc()
+                        if flight is not None:
+                            flight.record(
+                                job_id, "retry_giveup", target=target,
+                                attempt=attempt, error=str(exc))
                     raise
                 self._count(target)
                 if obs is not None:
@@ -162,6 +170,10 @@ class RetryPolicy:
                         attempt=attempt, delay_s=round(delay, 6),
                         error=str(exc))
                     span.end("error")
+                if flight is not None:
+                    flight.record(
+                        job_id, "retry", target=target, attempt=attempt,
+                        delay_s=round(delay, 4), error=str(exc))
                 if delay > 0:
                     self.sleep(delay)
                 slept += delay

@@ -151,10 +151,25 @@ class WorkloadManager:
             span.set_attribute("reason", exc.reason)
             span.set_attribute("retry_after_s", exc.retry_after_s)
             span.end("error")
+            flight = getattr(self.obs, "flight", None)
+            if flight is not None:
+                flight.record(job_id, "wlm_throttled", pool=pool,
+                              reason=exc.reason,
+                              retry_after_s=round(exc.retry_after_s, 4))
+            slo = getattr(self.obs, "slo", None)
+            if slo is not None:
+                slo.record_admission(pool, admitted=False)
             raise
         waited = time.monotonic() - started
         span.set_attribute("wait_s", round(waited, 6))
         span.end()
+        flight = getattr(self.obs, "flight", None)
+        if flight is not None:
+            flight.record(job_id, "wlm_admitted", pool=pool, kind=kind,
+                          wait_s=round(waited, 4))
+        slo = getattr(self.obs, "slo", None)
+        if slo is not None:
+            slo.record_admission(pool, admitted=True)
         self.obs.wlm_admitted.labels(pool=pool).inc()
         self.obs.wlm_admission_wait_seconds.labels(pool=pool).observe(
             waited)

@@ -213,9 +213,20 @@ class TestParallelUploadDirectory:
         store.create_container("c")
         seen = set()
         original = store.put_blob
+        # Hold the first upload at a barrier until a second worker
+        # arrives — otherwise one fast thread can drain the whole
+        # queue before the pool spins up a second one.
+        rendezvous = threading.Barrier(2)
+        met = threading.Event()
 
         def recording_put(container, blob, data):
             seen.add(threading.current_thread().name)
+            if not met.is_set():
+                try:
+                    rendezvous.wait(timeout=5)
+                    met.set()
+                except threading.BrokenBarrierError:
+                    pass  # single-threaded pool; the assert will fail
             return original(container, blob, data)
 
         store.put_blob = recording_put

@@ -105,3 +105,20 @@ class TestJobMetrics:
         assert row["chunk_retries"] == 2
         assert row["credit_wait_s"] == 0.1235
         assert row["other_s"] == 0.5
+
+    def test_as_row_identity_and_overlap_fields(self):
+        metrics = JobMetrics(job_id="j9", trace_id="00af",
+                             pool="etl", overlap_s=0.98765)
+        row = metrics.as_row()
+        # Identity columns lead the row so bench tables and flight
+        # bundles key on them first.
+        assert list(row)[:3] == ["job_id", "trace_id", "pool"]
+        assert row["trace_id"] == "00af"
+        assert row["pool"] == "etl"
+        assert row["overlap_s"] == 0.9877
+
+    def test_as_row_defaults_blank_identity(self):
+        row = JobMetrics(job_id="j").as_row()
+        assert row["trace_id"] == ""
+        assert row["pool"] == ""
+        assert row["overlap_s"] == 0.0

@@ -1,0 +1,142 @@
+"""End-to-end distributed trace over a real TCP transport.
+
+The acceptance test of the cross-process propagation story: a legacy
+client with its own tracer drives a load job through a Hyper-Q node
+over real sockets, and the union of client-side and gateway-side span
+records must form ONE trace — a single trace_id from the client's
+BEGIN_LOAD through the gateway's COPY and Beta apply, with every
+parent link resolvable and no orphan roots on the gateway side.
+"""
+
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.core.gateway import HyperQNode
+from repro.legacy.client import ImportJobSpec, LegacyEtlClient
+from repro.net_tcp import TcpListener
+from repro.obs.trace import Tracer
+from repro.workloads.generator import make_workload
+
+WLM_PROFILE = {
+    "policy": "fair",
+    "pools": [
+        {"name": "etl", "weight": 1, "max_concurrency": 2,
+         "queue_limit": 4, "queue_timeout_s": 10.0,
+         "match": {"tenant": "*"}},
+    ],
+}
+
+
+def _run_traced_import(config):
+    workload = make_workload(rows=200, row_bytes=120, seed=11)
+    store = CloudStore()
+    engine = CdwEngine(store=store)
+    engine.execute(workload.ddl)
+    listener = TcpListener()
+    node = HyperQNode(engine, store, config, listener=listener).start()
+    client_tracer = Tracer(enabled=True)
+    try:
+        client = LegacyEtlClient(listener.connect, timeout=60,
+                                 tracer=client_tracer)
+        client.logon("h", "u", "pw")
+        result = client.run_import(ImportJobSpec(
+            target_table=workload.target_table,
+            et_table=workload.et_table,
+            uv_table=workload.uv_table,
+            layout=workload.layout,
+            apply_sql=workload.apply_sql,
+            data=workload.data,
+            sessions=2,
+            tenant="tenant-0",
+            admission_retry_attempts=10,
+            admission_backoff_s=0.05))
+        client.logoff()
+        assert result.rows_inserted == workload.expected_good_rows
+        gateway_records = node.obs.tracer.records()
+    finally:
+        node.stop()
+    return client_tracer.records(), gateway_records
+
+
+def _assert_single_connected_trace(client_records, gateway_records):
+    union = client_records + gateway_records
+    assert union
+    # One trace end to end: the client's root trace id is the only
+    # trace id anywhere, on either side of the socket.
+    trace_ids = {record["trace_id"] for record in union}
+    assert len(trace_ids) == 1, trace_ids
+
+    roots = [record for record in union
+             if record["parent_id"] is None]
+    assert [root["name"] for root in roots] == ["client.job"]
+    # Every root the gateway produced is parented into the client's
+    # trace — remote context propagation, not orphan local roots.
+    assert all(record["parent_id"] is not None
+               for record in gateway_records)
+
+    # Every parent link resolves inside the union: the chain from any
+    # span walks back to the client root with no dangling hops.
+    by_id = {record["span_id"]: record for record in union}
+    root_id = roots[0]["span_id"]
+    for record in union:
+        hops = 0
+        cursor = record
+        while cursor["parent_id"] is not None:
+            assert cursor["parent_id"] in by_id, (
+                record["name"], cursor["parent_id"])
+            cursor = by_id[cursor["parent_id"]]
+            hops += 1
+            assert hops < 100
+        assert cursor["span_id"] == root_id
+
+    names = {record["name"] for record in union}
+    # The full pipeline appears in the one trace: client job span,
+    # gateway job span, acquisition, COPY and Beta apply.
+    for expected in ("client.job", "job", "receive", "copy", "apply"):
+        assert expected in names, expected
+
+
+def test_single_trace_across_tcp():
+    client_records, gateway_records = _run_traced_import(
+        HyperQConfig(credits=4, converters=2, filewriters=2,
+                     trace_enabled=True))
+    _assert_single_connected_trace(client_records, gateway_records)
+
+
+def test_single_trace_across_tcp_with_wlm():
+    """Admission spans join the same trace instead of starting one."""
+    client_records, gateway_records = _run_traced_import(
+        HyperQConfig(credits=4, converters=2, filewriters=2,
+                     trace_enabled=True, wlm_profile=WLM_PROFILE))
+    _assert_single_connected_trace(client_records, gateway_records)
+    names = {record["name"] for record in gateway_records}
+    assert "wlm.admit" in names
+
+
+def test_gateway_traces_locally_when_client_untraced():
+    """No client tracer -> the gateway starts its own local root."""
+    workload = make_workload(rows=50, row_bytes=120, seed=3)
+    store = CloudStore()
+    engine = CdwEngine(store=store)
+    engine.execute(workload.ddl)
+    listener = TcpListener()
+    config = HyperQConfig(credits=4, converters=2, filewriters=2,
+                          trace_enabled=True)
+    node = HyperQNode(engine, store, config, listener=listener).start()
+    try:
+        client = LegacyEtlClient(listener.connect, timeout=60)
+        client.logon("h", "u", "pw")
+        client.run_import(ImportJobSpec(
+            target_table=workload.target_table,
+            et_table=workload.et_table,
+            uv_table=workload.uv_table,
+            layout=workload.layout,
+            apply_sql=workload.apply_sql,
+            data=workload.data,
+            sessions=1))
+        client.logoff()
+        records = node.obs.tracer.records()
+    finally:
+        node.stop()
+    [job] = [r for r in records if r["name"] == "job"]
+    assert job["parent_id"] is None

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, NULL_REGISTRY,
+    parse_exposition,
 )
 
 
@@ -94,6 +95,48 @@ class TestHistogram:
         assert hist.mean == 3.0
 
 
+class TestExemplars:
+    def test_worst_traced_observation_wins(self):
+        hist = Histogram()
+        hist.observe(1.0, trace_id=0xA)
+        hist.observe(5.0, trace_id=0xB)
+        hist.observe(2.0, trace_id=0xC)   # smaller: does not displace
+        exemplar = hist.sample()["exemplar"]
+        assert exemplar == {"value": 5.0, "trace_id": 0xB}
+
+    def test_untraced_observations_leave_no_exemplar(self):
+        hist = Histogram()
+        hist.observe(9.0)
+        assert "exemplar" not in hist.sample()
+
+    def test_stale_exemplar_displaced(self):
+        hist = Histogram(reservoir=8)
+        hist.observe(100.0, trace_id=0xA)
+        # A reservoir's worth of untraced samples makes 0xA stale; the
+        # next traced sample takes over even though it is smaller.
+        for _ in range(10):
+            hist.observe(1.0)
+        hist.observe(2.0, trace_id=0xB)
+        assert hist.sample()["exemplar"]["trace_id"] == 0xB
+
+    def test_timer_span_feeds_exemplar(self):
+        class FakeSpan:
+            trace_id = 0xD
+
+        hist = Histogram()
+        with hist.time(span=FakeSpan()):
+            pass
+        assert hist.sample()["exemplar"]["trace_id"] == 0xD
+
+    def test_exemplar_in_collect_but_not_exposition(self):
+        registry = MetricsRegistry()
+        registry.histogram("ex_seconds").observe(1.0, trace_id=0xE)
+        collected = registry.collect()
+        assert collected["ex_seconds"]["samples"][0]["exemplar"] == \
+            {"value": 1.0, "trace_id": 0xE}
+        assert "exemplar" not in registry.render_prometheus()
+
+
 class TestFamilies:
     def test_labeled_children_distinct(self):
         registry = MetricsRegistry()
@@ -166,6 +209,97 @@ class TestRegistry:
 
     def test_empty_render(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestConcurrentFamilies:
+    def test_concurrent_labeled_counter_updates(self):
+        """Racing threads on one family: no lost counts, no dup children."""
+        registry = MetricsRegistry()
+        family = registry.counter("race_total", "", ("worker",))
+        per_thread, threads_per_label = 2_000, 4
+
+        def bump(label):
+            for _ in range(per_thread):
+                family.labels(worker=label).inc()
+
+        threads = [threading.Thread(target=bump, args=(label,))
+                   for label in ("a", "b")
+                   for _ in range(threads_per_label)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        samples = {s["labels"]["worker"]: s["value"]
+                   for s in family.samples()}
+        expected = float(per_thread * threads_per_label)
+        assert samples == {"a": expected, "b": expected}
+        assert len(family.samples()) == 2
+
+    def test_concurrent_histogram_observations(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("race_seconds", "", ("stage",))
+
+        def observe(stage):
+            for i in range(1_000):
+                family.labels(stage=stage).observe(float(i))
+
+        threads = [threading.Thread(target=observe, args=(stage,))
+                   for stage in ("x", "y") for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts = {s["labels"]["stage"]: s["count"]
+                  for s in family.samples()}
+        assert counts == {"x": 3_000, "y": 3_000}
+
+
+class TestParseExposition:
+    def test_roundtrip_of_rendered_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests", ("kind",)) \
+            .labels(kind="data").inc(7)
+        registry.gauge("depth", "queue depth").set(3)
+        registry.histogram("lat_seconds", "latency").observe(0.25)
+        parsed = parse_exposition(registry.render_prometheus())
+        assert parsed["req_total"]["type"] == "counter"
+        assert parsed["req_total"]["help"] == "requests"
+        assert parsed["req_total"]["samples"] == [
+            {"name": "req_total", "labels": {"kind": "data"},
+             "value": 7.0}]
+        assert parsed["depth"]["samples"][0]["value"] == 3.0
+        hist = parsed["lat_seconds"]
+        assert hist["type"] == "histogram"
+        by_name = {(s["name"], s["labels"].get("quantile")): s["value"]
+                   for s in hist["samples"]}
+        assert by_name[("lat_seconds_count", None)] == 1.0
+        assert by_name[("lat_seconds_sum", None)] == 0.25
+        assert by_name[("lat_seconds", "0.5")] == 0.25
+
+    def test_roundtrips_escaped_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", "", ("q",)) \
+            .labels(q='a"b\nc').inc()
+        parsed = parse_exposition(registry.render_prometheus())
+        [series] = parsed["esc_total"]["samples"]
+        assert series["labels"] == {"q": 'a"b\nc'}
+
+    @pytest.mark.parametrize("text", [
+        "no_type_decl 1\n",                          # sample before TYPE
+        "# TYPE x counter\nx one\n",                 # non-numeric value
+        "# TYPE x counter\n9bad 1\n",                # bad metric name
+        "# TYPE x histogram\nx 1\n",                 # bare histogram line
+        "# TYPE x counter\nx 1\nx 2\n",              # duplicate series
+        "# TYPE x wibble\n",                         # unknown type
+        "what even is this\n",                       # unknown line shape
+        '# TYPE x counter\nx{k="v} 1\n',             # unterminated label
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_exposition(text)
+
+    def test_empty_text(self):
+        assert parse_exposition("") == {}
 
 
 class TestDisabledRegistry:

@@ -85,3 +85,59 @@ class TestConfigureLogging:
     def test_unknown_level_rejected(self):
         with pytest.raises(ValueError):
             configure_logging("LOUD")
+
+
+class TestTraceCorrelation:
+    def test_record_inside_span_carries_trace_ids(self):
+        from repro.obs.trace import Tracer
+
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=True, stream=stream)
+        tracer = Tracer(enabled=True)
+        with tracer.span("job") as span:
+            get_logger("gateway").info("working")
+        payload = json.loads(stream.getvalue())
+        assert payload["trace_id"] == span.trace_id
+        assert payload["span_id"] == span.span_id
+
+    def test_innermost_span_wins(self):
+        from repro.obs.trace import Tracer
+
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=True, stream=stream)
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                get_logger("gateway").info("deep")
+        payload = json.loads(stream.getvalue())
+        assert payload["span_id"] == inner.span_id
+
+    def test_explicit_extra_wins_over_implicit(self):
+        from repro.obs.trace import Tracer
+
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=True, stream=stream)
+        tracer = Tracer(enabled=True)
+        with tracer.span("job"):
+            get_logger("gateway").info(
+                "handoff", extra={"trace_id": "explicit"})
+        payload = json.loads(stream.getvalue())
+        assert payload["trace_id"] == "explicit"
+
+    def test_no_span_no_fields(self):
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=True, stream=stream)
+        get_logger("gateway").info("idle")
+        payload = json.loads(stream.getvalue())
+        assert "trace_id" not in payload
+        assert "span_id" not in payload
+
+    def test_text_output_carries_trace_id(self):
+        from repro.obs.trace import Tracer
+
+        stream = io.StringIO()
+        configure_logging("INFO", json_output=False, stream=stream)
+        tracer = Tracer(enabled=True)
+        with tracer.span("job") as span:
+            get_logger("gateway").info("working")
+        assert f"trace_id={span.trace_id}" in stream.getvalue()

@@ -1,0 +1,229 @@
+"""SLO engine: spec validation, burn-rate math, gauges, node wiring."""
+
+import pytest
+
+from repro.bench.harness import build_stack, run_workload_through_hyperq
+from repro.core.config import HyperQConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import OBJECTIVES, SloEngine, SloSpec
+from repro.workloads import make_workload
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def spec(**overrides):
+    base = dict(name="lat", objective="latency_p95", pool="etl-*",
+                threshold_s=10.0, target=0.9, windows_s=(60.0, 300.0))
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class TestSloSpec:
+    def test_defaults(self):
+        s = SloSpec(name="x", objective="error_rate")
+        assert s.pool == "*"
+        assert s.windows_s == (60.0, 300.0)
+
+    @pytest.mark.parametrize("overrides", [
+        {"name": ""},
+        {"objective": "latency_p50"},
+        {"target": 0.0},
+        {"target": 1.0},
+        {"threshold_s": 0.0},
+        {"windows_s": ()},
+        {"windows_s": (60.0, -1.0)},
+    ])
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            spec(**overrides)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown SLO spec keys"):
+            SloSpec.from_dict({"name": "x", "objective": "error_rate",
+                               "burn_limit": 2})
+
+    def test_from_dict_coerces_windows(self):
+        s = SloSpec.from_dict({"name": "x", "objective": "error_rate",
+                               "windows_s": [30, 120]})
+        assert s.windows_s == (30.0, 120.0)
+
+    def test_objectives_constant(self):
+        assert set(OBJECTIVES) == \
+            {"latency_p95", "error_rate", "throttle_rate"}
+
+
+class TestFromProfile:
+    def test_none_is_disabled(self):
+        engine = SloEngine.from_profile(None)
+        assert not engine.enabled
+        assert engine.evaluate() == {}
+        assert engine.snapshot() == {"enabled": False, "slos": {}}
+
+    def test_dict_profile(self):
+        engine = SloEngine.from_profile({"slos": [
+            {"name": "a", "objective": "error_rate"}]})
+        assert engine.enabled
+        assert [s.name for s in engine.specs] == ["a"]
+
+    def test_bare_list_profile(self):
+        engine = SloEngine.from_profile(
+            [{"name": "a", "objective": "error_rate"}])
+        assert engine.enabled
+
+    def test_dict_needs_slos_key(self):
+        with pytest.raises(ValueError, match='"slos" key'):
+            SloEngine.from_profile({"objectives": []})
+
+    def test_unknown_profile_keys(self):
+        with pytest.raises(ValueError, match="unknown SLO profile"):
+            SloEngine.from_profile({"slos": [], "alerting": True})
+
+    def test_bad_type(self):
+        with pytest.raises(ValueError, match="dict, list, or None"):
+            SloEngine.from_profile("slos.json")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine.from_profile([
+                {"name": "a", "objective": "error_rate"},
+                {"name": "a", "objective": "throttle_rate"}])
+
+
+class TestBurnRates:
+    def test_latency_burn_and_p95(self):
+        clock = FakeClock()
+        engine = SloEngine([spec()], clock=clock)
+        # 10 jobs in pool etl-1, 2 of them over the 10s threshold:
+        # bad_fraction 0.2 against a 0.1 budget -> burn 2.0 everywhere.
+        for i in range(10):
+            engine.record_job("etl-1", 20.0 if i < 2 else 1.0)
+        result = engine.evaluate()["lat"]
+        assert result["breaching"] is True
+        assert result["burn_rates"] == {
+            "60": pytest.approx(2.0), "300": pytest.approx(2.0)}
+        assert result["good"] == 8
+        assert result["bad"] == 2
+        assert result["p95_s"] == pytest.approx(20.0)
+
+    def test_pool_glob_filters_feed(self):
+        engine = SloEngine([spec()], clock=FakeClock())
+        engine.record_job("adhoc", 100.0)   # not an etl-* pool
+        engine.record_job("etl-1", 1.0)
+        result = engine.evaluate()["lat"]
+        assert result["good"] == 1
+        assert result["bad"] == 0
+        assert not result["breaching"]
+
+    def test_breach_requires_every_window_burning(self):
+        clock = FakeClock(now=1000.0)
+        engine = SloEngine([spec()], clock=clock)
+        # Old slow jobs burn the 300s window...
+        engine.record_job("etl-1", 20.0, ok=True)
+        clock.now = 1100.0
+        # ...but the 60s window has only fast jobs: no breach — a
+        # stale slow window alone must not page anyone.
+        engine.record_job("etl-1", 1.0)
+        result = engine.evaluate()["lat"]
+        assert result["burn_rates"]["300"] >= 1.0
+        assert result["burn_rates"]["60"] == 0.0
+        assert result["breaching"] is False
+
+    def test_empty_window_does_not_breach(self):
+        engine = SloEngine([spec()], clock=FakeClock())
+        assert engine.evaluate()["lat"]["breaching"] is False
+
+    def test_error_rate_objective(self):
+        engine = SloEngine(
+            [spec(name="err", objective="error_rate", target=0.5)],
+            clock=FakeClock())
+        engine.record_job("etl-1", 1.0, ok=False)
+        engine.record_job("etl-1", 1.0, ok=True)
+        result = engine.evaluate()["err"]
+        # bad_fraction 0.5 on a 0.5 budget: burning at exactly 1.0.
+        assert result["burn_rates"]["60"] == pytest.approx(1.0)
+        assert result["breaching"] is True
+
+    def test_throttle_rate_objective(self):
+        engine = SloEngine(
+            [spec(name="thr", objective="throttle_rate", pool="*",
+                  target=0.9)], clock=FakeClock())
+        for _ in range(9):
+            engine.record_admission("etl-1", admitted=True)
+        engine.record_admission("etl-1", admitted=False)
+        result = engine.evaluate()["thr"]
+        assert result["burn_rates"]["60"] == pytest.approx(1.0)
+        assert result["good"] == 9
+        assert result["bad"] == 1
+
+    def test_disabled_engine_ignores_feeds(self):
+        engine = SloEngine([], clock=FakeClock())
+        engine.record_job("etl-1", 1.0)
+        engine.record_admission("etl-1", admitted=False)
+        assert engine.evaluate() == {}
+
+
+class TestGauges:
+    def test_gauges_surface_in_registry(self):
+        registry = MetricsRegistry()
+        engine = SloEngine([spec()], registry=registry,
+                           clock=FakeClock())
+        for i in range(10):
+            engine.record_job("etl-1", 20.0 if i < 2 else 1.0)
+        engine.evaluate()
+        lines = registry.render_prometheus().splitlines()
+        assert 'hyperq_slo_burn_rate{slo="lat",window="60"} 2' in lines
+        assert 'hyperq_slo_healthy{slo="lat"} 0' in lines
+        assert ('hyperq_slo_latency_p95_seconds{slo="lat"} 20'
+                in lines)
+
+    def test_healthy_gauge_recovers(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        engine = SloEngine([spec()], registry=registry, clock=clock)
+        engine.record_job("etl-1", 20.0)
+        engine.evaluate()
+        clock.now += 10_000.0   # both windows drain empty
+        engine.evaluate()
+        assert 'hyperq_slo_healthy{slo="lat"} 1' in \
+            registry.render_prometheus().splitlines()
+
+
+def test_node_snapshot_and_gauges_end_to_end():
+    profile = {"slos": [
+        {"name": "load-latency", "objective": "latency_p95",
+         "pool": "*", "threshold_s": 30.0, "target": 0.99},
+        {"name": "load-errors", "objective": "error_rate",
+         "pool": "*", "target": 0.99},
+    ]}
+    workload = make_workload(rows=60, row_bytes=100, seed=5,
+                             table="S.T")
+    config = HyperQConfig(converters=1, filewriters=1, credits=4,
+                          slo_profile=profile)
+    with build_stack(config=config) as stack:
+        run_workload_through_hyperq(stack, workload, sessions=1)
+        slo = stack.node.stats()["slo"]
+        assert slo["enabled"] is True
+        latency = slo["slos"]["load-latency"]
+        assert latency["good"] == 1
+        assert latency["bad"] == 0
+        assert latency["breaching"] is False
+        assert latency["p95_s"] > 0
+        errors = slo["slos"]["load-errors"]
+        assert errors["good"] == 1
+        text = stack.node.obs.registry.render_prometheus()
+        assert "hyperq_slo_burn_rate" in text
+        assert ('hyperq_slo_healthy{slo="load-latency"} 1'
+                in text.splitlines())
+
+
+def test_node_without_profile_reports_disabled():
+    with build_stack(config=HyperQConfig(
+            converters=1, filewriters=1, credits=4)) as stack:
+        assert stack.node.stats()["slo"] == {
+            "enabled": False, "slos": {}}

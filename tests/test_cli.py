@@ -172,6 +172,171 @@ class TestTraceCommand:
         assert "at least one slot" in capsys.readouterr().err
 
 
+class TestTraceQueryCommand:
+    def test_store_spill_and_query_roundtrip(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "spans")
+        # First run spills spans to the store...
+        code = main(["trace", "--rows", "300", "--out", "-",
+                     "--store-dir", store_dir])
+        assert code == 0
+        first = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()]
+        [job] = [s for s in first if s["name"] == "job"]
+        job_id = job["attrs"]["job_id"]
+        # ...then query mode reads them back without running a job.
+        code = main(["trace", "--query", "--store-dir", store_dir,
+                     "--job", job_id, "--out", "-"])
+        assert code == 0
+        queried = [json.loads(line) for line in
+                   capsys.readouterr().out.splitlines()]
+        assert {s["trace_id"] for s in queried} == {job["trace_id"]}
+        assert {s["name"] for s in queried} >= {"job", "copy", "apply"}
+
+    def test_query_by_trace_id(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "spans")
+        assert main(["trace", "--rows", "200", "--out", "-",
+                     "--store-dir", store_dir]) == 0
+        [job] = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()
+                 if '"name": "job"' in line]
+        code = main(["trace", "--query", "--store-dir", store_dir,
+                     "--trace-id", f"{job['trace_id']:x}",
+                     "--out", "-"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        assert all(json.loads(l)["trace_id"] == job["trace_id"]
+                   for l in lines)
+
+    def test_query_without_store_dir_errors(self, capsys):
+        assert main(["trace", "--query", "--out", "-"]) == 1
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_critical_path_table(self, capsys):
+        code = main(["trace", "--rows", "300", "--out", "-",
+                     "--critical-path"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical=" in out
+        assert "acquisition=" in out
+        assert "apply=" in out
+
+    def test_sample_rate_zero_traces_nothing(self, capsys):
+        code = main(["trace", "--rows", "200", "--out", "-",
+                     "--sample-rate", "0.0"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestSloCommand:
+    @pytest.fixture
+    def profile_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"slos": [
+            {"name": "load-latency", "objective": "latency_p95",
+             "pool": "*", "threshold_s": 30.0, "target": 0.99},
+            {"name": "load-errors", "objective": "error_rate",
+             "pool": "*", "target": 0.99},
+        ]}))
+        return str(path)
+
+    def test_table_output(self, profile_path, capsys):
+        code = main(["slo", "--rows", "300",
+                     "--slo-profile", profile_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load-latency (latency_p95, pool=*): ok" in out
+        assert "load-errors (error_rate, pool=*): ok" in out
+        assert "good=1 bad=0" in out
+        assert "p95=" in out
+
+    def test_json_output(self, profile_path, capsys):
+        import json
+
+        code = main(["slo", "--rows", "300", "--format", "json",
+                     "--slo-profile", profile_path])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["enabled"] is True
+        assert snapshot["slos"]["load-latency"]["good"] == 1
+        assert snapshot["slos"]["load-latency"]["breaching"] is False
+
+    def test_missing_profile_errors(self, capsys):
+        code = main(["slo", "--rows", "100",
+                     "--slo-profile", "/no/such/slo.json"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_example_profile_parses(self, capsys):
+        code = main(["slo", "--rows", "200", "--slo-profile",
+                     os.path.join(os.path.dirname(__file__), "..",
+                                  "examples", "slo_profile.json")])
+        assert code == 0
+
+
+class TestFlightCommand:
+    @pytest.fixture
+    def bundle_dir(self, tmp_path):
+        import json
+
+        bundle = {
+            "version": 1, "job_id": "j1", "reason": "aborted",
+            "dumped_at": 123.0,
+            "events": [
+                {"ts": 1.0, "event": "started", "target": "T"},
+                {"ts": 2.0, "event": "retry", "attempt": 1},
+                {"ts": 3.0, "event": "aborted"},
+            ],
+            "node_events": [
+                {"ts": 1.5, "event": "breaker_transition",
+                 "state": "open"},
+            ],
+            "spans": [{"name": "job"}],
+            "metrics": {"job_id": "j1"},
+        }
+        (tmp_path / "j1.json").write_text(json.dumps(bundle))
+        return str(tmp_path)
+
+    def test_list_bundles(self, bundle_dir, capsys):
+        code = main(["flight", "--bundle-dir", bundle_dir])
+        assert code == 0
+        assert capsys.readouterr().out.splitlines() == ["j1"]
+
+    def test_timeline_output(self, bundle_dir, capsys):
+        code = main(["flight", "j1", "--bundle-dir", bundle_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job j1: aborted (3 events, 1 spans)" in out
+        assert "retry attempt=1" in out
+        assert "[node]" in out
+        assert "breaker_transition state=open" in out
+
+    def test_json_output(self, bundle_dir, capsys):
+        import json
+
+        code = main(["flight", "j1", "--bundle-dir", bundle_dir,
+                     "--format", "json"])
+        assert code == 0
+        bundle = json.loads(capsys.readouterr().out)
+        assert bundle["reason"] == "aborted"
+
+    def test_missing_bundle_errors(self, bundle_dir, capsys):
+        code = main(["flight", "nope", "--bundle-dir", bundle_dir])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_dir_lists_nothing(self, tmp_path, capsys):
+        code = main(["flight", "--bundle-dir", str(tmp_path)])
+        assert code == 1
+        assert "no flight bundles" in capsys.readouterr().err
+
+
 class TestTranspile:
     def test_plain(self, capsys):
         code = main(["transpile",
