@@ -31,7 +31,8 @@ from decimal import Decimal
 from repro import values
 from repro.cdw import stagefile
 from repro.cdw.cloudstore import CloudStore
-from repro.cdw.expressions import RowContext, evaluate, is_true
+from repro.cdw.expressions import (_Evaluator, RowContext, compile_expr,
+                                   evaluate, is_true, prepare_layout)
 from repro.cdw.locks import LockManager
 from repro.cdw.table import Catalog, CdwTable, ColumnSpec
 from repro.cdw.types import cdw_type_from_node
@@ -462,10 +463,12 @@ class CdwEngine:
         between = conjuncts[chosen]
         lo, hi = table.seq_slice(between.low.value, between.high.value)
         self._note_pruned(table, lo, hi)
+        binding_upper = binding.upper()
+        layout = prepare_layout(table.column_names)
         contexts = []
         for row in table.rows[lo:hi]:
             ctx = RowContext(parent=outer)
-            ctx.bind(binding, table.column_names, row)
+            ctx.bind_prepared(binding_upper, layout, row)
             contexts.append(ctx)
         residual: n.Expr | None = None
         for i, conjunct in enumerate(conjuncts):
@@ -500,10 +503,12 @@ class CdwEngine:
                 lo, hi = table.seq_slice(
                     between.low.value, between.high.value)
                 self._note_pruned(table, lo, hi)
+                binding_upper = source.binding.upper()
+                layout = prepare_layout(table.column_names)
                 contexts = []
                 for row in table.rows[lo:hi]:
                     ctx = RowContext(parent=None)
-                    ctx.bind(source.binding, table.column_names, row)
+                    ctx.bind_prepared(binding_upper, layout, row)
                     contexts.append(ctx)
                 return contexts
         return self._source_contexts(source, None)
@@ -517,11 +522,18 @@ class CdwEngine:
         else:
             contexts = self._source_contexts(stmt.from_, outer)
             where = stmt.where
+        # One evaluator, rebound per row: on wide scans the per-row
+        # _Evaluator construction is pure overhead (it carries no
+        # per-row state beyond the context).
+        ev = _Evaluator(None, self._subquery_runner)
         if where is not None:
-            contexts = [
-                ctx for ctx in contexts
-                if is_true(evaluate(where, ctx, self._subquery_runner))
-            ]
+            where_fn = compile_expr(where)
+            kept = []
+            for ctx in contexts:
+                ev.ctx = ctx
+                if where_fn(ev) is True:
+                    kept.append(ctx)
+            contexts = kept
         items = self._expand_items(stmt, contexts)
         columns = [self._item_name(item, i) for i, item in enumerate(items)]
 
@@ -530,11 +542,7 @@ class CdwEngine:
         if grouped:
             rows = self._run_grouped(stmt, items, contexts)
         else:
-            rows = [
-                tuple(evaluate(item.expr, ctx, self._subquery_runner)
-                      for item in items)
-                for ctx in contexts
-            ]
+            rows = self._project(items, contexts, ev)
             rows = self._order_rows(stmt, rows, contexts, items)
 
         if stmt.distinct:
@@ -549,6 +557,41 @@ class CdwEngine:
         if stmt.limit is not None:
             rows = rows[:stmt.limit]
         return rows, columns
+
+    def _project(self, items: list[n.SelectItem],
+                 contexts: list[RowContext],
+                 ev: _Evaluator) -> list[tuple]:
+        """Evaluate the select list against each row context.
+
+        When every item is an unqualified column over a single-table
+        context — the shape of every bulk INSERT..SELECT and dq pass —
+        resolve the column indexes once and slice rows directly instead
+        of walking the expression tree per row.  Anything irregular
+        (extra bindings, qualified or computed items, a name the layout
+        lacks) falls back to the evaluator row by row.
+        """
+        exprs = [item.expr for item in items]
+        fast_cols = [e.name.upper() for e in exprs] \
+            if exprs and all(type(e) is n.ColumnRef and e.table is None
+                             for e in exprs) else None
+        rows: list[tuple] = []
+        idxs: "list[int] | None" = None
+        prev_layout: "dict[str, int] | None" = None
+        for ctx in contexts:
+            if fast_cols is not None and len(ctx._bindings) == 1:
+                layout, row = next(iter(ctx._bindings.values()))
+                if layout is not prev_layout:
+                    prev_layout = layout
+                    try:
+                        idxs = [layout[c] for c in fast_cols]
+                    except KeyError:
+                        idxs = None
+                if idxs is not None:
+                    rows.append(tuple(row[i] for i in idxs))
+                    continue
+            ev.ctx = ctx
+            rows.append(tuple(ev.eval(e) for e in exprs))
+        return rows
 
     def _order_rows(self, stmt: n.Select, rows: list[tuple],
                     contexts: list[RowContext],
@@ -596,10 +639,11 @@ class CdwEngine:
                      contexts: list[RowContext]) -> list[tuple]:
         groups: dict[tuple, list[RowContext]] = {}
         if stmt.group_by:
+            key_fns = [compile_expr(g) for g in stmt.group_by]
+            ev = _Evaluator(None, self._subquery_runner)
             for ctx in contexts:
-                key = tuple(
-                    _sort_key(evaluate(g, ctx, self._subquery_runner))
-                    for g in stmt.group_by)
+                ev.ctx = ctx
+                key = tuple(_sort_key(fn(ev)) for fn in key_fns)
                 groups.setdefault(key, []).append(ctx)
         else:
             groups[()] = contexts
@@ -643,10 +687,12 @@ class CdwEngine:
             return len(group)
         if not call.args:
             raise CdwError(f"{name} needs an argument")
-        raw = [
-            evaluate(call.args[0], ctx, self._subquery_runner)
-            for ctx in group
-        ]
+        arg_fn = compile_expr(call.args[0])
+        ev = _Evaluator(None, self._subquery_runner)
+        raw = []
+        for ctx in group:
+            ev.ctx = ctx
+            raw.append(arg_fn(ev))
         non_null = [v for v in raw if v is not None]
         if call.distinct:
             deduped = []
@@ -771,17 +817,39 @@ class CdwEngine:
         source_contexts = (
             self._pruned_source_contexts(stmt.using, stmt.where)
             if stmt.using is not None else [None])
+        # Plain DELETEs (no USING) zone-map-slice the *target* scan:
+        # rows outside a top-level ``sorted_by BETWEEN`` conjunct cannot
+        # match, so only the slice is evaluated and everything around it
+        # is kept untouched (order preserved — the zone map stays armed).
+        # This is what keeps the dq precheck's violation-routing DELETE
+        # sub-linear in staging size.
+        rows = table.rows
+        lo, hi = 0, len(rows)
+        if (self.zone_map_pruning and stmt.using is None
+                and stmt.where is not None):
+            conjuncts = self._where_conjuncts(stmt.where)
+            chosen = self._zone_map_conjunct(conjuncts, table, binding)
+            if chosen is not None:
+                between = conjuncts[chosen]
+                lo, hi = table.seq_slice(
+                    between.low.value, between.high.value)
+                self._note_pruned(table, lo, hi)
         keep: list[tuple] = []
         deleted = 0
+        ev = _Evaluator(None, self._subquery_runner)
+        where_fn = compile_expr(stmt.where) if stmt.where is not None \
+            else None
         try:
-            for row in table.rows:
+            for row in rows[lo:hi]:
                 doomed = False
                 for source_ctx in source_contexts:
                     ctx = RowContext(parent=source_ctx)
                     ctx.bind(binding, table.column_names, row)
-                    if stmt.where is None or is_true(
-                            evaluate(stmt.where, ctx,
-                                     self._subquery_runner)):
+                    if where_fn is None:
+                        doomed = True
+                        break
+                    ev.ctx = ctx
+                    if where_fn(ev) is True:
                         doomed = True
                         break
                 if doomed:
@@ -791,7 +859,7 @@ class CdwEngine:
         except ExpressionError as exc:
             raise self._wrap_row_error(
                 exc, f"DELETE FROM {table.name}") from exc
-        table.rows = keep
+        table.rows = rows[:lo] + keep + rows[hi:]
         return CdwResult(kind="count", rows_deleted=deleted)
 
     def _exec_Upsert(self, stmt: n.Upsert) -> CdwResult:

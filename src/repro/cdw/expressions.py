@@ -28,6 +28,29 @@ __all__ = ["RowContext", "evaluate", "is_true"]
 SubqueryRunner = Callable[[n.Select, "RowContext"], list[tuple]]
 
 
+#: column-layout -> {UPPER name: index}, memoized across rows.  Scans
+#: re-bind the same table layout once per row, so uppercasing the
+#: column list (and linear ``list.index`` lookups) per row dominated
+#: wide scans; a shared index map makes bind+resolve O(1) dict ops.
+_LAYOUT_CACHE: dict[tuple, dict[str, int]] = {}
+
+
+def prepare_layout(columns: "list[str] | tuple[str, ...]") -> dict[str, int]:
+    """The memoized ``{UPPER column: index}`` map for a column layout.
+
+    Duplicate names keep their first index, matching the old
+    ``list.index`` semantics.
+    """
+    key = tuple(columns)
+    layout = _LAYOUT_CACHE.get(key)
+    if layout is None:
+        layout = {}
+        for i, c in enumerate(key):
+            layout.setdefault(c.upper(), i)
+        _LAYOUT_CACHE[key] = layout
+    return layout
+
+
 class RowContext:
     """Column bindings for one evaluation: binding name -> (columns, row).
 
@@ -38,15 +61,20 @@ class RowContext:
     def __init__(self,
                  bindings: dict[str, tuple[list[str], tuple]] | None = None,
                  parent: "RowContext | None" = None):
-        self._bindings: dict[str, tuple[list[str], tuple]] = {}
+        self._bindings: dict[str, tuple[dict[str, int], tuple]] = {}
         self.parent = parent
         for binding, (columns, row) in (bindings or {}).items():
             self.bind(binding, columns, row)
 
     def bind(self, binding: str, columns: list[str], row: tuple) -> None:
         """Add (or replace) a binding: columns and one row."""
-        self._bindings[binding.upper()] = (
-            [c.upper() for c in columns], row)
+        self._bindings[binding.upper()] = (prepare_layout(columns), row)
+
+    def bind_prepared(self, binding_upper: str, layout: dict[str, int],
+                      row: tuple) -> None:
+        """Hot-path bind: caller pre-uppercased the name and prepared
+        the layout via :func:`prepare_layout` once per source."""
+        self._bindings[binding_upper] = (layout, row)
 
     def resolve(self, name: str, table: str | None = None):
         """Resolve a column reference to its value."""
@@ -58,15 +86,17 @@ class RowContext:
                     return self.parent.resolve(name, table)
                 raise ExpressionError(
                     f"unknown table or alias {table!r}")
-            columns, row = entry
-            if upper not in columns:
+            layout, row = entry
+            idx = layout.get(upper)
+            if idx is None:
                 raise ExpressionError(
                     f"{table}.{name} does not exist", field=name)
-            return row[columns.index(upper)]
+            return row[idx]
         matches = []
-        for columns, row in self._bindings.values():
-            if upper in columns:
-                matches.append(row[columns.index(upper)])
+        for layout, row in self._bindings.values():
+            idx = layout.get(upper)
+            if idx is not None:
+                matches.append(row[idx])
         if len(matches) > 1:
             raise ExpressionError(f"ambiguous column {name!r}", field=name)
         if matches:
@@ -99,6 +129,34 @@ def _like_to_regex(pattern: str) -> re.Pattern:
     return re.compile("^" + "".join(out) + "$", re.DOTALL)
 
 
+def _in_literal_table(expr: n.InExpr):
+    """Set-lookup fast path for homogeneous all-literal IN lists.
+
+    Memoized on the node (one AST is evaluated once per row): without
+    it a long IN list — e.g. the dq precheck's batched routing DELETE —
+    degrades to a linear compare walk per row.  Returns ``(members,
+    saw_null, element_type)`` or ``None`` when the generic path must
+    run; strings are stored rstripped to keep CHAR-padding equality.
+    """
+    cached = expr.__dict__.get("_literal_table", False)
+    if cached is not False:
+        return cached
+    table = None
+    values_ = [item.value for item in expr.items
+               if type(item) is n.Literal]
+    if expr.items and len(values_) == len(expr.items):
+        non_null = [v for v in values_ if v is not None]
+        kinds = {type(v) for v in non_null}
+        if kinds <= {int}:
+            table = (frozenset(non_null),
+                     len(non_null) < len(values_), int)
+        elif kinds == {str}:
+            table = (frozenset(v.rstrip() for v in non_null),
+                     len(non_null) < len(values_), str)
+    expr.__dict__["_literal_table"] = table
+    return table
+
+
 def _numeric(value, what: str):
     if isinstance(value, (int, float, Decimal)) \
             and not isinstance(value, bool):
@@ -108,17 +166,25 @@ def _numeric(value, what: str):
 
 
 class _Evaluator:
+    #: node type -> unbound handler, filled lazily.  Saves the per-node
+    #: f-string + getattr on the scan hot path.
+    _dispatch: dict[type, "object"] = {}
+
     def __init__(self, ctx: RowContext,
                  subquery_runner: SubqueryRunner | None):
         self.ctx = ctx
         self.subquery_runner = subquery_runner
 
     def eval(self, expr: n.Expr):
-        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        t = type(expr)
+        method = _Evaluator._dispatch.get(t)
         if method is None:
-            raise ExpressionError(
-                f"cannot evaluate {type(expr).__name__} node")
-        return method(expr)
+            method = getattr(_Evaluator, f"_eval_{t.__name__}", None)
+            if method is None:
+                raise ExpressionError(
+                    f"cannot evaluate {t.__name__} node")
+            _Evaluator._dispatch[t] = method
+        return method(self, expr)
 
     # -- leaves ------------------------------------------------------------
 
@@ -126,6 +192,28 @@ class _Evaluator:
         return expr.value
 
     def _eval_ColumnRef(self, expr: n.ColumnRef):
+        # Memoize the uppercased names on the node and try the direct
+        # dict hit; RowContext.resolve keeps the slow/diagnostic path
+        # (parent scopes, ambiguity, unknown-column errors).
+        d = expr.__dict__
+        key = d.get("_uc")
+        if key is None:
+            key = d["_uc"] = (
+                expr.name.upper(),
+                expr.table.upper() if expr.table else None)
+        upper, tbl = key
+        bindings = self.ctx._bindings
+        if tbl is not None:
+            entry = bindings.get(tbl)
+            if entry is not None:
+                idx = entry[0].get(upper)
+                if idx is not None:
+                    return entry[1][idx]
+        elif len(bindings) == 1:
+            for layout, row in bindings.values():
+                idx = layout.get(upper)
+                if idx is not None:
+                    return row[idx]
         return self.ctx.resolve(expr.name, expr.table)
 
     def _eval_HostParam(self, expr: n.HostParam):
@@ -298,6 +386,20 @@ class _Evaluator:
             rows = self._run_subquery(expr.subquery)
             candidates = [row[0] for row in rows]
         else:
+            fast = _in_literal_table(expr)
+            if fast is not None and value is not None \
+                    and type(value) is fast[2]:
+                members, saw_null, ctype = fast
+                probe = value.rstrip() if ctype is str else value
+                if probe in members:
+                    result = True
+                elif saw_null:
+                    result = None
+                else:
+                    result = False
+                if expr.negated and result is not None:
+                    return not result
+                return result
             candidates = [self.eval(item) for item in expr.items]
         if value is None:
             return None
@@ -543,4 +645,203 @@ _FUNCTIONS = {
         else _need_str(a[0], "INDEX").find(_need_str(a[1], "INDEX")) + 1),
     "CONCAT": lambda a: None if any(v is None for v in a)
     else "".join(_Evaluator._to_text(v) for v in a),
+    # re.search semantics (unanchored); NULL in either argument is NULL,
+    # matching the SQL standard's REGEXP_LIKE three-valued behaviour.
+    "REGEXP_LIKE": lambda a: None if a[0] is None or a[1] is None
+    else re.search(_need_str(a[1], "REGEXP_LIKE"),
+                   _Evaluator._to_text(a[0])) is not None,
 }
+
+
+# -- closure compilation -------------------------------------------------------
+#
+# Tree-walking costs a dispatch lookup plus a method frame per node per
+# row; on the scan hot paths (WHERE filters, aggregate arguments — e.g.
+# the dq precheck's SUM(CASE …) passes) that constant dominates.
+# ``compile_expr`` folds an expression once into nested closures taking
+# the evaluator (whose ``ctx`` the caller rebinds per row).  Only the
+# hot node kinds are compiled — their closures mirror the
+# ``_eval_{Node}`` methods above line for line; anything else (casts,
+# subqueries, LIKE, …) falls back to the interpreter, so the compiled
+# form can never diverge on node kinds it does not understand.
+
+def compile_expr(expr: n.Expr):
+    """The expression as a ``fn(evaluator) -> value`` closure, memoized
+    on the node.  Tree *structure* is treated as read-only; node values
+    (``Literal.value``, ``BoundParam.value``) may be rebound between
+    calls, so closures read them live."""
+    d = expr.__dict__
+    fn = d.get("_compiled")
+    if fn is None:
+        fn = d["_compiled"] = _compile(expr)
+    return fn
+
+
+def _compile(expr: n.Expr):
+    t = type(expr)
+    if t is n.Literal:
+        # Must read ``expr.value`` at call time, not capture it: the
+        # prepared-DML cache rebinds the ``__SEQ`` range literals of a
+        # shared statement template between executions (PreparedDml.bind).
+        return lambda ev: expr.value
+    if t is n.ColumnRef:
+        return _compile_column(expr)
+    if t is n.BoundParam:
+        return lambda ev: expr.value      # reads the live binding
+    if t is n.IsNull:
+        operand = _compile(expr.operand)
+        if expr.negated:
+            return lambda ev: operand(ev) is not None
+        return lambda ev: operand(ev) is None
+    if t is n.UnaryOp and expr.op == "NOT":
+        operand = _compile(expr.operand)
+
+        def _not(ev):
+            value = operand(ev)
+            return None if value is None else not value
+        return _not
+    if t is n.BinaryOp:
+        return _compile_binary(expr)
+    if t is n.Between:
+        return _compile_between(expr)
+    if t is n.CaseExpr:
+        return _compile_case(expr)
+    if t is n.InExpr and expr.subquery is None:
+        return _compile_in(expr)
+    if t is n.FuncCall and not expr.distinct:
+        handler = _FUNCTIONS.get(expr.name.upper())
+        if handler is not None:
+            return _compile_func(expr, handler)
+    # Anything else: interpret.  (Also the safety net for node kinds
+    # added later — they stay correct, just not compiled.)
+    return lambda ev: ev.eval(expr)
+
+
+def _compile_column(expr: n.ColumnRef):
+    upper = expr.name.upper()
+    tbl = expr.table.upper() if expr.table else None
+    name, table = expr.name, expr.table
+    if tbl is None:
+        def _unqualified(ev):
+            bindings = ev.ctx._bindings
+            if len(bindings) == 1:
+                for layout, row in bindings.values():
+                    idx = layout.get(upper)
+                    if idx is not None:
+                        return row[idx]
+            return ev.ctx.resolve(name, table)
+        return _unqualified
+
+    def _qualified(ev):
+        entry = ev.ctx._bindings.get(tbl)
+        if entry is not None:
+            idx = entry[0].get(upper)
+            if idx is not None:
+                return entry[1][idx]
+        return ev.ctx.resolve(name, table)
+    return _qualified
+
+
+def _compile_binary(expr: n.BinaryOp):
+    op = expr.op
+    left = _compile(expr.left)
+    right = _compile(expr.right)
+    if op == "AND":
+        def _and(ev):
+            lv = left(ev)
+            if lv is False:
+                return False
+            rv = right(ev)
+            if lv is None or rv is None:
+                return False if rv is False else None
+            return bool(lv) and bool(rv)
+        return _and
+    if op == "OR":
+        def _or(ev):
+            lv = left(ev)
+            if lv is True:
+                return True
+            rv = right(ev)
+            if lv is None or rv is None:
+                return True if rv is True else None
+            return bool(lv) or bool(rv)
+        return _or
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        compare = _Evaluator._compare
+        return lambda ev: compare(ev, op, left(ev), right(ev))
+    # arithmetic / concatenation keep the interpreter's error paths
+    return lambda ev: ev.eval(expr)
+
+
+def _compile_between(expr: n.Between):
+    operand = _compile(expr.operand)
+    low = _compile(expr.low)
+    high = _compile(expr.high)
+    negated = expr.negated
+    compare = _Evaluator._compare
+
+    def _between(ev):
+        value = operand(ev)
+        ge = compare(ev, ">=", value, low(ev))
+        le = compare(ev, "<=", value, high(ev))
+        if ge is None or le is None:
+            result = None
+        else:
+            result = ge and le
+        if negated and result is not None:
+            return not result
+        return result
+    return _between
+
+
+def _compile_case(expr: n.CaseExpr):
+    whens = tuple((_compile(w.condition), _compile(w.result))
+                  for w in expr.whens)
+    else_fn = None if expr.else_result is None \
+        else _compile(expr.else_result)
+
+    def _case(ev):
+        for condition, result in whens:
+            if condition(ev) is True:
+                return result(ev)
+        return None if else_fn is None else else_fn(ev)
+    return _case
+
+
+def _compile_in(expr: n.InExpr):
+    fast = _in_literal_table(expr)
+    if fast is None:
+        return lambda ev: ev.eval(expr)
+    operand = _compile(expr.operand)
+    members, saw_null, ctype = fast
+    negated = expr.negated
+
+    def _in(ev):
+        value = operand(ev)
+        if value is None or type(value) is not ctype:
+            return ev.eval(expr)      # NULL / mixed-type generic path
+        probe = value.rstrip() if ctype is str else value
+        if probe in members:
+            result = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        if negated and result is not None:
+            return not result
+        return result
+    return _in
+
+
+def _compile_func(expr: n.FuncCall, handler):
+    arg_fns = tuple(_compile(a) for a in expr.args)
+
+    def _call(ev):
+        args = [fn(ev) for fn in arg_fns]
+        try:
+            return handler(args)
+        except ExpressionError as exc:
+            if exc.field is None and expr.args:
+                exc.field = _Evaluator._provenance(expr.args[0])
+            raise
+    return _call

@@ -19,6 +19,9 @@ Four subcommands, mirroring how the real product is operated:
   pipeline stages (``--critical-path``);
 - ``slo``        — run an instrumented job under a declarative SLO
   profile and print every objective's burn rates;
+- ``dq``         — run an instrumented job under a declarative
+  data-quality rule profile and print the precheck verdicts
+  (violation counts per rule, rows routed to the error table);
 - ``flight``     — inspect a dead job's flight-recorder bundle
   (post-mortem events + spans + metrics).
 
@@ -68,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "after the run")
     _add_chaos_args(run)
     _add_wlm_args(run)
+    _add_dq_args(run)
     _add_perf_args(run)
     _add_logging_args(run)
 
@@ -82,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", action="store_true",
                        help="enable span tracing on the served node")
     _add_wlm_args(serve)
+    _add_dq_args(serve)
     _add_logging_args(serve)
 
     transpile = sub.add_parser(
@@ -152,6 +157,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="human-readable table (default) or JSON")
     _add_logging_args(slo)
 
+    dq = sub.add_parser(
+        "dq", help="run a data-quality precheck and print verdicts")
+    _add_observed_job_args(dq)
+    dq.add_argument("--dirty-fraction", type=float, default=0.0,
+                    metavar="F",
+                    help="fraction of synthetic rows seeded with "
+                         "known violations (uses the dirty-data "
+                         "workload preset; implies its rule profile "
+                         "when --dq-profile is omitted)")
+    dq.add_argument("--format", choices=("table", "json"),
+                    default="table",
+                    help="human-readable table (default) or JSON")
+    _add_logging_args(dq)
+
     flight = sub.add_parser(
         "flight", help="inspect a job's flight-recorder bundle")
     flight.add_argument("job_id", nargs="?", default=None,
@@ -215,6 +234,23 @@ def _load_wlm_profile(args):
         return json.load(handle)
 
 
+def _add_dq_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--dq-profile", default=None, metavar="PATH",
+        help="enable declarative data-quality prechecks with this "
+             "dq-profile JSON (rulesets + rules; see docs/DQ.md)")
+
+
+def _load_dq_profile(args):
+    """The parsed --dq-profile JSON, or None when not given."""
+    path = getattr(args, "dq_profile", None)
+    if path is None:
+        return None
+    import json
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def _add_perf_args(sub_parser) -> None:
     """Pipelining/pruning knobs shared by the job-running commands."""
     sub_parser.add_argument(
@@ -268,6 +304,7 @@ def _add_observed_job_args(sub_parser) -> None:
                             help="Hyper-Q credit pool size")
     _add_chaos_args(sub_parser)
     _add_wlm_args(sub_parser)
+    _add_dq_args(sub_parser)
     _add_perf_args(sub_parser)
 
 
@@ -279,16 +316,20 @@ def _configure_cli_logging(args) -> None:
 
 def _run_observed_job(args, *, trace: bool,
                       trace_buffer_events: int = 65536,
+                      workload=None, setup_sql=(),
                       **config_kwargs):
     """Run one load job on an instrumented stack; returns the node.
 
     The caller owns the returned node's stack via ``node._cli_stack``
-    and must close it after reading metrics/spans.
+    and must close it after reading metrics/spans.  ``workload``
+    replaces the default synthetic workload; ``setup_sql`` statements
+    run directly on the engine before the job (parent dimensions etc.).
     """
     from repro.bench.harness import build_stack, run_workload_through_hyperq
     from repro.core.config import HyperQConfig
     from repro.workloads.generator import make_workload
 
+    config_kwargs.setdefault("dq_profile", _load_dq_profile(args))
     config = HyperQConfig(credits=args.credits, trace_enabled=trace,
                           trace_buffer_events=trace_buffer_events,
                           chaos_profile=_load_chaos_profile(args),
@@ -298,6 +339,8 @@ def _run_observed_job(args, *, trace: bool,
                           **config_kwargs)
     stack = build_stack(config=config)
     try:
+        for sql in setup_sql:
+            stack.engine.execute(sql)
         if args.script:
             from repro.legacy.script import ScriptInterpreter, parse_script
             with open(args.script, "r", encoding="utf-8") as handle:
@@ -307,7 +350,8 @@ def _run_observed_job(args, *, trace: bool,
             ScriptInterpreter(stack.node.connect,
                               base_dir=base_dir).run(script)
         else:
-            workload = make_workload(args.rows)
+            if workload is None:
+                workload = make_workload(args.rows)
             run_workload_through_hyperq(stack, workload,
                                         sessions=args.sessions)
     except BaseException:
@@ -441,6 +485,39 @@ def _cmd_slo(args) -> int:
     return 0
 
 
+def _cmd_dq(args) -> int:
+    import json
+
+    _configure_cli_logging(args)
+    workload = None
+    setup_sql = ()
+    config_kwargs = {}
+    if args.dirty_fraction > 0:
+        from repro.workloads.generator import dirty_workload
+        dirty = dirty_workload(args.rows,
+                               violation_rate=args.dirty_fraction)
+        workload = dirty.workload
+        setup_sql = dirty.setup_sql
+        if getattr(args, "dq_profile", None) is None:
+            config_kwargs["dq_profile"] = dirty.dq_rules
+    elif getattr(args, "dq_profile", None) is None:
+        print("error: need --dq-profile (or --dirty-fraction to use "
+              "the dirty preset's built-in rules)", file=sys.stderr)
+        return 1
+    node = _run_observed_job(args, trace=False, workload=workload,
+                             setup_sql=setup_sql, **config_kwargs)
+    try:
+        snapshot = node.stats()["dq"]
+    finally:
+        node._cli_stack.close()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, default=str))
+        return 0
+    from repro.qinsight import render_dq_report
+    print(render_dq_report(snapshot), end="")
+    return 0
+
+
 def _cmd_flight(args) -> int:
     import json
 
@@ -511,6 +588,7 @@ def _cmd_run_script(args) -> int:
             chaos_profile=_load_chaos_profile(args),
             chaos_seed=args.chaos_seed,
             wlm_profile=_load_wlm_profile(args),
+            dq_profile=_load_dq_profile(args),
             **_perf_config_kwargs(args)))
         connect = stack.node.connect
         engine = stack.engine
@@ -569,7 +647,8 @@ def _cmd_serve(args) -> int:
     node = HyperQNode(engine, store,
                       HyperQConfig(credits=args.credits,
                                    trace_enabled=args.trace,
-                                   wlm_profile=_load_wlm_profile(args)),
+                                   wlm_profile=_load_wlm_profile(args),
+                                   dq_profile=_load_dq_profile(args)),
                       listener=listener)
     node.start()
     print(f"Hyper-Q serving on {listener.host}:{listener.port} "
@@ -682,6 +761,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "trace": _cmd_trace,
     "slo": _cmd_slo,
+    "dq": _cmd_dq,
     "flight": _cmd_flight,
 }
 

@@ -243,8 +243,16 @@ class Beta:
             n.Insert(n.TableRef(table_name), [], values))
 
     def _record_et(self, et_table: str, rownum: int | None, code: int,
-                   field: str | None, message: str) -> None:
-        self._insert_row(et_table, (rownum, code, field, message[:512]))
+                   field: str | None, message: str,
+                   rule_id: str | None = None,
+                   reason: str | None = None) -> None:
+        """One error-table row; ``rule_id``/``reason`` fill the shared
+        ``__RULE_ID``/``__REASON`` provenance columns so split-routed
+        and dq-routed rows land in one queryable schema."""
+        self._insert_row(
+            et_table,
+            (rownum, code, field, message[:512], rule_id,
+             reason[:256] if reason else None))
 
     # -- the application phase ------------------------------------------------------------
 
@@ -398,7 +406,8 @@ class ApplyRun:
         self.beta._record_et(
             self.et_table, rownum, HYPERQ_CONVERSION_ERROR, exc.field,
             f"{_first_clause(exc)} during DML on {self.target_table}, "
-            f"row number: {rownum}")
+            f"row number: {rownum}",
+            rule_id="engine:conversion", reason=_first_clause(exc))
         self.summary.et_errors += 1
 
     def _record_range_error(self, lo: int, hi: int,
@@ -408,7 +417,8 @@ class ApplyRun:
         self.beta._record_et(
             self.et_table, None, HYPERQ_MAX_ERRORS_REACHED, None,
             f"{what} during DML on {self.target_table}, row numbers: "
-            f"({self._rownum(lo)}, {self._rownum(hi)})")
+            f"({self._rownum(lo)}, {self._rownum(hi)})",
+            rule_id=f"engine:{reason}", reason=what)
         self.summary.et_errors += 1
 
     def _observe_split(self, event: str, details: dict) -> None:
@@ -456,7 +466,8 @@ class ApplyRun:
             self.beta._record_et(
                 self.et_table, rownum, error.code, error.field,
                 f"{error.message} during acquisition for "
-                f"{self.target_table}, row number: {rownum}")
+                f"{self.target_table}, row number: {rownum}",
+                rule_id="acquisition", reason=error.message)
             self.summary.et_errors += 1
             self._recorded_acq.add(error.seq)
 

@@ -120,6 +120,11 @@ class HyperQConfig:
     #: None disables SLO evaluation entirely.
     slo_profile: dict | list | None = None
 
+    # -- data quality (repro.dq) --
+    #: parsed dq-profile JSON ({"rulesets": [...]} or a bare rule
+    #: list); None disables the pre-APPLY data-quality check entirely.
+    dq_profile: dict | list | None = None
+
     # -- per-job flight recorder (repro.obs.flight) --
     #: keep a bounded in-memory event log per job and dump a
     #: post-mortem bundle (events + spans + metrics) when a job dies.
@@ -181,3 +186,6 @@ class HyperQConfig:
         if self.slo_profile is not None and \
                 not isinstance(self.slo_profile, (dict, list)):
             raise ValueError("slo_profile must be a dict or spec list")
+        if self.dq_profile is not None and \
+                not isinstance(self.dq_profile, (dict, list)):
+            raise ValueError("dq_profile must be a dict or rule list")

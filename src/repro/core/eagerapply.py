@@ -96,7 +96,8 @@ class EagerApplyCoordinator:
                  metrics, obs: Observability = NULL_OBS,
                  job_span=NULL_SPAN, journal=None,
                  faults: FaultInjector = NULL_INJECTOR,
-                 retry=None, breakers=None, job_id: str = ""):
+                 retry=None, breakers=None, job_id: str = "",
+                 dq=None):
         self.run = run
         self.pipeline = pipeline
         self.loader = loader
@@ -113,6 +114,10 @@ class EagerApplyCoordinator:
         self.retry = retry
         self.breakers = breakers
         self.job_id = job_id
+        #: optional :class:`repro.dq.DqPrechecker` — when set, every
+        #: prefix is dq-prechecked (violators routed out of staging)
+        #: before its ranged DML runs.
+        self.dq = dq
 
         self._cond = threading.Condition()
         self._copy_queue: list[StagedFile] = []
@@ -295,6 +300,10 @@ class EagerApplyCoordinator:
         run.record_acquisition_errors([
             e for e in list(self.pipeline.acquisition_errors)
             if e.seq <= hi_seq])
+        if self.dq is not None:
+            self.dq.update_chunks(dict(self.pipeline.chunk_records))
+            self.dq.check_range(lo_seq, hi_seq,
+                                parent_span=self.job_span)
         if self.first_apply_at is None:
             self.first_apply_at = time.perf_counter()
         with self.obs.tracer.span(
@@ -340,6 +349,18 @@ class EagerApplyCoordinator:
             self._failures.append(
                 GatewayError("eager-apply coordinator shut down"))
             self._cond.notify_all()
+
+    def join(self, timeout_s: float = 30.0) -> None:
+        """Wait for both workers to exit after :meth:`shutdown`.
+
+        A restarted job must not seed its journal watermark while a
+        stale applier can still finish an in-flight range and journal
+        past it — that would double-apply the overlap.  An in-flight
+        range is bounded work, so the workers exit promptly once woken.
+        """
+        deadline = time.monotonic() + timeout_s
+        for thread in self._threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.0))
 
     # -- barrier -----------------------------------------------------------
 

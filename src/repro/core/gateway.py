@@ -36,6 +36,7 @@ from repro.core.eagerapply import DurableFileRelay, EagerApplyCoordinator
 from repro.core.metrics import JobMetrics, Stopwatch
 from repro.core.pipeline import AcquisitionPipeline
 from repro.core.tdfcursor import TdfCursor
+from repro.dq import DqPrechecker, DqProfile
 from repro.errors import GatewayError, ProtocolError, ReproError
 from repro.faults import FaultInjector, FaultyEndpoint
 from repro.obs import NULL_SPAN, Observability, configure_logging, get_logger
@@ -85,6 +86,8 @@ class _LoadJob:
     #: DML it was armed with at BEGIN_LOAD.
     eager: EagerApplyCoordinator | None = None
     eager_sql: str | None = None
+    #: data-quality prechecker (None when no ruleset matched the job).
+    dq: DqPrechecker | None = None
 
 
 @dataclass
@@ -140,6 +143,16 @@ class HyperQNode:
         #: pass-through) unless ``config.wlm_profile`` is set.
         self.wlm = WorkloadManager.from_config(
             self.config, self.credits, obs=self.obs)
+        #: declarative data-quality rulesets (repro.dq), resolved per
+        #: job against (target table, WLM pool).  Empty profile = the
+        #: precheck never runs.
+        self.dq_profile = DqProfile.from_profile(self.config.dq_profile)
+        #: recent per-job dq summaries + running totals (stats()["dq"],
+        #: consumed by the qinsight top-violated-rules report).
+        self._dq_jobs: list[dict] = []
+        self._dq_totals: dict = {
+            "jobs_checked": 0, "checked": 0, "routed_rows": 0,
+            "violations": {}}
         self.breakers = CircuitBreakerRegistry.from_config(
             self.config, obs=self.obs)
         self.loader = CloudBulkLoader(
@@ -187,9 +200,10 @@ class HyperQNode:
             exports = list(self._exports.values())
             self._exports.clear()
         for job in jobs:
-            job.pipeline.shutdown()
             if job.eager is not None:
                 job.eager.shutdown()
+                job.eager.join()
+            job.pipeline.shutdown()
             self.wlm.release(job.ticket)
         for export in exports:
             self.wlm.release(export.ticket)
@@ -258,12 +272,30 @@ class HyperQNode:
                     len(self.obs.trace_store.segments())
                     if self.obs.trace_store is not None else 0),
             },
+            "dq": self._dq_snapshot(),
             "slo": self.obs.slo.snapshot(),
             "flight": {
                 "enabled": self.obs.flight.enabled,
                 "jobs_recorded": len(self.obs.flight.jobs()),
                 "dump_dir": self.obs.flight.dump_dir,
             },
+        }
+
+    def _dq_snapshot(self) -> dict:
+        """stats()["dq"]: profile shape + totals + recent job summaries."""
+        with self._registry_lock:
+            totals = {
+                "jobs_checked": self._dq_totals["jobs_checked"],
+                "checked": self._dq_totals["checked"],
+                "routed_rows": self._dq_totals["routed_rows"],
+                "violations": dict(self._dq_totals["violations"]),
+            }
+            jobs = [dict(j) for j in self._dq_jobs]
+        return {
+            "enabled": self.dq_profile.enabled,
+            "rulesets": [rs.name for rs in self.dq_profile.rulesets],
+            **totals,
+            "jobs": jobs,
         }
 
     def render_prometheus(self) -> str:
@@ -477,9 +509,14 @@ class HyperQNode:
             with self._registry_lock:
                 stale = self._jobs.pop(job_id, None)
             if stale is not None:
-                stale.pipeline.shutdown()
+                # Eager first (see _abort_load_job): the applier must
+                # finish journaling any in-flight range before the
+                # pipeline teardown closes the journal — and before
+                # this restart seeds its watermark from it.
                 if stale.eager is not None:
                     stale.eager.shutdown()
+                    stale.eager.join()
+                stale.pipeline.shutdown()
                 stale.span.end("error")
                 self.wlm.release(stale.ticket)
                 self.obs.jobs_total.labels(event="restarted").inc()
@@ -498,6 +535,21 @@ class HyperQNode:
             journal = CheckpointJournal(
                 os.path.join(staging_dir, "checkpoint.jsonl"),
                 fresh=not resume)
+        # Per-pool/target rule resolution mirrors WLM classification:
+        # first matching ruleset in declaration order wins.
+        dq = None
+        ruleset = self.dq_profile.resolve(target=target, pool=pool)
+        if ruleset is not None:
+            try:
+                dq = DqPrechecker(
+                    ruleset=ruleset, engine=self.engine,
+                    staging_table=staging_table,
+                    et_table=meta["et_table"], target_table=target,
+                    layout=layout, seq_stride=self.config.seq_stride,
+                    journal=journal, obs=self.obs, job_id=job_id)
+            except ValueError as exc:
+                raise GatewayError(f"dq profile rejected: {exc}") from exc
+
         metrics = JobMetrics(job_id=job_id,
                              sessions=meta.get("sessions", 0),
                              pool=pool)
@@ -565,7 +617,7 @@ class HyperQNode:
                 staging_table=staging_table, metrics=metrics,
                 obs=self.obs, job_span=job_span, journal=journal,
                 faults=self.faults, retry=self.retry,
-                breakers=self.breakers, job_id=job_id)
+                breakers=self.breakers, job_id=job_id, dq=dq)
             relay.attach(eager.file_durable)
         job = _LoadJob(
             job_id=job_id, target=target,
@@ -574,7 +626,7 @@ class HyperQNode:
             staging_table=staging_table, staging_dir=staging_dir,
             pipeline=pipeline, metrics=metrics,
             span=job_span, ticket=ticket,
-            eager=eager, eager_sql=eager_sql,
+            eager=eager, eager_sql=eager_sql, dq=dq,
         )
         job.total_watch.start()
         self.obs.jobs_total.labels(event="started").inc()
@@ -615,10 +667,13 @@ class HyperQNode:
 
     def _create_error_tables(self, et_table: str, uv_table: str,
                              target: str) -> None:
+        # __RULE_ID/__REASON: shared provenance columns — dq-routed and
+        # split-routed rows land in one queryable schema (docs/DQ.md).
         self.engine.execute(
             f"CREATE TABLE IF NOT EXISTS {et_table} ("
             "SEQNO INT, ERRCODE INT, ERRFIELD NVARCHAR(128), "
-            "ERRMSG NVARCHAR(512))")
+            "ERRMSG NVARCHAR(512), __RULE_ID NVARCHAR(64), "
+            "__REASON NVARCHAR(256))")
         target_table = self.engine.table(target)
         uv_columns = ", ".join(
             f"{c.name} {c.ctype.render()}" for c in target_table.columns)
@@ -673,6 +728,17 @@ class HyperQNode:
         job.metrics.acquisition_s = job.acquisition_watch.elapsed
         job.metrics.sessions = max(
             job.metrics.sessions, len(job.sessions_seen))
+
+        # The dq precheck sits between acquisition and APPLY: one
+        # aggregated rule pass + violation routing, so Beta's split
+        # cascade only ever sees unexpected errors.  Its cost counts
+        # toward the application phase.
+        if job.dq is not None:
+            with job.application_watch:
+                job.dq.update_chunks(dict(job.pipeline.chunk_records))
+                job.dq.check_range(
+                    0, self._staging_seq_ceiling(job),
+                    parent_span=job.span)
 
         apply_span = self.obs.tracer.span(
             "apply", parent=job.span, job_id=job.job_id,
@@ -758,6 +824,27 @@ class HyperQNode:
         apply_span.end()
         self._record_apply_result(channel, job, summary)
 
+    def _staging_seq_ceiling(self, job: _LoadJob) -> int:
+        """Inclusive ``__SEQ`` upper bound covering every staged chunk."""
+        chunks = job.pipeline.chunk_records
+        return (1 + max(chunks, default=0)) * self.config.seq_stride - 1
+
+    def _note_dq_job(self, job: _LoadJob) -> None:
+        """Fold a finished job's dq summary into the node accumulator."""
+        summary = job.dq.summary()
+        summary["job_id"] = job.job_id
+        summary["target"] = job.target
+        with self._registry_lock:
+            totals = self._dq_totals
+            totals["jobs_checked"] += 1
+            totals["checked"] += summary["checked"]
+            totals["routed_rows"] += summary["routed_rows"]
+            for rule_id, count in summary["violations"].items():
+                totals["violations"][rule_id] = \
+                    totals["violations"].get(rule_id, 0) + count
+            self._dq_jobs.append(summary)
+            del self._dq_jobs[:-64]
+
     def _record_apply_result(self, channel: MessageChannel,
                              job: _LoadJob, summary) -> None:
         """Fold an ApplySummary into job metrics and answer the client."""
@@ -769,18 +856,29 @@ class HyperQNode:
         job.metrics.uv_errors = summary.uv_errors
         job.metrics.dml_statements = summary.statements
         job.metrics.chunk_retries = summary.splits
-        self.obs.flight.record(
-            job.job_id, "apply_finished",
-            rows_inserted=summary.rows_inserted,
-            et_errors=summary.et_errors, uv_errors=summary.uv_errors,
-            splits=summary.splits)
-        channel.send(Message(MessageKind.APPLY_RESULT, {
+        result_meta = {
             "rows_inserted": summary.rows_inserted,
             "rows_updated": summary.rows_updated,
             "rows_deleted": summary.rows_deleted,
             "et_errors": summary.et_errors,
             "uv_errors": summary.uv_errors,
-        }))
+        }
+        if job.dq is not None:
+            dq_summary = job.dq.summary()
+            job.metrics.dq_checked = dq_summary["checked"]
+            job.metrics.dq_violations = sum(
+                dq_summary["violations"].values())
+            job.metrics.dq_routed_rows = dq_summary["routed_rows"]
+            result_meta["dq_violations"] = job.metrics.dq_violations
+            result_meta["dq_routed_rows"] = job.metrics.dq_routed_rows
+            self._note_dq_job(job)
+        self.obs.flight.record(
+            job.job_id, "apply_finished",
+            rows_inserted=summary.rows_inserted,
+            et_errors=summary.et_errors, uv_errors=summary.uv_errors,
+            splits=summary.splits,
+            dq_routed=job.metrics.dq_routed_rows)
+        channel.send(Message(MessageKind.APPLY_RESULT, result_meta))
 
     def _abort_load_job(self, job: _LoadJob,
                         event: str = "aborted") -> None:
@@ -796,10 +894,24 @@ class HyperQNode:
         with self._registry_lock:
             if self._jobs.get(job.job_id) is not job:
                 return
-            self._jobs.pop(job.job_id)
-        job.pipeline.quiesce()
+        # Quiesce *before* unregistering: once the job leaves the
+        # registry a resume restart can no longer find (and join) it,
+        # so its applier must already be gone — an in-flight range that
+        # finished after the restart seeded its journal watermark would
+        # be double-applied.  The eager coordinator goes first: the
+        # pipeline teardown closes the shared checkpoint journal, and
+        # an applier that has run a range's DML must still be able to
+        # journal the new watermark.
         if job.eager is not None:
             job.eager.shutdown()
+            job.eager.join()
+        job.pipeline.quiesce()
+        with self._registry_lock:
+            if self._jobs.get(job.job_id) is not job:
+                # A resume restart replaced the job while we quiesced —
+                # it did its own takeover; nothing left to release.
+                return
+            self._jobs.pop(job.job_id)
         job.span.end("error")
         job.total_watch.stop()
         job.metrics.total_s = job.total_watch.elapsed

@@ -77,6 +77,11 @@ class JobMetrics:
     dml_statements: int = 0
     chunk_retries: int = 0
 
+    # -- data-quality precheck (repro.dq) --
+    dq_checked: int = 0
+    dq_violations: int = 0
+    dq_routed_rows: int = 0
+
     # -- back-pressure --
     credit_waits: int = 0
     credit_wait_s: float = 0.0
@@ -123,6 +128,9 @@ class JobMetrics:
             "uv_errors": self.uv_errors,
             "dml_statements": self.dml_statements,
             "chunk_retries": self.chunk_retries,
+            "dq_checked": self.dq_checked,
+            "dq_violations": self.dq_violations,
+            "dq_routed_rows": self.dq_routed_rows,
             "credit_waits": self.credit_waits,
             "credit_wait_s": round(self.credit_wait_s, 4),
         }

@@ -1,0 +1,121 @@
+"""A pure-Python per-row oracle for the compiled SQL precheck.
+
+Used by the differential suite (``tests/dq/test_rule_oracle.py``): the
+oracle evaluates a ruleset tuple-at-a-time with the exact NULL and
+first-occurrence-wins semantics documented in :mod:`repro.dq.rules`,
+so compiled-SQL verdicts can be checked for *exact* agreement on both
+``{rule_id: failed_count}`` and the set of routed ``__SEQ``\\ s.
+
+Rows are mappings of staging column name → Python value (SQL NULL is
+``None``) keyed by their ``__SEQ``.  ``sql``-kind rules are evaluated
+through caller-supplied predicate callables (``row → bool | None``),
+since re-implementing the SQL expression evaluator here would defeat
+the point of a differential test.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dq.rules import DqRule
+
+__all__ = ["OracleVerdict", "evaluate"]
+
+
+class OracleVerdict:
+    """Counts + routing assignment the compiled pass must reproduce."""
+
+    __slots__ = ("counts", "assigned")
+
+    def __init__(self, counts: "dict[str, int]",
+                 assigned: "dict[int, str]"):
+        #: {rule_id: failed_count} — every rule each row breaks.
+        self.counts = counts
+        #: {seq: rule_id} — first violating rule in profile order.
+        self.assigned = assigned
+
+    @property
+    def routed_seqs(self) -> "set[int]":
+        return set(self.assigned)
+
+
+def _violates(rule: DqRule, row: dict, parents: "set | None",
+              predicate) -> bool:
+    """Per-row verdict for every kind except ``unique``."""
+    if rule.kind == "not_null":
+        return row[rule.column] is None
+    value = row.get(rule.column) if rule.column else None
+    if rule.kind == "range":
+        if value is None:
+            return False
+        if rule.min is not None and value < rule.min:
+            return True
+        return rule.max is not None and value > rule.max
+    if rule.kind == "regex":
+        if value is None:
+            return False
+        return re.search(rule.pattern, str(value)) is None
+    if rule.kind == "in_set":
+        if value is None:
+            return False
+        return value not in rule.values
+    if rule.kind == "referential":
+        if value is None:
+            return False
+        return value not in parents
+    # sql: NULL (None) predicates count as violations
+    return predicate(row) is not True
+
+
+def evaluate(ruleset, rows: "dict[int, dict]",
+             parent_values: "dict[str, set] | None" = None,
+             predicates: "dict[str, callable] | None" = None
+             ) -> OracleVerdict:
+    """Evaluate ``ruleset`` over the rows, ``__SEQ`` order.
+
+    Mirrors the compiled precheck's two-stage cascade: every non-unique
+    rule judges rows independently; ``unique`` rules then walk seqs in
+    order and only let a *surviving* (not already doomed) row claim a
+    key — a duplicate of a routed row is not a violation, exactly as
+    the target's uniqueness constraint would decide after the routed
+    row failed application.
+
+    ``parent_values`` maps ``referential`` rule_ids to the set of
+    valid parent-key values; ``predicates`` maps ``sql`` rule_ids to
+    ``row → bool | None`` callables.
+    """
+    parent_values = parent_values or {}
+    predicates = predicates or {}
+    violators: "dict[str, set[int]]" = {
+        rule.rule_id: set() for rule in ruleset.rules}
+    doomed: "set[int]" = set()
+    for rule in ruleset.rules:
+        if rule.kind == "unique":
+            continue
+        hits = violators[rule.rule_id]
+        for seq in sorted(rows):
+            if _violates(rule, rows[seq],
+                         parent_values.get(rule.rule_id),
+                         predicates.get(rule.rule_id)):
+                hits.add(seq)
+        doomed |= hits
+    for rule in ruleset.rules:
+        if rule.kind != "unique":
+            continue
+        hits = violators[rule.rule_id]
+        taken: "set[tuple]" = set()
+        for seq in sorted(rows):
+            key = tuple(rows[seq][c] for c in rule.key_columns)
+            if any(v is None for v in key) or seq in doomed:
+                continue
+            if key in taken:
+                hits.add(seq)
+                doomed.add(seq)
+            else:
+                taken.add(key)
+    counts = {rule_id: len(hits) for rule_id, hits in violators.items()}
+    assigned: "dict[int, str]" = {}
+    for rule in ruleset.rules:
+        for seq in violators[rule.rule_id]:
+            assigned.setdefault(seq, rule.rule_id)
+    return OracleVerdict(counts, assigned)

@@ -1,0 +1,164 @@
+"""Declarative data-quality rules.
+
+Each :class:`DqRule` names one check over the *staging* columns of a
+load job — the legacy layout's field names, exactly as the rewritten
+DML sees them.  Seven kinds are supported:
+
+========== ===========================================================
+kind       violation
+========== ===========================================================
+not_null   ``column`` is SQL NULL
+range      ``column`` is below ``min`` or above ``max`` (either bound
+           may be omitted); NULL is *not* a range violation
+regex      ``column`` does not match ``pattern`` (``re.search``
+           semantics); NULL is exempt
+in_set     ``column`` is not one of ``values``; NULL is exempt
+unique     the row's key (``column`` or composite ``columns``) already
+           occurred at a lower ``__SEQ`` in a *surviving* row; rows
+           with any NULL key column are exempt.  The first surviving
+           occurrence wins — rows routed by other rules (or already
+           deleted) never claim a key
+referential ``column`` has no matching value in
+           ``parent_table.parent_column``; NULL is exempt
+sql        the raw ``predicate`` (a CDW-dialect boolean expression
+           over the staging columns) is not TRUE — NULL predicates
+           count as violations
+========== ===========================================================
+
+The NULL conventions mirror SQL constraint semantics: only
+``not_null`` rejects NULLs, every other per-column rule treats NULL as
+"no opinion" so one missing value is reported once, not once per rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["DqRule", "RULE_KINDS", "PER_ROW_KINDS", "SET_KINDS"]
+
+#: every rule kind the compiler understands.
+RULE_KINDS = ("not_null", "range", "regex", "in_set", "unique",
+              "referential", "sql")
+#: kinds compiled into the single aggregated SUM(CASE …) pass.
+PER_ROW_KINDS = ("not_null", "range", "regex", "in_set", "sql")
+#: kinds needing a cross-row pass (grouping / set difference).
+SET_KINDS = ("unique", "referential")
+
+
+@dataclass(frozen=True)
+class DqRule:
+    """One declarative rule; validated eagerly at profile load."""
+
+    rule_id: str
+    kind: str
+    column: str | None = None
+    #: composite key for ``unique`` (takes precedence over ``column``).
+    columns: tuple[str, ...] = ()
+    min: "object" = None
+    max: "object" = None
+    pattern: str | None = None
+    values: tuple = ()
+    parent_table: str | None = None
+    parent_column: str | None = None
+    predicate: str | None = None
+
+    def __post_init__(self):
+        """Validate the rule's shape for its declared kind."""
+        if not self.rule_id or not str(self.rule_id).strip():
+            raise ValueError("dq rule needs a non-empty rule_id")
+        if self.kind not in RULE_KINDS:
+            raise ValueError(
+                f"dq rule {self.rule_id}: unknown kind {self.kind!r} "
+                f"(known: {', '.join(RULE_KINDS)})")
+        needs_column = self.kind in ("not_null", "range", "regex",
+                                     "in_set", "referential")
+        if needs_column and not self.column:
+            raise ValueError(
+                f"dq rule {self.rule_id} ({self.kind}) needs a column")
+        if self.kind == "range" and self.min is None and self.max is None:
+            raise ValueError(
+                f"dq rule {self.rule_id} (range) needs min and/or max")
+        if self.kind == "regex":
+            if not self.pattern:
+                raise ValueError(
+                    f"dq rule {self.rule_id} (regex) needs a pattern")
+            try:
+                re.compile(self.pattern)
+            except re.error as exc:
+                raise ValueError(
+                    f"dq rule {self.rule_id}: bad regex pattern "
+                    f"{self.pattern!r}: {exc}") from exc
+        if self.kind == "in_set" and not self.values:
+            raise ValueError(
+                f"dq rule {self.rule_id} (in_set) needs values")
+        if self.kind == "unique" and not (self.columns or self.column):
+            raise ValueError(
+                f"dq rule {self.rule_id} (unique) needs column(s)")
+        if self.kind == "referential" and not (
+                self.parent_table and self.parent_column):
+            raise ValueError(
+                f"dq rule {self.rule_id} (referential) needs "
+                f"parent_table and parent_column")
+        if self.kind == "sql" and not self.predicate:
+            raise ValueError(
+                f"dq rule {self.rule_id} (sql) needs a predicate")
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        """The uniqueness key (composite ``columns`` or the single one)."""
+        return self.columns if self.columns else (self.column,)
+
+    @property
+    def referenced_columns(self) -> tuple[str, ...]:
+        """Every staging column the rule reads (empty for ``sql``)."""
+        if self.kind == "unique":
+            return self.key_columns
+        if self.column:
+            return (self.column,)
+        return ()
+
+    def reason(self) -> str:
+        """The static ``__REASON`` text routed rows carry."""
+        if self.kind == "not_null":
+            return f"NULL in required column {self.column}"
+        if self.kind == "range":
+            lo = "-inf" if self.min is None else repr(self.min)
+            hi = "+inf" if self.max is None else repr(self.max)
+            return f"{self.column} outside [{lo}, {hi}]"
+        if self.kind == "regex":
+            return f"{self.column} does not match /{self.pattern}/"
+        if self.kind == "in_set":
+            return f"{self.column} not in allowed set"
+        if self.kind == "unique":
+            return f"duplicate key ({', '.join(self.key_columns)})"
+        if self.kind == "referential":
+            return (f"{self.column} has no match in "
+                    f"{self.parent_table}.{self.parent_column}")
+        return f"predicate not satisfied: {self.predicate}"[:200]
+
+    # -- construction ------------------------------------------------------
+
+    _KNOWN_KEYS = frozenset((
+        "rule_id", "kind", "column", "columns", "min", "max",
+        "pattern", "values", "parent_table", "parent_column",
+        "predicate"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DqRule":
+        """Build a rule from one profile-JSON object."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"dq rule must be an object, got "
+                             f"{type(payload).__name__}")
+        unknown = set(payload) - cls._KNOWN_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown dq-rule keys: {', '.join(sorted(unknown))}")
+        kwargs = dict(payload)
+        if "columns" in kwargs:
+            kwargs["columns"] = tuple(kwargs["columns"])
+        if "values" in kwargs:
+            kwargs["values"] = tuple(kwargs["values"])
+        return cls(**kwargs)

@@ -245,6 +245,9 @@ class PermanentFault(FaultInjected):
 HYPERQ_CONVERSION_ERROR = 3103
 #: Hyper-Q error-table code: uniqueness violation detected during DML.
 HYPERQ_UNIQUENESS_ERROR = 3805
+#: Hyper-Q error-table code: declarative data-quality rule violated
+#: during the pre-APPLY check (see :mod:`repro.dq` and docs/DQ.md).
+HYPERQ_DQ_VIOLATION = 3807
 #: Hyper-Q error-table code: max_errors budget exhausted (Figure 6).
 HYPERQ_MAX_ERRORS_REACHED = 9057
 #: Hyper-Q protocol code: job throttled by workload management (see

@@ -172,6 +172,17 @@ class Observability:
             "hyperq_scan_pruned_rows_total",
             "Staging rows skipped by __SEQ zone-map range pruning")
 
+        # -- data-quality precheck (repro.dq) --
+        self.dq_checked = reg.counter(
+            "hyperq_dq_checked_total",
+            "Staging rows scanned by the dq precheck")
+        self.dq_violations = reg.counter(
+            "hyperq_dq_violations_total",
+            "Rule violations detected by the dq precheck", ("rule",))
+        self.dq_routed_rows = reg.counter(
+            "hyperq_dq_routed_rows_total",
+            "Staging rows routed to the error table before APPLY")
+
         # -- compiled codecs / prepared plans --
         self.plan_cache_hits = reg.counter(
             "hyperq_plan_cache_hits_total",

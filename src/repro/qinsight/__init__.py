@@ -7,10 +7,16 @@ package provides that upfront analysis for a corpus of legacy job
 scripts: every statement is run through the cross compiler, failures are
 classified by construct, and a coverage report says what fraction of the
 workload virtualizes out of the box.
+
+:mod:`repro.qinsight.dqreport` extends the same review posture to data
+quality: it renders a node's ``stats()["dq"]`` precheck snapshot as a
+fleet report with the top violated rules per job.
 """
 
 from repro.qinsight.analyzer import (
     StatementFinding, WorkloadAnalyzer, WorkloadReport,
 )
+from repro.qinsight.dqreport import render_dq_report, top_violated_rules
 
-__all__ = ["StatementFinding", "WorkloadAnalyzer", "WorkloadReport"]
+__all__ = ["StatementFinding", "WorkloadAnalyzer", "WorkloadReport",
+           "render_dq_report", "top_violated_rules"]

@@ -1,0 +1,56 @@
+"""Data-quality insight over a node's precheck verdicts.
+
+Consumes the ``stats()["dq"]`` snapshot a Hyper-Q node accumulates while
+running declarative prechecks (see :mod:`repro.dq`) and renders a
+migration-review style report: fleet totals, the violation histogram
+across every rule, and the top violated rules per job — the dq
+counterpart of the translatability report in
+:mod:`repro.qinsight.analyzer`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["top_violated_rules", "render_dq_report"]
+
+
+def top_violated_rules(job: dict, limit: int = 3) -> list[tuple[str, int]]:
+    """The job's most-violated rules as ``(rule_id, count)`` pairs.
+
+    ``job`` is one entry of ``stats()["dq"]["jobs"]``.  Ties break
+    alphabetically so the report is deterministic.
+    """
+    violations = job.get("violations", {})
+    ranked = sorted(violations.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:max(limit, 0)]
+
+
+def render_dq_report(snapshot: dict, limit: int = 3) -> str:
+    """Human-readable dq report from a ``stats()["dq"]`` snapshot."""
+    lines = ["qInsight data-quality report", "=" * 40]
+    rulesets = ", ".join(snapshot.get("rulesets", ())) or "-"
+    lines.append(f"rulesets            : {rulesets}")
+    lines.append(f"jobs prechecked     : {snapshot.get('jobs_checked', 0)}")
+    lines.append(f"rows checked        : {snapshot.get('checked', 0)}")
+    lines.append(f"rows routed to ET   : {snapshot.get('routed_rows', 0)}")
+    violations = snapshot.get("violations", {})
+    if violations:
+        lines.append("")
+        lines.append("violations by rule:")
+        width = max(len(rule) for rule in violations)
+        for rule, count in sorted(violations.items(),
+                                  key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {count:6d}  {rule.ljust(width)}")
+    jobs = snapshot.get("jobs", ())
+    if jobs:
+        lines.append("")
+        lines.append("top violated rules per job:")
+        for job in jobs:
+            top = ", ".join(f"{rule}={count}" for rule, count
+                            in top_violated_rules(job, limit))
+            lines.append(
+                f"  [{job.get('job_id', '?')}] {job.get('target', '?')} "
+                f"(ruleset {job.get('ruleset', '?')}): "
+                f"checked={job.get('checked', 0)} "
+                f"routed={job.get('routed_rows', 0)}"
+                + (f" -> {top}" if top else " -> clean"))
+    return "\n".join(lines) + "\n"

@@ -53,6 +53,9 @@ class CheckpointJournal:
         #: highest chunk seq below which every staged row has been
         #: eagerly applied (None = eager apply never ran).
         self.eager_applied_below: int | None = None
+        #: staging ``__SEQ``\ s the dq precheck already routed to the
+        #: error table — resume re-deletes but never re-records them.
+        self.dq_routed: set[int] = set()
         #: how many records were replayed from an existing journal.
         self.replayed = 0
         if fresh and os.path.exists(path):
@@ -97,6 +100,8 @@ class CheckpointJournal:
             self.eager_copied[record["blob"]] = record["rows"]
         elif kind == "eager_apply":
             self.eager_applied_below = record["below_chunk"]
+        elif kind == "dq_route":
+            self.dq_routed.update(record["seqs"])
         # unknown record types are skipped: forward compatibility
 
     # -- appends ----------------------------------------------------------------
@@ -141,6 +146,11 @@ class CheckpointJournal:
     def record_eager_apply(self, below_chunk: int) -> None:
         """Gateway side: every chunk seq below ``below_chunk`` applied."""
         self._append({"t": "eager_apply", "below_chunk": below_chunk})
+
+    def record_dq_route(self, seqs) -> None:
+        """Gateway side: the dq precheck routed these staging seqs to
+        the error table and deleted them from staging."""
+        self._append({"t": "dq_route", "seqs": sorted(seqs)})
 
     # -- resume queries ----------------------------------------------------------
 

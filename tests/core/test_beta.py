@@ -27,7 +27,8 @@ def make_rig(native_unique=True, config=None):
     engine.execute("CREATE TABLE STG (K NVARCHAR, V NVARCHAR, "
                    "D NVARCHAR, __SEQ BIGINT)")
     engine.execute("CREATE TABLE ET (SEQNO INT, ERRCODE INT, "
-                   "ERRFIELD NVARCHAR(128), ERRMSG NVARCHAR(512))")
+                   "ERRFIELD NVARCHAR(128), ERRMSG NVARCHAR(512), "
+                   "__RULE_ID NVARCHAR(64), __REASON NVARCHAR(256))")
     engine.execute("CREATE TABLE UV (K NVARCHAR(10), V NVARCHAR(10), "
                    "D DATE, SEQNO INT, ERRCODE INT)")
     beta = Beta(engine, config or HyperQConfig())

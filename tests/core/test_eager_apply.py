@@ -10,6 +10,7 @@ The only observable differences are timing: a recorded
 
 import json
 import os
+import time
 
 import pytest
 
@@ -167,9 +168,22 @@ class TestEagerResume:
             # Unlike the two-phase restart, run 1 may already have
             # applied a prefix into R before dying — those rows stay
             # (the engine survives) and the journal's watermark keeps
-            # the resumed run from re-applying them.
+            # the resumed run from re-applying them.  The gateway's
+            # applier outlives the client transport briefly, so wait
+            # for the background apply to quiesce before snapshotting.
             applied_in_run1 = stack.engine.query(
                 "SELECT COUNT(*) FROM R")[0][0]
+            deadline = time.monotonic() + 10.0
+            stable_since = time.monotonic()
+            while time.monotonic() < deadline:
+                time.sleep(0.05)
+                count = stack.engine.query(
+                    "SELECT COUNT(*) FROM R")[0][0]
+                if count != applied_in_run1:
+                    applied_in_run1 = count
+                    stable_since = time.monotonic()
+                elif time.monotonic() - stable_since >= 0.5:
+                    break
             result = client.run_import(ImportJobSpec(
                 **spec_kwargs, resume=True))
             client.logoff()

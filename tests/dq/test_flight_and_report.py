@@ -1,0 +1,78 @@
+"""Flight-recorder events and the qInsight dq report."""
+
+from repro.bench.harness import build_stack, run_workload_through_hyperq
+from repro.core.config import HyperQConfig
+from repro.qinsight import render_dq_report, top_violated_rules
+from repro.workloads.generator import dirty_workload
+
+
+def run_dirty_stack():
+    dirty = dirty_workload(500, violation_rate=0.04, seed=19)
+    config = HyperQConfig(dq_profile=dirty.dq_rules)
+    stack = build_stack(config=config)
+    for sql in dirty.setup_sql:
+        stack.engine.execute(sql)
+    metrics = run_workload_through_hyperq(stack, dirty.workload)
+    return stack, dirty, metrics
+
+
+class TestFlightEvents:
+    def test_precheck_verdicts_reach_flight_bundles(self):
+        stack, dirty, metrics = run_dirty_stack()
+        try:
+            flight = stack.node.obs.flight
+            events = [e for e in flight.events(metrics.job_id)
+                      if e["event"] == "dq_precheck"]
+            assert events, "routing must leave a dq_precheck event"
+            total_routed = sum(e["routed"] for e in events)
+            assert total_routed == metrics.dq_routed_rows
+            assert all(e["ruleset"] == "default" for e in events)
+            assert all(e["rules"] for e in events)
+
+            # post-mortem bundles carry the same verdicts
+            bundle = flight.bundle(metrics.job_id, reason="test")
+            bundled = [e for e in bundle["events"]
+                       if e["event"] == "dq_precheck"]
+            assert bundled == events
+        finally:
+            stack.close()
+
+    def test_clean_precheck_stays_silent(self):
+        dirty = dirty_workload(200, violation_rate=0.0)
+        config = HyperQConfig(dq_profile=dirty.dq_rules)
+        with build_stack(config=config) as stack:
+            for sql in dirty.setup_sql:
+                stack.engine.execute(sql)
+            metrics = run_workload_through_hyperq(stack, dirty.workload)
+            events = stack.node.obs.flight.events(metrics.job_id)
+            assert not [e for e in events if e["event"] == "dq_precheck"]
+
+
+class TestDqReport:
+    def test_top_violated_rules_ranks_and_breaks_ties(self):
+        job = {"violations": {"b": 3, "a": 3, "c": 9, "d": 1}}
+        assert top_violated_rules(job) == [("c", 9), ("a", 3), ("b", 3)]
+        assert top_violated_rules(job, limit=1) == [("c", 9)]
+        assert top_violated_rules({}, limit=2) == []
+
+    def test_report_renders_live_snapshot(self):
+        stack, dirty, metrics = run_dirty_stack()
+        try:
+            report = render_dq_report(stack.node.stats()["dq"])
+        finally:
+            stack.close()
+        assert "qInsight data-quality report" in report
+        assert f"rows routed to ET   : {metrics.dq_routed_rows}" in report
+        assert dirty.workload.target_table in report
+        assert metrics.job_id in report
+        # every violated rule shows up in the histogram
+        for rule_id, rownums in dirty.manifest.items():
+            if rownums:
+                assert rule_id in report
+
+    def test_report_handles_disabled_profile(self):
+        report = render_dq_report(
+            {"enabled": False, "rulesets": [], "jobs_checked": 0,
+             "checked": 0, "routed_rows": 0, "violations": {},
+             "jobs": []})
+        assert "jobs prechecked     : 0" in report

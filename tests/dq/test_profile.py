@@ -1,0 +1,128 @@
+"""Unit tests for the dq rule model and profile loader."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.dq import DqProfile, DqRule
+from repro.dq.profile import DqRuleSet
+
+
+def test_package_imports_standalone():
+    """``import repro.dq`` must not need the gateway package first
+    (guards the dq -> core -> gateway -> dq import cycle)."""
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "import repro.dq; from repro.core.beta import SEQ_COLUMN; "
+         "from repro.dq.compiler import SEQ_COLUMN as DQ_SEQ; "
+         "assert SEQ_COLUMN == DQ_SEQ"],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+
+
+class TestRuleValidation:
+    def test_every_kind_constructs(self):
+        DqRule(rule_id="a", kind="not_null", column="C")
+        DqRule(rule_id="b", kind="range", column="C", min="0")
+        DqRule(rule_id="c", kind="regex", column="C", pattern="^x$")
+        DqRule(rule_id="d", kind="in_set", column="C", values=("x",))
+        DqRule(rule_id="e", kind="unique", columns=("C", "D"))
+        DqRule(rule_id="f", kind="referential", column="C",
+               parent_table="P", parent_column="K")
+        DqRule(rule_id="g", kind="sql", predicate="C > 0")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            DqRule(rule_id="x", kind="phase_of_moon", column="C")
+
+    def test_missing_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="not_null")          # no column
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="range", column="C")  # no bound
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="regex", column="C")  # no pattern
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="in_set", column="C")  # no values
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="unique")             # no key
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="referential", column="C")
+        with pytest.raises(ValueError):
+            DqRule(rule_id="x", kind="sql")                # no predicate
+        with pytest.raises(ValueError):
+            DqRule(rule_id="", kind="not_null", column="C")
+
+    def test_bad_regex_rejected_at_load(self):
+        with pytest.raises(ValueError, match="regex"):
+            DqRule(rule_id="x", kind="regex", column="C", pattern="[")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            DqRule.from_dict({"rule_id": "x", "kind": "not_null",
+                              "column": "C", "colour": "red"})
+
+    def test_reason_is_rule_specific(self):
+        rule = DqRule(rule_id="x", kind="range", column="AMT",
+                      min="0", max="9")
+        assert "AMT" in rule.reason()
+        dup = DqRule(rule_id="y", kind="unique", columns=("A", "B"))
+        assert "A, B" in dup.reason()
+
+
+class TestProfile:
+    def test_bare_rule_list_becomes_catch_all(self):
+        profile = DqProfile.from_profile([
+            {"rule_id": "a", "kind": "not_null", "column": "C"}])
+        assert profile.enabled
+        ruleset = profile.resolve(target="ANY.TABLE", pool="p")
+        assert ruleset is not None
+        assert [r.rule_id for r in ruleset.rules] == ["a"]
+
+    def test_none_profile_disabled(self):
+        profile = DqProfile.from_profile(None)
+        assert not profile.enabled
+        assert profile.resolve(target="T") is None
+
+    def test_first_matching_ruleset_wins(self):
+        profile = DqProfile.from_profile({"rulesets": [
+            {"name": "prod", "match": {"target": "PROD.*"},
+             "rules": [{"rule_id": "a", "kind": "not_null",
+                        "column": "C"}]},
+            {"name": "all", "rules": [
+                {"rule_id": "b", "kind": "not_null", "column": "C"}]},
+        ]})
+        assert profile.resolve(target="PROD.FACT").name == "prod"
+        assert profile.resolve(target="STAGE.X").name == "all"
+
+    def test_empty_ruleset_is_an_exemption(self):
+        profile = DqProfile.from_profile({"rulesets": [
+            {"name": "exempt", "match": {"target": "STAGE.*"},
+             "rules": []},
+            {"name": "all", "rules": [
+                {"rule_id": "a", "kind": "not_null", "column": "C"}]},
+        ]})
+        assert profile.resolve(target="STAGE.TMP") is None
+        assert profile.resolve(target="PROD.F").name == "all"
+
+    def test_pool_matching(self):
+        ruleset = DqRuleSet(name="etl", match={"pool": "etl*"})
+        assert ruleset.matches({"pool": "etl-batch"})
+        assert not ruleset.matches({"pool": "interactive"})
+        assert not ruleset.matches({})
+
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DqProfile.from_profile([
+                {"rule_id": "a", "kind": "not_null", "column": "C"},
+                {"rule_id": "a", "kind": "not_null", "column": "D"}])
+
+    def test_unknown_profile_keys_rejected(self):
+        with pytest.raises(ValueError):
+            DqProfile.from_profile({"ruleset": []})
+        with pytest.raises(ValueError):
+            DqProfile.from_profile({"rulesets": [
+                {"name": "x", "match": {"tenant": "t"}, "rules": []}]})
+        with pytest.raises(ValueError, match="rule list"):
+            DqProfile.from_profile("not-a-profile")
