@@ -1,0 +1,162 @@
+"""Columnar storage + vectorized execution A/B (PR 8).
+
+Four measurements against the retained row-of-tuples fallback
+(``HyperQConfig.columnar=False`` / ``CdwEngine(columnar=False)``),
+written together into ``BENCH_columnar.json``:
+
+1. full-table scan and aggregate microbench — gated at >= 2x;
+2. COPY INTO of staged CSV bytes — gated at >= 1.3x;
+3. the Figure 7 import job end to end (single session, so the
+   measurement is the pipeline and not thread-scheduling noise) —
+   gated at >= 1.3x on the median of alternating pairs;
+4. resident table memory after loading the Figure 7 4x-scale dataset
+   (tracemalloc) — gated at >= 30% lower in columnar mode.
+
+The paper's premise is that the virtualized CDW must absorb legacy ETL
+at competitive cost; the storage layout is where the reproduction's
+interpreter overhead lived, so this file is the PR's headline gate.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+import tracemalloc
+
+from conftest import bench_json, emit, scaled
+
+from repro.bench.harness import run_import_workload
+from repro.cdw import stagefile
+from repro.cdw.cloudstore import CloudStore
+from repro.cdw.engine import CdwEngine
+from repro.core.config import HyperQConfig
+from repro.workloads.generator import make_workload
+
+MICRO_ROWS = scaled(60_000)
+FIG7_ROWS = scaled(50_000)          # the Figure 7 4x point
+
+
+def _micro_engine(columnar: bool, rows: int) -> CdwEngine:
+    engine = CdwEngine(store=CloudStore(), columnar=columnar)
+    engine.execute(
+        "CREATE TABLE T (ID INT, GRP INT, AMT DOUBLE, "
+        "NAME NVARCHAR(40), __SEQ BIGINT)")
+    rng = random.Random(20230807)
+    engine.table("T").append_rows([
+        (i, rng.randrange(0, 100), round(rng.uniform(0, 1000), 2),
+         f"name{i % 997}", i)
+        for i in range(rows)])
+    return engine
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _copy_engine(columnar: bool, data: bytes) -> CdwEngine:
+    engine = CdwEngine(store=CloudStore(), columnar=columnar)
+    engine.store.create_container("stage")
+    engine.store.put_blob("stage", "j/p0.csv.gz", data)
+    engine.execute(
+        "CREATE TABLE C (ID INT, GRP INT, AMT DOUBLE, "
+        "NAME NVARCHAR(40))")
+    return engine
+
+
+def _fig7_job(columnar: bool) -> float:
+    workload = make_workload(rows=FIG7_ROWS, row_bytes=500, seed=74)
+    metrics = run_import_workload(
+        workload,
+        config=HyperQConfig(converters=1, filewriters=1, credits=32,
+                            columnar=columnar),
+        sessions=1, chunk_bytes=1 << 20)
+    return metrics.total_s
+
+
+def test_columnar_ab(results_dir):
+    # -- 1. scan / aggregate microbench --------------------------------------
+    engines = {mode: _micro_engine(mode, MICRO_ROWS)
+               for mode in (True, False)}
+    scan_sql = "SELECT ID, NAME FROM T WHERE AMT > 500 AND GRP < 50"
+    agg_sql = "SELECT GRP, COUNT(*), SUM(AMT) FROM T GROUP BY GRP"
+    micro = {}
+    for label, sql in (("scan", scan_sql), ("aggregate", agg_sql)):
+        col_t = _best_of(lambda: engines[True].query(sql))
+        row_t = _best_of(lambda: engines[False].query(sql))
+        assert engines[True].query(sql) == engines[False].query(sql)
+        micro[label] = {"columnar_s": round(col_t, 4),
+                        "row_s": round(row_t, 4),
+                        "speedup": round(row_t / col_t, 2)}
+
+    # -- 2. COPY INTO staged bytes -------------------------------------------
+    rng = random.Random(7)
+    staged = stagefile.compress(stagefile.encode_csv_rows([
+        (i, rng.randrange(0, 100), round(rng.uniform(0, 1000), 2),
+         f"name{i % 997}")
+        for i in range(MICRO_ROWS)]))
+    copy = {}
+    for mode in (True, False):
+        engine = _copy_engine(mode, staged)
+        start = time.perf_counter()
+        engine.execute("COPY INTO C FROM 'store://stage/j/' FORMAT csv")
+        copy["columnar_s" if mode else "row_s"] = round(
+            time.perf_counter() - start, 4)
+        assert engine.query("SELECT COUNT(*) FROM C") == [(MICRO_ROWS,)]
+    copy["speedup"] = round(copy["row_s"] / copy["columnar_s"], 2)
+
+    # -- 3. Figure 7 import job end to end -----------------------------------
+    _fig7_job(True)                                 # warm both pipelines
+    _fig7_job(False)
+    col_runs, row_runs = [], []
+    for _ in range(3):                              # alternating pairs
+        col_runs.append(_fig7_job(True))
+        row_runs.append(_fig7_job(False))
+    e2e = {
+        "rows": FIG7_ROWS,
+        "columnar_s": [round(t, 3) for t in col_runs],
+        "row_s": [round(t, 3) for t in row_runs],
+        "median_speedup": round(
+            statistics.median(row_runs) / statistics.median(col_runs),
+            2),
+    }
+
+    # -- 4. resident table memory at the Fig 7 4x scale ----------------------
+    memory = {}
+    for mode in (True, False):
+        tracemalloc.start()
+        engine = _copy_engine(mode, staged)
+        engine.execute("COPY INTO C FROM 'store://stage/j/' FORMAT csv")
+        resident, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        key = "columnar" if mode else "row"
+        memory[f"{key}_resident_bytes"] = resident
+        memory[f"{key}_table_bytes"] = \
+            engine.table("C").storage_info()["bytes"]
+    memory["resident_reduction_%"] = round(
+        100 * (1 - memory["columnar_resident_bytes"]
+               / memory["row_resident_bytes"]), 1)
+
+    payload = {"rows": MICRO_ROWS, "micro": micro, "copy": copy,
+               "fig7_e2e": e2e, "memory": memory}
+    bench_json("columnar", payload)
+    emit(results_dir, "columnar_ab", "\n".join([
+        "Columnar vs row-fallback A/B",
+        f"  scan       {micro['scan']['speedup']}x",
+        f"  aggregate  {micro['aggregate']['speedup']}x",
+        f"  copy       {copy['speedup']}x",
+        f"  fig7 e2e   {e2e['median_speedup']}x (median of 3 pairs)",
+        f"  resident memory  -{memory['resident_reduction_%']}%",
+    ]))
+
+    # -- gates ---------------------------------------------------------------
+    assert micro["scan"]["speedup"] >= 2.0, micro
+    assert micro["aggregate"]["speedup"] >= 2.0, micro
+    assert copy["speedup"] >= 1.3, copy
+    assert e2e["median_speedup"] >= 1.3, e2e
+    assert memory["resident_reduction_%"] >= 30.0, memory

@@ -31,13 +31,16 @@ from decimal import Decimal
 from repro import values
 from repro.cdw import stagefile
 from repro.cdw.cloudstore import CloudStore
-from repro.cdw.expressions import (_Evaluator, RowContext, compile_expr,
-                                   evaluate, is_true, prepare_layout)
+from repro.cdw.expressions import (_Evaluator, ColumnBatch, GatherBatch,
+                                   RowContext, compile_expr, compile_vector,
+                                   evaluate, is_true, prepare_layout,
+                                   vec_values)
 from repro.cdw.locks import LockManager
 from repro.cdw.table import Catalog, CdwTable, ColumnSpec
 from repro.cdw.types import cdw_type_from_node
 from repro.errors import (
     BulkExecutionError, CatalogError, CdwError, ExpressionError,
+    SqlTranslationError,
 )
 from repro.plancache import PlanCache
 from repro.sqlxc import nodes as n
@@ -89,7 +92,8 @@ class CdwEngine:
     def __init__(self, store: CloudStore | None = None,
                  native_unique: bool = True,
                  parse_cache_size: int = 256,
-                 zone_map_pruning: bool = True):
+                 zone_map_pruning: bool = True,
+                 columnar: bool = True):
         self.catalog = Catalog()
         self.store = store
         self.native_unique = native_unique
@@ -102,6 +106,11 @@ class CdwEngine:
         #: slice BETWEEN scans over zone-mapped tables via binary search
         #: (False keeps the full-scan path, for A/B benchmarking).
         self.zone_map_pruning = zone_map_pruning
+        #: store tables as typed column vectors and execute SELECT /
+        #: INSERT..SELECT / COPY / plain DELETE over column batches.
+        #: False keeps row-of-tuples storage and the per-row interpreter
+        #: everywhere — the behavioural oracle for differential tests.
+        self.columnar = columnar
         #: parsed-statement cache for SQL text handed to execute():
         #: repeated statement texts (staging DDL probes, prepared error
         #: INSERT shapes, bench workloads) skip the parser entirely.
@@ -184,6 +193,11 @@ class CdwEngine:
         """Look up a table object in the catalog."""
         return self.catalog.get(name)
 
+    def storage_snapshot(self) -> dict:
+        """Per-table physical storage: ``{name: {rows, bytes, mode}}``."""
+        return {table.name: table.storage_info()
+                for table in self.catalog.tables.values()}
+
     # -- DDL ---------------------------------------------------------------------
 
     def _exec_CreateTable(self, stmt: n.CreateTable) -> CdwResult:
@@ -192,7 +206,8 @@ class CdwEngine:
             for c in stmt.columns
         ]
         table = CdwTable(stmt.table.name, columns,
-                         [tuple(k) for k in stmt.unique])
+                         [tuple(k) for k in stmt.unique],
+                         columnar=self.columnar)
         self.catalog.create(table, if_not_exists=stmt.if_not_exists)
         return CdwResult(kind="ddl")
 
@@ -202,7 +217,7 @@ class CdwEngine:
             ColumnSpec(name, _infer_cdw_type([row[i] for row in rows]))
             for i, name in enumerate(columns)
         ]
-        table = CdwTable(stmt.table.name, specs)
+        table = CdwTable(stmt.table.name, specs, columnar=self.columnar)
         created = self.catalog.create(
             table, if_not_exists=stmt.if_not_exists)
         if created:
@@ -221,11 +236,18 @@ class CdwEngine:
             raise CdwError("engine has no cloud store attached")
         table = self.catalog.get(stmt.table.name)
         container, prefix = CloudStore.parse_url(stmt.source_url)
-        new_rows: list[tuple] = []
+        datas: list[bytes] = []
         for blob in self.store.list_blobs(container, prefix):
             data = self.store.get_blob(container, blob)
             if blob.endswith(".gz"):
                 data = stagefile.decompress(data)
+            datas.append(data)
+        if self.columnar and table.columnar:
+            result = self._try_columnar_copy(table, datas, stmt.delimiter)
+            if result is not None:
+                return result
+        new_rows: list[tuple] = []
+        for data in datas:
             for raw in stagefile.decode_csv_rows(data, stmt.delimiter):
                 try:
                     new_rows.append(table.coerce_row(raw))
@@ -237,6 +259,45 @@ class CdwEngine:
             table.check_unique_append(new_rows)
         table.append_rows(new_rows)
         return CdwResult(kind="count", rows_inserted=len(new_rows))
+
+    def _try_columnar_copy(self, table: CdwTable, datas: list[bytes],
+                           delimiter: str) -> "CdwResult | None":
+        """Staged bytes straight into column vectors.
+
+        CSV fields decode columnwise (:func:`stagefile.decode_csv_columns`),
+        coerce in bulk per column, and append without intermediate row
+        tuples.  Returns None — quoted/ragged data, any coercion or NOT
+        NULL failure — to let the row path produce the canonical result
+        or error (decode and coercion have no side effects, so re-running
+        them is safe).
+        """
+        cols: "list[list] | None" = None
+        for data in datas:
+            decoded = stagefile.decode_csv_columns(data, delimiter,
+                                                   table.arity)
+            if decoded is None:
+                return None
+            if cols is None:
+                cols = decoded
+            else:
+                for bucket, col in zip(cols, decoded):
+                    bucket.extend(col)
+        if cols is None:
+            cols = [[] for _ in range(table.arity)]
+        try:
+            coerced = []
+            for spec, col in zip(table.columns, cols):
+                if not spec.nullable and any(v is None for v in col):
+                    return None
+                coerced.append(spec.ctype.coerce_many(col,
+                                                      field=spec.name))
+        except ExpressionError:
+            return None
+        if self.native_unique and table.unique_keys:
+            table.check_unique_append_columns(coerced)
+        table.append_columns(coerced)
+        return CdwResult(kind="count",
+                         rows_inserted=len(cols[0]) if cols else 0)
 
     # -- SELECT ------------------------------------------------------------------------
 
@@ -324,7 +385,7 @@ class CdwEngine:
             rows, columns = self._run_query(ref.query, outer=None)
             return (ref.binding, columns, rows)
         table = self.catalog.get(ref.name)
-        return (ref.binding, table.column_names, table.rows)
+        return (ref.binding, table.column_names, table.materialized_rows())
 
     def _bind_rows(self, source: "n.TableRef | n.DerivedTable | n.Join"
                    ) -> list[list[tuple[str, list[str], tuple]]]:
@@ -516,6 +577,9 @@ class CdwEngine:
     def _run_select(self, stmt: n.Select,
                     outer: RowContext | None) -> tuple[list[tuple],
                                                        list[str]]:
+        vectorized = self._try_vector_select(stmt)
+        if vectorized is not None:
+            return vectorized
         sliced = self._try_sorted_slice(stmt, outer)
         if sliced is not None:
             contexts, where = sliced
@@ -545,6 +609,11 @@ class CdwEngine:
             rows = self._project(items, contexts, ev)
             rows = self._order_rows(stmt, rows, contexts, items)
 
+        return self._finish_select(stmt, rows), columns
+
+    @staticmethod
+    def _finish_select(stmt: n.Select, rows: list[tuple]) -> list[tuple]:
+        """Shared DISTINCT + LIMIT tail of the row and vector paths."""
         if stmt.distinct:
             seen = set()
             unique_rows = []
@@ -556,7 +625,254 @@ class CdwEngine:
             rows = unique_rows
         if stmt.limit is not None:
             rows = rows[:stmt.limit]
-        return rows, columns
+        return rows
+
+    # -- vectorized execution ------------------------------------------------
+    #
+    # Columnar tables execute single-table SELECT / INSERT..SELECT /
+    # plain DELETE over whole column slices: predicates compile once per
+    # (layout, binding) into vector closures (repro.cdw.expressions),
+    # the WHERE produces a selection, and projection / aggregation read
+    # only the touched columns.  Every helper returns None the moment
+    # anything falls outside the vector compiler's scope — or when eager
+    # evaluation raises — and the caller runs the per-row interpreter
+    # instead, which either succeeds (it short-circuits rows the eager
+    # path touched) or raises its canonical first error.  Statements
+    # have no effects before commit, so the re-execution is safe and the
+    # two paths are observationally identical.
+
+    def _vector_scan(self, stmt: n.Select):
+        """FROM-one-columnar-table scan for the vector paths.
+
+        Zone-map-slices the batch exactly like :meth:`_try_sorted_slice`
+        (same pruning telemetry), applies the residual WHERE as a
+        vectorized mask, and returns ``(batch, layout, binding_upper)``
+        for the surviving rows — or None when out of scope.
+        """
+        if not self.columnar or not isinstance(stmt.from_, n.TableRef):
+            return None
+        table = self.catalog.get(stmt.from_.name)
+        if not table.columnar:
+            return None
+        binding = stmt.from_.binding
+        binding_upper = binding.upper()
+        layout = prepare_layout(table.column_names)
+        lo, hi = 0, table.row_count
+        residual = stmt.where
+        if self.zone_map_pruning and stmt.where is not None \
+                and table.sorted_by is not None:
+            conjuncts = self._where_conjuncts(stmt.where)
+            chosen = self._zone_map_conjunct(conjuncts, table, binding)
+            if chosen is not None:
+                between = conjuncts[chosen]
+                lo, hi = table.seq_slice(between.low.value,
+                                         between.high.value)
+                self._note_pruned(table, lo, hi)
+                residual = None
+                for i, conjunct in enumerate(conjuncts):
+                    if i == chosen:
+                        continue
+                    residual = conjunct if residual is None \
+                        else n.BinaryOp("AND", residual, conjunct)
+        batch = ColumnBatch(table, lo, max(hi, lo))
+        if residual is None:
+            return batch, layout, binding_upper
+        mask_fn = compile_vector(residual, layout, binding_upper)
+        if mask_fn is None:
+            return None
+        mask = vec_values(mask_fn(batch), batch.length)
+        sel = [i for i, v in enumerate(mask) if v is True]
+        return GatherBatch(batch, sel), layout, binding_upper
+
+    def _try_vector_select(self, stmt: n.Select
+                           ) -> "tuple[list[tuple], list[str]] | None":
+        """Columnar SELECT: WHERE, projection, and aggregation over
+        column batches instead of per-row contexts.  Returns the usual
+        ``(rows, columns)`` pair, or None to run the row path."""
+        if not isinstance(stmt.from_, n.TableRef):
+            return None
+        try:
+            scan = self._vector_scan(stmt)
+            if scan is None:
+                return None
+            data, layout, binding_upper = scan
+            items = self._expand_items(stmt, [])
+            columns = [self._item_name(item, i)
+                       for i, item in enumerate(items)]
+            grouped = bool(stmt.group_by) or any(
+                self._contains_aggregate(item.expr) for item in items)
+            if grouped:
+                rows = self._vector_grouped(stmt, items, data, layout,
+                                            binding_upper)
+            else:
+                rows = self._vector_project(stmt, items, data, layout,
+                                            binding_upper)
+            if rows is None:
+                return None
+        except (ExpressionError, SqlTranslationError):
+            return None
+        return self._finish_select(stmt, rows), columns
+
+    def _vector_project(self, stmt: n.Select, items: list[n.SelectItem],
+                        data, layout, binding_upper
+                        ) -> "list[tuple] | None":
+        """Evaluate the select list columnwise and zip into rows."""
+        fns = []
+        for item in items:
+            fn = compile_vector(item.expr, layout, binding_upper)
+            if fn is None:
+                return None
+            fns.append(fn)
+        nrows = data.length
+        out_cols = [vec_values(fn(data), nrows) for fn in fns]
+        rows = list(zip(*out_cols)) if out_cols else []
+        return self._vector_order(stmt, rows, items, data, layout,
+                                  binding_upper)
+
+    def _vector_order(self, stmt: n.Select, rows: list[tuple],
+                      items: list[n.SelectItem], data, layout,
+                      binding_upper) -> "list[tuple] | None":
+        """ORDER BY over vector-projected rows (mirrors _order_rows:
+        positions and aliases address the output row, anything else is
+        an expression over the source row)."""
+        if not stmt.order_by:
+            return rows
+        aliases: dict[str, int] = {}
+        for i, item in enumerate(items):
+            aliases.setdefault(self._item_name(item, i).upper(), i)
+        for i, item in enumerate(items):
+            if item.alias:
+                aliases[item.alias.upper()] = i
+        key_cols = []
+        for expr, ascending in stmt.order_by:
+            if isinstance(expr, n.Literal) and isinstance(expr.value, int):
+                vals = [row[expr.value - 1] for row in rows]
+            elif isinstance(expr, n.ColumnRef) and expr.table is None \
+                    and expr.name.upper() in aliases:
+                idx = aliases[expr.name.upper()]
+                vals = [row[idx] for row in rows]
+            else:
+                fn = compile_vector(expr, layout, binding_upper)
+                if fn is None:
+                    return None
+                vals = vec_values(fn(data), data.length)
+            key_cols.append((vals, ascending))
+
+        def order_key(i: int):
+            key = []
+            for vals, ascending in key_cols:
+                rank = _sort_key(vals[i])
+                key.append(rank if ascending
+                           else (-rank[0], _negate(rank[1])))
+            return tuple(key)
+
+        order = sorted(range(len(rows)), key=order_key)
+        return [rows[i] for i in order]
+
+    def _vector_grouped(self, stmt: n.Select, items: list[n.SelectItem],
+                        data, layout, binding_upper
+                        ) -> "list[tuple] | None":
+        """GROUP BY / aggregation over a batch (mirrors _run_grouped).
+
+        Supports direct aggregate calls and plain per-group expressions;
+        HAVING and aggregates nested inside larger expressions go to the
+        row path.
+        """
+        if stmt.having is not None:
+            return None
+        plans: list[tuple[str, object]] = []
+        for item in items:
+            expr = item.expr
+            if type(expr) is n.FuncCall and expr.name in _AGGREGATES:
+                plans.append(("agg", expr))
+            elif self._contains_aggregate(expr):
+                return None
+            else:
+                fn = compile_vector(expr, layout, binding_upper)
+                if fn is None:
+                    return None
+                plans.append(("expr", fn))
+        nrows = data.length
+        if stmt.group_by:
+            key_fns = []
+            for group_expr in stmt.group_by:
+                fn = compile_vector(group_expr, layout, binding_upper)
+                if fn is None:
+                    return None
+                key_fns.append(fn)
+            key_cols = [vec_values(fn(data), nrows) for fn in key_fns]
+            groups: dict[tuple, list[int]] = {}
+            for i in range(nrows):
+                key = tuple(_sort_key(col[i]) for col in key_cols)
+                groups.setdefault(key, []).append(i)
+            group_list = [groups[k] for k in sorted(groups)]
+        else:
+            group_list = [list(range(nrows))]
+        evaluated: list = []
+        for kind, payload in plans:
+            if kind == "expr":
+                evaluated.append(vec_values(payload(data), nrows))
+                continue
+            call = payload
+            if call.name == "COUNT" and call.args \
+                    and isinstance(call.args[0], n.Star):
+                evaluated.append(None)      # COUNT(*): group size only
+                continue
+            if not call.args or any(isinstance(a, n.Star)
+                                    for a in call.args):
+                return None                 # row path raises for these
+            fn = compile_vector(call.args[0], layout, binding_upper)
+            if fn is None:
+                return None
+            evaluated.append(vec_values(fn(data), nrows))
+        out_rows: list[tuple] = []
+        for group in group_list:
+            row = []
+            for (kind, payload), values_ in zip(plans, evaluated):
+                if kind == "expr":
+                    if not group:
+                        return None   # representative-row semantics
+                    row.append(values_[group[0]])
+                else:
+                    row.append(self._vector_aggregate(
+                        payload, values_, group))
+            out_rows.append(tuple(row))
+        if stmt.order_by:
+            out_rows = self._order_rows(stmt, out_rows, [], items)
+        return out_rows
+
+    def _vector_aggregate(self, call: n.FuncCall,
+                          arg_values: "list | None",
+                          group: list[int]):
+        """One aggregate over a group's positions (mirrors _aggregate)."""
+        if arg_values is None:              # COUNT(*)
+            return len(group)
+        name = call.name
+        non_null = [v for v in (arg_values[i] for i in group)
+                    if v is not None]
+        if call.distinct:
+            deduped = []
+            seen = set()
+            for v in non_null:
+                key = _sort_key(v)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(v)
+            non_null = deduped
+        if name == "COUNT":
+            return len(non_null)
+        if not non_null:
+            return None
+        if name == "SUM":
+            return _sum(non_null)
+        if name == "AVG":
+            total = _sum(non_null)
+            return float(total) / len(non_null)
+        if name == "MIN":
+            return min(non_null, key=_sort_key)
+        if name == "MAX":
+            return max(non_null, key=_sort_key)
+        raise CdwError(f"unknown aggregate {name}")
 
     def _project(self, items: list[n.SelectItem],
                  contexts: list[RowContext],
@@ -752,8 +1068,63 @@ class CdwEngine:
             full[table.column_index(name)] = value
         return tuple(full)
 
+    def _try_vector_insert(self, stmt: n.Insert, table: CdwTable
+                           ) -> "CdwResult | None":
+        """Columnwise INSERT..SELECT: source columns are computed by the
+        vector path, coerced in bulk, and appended to the target's
+        column store without ever forming row tuples.  Returns None to
+        run the row path — including on any error, whose canonical
+        version the row path then raises."""
+        src = stmt.source
+        if (not self.columnar or not table.columnar
+                or not isinstance(src, n.Select)
+                or src.group_by or src.order_by or src.distinct
+                or src.limit is not None or src.having is not None):
+            return None
+        try:
+            if any(self._contains_aggregate(item.expr)
+                   for item in src.items):
+                return None
+            scan = self._vector_scan(src)
+            if scan is None:
+                return None
+            data, layout, binding_upper = scan
+            items = self._expand_items(src, [])
+            source_cols = []
+            for item in items:
+                fn = compile_vector(item.expr, layout, binding_upper)
+                if fn is None:
+                    return None
+                source_cols.append(vec_values(fn(data), data.length))
+            nrows = data.length
+            if stmt.columns:
+                if len(stmt.columns) != len(source_cols):
+                    return None       # row path raises the arity error
+                full = [[None] * nrows for _ in range(table.arity)]
+                for name, col in zip(stmt.columns, source_cols):
+                    full[table.column_index(name)] = col
+            else:
+                if len(source_cols) != table.arity:
+                    return None       # row path raises the arity error
+                full = source_cols
+            coerced = []
+            for spec, col in zip(table.columns, full):
+                if not spec.nullable and any(v is None for v in col):
+                    return None       # row path raises NOT NULL error
+                coerced.append(spec.ctype.coerce_many(col,
+                                                      field=spec.name))
+        except (ExpressionError, SqlTranslationError, BulkExecutionError):
+            return None
+        if self.native_unique and table.unique_keys:
+            table.check_unique_append_columns(coerced)
+        table.append_columns(coerced)
+        return CdwResult(kind="count", rows_inserted=nrows)
+
     def _exec_Insert(self, stmt: n.Insert) -> CdwResult:
         table = self.catalog.get(stmt.table.name)
+        vectorized = self._try_vector_insert(stmt, table)
+        if vectorized is not None:
+            return vectorized
         try:
             source_rows = self._insert_rows_from_source(stmt)
             new_rows = [
@@ -834,6 +1205,12 @@ class CdwEngine:
                 lo, hi = table.seq_slice(
                     between.low.value, between.high.value)
                 self._note_pruned(table, lo, hi)
+        if (stmt.using is None and stmt.where is not None
+                and self.columnar and table.columnar):
+            result = self._try_vector_delete(table, binding,
+                                             stmt.where, lo, hi)
+            if result is not None:
+                return result
         keep: list[tuple] = []
         deleted = 0
         ev = _Evaluator(None, self._subquery_runner)
@@ -860,6 +1237,32 @@ class CdwEngine:
             raise self._wrap_row_error(
                 exc, f"DELETE FROM {table.name}") from exc
         table.rows = rows[:lo] + keep + rows[hi:]
+        return CdwResult(kind="count", rows_deleted=deleted)
+
+    def _try_vector_delete(self, table: CdwTable, binding: str,
+                           where: n.Expr, lo: int, hi: int
+                           ) -> "CdwResult | None":
+        """Vectorized plain DELETE: mask the (possibly zone-map-sliced)
+        candidate range, drop matching rows via a columnwise take.
+
+        Order of survivors is preserved, so ``sorted_by`` stays armed —
+        exactly like the row path.  Returns None to run the row path.
+        """
+        layout = prepare_layout(table.column_names)
+        fn = compile_vector(where, layout, binding.upper())
+        if fn is None:
+            return None
+        batch = ColumnBatch(table, lo, hi)
+        try:
+            mask = vec_values(fn(batch), batch.length)
+        except (ExpressionError, SqlTranslationError):
+            return None
+        keep = list(range(lo))
+        keep.extend(lo + i for i, v in enumerate(mask) if v is not True)
+        deleted = batch.length - (len(keep) - lo)
+        if deleted:
+            keep.extend(range(hi, table.row_count))
+            table.take_rows(keep)
         return CdwResult(kind="count", rows_deleted=deleted)
 
     def _exec_Upsert(self, stmt: n.Upsert) -> CdwResult:

@@ -165,6 +165,39 @@ def _numeric(value, what: str):
                           f"{type(value).__name__}")
 
 
+def _binary_tail(op: str, left, right):
+    """Arithmetic / concatenation semantics of a binary operator, given
+    both operand values.  Shared verbatim by the interpreter and the
+    vector compiler so the two paths cannot diverge."""
+    if op == "||":
+        if left is None or right is None:
+            return None
+        return _Evaluator._to_text(left) + _Evaluator._to_text(right)
+    if left is None or right is None:
+        return None
+    left = _numeric(left, op)
+    right = _numeric(right, op)
+    if isinstance(left, Decimal) or isinstance(right, Decimal):
+        left, right = Decimal(str(left)), Decimal(str(right))
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExpressionError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            return int(left / right)  # SQL integer division
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise ExpressionError("division by zero")
+        return left % right
+    raise ExpressionError(f"unknown operator {op!r}")
+
+
 class _Evaluator:
     #: node type -> unbound handler, filled lazily.  Saves the per-node
     #: f-string + getattr on the scan hot path.
@@ -251,35 +284,9 @@ class _Evaluator:
             return self._logical(op, expr.left, expr.right)
         left = self.eval(expr.left)
         right = self.eval(expr.right)
-        if op == "||":
-            if left is None or right is None:
-                return None
-            return self._to_text(left) + self._to_text(right)
         if op in ("=", "<>", "<", "<=", ">", ">="):
             return self._compare(op, left, right)
-        if left is None or right is None:
-            return None
-        left = _numeric(left, op)
-        right = _numeric(right, op)
-        if isinstance(left, Decimal) or isinstance(right, Decimal):
-            left, right = Decimal(str(left)), Decimal(str(right))
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                raise ExpressionError("division by zero")
-            if isinstance(left, int) and isinstance(right, int):
-                return int(left / right)  # SQL integer division
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise ExpressionError("division by zero")
-            return left % right
-        raise ExpressionError(f"unknown operator {op!r}")
+        return _binary_tail(op, left, right)
 
     def _logical(self, op: str, left_expr: n.Expr, right_expr: n.Expr):
         left = self.eval(left_expr)
@@ -445,28 +452,9 @@ class _Evaluator:
 
     def _eval_Cast(self, expr: n.Cast):
         value = self.eval(expr.operand)
-        if value is None:
-            return None
         ctype = cdw_type_from_node(expr.type)
         field = self._provenance(expr.operand)
-        try:
-            if expr.format is not None:
-                if ctype.base == "DATE":
-                    if isinstance(value, values.Date):
-                        return value
-                    return values.parse_date(
-                        str(value), expr.format, field=field)
-                if ctype.base == "TIMESTAMP":
-                    if isinstance(value, values.Timestamp):
-                        return value
-                    return values.parse_timestamp(str(value), field=field)
-                raise SqlTranslationError(
-                    f"FORMAT cast to {expr.type.base} is not supported")
-            return ctype.coerce(value, field=field)
-        except ExpressionError as exc:
-            if exc.field is None:
-                exc.field = field
-            raise
+        return _cast_value(value, ctype, expr.format, expr.type.base, field)
 
     def _eval_CaseExpr(self, expr: n.CaseExpr):
         for when in expr.whens:
@@ -493,6 +481,30 @@ class _Evaluator:
 
     def _eval_Star(self, expr: n.Star):
         raise ExpressionError("'*' is only valid in a select list")
+
+
+def _cast_value(value, ctype, fmt, type_base: str, field):
+    """CAST semantics given an already-evaluated operand value.  Shared
+    by the interpreter and the vector compiler."""
+    if value is None:
+        return None
+    try:
+        if fmt is not None:
+            if ctype.base == "DATE":
+                if isinstance(value, values.Date):
+                    return value
+                return values.parse_date(str(value), fmt, field=field)
+            if ctype.base == "TIMESTAMP":
+                if isinstance(value, values.Timestamp):
+                    return value
+                return values.parse_timestamp(str(value), field=field)
+            raise SqlTranslationError(
+                f"FORMAT cast to {type_base} is not supported")
+        return ctype.coerce(value, field=field)
+    except ExpressionError as exc:
+        if exc.field is None:
+            exc.field = field
+        raise
 
 
 # -- scalar function library ---------------------------------------------------
@@ -840,6 +852,525 @@ def _compile_func(expr: n.FuncCall, handler):
         args = [fn(ev) for fn in arg_fns]
         try:
             return handler(args)
+        except ExpressionError as exc:
+            if exc.field is None and expr.args:
+                exc.field = _Evaluator._provenance(expr.args[0])
+            raise
+    return _call
+
+
+# -- vectorized compilation ----------------------------------------------------
+#
+# The closure compiler above still runs once per row.  For columnar
+# tables the engine instead compiles an expression once per (layout,
+# binding) into a *vector* closure: ``fn(batch) -> (is_const, payload)``
+# where payload is either a single value (constant over the batch) or a
+# list with one entry per batch row.  Evaluation is eager — both AND
+# operands, every CASE arm — which is safe because the engine falls back
+# to the row path on any ExpressionError, reproducing the interpreter's
+# short-circuit and error behaviour exactly.  ``compile_vector`` returns
+# None for any node kind it does not understand; the engine then keeps
+# the row path for the whole statement, so vectorized execution can
+# never change semantics, only speed.
+
+#: evaluator instance backing the vector closures' _compare calls
+#: (carries no state the closures use).
+_VEC_EV = _Evaluator(None, None)
+
+_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+_PY_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ColumnBatch:
+    """Lazy column slices of one table over a row range ``[lo, hi)``.
+
+    Vector closures pull whole columns out of the table's column store
+    on first touch; untouched columns are never materialized.
+    """
+
+    __slots__ = ("table", "lo", "hi", "length", "_cols")
+
+    def __init__(self, table, lo: int, hi: int):
+        self.table = table
+        self.lo = lo
+        self.hi = hi
+        self.length = hi - lo
+        self._cols: dict[int, list] = {}
+
+    def col(self, idx: int) -> list:
+        """Column ``idx``'s values over the batch range, materialized
+        once per batch."""
+        c = self._cols.get(idx)
+        if c is None:
+            c = self._cols[idx] = self.table.column_values_at(
+                idx, self.lo, self.hi)
+        return c
+
+
+class GatherBatch:
+    """A selection of a parent batch's rows, presented as a batch.
+
+    Used after the WHERE mask: projection and aggregate arguments must
+    evaluate over exactly the surviving rows (the rows the row path
+    would touch), so errors stay symmetric between the two paths.
+    """
+
+    __slots__ = ("parent", "sel", "length", "_cols")
+
+    def __init__(self, parent, sel: list):
+        self.parent = parent
+        self.sel = sel
+        self.length = len(sel)
+        self._cols: dict[int, list] = {}
+
+    def col(self, idx: int) -> list:
+        """Selected values of column ``idx``, gathered once per batch."""
+        c = self._cols.get(idx)
+        if c is None:
+            pc = self.parent.col(idx)
+            c = self._cols[idx] = [pc[i] for i in self.sel]
+        return c
+
+
+def vec_values(result, nrows: int) -> list:
+    """Expand a vector-closure result into a per-row value list."""
+    const, payload = result
+    return [payload] * nrows if const else payload
+
+
+def _value_getter(result):
+    """Per-row accessor ``fn(i)`` over a vector-closure result."""
+    const, payload = result
+    if const:
+        return lambda i: payload
+    return payload.__getitem__
+
+
+def compile_vector(expr: n.Expr, layout: dict[str, int],
+                   binding_upper: str):
+    """Compile ``expr`` into a vector closure for one table layout.
+
+    Returns ``fn(batch) -> (is_const, payload)`` or None when the
+    expression contains a node the vector compiler does not support
+    (subqueries, outer references, unknown columns, ...), in which case
+    the caller must use the row path.  Memoized per (layout, binding)
+    on the node; like ``compile_expr``, closures read ``Literal.value``
+    and ``BoundParam.value`` live so prepared-DML rebinding works.
+    """
+    cache = expr.__dict__.get("_vcompiled")
+    if cache is None:
+        cache = expr.__dict__["_vcompiled"] = {}
+    key = (id(layout), binding_upper)
+    try:
+        return cache[key]
+    except KeyError:
+        fn = _vcompile(expr, layout, binding_upper)
+        cache[key] = fn
+        return fn
+
+
+def _vcompile(expr: n.Expr, layout: dict[str, int], bu: str):
+    t = type(expr)
+    if t is n.Literal:
+        return lambda b: (True, expr.value)      # reads the live binding
+    if t is n.BoundParam:
+        return lambda b: (True, expr.value)
+    if t is n.ColumnRef:
+        if expr.table is not None and expr.table.upper() != bu:
+            return None                          # outer/other binding
+        idx = layout.get(expr.name.upper())
+        if idx is None:
+            return None                          # unknown: row path errors
+        return lambda b: (False, b.col(idx))
+    if t is n.IsNull:
+        return _vcompile_isnull(expr, layout, bu)
+    if t is n.UnaryOp:
+        return _vcompile_unary(expr, layout, bu)
+    if t is n.BinaryOp:
+        return _vcompile_binary(expr, layout, bu)
+    if t is n.Between:
+        return _vcompile_between(expr, layout, bu)
+    if t is n.CaseExpr:
+        return _vcompile_case(expr, layout, bu)
+    if t is n.InExpr and expr.subquery is None:
+        return _vcompile_in(expr, layout, bu)
+    if t is n.Like:
+        return _vcompile_like(expr, layout, bu)
+    if t is n.Cast:
+        return _vcompile_cast(expr, layout, bu)
+    if t is n.FuncCall and not expr.distinct:
+        handler = _FUNCTIONS.get(expr.name.upper())
+        if handler is not None:
+            return _vcompile_func(expr, handler, layout, bu)
+    return None
+
+
+def _vcompile_isnull(expr: n.IsNull, layout, bu):
+    operand = compile_vector(expr.operand, layout, bu)
+    if operand is None:
+        return None
+    negated = expr.negated
+
+    def _isnull(b):
+        const, payload = operand(b)
+        if const:
+            result = payload is None
+            return (True, not result if negated else result)
+        if negated:
+            return (False, [v is not None for v in payload])
+        return (False, [v is None for v in payload])
+    return _isnull
+
+
+def _vcompile_unary(expr: n.UnaryOp, layout, bu):
+    operand = compile_vector(expr.operand, layout, bu)
+    if operand is None:
+        return None
+    op = expr.op
+
+    def _scalar(v):
+        if v is None:
+            return None
+        if op == "NOT":
+            return not v
+        if op == "-":
+            return -_numeric(v, "unary minus")
+        return +_numeric(v, "unary plus")
+
+    def _unary(b):
+        const, payload = operand(b)
+        if const:
+            return (True, _scalar(payload))
+        return (False, [_scalar(v) for v in payload])
+    return _unary
+
+
+def _v_and(lv, rv):
+    """Three-valued AND given both operand values (mirrors _logical)."""
+    if lv is False:
+        return False
+    if lv is None or rv is None:
+        return False if rv is False else None
+    return bool(lv) and bool(rv)
+
+
+def _v_or(lv, rv):
+    """Three-valued OR given both operand values (mirrors _logical)."""
+    if lv is True:
+        return True
+    if lv is None or rv is None:
+        return True if rv is True else None
+    return bool(lv) or bool(rv)
+
+
+def _vcompile_binary(expr: n.BinaryOp, layout, bu):
+    op = expr.op
+    left = compile_vector(expr.left, layout, bu)
+    right = compile_vector(expr.right, layout, bu)
+    if left is None or right is None:
+        return None
+    if op in ("AND", "OR"):
+        pair = _v_and if op == "AND" else _v_or
+
+        def _logic(b):
+            lres, rres = left(b), right(b)
+            if lres[0] and rres[0]:
+                return (True, pair(lres[1], rres[1]))
+            nrows = b.length
+            lv = vec_values(lres, nrows)
+            rv = vec_values(rres, nrows)
+            return (False, [pair(a, c) for a, c in zip(lv, rv)])
+        return _logic
+    if op in _CMP_OPS:
+        return _vcompile_compare(op, left, right)
+
+    def _arith(b):
+        lres, rres = left(b), right(b)
+        if lres[0] and rres[0]:
+            return (True, _binary_tail(op, lres[1], rres[1]))
+        nrows = b.length
+        lv = vec_values(lres, nrows)
+        rv = vec_values(rres, nrows)
+        return (False, [_binary_tail(op, a, c) for a, c in zip(lv, rv)])
+    return _arith
+
+
+def _vcompile_compare(op: str, left, right):
+    compare = _VEC_EV._compare
+    pyop = _PY_CMP[op]
+
+    def _cmp(b):
+        lres, rres = left(b), right(b)
+        lc, lv = lres
+        rc, rv = rres
+        if lc and rc:
+            return (True, compare(op, lv, rv))
+        if lc:                                   # const <op> vector
+            if lv is None:
+                return (True, None)
+            if type(lv) is int:
+                return (False, [
+                    None if v is None else
+                    (pyop(lv, v) if type(v) is int else compare(op, lv, v))
+                    for v in rv])
+            return (False, [None if v is None else compare(op, lv, v)
+                            for v in rv])
+        if rc:                                   # vector <op> const
+            if rv is None:
+                return (True, None)
+            if type(rv) is int:
+                return (False, [
+                    None if v is None else
+                    (pyop(v, rv) if type(v) is int else compare(op, v, rv))
+                    for v in lv])
+            if type(rv) is str:
+                cr = rv.rstrip()
+                return (False, [
+                    None if v is None else
+                    (pyop(v.rstrip(), cr) if type(v) is str
+                     else compare(op, v, rv))
+                    for v in lv])
+            return (False, [None if v is None else compare(op, v, rv)
+                            for v in lv])
+        return (False, [compare(op, a, c) for a, c in zip(lv, rv)])
+    return _cmp
+
+
+def _vcompile_between(expr: n.Between, layout, bu):
+    operand = compile_vector(expr.operand, layout, bu)
+    low = compile_vector(expr.low, layout, bu)
+    high = compile_vector(expr.high, layout, bu)
+    if operand is None or low is None or high is None:
+        return None
+    negated = expr.negated
+    compare = _VEC_EV._compare
+
+    def _pair(value, lo, hi):
+        ge = compare(">=", value, lo)
+        le = compare("<=", value, hi)
+        if ge is None or le is None:
+            result = None
+        else:
+            result = ge and le
+        if negated and result is not None:
+            return not result
+        return result
+
+    def _between(b):
+        vres, lres, hres = operand(b), low(b), high(b)
+        if vres[0] and lres[0] and hres[0]:
+            return (True, _pair(vres[1], lres[1], hres[1]))
+        nrows = b.length
+        if not vres[0] and lres[0] and hres[0] \
+                and type(lres[1]) is int and type(hres[1]) is int:
+            lo, hi = lres[1], hres[1]
+            if negated:
+                return (False, [
+                    None if v is None else
+                    (not lo <= v <= hi if type(v) is int
+                     else _pair(v, lo, hi))
+                    for v in vres[1]])
+            return (False, [
+                None if v is None else
+                (lo <= v <= hi if type(v) is int else _pair(v, lo, hi))
+                for v in vres[1]])
+        value_at = _value_getter(vres)
+        lo_at = _value_getter(lres)
+        hi_at = _value_getter(hres)
+        return (False, [_pair(value_at(i), lo_at(i), hi_at(i))
+                        for i in range(nrows)])
+    return _between
+
+
+def _vcompile_case(expr: n.CaseExpr, layout, bu):
+    whens = []
+    for when in expr.whens:
+        condition = compile_vector(when.condition, layout, bu)
+        result = compile_vector(when.result, layout, bu)
+        if condition is None or result is None:
+            return None
+        whens.append((condition, result))
+    else_fn = None
+    if expr.else_result is not None:
+        else_fn = compile_vector(expr.else_result, layout, bu)
+        if else_fn is None:
+            return None
+
+    def _case(b):
+        nrows = b.length
+        conds = [vec_values(c(b), nrows) for c, _ in whens]
+        results = [_value_getter(r(b)) for _, r in whens]
+        else_at = None if else_fn is None else _value_getter(else_fn(b))
+        out = []
+        append = out.append
+        n_whens = len(conds)
+        for i in range(nrows):
+            for j in range(n_whens):
+                if conds[j][i] is True:
+                    append(results[j](i))
+                    break
+            else:
+                append(None if else_at is None else else_at(i))
+        return (False, out)
+    return _case
+
+
+def _vcompile_in(expr: n.InExpr, layout, bu):
+    operand = compile_vector(expr.operand, layout, bu)
+    if operand is None:
+        return None
+    item_fns = []
+    for item in expr.items:
+        fn = compile_vector(item, layout, bu)
+        if fn is None:
+            return None
+        item_fns.append(fn)
+    negated = expr.negated
+    fast = _in_literal_table(expr)
+    compare = _VEC_EV._compare
+
+    def _generic(value, candidates):
+        # Mirrors the interpreter's per-row IN scan exactly.
+        if value is None:
+            return None
+        found = False
+        saw_null = False
+        for candidate in candidates:
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare("=", value, candidate) is True:
+                found = True
+                break
+        if found:
+            result = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        if negated and result is not None:
+            return not result
+        return result
+
+    def _in(b):
+        vres = operand(b)
+        nrows = b.length
+        if fast is not None:
+            members, saw_null, ctype = fast
+            vv = [vres[1]] if vres[0] else vres[1]
+            out = []
+            append = out.append
+            candidates = None
+            for value in vv:
+                if value is not None and type(value) is ctype:
+                    probe = value.rstrip() if ctype is str else value
+                    if probe in members:
+                        result = True
+                    elif saw_null:
+                        result = None
+                    else:
+                        result = False
+                    if negated and result is not None:
+                        result = not result
+                    append(result)
+                else:
+                    if candidates is None:
+                        candidates = [g(0) for g in
+                                      (_value_getter(f(b))
+                                       for f in item_fns)]
+                    append(_generic(value, candidates))
+            if vres[0]:
+                return (True, out[0])
+            return (False, out)
+        item_results = [f(b) for f in item_fns]
+        if vres[0] and all(const for const, _ in item_results):
+            return (True, _generic(
+                vres[1], [payload for _, payload in item_results]))
+        item_getters = [_value_getter(r) for r in item_results]
+        value_at = _value_getter(vres)
+        return (False, [_generic(value_at(i),
+                                 [g(i) for g in item_getters])
+                        for i in range(nrows)])
+    return _in
+
+
+def _vcompile_like(expr: n.Like, layout, bu):
+    operand = compile_vector(expr.operand, layout, bu)
+    pattern = compile_vector(expr.pattern, layout, bu)
+    if operand is None or pattern is None:
+        return None
+    negated = expr.negated
+    regex_cache: dict[str, "re.Pattern"] = {}
+
+    def _pair(value, pat):
+        if value is None or pat is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pat, str):
+            raise ExpressionError("LIKE needs string operands")
+        regex = regex_cache.get(pat)
+        if regex is None:
+            regex = regex_cache[pat] = _like_to_regex(pat)
+        result = bool(regex.match(value))
+        return not result if negated else result
+
+    def _like(b):
+        vres, pres = operand(b), pattern(b)
+        if vres[0] and pres[0]:
+            return (True, _pair(vres[1], pres[1]))
+        nrows = b.length
+        value_at = _value_getter(vres)
+        pat_at = _value_getter(pres)
+        return (False, [_pair(value_at(i), pat_at(i))
+                        for i in range(nrows)])
+    return _like
+
+
+def _vcompile_cast(expr: n.Cast, layout, bu):
+    operand = compile_vector(expr.operand, layout, bu)
+    if operand is None:
+        return None
+    ctype = cdw_type_from_node(expr.type)
+    fmt = expr.format
+    type_base = expr.type.base
+    field = _Evaluator._provenance(expr.operand)
+
+    def _cast(b):
+        const, payload = operand(b)
+        if const:
+            return (True, _cast_value(payload, ctype, fmt,
+                                      type_base, field))
+        return (False, [_cast_value(v, ctype, fmt, type_base, field)
+                        for v in payload])
+    return _cast
+
+
+def _vcompile_func(expr: n.FuncCall, handler, layout, bu):
+    arg_fns = []
+    for arg in expr.args:
+        fn = compile_vector(arg, layout, bu)
+        if fn is None:
+            return None
+        arg_fns.append(fn)
+
+    def _call(b):
+        results = [fn(b) for fn in arg_fns]
+        try:
+            if all(const for const, _ in results):
+                return (True, handler([payload for _, payload in results]))
+            nrows = b.length
+            if len(results) == 1:
+                vec = vec_values(results[0], nrows)
+                return (False, [handler([v]) for v in vec])
+            vecs = [vec_values(r, nrows) for r in results]
+            return (False, [handler(list(args)) for args in zip(*vecs)])
         except ExpressionError as exc:
             if exc.field is None and expr.args:
                 exc.field = _Evaluator._provenance(expr.args[0])

@@ -21,7 +21,8 @@ from repro.errors import DataFormatError
 
 __all__ = [
     "encode_csv_row", "encode_csv_rows", "decode_csv_rows",
-    "CsvKernel", "compress", "decompress", "NULL_MARKER",
+    "decode_csv_columns", "CsvKernel", "compress", "decompress",
+    "NULL_MARKER",
 ]
 
 NULL_MARKER = "\\N"
@@ -230,6 +231,35 @@ def decode_csv_rows(data: bytes,
                 raise DataFormatError("unterminated quoted CSV field")
         row.append(_finish_field(field_chars, was_quoted))
         yield tuple(row)
+
+
+def decode_csv_columns(data: bytes, delimiter: str,
+                       arity: int) -> "list[list[str | None]] | None":
+    """Columnwise :func:`decode_csv_rows`: one value list per column.
+
+    Only handles the quote-free layout with exactly ``arity`` fields per
+    line — the shape every converter-produced staging file has.  Returns
+    None for quoted, ragged, or exotic-delimiter data; the caller then
+    uses the row decoder, whose error behaviour (wrong-arity rows reach
+    ``coerce_row``) is the canonical one.
+    """
+    text = data.decode("utf-8")
+    if '"' in text or len(delimiter) != 1 or delimiter in '"\n\r':
+        return None
+    cols: list[list[str | None]] = [[] for _ in range(arity)]
+    lines = text.split("\n")
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        if index == last and line == "":
+            break
+        if "\r" in line:
+            line = line.replace("\r", "")
+        parts = line.split(delimiter)
+        if len(parts) != arity:
+            return None
+        for i, part in enumerate(parts):
+            cols[i].append(None if part == NULL_MARKER else part)
+    return cols
 
 
 def _finish_field(chars: list[str], was_quoted: bool) -> str | None:

@@ -1,21 +1,39 @@
 """Catalog and row storage for the CDW engine (and the legacy server).
 
-Tables store rows as plain tuples.  Uniqueness enforcement is *declared*
-here but *checked* by the engine at statement commit, so that violation
-semantics stay set-oriented.  ``native_unique=False`` on the engine makes
-declared keys advisory — modelling CDWs without native uniqueness support,
-for which Hyper-Q "enforces uniqueness through emulation" (Section 7).
+Tables store their data in one of two layouts:
+
+- **columnar** (the default): typed column vectors from
+  :mod:`repro.cdw.columns` — flat buffers per column with a validity
+  byte per value.  The ``rows`` property then returns a
+  :class:`RowsView` shim that materializes tuples on demand, so every
+  pre-existing tuple-level call site keeps working; the engine's
+  vectorized paths read whole columns via :meth:`CdwTable.column_values`
+  instead.
+- **row** (``columnar=False``): the original list of plain tuples, kept
+  as the behavioural oracle and A/B baseline.
+
+Uniqueness enforcement is *declared* here but *checked* by the engine at
+statement commit, so that violation semantics stay set-oriented.
+``native_unique=False`` on the engine makes declared keys advisory —
+modelling CDWs without native uniqueness support, for which Hyper-Q
+"enforces uniqueness through emulation" (Section 7).
 """
 
 from __future__ import annotations
 
 import bisect
+import sys
 from dataclasses import dataclass, field
 
+from repro.cdw.columns import ColumnStore
 from repro.cdw.types import CdwType
 from repro.errors import BulkExecutionError, CatalogError, ExpressionError
 
-__all__ = ["ColumnSpec", "CdwTable", "Catalog"]
+__all__ = ["ColumnSpec", "CdwTable", "RowsView", "Catalog"]
+
+#: storage layout for tables constructed without an explicit choice
+#: (the engine passes its own ``columnar`` flag for tables it creates).
+COLUMNAR_DEFAULT = True
 
 
 @dataclass(frozen=True)
@@ -25,11 +43,71 @@ class ColumnSpec:
     nullable: bool = True
 
 
+def _key_repr(key_value: tuple) -> str:
+    """Bounded repr of a unique-key value for violation messages."""
+    if len(key_value) == 1:
+        body = repr(key_value[0])
+    else:
+        body = "(" + ", ".join(repr(v) for v in key_value) + ")"
+    if len(body) > 64:
+        body = body[:61] + "..."
+    return body
+
+
+class RowsView:
+    """Sequence-of-tuples facade over a :class:`ColumnStore`.
+
+    Supports the read-only list operations existing call sites use
+    (len, indexing, slicing, iteration, equality, concatenation).
+    Mutation goes through the table's own methods.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: ColumnStore):
+        self._store = store
+
+    def __len__(self) -> int:
+        """Number of rows behind the view."""
+        return len(self._store)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self._store))
+            if step == 1:
+                return self._store.tuples(start, stop)
+            return self._store.tuples(0, len(self._store))[item]
+        return self._store.row(item)
+
+    def __iter__(self):
+        return iter(self._store.tuples(0, len(self._store)))
+
+    def __eq__(self, other):
+        if isinstance(other, RowsView):
+            other = list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def __add__(self, other):
+        return list(self) + list(other)
+
+    def __radd__(self, other):
+        return list(other) + list(self)
+
+    def __bool__(self) -> bool:
+        return len(self._store) > 0
+
+    def __repr__(self) -> str:
+        return f"RowsView({list(self)!r})"
+
+
 class CdwTable:
     """One table: schema, rows, and declared unique keys."""
 
     def __init__(self, name: str, columns: list[ColumnSpec],
-                 unique_keys: list[tuple[str, ...]] | None = None):
+                 unique_keys: list[tuple[str, ...]] | None = None,
+                 columnar: bool | None = None):
         if not columns:
             raise CatalogError(f"table {name!r} needs at least one column")
         self.name = name
@@ -41,11 +119,14 @@ class CdwTable:
         for key in unique_keys or []:
             self.unique_keys.append(
                 tuple(self.column_index(col) for col in key))
+        self.columnar = COLUMNAR_DEFAULT if columnar is None else columnar
         #: cached per-key sets of the current rows' unique-key values;
         #: None when stale.  Maintained by :meth:`append_rows`, dropped
         #: by any wholesale ``rows`` reassignment or :meth:`truncate_rows`.
         self._unique_index: list[set] | None = None
-        self.rows: list[tuple] = []
+        self._store: ColumnStore | None = \
+            ColumnStore(self.columns) if self.columnar else None
+        self._rows: list[tuple] = []
         #: name of a column the rows are known to be sorted by (set by
         #: Hyper-Q's Beta after sorting the staging table); lets the
         #: engine slice BETWEEN-range scans with binary search instead of
@@ -55,24 +136,65 @@ class CdwTable:
     # -- row storage ---------------------------------------------------------
 
     @property
-    def rows(self) -> list[tuple]:
-        """The table's rows (plain tuples, in storage order)."""
+    def rows(self) -> "list[tuple] | RowsView":
+        """The table's rows (tuples in storage order; a live view when
+        the table is columnar)."""
+        if self._store is not None:
+            return RowsView(self._store)
         return self._rows
 
     @rows.setter
     def rows(self, value: list[tuple]) -> None:
         """Replace the row list wholesale; drops the unique-key index
         (UPDATE/DELETE/MERGE/rollback may have freed arbitrary keys)."""
-        self._rows = value
+        if self._store is not None:
+            if isinstance(value, RowsView):
+                value = list(value)
+            self._store = ColumnStore.from_rows(self.columns, value)
+        else:
+            self._rows = value
+        self._unique_index = None
+
+    @property
+    def row_count(self) -> int:
+        return len(self._store) if self._store is not None \
+            else len(self._rows)
+
+    def materialized_rows(self) -> list[tuple]:
+        """The rows as a plain list (no copy in row mode).  Callers must
+        treat the result as read-only."""
+        if self._store is not None:
+            return self._store.tuples(0, len(self._store))
+        return self._rows
+
+    def take_rows(self, indices: list[int]) -> None:
+        """Replace contents with the rows at ``indices``, in that order.
+
+        The vectorized DELETE path uses this to drop a selection without
+        materializing tuples.  Like any wholesale mutation it drops the
+        unique-key index; ``sorted_by`` is the *caller's* contract (a
+        subsequence of sorted rows stays sorted, so DELETE keeps it).
+        """
+        if self._store is not None:
+            self._store = self._store.take(indices)
+        else:
+            rows = self._rows
+            self._rows = [rows[i] for i in indices]
         self._unique_index = None
 
     def truncate_rows(self, length: int) -> None:
         """Drop every row past ``length`` (Beta's emulation rollback).
 
         Invalidates the unique-key index so the removed rows' keys
-        become insertable again.
+        become insertable again.  ``sorted_by`` is deliberately left
+        armed: truncation removes a suffix, which cannot disturb the
+        order of what remains, so zone-map slices stay valid for the
+        eager ranges that follow a rollback.
         """
-        del self._rows[length:]
+        if self._store is not None:
+            self._store.truncate(length)
+        else:
+            del self._rows[length:]
         self._unique_index = None
 
     # -- schema -------------------------------------------------------------
@@ -101,6 +223,28 @@ class CdwTable:
         """Whether a column of this name exists."""
         return name.upper() in self._index
 
+    # -- columnar reads ------------------------------------------------------
+
+    def column_values(self, name: str, lo: int = 0,
+                      hi: "int | None" = None) -> list:
+        """One column's values over row range ``[lo, hi)`` as a list.
+
+        O(range) without materializing row tuples in columnar mode —
+        the read primitive of the vectorized engine paths and Beta's
+        ``staged_seqs``.
+        """
+        return self.column_values_at(self.column_index(name), lo, hi)
+
+    def column_values_at(self, idx: int, lo: int = 0,
+                         hi: "int | None" = None) -> list:
+        """Like :meth:`column_values` but by column position."""
+        if self._store is not None:
+            return self._store.column_list(idx, lo, hi)
+        rows = self._rows if hi is None else self._rows[lo:hi]
+        if hi is None and lo:
+            rows = rows[lo:]
+        return [row[idx] for row in rows]
+
     # -- zone map -----------------------------------------------------------
 
     def set_sorted(self, column: str) -> None:
@@ -113,8 +257,21 @@ class CdwTable:
         range-pruned DML scans).
         """
         col = self.column_index(column)
-        self.rows.sort(key=lambda r: r[col])
+        if self._store is not None:
+            self._sort_store(col)
+        else:
+            self._rows.sort(key=lambda r: r[col])
         self.sorted_by = column
+
+    def _sort_store(self, col: int) -> None:
+        """Stable-sort the column store by one column (argsort + take)."""
+        store = self._store
+        keys = store.column_list(col)
+        n = len(keys)
+        if all(keys[i] <= keys[i + 1] for i in range(n - 1)):
+            return                      # already in order: no rebuild
+        order = sorted(range(n), key=keys.__getitem__)
+        self._store = store.take(order)
 
     def seq_slice(self, low, high) -> tuple[int, int]:
         """Index range ``[lo, hi)`` of rows with sort-column values in
@@ -126,8 +283,13 @@ class CdwTable:
             raise CatalogError(
                 f"table {self.name!r} has no sorted column")
         col = self.column_index(self.sorted_by)
-        lo = bisect.bisect_left(self.rows, low, key=lambda r: r[col])
-        hi = bisect.bisect_right(self.rows, high, key=lambda r: r[col])
+        if self._store is not None:
+            column = self._store.cols[col]
+            lo = bisect.bisect_left(column, low)
+            hi = bisect.bisect_right(column, high)
+            return lo, hi
+        lo = bisect.bisect_left(self._rows, low, key=lambda r: r[col])
+        hi = bisect.bisect_right(self._rows, high, key=lambda r: r[col])
         return lo, hi
 
     def append_rows(self, new_rows: list[tuple]) -> None:
@@ -136,7 +298,7 @@ class CdwTable:
         The common eager-apply case — a staged file strictly after every
         row already present — is a plain extend; out-of-order arrivals
         (round-robin writers finishing early chunks late) fall back to a
-        timsort, which is near-linear on the mostly-sorted result.
+        sort, which is near-linear on the mostly-sorted result.
         """
         if not new_rows:
             return
@@ -150,16 +312,64 @@ class CdwTable:
                     if not any(v is None for v in key_value):
                         bucket.add(key_value)
         if self.sorted_by is None:
-            self.rows.extend(new_rows)
+            self._extend(new_rows)
             return
         col = self.column_index(self.sorted_by)
-        in_order = (not self.rows
-                    or self.rows[-1][col] <= new_rows[0][col])
-        self.rows.extend(new_rows)
+        last = None
+        if self.row_count:
+            last = self._store.cols[col][self.row_count - 1] \
+                if self._store is not None else self._rows[-1][col]
+        in_order = last is None or last <= new_rows[0][col]
+        self._extend(new_rows)
         if not in_order or any(
                 new_rows[i][col] > new_rows[i + 1][col]
                 for i in range(len(new_rows) - 1)):
-            self.rows.sort(key=lambda r: r[col])
+            if self._store is not None:
+                self._sort_store(col)
+            else:
+                self._rows.sort(key=lambda r: r[col])
+
+    def _extend(self, new_rows: list[tuple]) -> None:
+        if self._store is not None:
+            self._store.extend_rows(new_rows)
+        else:
+            self._rows.extend(new_rows)
+
+    def append_columns(self, column_values: list[list]) -> None:
+        """Columnwise :meth:`append_rows`: one value list per column,
+        all the same length, values already coerced.
+
+        The COPY/INSERT..SELECT hot path — rows never exist as tuples.
+        """
+        if not column_values or not column_values[0]:
+            return
+        n = len(column_values[0])
+        if self._unique_index is not None:
+            for key_no, key in enumerate(self.unique_keys):
+                bucket = self._unique_index[key_no]
+                for key_value in zip(*(column_values[i] for i in key)):
+                    if not any(v is None for v in key_value):
+                        bucket.add(key_value)
+        sort_needed = False
+        if self.sorted_by is not None:
+            col = self.column_index(self.sorted_by)
+            new_col = column_values[col]
+            last = None
+            if self.row_count:
+                last = self._store.cols[col][self.row_count - 1] \
+                    if self._store is not None else self._rows[-1][col]
+            sort_needed = (last is not None and last > new_col[0]) or any(
+                new_col[i] > new_col[i + 1] for i in range(n - 1))
+        if self._store is not None:
+            self._store.extend_columns(column_values)
+        else:
+            self._rows.extend(zip(*column_values))
+        if sort_needed:
+            col = self.column_index(self.sorted_by)
+            if self._store is not None:
+                self._sort_store(col)
+            else:
+                self._rows.sort(key=lambda r: r[col])
 
     # -- row validation -----------------------------------------------------
 
@@ -196,35 +406,49 @@ class CdwTable:
                        else key_value)
         return out
 
+    def _uniqueness_error(self, key: tuple[int, ...], key_value: tuple,
+                          field_hint: str | None) -> BulkExecutionError:
+        columns = ", ".join(self.columns[i].name for i in key)
+        return BulkExecutionError(
+            f"uniqueness violation on {self.name}({columns}): "
+            f"key {_key_repr(key_value)}",
+            kind="uniqueness",
+            field=field_hint or self.columns[key[0]].name)
+
+    def _key_tuples(self, key: tuple[int, ...], candidate_rows):
+        """Iterate key tuples of ``candidate_rows`` — columnwise when the
+        candidate is this table's own live view (no tuple building)."""
+        if isinstance(candidate_rows, RowsView) \
+                and candidate_rows._store is self._store \
+                and self._store is not None:
+            return zip(*(self._store.column_list(i) for i in key))
+        return (tuple(row[i] for i in key) for row in candidate_rows)
+
     def check_unique(self, candidate_rows: list[tuple],
                      field_hint: str | None = None) -> None:
         """Verify ``candidate_rows`` (the table's would-be full contents)
         satisfy every declared unique key; raise a *uniqueness*
-        BulkExecutionError otherwise (without identifying the row)."""
-        for key_no, key in enumerate(self.unique_keys):
+        BulkExecutionError naming the first violating key otherwise
+        (without identifying the row)."""
+        for key in self.unique_keys:
             seen: set[tuple] = set()
-            for row in candidate_rows:
-                key_value = tuple(row[i] for i in key)
+            for key_value in self._key_tuples(key, candidate_rows):
                 if any(v is None for v in key_value):
                     continue
                 if key_value in seen:
-                    columns = ", ".join(
-                        self.columns[i].name for i in key)
-                    raise BulkExecutionError(
-                        f"uniqueness violation on {self.name}({columns})",
-                        kind="uniqueness",
-                        field=field_hint or self.columns[key[0]].name)
+                    raise self._uniqueness_error(key, key_value, field_hint)
                 seen.add(key_value)
 
     def _ensure_unique_index(self) -> list[set]:
         """Build (once) the per-key sets of current rows' key values."""
         if self._unique_index is None:
-            index: list[set] = [set() for _ in self.unique_keys]
-            for row in self._rows:
-                for key_no, key in enumerate(self.unique_keys):
-                    key_value = tuple(row[i] for i in key)
+            index: list[set] = []
+            for key in self.unique_keys:
+                bucket: set = set()
+                for key_value in self._key_tuples(key, self.rows):
                     if not any(v is None for v in key_value):
-                        index[key_no].add(key_value)
+                        bucket.add(key_value)
+                index.append(bucket)
             self._unique_index = index
         return self._unique_index
 
@@ -245,21 +469,51 @@ class CdwTable:
         if not self.unique_keys:
             return
         index = self._ensure_unique_index()
-        staged: list[set] = [set() for _ in self.unique_keys]
         for key_no, key in enumerate(self.unique_keys):
-            seen, local = index[key_no], staged[key_no]
+            seen, local = index[key_no], set()
             for row in new_rows:
                 key_value = tuple(row[i] for i in key)
                 if any(v is None for v in key_value):
                     continue
                 if key_value in seen or key_value in local:
-                    columns = ", ".join(
-                        self.columns[i].name for i in key)
-                    raise BulkExecutionError(
-                        f"uniqueness violation on {self.name}({columns})",
-                        kind="uniqueness",
-                        field=field_hint or self.columns[key[0]].name)
+                    raise self._uniqueness_error(key, key_value, field_hint)
                 local.add(key_value)
+
+    def check_unique_append_columns(self, column_values: list[list],
+                                    field_hint: str | None = None) -> None:
+        """Columnwise :meth:`check_unique_append` over candidate column
+        lists (same order semantics: first duplicate in row order)."""
+        if not self.unique_keys:
+            return
+        index = self._ensure_unique_index()
+        for key_no, key in enumerate(self.unique_keys):
+            seen, local = index[key_no], set()
+            for key_value in zip(*(column_values[i] for i in key)):
+                if any(v is None for v in key_value):
+                    continue
+                if key_value in seen or key_value in local:
+                    raise self._uniqueness_error(key, key_value, field_hint)
+                local.add(key_value)
+
+    # -- storage stats -------------------------------------------------------
+
+    def storage_info(self) -> dict:
+        """Snapshot of this table's physical footprint.
+
+        ``bytes`` is the column-buffer footprint in columnar mode and a
+        per-object estimate in row mode — comparable enough to make the
+        layout win observable in ``stats()`` and the gauge.
+        """
+        if self._store is not None:
+            nbytes = self._store.nbytes()
+        else:
+            nbytes = sys.getsizeof(self._rows) + sum(
+                sys.getsizeof(row) + sum(
+                    sys.getsizeof(v) for v in row if v is not None)
+                for row in self._rows)
+        return {"rows": self.row_count,
+                "bytes": nbytes,
+                "mode": "columnar" if self._store is not None else "rows"}
 
 
 @dataclass

@@ -72,6 +72,68 @@ class CdwType:
             raise TypeError_(f"no coercion for {self.base}")
         return handler(value, field)
 
+    def coerce_many(self, column_values: list,
+                    field: str | None = None) -> list:
+        """Bulk :meth:`coerce` over one column's values.
+
+        Semantically identical to mapping :meth:`coerce` per value; the
+        common COPY shapes (decoded strings landing in character,
+        integer, and double columns) run as tight loops without
+        per-value dispatch, and anything irregular falls back to the
+        per-value path so errors stay canonical.
+        """
+        base = self.base
+        try:
+            if base in ("NVARCHAR", "VARCHAR"):
+                length = self.length
+                if all(v is None
+                       or (type(v) is str
+                           and (length is None or len(v) <= length))
+                       for v in column_values):
+                    return list(column_values)
+            elif base in _INT_RANGES:
+                low, high = _INT_RANGES[base]
+                out: list = []
+                append = out.append
+                for v in column_values:
+                    if v is None:
+                        append(None)
+                        continue
+                    if type(v) is str:
+                        v = int(v.strip())
+                    elif type(v) is not int:
+                        raise ValueError(v)
+                    if not low <= v <= high:
+                        raise ValueError(v)
+                    append(v)
+                return out
+            elif base == "DOUBLE":
+                out = []
+                append = out.append
+                for v in column_values:
+                    if v is None:
+                        append(None)
+                    elif type(v) is str:
+                        append(float(v.strip()))
+                    elif type(v) is float:
+                        append(v)
+                    else:
+                        raise ValueError(v)
+                return out
+            elif base == "DATE":
+                # exact type: datetime is a date subclass but must go
+                # through the per-value path (it truncates to a date)
+                if all(v is None or type(v) is values.Date
+                       for v in column_values):
+                    return list(column_values)
+            elif base == "TIMESTAMP":
+                if all(v is None or type(v) is values.Timestamp
+                       for v in column_values):
+                    return list(column_values)
+        except ValueError:
+            pass
+        return [self.coerce(v, field=field) for v in column_values]
+
     def _char_common(self, value, field, pad: bool):
         if isinstance(value, str):
             text = value

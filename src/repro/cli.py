@@ -262,6 +262,10 @@ def _add_perf_args(sub_parser) -> None:
         "--no-zone-map-pruning", action="store_true",
         help="disable __SEQ zone-map pruning of staging-table scans")
     sub_parser.add_argument(
+        "--no-columnar", action="store_true",
+        help="store CDW tables as row tuples and evaluate per-row "
+             "instead of columnar storage + vectorized execution")
+    sub_parser.add_argument(
         "--upload-workers", type=int, default=None, metavar="N",
         help="parallel staging-file upload workers (default: 4)")
 
@@ -272,6 +276,7 @@ def _perf_config_kwargs(args) -> dict:
         "eager_apply": bool(getattr(args, "eager_apply", False)),
         "zone_map_pruning":
             not getattr(args, "no_zone_map_pruning", False),
+        "columnar": not getattr(args, "no_columnar", False),
     }
     workers = getattr(args, "upload_workers", None)
     if workers is not None:

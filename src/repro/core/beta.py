@@ -476,14 +476,17 @@ class ApplyRun:
         """Sorted ``__SEQ`` values currently staged within a bound."""
         engine = self.beta.engine
         staging = engine.table(self.staging_table)
-        seq_idx = staging.column_index(SEQ_COLUMN)
         with engine.locks.table_lock(self.staging_table).read():
+            # Read the __SEQ column directly — no tuple materialization
+            # when the staging table is columnar.
             if lo_seq is None and hi_seq is None:
-                return sorted(row[seq_idx] for row in staging.rows)
+                return sorted(
+                    staging.column_values(SEQ_COLUMN, 0,
+                                          staging.row_count))
             lo, hi = staging.seq_slice(
                 lo_seq if lo_seq is not None else 0,
                 hi_seq if hi_seq is not None else (1 << 62))
-            return [row[seq_idx] for row in staging.rows[lo:hi]]
+            return staging.column_values(SEQ_COLUMN, lo, hi)
 
     def apply_seq_range(self, lo_seq: int | None,
                         hi_seq: int | None) -> None:

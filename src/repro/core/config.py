@@ -63,6 +63,11 @@ class HyperQConfig:
     #: sorted zone map instead of scanning every row per range; False
     #: keeps the full-scan path (A/B baseline).
     zone_map_pruning: bool = True
+    #: store CDW tables as typed column vectors and evaluate scans /
+    #: aggregates / bulk DML over column batches; False keeps the
+    #: row-of-tuples storage and the per-row interpreter (the
+    #: differential-testing and A/B baseline).
+    columnar: bool = True
     #: worker threads for BulkLoader.upload_directory.
     upload_workers: int = 4
     #: acknowledge a chunk only after it is written to disk — the

@@ -124,6 +124,7 @@ class HyperQNode:
                 lambda stmt, seconds: self.obs.statement_seconds
                 .labels(statement=stmt).observe(seconds))
         engine.zone_map_pruning = self.config.zone_map_pruning
+        engine.columnar = self.config.columnar
         if engine.on_scan_pruned is None:
             engine.on_scan_pruned = (
                 lambda skipped: self.obs.scan_pruned_rows.inc(skipped))
@@ -248,6 +249,7 @@ class HyperQNode:
                 "min_available": self.credits.min_available,
             },
             "engine_statements": dict(self.engine.statement_counts),
+            "storage": self._storage_snapshot(),
             "plan_cache": {
                 "dml": self.beta.plans.stats(),
                 "engine_parse": self.engine.plan_cache.stats(),
@@ -298,8 +300,21 @@ class HyperQNode:
             "jobs": jobs,
         }
 
+    def _storage_snapshot(self) -> dict:
+        """stats()["storage"]: per-table rows / bytes / storage mode.
+
+        Refreshes the ``hyperq_table_bytes`` gauge as a side effect so
+        scrapes and :meth:`stats` always agree.
+        """
+        snapshot = self.engine.storage_snapshot()
+        for table_name, info in snapshot.items():
+            self.obs.table_bytes.labels(table=table_name) \
+                .set(info["bytes"])
+        return snapshot
+
     def render_prometheus(self) -> str:
         """Prometheus text exposition of the node's metric registry."""
+        self._storage_snapshot()
         return self.obs.registry.render_prometheus()
 
     def _accept_loop(self) -> None:

@@ -254,6 +254,10 @@ class Observability:
         self.statement_seconds = reg.histogram(
             "cdw_statement_seconds",
             "CDW engine statement latency", ("statement",))
+        self.table_bytes = reg.gauge(
+            "hyperq_table_bytes",
+            "Estimated bytes of column/row data held per CDW table",
+            ("table",))
 
     def _on_span_drop(self) -> None:
         """Tracer drop hook: count every eviction, warn exactly once."""

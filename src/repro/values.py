@@ -86,6 +86,15 @@ def _atom_regex(atom: str) -> str:
     return re.escape(atom)
 
 
+@functools.lru_cache(maxsize=256)
+def _format_regex(fmt: str) -> "re.Pattern[str]":
+    """The compiled pattern for one format string (cached like
+    :func:`date_format_tokens` — bulk loads reuse a handful of formats
+    across millions of values)."""
+    return re.compile(
+        "".join(_atom_regex(a) for a in date_format_tokens(fmt)))
+
+
 def parse_date(text: str, fmt: str = DEFAULT_DATE_FORMAT,
                field: str | None = None) -> Date:
     """Parse ``text`` according to a legacy format string.
@@ -94,8 +103,7 @@ def parse_date(text: str, fmt: str = DEFAULT_DATE_FORMAT,
     the error that, during the application phase, becomes a row in the
     transformation error table (code 3103 in Figure 6).
     """
-    pattern = "".join(_atom_regex(a) for a in date_format_tokens(fmt))
-    match = re.fullmatch(pattern, text.strip())
+    match = _format_regex(fmt).fullmatch(text.strip())
     if match is None:
         raise ExpressionError(
             f"DATE conversion failed: {text!r} does not match format {fmt!r}",

@@ -130,3 +130,39 @@ class TestCheckUniqueAppend:
             except BulkExecutionError:
                 assert not ok, \
                     f"step {step}: full check would accept {k}"
+
+
+class TestViolationMessageNamesKey:
+    """Uniqueness errors must name the first violating key value so a
+    failed APPLY is debuggable from the error table alone."""
+
+    def test_single_column_key_value_in_message(self):
+        engine = make_engine()
+        insert(engine, 123)
+        with pytest.raises(BulkExecutionError,
+                           match=r"T\(K\): key 123"):
+            insert(engine, 123)
+
+    def test_composite_key_value_in_message(self):
+        engine = CdwEngine(store=CloudStore(), native_unique=True)
+        engine.execute(
+            "CREATE TABLE C (A INT, B NVARCHAR, UNIQUE (A, B))")
+        engine.execute("INSERT INTO C VALUES (1, 'x')")
+        with pytest.raises(BulkExecutionError,
+                           match=r"key \(1, 'x'\)"):
+            engine.execute("INSERT INTO C VALUES (1, 'x')")
+
+    def test_long_key_repr_is_bounded(self):
+        engine = CdwEngine(store=CloudStore(), native_unique=True)
+        engine.execute(
+            "CREATE TABLE L (K NVARCHAR, UNIQUE (K))")
+        big = "z" * 500
+        engine.execute(f"INSERT INTO L VALUES ('{big}')")
+        try:
+            engine.execute(f"INSERT INTO L VALUES ('{big}')")
+        except BulkExecutionError as exc:
+            message = str(exc)
+            assert "..." in message
+            assert len(message) < 200
+        else:  # pragma: no cover - must raise
+            raise AssertionError("duplicate accepted")

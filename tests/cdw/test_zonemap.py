@@ -141,3 +141,37 @@ class TestPrunedStatements:
             "MERGE INTO STG USING SRC ON STG.__SEQ = SRC.__SEQ "
             "WHEN NOT MATCHED THEN INSERT VALUES (SRC.V, SRC.__SEQ)")
         assert table.sorted_by is None
+
+
+class TestTruncateKeepsZoneMap:
+    """Beta's emulation rollback truncates the staging suffix; the
+    zone map must stay armed so the eager ranges appended afterwards
+    still slice correctly (PR 8 satellite)."""
+
+    def test_truncate_then_append_slices_match_oracle(self):
+        engine = make_engine()
+        table = seed_staging(engine, list(range(500)))
+        assert table.sorted_by == "__SEQ"
+
+        table.truncate_rows(300)            # rollback to seq < 300
+        assert table.sorted_by == "__SEQ", \
+            "suffix truncation cannot disturb the sort order"
+
+        # eager ranges re-land after the rollback point
+        table.append_rows([(f"r{s}", s) for s in range(300, 420)])
+        assert table.sorted_by == "__SEQ"
+        live = list(range(420))
+        for lo, hi in ((0, 99), (250, 350), (280, 10_000),
+                       (419, 419), (420, 500), (-5, -1)):
+            start, stop = table.seq_slice(lo, hi)
+            got = [r[1] for r in table.rows[start:stop]]
+            assert got == [s for s in live if lo <= s <= hi], (lo, hi)
+
+    def test_truncated_range_queries_through_engine(self):
+        engine = make_engine()
+        table = seed_staging(engine, list(range(100)))
+        table.truncate_rows(40)
+        table.append_rows([(f"r{s}", s) for s in range(40, 70)])
+        assert engine.query(
+            "SELECT COUNT(*) FROM STG WHERE __SEQ BETWEEN 30 AND 80"
+        ) == [(40,)]
