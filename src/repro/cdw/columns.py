@@ -397,6 +397,19 @@ class ColumnStore:
 
     # -- mutation ------------------------------------------------------------
 
+    def add_column(self, spec) -> None:
+        """Append one column (NULL-backfilled for every existing row).
+
+        Callers keep ``specs`` in sync themselves when the spec list is
+        shared with a table object; when it is not shared the spec is
+        appended here.
+        """
+        col = column_for_type(spec.ctype.base)
+        col.append_many([None] * self._length)
+        self.cols.append(col)
+        if not (self.specs and self.specs[-1] is spec):
+            self.specs.append(spec)
+
     def truncate(self, length: int) -> None:
         """Drop every row past ``length``."""
         if length >= self._length:

@@ -225,6 +225,22 @@ class CdwEngine:
         return CdwResult(kind="count",
                          rows_inserted=len(rows) if created else 0)
 
+    def _exec_AlterTable(self, stmt: n.AlterTable) -> CdwResult:
+        """Schema evolution (``_lock_sets`` returns None for DDL, so
+        this always runs under the exclusive catalog hold)."""
+        table = self.catalog.get(stmt.table.name)
+        if stmt.action == "add":
+            spec = ColumnSpec(stmt.column.name,
+                              cdw_type_from_node(stmt.column.type),
+                              stmt.column.nullable)
+            table.add_column(spec, if_not_exists=stmt.if_not_exists)
+        elif stmt.action == "rename":
+            table.rename_column(stmt.old_name, stmt.new_name)
+        else:
+            raise CdwError(
+                f"unknown ALTER TABLE action {stmt.action!r}")
+        return CdwResult(kind="ddl")
+
     def _exec_DropTable(self, stmt: n.DropTable) -> CdwResult:
         self.catalog.drop(stmt.table.name, if_exists=stmt.if_exists)
         return CdwResult(kind="ddl")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cdw.columns import ColumnStore
 from repro.cdw.types import CdwType
@@ -222,6 +222,51 @@ class CdwTable:
     def has_column(self, name: str) -> bool:
         """Whether a column of this name exists."""
         return name.upper() in self._index
+
+    # -- schema evolution ----------------------------------------------------
+
+    def add_column(self, spec: ColumnSpec,
+                   if_not_exists: bool = False) -> bool:
+        """Append a column, NULL-backfilling every existing row.
+
+        The new column lands at the end of the schema so existing
+        positional semantics (unique-key positions, error-table
+        layouts) are untouched.  Returns False for an ``if_not_exists``
+        no-op.  A NOT NULL column cannot be added to a non-empty table
+        (there is no DEFAULT mechanism to backfill it).
+        """
+        if self.has_column(spec.name):
+            if if_not_exists:
+                return False
+            raise CatalogError(
+                f"table {self.name!r} already has column {spec.name!r}")
+        if not spec.nullable and self.row_count:
+            raise CatalogError(
+                f"cannot add NOT NULL column {spec.name!r} to non-empty "
+                f"table {self.name!r}")
+        self.columns.append(spec)
+        self._index[spec.name.upper()] = len(self.columns) - 1
+        if self._store is not None:
+            # ``self._store.specs`` aliases ``self.columns`` (the spec
+            # is already appended above); this just adds the vector.
+            self._store.add_column(spec)
+        else:
+            self._rows = [row + (None,) for row in self._rows]
+        return True
+
+    def rename_column(self, old: str, new: str) -> None:
+        """Rename a column in place; data and positions are untouched."""
+        idx = self.column_index(old)
+        if self.has_column(new) and idx != self.column_index(new):
+            raise CatalogError(
+                f"table {self.name!r} already has column {new!r}")
+        spec = self.columns[idx]
+        self.columns[idx] = replace(spec, name=new)
+        self._index = {c.name.upper(): i
+                       for i, c in enumerate(self.columns)}
+        if self.sorted_by is not None \
+                and self.sorted_by.upper() == old.upper():
+            self.sorted_by = new
 
     # -- columnar reads ------------------------------------------------------
 

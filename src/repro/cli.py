@@ -22,6 +22,9 @@ Four subcommands, mirroring how the real product is operated:
 - ``dq``         — run an instrumented job under a declarative
   data-quality rule profile and print the precheck verdicts
   (violation counts per rule, rows routed to the error table);
+- ``stream``     — drive a continuous micro-batch ingestion feed
+  (scheduled schema drift, durable watermark, exactly-once replay;
+  see docs/STREAMING.md);
 - ``flight``     — inspect a dead job's flight-recorder bundle
   (post-mortem events + spans + metrics).
 
@@ -184,6 +187,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="event timeline (default) or the raw "
                              "bundle JSON")
 
+    stream = sub.add_parser(
+        "stream", help="drive a continuous micro-batch ingestion feed")
+    stream.add_argument("--batches", type=int, default=None,
+                        help="micro-batches to run (default 12, or the "
+                             "stream profile's value)")
+    stream.add_argument("--rows", type=int, default=None,
+                        help="rows per micro-batch (default 40)")
+    stream.add_argument("--feed", default=None,
+                        help="feed name (default orders_feed)")
+    stream.add_argument("--drift-profile", default=None,
+                        choices=("evolve", "route-to-error", "halt",
+                                 "none"),
+                        help="schema-drift policy; 'none' generates a "
+                             "drift-free feed (default evolve)")
+    stream.add_argument("--stream-profile", default=None, metavar="PATH",
+                        help="stream profile JSON supplying feed "
+                             "defaults + the gateway watermark dir "
+                             "(see docs/STREAMING.md and "
+                             "examples/stream_profile.json)")
+    stream.add_argument("--cadence", type=float, default=None,
+                        help="seconds to sleep between batches "
+                             "(default 0)")
+    stream.add_argument("--watermark-dir", default=None, metavar="DIR",
+                        help="durable per-feed watermark directory "
+                             "(default: node-managed temp dir)")
+    stream.add_argument("--sessions", type=int, default=2,
+                        help="parallel load sessions per batch")
+    stream.add_argument("--credits", type=int, default=16,
+                        help="Hyper-Q credit pool size")
+    stream.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="human-readable summary (default) or JSON")
+    _add_chaos_args(stream)
+    _add_wlm_args(stream)
+    _add_dq_args(stream)
+    _add_perf_args(stream)
+    _add_logging_args(stream)
+
     simulate = sub.add_parser(
         "simulate", help="discrete-event acquisition model")
     simulate.add_argument("--rows", type=int, default=1_000_000)
@@ -244,6 +285,16 @@ def _add_dq_args(sub_parser) -> None:
 def _load_dq_profile(args):
     """The parsed --dq-profile JSON, or None when not given."""
     path = getattr(args, "dq_profile", None)
+    if path is None:
+        return None
+    import json
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_stream_profile(args):
+    """The parsed --stream-profile JSON, or None when not given."""
+    path = getattr(args, "stream_profile", None)
     if path is None:
         return None
     import json
@@ -523,6 +574,76 @@ def _cmd_dq(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import json
+
+    from repro.bench.harness import build_stack
+    from repro.core.config import HyperQConfig
+    from repro.stream import StreamRunner, StreamSession
+    from repro.workloads.streamgen import stream_workload
+
+    _configure_cli_logging(args)
+    profile = _load_stream_profile(args) or {}
+    batches = args.batches if args.batches is not None \
+        else int(profile.get("batches", 12))
+    rows = args.rows if args.rows is not None \
+        else int(profile.get("rows_per_batch", 40))
+    feed = args.feed or profile.get("feed", "orders_feed")
+    policy = args.drift_profile or profile.get("policy", "evolve")
+    cadence = args.cadence if args.cadence is not None \
+        else float(profile.get("cadence_s", 0.0))
+    drift_cfg = profile.get("drift") or {}
+    drift_on = policy != "none" and drift_cfg.get("enabled", True)
+    workload = stream_workload(
+        batches=batches, rows_per_batch=rows, drift=drift_on,
+        add_at=drift_cfg.get("add_at"),
+        rename_at=drift_cfg.get("rename_at"),
+        seed=int(profile.get("seed", 7)), feed=feed,
+        table=profile.get("table", "PROD.STREAM"))
+    config = HyperQConfig(
+        credits=args.credits,
+        stream_profile=profile or None,
+        chaos_profile=_load_chaos_profile(args),
+        chaos_seed=getattr(args, "chaos_seed", None),
+        wlm_profile=_load_wlm_profile(args),
+        dq_profile=_load_dq_profile(args),
+        **_perf_config_kwargs(args))
+    stack = build_stack(config=config)
+    try:
+        stack.engine.execute(workload.ddl)
+        session = StreamSession(
+            stack.node.connect, feed=feed,
+            target_table=workload.target_table,
+            et_table=workload.et_table, uv_table=workload.uv_table,
+            policy="evolve" if policy == "none" else policy,
+            watermark_dir=args.watermark_dir
+            or profile.get("watermark_dir"),
+            sessions=args.sessions)
+        with session:
+            report = StreamRunner(session, workload,
+                                  cadence_s=cadence).run()
+    finally:
+        stack.close()
+    summary = report.as_dict()
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    print(f"feed {summary['feed']}: {summary['committed']} committed, "
+          f"{summary['skipped']} skipped, {summary['routed']} routed "
+          f"of {summary['batches']} batches")
+    print(f"rows inserted       : {summary['rows_inserted']}")
+    print(f"error-table rows    : {summary['et_errors']}")
+    print(f"throughput          : {summary['rows_per_second']} rows/s")
+    print(f"batch latency p50   : {summary['latency_p50_s'] * 1000:.2f} ms")
+    print(f"batch latency p95   : {summary['latency_p95_s'] * 1000:.2f} ms")
+    print(f"drift events        : {summary['drift_events']}")
+    for seq, event in report.drift:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.items())
+                          if k != "kind")
+        print(f"  batch {seq}: {event.get('kind', '?')} {detail}")
+    return 0
+
+
 def _cmd_flight(args) -> int:
     import json
 
@@ -767,6 +888,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "slo": _cmd_slo,
     "dq": _cmd_dq,
+    "stream": _cmd_stream,
     "flight": _cmd_flight,
 }
 

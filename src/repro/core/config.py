@@ -130,6 +130,13 @@ class HyperQConfig:
     #: list); None disables the pre-APPLY data-quality check entirely.
     dq_profile: dict | list | None = None
 
+    # -- continuous ingestion (repro.stream) --
+    #: parsed stream-profile JSON describing the node's streaming
+    #: defaults ({"watermark_dir": ..., "drift_policy": ...,
+    #: "cadence_s": ..., ...}); None leaves every stream knob to the
+    #: per-feed BEGIN_LOAD metadata.
+    stream_profile: dict | None = None
+
     # -- per-job flight recorder (repro.obs.flight) --
     #: keep a bounded in-memory event log per job and dump a
     #: post-mortem bundle (events + spans + metrics) when a job dies.
@@ -194,3 +201,6 @@ class HyperQConfig:
         if self.dq_profile is not None and \
                 not isinstance(self.dq_profile, (dict, list)):
             raise ValueError("dq_profile must be a dict or rule list")
+        if self.stream_profile is not None and \
+                not isinstance(self.stream_profile, dict):
+            raise ValueError("stream_profile must be a dict")

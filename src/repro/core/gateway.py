@@ -23,12 +23,12 @@ import shutil
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cdw.bulkloader import CloudBulkLoader
 from repro.cdw.cloudstore import CloudStore
 from repro.cdw.engine import CdwEngine
-from repro.core.beta import SEQ_COLUMN, Beta
+from repro.core.beta import SEQ_COLUMN, ApplySummary, Beta
 from repro.core.config import HyperQConfig
 from repro.core.converter import DataConverter
 from repro.core.credits import CreditManager
@@ -37,7 +37,11 @@ from repro.core.metrics import JobMetrics, Stopwatch
 from repro.core.pipeline import AcquisitionPipeline
 from repro.core.tdfcursor import TdfCursor
 from repro.dq import DqPrechecker, DqProfile
-from repro.errors import GatewayError, ProtocolError, ReproError
+from repro.dq.compiler import et_insert, staging_delete
+from repro.errors import (
+    HYPERQ_SCHEMA_DRIFT, GatewayError, ProtocolError, ReproError,
+    StreamDriftError,
+)
 from repro.faults import FaultInjector, FaultyEndpoint
 from repro.obs import NULL_SPAN, Observability, configure_logging, get_logger
 from repro.resilience import (
@@ -52,6 +56,7 @@ from repro.legacy.types import Layout
 from repro.net import Listener
 from repro.sqlxc import to_cdw, transpile
 from repro.sqlxc.parser import parse_statement
+from repro.stream.drift import SchemaDriftResolver
 
 __all__ = ["HyperQNode"]
 
@@ -88,6 +93,49 @@ class _LoadJob:
     eager_sql: str | None = None
     #: data-quality prechecker (None when no ruleset matched the job).
     dq: DqPrechecker | None = None
+    #: owning stream feed (None for one-shot loads), the micro-batch
+    #: sequence/cursor this job carries, the source event timestamp
+    #: (lag gauge), drift accepted at BEGIN (wire dicts), and whether
+    #: the whole batch routes to the error table (route-to-error).
+    stream: "_StreamFeed | None" = None
+    stream_seq: int = -1
+    stream_cursor: str | None = None
+    stream_event_ts: float | None = None
+    stream_drift: list = field(default_factory=list)
+    stream_route_error: bool = False
+
+
+@dataclass
+class _StreamFeed:
+    """Gateway-side state of one continuous-ingestion feed.
+
+    A feed outlives its micro-batch jobs: the watermark journal (in a
+    *durable* directory, not the node's staging tempdir) carries the
+    highest committed batch sequence, the source cursor, and the
+    accepted wire layout across node restarts; the WLM ticket is
+    admitted once at feed open and held across cycles, so a streaming
+    session occupies exactly one pool slot however many batches it
+    runs (per-batch jobs ride with ``ticket=None``).
+    """
+
+    name: str
+    target: str
+    #: schema-drift policy: ``evolve`` / ``route-to-error`` / ``halt``.
+    policy: str
+    journal: CheckpointJournal
+    #: the wire layout the feed last accepted (drift baseline).
+    layout: Layout
+    #: source→target column mapping matrix (identity under ``evolve``).
+    mapping: dict = field(default_factory=dict)
+    pool: str = ""
+    ticket: object = None
+    committed_seq: int = -1
+    cursor: str | None = None
+    batches_committed: int = 0
+    batches_skipped: int = 0
+    rows_committed: int = 0
+    drift_events: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 @dataclass
@@ -103,6 +151,26 @@ class _ExportJob:
     #: data sessions that must see EOF before the job is torn down.
     eof_needed: int = 1
     eof_seen: set[int] = field(default_factory=set)
+
+
+def _ruleset_for_layout(ruleset, layout: Layout):
+    """Drop rules referencing columns absent from a batch's layout.
+
+    Drift × DQ semantics for streaming feeds: a rule is *defined* for a
+    micro-batch only once every column it references exists in that
+    batch's layout, so a rule written against a column that appears
+    mid-stream simply starts applying at the batch that adds it.
+    Returns None when nothing survives (the precheck is skipped).
+    """
+    names = {f.upper() for f in layout.field_names}
+    kept = tuple(r for r in ruleset.rules
+                 if all(c.upper() in names
+                        for c in r.referenced_columns))
+    if not kept:
+        return None
+    if len(kept) == len(ruleset.rules):
+        return ruleset
+    return replace(ruleset, rules=kept)
 
 
 class HyperQNode:
@@ -174,6 +242,8 @@ class HyperQNode:
                 self._base_dir, "flight")
         self._jobs: dict[str, _LoadJob] = {}
         self._exports: dict[str, _ExportJob] = {}
+        #: continuous-ingestion feeds by name (repro.stream).
+        self._streams: dict[str, _StreamFeed] = {}
         self._registry_lock = threading.Lock()
         #: metrics of finished jobs, in completion order (bench harness).
         self.completed_jobs: list[JobMetrics] = []
@@ -208,10 +278,27 @@ class HyperQNode:
             self.wlm.release(job.ticket)
         for export in exports:
             self.wlm.release(export.ticket)
+        # Stream feeds quiesce after their in-flight batch jobs (each
+        # batch is drained or cleanly abandoned for resume above) and
+        # strictly before Observability.close() flushes the trace store
+        # — the same teardown ordering the eager coordinator needs.
+        # Closing the watermark journal here flushes the feed's durable
+        # state; a restarted node reopens it and resumes the feed.
+        with self._registry_lock:
+            feeds = list(self._streams.values())
+            self._streams.clear()
+        for feed in feeds:
+            self.obs.flight.record(
+                f"stream:{feed.name}", "feed_quiesced",
+                committed_seq=feed.committed_seq,
+                batches=feed.batches_committed)
+            feed.journal.close()
+            self.wlm.release(feed.ticket)
         shutil.rmtree(self._base_dir, ignore_errors=True)
         self.obs.close()
         log.info("node stopped", extra={
             "node": self.name, "abandoned_jobs": len(jobs),
+            "abandoned_feeds": len(feeds),
             "completed_jobs": len(self.completed_jobs)})
 
     def __enter__(self) -> "HyperQNode":
@@ -275,6 +362,7 @@ class HyperQNode:
                     if self.obs.trace_store is not None else 0),
             },
             "dq": self._dq_snapshot(),
+            "streams": self._streams_snapshot(),
             "slo": self.obs.slo.snapshot(),
             "flight": {
                 "enabled": self.obs.flight.enabled,
@@ -299,6 +387,27 @@ class HyperQNode:
             **totals,
             "jobs": jobs,
         }
+
+    def _streams_snapshot(self) -> dict:
+        """stats()["streams"]: per-feed watermark + counters."""
+        with self._registry_lock:
+            feeds = list(self._streams.values())
+        out = {}
+        for feed in feeds:
+            with feed.lock:
+                out[feed.name] = {
+                    "target": feed.target,
+                    "policy": feed.policy,
+                    "pool": feed.pool,
+                    "committed_seq": feed.committed_seq,
+                    "cursor": feed.cursor,
+                    "batches_committed": feed.batches_committed,
+                    "batches_skipped": feed.batches_skipped,
+                    "rows_committed": feed.rows_committed,
+                    "drift_events": feed.drift_events,
+                    "layout": [f.name for f in feed.layout.fields],
+                }
+        return out
 
     def _storage_snapshot(self) -> dict:
         """stats()["storage"]: per-table rows / bytes / storage mode.
@@ -494,6 +603,16 @@ class HyperQNode:
         # remote context, so the gateway side has no orphan roots.
         remote_ctx = message.trace_context()
 
+        # Streaming micro-batches branch off here: admission belongs to
+        # the *feed* (one slot across all cycles), the feed's durable
+        # watermark decides whether this batch already committed, and
+        # schema drift is resolved before any job state exists.
+        if meta.get("stream"):
+            self._handle_begin_stream_batch(
+                channel, meta, conn, job_id, layout, format_spec,
+                target, resume, remote_ctx)
+            return
+
         # Admission control happens before ANY job state is created, so
         # a shed request leaves nothing behind — the client just sees
         # WLM_THROTTLED and retries the whole BEGIN_LOAD later.
@@ -515,7 +634,8 @@ class HyperQNode:
                              job_id: str, layout: Layout,
                              format_spec: FormatSpec, target: str,
                              resume: bool, pool: str, ticket,
-                             remote_ctx=None) -> _LoadJob:
+                             remote_ctx=None,
+                             stream: dict | None = None) -> _LoadJob:
         """Set up one admitted load job (the pre-wlm BEGIN_LOAD body)."""
         # A restarted job (same job_id, resume flag) replaces whatever
         # is left of its killed predecessor; the checkpoint journal in
@@ -554,6 +674,17 @@ class HyperQNode:
         # first matching ruleset in declaration order wins.
         dq = None
         ruleset = self.dq_profile.resolve(target=target, pool=pool)
+        if ruleset is not None and stream is not None:
+            if stream["route_error"]:
+                # The whole batch is bound for the error table — the
+                # precheck would only route it twice.
+                ruleset = None
+            else:
+                # Drift × DQ: a rule applies to a stream batch only
+                # once every column it references exists in the
+                # batch's layout — a column added mid-stream is exempt
+                # until the profile matches it (docs/STREAMING.md).
+                ruleset = _ruleset_for_layout(ruleset, layout)
         if ruleset is not None:
             try:
                 dq = DqPrechecker(
@@ -594,6 +725,10 @@ class HyperQNode:
         # buffers callbacks across that construction gap.
         eager_sql = (meta.get("apply_sql")
                      if self.config.eager_apply else None)
+        if stream is not None and stream["route_error"]:
+            # Nothing of a route-to-error batch may reach the target
+            # before APPLY moves it wholesale to the error table.
+            eager_sql = None
         relay = DurableFileRelay() if eager_sql else None
         pipeline = AcquisitionPipeline(
             on_file_durable=relay,
@@ -643,6 +778,13 @@ class HyperQNode:
             span=job_span, ticket=ticket,
             eager=eager, eager_sql=eager_sql, dq=dq,
         )
+        if stream is not None:
+            job.stream = stream["feed"]
+            job.stream_seq = stream["seq"]
+            job.stream_cursor = stream["cursor"]
+            job.stream_event_ts = stream["event_ts"]
+            job.stream_drift = stream["drift"]
+            job.stream_route_error = stream["route_error"]
         job.total_watch.start()
         self.obs.jobs_total.labels(event="started").inc()
         self.obs.flight.record(
@@ -662,6 +804,294 @@ class HyperQNode:
             ok_meta["durable_seqs"] = sorted(pipeline.resumed_seqs)
         channel.send(Message(MessageKind.BEGIN_LOAD_OK, ok_meta))
         return job
+
+    # -- continuous ingestion (repro.stream) -------------------------------------
+
+    def _handle_begin_stream_batch(self, channel: MessageChannel,
+                                   meta: dict, conn: dict, job_id: str,
+                                   layout: Layout,
+                                   format_spec: FormatSpec, target: str,
+                                   resume: bool, remote_ctx) -> None:
+        """BEGIN_LOAD of one micro-batch on a streaming feed.
+
+        Three outcomes: the batch sequence is at or below the feed's
+        durable watermark → a ``stream_committed`` fast-skip reply and
+        no job at all (replay after a client crash); the batch layout
+        drifted → resolve it under the feed's policy first; otherwise
+        → a normal load job that rides the feed's admission ticket.
+        """
+        stream_meta = meta["stream"]
+        feed = self._stream_feed(stream_meta, conn, target, layout)
+        seq = int(stream_meta.get("batch_seq", 0))
+        with feed.lock:
+            skip = seq <= feed.committed_seq
+            if skip:
+                feed.batches_skipped += 1
+            committed_seq, cursor = feed.committed_seq, feed.cursor
+        if skip:
+            self.obs.stream_batches.labels(
+                feed=feed.name, outcome="skipped").inc()
+            self.obs.flight.record(
+                f"stream:{feed.name}", "batch_skipped", seq=seq)
+            channel.send(Message(MessageKind.BEGIN_LOAD_OK, {
+                "job_id": job_id, "stream_committed": True,
+                "committed_seq": committed_seq, "cursor": cursor}))
+            return
+        route_error, drift = self._stream_resolve_drift(
+            feed, seq, layout, meta["layout"])
+        job = self._begin_load_admitted(
+            channel, meta, job_id, layout, format_spec, target,
+            resume, feed.pool, None, remote_ctx,
+            stream={
+                "feed": feed,
+                "seq": seq,
+                "cursor": stream_meta.get("cursor"),
+                "event_ts": stream_meta.get("event_ts"),
+                "drift": drift,
+                "route_error": route_error,
+            })
+        conn["loads"][job_id] = job
+
+    def _stream_feed(self, stream_meta: dict, conn: dict, target: str,
+                     layout: Layout) -> _StreamFeed:
+        """Get or durably open the feed a stream batch belongs to.
+
+        The watermark journal lives outside the node's staging tempdir
+        (``config.stream_profile["watermark_dir"]``, then the client's
+        ``watermark_dir`` meta, then a staging-area fallback that only
+        suits tests), so a feed reopened after a node restart resumes
+        from its last committed batch, accepted layout included.
+        """
+        name = str(stream_meta.get("feed") or "feed")
+        with self._registry_lock:
+            feed = self._streams.get(name)
+        if feed is not None:
+            if feed.target != target:
+                raise GatewayError(
+                    f"stream feed {name!r} is bound to "
+                    f"{feed.target!r}, not {target!r}")
+            return feed
+        profile = self.config.stream_profile or {}
+        policy = str(stream_meta.get("drift_policy")
+                     or profile.get("drift_policy") or "evolve")
+        if policy not in ("evolve", "route-to-error", "halt"):
+            raise GatewayError(
+                f"unknown stream drift policy {policy!r} "
+                "(expected evolve, route-to-error, or halt)")
+        watermark_dir = (profile.get("watermark_dir")
+                         or stream_meta.get("watermark_dir")
+                         or os.path.join(self._base_dir, "streams"))
+        os.makedirs(watermark_dir, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                       for c in name)
+        journal = CheckpointJournal(
+            os.path.join(watermark_dir, f"{safe}.feed.jsonl"))
+        accepted = layout
+        if journal.stream_layout is not None:
+            accepted = layout_from_wire(journal.stream_layout)
+        pool = self._classify(stream_meta, conn, target=target)
+        # One admission per *feed*, held across every micro-batch
+        # cycle: a streaming session is one long-running occupant of
+        # its pool, fairly arbitrated against one-shot jobs.
+        ticket = self.wlm.admit(pool, f"stream:{name}", kind="stream")
+        feed = _StreamFeed(
+            name=name, target=target, policy=policy, journal=journal,
+            layout=accepted,
+            mapping={f.name: f.name for f in accepted.fields},
+            pool=pool, ticket=ticket,
+            committed_seq=(-1 if journal.stream_committed_seq is None
+                           else journal.stream_committed_seq),
+            cursor=journal.stream_cursor,
+            rows_committed=journal.stream_rows)
+        if journal.stream_drift:
+            # The accepted layout (and with it the identity mapping
+            # built above) already reflects the journaled history;
+            # only the counter needs restoring.
+            feed.drift_events = len(journal.stream_drift)
+        with self._registry_lock:
+            existing = self._streams.get(name)
+            if existing is not None:
+                # Lost the creation race: keep the first one.
+                journal.close()
+                self.wlm.release(ticket)
+                return existing
+            self._streams[name] = feed
+        self.obs.flight.record(
+            f"stream:{name}", "feed_opened", target=target,
+            policy=policy, committed_seq=feed.committed_seq)
+        log.info("stream feed opened", extra={
+            "feed": name, "target": target, "policy": policy,
+            "committed_seq": feed.committed_seq})
+        return feed
+
+    def _stream_resolve_drift(self, feed: _StreamFeed, seq: int,
+                              layout: Layout, layout_wire: dict
+                              ) -> "tuple[bool, list[dict]]":
+        """Diff a batch layout against the feed; apply the policy.
+
+        Returns ``(route_error, wire_events)``.  Under ``evolve`` the
+        target is ALTERed (ADD IF NOT EXISTS / guarded RENAME — both
+        replay-safe across the ALTER→journal crash window), the
+        mapping matrix is updated, the feed's accepted layout advances,
+        and the drift is journaled *before* any batch data lands.
+        Under ``route-to-error`` nothing advances — the batch stages
+        under its own layout and APPLY routes it wholesale.  ``halt``
+        raises, leaving the watermark untouched for replay.
+        """
+        with feed.lock:
+            resolver = SchemaDriftResolver(feed=feed.name)
+            events = resolver.resolve(feed.layout, layout)
+            if not events:
+                return False, []
+            wire = [e.to_wire() for e in events]
+            if feed.policy == "halt":
+                raise StreamDriftError(
+                    f"feed {feed.name}: schema drift under halt "
+                    f"policy: {wire}", feed=feed.name, events=wire)
+            for event in events:
+                self.obs.stream_drift_events.labels(
+                    feed=feed.name, kind=event.kind).inc()
+            feed.drift_events += len(events)
+            if feed.policy == "route-to-error":
+                self.obs.flight.record(
+                    f"stream:{feed.name}", "drift_routed", seq=seq,
+                    events=len(events))
+                log.info("stream drift routed to error table", extra={
+                    "feed": feed.name, "seq": seq, "events": wire})
+                return True, wire
+            # evolve: propagate to the target, then journal.  ADD is
+            # idempotent; RENAME is guarded so replaying the window
+            # between a completed ALTER and the journal write is safe.
+            target_table = self.engine.table(feed.target)
+            for event in events:
+                if event.kind == "added":
+                    self.engine.execute(
+                        f"ALTER TABLE {feed.target} ADD COLUMN "
+                        f"IF NOT EXISTS {event.column} {event.new_type}")
+                elif event.kind == "renamed" and \
+                        target_table.has_column(event.old_name):
+                    self.engine.execute(
+                        f"ALTER TABLE {feed.target} RENAME COLUMN "
+                        f"{event.old_name} TO {event.column}")
+            feed.mapping = SchemaDriftResolver.apply_to_mapping(
+                feed.mapping, events)
+            feed.layout = layout
+            feed.journal.record_stream_drift(seq, wire,
+                                             layout=layout_wire)
+            self.obs.flight.record(
+                f"stream:{feed.name}", "drift_evolved", seq=seq,
+                events=len(events))
+            log.info("stream drift evolved", extra={
+                "feed": feed.name, "seq": seq, "events": wire})
+            return False, wire
+
+    def _stream_route_batch(self, job: _LoadJob) -> ApplySummary:
+        """route-to-error APPLY: the whole staged batch → error table.
+
+        Reuses the dq routing idiom (batched multi-row ET INSERTs +
+        zone-map-pruned staging DELETEs) with the drift provenance
+        columns ``__RULE_ID='schema_drift'`` and the event list as
+        ``__REASON``, so drift-routed and dq-routed rows share one
+        queryable schema.  The watermark still advances — the batch is
+        *handled*, not lost — and replay after a crash fast-skips it.
+        """
+        from repro.dq.precheck import _DELETE_BATCH, _INSERT_BATCH
+        result = self.engine.execute(
+            f"SELECT {SEQ_COLUMN} FROM {job.staging_table}")
+        seqs = sorted(row[0] for row in result.rows)
+        events = job.stream_drift
+        reason = ("; ".join(
+            f"{e['kind']}:{e.get('column', '')}" for e in events))[:256]
+        column = events[0].get("column", "") if events else ""
+        chunk_records = dict(job.pipeline.chunk_records)
+        starts: dict[int, int] = {}
+        acc = 0
+        for chunk in sorted(chunk_records):
+            starts[chunk] = acc
+            acc += chunk_records[chunk]
+        stride = self.config.seq_stride
+        rows = []
+        for seq in seqs:
+            rownum = starts.get(seq // stride, 0) + seq % stride + 1
+            rows.append((
+                rownum, HYPERQ_SCHEMA_DRIFT, column,
+                (f"schema drift on feed {job.stream.name} routed "
+                 f"batch {job.stream_seq} to the error table: "
+                 f"{reason}, row number: {rownum}")[:512],
+                "schema_drift", reason))
+        for i in range(0, len(rows), _INSERT_BATCH):
+            self.engine.execute(
+                et_insert(job.et_table, rows[i:i + _INSERT_BATCH]))
+        for i in range(0, len(seqs), _DELETE_BATCH):
+            self.engine.execute(staging_delete(
+                job.staging_table, seqs[i:i + _DELETE_BATCH]))
+        self.obs.flight.record(
+            job.job_id, "stream_batch_routed", rows=len(seqs))
+        return ApplySummary(et_errors=len(seqs),
+                            statements=(len(rows) + _INSERT_BATCH - 1)
+                            // _INSERT_BATCH if rows else 0)
+
+    def _stream_commit(self, job: _LoadJob, summary: ApplySummary,
+                       result_meta: dict) -> None:
+        """Durably advance the feed watermark, then let the reply go.
+
+        Ordering is the exactly-once crux: the ``stream_commit``
+        record reaches the feed journal *before* APPLY_RESULT leaves
+        the node.  A client that dies without seeing the reply replays
+        the batch and fast-skips on the committed watermark; a node
+        that dies before the record lands leaves the batch job's own
+        checkpoint journal to resume the cycle mid-batch.  Compaction
+        rides the same boundary, keeping the journal O(feed state)
+        instead of O(batch history) however long the feed runs.
+        """
+        feed = job.stream
+        rows = summary.rows_inserted + summary.rows_updated
+        outcome = "routed" if job.stream_route_error else "committed"
+        with feed.lock:
+            feed.journal.record_stream_commit(
+                job.stream_seq, cursor=job.stream_cursor, rows=rows)
+            feed.journal.compact()
+            feed.committed_seq = max(feed.committed_seq, job.stream_seq)
+            feed.cursor = job.stream_cursor
+            feed.batches_committed += 1
+            feed.rows_committed += rows
+            committed_seq = feed.committed_seq
+        self.obs.stream_batches.labels(
+            feed=feed.name, outcome=outcome).inc()
+        stream_result = {
+            "feed": feed.name, "seq": job.stream_seq,
+            "committed_seq": committed_seq,
+            "routed": job.stream_route_error,
+        }
+        if job.stream_event_ts is not None:
+            lag = max(0.0, time.time() - float(job.stream_event_ts))
+            self.obs.stream_lag_seconds.labels(feed=feed.name).set(lag)
+            stream_result["lag_s"] = round(lag, 6)
+        if job.stream_drift:
+            stream_result["drift"] = list(job.stream_drift)
+        result_meta["stream"] = stream_result
+        self.obs.flight.record(
+            f"stream:{feed.name}", "batch_committed",
+            seq=job.stream_seq, rows=rows,
+            routed=job.stream_route_error)
+
+    def _close_stream_feed(self, name: str) -> None:
+        """END_LOAD(stream_end): release the feed's slot and journal."""
+        with self._registry_lock:
+            feed = self._streams.pop(name, None)
+        if feed is None:
+            return
+        feed.journal.close()
+        self.wlm.release(feed.ticket)
+        self.obs.flight.record(
+            f"stream:{name}", "feed_closed",
+            committed_seq=feed.committed_seq,
+            batches=feed.batches_committed)
+        log.info("stream feed closed", extra={
+            "feed": name, "target": feed.target,
+            "committed_seq": feed.committed_seq,
+            "batches": feed.batches_committed,
+            "rows": feed.rows_committed})
 
     def _create_staging_table(self, name: str, layout: Layout) -> None:
         """Staging columns are deliberately *unbounded* text for character
@@ -743,6 +1173,15 @@ class HyperQNode:
         job.metrics.acquisition_s = job.acquisition_watch.elapsed
         job.metrics.sessions = max(
             job.metrics.sessions, len(job.sessions_seen))
+
+        # A drifted batch under route-to-error never reaches Beta: its
+        # DML references columns the (un-evolved) target does not have.
+        if job.stream_route_error:
+            with job.application_watch, \
+                    self.obs.stage_seconds.labels(stage="apply").time():
+                summary = self._stream_route_batch(job)
+            self._record_apply_result(channel, job, summary)
+            return
 
         # The dq precheck sits between acquisition and APPLY: one
         # aggregated rule pass + violation routing, so Beta's split
@@ -887,6 +1326,10 @@ class HyperQNode:
             result_meta["dq_violations"] = job.metrics.dq_violations
             result_meta["dq_routed_rows"] = job.metrics.dq_routed_rows
             self._note_dq_job(job)
+        if job.stream is not None:
+            # Exactly-once hinge: the feed watermark commits (and the
+            # journal compacts) BEFORE the reply leaves the node.
+            self._stream_commit(job, summary, result_meta)
         self.obs.flight.record(
             job.job_id, "apply_finished",
             rows_inserted=summary.rows_inserted,
@@ -958,6 +1401,14 @@ class HyperQNode:
 
     def _handle_end_load(self, channel: MessageChannel,
                          message: Message, conn: dict) -> None:
+        if message.meta.get("stream_end"):
+            # Feed close rides END_LOAD but names no batch job — it
+            # must be handled before the job lookup.
+            self._close_stream_feed(
+                str(message.meta.get("feed")
+                    or message.meta.get("job_id") or ""))
+            channel.send(Message(MessageKind.END_LOAD_OK))
+            return
         job_id = message.meta["job_id"]
         job = self._job(job_id)
         conn["loads"].pop(job_id, None)

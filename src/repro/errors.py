@@ -194,6 +194,26 @@ class WlmThrottled(GatewayError):
         super().__init__(message)
 
 
+class StreamDriftError(GatewayError):
+    """Schema drift on a streaming feed could not be accepted.
+
+    Raised when the feed's drift policy is ``halt``, when the drift is
+    structurally unsupported (a source column disappeared), or when an
+    ``evolve`` ALTER failed on the target.  The client sees it as an
+    ERROR frame carrying :data:`HYPERQ_SCHEMA_DRIFT`; the feed's
+    watermark is untouched, so the batch can be replayed once the
+    schema disagreement is resolved.
+    """
+
+    code = 3811
+
+    def __init__(self, message: str, feed: str = "",
+                 events: list | None = None):
+        self.feed = feed
+        self.events = list(events or [])
+        super().__init__(message)
+
+
 class CircuitOpenError(GatewayError):
     """A circuit breaker rejected the call without attempting it.
 
@@ -248,6 +268,10 @@ HYPERQ_UNIQUENESS_ERROR = 3805
 #: Hyper-Q error-table code: declarative data-quality rule violated
 #: during the pre-APPLY check (see :mod:`repro.dq` and docs/DQ.md).
 HYPERQ_DQ_VIOLATION = 3807
+#: Hyper-Q error-table code: a whole micro-batch routed to the error
+#: table because its feed drifted under the ``route-to-error`` policy
+#: (see :mod:`repro.stream` and docs/STREAMING.md).
+HYPERQ_SCHEMA_DRIFT = StreamDriftError.code
 #: Hyper-Q error-table code: max_errors budget exhausted (Figure 6).
 HYPERQ_MAX_ERRORS_REACHED = 9057
 #: Hyper-Q protocol code: job throttled by workload management (see

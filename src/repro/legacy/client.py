@@ -95,6 +95,14 @@ class ImportJobSpec:
     #: base backoff between admission retries; the server's
     #: retry-after hint floors each delay.
     admission_backoff_s: float = 0.05
+    #: continuous-ingestion metadata (repro.stream): a dict with at
+    #: least ``feed`` and ``batch_seq``, optionally ``cursor``,
+    #: ``event_ts``, ``drift_policy``, and ``watermark_dir``.  When set
+    #: the job is one micro-batch of a streaming feed — the gateway may
+    #: answer BEGIN_LOAD with ``stream_committed`` (the batch is below
+    #: the feed's durable watermark) and the client then skips the
+    #: whole cycle (see :attr:`ImportJobResult.stream_committed`).
+    stream: dict | None = None
 
 
 @dataclass
@@ -106,8 +114,17 @@ class ImportJobResult:
     rows_deleted: int = 0
     et_errors: int = 0
     uv_errors: int = 0
+    #: rows the declarative data-quality precheck routed to the error
+    #: table before application (not counted in ``et_errors``).
+    dq_routed_rows: int = 0
     chunks_sent: int = 0
     bytes_sent: int = 0
+    #: True when the gateway fast-skipped this micro-batch because its
+    #: sequence was already below the feed's durable watermark — no
+    #: data was sent, no DML ran (streaming replay after a restart).
+    stream_committed: bool = False
+    #: stream info from the server (watermark, accepted drift, lag).
+    stream: dict = field(default_factory=dict)
 
     @property
     def total_errors(self) -> int:
@@ -342,6 +359,8 @@ class LegacyEtlClient:
             begin_meta["tenant"] = spec.tenant
         if spec.resume:
             begin_meta["resume"] = True
+        if spec.stream is not None:
+            begin_meta["stream"] = spec.stream
         job_span = self._tracer.span(
             "client.job", job_id=job_id, target=spec.target_table)
         try:
@@ -351,6 +370,19 @@ class LegacyEtlClient:
                 .set_trace_context(job_span),
                 MessageKind.BEGIN_LOAD_OK,
                 spec.admission_retry_attempts, spec.admission_backoff_s)
+
+            if begun.meta.get("stream_committed"):
+                # The feed's durable watermark already covers this
+                # batch: the gateway created no job, so there is
+                # nothing to pump, apply, or end.
+                job_span.set_attribute("stream_committed", True)
+                job_span.end()
+                return ImportJobResult(
+                    stream_committed=True,
+                    stream={
+                        "committed_seq": begun.meta.get("committed_seq"),
+                        "cursor": begun.meta.get("cursor"),
+                    })
 
             journal = None
             if spec.journal_path is not None:
@@ -406,6 +438,9 @@ class LegacyEtlClient:
             result.rows_deleted = applied.meta.get("rows_deleted", 0)
             result.et_errors = applied.meta.get("et_errors", 0)
             result.uv_errors = applied.meta.get("uv_errors", 0)
+            result.dq_routed_rows = applied.meta.get(
+                "dq_routed_rows", 0)
+            result.stream = applied.meta.get("stream", {})
 
             control.request(
                 Message(MessageKind.END_LOAD, {"job_id": job_id}),
@@ -415,6 +450,21 @@ class LegacyEtlClient:
             raise
         job_span.end()
         return result
+
+    def end_stream(self, feed: str) -> None:
+        """Close a streaming feed on the server.
+
+        Rides END_LOAD with ``stream_end`` — the server releases the
+        feed's admission slot and closes its watermark journal.  The
+        journal itself is durable: reopening the feed later resumes
+        from the committed watermark.
+        """
+        control = self._require_control()
+        control.request(
+            Message(MessageKind.END_LOAD,
+                    {"job_id": f"stream:{feed}", "stream_end": True,
+                     "feed": feed}),
+            MessageKind.END_LOAD_OK)
 
     @staticmethod
     def _abort_load(control: MessageChannel, job_id: str) -> None:

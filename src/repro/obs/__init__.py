@@ -183,6 +183,22 @@ class Observability:
             "hyperq_dq_routed_rows_total",
             "Staging rows routed to the error table before APPLY")
 
+        # -- continuous ingestion (repro.stream) --
+        self.stream_batches = reg.counter(
+            "hyperq_stream_batches_total",
+            "Stream micro-batches by outcome (committed rode the full "
+            "load path, skipped were replay of already-committed "
+            "sequences, routed went whole to the error table)",
+            ("feed", "outcome"))
+        self.stream_lag_seconds = reg.gauge(
+            "hyperq_stream_lag_seconds",
+            "Source-to-commit lag of the last committed micro-batch "
+            "(commit time minus the batch's source event timestamp)",
+            ("feed",))
+        self.stream_drift_events = reg.counter(
+            "hyperq_stream_drift_events_total",
+            "Schema-drift events accepted per feed", ("feed", "kind"))
+
         # -- compiled codecs / prepared plans --
         self.plan_cache_hits = reg.counter(
             "hyperq_plan_cache_hits_total",

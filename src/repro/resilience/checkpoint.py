@@ -56,6 +56,16 @@ class CheckpointJournal:
         #: staging ``__SEQ``\ s the dq precheck already routed to the
         #: error table — resume re-deletes but never re-records them.
         self.dq_routed: set[int] = set()
+        #: highest committed micro-batch sequence of a streaming feed
+        #: (None = no stream commit journaled); with its source cursor,
+        #: total rows, and the accepted wire layout it forms the feed's
+        #: durable watermark (repro.stream).
+        self.stream_committed_seq: int | None = None
+        self.stream_cursor: str | None = None
+        self.stream_rows: int = 0
+        self.stream_layout: dict | None = None
+        #: schema-drift events accepted so far (wire dicts, in order).
+        self.stream_drift: list[dict] = []
         #: how many records were replayed from an existing journal.
         self.replayed = 0
         if fresh and os.path.exists(path):
@@ -102,6 +112,20 @@ class CheckpointJournal:
             self.eager_applied_below = record["below_chunk"]
         elif kind == "dq_route":
             self.dq_routed.update(record["seqs"])
+        elif kind == "stream_commit":
+            seq = record["seq"]
+            if self.stream_committed_seq is None \
+                    or seq > self.stream_committed_seq:
+                self.stream_committed_seq = seq
+                self.stream_cursor = record.get("cursor")
+            self.stream_rows = record.get(
+                "total_rows", self.stream_rows + record.get("rows", 0))
+            if record.get("layout") is not None:
+                self.stream_layout = record["layout"]
+        elif kind == "stream_drift":
+            self.stream_drift.extend(record.get("events", ()))
+            if record.get("layout") is not None:
+                self.stream_layout = record["layout"]
         # unknown record types are skipped: forward compatibility
 
     # -- appends ----------------------------------------------------------------
@@ -152,6 +176,89 @@ class CheckpointJournal:
         the error table and deleted them from staging."""
         self._append({"t": "dq_route", "seqs": sorted(seqs)})
 
+    def record_stream_commit(self, seq: int, *, cursor: str | None = None,
+                             rows: int = 0,
+                             layout: dict | None = None) -> None:
+        """Stream feed: micro-batch ``seq`` is fully applied.
+
+        Journaled *before* the APPLY_RESULT reply leaves the gateway, so
+        a feed resumed after any crash either skips the batch (commit
+        record present) or redoes it through the normal per-batch resume
+        path (commit record absent) — never both.
+        """
+        self._append({"t": "stream_commit", "seq": seq, "cursor": cursor,
+                      "rows": rows, "layout": layout})
+
+    def record_stream_drift(self, seq: int, events: list[dict],
+                            layout: dict | None = None) -> None:
+        """Stream feed: schema drift accepted while opening batch ``seq``.
+
+        ``events`` are wire-shaped drift descriptions; ``layout`` is the
+        feed's accepted wire layout *after* applying them.
+        """
+        self._append({"t": "stream_drift", "seq": seq, "events": events,
+                      "layout": layout})
+
+    # -- compaction --------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the journal as consolidated state; return bytes saved.
+
+        Called at micro-batch commit boundaries so a long-running feed's
+        watermark journal stays O(state) instead of O(history): the
+        per-batch ``stream_commit`` records collapse into one carrying
+        the accumulated row total, drift events collapse into a single
+        record, and load-job records are re-emitted in replay order.
+        The rewrite goes to a temp file that replaces the journal with
+        ``os.replace`` — a crash mid-compaction leaves either the old
+        journal or the new one, both fully valid, and the torn-tail
+        rules of :meth:`_load` still cover any interrupted append that
+        follows.
+        """
+        with self._lock:
+            records: list[dict] = []
+            for seq in sorted(self.acked):
+                records.append({"t": "ack", "seq": seq})
+            for name in sorted(self.staged):
+                records.append(self.staged[name])
+            for name in sorted(self.uploaded):
+                records.append({"t": "uploaded", "file": name})
+            if self.copy_rows is not None:
+                records.append({"t": "copy", "rows": self.copy_rows})
+            for blob in sorted(self.eager_copied):
+                records.append({"t": "eager_copy", "blob": blob,
+                                "rows": self.eager_copied[blob]})
+            if self.eager_applied_below is not None:
+                records.append({"t": "eager_apply",
+                                "below_chunk": self.eager_applied_below})
+            if self.dq_routed:
+                records.append({"t": "dq_route",
+                                "seqs": sorted(self.dq_routed)})
+            if self.stream_drift:
+                records.append({"t": "stream_drift", "seq": -1,
+                                "events": list(self.stream_drift),
+                                "layout": self.stream_layout})
+            if self.stream_committed_seq is not None:
+                records.append({"t": "stream_commit",
+                                "seq": self.stream_committed_seq,
+                                "cursor": self.stream_cursor,
+                                "total_rows": self.stream_rows,
+                                "layout": self.stream_layout})
+            before = os.path.getsize(self.path) \
+                if os.path.exists(self.path) else 0
+            tmp_path = self.path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as tmp:
+                for record in records:
+                    tmp.write(json.dumps(record, separators=(",", ":"))
+                              + "\n")
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            if not self._handle.closed:
+                self._handle.close()
+            os.replace(tmp_path, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            return max(0, before - os.path.getsize(self.path))
+
     # -- resume queries ----------------------------------------------------------
 
     def is_uploaded(self, name: str) -> bool:
@@ -198,6 +305,9 @@ class CheckpointJournal:
                 "uploaded_files": len(self.uploaded),
                 "copy_rows": self.copy_rows,
                 "replayed_records": self.replayed,
+                "stream_committed_seq": self.stream_committed_seq,
+                "stream_rows": self.stream_rows,
+                "stream_drift_events": len(self.stream_drift),
             }
 
     def close(self) -> None:

@@ -29,6 +29,7 @@ KEYWORDS = frozenset({
     "IS", "NULL", "BETWEEN", "LIKE", "EXISTS", "CASE", "WHEN", "THEN",
     "ELSE", "END", "CAST", "FORMAT", "INSERT", "INTO", "VALUES", "UPDATE",
     "SET", "DELETE", "MERGE", "USING", "ON", "MATCHED", "CREATE", "TABLE",
+    "ALTER",
     "DROP", "IF", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
     "CROSS", "UNIQUE", "PRIMARY", "KEY", "COPY", "TRUE", "FALSE", "DATE",
     "TIMESTAMP", "TIME", "INTERVAL", "TRIM", "LEADING", "TRAILING", "BOTH",

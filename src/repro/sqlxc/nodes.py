@@ -18,7 +18,8 @@ __all__ = [
     "SelectItem", "TableRef", "DerivedTable", "Join", "Select", "SetOp",
     "Values", "Insert", "Assignment", "Update", "Delete", "Upsert",
     "MergeMatched", "MergeNotMatched", "Merge",
-    "ColumnDef", "CreateTable", "CreateTableAs", "DropTable", "CopyInto",
+    "ColumnDef", "CreateTable", "CreateTableAs", "DropTable",
+    "AlterTable", "CopyInto",
     "walk", "transform", "replace",
 ]
 
@@ -362,6 +363,23 @@ class CreateTableAs(Statement):
 class DropTable(Statement):
     table: TableRef
     if_exists: bool = False
+
+
+@dataclass
+class AlterTable(Statement):
+    """Schema evolution: ``ALTER TABLE t ADD [COLUMN] ...`` or
+    ``ALTER TABLE t RENAME [COLUMN] old TO new``.
+
+    ``action`` is ``"add"`` (``column`` holds the new definition) or
+    ``"rename"`` (``old_name``/``new_name`` hold the names).
+    """
+
+    table: TableRef
+    action: str = "add"
+    column: "ColumnDef | None" = None
+    old_name: str = ""
+    new_name: str = ""
+    if_not_exists: bool = False
 
 
 @dataclass

@@ -67,6 +67,28 @@ class _Parser:
                 f"expected {op!r}, got {self.current.value!r}", self.current)
         return token
 
+    def accept_word(self, *words: str) -> Token | None:
+        """Accept a *contextual* keyword (lexed as IDENT, e.g. ADD/TO).
+
+        Matching is case-insensitive; real keywords match too, so a
+        grammar word may later be promoted to the reserved set without
+        touching its call sites.
+        """
+        token = self.current
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD) \
+                and token.value.upper() in words:
+            return self.advance()
+        return None
+
+    def expect_word(self, *words: str) -> Token:
+        """Like :meth:`expect_keyword` for contextual keywords."""
+        token = self.accept_word(*words)
+        if token is None:
+            raise SqlParseError(
+                f"expected {'/'.join(words)}, got {self.current.value!r}",
+                self.current)
+        return token
+
     def expect_ident(self) -> str:
         if self.current.type is TokenType.IDENT:
             return self.advance().value
@@ -99,6 +121,8 @@ class _Parser:
             return self._merge()
         if token.match("CREATE"):
             return self._create_table()
+        if token.match("ALTER"):
+            return self._alter_table()
         if token.match("DROP"):
             return self._drop_table()
         if token.match("COPY"):
@@ -410,6 +434,40 @@ class _Parser:
                 break
         self.expect_op(")")
         return n.CreateTable(table, columns, unique, if_not_exists)
+
+    def _alter_table(self) -> n.AlterTable:
+        """``ALTER TABLE t ADD [COLUMN] [IF NOT EXISTS] name type
+        [NOT NULL | NULL]`` or
+        ``ALTER TABLE t RENAME [COLUMN] old TO new``."""
+        self.expect_keyword("ALTER")
+        self.expect_keyword("TABLE")
+        table = n.TableRef(self._table_name())
+        if self.accept_word("ADD"):
+            self.accept_word("COLUMN")
+            if_not_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("NOT")
+                self.expect_keyword("EXISTS")
+                if_not_exists = True
+            name = self.expect_ident()
+            type_name = self._type_name()
+            nullable = True
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                nullable = False
+            else:
+                self.accept_keyword("NULL")
+            return n.AlterTable(
+                table, action="add",
+                column=n.ColumnDef(name, type_name, nullable),
+                if_not_exists=if_not_exists)
+        self.expect_word("RENAME")
+        self.accept_word("COLUMN")
+        old_name = self.expect_ident()
+        self.expect_word("TO")
+        new_name = self.expect_ident()
+        return n.AlterTable(table, action="rename",
+                            old_name=old_name, new_name=new_name)
 
     def _paren_name_list(self) -> list[str]:
         self.expect_op("(")

@@ -319,6 +319,18 @@ class _Renderer:
         return (f"CREATE TABLE {exists}{_ident(node.table.name)} ("
                 + ", ".join(parts) + ")")
 
+    def _render_AlterTable(self, node: n.AlterTable) -> str:
+        if node.action == "add":
+            exists = "IF NOT EXISTS " if node.if_not_exists else ""
+            return (f"ALTER TABLE {_ident(node.table.name)} "
+                    f"ADD COLUMN {exists}{self.render(node.column)}")
+        if node.action == "rename":
+            return (f"ALTER TABLE {_ident(node.table.name)} RENAME "
+                    f"COLUMN {_ident(node.old_name)} "
+                    f"TO {_ident(node.new_name)}")
+        raise SqlTranslationError(
+            f"unknown ALTER TABLE action {node.action!r}")
+
     def _render_DropTable(self, node: n.DropTable) -> str:
         exists = "IF EXISTS " if node.if_exists else ""
         return f"DROP TABLE {exists}{_ident(node.table.name)}"

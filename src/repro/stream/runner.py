@@ -1,0 +1,118 @@
+"""Batch-loop driver: pushes a stream workload through a session.
+
+:class:`StreamRunner` is the piece the CLI and benchmarks share — it
+iterates a workload's micro-batches through a
+:class:`~repro.stream.session.StreamSession` at an optional cadence and
+folds the per-batch outcomes into a :class:`StreamReport` (counts,
+latency percentiles, drift trail).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StreamRunner", "StreamReport"]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered)) - 1))
+    if q >= 1.0:
+        rank = len(ordered) - 1
+    return ordered[rank]
+
+
+@dataclass
+class StreamReport:
+    """Aggregated outcome of a :meth:`StreamRunner.run` loop."""
+
+    feed: str = ""
+    batches: int = 0
+    committed: int = 0
+    skipped: int = 0
+    routed: int = 0
+    rows_inserted: int = 0
+    et_errors: int = 0
+    uv_errors: int = 0
+    dq_routed_rows: int = 0
+    #: per-batch cycle latencies, in run order (committed + skipped).
+    latencies_s: list[float] = field(default_factory=list)
+    #: drift events accepted during the run, as ``(seq, wire-dict)``.
+    drift: list = field(default_factory=list)
+    #: wall-clock seconds for the whole loop.
+    elapsed_s: float = 0.0
+
+    def latency_p(self, q: float) -> float:
+        """Latency percentile (e.g. ``latency_p(0.95)``) in seconds."""
+        return _percentile(self.latencies_s, q)
+
+    @property
+    def rows_per_second(self) -> float:
+        """Committed-row throughput across the whole loop."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.rows_inserted / self.elapsed_s
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (benchmark artifacts, CLI output)."""
+        return {
+            "feed": self.feed,
+            "batches": self.batches,
+            "committed": self.committed,
+            "skipped": self.skipped,
+            "routed": self.routed,
+            "rows_inserted": self.rows_inserted,
+            "et_errors": self.et_errors,
+            "uv_errors": self.uv_errors,
+            "dq_routed_rows": self.dq_routed_rows,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "rows_per_second": round(self.rows_per_second, 3),
+            "latency_p50_s": round(self.latency_p(0.50), 6),
+            "latency_p95_s": round(self.latency_p(0.95), 6),
+            "drift_events": len(self.drift),
+        }
+
+
+class StreamRunner:
+    """Feeds a workload's batches through one session, in order."""
+
+    def __init__(self, session, workload, cadence_s: float = 0.0):
+        self.session = session
+        self.workload = workload
+        self.cadence_s = cadence_s
+        #: per-batch :class:`~repro.stream.session.StreamBatchResult`
+        #: objects, appended as the loop progresses.
+        self.results = []
+
+    def run(self, batches: int | None = None) -> StreamReport:
+        """Run up to ``batches`` micro-batches (all when ``None``)."""
+        todo = list(self.workload.batches)
+        if batches is not None:
+            todo = todo[:batches]
+        report = StreamReport(feed=self.session.feed)
+        started = time.perf_counter()
+        for batch in todo:
+            result = self.session.run_batch(batch)
+            self.results.append(result)
+            report.batches += 1
+            report.latencies_s.append(result.latency_s)
+            if result.skipped:
+                report.skipped += 1
+            else:
+                report.committed += 1
+                report.rows_inserted += result.rows_inserted
+                report.et_errors += result.et_errors
+                report.uv_errors += result.uv_errors
+                report.dq_routed_rows += result.dq_routed_rows
+            if result.routed:
+                report.routed += 1
+            for event in result.drift:
+                report.drift.append((result.seq, event))
+            if self.cadence_s > 0:
+                time.sleep(self.cadence_s)
+        report.elapsed_s = time.perf_counter() - started
+        return report

@@ -11,6 +11,10 @@ from repro.workloads.generator import (
     TenantWorkload, Workload, make_workload, multi_tenant_workloads,
     wide_workload,
 )
+from repro.workloads.streamgen import (
+    StreamBatch, StreamWorkload, stream_workload,
+)
 
-__all__ = ["TenantWorkload", "Workload", "make_workload",
-           "multi_tenant_workloads", "wide_workload"]
+__all__ = ["StreamBatch", "StreamWorkload", "TenantWorkload", "Workload",
+           "make_workload", "multi_tenant_workloads", "stream_workload",
+           "wide_workload"]

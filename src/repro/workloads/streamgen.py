@@ -1,0 +1,211 @@
+"""Seeded generation of continuous-ingestion (micro-batch) workloads.
+
+A :class:`StreamWorkload` is a scripted feed: an ordered list of
+:class:`StreamBatch` chunks that a :class:`~repro.stream.runner.
+StreamRunner` pushes through one :class:`~repro.stream.session.
+StreamSession`.  Schema drift is injected on a fixed schedule so tests
+and benchmarks have exact ground truth (the ``manifest``):
+
+- at ``add_at`` the source grows a trailing ``SRC_REGION VARCHAR(8)``
+  column;
+- at ``rename_at`` the source renames ``REC_NAME`` to ``CUST_NAME``.
+
+REC_IDs are globally unique across batches (``R<seq><i>``) so replayed
+or duplicated batches surface as uniqueness violations — the stream
+tests' canary for broken exactly-once accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.legacy.datafmt import FormatSpec
+from repro.legacy.types import FieldDef, Layout, parse_type
+from repro.workloads.generator import _make_pool, _payload
+
+__all__ = ["StreamBatch", "StreamWorkload", "stream_workload"]
+
+
+@dataclass
+class StreamBatch:
+    """One micro-batch of a scripted feed."""
+
+    seq: int
+    data: bytes
+    layout: Layout
+    apply_sql: str
+    rows: int = 0
+    #: opaque source position after this batch (journaled watermark).
+    cursor: str | None = None
+    #: drift kinds this batch introduces (``()`` for steady state).
+    drift: tuple[str, ...] = ()
+    #: optional source event timestamp (drives the lag gauge).
+    event_ts: float | None = None
+    format_spec: FormatSpec = field(
+        default_factory=lambda: FormatSpec("vartext", "|"))
+
+
+@dataclass
+class StreamWorkload:
+    """A scripted feed plus the ground truth tests assert against."""
+
+    name: str
+    feed: str
+    target_table: str
+    et_table: str
+    uv_table: str
+    #: DDL for the *initial* schema — drifted columns arrive via ALTER.
+    ddl: str
+    batches: list[StreamBatch] = field(default_factory=list)
+    #: ground truth: totals, per-batch rows, and the drift schedule.
+    manifest: dict = field(default_factory=dict)
+
+    @property
+    def rows_total(self) -> int:
+        """Total source rows across every batch."""
+        return sum(b.rows for b in self.batches)
+
+
+def _batch_layout(has_region: bool, renamed: bool,
+                  payload_width: int, seq: int) -> Layout:
+    """Layout as the *source* declares it at batch ``seq``."""
+    name_col = "CUST_NAME" if renamed else "REC_NAME"
+    fields = [
+        FieldDef("REC_ID", parse_type("varchar(12)")),
+        FieldDef(name_col, parse_type("varchar(40)")),
+        FieldDef("JOIN_DATE", parse_type("varchar(10)")),
+        FieldDef("PAYLOAD", parse_type(f"varchar({payload_width + 8})")),
+    ]
+    if has_region:
+        fields.append(FieldDef("SRC_REGION", parse_type("varchar(8)")))
+    return Layout(f"stream_b{seq:06d}", fields)
+
+
+def _batch_apply_sql(table: str, has_region: bool, renamed: bool) -> str:
+    """Per-batch DML matching the layout the source currently sends."""
+    name_bind = ":CUST_NAME" if renamed else ":REC_NAME"
+    binds = [
+        "trim(:REC_ID)", f"trim({name_bind})",
+        "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD')", ":PAYLOAD",
+    ]
+    if has_region:
+        binds.append("trim(:SRC_REGION)")
+    return f"insert into {table} values ({', '.join(binds)})"
+
+
+def stream_workload(batches: int = 12, rows_per_batch: int = 40,
+                    *, drift: bool = True,
+                    add_at: int | None = None,
+                    rename_at: int | None = None,
+                    row_bytes: int = 120, seed: int = 7,
+                    null_region_rate: float = 0.0,
+                    date_error_rate: float = 0.0,
+                    feed: str = "orders_feed",
+                    table: str = "PROD.STREAM") -> StreamWorkload:
+    """Script a feed of ``batches`` micro-batches with scheduled drift.
+
+    ``add_at`` / ``rename_at`` are batch sequences (defaults: one third
+    and two thirds of the run); ``drift=False`` disables both.
+    ``null_region_rate`` makes a fraction of post-``add_at`` rows carry
+    an empty SRC_REGION (VARTEXT decodes empty to NULL) — ground truth
+    for the drift × data-quality exemption tests.  ``date_error_rate``
+    seeds unparsable JOIN_DATEs that fall out through the ordinary
+    error-table path.
+    """
+    if batches < 1 or rows_per_batch < 1:
+        raise ValueError("batches and rows_per_batch must be positive")
+    if drift:
+        if add_at is None:
+            add_at = max(1, batches // 3)
+        if rename_at is None:
+            rename_at = max(add_at + 1, (2 * batches) // 3)
+    else:
+        add_at = rename_at = None
+    payload_width = max(row_bytes - 56, 4)
+    rng = random.Random(seed)
+    pool = _make_pool(rng)
+    out: list[StreamBatch] = []
+    schedule: list[dict] = []
+    per_batch_rows: list[int] = []
+    null_region_rows: dict[int, list[int]] = {}
+    date_error_rows: dict[int, list[int]] = {}
+    emitted = 0
+    for seq in range(batches):
+        has_region = add_at is not None and seq >= add_at
+        renamed = rename_at is not None and seq >= rename_at
+        kinds: list[str] = []
+        if add_at is not None and seq == add_at:
+            kinds.append("added")
+            schedule.append({"seq": seq, "kind": "added",
+                             "column": "SRC_REGION",
+                             "new_type": "VARCHAR(8)"})
+        if rename_at is not None and seq == rename_at:
+            kinds.append("renamed")
+            schedule.append({"seq": seq, "kind": "renamed",
+                             "column": "CUST_NAME",
+                             "old_name": "REC_NAME"})
+        lines: list[str] = []
+        for i in range(rows_per_batch):
+            rec_id = f"R{seq:04d}{i:05d}"
+            name_value = f"name-{rng.randrange(10_000):05d}"
+            year = 2000 + rng.randrange(25)
+            month = 1 + rng.randrange(12)
+            day = 1 + rng.randrange(28)
+            date_value = f"{year:04d}-{month:02d}-{day:02d}"
+            if date_error_rate > 0 and rng.random() < date_error_rate:
+                date_value = "not-a-date"
+                date_error_rows.setdefault(seq, []).append(i + 1)
+            parts = [rec_id, name_value, date_value,
+                     _payload(rng, pool, payload_width)]
+            if has_region:
+                region = f"R-{rng.randrange(90) + 10}"
+                if null_region_rate > 0 \
+                        and rng.random() < null_region_rate:
+                    region = ""
+                    null_region_rows.setdefault(seq, []).append(i + 1)
+                parts.append(region)
+            lines.append("|".join(parts))
+        data = ("\n".join(lines) + "\n").encode("utf-8")
+        emitted += rows_per_batch
+        out.append(StreamBatch(
+            seq=seq, data=data,
+            layout=_batch_layout(has_region, renamed, payload_width,
+                                 seq),
+            apply_sql=_batch_apply_sql(table, has_region, renamed),
+            rows=rows_per_batch,
+            cursor=f"offset:{emitted}",
+            drift=tuple(kinds),
+        ))
+        per_batch_rows.append(rows_per_batch)
+    ddl = (
+        f"CREATE TABLE {table} ("
+        "REC_ID VARCHAR(12) NOT NULL, "
+        "REC_NAME VARCHAR(40), "
+        "JOIN_DATE DATE, "
+        f"PAYLOAD VARCHAR({payload_width + 8}), "
+        "UNIQUE (REC_ID))"
+    )
+    final_columns = ["REC_ID", "REC_NAME", "JOIN_DATE", "PAYLOAD"]
+    if add_at is not None:
+        final_columns.append("SRC_REGION")
+    if rename_at is not None:
+        final_columns[1] = "CUST_NAME"
+    manifest = {
+        "feed": feed,
+        "batches": batches,
+        "rows_per_batch": per_batch_rows,
+        "rows_total": emitted,
+        "drift": schedule,
+        "add_at": add_at,
+        "rename_at": rename_at,
+        "final_columns": final_columns,
+        "rows_before_add": (add_at or 0) * rows_per_batch,
+        "null_region_rows": null_region_rows,
+        "date_error_rows": date_error_rows,
+    }
+    return StreamWorkload(
+        name=f"stream_{feed}", feed=feed, target_table=table,
+        et_table=f"{table}_ET", uv_table=f"{table}_UV",
+        ddl=ddl, batches=out, manifest=manifest,
+    )

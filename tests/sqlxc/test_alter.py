@@ -1,0 +1,59 @@
+"""ALTER TABLE: parse / render round-trips for schema evolution."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sqlxc import nodes as n
+from repro.sqlxc import transpile
+from repro.sqlxc.parser import parse_statement
+from repro.sqlxc.render import render
+
+
+def test_parse_add_column():
+    stmt = parse_statement(
+        "ALTER TABLE PROD.T ADD COLUMN C VARCHAR(8)")
+    assert isinstance(stmt, n.AlterTable)
+    assert stmt.table.name == "PROD.T"
+    assert stmt.action == "add"
+    assert stmt.column.name == "C"
+    assert not stmt.if_not_exists
+
+
+def test_parse_add_column_if_not_exists():
+    stmt = parse_statement(
+        "ALTER TABLE T ADD COLUMN IF NOT EXISTS C INT")
+    assert stmt.if_not_exists
+
+
+def test_parse_add_without_column_keyword():
+    stmt = parse_statement("ALTER TABLE T ADD C INT")
+    assert stmt.action == "add"
+    assert stmt.column.name == "C"
+
+
+def test_parse_rename_column():
+    stmt = parse_statement("ALTER TABLE T RENAME COLUMN A TO B")
+    assert stmt.action == "rename"
+    assert stmt.old_name == "A"
+    assert stmt.new_name == "B"
+
+
+@pytest.mark.parametrize("sql", [
+    "ALTER TABLE T ADD COLUMN C VARCHAR(8)",
+    "ALTER TABLE T ADD COLUMN IF NOT EXISTS C VARCHAR(8)",
+    "ALTER TABLE T ADD COLUMN C INT NOT NULL",
+    "ALTER TABLE T RENAME COLUMN A TO B",
+])
+def test_render_parse_roundtrip(sql):
+    rendered = render(parse_statement(sql))
+    assert render(parse_statement(rendered)) == rendered
+
+
+def test_transpile_passes_alter_through():
+    out = transpile("ALTER TABLE T ADD COLUMN IF NOT EXISTS C VARCHAR(8)")
+    assert out == "ALTER TABLE T ADD COLUMN IF NOT EXISTS C VARCHAR(8)"
+
+
+def test_parse_rejects_unknown_alter_action():
+    with pytest.raises(SqlParseError):
+        parse_statement("ALTER TABLE T DROP COLUMN C")

@@ -1,0 +1,54 @@
+"""CLI: the ``stream`` subcommand drives a feed end to end."""
+
+import json
+
+from repro.cli import main
+
+
+class TestStreamCommand:
+    def test_table_output(self, capsys):
+        code = main(["stream", "--batches", "5", "--rows", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5 committed" in out
+        assert "rows inserted       : 40" in out
+        assert "added column=SRC_REGION" in out
+
+    def test_json_output_without_drift(self, capsys):
+        code = main(["stream", "--batches", "4", "--rows", "6",
+                     "--drift-profile", "none", "--format", "json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["committed"] == 4
+        assert summary["rows_inserted"] == 24
+        assert summary["drift_events"] == 0
+
+    def test_route_to_error_policy(self, capsys):
+        code = main(["stream", "--batches", "6", "--rows", "5",
+                     "--drift-profile", "route-to-error",
+                     "--format", "json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["routed"] > 0
+        assert summary["et_errors"] == summary["routed"] * 5
+
+    def test_stream_profile_file(self, tmp_path, capsys):
+        profile = {"feed": "profeed", "batches": 3, "rows_per_batch": 4,
+                   "drift": {"enabled": False},
+                   "watermark_dir": str(tmp_path / "wm")}
+        path = tmp_path / "stream_profile.json"
+        path.write_text(json.dumps(profile))
+        code = main(["stream", "--stream-profile", str(path),
+                     "--format", "json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["feed"] == "profeed"
+        assert summary["committed"] == 3
+        assert (tmp_path / "wm" / "profeed.feed.jsonl").exists()
+
+    def test_example_profile_parses(self, capsys):
+        code = main(["stream", "--stream-profile",
+                     "examples/stream_profile.json", "--batches", "2",
+                     "--format", "json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["committed"] == 2

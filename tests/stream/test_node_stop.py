@@ -1,0 +1,67 @@
+"""Node shutdown with live feeds: quiesce before observability close.
+
+``HyperQNode.stop()`` must quiesce abandoned stream feeds — journal
+closed, WLM admission released, flight event recorded — *before* it
+closes the observability stack, so the quiesce itself can still emit
+telemetry.  A stopped node must hold no feed state.
+"""
+
+from repro.core.config import HyperQConfig
+from repro.stream import StreamRunner, StreamSession
+from repro.workloads.streamgen import stream_workload
+
+from tests.conftest import make_node
+
+
+def test_stop_quiesces_open_feeds_before_obs_close(tmp_path):
+    workload = stream_workload(batches=2, rows_per_batch=5, drift=False,
+                               feed="stopfeed", seed=31)
+    stack = make_node(config=HyperQConfig(credits=8))
+    try:
+        stack.engine.execute(workload.ddl)
+        session = StreamSession(stack.node.connect, feed="stopfeed",
+                                target_table=workload.target_table,
+                                watermark_dir=str(tmp_path))
+        session.open()
+        StreamRunner(session, workload).run()
+        # abandon the feed: client goes away without END_LOAD
+        session.close(end_feed=False)
+        node = stack.node
+        feed = node._streams["stopfeed"]
+
+        order = []
+        journal_close = feed.journal.close
+        obs_close = node.obs.close
+
+        def tracked_journal_close():
+            order.append("journal")
+            journal_close()
+
+        def tracked_obs_close():
+            order.append("obs")
+            obs_close()
+
+        feed.journal.close = tracked_journal_close
+        node.obs.close = tracked_obs_close
+    finally:
+        stack.close()
+
+    assert order == ["journal", "obs"]
+    assert stack.node._streams == {}
+    # the quiesce left a flight-recorder trace for the post-mortem
+    events = [e["event"] for e in
+              stack.node.obs.flight.events("stream:stopfeed")]
+    assert "feed_quiesced" in events
+
+
+def test_stop_is_clean_with_no_open_feeds():
+    workload = stream_workload(batches=2, rows_per_batch=5, drift=False,
+                               feed="donefeed", seed=33)
+    stack = make_node(config=HyperQConfig(credits=8))
+    stack.engine.execute(workload.ddl)
+    with StreamSession(stack.node.connect, feed="donefeed",
+                       target_table=workload.target_table) as session:
+        StreamRunner(session, workload).run()
+    # the context manager ended the feed; stop has nothing to quiesce
+    assert stack.node._streams == {}
+    stack.close()

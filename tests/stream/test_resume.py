@@ -1,0 +1,75 @@
+"""Kill + resume: a feed's watermark makes replays exactly-once.
+
+The chaos injector drops one server→client send mid-run, killing the
+client somewhere between a gateway-side batch commit and the client
+observing it (the worst window: the gateway has journaled the
+watermark, the client has not seen APPLY_RESULT).  A fresh client then
+replays the *whole* feed from batch zero.  Exactly-once demands zero
+duplicated and zero lost rows, and a final target state identical to a
+run that was never interrupted.
+"""
+
+import pytest
+
+from repro.core.config import HyperQConfig
+from repro.errors import ReproError
+from repro.stream import StreamRunner, StreamSession
+from repro.workloads.streamgen import stream_workload
+
+from tests.conftest import make_node
+
+
+def _workload():
+    return stream_workload(batches=6, rows_per_batch=12, drift=True,
+                           add_at=2, rename_at=4, seed=21)
+
+
+def _final_state(engine, table):
+    return sorted(engine.query(
+        f"SELECT REC_ID, CUST_NAME, JOIN_DATE, SRC_REGION FROM {table}"))
+
+
+def reference_outcome():
+    """The uninterrupted run every kill+resume must converge to."""
+    workload = _workload()
+    with make_node(config=HyperQConfig(credits=8)) as stack:
+        stack.engine.execute(workload.ddl)
+        with StreamSession(stack.node.connect, feed=workload.feed,
+                           target_table=workload.target_table) as session:
+            report = StreamRunner(session, workload).run()
+        assert report.committed == 6
+        return _final_state(stack.engine, workload.target_table)
+
+
+@pytest.mark.parametrize("at_call", [6, 13, 21])
+def test_killed_client_replays_feed_exactly_once(tmp_path, at_call):
+    expected = reference_outcome()
+    workload = _workload()
+    config = HyperQConfig(
+        converters=1, filewriters=1, credits=8,
+        chaos_profile=[{"point": "net.send", "at_call": at_call,
+                        "max_fires": 1}])
+    with make_node(config=config) as stack:
+        stack.engine.execute(workload.ddl)
+        first = StreamSession(stack.node.connect, feed=workload.feed,
+                              target_table=workload.target_table,
+                              watermark_dir=str(tmp_path), sessions=1)
+        first.open()
+        # the dropped send kills the client partway through the feed
+        with pytest.raises(ReproError):
+            StreamRunner(first, workload).run()
+        assert stack.node.stats()["resilience"]["faults_injected"] == 1
+
+        # a fresh client replays from batch zero: committed batches
+        # fast-skip, the half-done one resumes through its job journal
+        second = StreamSession(stack.node.connect, feed=workload.feed,
+                               target_table=workload.target_table,
+                               watermark_dir=str(tmp_path), sessions=1)
+        with second:
+            report = StreamRunner(second, workload).run()
+        assert report.skipped + report.committed == 6
+        assert report.et_errors == report.uv_errors == 0
+
+        final = _final_state(stack.engine, workload.target_table)
+        # zero lost, zero duplicated: identical to the clean run
+        assert final == expected
