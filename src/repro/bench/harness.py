@@ -48,11 +48,18 @@ class Stack:
 
 def build_stack(config: HyperQConfig | None = None,
                 native_unique: bool = True,
-                link_bandwidth_bytes_per_s: float | None = None) -> Stack:
-    """Assemble engine + store + started Hyper-Q node."""
+                link_bandwidth_bytes_per_s: float | None = None,
+                listener=None) -> Stack:
+    """Assemble engine + store + started Hyper-Q node.
+
+    ``listener`` swaps the default in-memory transport for something
+    else (a :class:`repro.net_tcp.TcpListener` in the concurrency
+    benchmark, so front-end comparisons include real socket costs).
+    """
     store = CloudStore(bandwidth_bytes_per_s=link_bandwidth_bytes_per_s)
     engine = CdwEngine(store=store, native_unique=native_unique)
-    node = HyperQNode(engine, store, config=config).start()
+    node = HyperQNode(engine, store, config=config,
+                      listener=listener).start()
     return Stack(engine=engine, store=store, node=node)
 
 

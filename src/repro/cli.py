@@ -88,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: run until interrupted)")
     serve.add_argument("--trace", action="store_true",
                        help="enable span tracing on the served node")
+    serve.add_argument("--async-frontend", action="store_true",
+                       help="multiplex sessions on the asyncio reactor "
+                            "front end instead of a thread per socket")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="shard workers behind the async front end "
+                            "(0 = auto from core count)")
+    serve.add_argument("--max-connections", type=int, default=0,
+                       help="refuse connections beyond this many "
+                            "concurrent sessions (0 = unlimited)")
     _add_wlm_args(serve)
     _add_dq_args(serve)
     _add_logging_args(serve)
@@ -773,12 +782,16 @@ def _cmd_serve(args) -> int:
     node = HyperQNode(engine, store,
                       HyperQConfig(credits=args.credits,
                                    trace_enabled=args.trace,
+                                   async_frontend=args.async_frontend,
+                                   gateway_shards=args.shards,
+                                   max_connections=args.max_connections,
                                    wlm_profile=_load_wlm_profile(args),
                                    dq_profile=_load_dq_profile(args)),
                       listener=listener)
     node.start()
+    frontend = node.stats()["gateway"].get("frontend", "threaded")
     print(f"Hyper-Q serving on {listener.host}:{listener.port} "
-          f"(credits={args.credits})", flush=True)
+          f"(credits={args.credits}, frontend={frontend})", flush=True)
     try:
         if args.duration is not None:
             time.sleep(args.duration)

@@ -98,6 +98,27 @@ class HyperQConfig:
     #: emit logs as JSON lines instead of human-readable text.
     log_json: bool = False
 
+    # -- front end (repro.core.frontend / repro.net_async) --
+    #: serve connections on the asyncio reactor front end instead of
+    #: one OS thread per socket.  The threaded path stays the default
+    #: (and the differential-testing baseline); flip this to multiplex
+    #: thousands of sessions onto a handful of threads.
+    async_frontend: bool = False
+    #: shard workers behind the async front end; each shard owns its
+    #: jobs' pipelines, staging namespace, and eager-apply coordinators
+    #: (shard key = target table, tenant as tiebreaker).  0 picks a
+    #: default from the host's core count.  Ignored by the threaded
+    #: front end.
+    gateway_shards: int = 0
+    #: refuse connections beyond this many concurrent sessions with a
+    #: typed retryable ERROR (code 3159) instead of growing without
+    #: bound under a connection flood.  0 = unlimited.
+    max_connections: int = 0
+    #: worker threads in each shard's shared pipeline pool (sharded
+    #: jobs run their converter/writer/uploader stages on the shard's
+    #: pool instead of spawning three threads per job).
+    shard_pipeline_workers: int = 4
+
     # -- resilience (repro.resilience) --
     #: total tries per cloud-facing call (1 = no retry).
     retry_max_attempts: int = 4
@@ -180,6 +201,12 @@ class HyperQConfig:
             raise ValueError("plan_cache_size must be >= 1")
         if self.upload_workers < 1:
             raise ValueError("upload_workers must be >= 1")
+        if self.gateway_shards < 0:
+            raise ValueError("gateway_shards cannot be negative")
+        if self.max_connections < 0:
+            raise ValueError("max_connections cannot be negative")
+        if self.shard_pipeline_workers < 1:
+            raise ValueError("shard_pipeline_workers must be >= 1")
         if self.retry_max_attempts < 1:
             raise ValueError("retry_max_attempts must be >= 1")
         if min(self.retry_base_delay_s, self.retry_max_delay_s,

@@ -1,0 +1,161 @@
+"""Connection-handling front ends, split from job orchestration.
+
+A *front end* owns everything between ``listener.accept()`` and the
+per-message handler: framing, connection lifecycle, the connection cap,
+and connection gauges.  The node behind it (``HyperQNode`` or the
+reference ``LegacyServer``) only implements the session contract:
+
+- ``new_conn()`` — per-connection session state (a dict);
+- ``handle_message(channel, message, conn)`` — dispatch one frame,
+  answering on ``channel.send(...)`` (typed errors become ERROR frames
+  inside this call; a dead transport propagates ``TransportClosed``);
+- ``connection_closed(conn)`` — reap whatever the connection owned;
+- ``wrap_endpoint(endpoint)`` — chaos instrumentation hook.
+
+:class:`ThreadedFrontend` here is the classic one-OS-thread-per-socket
+server — simple, debuggable, and kept as the differential-testing
+baseline; :class:`repro.net_async.AsyncFrontend` multiplexes the same
+contract onto an asyncio reactor plus shard workers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConnectionLimited, ReproError
+from repro.legacy.protocol import Message, MessageChannel, MessageKind
+from repro.obs import NULL_OBS, get_logger
+
+__all__ = ["ThreadedFrontend", "refuse_connection"]
+
+log = get_logger("frontend")
+
+
+def refuse_connection(endpoint, limit: int, obs=NULL_OBS) -> None:
+    """Shed one over-cap connection with a typed retryable ERROR.
+
+    The refusal frame is sent *before* any request is read: the peer's
+    first ``recv`` after LOGON surfaces it as a transient
+    :class:`~repro.errors.ConnectionLimited`, so a flooding scheduler
+    backs off instead of treating the node as dead.  Best-effort — a
+    peer that already vanished just loses the hint.
+    """
+    obs.connections_refused.inc()
+    error = ConnectionLimited(
+        f"connection limit of {limit} reached; retry later",
+        limit=limit)
+    try:
+        endpoint.send_bytes(Message(MessageKind.ERROR, {
+            "code": error.code,
+            "message": str(error),
+            "limit": limit,
+            "retry_after_s": error.retry_after_s,
+        }).to_bytes())
+    except ReproError:
+        pass
+    finally:
+        endpoint.close_both()
+
+
+class ThreadedFrontend:
+    """One accept-loop thread, one handler thread per connection."""
+
+    kind = "threaded"
+
+    def __init__(self, node, listener, *, name: str = "server",
+                 max_connections: int = 0, obs=NULL_OBS):
+        self.node = node
+        self.listener = listener
+        self.name = name
+        self.max_connections = max_connections
+        self.obs = obs
+        self._running = False
+        self._accept_thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._active = 0
+        self._refused = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ThreadedFrontend":
+        """Start the accept loop; returns self for chaining."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"{self.name}-accept")
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting; open connections drain on their own threads."""
+        self._running = False
+        self.listener.close()
+
+    def close(self) -> None:
+        """Second teardown phase (shard-pool parity with the async
+        front end); the threaded front end has nothing left to free."""
+
+    @property
+    def connections_active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def snapshot(self) -> dict:
+        """``stats()["gateway"]`` contribution of this front end."""
+        with self._lock:
+            active, refused = self._active, self._refused
+        return {
+            "frontend": self.kind,
+            "connections_active": active,
+            "connections_refused": refused,
+            "max_connections": self.max_connections,
+            "shards": [],
+        }
+
+    # -- accept / serve ------------------------------------------------------
+
+    def _admit(self) -> bool:
+        """Try to claim a connection slot against the cap."""
+        with self._lock:
+            if self.max_connections and \
+                    self._active >= self.max_connections:
+                self._refused += 1
+                return False
+            self._active += 1
+        self.obs.connections_active.inc()
+        return True
+
+    def _release(self) -> None:
+        with self._lock:
+            self._active -= 1
+        self.obs.connections_active.dec()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            endpoint = self.listener.accept(timeout=0.5)
+            if endpoint is None:
+                continue
+            if not self._admit():
+                refuse_connection(endpoint, self.max_connections,
+                                  obs=self.obs)
+                continue
+            endpoint = self.node.wrap_endpoint(endpoint)
+            threading.Thread(
+                target=self._serve_connection, args=(endpoint,),
+                daemon=True, name=f"{self.name}-conn").start()
+
+    def _serve_connection(self, endpoint) -> None:
+        channel = MessageChannel(endpoint, timeout=None)
+        conn = self.node.new_conn()
+        try:
+            while True:
+                message = channel.recv_or_eof()
+                if message is None:
+                    return
+                self.node.handle_message(channel, message, conn)
+        except ReproError:
+            pass  # connection torn down mid-message
+        finally:
+            channel.close()
+            self._release()
+            self.node.connection_closed(conn)

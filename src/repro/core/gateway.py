@@ -33,6 +33,7 @@ from repro.core.config import HyperQConfig
 from repro.core.converter import DataConverter
 from repro.core.credits import CreditManager
 from repro.core.eagerapply import DurableFileRelay, EagerApplyCoordinator
+from repro.core.frontend import ThreadedFrontend
 from repro.core.metrics import JobMetrics, Stopwatch
 from repro.core.pipeline import AcquisitionPipeline
 from repro.core.tdfcursor import TdfCursor
@@ -248,22 +249,36 @@ class HyperQNode:
         #: metrics of finished jobs, in completion order (bench harness).
         self.completed_jobs: list[JobMetrics] = []
         self._running = False
-        self._accept_thread: threading.Thread | None = None
+        #: the connection-handling front end (threaded or async),
+        #: created at start() from ``config.async_frontend``.
+        self.frontend = None
 
     # -- lifecycle --------------------------------------------------------------
 
     def start(self) -> "HyperQNode":
-        """Start the accept loop; returns self for chaining."""
+        """Start the front end; returns self for chaining."""
         self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"{self.name}-accept")
-        self._accept_thread.start()
+        if self.config.async_frontend:
+            from repro.net_async import AsyncFrontend
+            self.frontend = AsyncFrontend(
+                self, self.listener, name=self.name,
+                shards=self.config.gateway_shards,
+                max_connections=self.config.max_connections,
+                shard_pipeline_workers=self.config.shard_pipeline_workers,
+                obs=self.obs, base_dir=self._base_dir)
+        else:
+            self.frontend = ThreadedFrontend(
+                self, self.listener, name=self.name,
+                max_connections=self.config.max_connections,
+                obs=self.obs)
+        self.frontend.start()
         return self
 
     def stop(self) -> None:
         """Stop the node and tear down all job state."""
         self._running = False
+        if self.frontend is not None:
+            self.frontend.stop()
         self.listener.close()
         with self._registry_lock:
             jobs = list(self._jobs.values())
@@ -294,6 +309,10 @@ class HyperQNode:
                 batches=feed.batches_committed)
             feed.journal.close()
             self.wlm.release(feed.ticket)
+        # Shard executors/pipeline pools close only after the jobs
+        # above drained — their pipelines run on those pools.
+        if self.frontend is not None:
+            self.frontend.close()
         shutil.rmtree(self._base_dir, ignore_errors=True)
         self.obs.close()
         log.info("node stopped", extra={
@@ -323,6 +342,8 @@ class HyperQNode:
                               for m in self.completed_jobs)
         return {
             "name": self.name,
+            "gateway": (self.frontend.snapshot()
+                        if self.frontend is not None else {}),
             "active_jobs": active,
             "completed_jobs": completed,
             "rows_loaded": total_rows,
@@ -426,60 +447,61 @@ class HyperQNode:
         self._storage_snapshot()
         return self.obs.registry.render_prometheus()
 
-    def _accept_loop(self) -> None:
-        while self._running:
-            endpoint = self.listener.accept(timeout=0.5)
-            if endpoint is None:
-                continue
-            if self.faults.enabled:
-                # armed ``net.send`` rules surface as connection drops
-                # on the server side of the wire.
-                endpoint = FaultyEndpoint(endpoint, self.faults)
-            threading.Thread(
-                target=self._serve_connection, args=(endpoint,),
-                daemon=True, name=f"{self.name}-conn").start()
-
     # -- connection handling (Alpha/Coalescer + PXC dispatch) --------------------
+    #
+    # The front end (ThreadedFrontend or AsyncFrontend) owns accept,
+    # framing, and connection lifecycle; the node implements the
+    # session contract it drives: new_conn / handle_message /
+    # connection_closed / wrap_endpoint.
 
-    def _serve_connection(self, endpoint) -> None:
-        channel = MessageChannel(endpoint, timeout=None)
-        #: connection-scoped session state: classification attributes
-        #: (set at LOGON) plus the jobs this connection owns — a control
-        #: connection that vanishes must not leave its jobs holding
-        #: admission slots forever.
-        conn: dict = {"user": "", "loads": {}, "exports": {}}
+    def new_conn(self) -> dict:
+        """Fresh connection-scoped session state.
+
+        Classification attributes (set at LOGON) plus the jobs this
+        connection owns — a control connection that vanishes must not
+        leave its jobs holding admission slots forever.
+        """
+        return {"user": "", "loads": {}, "exports": {}}
+
+    def wrap_endpoint(self, endpoint):
+        """Chaos hook: armed ``net.send`` rules surface as connection
+        drops on the server side of the wire."""
+        if self.faults.enabled:
+            return FaultyEndpoint(endpoint, self.faults)
+        return endpoint
+
+    def handle_message(self, channel, message: Message,
+                       conn: dict) -> None:
+        """Dispatch one frame; typed failures become ERROR replies.
+
+        ``channel`` only needs ``send(message)`` — a
+        :class:`~repro.legacy.protocol.MessageChannel` on the threaded
+        path, a shard reply sink on the async path.  A dead transport
+        (``TransportClosed`` from the reply send) propagates to the
+        caller, which tears the connection down.
+        """
         try:
-            while True:
-                message = channel.recv_or_eof()
-                if message is None:
-                    return
-                try:
-                    self._dispatch(channel, message, conn)
-                except ReproError as exc:
-                    error_meta = {
-                        "code": getattr(exc, "code", 0),
-                        "message": str(exc),
-                    }
-                    # Workload-management throttles carry structured
-                    # backoff guidance the client-side retry honors.
-                    for key in ("retry_after_s", "pool", "reason"):
-                        value = getattr(exc, key, None)
-                        if value:
-                            error_meta[key] = value
-                    # Echo the request's trace context so even a shed
-                    # request's reply stays correlated to the client's
-                    # trace (throttle replies are part of the story).
-                    traceparent = message.meta.get("traceparent")
-                    if traceparent:
-                        error_meta["traceparent"] = traceparent
-                    channel.send(Message(MessageKind.ERROR, error_meta))
-        except ReproError:
-            pass
-        finally:
-            channel.close()
-            self._connection_closed(conn)
+            self._dispatch(channel, message, conn)
+        except ReproError as exc:
+            error_meta = {
+                "code": getattr(exc, "code", 0),
+                "message": str(exc),
+            }
+            # Workload-management throttles carry structured
+            # backoff guidance the client-side retry honors.
+            for key in ("retry_after_s", "pool", "reason"):
+                value = getattr(exc, key, None)
+                if value:
+                    error_meta[key] = value
+            # Echo the request's trace context so even a shed
+            # request's reply stays correlated to the client's
+            # trace (throttle replies are part of the story).
+            traceparent = message.meta.get("traceparent")
+            if traceparent:
+                error_meta["traceparent"] = traceparent
+            channel.send(Message(MessageKind.ERROR, error_meta))
 
-    def _connection_closed(self, conn: dict) -> None:
+    def connection_closed(self, conn: dict) -> None:
         """Reap whatever this connection was responsible for.
 
         A dying *data* session counts as drained for its export job
@@ -622,7 +644,8 @@ class HyperQNode:
         try:
             job = self._begin_load_admitted(channel, meta, job_id, layout,
                                             format_spec, target, resume,
-                                            pool, ticket, remote_ctx)
+                                            pool, ticket, remote_ctx,
+                                            conn=conn)
         except BaseException:
             self.wlm.release(ticket)
             raise
@@ -635,8 +658,16 @@ class HyperQNode:
                              format_spec: FormatSpec, target: str,
                              resume: bool, pool: str, ticket,
                              remote_ctx=None,
-                             stream: dict | None = None) -> _LoadJob:
+                             stream: dict | None = None,
+                             conn: dict | None = None) -> _LoadJob:
         """Set up one admitted load job (the pre-wlm BEGIN_LOAD body)."""
+        # On the sharded front end the connection carries its shard:
+        # the job's local staging lands in the shard's namespace and
+        # the pipeline stages run on the shard's worker pool instead of
+        # dedicated per-job threads.  The *cloud* prefix stays job_id/
+        # either way, so a job resumed under a different front end still
+        # finds its durable uploads.
+        shard = conn.get("shard") if conn else None
         # A restarted job (same job_id, resume flag) replaces whatever
         # is left of its killed predecessor; the checkpoint journal in
         # the job's staging directory carries the durable progress over.
@@ -663,7 +694,9 @@ class HyperQNode:
         self._create_error_tables(meta["et_table"], meta["uv_table"],
                                   target)
 
-        staging_dir = os.path.join(self._base_dir, job_id)
+        staging_dir = os.path.join(
+            shard.staging_dir if shard is not None else self._base_dir,
+            job_id)
         os.makedirs(staging_dir, exist_ok=True)
         journal = None
         if self.config.checkpoint_enabled:
@@ -750,6 +783,7 @@ class HyperQNode:
             breakers=self.breakers,
             journal=journal,
             resume=resume,
+            worker_pool=shard.pool if shard is not None else None,
         )
         eager = None
         if eager_sql:
@@ -842,6 +876,7 @@ class HyperQNode:
         job = self._begin_load_admitted(
             channel, meta, job_id, layout, format_spec, target,
             resume, feed.pool, None, remote_ctx,
+            conn=conn,
             stream={
                 "feed": feed,
                 "seq": seq,

@@ -51,7 +51,7 @@ from repro.resilience import (
     CheckpointJournal, CircuitBreakerRegistry, RetryPolicy,
 )
 
-__all__ = ["AcquisitionPipeline"]
+__all__ = ["AcquisitionPipeline", "PipelineWorkerPool"]
 
 log = get_logger("pipeline")
 
@@ -59,6 +59,90 @@ _STOP = object()
 _FLUSH = object()
 
 _PART_NAME = re.compile(r"part-(\d+)-(\d+)\.csv$")
+
+
+class PipelineWorkerPool:
+    """A fixed set of worker threads shared by many jobs' pipelines.
+
+    The thread-per-job execution model (three dedicated workers per
+    pipeline) multiplies threads by concurrent jobs; a gateway shard
+    instead owns one of these pools and every job on the shard runs its
+    converter/writer/uploader stages as :class:`_SerialLane` tasks on
+    it.  Stage ordering is preserved per lane, thread count is bounded
+    per shard, and two shards never touch each other's pool — the
+    "per-shard pipelines" half of the sharded front end.
+    """
+
+    def __init__(self, workers: int = 4, name: str = "shard"):
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(target=self._run, daemon=True,
+                             name=f"{name}-pipeline-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn) -> None:
+        """Schedule one callable; runs on some pool thread, FIFO-ish."""
+        self._tasks.put(fn)
+
+    def _run(self) -> None:
+        while True:
+            fn = self._tasks.get()
+            if fn is _STOP:
+                return
+            try:
+                fn()
+            except BaseException:  # pragma: no cover - lane bug guard
+                log.exception("pipeline pool task failed")
+
+    def close(self) -> None:
+        """Stop the workers after the queued tasks (idempotent)."""
+        for _ in self._threads:
+            self._tasks.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+
+
+class _SerialLane:
+    """One strictly-ordered task stream multiplexed onto a shared pool.
+
+    Items submitted to a lane are handled one at a time, in order, but
+    the lane only occupies a pool thread while it has items — the
+    pool-mode replacement for a dedicated stage thread.  A stage whose
+    handler must never run concurrently (a FileWriter appending to one
+    staging file) gets its own lane.
+    """
+
+    def __init__(self, pool: PipelineWorkerPool, handler, on_error):
+        self._pool = pool
+        self._handler = handler
+        self._on_error = on_error
+        self._lock = threading.Lock()
+        self._items: list = []
+        self._scheduled = False
+
+    def submit(self, item) -> None:
+        with self._lock:
+            self._items.append(item)
+            if self._scheduled:
+                return
+            self._scheduled = True
+        self._pool.submit(self._drain)
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                if not self._items:
+                    self._scheduled = False
+                    return
+                item = self._items.pop(0)
+            try:
+                self._handler(item)
+            except BaseException as exc:
+                self._on_error(exc)
 
 
 class AcquisitionPipeline:
@@ -75,7 +159,8 @@ class AcquisitionPipeline:
                  breakers: CircuitBreakerRegistry | None = None,
                  journal: CheckpointJournal | None = None,
                  resume: bool = False, job_id: str = "",
-                 on_file_durable: "callable | None" = None):
+                 on_file_durable: "callable | None" = None,
+                 worker_pool: PipelineWorkerPool | None = None):
         self.converter = converter
         #: credit source — the node's CreditManager, or a pool-bound
         #: :class:`repro.wlm.PoolCredits` view when workload management
@@ -133,10 +218,6 @@ class AcquisitionPipeline:
 
         resumed_uploads = self._replay_journal() if resume else []
 
-        self._converter_queue: queue.Queue = queue.Queue()
-        self._upload_queue: queue.Queue = queue.Queue()
-        self._writer_queues: list[queue.Queue] = [
-            queue.Queue() for _ in range(config.filewriters)]
         self._writers = [
             FileWriter(staging_dir, i, config.file_threshold_bytes,
                        obs=obs,
@@ -145,11 +226,31 @@ class AcquisitionPipeline:
         ]
 
         self._threads: list[threading.Thread] = []
-        for i in range(config.converters):
-            self._spawn(self._converter_worker, f"converter-{i}")
-        for i in range(config.filewriters):
-            self._spawn(self._filewriter_worker, f"filewriter-{i}", i)
-        self._spawn(self._uploader_worker, "uploader")
+        #: shard-pool execution: stages run as ordered lanes on the
+        #: shared pool instead of three-plus dedicated threads per job.
+        self._pool = worker_pool
+        if worker_pool is not None:
+            self._convert_lane = _SerialLane(
+                worker_pool, self._convert_item, self._fail)
+            self._writer_lanes = [
+                _SerialLane(worker_pool,
+                            (lambda item, _no=i: self._write_item(
+                                _no, item)),
+                            self._fail)
+                for i in range(config.filewriters)
+            ]
+            self._upload_lane = _SerialLane(
+                worker_pool, self._upload_item, self._fail)
+        else:
+            self._converter_queue: queue.Queue = queue.Queue()
+            self._upload_queue: queue.Queue = queue.Queue()
+            self._writer_queues: list[queue.Queue] = [
+                queue.Queue() for _ in range(config.filewriters)]
+            for i in range(config.converters):
+                self._spawn(self._converter_worker, f"converter-{i}")
+            for i in range(config.filewriters):
+                self._spawn(self._filewriter_worker, f"filewriter-{i}", i)
+            self._spawn(self._uploader_worker, "uploader")
         # staged-but-unuploaded survivors go back through the uploader.
         for staged in resumed_uploads:
             self._enqueue_upload(staged, journaled=True)
@@ -273,7 +374,11 @@ class AcquisitionPipeline:
             if waited > 0.0005:
                 self.metrics.credit_waits += 1
             self._submitted += 1
-        self._converter_queue.put((credit, chunk_seq, data, span))
+        item = (credit, chunk_seq, data, span)
+        if self._pool is not None:
+            self._convert_lane.submit(item)
+        else:
+            self._converter_queue.put(item)
         if self.config.synchronous_ack:
             # The rejected design of Section 5: hold the ack until this
             # chunk's bytes are on disk.
@@ -291,24 +396,31 @@ class AcquisitionPipeline:
             item = self._converter_queue.get()
             if item is _STOP:
                 return
-            credit, chunk_seq, data, rx_span = item
-            convert_span = self.obs.tracer.span(
-                "convert", parent=rx_span, chunk_seq=chunk_seq,
-                bytes=len(data))
-            try:
-                with self.obs.stage_seconds.labels(
-                        stage="convert").time():
-                    converted = self.converter.convert(chunk_seq, data)
-            except BaseException as exc:
-                convert_span.end("error")
-                self.credits.release(credit)
-                self._fail(exc)
-                continue
-            convert_span.set_attribute("records", converted.records)
-            convert_span.end()
-            target = self._writer_queues[
-                chunk_seq % len(self._writer_queues)]
-            target.put((credit, converted, convert_span))
+            self._convert_item(item)
+
+    def _convert_item(self, item) -> None:
+        """Convert one raw chunk and route it to its FileWriter."""
+        credit, chunk_seq, data, rx_span = item
+        convert_span = self.obs.tracer.span(
+            "convert", parent=rx_span, chunk_seq=chunk_seq,
+            bytes=len(data))
+        try:
+            with self.obs.stage_seconds.labels(
+                    stage="convert").time():
+                converted = self.converter.convert(chunk_seq, data)
+        except BaseException as exc:
+            convert_span.end("error")
+            self.credits.release(credit)
+            self._fail(exc)
+            return
+        convert_span.set_attribute("records", converted.records)
+        convert_span.end()
+        writer_no = chunk_seq % len(self._writers)
+        payload = (credit, converted, convert_span)
+        if self._pool is not None:
+            self._writer_lanes[writer_no].submit(payload)
+        else:
+            self._writer_queues[writer_no].put(payload)
 
     @staticmethod
     def _manifest_entry(converted: ConvertedChunk) -> dict:
@@ -320,54 +432,58 @@ class AcquisitionPipeline:
         }
 
     def _filewriter_worker(self, writer_no: int) -> None:
-        writer = self._writers[writer_no]
         q = self._writer_queues[writer_no]
         while True:
             item = q.get()
             if item is _STOP:
                 return
-            if item is _FLUSH:
-                try:
-                    staged = writer.flush()
-                except BaseException as exc:
-                    self._fail(exc)
-                    staged = None
-                if staged is not None:
-                    self._enqueue_upload(staged)
-                with self._state:
-                    self._flushes_done += 1
-                    self._state.notify_all()
-                continue
-            credit, converted, convert_span = item
-            # Figure 4: the credit returns to the pool just before the
-            # data is written to disk.
-            self.credits.release(credit)
-            write_span = self.obs.tracer.span(
-                "write", parent=convert_span,
-                chunk_seq=converted.chunk_seq,
-                bytes=len(converted.csv_bytes))
+            self._write_item(writer_no, item)
+
+    def _write_item(self, writer_no: int, item) -> None:
+        """Append one converted chunk (or flush) on its FileWriter."""
+        writer = self._writers[writer_no]
+        if item is _FLUSH:
             try:
-                with self.obs.stage_seconds.labels(
-                        stage="write").time():
-                    staged = writer.append(
-                        converted.csv_bytes, converted.records,
-                        chunk=self._manifest_entry(converted))
+                staged = writer.flush()
             except BaseException as exc:
-                write_span.end("error")
                 self._fail(exc)
-                continue
-            write_span.end()
+                staged = None
             if staged is not None:
                 self._enqueue_upload(staged)
             with self._state:
-                self.chunk_records[converted.chunk_seq] = \
-                    converted.total_records
-                self.acquisition_errors.extend(converted.errors)
-                self.metrics.records_converted += converted.records
-                self.metrics.bytes_staged += len(converted.csv_bytes)
-                self._written += 1
+                self._flushes_done += 1
                 self._state.notify_all()
-            self.obs.bytes_staged.inc(len(converted.csv_bytes))
+            return
+        credit, converted, convert_span = item
+        # Figure 4: the credit returns to the pool just before the
+        # data is written to disk.
+        self.credits.release(credit)
+        write_span = self.obs.tracer.span(
+            "write", parent=convert_span,
+            chunk_seq=converted.chunk_seq,
+            bytes=len(converted.csv_bytes))
+        try:
+            with self.obs.stage_seconds.labels(
+                    stage="write").time():
+                staged = writer.append(
+                    converted.csv_bytes, converted.records,
+                    chunk=self._manifest_entry(converted))
+        except BaseException as exc:
+            write_span.end("error")
+            self._fail(exc)
+            return
+        write_span.end()
+        if staged is not None:
+            self._enqueue_upload(staged)
+        with self._state:
+            self.chunk_records[converted.chunk_seq] = \
+                converted.total_records
+            self.acquisition_errors.extend(converted.errors)
+            self.metrics.records_converted += converted.records
+            self.metrics.bytes_staged += len(converted.csv_bytes)
+            self._written += 1
+            self._state.notify_all()
+        self.obs.bytes_staged.inc(len(converted.csv_bytes))
 
     def _enqueue_upload(self, staged: StagedFile,
                         journaled: bool = False) -> None:
@@ -378,40 +494,46 @@ class AcquisitionPipeline:
         with self._state:
             self._finalized_files += 1
             self.metrics.files_written += 1
-        self._upload_queue.put(staged)
+        if self._pool is not None:
+            self._upload_lane.submit(staged)
+        else:
+            self._upload_queue.put(staged)
 
     def _uploader_worker(self) -> None:
         while True:
             item = self._upload_queue.get()
             if item is _STOP:
                 return
-            staged: StagedFile = item
-            upload_span = self.obs.tracer.span(
-                "upload", parent=self.job_span, path=staged.path,
-                bytes=staged.size, records=staged.records)
-            try:
-                with self.obs.stage_seconds.labels(
-                        stage="upload").time():
-                    report = self.loader.upload_file(
-                        staged.path, self.container, self.prefix,
-                        span=upload_span)
-                if self.journal is not None:
-                    self.journal.record_uploaded(staged.name)
-                os.unlink(staged.path)
-                hook = self.on_file_durable
-                if hook is not None:
-                    hook(staged)
-            except BaseException as exc:
-                upload_span.end("error")
-                self._fail(exc)
-                continue
-            upload_span.set_attribute("uploaded_bytes",
-                                      report.uploaded_bytes)
-            upload_span.end()
-            with self._state:
-                self.metrics.bytes_uploaded += report.uploaded_bytes
-                self._uploaded_files += 1
-                self._state.notify_all()
+            self._upload_item(item)
+
+    def _upload_item(self, staged: StagedFile) -> None:
+        """Ship one finalized staging file to the cloud store."""
+        upload_span = self.obs.tracer.span(
+            "upload", parent=self.job_span, path=staged.path,
+            bytes=staged.size, records=staged.records)
+        try:
+            with self.obs.stage_seconds.labels(
+                    stage="upload").time():
+                report = self.loader.upload_file(
+                    staged.path, self.container, self.prefix,
+                    span=upload_span)
+            if self.journal is not None:
+                self.journal.record_uploaded(staged.name)
+            os.unlink(staged.path)
+            hook = self.on_file_durable
+            if hook is not None:
+                hook(staged)
+        except BaseException as exc:
+            upload_span.end("error")
+            self._fail(exc)
+            return
+        upload_span.set_attribute("uploaded_bytes",
+                                  report.uploaded_bytes)
+        upload_span.end()
+        with self._state:
+            self.metrics.bytes_uploaded += report.uploaded_bytes
+            self._uploaded_files += 1
+            self._state.notify_all()
 
     # -- drain -----------------------------------------------------------------------
 
@@ -445,9 +567,13 @@ class AcquisitionPipeline:
         wait_for(lambda: self._written >= self._submitted)
         self._check_failures()
         # Flush partial files and wait for every writer to acknowledge.
-        expected_flushes = self._flushes_done + len(self._writer_queues)
-        for q in self._writer_queues:
-            q.put(_FLUSH)
+        expected_flushes = self._flushes_done + len(self._writers)
+        if self._pool is not None:
+            for lane in self._writer_lanes:
+                lane.submit(_FLUSH)
+        else:
+            for q in self._writer_queues:
+                q.put(_FLUSH)
         wait_for(lambda: self._flushes_done >= expected_flushes)
         wait_for(lambda: self._uploaded_files >= self._finalized_files)
         self._check_failures()
@@ -528,13 +654,32 @@ class AcquisitionPipeline:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop all workers (idempotent)."""
-        for _ in range(self.config.converters):
-            self._converter_queue.put(_STOP)
-        for q in self._writer_queues:
-            q.put(_STOP)
-        self._upload_queue.put(_STOP)
-        for thread in self._threads:
-            thread.join(timeout=10.0)
+        """Stop all workers (idempotent).
+
+        In shard-pool mode there are no dedicated threads to stop: the
+        pool outlives the job, so shutdown only waits (bounded) for the
+        job's already-queued lane work to finish before closing the
+        journal — a mid-flight journal write after close would fail the
+        write's lane task and mask the real teardown reason.
+        """
+        if self._pool is not None:
+            deadline = time.monotonic() + 10.0
+            with self._state:
+                while (self._written < self._submitted
+                       or self._uploaded_files < self._finalized_files):
+                    if self._failures:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._state.wait(timeout=min(remaining, 0.5))
+        else:
+            for _ in range(self.config.converters):
+                self._converter_queue.put(_STOP)
+            for q in self._writer_queues:
+                q.put(_STOP)
+            self._upload_queue.put(_STOP)
+            for thread in self._threads:
+                thread.join(timeout=10.0)
         if self.journal is not None:
             self.journal.close()

@@ -194,6 +194,29 @@ class WlmThrottled(GatewayError):
         super().__init__(message)
 
 
+class ConnectionLimited(GatewayError):
+    """The gateway refused a new connection: ``max_connections`` reached.
+
+    Sent as the very first (and only) frame on an over-limit connection,
+    before any LOGON is read, then the socket is closed.  Deliberately
+    *transient* like :class:`WlmThrottled`: a legacy feed scheduler that
+    floods the gateway with session opens should back off and retry, not
+    fail its jobs — the limit protects the node from the unbounded
+    thread/memory growth a connection flood would otherwise cause.
+    """
+
+    transient = True
+    #: Hyper-Q protocol error code carried in ERROR frames (sibling of
+    #: the WLM throttle code: both mean "retry later, nothing is lost").
+    code = 3159
+
+    def __init__(self, message: str, limit: int = 0,
+                 retry_after_s: float = 1.0):
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
 class StreamDriftError(GatewayError):
     """Schema drift on a streaming feed could not be accepted.
 
@@ -277,6 +300,10 @@ HYPERQ_MAX_ERRORS_REACHED = 9057
 #: Hyper-Q protocol code: job throttled by workload management (see
 #: :class:`WlmThrottled` and docs/WLM.md) — retryable after backoff.
 HYPERQ_WLM_THROTTLED = WlmThrottled.code
+#: Hyper-Q protocol code: connection refused at the front door because
+#: ``max_connections`` was reached (see :class:`ConnectionLimited` and
+#: docs/CONCURRENCY.md) — retryable after backoff.
+HYPERQ_CONNECTION_LIMITED = ConnectionLimited.code
 
 
 # ---------------------------------------------------------------------------

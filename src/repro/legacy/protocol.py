@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Iterator
 
-from repro.errors import ProtocolError, TransportClosed, WlmThrottled
+from repro.errors import (
+    ConnectionLimited, ProtocolError, TransportClosed, WlmThrottled,
+)
 from repro.net import Endpoint
 from repro.obs.trace import SpanContext
 
@@ -103,6 +105,15 @@ class Message:
                     reason=self.meta.get("reason", "queue_full"),
                     retry_after_s=float(
                         self.meta.get("retry_after_s", 0.0)))
+            if self.meta.get("code") == ConnectionLimited.code:
+                # Front-door shedding: the gateway is at its connection
+                # cap.  Typed and transient so session schedulers back
+                # off instead of treating a full node as a dead one.
+                raise ConnectionLimited(
+                    str(self.meta.get("message")),
+                    limit=int(self.meta.get("limit", 0)),
+                    retry_after_s=float(
+                        self.meta.get("retry_after_s", 1.0)))
             raise ProtocolError(
                 f"peer error {self.meta.get('code')}: "
                 f"{self.meta.get('message')}")

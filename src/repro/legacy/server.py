@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.cdw.engine import CdwEngine
+from repro.core.frontend import ThreadedFrontend
 from repro.errors import (
     BulkExecutionError, CdwError, DataFormatError, ProtocolError,
     ReproError, SqlError,
@@ -86,7 +87,7 @@ class LegacyServer:
         self._jobs: dict[str, _LoadJob] = {}
         self._exports: dict[str, _ExportJob] = {}
         self._jobs_lock = threading.Lock()
-        self._accept_thread: threading.Thread | None = None
+        self.frontend: ThreadedFrontend | None = None
         self._running = False
         #: dispatch counters by message kind (monitoring parity with
         #: ``HyperQNode.stats()``).
@@ -97,17 +98,18 @@ class LegacyServer:
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> "LegacyServer":
-        """Start the accept loop; returns self for chaining."""
+        """Start the front end; returns self for chaining."""
         self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name="legacy-server-accept")
-        self._accept_thread.start()
+        self.frontend = ThreadedFrontend(
+            self, self.listener, name="legacy-server")
+        self.frontend.start()
         return self
 
     def stop(self) -> None:
         """Stop accepting connections."""
         self._running = False
+        if self.frontend is not None:
+            self.frontend.stop()
         self.listener.close()
 
     def __enter__(self) -> "LegacyServer":
@@ -133,49 +135,45 @@ class LegacyServer:
                 "messages": dict(self._message_counts),
             }
 
-    def _accept_loop(self) -> None:
-        while self._running:
-            endpoint = self.listener.accept(timeout=0.5)
-            if endpoint is None:
-                continue
-            threading.Thread(
-                target=self._serve_connection, args=(endpoint,),
-                daemon=True, name="legacy-server-conn").start()
+    # -- connection handling (driven by ThreadedFrontend) -------------------------
 
-    # -- connection handling ------------------------------------------------------
-
-    def _serve_connection(self, endpoint) -> None:
-        channel = MessageChannel(endpoint, timeout=None)
+    def new_conn(self) -> dict:
+        """Session contract: per-connection state (none needed here
+        beyond the running total the stats snapshot reports)."""
         with self._jobs_lock:
             self._connections += 1
         log.debug("legacy connection opened")
+        return {}
+
+    def wrap_endpoint(self, endpoint):
+        """Session contract: no chaos instrumentation on the reference."""
+        return endpoint
+
+    def connection_closed(self, conn: dict) -> None:
+        """Session contract: jobs survive their connection here (the
+        reference node has no admission slots to reclaim)."""
+        log.debug("legacy connection closed")
+
+    def handle_message(self, channel, message: Message,
+                       conn: dict) -> None:
+        """Dispatch one frame; typed failures become ERROR replies."""
         try:
-            while True:
-                message = channel.recv_or_eof()
-                if message is None:
-                    return
-                try:
-                    self._dispatch(channel, message)
-                except ReproError as exc:
-                    log.warning("request failed: %s", exc, extra={
-                        "kind": message.kind.name,
-                        "code": getattr(exc, "code", 0)})
-                    error_meta = {
-                        "code": getattr(exc, "code", 0),
-                        "message": str(exc),
-                    }
-                    # Echo the request's trace context (if any) so a
-                    # traced client keeps error replies correlated —
-                    # same contract as the Hyper-Q gateway.
-                    traceparent = message.meta.get("traceparent")
-                    if traceparent:
-                        error_meta["traceparent"] = traceparent
-                    channel.send(Message(MessageKind.ERROR, error_meta))
-        except ReproError:
-            pass  # connection torn down mid-message
-        finally:
-            log.debug("legacy connection closed")
-            channel.close()
+            self._dispatch(channel, message)
+        except ReproError as exc:
+            log.warning("request failed: %s", exc, extra={
+                "kind": message.kind.name,
+                "code": getattr(exc, "code", 0)})
+            error_meta = {
+                "code": getattr(exc, "code", 0),
+                "message": str(exc),
+            }
+            # Echo the request's trace context (if any) so a
+            # traced client keeps error replies correlated —
+            # same contract as the Hyper-Q gateway.
+            traceparent = message.meta.get("traceparent")
+            if traceparent:
+                error_meta["traceparent"] = traceparent
+            channel.send(Message(MessageKind.ERROR, error_meta))
 
     def _dispatch(self, channel: MessageChannel, message: Message) -> None:
         kind = message.kind

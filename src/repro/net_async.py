@@ -1,0 +1,614 @@
+"""Async, sharded gateway front end: session multiplexing on a reactor.
+
+The threaded front end (:class:`repro.core.frontend.ThreadedFrontend`)
+spends one OS thread per socket — simple, but a reconnect storm of
+legacy feeds means thousands of stacks, and every DATA ack contends on
+the scheduler.  This module multiplexes the same session contract onto
+
+- **one reactor**: a selector-based ``asyncio`` loop owns accept and
+  framing for every TCP connection.  Frames are reassembled by the
+  same :class:`~repro.legacy.protocol.Coalescer` the threaded path
+  uses, then *routed*, never handled, on the loop;
+- **N shard workers**: each :class:`GatewayShard` owns its jobs'
+  pipelines (a shared :class:`~repro.core.pipeline.PipelineWorkerPool`
+  instead of three threads per job), its own staging namespace
+  (``base_dir/shard-K``), and its jobs' eager-apply coordinators, so
+  shards never contend on pipeline queues or per-table locks.
+
+Routing is deterministic: BEGIN_LOAD hashes ``(target table, tenant)``
+via :func:`shard_key`, so concurrent loads into one table land on one
+shard (per-table locks are shard-local); job-carrying frames (DATA,
+END_LOAD, data-session LOGONs...) follow the job's recorded shard; the
+rest stays on the connection's round-robin home shard.
+
+The legacy wire protocol is strictly one-outstanding-request per
+connection — the client never sends frame *k+1* before frame *k*'s
+reply — so per-connection handler ordering is protocol-guaranteed and
+shard executors need no per-connection serialization.
+
+WLM admission can block inside a BEGIN_LOAD handler for seconds, so
+each shard splits its handlers across two executors: admission frames
+on one, everything that *frees* slots or credits (END_LOAD, APPLY,
+fetches) on the other.  A shard full of parked admits can therefore
+still finish jobs — the deadlock a single shard thread would hit.
+
+In-memory :class:`repro.net.Listener` endpoints are queue-based, not
+selectable; for those the front end substitutes one bridge reader
+thread per connection feeding the identical framing/routing path (the
+differential tests exercise sharding this way; the reactor is for real
+sockets).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.frontend import refuse_connection
+from repro.core.pipeline import PipelineWorkerPool
+from repro.errors import ReproError, TransportClosed
+from repro.legacy.protocol import Coalescer, Message, MessageKind
+from repro.net_tcp import tune_socket
+from repro.obs import NULL_OBS, get_logger
+
+__all__ = ["AsyncFrontend", "GatewayShard", "shard_key"]
+
+log = get_logger("net_async")
+
+#: concurrent BEGIN_LOAD/BEGIN_EXPORT handlers per shard — each may
+#: park inside WLM admission, so this bounds parked admits, not work.
+_ADMIT_WORKERS = 8
+#: concurrent non-admission handlers per shard.
+_WORK_WORKERS = 4
+#: accept backlog when no connection cap implies one — a reconnect
+#: storm must queue in the kernel, not stall in SYN retransmit.
+_DEFAULT_BACKLOG = 1024
+
+#: frames that may block in WLM admission (see GatewayShard).
+_ADMIT_KINDS = frozenset({MessageKind.BEGIN_LOAD, MessageKind.BEGIN_EXPORT})
+
+
+def shard_key(target: str, tenant: str, shards: int) -> int:
+    """Deterministic shard index for a ``(target table, tenant)`` pair.
+
+    ``crc32`` rather than builtin ``hash()`` so the mapping is stable
+    across processes and runs — a job resumed after a node restart
+    must land on the shard whose staging namespace holds its files.
+    """
+    return zlib.crc32(f"{target}|{tenant}".encode()) % shards
+
+
+def default_shards() -> int:
+    """Auto shard count: scale with cores, stay useful on small hosts."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class _Conn:
+    """Server side of one multiplexed session.
+
+    Implements the Endpoint *write* surface (``send_bytes`` / ``close``
+    / ``close_both``) so chaos wrapping
+    (:class:`~repro.faults.injector.FaultyEndpoint`) composes, plus the
+    teardown bookkeeping: a frame in flight on a shard keeps the
+    session state alive until its handler returns no matter when the
+    peer vanishes, and ``connection_closed`` fires exactly once, off
+    the reactor (it can block quiescing an abandoned job's pipeline).
+    """
+
+    def __init__(self, frontend: "AsyncFrontend"):
+        self.frontend = frontend
+        self.name = ""
+        self.home_shard = frontend._next_home()
+        self.coalescer = Coalescer()
+        #: node.new_conn() dict (None until admitted past the cap).
+        self.session: dict | None = None
+        #: chaos-wrapped self; what the reply sink writes through.
+        self.endpoint = None
+        self.sink: "_ReplySink | None" = None
+        #: job ids this connection registered in the route map.
+        self.registered: set[str] = set()
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._peer_gone = False
+        self._teardown_fired = False
+
+    # -- teardown protocol (reactor/bridge + shard threads) ------------------
+
+    def frame_arrived(self) -> None:
+        with self._lock:
+            self._outstanding += 1
+
+    def frame_done(self) -> bool:
+        """Handler finished; True when this call must run the teardown."""
+        with self._lock:
+            self._outstanding -= 1
+            if (self._peer_gone and self._outstanding == 0
+                    and not self._teardown_fired):
+                self._teardown_fired = True
+                return True
+        return False
+
+    def peer_lost(self) -> bool:
+        """Peer vanished; True when the caller must *schedule* teardown."""
+        with self._lock:
+            self._peer_gone = True
+            if self._outstanding == 0 and not self._teardown_fired:
+                self._teardown_fired = True
+                return True
+        return False
+
+    # -- endpoint write surface (transport-specific) -------------------------
+
+    def send_bytes(self, data: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.close_both()
+
+    def close_both(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _TcpConn(_Conn, asyncio.Protocol):
+    """A TCP session on the reactor.
+
+    ``send_bytes`` is callable from any shard thread: the write is
+    marshalled onto the loop with ``call_soon_threadsafe`` (asyncio
+    transports are not thread-safe).  The one-outstanding-request
+    protocol keeps per-connection reply ordering trivially correct —
+    there is never more than one reply in flight to marshal.
+    """
+
+    def __init__(self, frontend: "AsyncFrontend"):
+        _Conn.__init__(self, frontend)
+        self.transport = None
+        self._write_closed = False
+
+    # -- asyncio.Protocol callbacks (reactor thread) -------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            tune_socket(sock)
+        peer = transport.get_extra_info("peername")
+        self.name = f"server<-{peer}"
+        self.frontend._admit_conn(self)
+
+    def data_received(self, data: bytes) -> None:
+        self.frontend._on_bytes(self, data)
+
+    def eof_received(self) -> bool:
+        return False  # half-close means goodbye; let connection_lost run
+
+    def connection_lost(self, exc) -> None:
+        self._write_closed = True
+        self.frontend._on_lost(self)
+
+    # -- endpoint write surface (any thread) ---------------------------------
+
+    def send_bytes(self, data: bytes) -> None:
+        if self._write_closed:
+            raise TransportClosed("write on closed async connection")
+        try:
+            self.frontend.loop.call_soon_threadsafe(
+                self._write, bytes(data))
+        except RuntimeError as exc:  # loop shut down mid-reply
+            raise TransportClosed(
+                f"reactor gone: {exc}") from exc
+
+    def _write(self, data: bytes) -> None:
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.write(data)
+
+    def close_both(self) -> None:
+        self._write_closed = True
+        try:
+            self.frontend.loop.call_soon_threadsafe(self._close_transport)
+        except RuntimeError:
+            pass
+
+    def _close_transport(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+
+class _BridgeConn(_Conn):
+    """An in-memory session served by a bridge reader thread.
+
+    ``repro.net`` endpoints are queue-backed and already thread-safe,
+    so writes go straight through; only the read side needs a thread.
+    """
+
+    def __init__(self, frontend: "AsyncFrontend", raw):
+        _Conn.__init__(self, frontend)
+        self.raw = raw
+        self.name = getattr(raw, "name", "bridge")
+
+    def send_bytes(self, data: bytes) -> None:
+        self.raw.send_bytes(data)
+
+    def close_both(self) -> None:
+        self.raw.close_both()
+
+
+class _ReplySink:
+    """The ``channel`` a shard handler answers on: just ``send``.
+
+    Matches the slice of :class:`~repro.legacy.protocol.MessageChannel`
+    the node's handlers actually use; writes go through the
+    chaos-wrapped endpoint so ``net.send`` fault rules fire on replies
+    exactly as they do on the threaded path.
+    """
+
+    __slots__ = ("_endpoint",)
+
+    def __init__(self, endpoint):
+        self._endpoint = endpoint
+
+    def send(self, message: Message) -> None:
+        self._endpoint.send_bytes(message.to_bytes())
+
+    def close(self) -> None:
+        self._endpoint.close()
+
+
+class GatewayShard:
+    """One shard worker: pipelines, staging namespace, two executors.
+
+    Everything a load job owns below the protocol — converter/writer/
+    uploader stages, local staging files, the eager-apply coordinator —
+    lives in the shard that BEGIN_LOAD hashed to, so two shards never
+    share a pipeline queue or a per-table lock.  The two executors
+    split *blocking admission* from *slot-freeing work*: END_LOAD must
+    never queue behind a BEGIN_LOAD parked in ``wlm.admit``.
+    """
+
+    def __init__(self, frontend: "AsyncFrontend", index: int,
+                 staging_root: str, pipeline_workers: int):
+        self.frontend = frontend
+        self.index = index
+        self.staging_dir = os.path.join(staging_root, f"shard-{index}")
+        os.makedirs(self.staging_dir, exist_ok=True)
+        #: shared stage-task pool for every pipeline on this shard.
+        self.pool = PipelineWorkerPool(
+            workers=pipeline_workers, name=f"shard{index}")
+        name = f"{frontend.name}-shard{index}"
+        self.exec_admit = ThreadPoolExecutor(
+            max_workers=_ADMIT_WORKERS, thread_name_prefix=f"{name}-admit")
+        self.exec_work = ThreadPoolExecutor(
+            max_workers=_WORK_WORKERS, thread_name_prefix=f"{name}-work")
+        self._lock = threading.Lock()
+        self._routed = 0
+        self._handled = 0
+        self._depth = 0
+
+    def enqueue(self, conn: _Conn, message: Message) -> None:
+        """Hand one routed frame to the right executor (never blocks)."""
+        executor = (self.exec_admit if message.kind in _ADMIT_KINDS
+                    else self.exec_work)
+        with self._lock:
+            self._routed += 1
+            self._depth += 1
+        self.frontend.obs.shard_queue_depth \
+            .labels(shard=str(self.index)).inc()
+        executor.submit(self._handle, conn, message)
+
+    def _handle(self, conn: _Conn, message: Message) -> None:
+        with self._lock:
+            self._depth -= 1
+        self.frontend.obs.shard_queue_depth \
+            .labels(shard=str(self.index)).dec()
+        try:
+            self.frontend._execute(conn, message, self)
+        finally:
+            with self._lock:
+                self._handled += 1
+
+    def submit_teardown(self, conn: _Conn) -> None:
+        """Run a connection teardown off the reactor (it can block)."""
+        try:
+            self.exec_work.submit(self.frontend._teardown, conn)
+        except RuntimeError:
+            # Executors already closed: the node is stopping and reaps
+            # every job itself; nothing left to tear down per-conn.
+            pass
+
+    def snapshot(self) -> dict:
+        """Routed/handled frame counters + current queue depth."""
+        with self._lock:
+            routed, handled, depth = \
+                self._routed, self._handled, self._depth
+        return {"shard": self.index, "routed": routed,
+                "handled": handled, "queue_depth": depth}
+
+    def close(self) -> None:
+        """Shut down both executors and the shared pipeline pool."""
+        self.exec_admit.shutdown(wait=False, cancel_futures=True)
+        self.exec_work.shutdown(wait=False, cancel_futures=True)
+        self.pool.close()
+
+
+class AsyncFrontend:
+    """Reactor + shard workers behind ``config.async_frontend``.
+
+    Drives the same node session contract as
+    :class:`~repro.core.frontend.ThreadedFrontend` (``new_conn`` /
+    ``handle_message`` / ``connection_closed`` / ``wrap_endpoint``) —
+    the node cannot tell which front end is serving it, which is what
+    makes the differential async-vs-threaded suite meaningful.
+    """
+
+    kind = "async"
+
+    def __init__(self, node, listener, *, name: str = "server",
+                 shards: int = 0, max_connections: int = 0,
+                 shard_pipeline_workers: int = 4, obs=NULL_OBS,
+                 base_dir: str | None = None):
+        self.node = node
+        self.listener = listener
+        self.name = name
+        self.max_connections = max_connections
+        self.obs = obs
+        staging_root = base_dir or os.getcwd()
+        count = shards or default_shards()
+        self.shards = [
+            GatewayShard(self, i, staging_root, shard_pipeline_workers)
+            for i in range(count)]
+        #: job id -> shard index (route DATA/END_LOAD/data-LOGON to the
+        #: shard that owns the job's pipeline).
+        self._job_shard: dict[str, int] = {}
+        self._route_lock = threading.Lock()
+        self._home_counter = 0
+        self._cap_lock = threading.Lock()
+        self._active = 0
+        self._refused = 0
+        self._running = False
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._reactor: threading.Thread | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AsyncFrontend":
+        """Begin serving: the reactor for real sockets (listeners
+        exposing ``socket()``), a bridge accept thread otherwise."""
+        self._running = True
+        socket_of = getattr(self.listener, "socket", None)
+        if callable(socket_of):
+            self._start_reactor(socket_of())
+        else:
+            # In-memory listener: not selectable, bridge threads instead.
+            self._accept_thread = threading.Thread(
+                target=self._bridge_accept, daemon=True,
+                name=f"{self.name}-accept")
+            self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and halt the reactor; shards keep serving
+        in-flight handlers until :meth:`close`."""
+        self._running = False
+        if self.loop is not None and self._stop_event is not None:
+            try:
+                self.loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # pragma: no cover - already down
+                pass
+        if self._reactor is not None:
+            self._reactor.join(timeout=10.0)
+
+    def close(self) -> None:
+        """Second teardown phase (after the node reaped its jobs):
+        shard executors and pipeline pools go away."""
+        for shard in self.shards:
+            shard.close()
+
+    @property
+    def connections_active(self) -> int:
+        with self._cap_lock:
+            return self._active
+
+    def snapshot(self) -> dict:
+        """``stats()["gateway"]`` contribution of this front end."""
+        with self._cap_lock:
+            active, refused = self._active, self._refused
+        return {
+            "frontend": self.kind,
+            "connections_active": active,
+            "connections_refused": refused,
+            "max_connections": self.max_connections,
+            "shards": [shard.snapshot() for shard in self.shards],
+        }
+
+    # -- reactor (TCP listeners) ---------------------------------------------
+
+    def _start_reactor(self, server_sock) -> None:
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+        # Re-listen with a backlog deep enough for a reconnect storm:
+        # the cap (or a storm-sized default) bounds what we are willing
+        # to queue, the listener's own backlog is the floor.
+        backlog = max(getattr(self.listener, "backlog", 0),
+                      self.max_connections or _DEFAULT_BACKLOG)
+
+        async def _serve():
+            self._stop_event = asyncio.Event()
+            server = await self.loop.create_server(
+                lambda: _TcpConn(self), sock=server_sock,
+                backlog=backlog)
+            started.set()
+            try:
+                await self._stop_event.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        def _run():
+            asyncio.set_event_loop(self.loop)
+            try:
+                self.loop.run_until_complete(_serve())
+            finally:
+                started.set()  # never leave start() hanging on a crash
+                self.loop.close()
+
+        self._reactor = threading.Thread(
+            target=_run, daemon=True, name=f"{self.name}-reactor")
+        self._reactor.start()
+        started.wait(timeout=10.0)
+
+    # -- bridge (in-memory listeners) ----------------------------------------
+
+    def _bridge_accept(self) -> None:
+        while self._running:
+            try:
+                raw = self.listener.accept(timeout=0.5)
+            except ReproError:  # pragma: no cover - listener closed
+                return
+            if raw is None:
+                continue
+            conn = _BridgeConn(self, raw)
+            if not self._admit_conn(conn):
+                continue
+            threading.Thread(
+                target=self._bridge_read, args=(conn,), daemon=True,
+                name=f"{self.name}-bridge").start()
+
+    def _bridge_read(self, conn: _BridgeConn) -> None:
+        try:
+            while True:
+                chunk = conn.raw.recv_bytes(timeout=None)
+                if chunk is None:
+                    return
+                self._on_bytes(conn, chunk)
+        except ReproError:
+            pass
+        finally:
+            self._on_lost(conn)
+
+    # -- connection admission / teardown -------------------------------------
+
+    def _next_home(self) -> int:
+        with self._route_lock:
+            self._home_counter += 1
+            return self._home_counter % len(self.shards)
+
+    def _admit_conn(self, conn: _Conn) -> bool:
+        """Admit past the connection cap or shed with a typed error."""
+        with self._cap_lock:
+            if self.max_connections and \
+                    self._active >= self.max_connections:
+                self._refused += 1
+                refused = True
+            else:
+                self._active += 1
+                refused = False
+        if refused:
+            refuse_connection(conn, self.max_connections, obs=self.obs)
+            return False
+        self.obs.connections_active.inc()
+        conn.session = self.node.new_conn()
+        conn.endpoint = self.node.wrap_endpoint(conn)
+        conn.sink = _ReplySink(conn.endpoint)
+        return True
+
+    def _on_lost(self, conn: _Conn) -> None:
+        if conn.session is None:
+            return  # refused at the cap; nothing was admitted
+        if conn.peer_lost():
+            # connection_closed can block quiescing an abandoned job's
+            # pipeline — never run it on the reactor.
+            self.shards[conn.home_shard].submit_teardown(conn)
+
+    def _teardown(self, conn: _Conn) -> None:
+        try:
+            self.node.connection_closed(conn.session)
+        finally:
+            if conn.registered:
+                with self._route_lock:
+                    for job_id in conn.registered:
+                        self._job_shard.pop(job_id, None)
+            with self._cap_lock:
+                self._active -= 1
+            self.obs.connections_active.dec()
+
+    # -- framing + routing ---------------------------------------------------
+
+    def _on_bytes(self, conn: _Conn, data: bytes) -> None:
+        if conn.session is None:
+            return  # bytes from a refused connection
+        try:
+            for message in conn.coalescer.feed(data):
+                self._route(conn, message)
+        except ReproError:
+            conn.close_both()  # garbage frames: hang up
+
+    def _route(self, conn: _Conn, message: Message) -> None:
+        shard = self._pick_shard(conn, message)
+        span = self.obs.tracer.span(
+            "gateway.route", parent=message.trace_context(),
+            kind=message.kind.name, shard=shard.index)
+        span.end()
+        conn.frame_arrived()
+        shard.enqueue(conn, message)
+
+    def _pick_shard(self, conn: _Conn, message: Message) -> GatewayShard:
+        meta = message.meta
+        if message.kind == MessageKind.BEGIN_LOAD:
+            tenant = str(meta.get("tenant")
+                         or (conn.session or {}).get("user", ""))
+            index = shard_key(str(meta.get("target", "")), tenant,
+                              len(self.shards))
+            return self.shards[index]
+        job_id = meta.get("job_id")
+        if job_id:
+            with self._route_lock:
+                index = self._job_shard.get(job_id)
+            if index is not None:
+                return self.shards[index]
+        return self.shards[conn.home_shard]
+
+    # -- handler execution (shard executors) ---------------------------------
+
+    def _execute(self, conn: _Conn, message: Message,
+                 shard: GatewayShard) -> None:
+        session = conn.session
+        # The shard context _begin_load_admitted reads: shard staging
+        # namespace + shared pipeline pool.  One outstanding request
+        # per connection means no concurrent writer to this key.
+        session["shard"] = shard
+        try:
+            self.node.handle_message(conn.sink, message, session)
+        except ReproError:
+            # Dead transport (or unrecoverable dispatch error): hang
+            # up; connection_lost runs the teardown exactly once.
+            conn.close_both()
+        except BaseException:
+            log.exception("shard handler crashed", extra={
+                "shard": shard.index, "kind": message.kind.name})
+            conn.close_both()
+        finally:
+            self._register_jobs(conn, shard)
+            if conn.frame_done():
+                self._teardown(conn)
+
+    def _register_jobs(self, conn: _Conn, shard: GatewayShard) -> None:
+        """Sync the job->shard route map with what this conn now owns.
+
+        Safe to read ``conn.session`` here: data-session LOGONs for a
+        job only arrive after BEGIN_LOAD_OK was sent, i.e. after this
+        ran for the registering BEGIN_LOAD.
+        """
+        session = conn.session
+        current = set(session["loads"]) | set(session["exports"])
+        if current == conn.registered:
+            return
+        with self._route_lock:
+            for job_id in current - conn.registered:
+                self._job_shard.setdefault(job_id, shard.index)
+            for job_id in conn.registered - current:
+                self._job_shard.pop(job_id, None)
+        conn.registered = current

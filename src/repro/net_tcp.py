@@ -7,6 +7,12 @@ connecting over localhost or the network.  Both transports expose the
 same ``Endpoint``/``Listener`` surface, so every component is
 transport-agnostic — pass ``TcpListener`` where a
 :class:`repro.net.Listener` is expected.
+
+Every socket is tuned for the legacy protocol's traffic shape (see
+:func:`tune_socket`): ``TCP_NODELAY`` because the protocol is strict
+request/reply — a Nagle-delayed 40-byte DATA_ACK stalls the whole data
+session — and explicit send/receive buffer sizes so throughput does not
+depend on the distribution's autotuning floor.
 """
 
 from __future__ import annotations
@@ -15,9 +21,36 @@ import socket
 
 from repro.errors import TransportClosed
 
-__all__ = ["TcpEndpoint", "TcpListener", "connect_tcp"]
+__all__ = ["TcpEndpoint", "TcpListener", "connect_tcp", "tune_socket",
+           "SOCKET_BUFFER_BYTES"]
 
 _RECV_SIZE = 64 * 1024
+
+#: explicit SO_SNDBUF/SO_RCVBUF request for every protocol socket —
+#: sized to hold a handful of 64 KiB DATA frames so a sender never
+#: stalls on a kernel buffer smaller than one chunk in flight.
+SOCKET_BUFFER_BYTES = 256 * 1024
+
+
+def tune_socket(sock: socket.socket,
+                buffer_bytes: int = SOCKET_BUFFER_BYTES) -> None:
+    """Apply the protocol socket options (idempotent, best-effort).
+
+    ``TCP_NODELAY`` disables Nagle: the synchronous protocol sends many
+    small control frames (LOGON, DATA_ACK, END_LOAD) whose round-trips
+    would otherwise eat up to 40 ms each waiting for a coalescing timer.
+    The buffer sizes are explicit rather than autotuned so benchmark
+    results are comparable across hosts; failures are swallowed because
+    some stacks (or non-TCP sockets in tests) reject the options.
+    """
+    for level, opt, value in (
+            (socket.IPPROTO_TCP, socket.TCP_NODELAY, 1),
+            (socket.SOL_SOCKET, socket.SO_SNDBUF, buffer_bytes),
+            (socket.SOL_SOCKET, socket.SO_RCVBUF, buffer_bytes)):
+        try:
+            sock.setsockopt(level, opt, value)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
 
 
 class TcpEndpoint:
@@ -25,7 +58,7 @@ class TcpEndpoint:
 
     def __init__(self, sock: socket.socket, name: str = ""):
         self._sock = sock
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        tune_socket(self._sock)
         self.name = name
         self._closed = False
 
@@ -69,7 +102,15 @@ class TcpEndpoint:
 
 
 class TcpListener:
-    """A listening TCP socket with the Listener interface."""
+    """A listening TCP socket with the Listener interface.
+
+    ``backlog`` bounds the kernel's pending-accept queue.  The default
+    suits the threaded front end's poll-accept loop; the async front
+    end re-listens with a deeper backlog sized to its connection cap
+    (see :class:`repro.net_async.AsyncFrontend`) because a reconnect
+    storm of legacy feeds otherwise overflows the queue and stalls
+    clients in SYN retransmit for seconds.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  backlog: int = 32):
@@ -79,6 +120,7 @@ class TcpListener:
         self._server.bind((host, port))
         self._server.listen(backlog)
         self.host, self.port = self._server.getsockname()
+        self.backlog = backlog
         self._closed = False
 
     def connect(self) -> TcpEndpoint:
@@ -86,7 +128,13 @@ class TcpListener:
         return connect_tcp(self.host, self.port)
 
     def accept(self, timeout: float | None = None) -> TcpEndpoint | None:
-        """Accept the next connection or None on timeout/close."""
+        """Accept the next connection or None on timeout/close.
+
+        Safe against a concurrent :meth:`close`: the race surfaces as
+        an ``OSError`` from ``settimeout``/``accept`` on the closed
+        descriptor, which is absorbed into the same ``None`` the caller
+        already handles as "nothing accepted, check again".
+        """
         if self._closed:
             return None
         try:
@@ -96,10 +144,28 @@ class TcpListener:
             return None
         except OSError:
             return None
+        if self._closed:
+            # close() raced the accept and won: the listener is gone,
+            # so hand the stray connection an EOF instead of leaking it.
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            return None
         return TcpEndpoint(sock, name=f"server<-{peer}")
 
+    def socket(self) -> socket.socket:
+        """The bound listening socket (for ``asyncio`` adoption).
+
+        The async front end serves this exact socket object so the
+        host/port a caller observed before :meth:`~repro.core.gateway.
+        HyperQNode.start` keep working; the listener must not be
+        ``close()``d separately once adopted.
+        """
+        return self._server
+
     def close(self) -> None:
-        """Close the listening socket."""
+        """Close the listening socket (idempotent)."""
         if not self._closed:
             self._closed = True
             try:

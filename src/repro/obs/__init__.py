@@ -98,6 +98,15 @@ class Observability:
         self.messages_total = reg.counter(
             "hyperq_messages_total",
             "Protocol messages dispatched by the PXC", ("kind",))
+        self.connections_active = reg.gauge(
+            "hyperq_connections_active",
+            "Client connections currently open on the front end")
+        self.connections_refused = reg.counter(
+            "hyperq_connections_refused_total",
+            "Connections shed at the max_connections cap")
+        self.shard_queue_depth = reg.gauge(
+            "hyperq_shard_queue_depth",
+            "Frames queued per gateway shard worker", ("shard",))
         self.jobs_total = reg.counter(
             "hyperq_jobs_total",
             "Load jobs by lifecycle event", ("event",))

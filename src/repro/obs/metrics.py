@@ -272,6 +272,10 @@ class MetricFamily:
         """Increment the (unlabeled) family's single child."""
         self._anonymous().inc(amount)
 
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the (unlabeled) family's single gauge child."""
+        self._anonymous().dec(amount)
+
     def set(self, value: float) -> None:
         """Set the (unlabeled) family's single gauge child."""
         self._anonymous().set(value)

@@ -69,6 +69,8 @@ def engine():
 
 
 def make_node(native_unique: bool = True,
-              config: HyperQConfig | None = None) -> Stack:
+              config: HyperQConfig | None = None,
+              listener=None) -> Stack:
     """Non-fixture helper for tests needing special wiring."""
-    return build_stack(config=config, native_unique=native_unique)
+    return build_stack(config=config, native_unique=native_unique,
+                       listener=listener)

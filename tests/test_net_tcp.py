@@ -1,5 +1,9 @@
 """Real-TCP transport tests: the whole stack over localhost sockets."""
 
+import socket
+import threading
+import time
+
 import pytest
 
 from repro.cdw.cloudstore import CloudStore
@@ -7,6 +11,7 @@ from repro.cdw.engine import CdwEngine
 from repro.core.config import HyperQConfig
 from repro.core.gateway import HyperQNode
 from repro.errors import TransportClosed
+from repro.legacy.protocol import Message, MessageChannel, MessageKind
 from repro.legacy.script import ScriptInterpreter, parse_script
 from repro.legacy.server import LegacyServer
 from repro.net_tcp import TcpListener, connect_tcp
@@ -49,6 +54,61 @@ class TestTcpTransport:
     def test_accept_timeout(self):
         listener = TcpListener()
         assert listener.accept(timeout=0.05) is None
+        listener.close()
+
+    def test_accept_after_close_returns_none(self):
+        listener = TcpListener()
+        listener.close()
+        assert listener.accept(timeout=0.05) is None
+        listener.close()  # idempotent
+
+    def test_close_races_blocked_accept(self):
+        """close() from another thread unblocks accept with None."""
+        listener = TcpListener()
+        results = []
+
+        def _accept():
+            results.append(listener.accept(timeout=5))
+
+        thread = threading.Thread(target=_accept)
+        thread.start()
+        time.sleep(0.1)  # let accept park in the kernel
+        listener.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_peer_disconnect_mid_frame(self):
+        """EOF with a partial frame buffered is a hard transport error,
+        not a silent end-of-stream (the frame was truncated)."""
+        listener = TcpListener()
+        client = listener.connect()
+        server = listener.accept(timeout=2)
+        frame = Message(MessageKind.LOGON, {"user": "etl"}).to_bytes()
+        client.send_bytes(frame[:len(frame) - 3])
+        client.close_both()
+        channel = MessageChannel(server, timeout=2)
+        with pytest.raises(TransportClosed, match="mid-frame"):
+            channel.recv_or_eof()
+        channel.close()
+        listener.close()
+
+    def test_sockets_are_tuned(self):
+        """TCP_NODELAY is set on both ends of every connection."""
+        listener = TcpListener()
+        client = listener.connect()
+        server = listener.accept(timeout=2)
+        for endpoint in (client, server):
+            assert endpoint._sock.getsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+        client.close_both()
+        server.close_both()
+        listener.close()
+
+    def test_listener_exposes_bound_socket(self):
+        listener = TcpListener(backlog=7)
+        assert listener.backlog == 7
+        assert listener.socket().getsockname()[1] == listener.port
         listener.close()
 
     def test_connect_by_address(self):
